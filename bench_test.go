@@ -1,0 +1,180 @@
+// Root-level benchmarks: one per table and figure of the paper's
+// evaluation (go test -bench=. -benchmem). Each iteration regenerates the
+// corresponding experiment at reduced scale; the printed tables come from
+// cmd/hcl-bench, these benches track the cost of producing them and act
+// as regression anchors on the experiment pipelines.
+package hcl_test
+
+import (
+	"io"
+	"testing"
+
+	"hcl"
+	"hcl/internal/bench"
+)
+
+// benchParams keeps bench iterations snappy while exercising every code
+// path the full experiments use.
+func benchParams() bench.Params {
+	p := bench.Scaled()
+	p.ClientsPerNode = 4
+	p.OpsPerClient = 32
+	p.MaxNodes = 16
+	p.Fig5Sizes = []int{4 << 10, 64 << 10, 1 << 20, 2 << 20}
+	p.QueueClients = []int{16, 32}
+	p.ISxKeysPerRank = 64
+	p.GenomeLength = 1500
+	return p
+}
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(io.Discard, id, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1Motivating(b *testing.B)         { runExp(b, "fig1") }
+func BenchmarkFig4Profiling(b *testing.B)          { runExp(b, "fig4") }
+func BenchmarkFig5aIntraNode(b *testing.B)         { runExp(b, "fig5a") }
+func BenchmarkFig5bInterNode(b *testing.B)         { runExp(b, "fig5b") }
+func BenchmarkFig6aMapScaling(b *testing.B)        { runExp(b, "fig6a") }
+func BenchmarkFig6bSetScaling(b *testing.B)        { runExp(b, "fig6b") }
+func BenchmarkFig6cQueues(b *testing.B)            { runExp(b, "fig6c") }
+func BenchmarkFig7aISx(b *testing.B)               { runExp(b, "fig7a") }
+func BenchmarkFig7bContigGen(b *testing.B)         { runExp(b, "fig7b") }
+func BenchmarkFig7cKmerCounting(b *testing.B)      { runExp(b, "fig7c") }
+func BenchmarkTable1CostVerification(b *testing.B) { runExp(b, "table1") }
+func BenchmarkAblations(b *testing.B)              { runExp(b, "abl") }
+
+// Container-level micro-benchmarks through the public API: the real
+// (wall-clock) cost of operations on the distributed containers over the
+// simulated fabric, one rank, remote partition.
+
+func benchWorld(b *testing.B) (*hcl.World, *hcl.Runtime) {
+	b.Helper()
+	prov := hcl.NewSimFabric(2, hcl.DefaultCostModel())
+	b.Cleanup(func() { prov.Close() })
+	w := hcl.MustWorld(prov, hcl.OnNode(0, 1))
+	return w, hcl.NewRuntime(w)
+}
+
+func BenchmarkUnorderedMapInsertRemote(b *testing.B) {
+	w, rt := benchWorld(b)
+	m, err := hcl.NewUnorderedMap[int, int](rt, "bm", hcl.WithServers([]int{1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.Rank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Insert(r, i, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnorderedMapInsertHybridLocal(b *testing.B) {
+	w, rt := benchWorld(b)
+	m, err := hcl.NewUnorderedMap[int, int](rt, "bl", hcl.WithServers([]int{0}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.Rank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Insert(r, i, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnorderedMapFindRemote(b *testing.B) {
+	w, rt := benchWorld(b)
+	m, err := hcl.NewUnorderedMap[int, int](rt, "bf", hcl.WithServers([]int{1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.Rank(0)
+	for i := 0; i < 1024; i++ {
+		m.Insert(r, i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Find(r, i%1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueuePushRemote(b *testing.B) {
+	w, rt := benchWorld(b)
+	q, err := hcl.NewQueue[int](rt, "bq", hcl.WithServers([]int{1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.Rank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Push(r, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPriorityQueuePushRemote(b *testing.B) {
+	w, rt := benchWorld(b)
+	q, err := hcl.NewPriorityQueue[int](rt, "bpq", hcl.NaturalLess[int](), hcl.WithServers([]int{1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.Rank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Push(r, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapInsertRemoteOrdered(b *testing.B) {
+	w, rt := benchWorld(b)
+	m, err := hcl.NewMap[int, int](rt, "bo", hcl.NaturalLess[int](), hcl.WithServers([]int{1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.Rank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Insert(r, i, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeRemote(b *testing.B) {
+	w, rt := benchWorld(b)
+	m, err := hcl.NewUnorderedMap[int, int](rt, "bmerge", hcl.WithServers([]int{1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.SetMerge(func(old, in int) int { return old + in })
+	r := w.Rank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Merge(r, i%64, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

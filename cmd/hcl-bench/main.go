@@ -1,0 +1,70 @@
+// Command hcl-bench regenerates the paper's evaluation tables and figures
+// (Section IV) on the simulated fabric. Each experiment prints rows in
+// the same shape the paper plots.
+//
+// Usage:
+//
+//	hcl-bench -exp all                 # every experiment, scaled params
+//	hcl-bench -exp fig1,fig6a          # a subset
+//	hcl-bench -exp fig7a -full         # paper-scale workload (slow!)
+//	hcl-bench -list                    # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hcl/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full = flag.Bool("full", false, "use the paper's exact workload sizes (needs a big machine)")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		csv  = flag.String("csv", "", "also write each result table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	p := bench.Scaled()
+	if *full {
+		p = bench.Full()
+	}
+
+	ids := bench.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		start := time.Now()
+		tables, err := bench.Tables(id, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		if *csv != "" {
+			if err := bench.WriteCSVDir(*csv, tables); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,55 @@
+// Command isx runs the ISx integer-sort mini-application (paper Figure
+// 7a) on the simulated cluster, with both the HCL (priority-queue) and
+// BCL (circular-queue + local sort) implementations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hcl/internal/apps/isx"
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 8, "cluster nodes")
+		ranks   = flag.Int("ranks-per-node", 4, "ranks per node")
+		keys    = flag.Int("keys", 1024, "keys per rank (weak scaling constant)")
+		seed    = flag.Int64("seed", 1, "key generation seed")
+		backend = flag.String("backend", "both", "hcl, bcl, or both")
+	)
+	flag.Parse()
+
+	cfg := isx.Config{KeysPerRank: *keys, KeyRange: 1 << 27, Seed: *seed}
+	fmt.Printf("ISx: %d nodes x %d ranks, %d keys/rank\n", *nodes, *ranks, *keys)
+
+	if *backend == "bcl" || *backend == "both" {
+		w, done := newWorld(*nodes, *ranks)
+		res, err := isx.RunBCL(w, cfg)
+		done()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  BCL: %8.3f s  (%d keys, sorted=%v)\n", res.Makespan.Seconds(), res.TotalKeys, res.Sorted)
+	}
+	if *backend == "hcl" || *backend == "both" {
+		w, done := newWorld(*nodes, *ranks)
+		res, err := isx.RunHCL(core.NewRuntime(w), w, cfg)
+		done()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  HCL: %8.3f s  (%d keys, sorted=%v)\n", res.Makespan.Seconds(), res.TotalKeys, res.Sorted)
+	}
+}
+
+func newWorld(nodes, ranksPerNode int) (*cluster.World, func()) {
+	prov := simfab.New(nodes, fabric.DefaultCostModel())
+	w := cluster.MustWorld(prov, cluster.Block(nodes, nodes*ranksPerNode))
+	return w, func() { prov.Close() }
+}

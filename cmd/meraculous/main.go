@@ -1,0 +1,80 @@
+// Command meraculous runs the genome-assembly kernels (paper Figures 7b
+// and 7c) — k-mer counting and contig generation — on the simulated
+// cluster with both the HCL and BCL implementations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hcl/internal/apps/meraculous"
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 8, "cluster nodes")
+		ranks    = flag.Int("ranks-per-node", 4, "ranks per node")
+		length   = flag.Int("genome", 10_000, "reference genome length")
+		coverage = flag.Int("coverage", 8, "read sampling depth")
+		errRate  = flag.Float64("error-rate", 0.0, "per-base read error probability")
+		seed     = flag.Int64("seed", 2, "genome seed")
+		kernel   = flag.String("kernel", "both", "kmer, contig, or both")
+	)
+	flag.Parse()
+
+	g := meraculous.Generate(meraculous.GenomeConfig{
+		Length:    *length,
+		ReadLen:   100,
+		Coverage:  *coverage,
+		ErrorRate: *errRate,
+		Seed:      *seed,
+	})
+	fmt.Printf("genome: %d bases, %d reads; cluster %d x %d ranks\n",
+		len(g.Reference), len(g.Reads), *nodes, *ranks)
+
+	if *kernel == "kmer" || *kernel == "both" {
+		w, done := newWorld(*nodes, *ranks)
+		b, err := meraculous.CountKmersBCL(w, g)
+		done()
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, done = newWorld(*nodes, *ranks)
+		h, err := meraculous.CountKmersHCL(core.NewRuntime(w), w, g)
+		done()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k-mer counting:    BCL %8.3f s   HCL %8.3f s   (%.1fx, %d kmers)\n",
+			b.Makespan.Seconds(), h.Makespan.Seconds(),
+			b.Makespan.Seconds()/h.Makespan.Seconds(), h.TotalKmers)
+	}
+	if *kernel == "contig" || *kernel == "both" {
+		w, done := newWorld(*nodes, *ranks)
+		b, err := meraculous.ContigGenBCL(w, g)
+		done()
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, done = newWorld(*nodes, *ranks)
+		h, err := meraculous.ContigGenHCL(core.NewRuntime(w), w, g)
+		done()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("contig generation: BCL %8.3f s   HCL %8.3f s   (%.1fx, %d contigs, %d bases)\n",
+			b.Makespan.Seconds(), h.Makespan.Seconds(),
+			b.Makespan.Seconds()/h.Makespan.Seconds(), h.Contigs, h.ContigBases)
+	}
+}
+
+func newWorld(nodes, ranksPerNode int) (*cluster.World, func()) {
+	prov := simfab.New(nodes, fabric.DefaultCostModel())
+	w := cluster.MustWorld(prov, cluster.Block(nodes, nodes*ranksPerNode))
+	return w, func() { prov.Close() }
+}

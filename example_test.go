@@ -1,0 +1,109 @@
+package hcl_test
+
+import (
+	"fmt"
+
+	"hcl"
+)
+
+// Example shows the canonical HCL program: build a simulated cluster,
+// construct a distributed map, and operate on it from concurrent ranks.
+func Example() {
+	prov := hcl.NewSimFabric(4, hcl.DefaultCostModel())
+	defer prov.Close()
+	world := hcl.MustWorld(prov, hcl.Block(4, 8))
+	rt := hcl.NewRuntime(world)
+
+	scores, _ := hcl.NewUnorderedMap[string, int](rt, "scores")
+	world.Run(func(r *hcl.Rank) {
+		scores.Insert(r, fmt.Sprintf("rank-%d", r.ID()), r.ID()*10)
+	})
+
+	r := world.Rank(0)
+	v, ok, _ := scores.Find(r, "rank-5")
+	n, _ := scores.Size(r)
+	fmt.Println(v, ok, n)
+	// Output: 50 true 8
+}
+
+// ExampleUnorderedMap_Merge demonstrates the server-side combine: a
+// histogram increment in a single invocation.
+func ExampleUnorderedMap_Merge() {
+	prov := hcl.NewSimFabric(2, hcl.DefaultCostModel())
+	defer prov.Close()
+	world := hcl.MustWorld(prov, hcl.Block(2, 4))
+	rt := hcl.NewRuntime(world)
+
+	hist, _ := hcl.NewUnorderedMap[string, int](rt, "hist")
+	hist.SetMerge(func(old, incoming int) int { return old + incoming })
+
+	world.Run(func(r *hcl.Rank) {
+		for i := 0; i < 10; i++ {
+			hist.Merge(r, "events", 1)
+		}
+	})
+	v, _, _ := hist.Find(world.Rank(0), "events")
+	fmt.Println(v)
+	// Output: 40
+}
+
+// ExampleMap_Scan shows globally ordered iteration over a partitioned
+// ordered map.
+func ExampleMap_Scan() {
+	prov := hcl.NewSimFabric(3, hcl.DefaultCostModel())
+	defer prov.Close()
+	world := hcl.MustWorld(prov, hcl.Block(3, 3))
+	rt := hcl.NewRuntime(world)
+
+	m, _ := hcl.NewMap[int, string](rt, "ordered", hcl.NaturalLess[int]())
+	r := world.Rank(0)
+	for _, k := range []int{42, 7, 19, 3, 88} {
+		m.Insert(r, k, fmt.Sprintf("v%d", k))
+	}
+	pairs, _ := m.Scan(r, false, 0, 3)
+	for _, p := range pairs {
+		fmt.Println(p.Key, p.Value)
+	}
+	// Output:
+	// 3 v3
+	// 7 v7
+	// 19 v19
+}
+
+// ExamplePriorityQueue shows sort-on-arrival, the property the ISx
+// application exploits.
+func ExamplePriorityQueue() {
+	prov := hcl.NewSimFabric(2, hcl.DefaultCostModel())
+	defer prov.Close()
+	world := hcl.MustWorld(prov, hcl.Block(2, 2))
+	rt := hcl.NewRuntime(world)
+
+	pq, _ := hcl.NewPriorityQueue[int](rt, "jobs", hcl.NaturalLess[int]())
+	r := world.Rank(0)
+	pq.PushMulti(r, []int{9, 1, 5, 3})
+	out, _ := pq.PopMulti(r, 4)
+	fmt.Println(out)
+	// Output: [1 3 5 9]
+}
+
+// ExampleFuture demonstrates asynchronous operations overlapping before a
+// final Wait.
+func ExampleFuture() {
+	prov := hcl.NewSimFabric(2, hcl.DefaultCostModel())
+	defer prov.Close()
+	world := hcl.MustWorld(prov, hcl.Block(2, 2))
+	rt := hcl.NewRuntime(world)
+
+	m, _ := hcl.NewUnorderedMap[int, int](rt, "async")
+	r := world.Rank(0)
+	futs := make([]*hcl.Future[bool], 8)
+	for i := range futs {
+		futs[i] = m.InsertAsync(r, i, i*i)
+	}
+	for _, f := range futs {
+		f.Wait(r)
+	}
+	v, _, _ := m.Find(r, 7)
+	fmt.Println(v)
+	// Output: 49
+}

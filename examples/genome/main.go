@@ -1,0 +1,43 @@
+// Genome: the Meraculous-style assembly pipeline through the public API —
+// generate a synthetic genome, count k-mers into a distributed histogram
+// with single-invocation merges, then build and walk the de Bruijn graph
+// to produce contigs (the paper's Figures 7b/7c workload).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hcl"
+	"hcl/internal/apps/meraculous"
+)
+
+func main() {
+	prov := hcl.NewSimFabric(8, hcl.DefaultCostModel())
+	defer prov.Close()
+	world := hcl.MustWorld(prov, hcl.Block(8, 32))
+	rt := hcl.NewRuntime(world)
+
+	genome := meraculous.Generate(meraculous.GenomeConfig{
+		Length:    20_000,
+		ReadLen:   100,
+		Coverage:  10,
+		ErrorRate: 0.001,
+		Seed:      42,
+	})
+	fmt.Printf("genome: %d bases, %d reads\n", len(genome.Reference), len(genome.Reads))
+
+	count, err := meraculous.CountKmersHCL(rt, world, genome)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-mer counting: %d occurrences, %d distinct, modelled %.3f s\n",
+		count.TotalKmers, count.DistinctKmers, count.Makespan.Seconds())
+
+	contig, err := meraculous.ContigGenHCL(rt, world, genome)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contig generation: %d contigs, %d bases, modelled %.3f s\n",
+		contig.Contigs, contig.ContigBases, contig.Makespan.Seconds())
+}

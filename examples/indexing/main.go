@@ -1,0 +1,123 @@
+// Indexing: a distributed inverted index — the kind of irregular,
+// communication-heavy workload the paper's introduction motivates. Ranks
+// ingest documents in parallel, tokenize them, and Merge posting lists
+// into a distributed unordered map in a single invocation per token
+// (server-side combine). Queries then intersect posting lists.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"hcl"
+)
+
+var corpus = []string{
+	"remote procedure calls bundle instructions for the target node",
+	"one sided operations bypass the remote cpu entirely",
+	"the hybrid access model optimizes node local operations",
+	"distributed hash maps partition buckets across many nodes",
+	"priority queues keep arriving keys sorted at the host",
+	"lock free structures resolve conflicts without coordination",
+	"the cuckoo hash resolves collisions with a second table",
+	"skip lists give ordered maps logarithmic operations",
+	"genome assembly traverses a de bruijn graph of kmers",
+	"bucket sort exchanges keys then sorts each bucket locally",
+	"serialization boxes complex types for transmission",
+	"futures overlap communication with local computation",
+}
+
+func main() {
+	prov := hcl.NewSimFabric(4, hcl.DefaultCostModel())
+	defer prov.Close()
+	world := hcl.MustWorld(prov, hcl.Block(4, 8))
+	rt := hcl.NewRuntime(world)
+
+	index, err := hcl.NewUnorderedMap[string, []int32](rt, "inverted-index")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Posting lists merge server-side: one invocation per (token, doc).
+	index.SetMerge(func(old, incoming []int32) []int32 {
+		return mergePostings(old, incoming)
+	})
+
+	// Parallel ingest: documents sharded over ranks.
+	world.Run(func(r *hcl.Rank) {
+		for d := r.ID(); d < len(corpus); d += world.NumRanks() {
+			for _, tok := range strings.Fields(corpus[d]) {
+				if _, err := index.Merge(r, tok, []int32{int32(d)}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	})
+
+	// Query phase: intersect posting lists.
+	r := world.Rank(0)
+	for _, query := range [][]string{
+		{"the", "remote"},
+		{"operations", "local"},
+		{"keys"},
+	} {
+		docs, err := lookup(r, index, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %v -> docs %v\n", query, docs)
+	}
+
+	n, _ := index.Size(r)
+	fmt.Printf("index terms: %d, makespan %.3f ms\n", n, float64(world.Makespan())/1e6)
+}
+
+func lookup(r *hcl.Rank, index *hcl.UnorderedMap[string, []int32], terms []string) ([]int32, error) {
+	var result []int32
+	for i, t := range terms {
+		postings, ok, err := index.Find(r, t)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		if i == 0 {
+			result = postings
+			continue
+		}
+		result = intersect(result, postings)
+	}
+	return result, nil
+}
+
+func mergePostings(a, b []int32) []int32 {
+	out := append(append([]int32(nil), a...), b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+func intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

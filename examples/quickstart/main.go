@@ -1,0 +1,82 @@
+// Quickstart: create a simulated 4-node cluster, construct the HCL
+// containers, and exercise them from 16 concurrent ranks — the library's
+// equivalent of the paper's Figure 3 usage sketch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hcl"
+)
+
+func main() {
+	// A 4-node simulated fabric with the Ares-calibrated cost model, and
+	// 16 ranks placed 4 per node.
+	prov := hcl.NewSimFabric(4, hcl.DefaultCostModel())
+	defer prov.Close()
+	world := hcl.MustWorld(prov, hcl.Block(4, 16))
+	rt := hcl.NewRuntime(world)
+
+	// Distributed containers: constructed collectively, no coordination.
+	scores, err := hcl.NewUnorderedMap[string, int](rt, "scores")
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := hcl.NewQueue[string](rt, "events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaderboard, err := hcl.NewMap[int, string](rt, "leaderboard", hcl.NaturalLess[int]())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One SPMD region: every rank inserts, reads a neighbour's entry,
+	// and logs an event.
+	world.Run(func(r *hcl.Rank) {
+		me := fmt.Sprintf("rank-%02d", r.ID())
+		if _, err := scores.Insert(r, me, r.ID()*10); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := leaderboard.Insert(r, r.ID()*10, me); err != nil {
+			log.Fatal(err)
+		}
+		if err := events.Push(r, me+" joined"); err != nil {
+			log.Fatal(err)
+		}
+		// Asynchronous find of the next rank's entry overlaps with the
+		// pushes above (futures, paper Section III-C4).
+		fut := scores.FindAsync(r, fmt.Sprintf("rank-%02d", (r.ID()+1)%world.NumRanks()))
+		if _, err := fut.Wait(r); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	r := world.Rank(0)
+	n, _ := scores.Size(r)
+	fmt.Printf("scores entries: %d\n", n)
+
+	top, err := leaderboard.Scan(r, false, 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lowest three leaderboard entries:")
+	for _, p := range top {
+		fmt.Printf("  %3d -> %s\n", p.Key, p.Value)
+	}
+
+	drained := 0
+	for {
+		_, ok, err := events.Pop(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		drained++
+	}
+	fmt.Printf("drained %d events\n", drained)
+	fmt.Printf("modelled makespan: %.3f ms\n", float64(world.Makespan())/1e6)
+}

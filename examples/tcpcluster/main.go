@@ -1,0 +1,125 @@
+// TCP cluster: the same HCL program running over real sockets instead of
+// the simulated fabric — the portability the paper gets from OFI. The
+// example forks itself into two OS processes (two nodes); both construct
+// the same containers (SPMD symmetric construction) and node 1's ranks
+// operate on partitions physically owned by process 0 and vice versa.
+//
+// Run with no arguments to launch the pair automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"hcl"
+)
+
+func main() {
+	if len(os.Args) >= 4 && os.Args[1] == "-worker" {
+		worker(os.Args[2], os.Args[3], os.Args[4])
+		return
+	}
+	launcher()
+}
+
+// launcher reserves two ports, spawns both workers, and waits.
+func launcher() {
+	addr0 := reservePort()
+	addr1 := reservePort()
+	fmt.Printf("launching workers on %s and %s\n", addr0, addr1)
+
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var procs []*exec.Cmd
+	for node := 0; node < 2; node++ {
+		cmd := exec.Command(self, "-worker", strconv.Itoa(node), addr0, addr1)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+	for _, p := range procs {
+		if err := p.Wait(); err != nil {
+			log.Fatalf("worker failed: %v", err)
+		}
+	}
+	fmt.Println("both workers finished")
+}
+
+func reservePort() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// worker is one node of the two-process cluster.
+func worker(nodeStr, addr0, addr1 string) {
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prov, err := hcl.NewTCPFabric(hcl.TCPConfig{
+		NodeID: node,
+		Addrs:  []string{addr0, addr1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer prov.Close()
+
+	// This process hosts only its own ranks, all placed on its node.
+	world := hcl.MustWorld(prov, hcl.OnNode(node, 4))
+	rt := hcl.NewRuntime(world)
+
+	// Symmetric construction: both processes build the same container in
+	// the same order, so names and partition routing agree.
+	m, err := hcl.NewUnorderedMap[string, string](rt, "shared-map")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Give the peer a moment to bind its handlers before issuing RPCs.
+	time.Sleep(300 * time.Millisecond)
+
+	world.Run(func(r *hcl.Rank) {
+		for i := 0; i < 50; i++ {
+			k := fmt.Sprintf("n%d-r%d-k%d", node, r.ID(), i)
+			if _, err := m.Insert(r, k, "from-node-"+nodeStr); err != nil {
+				log.Fatalf("node %d insert: %v", node, err)
+			}
+		}
+	})
+
+	// Wait for the peer's inserts to land, then read some of them.
+	time.Sleep(500 * time.Millisecond)
+	r := world.Rank(0)
+	peer := 1 - node
+	hits := 0
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("n%d-r0-k%d", peer, i)
+		if _, ok, err := m.Find(r, k); err != nil {
+			log.Fatalf("node %d find: %v", node, err)
+		} else if ok {
+			hits++
+		}
+	}
+	fmt.Printf("node %d: found %d/50 of the peer's keys over TCP\n", node, hits)
+	if hits < 25 {
+		os.Exit(1)
+	}
+	// Keep serving until the peer has finished reading from us.
+	time.Sleep(700 * time.Millisecond)
+}

@@ -1,0 +1,104 @@
+package hcl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hcl"
+)
+
+func TestFacadeCollectives(t *testing.T) {
+	w, rt := newWorld(t, 4, 2)
+	c := hcl.NewComm[int](rt, "facade")
+	results := make([][]int, w.NumRanks())
+	w.Run(func(r *hcl.Rank) {
+		vals, err := c.AllGather(r, "ag", r.ID()*2)
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		results[r.ID()] = vals
+	})
+	for rank, vals := range results {
+		for i, v := range vals {
+			if v != i*2 {
+				t.Fatalf("rank %d vals[%d] = %d", rank, i, v)
+			}
+		}
+	}
+	var sum int
+	w.Run(func(r *hcl.Rank) {
+		v, err := c.Reduce(r, 0, "red", 1, func(a, b int) int { return a + b })
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		if r.ID() == 0 {
+			sum = v
+		}
+	})
+	if sum != w.NumRanks() {
+		t.Fatalf("reduce = %d", sum)
+	}
+}
+
+func TestFacadeCallbacksAndRepartition(t *testing.T) {
+	w, rt := newWorld(t, 4, 1)
+	m, err := hcl.NewUnorderedMap[int, int](rt, "fc", hcl.WithServers([]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.BindCallback("tag", func(node int, prev []byte) ([]byte, error) {
+		return append(prev, byte(node)), nil
+	})
+	r := w.Rank(0)
+	for i := 0; i < 300; i++ {
+		if _, err := m.Insert(r, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.InsertChained(r, 1000, 1, "tag"); err != nil {
+		t.Fatal(err)
+	}
+	// Grow the container onto two more nodes; nothing may be lost.
+	for _, node := range []int{2, 3} {
+		if err := m.AddPartition(r, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Partitions() != 4 {
+		t.Fatalf("Partitions = %d", m.Partitions())
+	}
+	for i := 0; i < 300; i++ {
+		if v, ok, err := m.Find(r, i); err != nil || !ok || v != i {
+			t.Fatalf("lost key %d: %v %v %v", i, v, ok, err)
+		}
+	}
+	if err := m.RemovePartition(r, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := m.Size(r); n != 301 {
+		t.Fatalf("Size = %d", n)
+	}
+}
+
+func TestFacadeBatchThroughEngine(t *testing.T) {
+	w, rt := newWorld(t, 2, 1)
+	rt.Engine().Bind("double", func(node int, arg []byte) ([]byte, int64) {
+		return []byte{arg[0] * 2}, 10
+	})
+	b := rt.Engine().NewBatch(1)
+	for i := byte(1); i <= 5; i++ {
+		b.Add("double", []byte{i})
+	}
+	resps, err := b.Flush(w.Rank(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if resp[0] != byte(i+1)*2 {
+			t.Fatalf("resp[%d] = %d", i, resp[0])
+		}
+	}
+	_ = fmt.Sprint() // keep fmt linked for symmetry with sibling tests
+}

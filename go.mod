@@ -1,0 +1,3 @@
+module hcl
+
+go 1.24

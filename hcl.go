@@ -1,0 +1,244 @@
+// Package hcl is the public façade of the Hermes Container Library
+// reproduction: high-performance distributed data structures (unordered
+// and ordered maps and sets, FIFO and priority queues) over an
+// RPC-over-RDMA-style procedural communication fabric, as described in
+//
+//	H. Devarajan, A. Kougkas, K. Bateman, X.-H. Sun.
+//	"HCL: Distributing Parallel Data Structures in Extreme Scales."
+//	IEEE CLUSTER 2020.
+//
+// # Quick start
+//
+//	prov := hcl.NewSimFabric(4, hcl.DefaultCostModel())         // 4 nodes
+//	world := hcl.MustWorld(prov, hcl.Block(4, 16))              // 16 ranks
+//	rt := hcl.NewRuntime(world)
+//	m, _ := hcl.NewUnorderedMap[string, int](rt, "scores")
+//	world.Run(func(r *hcl.Rank) {
+//	    m.Insert(r, fmt.Sprintf("rank-%d", r.ID()), r.ID())
+//	    if v, ok, _ := m.Find(r, "rank-0"); ok { _ = v }
+//	})
+//
+// All containers follow the paper's architecture: data partitioned over
+// server nodes, one remote invocation per operation, a hybrid access
+// model that bypasses RPC for co-located partitions, synchronous and
+// asynchronous (future) call forms, and optional replication and
+// mmap-backed persistence. The package re-exports the implementation
+// packages so downstream code needs only this import; power users can
+// reach the substrates (fabric, memory, databox, containers) directly.
+package hcl
+
+import (
+	"hcl/internal/cluster"
+	"hcl/internal/coll"
+	"hcl/internal/core"
+	"hcl/internal/databox"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/fabric/tcpfab"
+	"hcl/internal/memory"
+	"hcl/internal/metrics"
+	"hcl/internal/ror"
+)
+
+// Fabric layer --------------------------------------------------------
+
+// Provider is the OFI-like transport abstraction (sim or tcp).
+type Provider = fabric.Provider
+
+// CostModel holds the virtual-time constants of the simulated fabric.
+type CostModel = fabric.CostModel
+
+// Clock is a per-rank virtual clock.
+type Clock = fabric.Clock
+
+// DefaultCostModel returns the Ares-calibrated cost model.
+func DefaultCostModel() CostModel { return fabric.DefaultCostModel() }
+
+// NewSimFabric returns the in-process discrete-event simulated provider.
+func NewSimFabric(nodes int, cm CostModel, opts ...simfab.Option) *simfab.Fabric {
+	return simfab.New(nodes, cm, opts...)
+}
+
+// WithCollector attaches a metrics collector to a sim fabric.
+func WithCollector(c *metrics.Collector) simfab.Option { return simfab.WithCollector(c) }
+
+// NewMetrics returns a collector with the given bucket resolution (ns).
+func NewMetrics(resolution int64) *metrics.Collector { return metrics.New(resolution) }
+
+// TCPConfig configures the real-socket provider.
+type TCPConfig = tcpfab.Config
+
+// NewTCPFabric returns the TCP provider for genuine multi-process runs.
+func NewTCPFabric(cfg TCPConfig) (*tcpfab.Fabric, error) { return tcpfab.New(cfg) }
+
+// Cluster layer --------------------------------------------------------
+
+// World is a set of ranks placed on nodes over one provider.
+type World = cluster.World
+
+// Rank is one client process (goroutine) with its virtual clock.
+type Rank = cluster.Rank
+
+// NewWorld builds a world with explicit rank placement.
+func NewWorld(p Provider, placement []int) (*World, error) { return cluster.NewWorld(p, placement) }
+
+// MustWorld is NewWorld that panics on error.
+func MustWorld(p Provider, placement []int) *World { return cluster.MustWorld(p, placement) }
+
+// Block places count ranks evenly over the first nodes nodes.
+func Block(nodes, count int) []int { return cluster.Block(nodes, count) }
+
+// OnNode places count ranks on a single node.
+func OnNode(node, count int) []int { return cluster.OnNode(node, count) }
+
+// Runtime and containers -------------------------------------------------
+
+// Runtime bundles a world with the RPC-over-RDMA engine.
+type Runtime = core.Runtime
+
+// NewRuntime builds a runtime over the world's provider.
+func NewRuntime(w *World) *Runtime { return core.NewRuntime(w) }
+
+// Engine is the raw RPC-over-RDMA engine (bind/invoke/futures/batches).
+type Engine = ror.Engine
+
+// UnorderedMap is HCL::unordered_map.
+type UnorderedMap[K comparable, V any] = core.UnorderedMap[K, V]
+
+// UnorderedSet is HCL::unordered_set.
+type UnorderedSet[K comparable] = core.UnorderedSet[K]
+
+// Map is HCL::map (ordered).
+type Map[K comparable, V any] = core.Map[K, V]
+
+// Set is HCL::set (ordered).
+type Set[K comparable] = core.Set[K]
+
+// Queue is HCL::queue (FIFO).
+type Queue[T any] = core.Queue[T]
+
+// PriorityQueue is HCL::priority_queue.
+type PriorityQueue[T any] = core.PriorityQueue[T]
+
+// Future is a typed asynchronous result.
+type Future[T any] = core.Future[T]
+
+// FindResult carries an optional value through a Future.
+type FindResult[V any] = core.FindResult[V]
+
+// Pair is one key/value entry of an ordered scan.
+type Pair[K any, V any] = core.Pair[K, V]
+
+// Less orders keys.
+type Less[K any] = core.Less[K]
+
+// Option configures a container.
+type Option = core.Option
+
+// Constructors re-exported from core --------------------------------------
+
+// NewUnorderedMap constructs a distributed unordered map.
+func NewUnorderedMap[K comparable, V any](rt *Runtime, name string, opts ...Option) (*UnorderedMap[K, V], error) {
+	return core.NewUnorderedMap[K, V](rt, name, opts...)
+}
+
+// NewUnorderedSet constructs a distributed unordered set.
+func NewUnorderedSet[K comparable](rt *Runtime, name string, opts ...Option) (*UnorderedSet[K], error) {
+	return core.NewUnorderedSet[K](rt, name, opts...)
+}
+
+// NewMap constructs a distributed ordered map.
+func NewMap[K comparable, V any](rt *Runtime, name string, less Less[K], opts ...Option) (*Map[K, V], error) {
+	return core.NewMap[K, V](rt, name, less, opts...)
+}
+
+// NewSet constructs a distributed ordered set.
+func NewSet[K comparable](rt *Runtime, name string, less Less[K], opts ...Option) (*Set[K], error) {
+	return core.NewSet[K](rt, name, less, opts...)
+}
+
+// NewQueue constructs a distributed FIFO queue.
+func NewQueue[T any](rt *Runtime, name string, opts ...Option) (*Queue[T], error) {
+	return core.NewQueue[T](rt, name, opts...)
+}
+
+// NewPriorityQueue constructs a distributed priority queue.
+func NewPriorityQueue[T any](rt *Runtime, name string, less func(a, b T) bool, opts ...Option) (*PriorityQueue[T], error) {
+	return core.NewPriorityQueue[T](rt, name, less, opts...)
+}
+
+// NaturalLess returns the natural ordering for Go's ordered types.
+func NaturalLess[K interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64 | ~string
+}]() Less[K] {
+	return func(a, b K) bool { return a < b }
+}
+
+// Container options --------------------------------------------------------
+
+// WithServers places partitions on specific nodes.
+func WithServers(nodes []int) Option { return core.WithServers(nodes) }
+
+// WithCodec selects the DataBox serialization backend.
+func WithCodec(c databox.Codec) Option { return core.WithCodec(c) }
+
+// WithHybrid toggles the hybrid (node-local bypass) access model.
+func WithHybrid(enabled bool) Option { return core.WithHybrid(enabled) }
+
+// WithReplicas enables asynchronous server-side replication.
+func WithReplicas(n int) Option { return core.WithReplicas(n) }
+
+// WithPersistence backs partitions with mmap journals in dir.
+func WithPersistence(dir string, mode memory.SyncMode) Option {
+	return core.WithPersistence(dir, mode)
+}
+
+// WithInitialCapacity overrides the default 128-bucket initial size.
+func WithInitialCapacity(n int) Option { return core.WithInitialCapacity(n) }
+
+// WithOrderedEngine selects skip list (default) or latched red-black tree.
+func WithOrderedEngine(k core.OrderedEngineKind) Option { return core.WithOrderedEngine(k) }
+
+// WithPQEngine selects skip-list PQ (default) or mutex heap.
+func WithPQEngine(k core.PQEngineKind) Option { return core.WithPQEngine(k) }
+
+// Engine kind constants.
+const (
+	EngineSkipList = core.EngineSkipList
+	EngineRBTree   = core.EngineRBTree
+	PQSkipList     = core.PQSkipList
+	PQHeap         = core.PQHeap
+)
+
+// Callback is a user function run server-side after a container operation
+// within the same invocation (chained callbacks, paper Section III-C3).
+type Callback = core.Callback
+
+// Comm is a collective-communication context (broadcast, gather,
+// all-gather, scatter, reduce) built from asynchronous invocations.
+type Comm[T any] = coll.Comm[T]
+
+// NewComm builds a collective context over a runtime's world and engine.
+func NewComm[T any](rt *Runtime, name string) *Comm[T] {
+	return coll.NewComm[T](rt.World(), rt.Engine(), name)
+}
+
+// Persistence sync modes.
+const (
+	SyncNone    = memory.SyncNone
+	SyncRelaxed = memory.SyncRelaxed
+	SyncEager   = memory.SyncEager
+)
+
+// Serialization backends.
+
+// CodecBinc is the native compact binary codec.
+func CodecBinc() databox.Codec { return databox.Binc() }
+
+// CodecGob is the encoding/gob backend.
+func CodecGob() databox.Codec { return databox.Gob() }
+
+// CodecJSON is the encoding/json backend.
+func CodecJSON() databox.Codec { return databox.JSON() }

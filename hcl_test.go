@@ -1,0 +1,218 @@
+package hcl_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hcl"
+)
+
+func newWorld(t testing.TB, nodes, ranksPerNode int) (*hcl.World, *hcl.Runtime) {
+	t.Helper()
+	prov := hcl.NewSimFabric(nodes, hcl.DefaultCostModel())
+	t.Cleanup(func() { prov.Close() })
+	w := hcl.MustWorld(prov, hcl.Block(nodes, nodes*ranksPerNode))
+	return w, hcl.NewRuntime(w)
+}
+
+// TestPublicAPIEndToEnd exercises every container through the façade the
+// way the README quick start does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w, rt := newWorld(t, 4, 4)
+
+	um, err := hcl.NewUnorderedMap[string, int](rt, "um")
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := hcl.NewUnorderedSet[int](rt, "us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := hcl.NewMap[int, string](rt, "om", hcl.NaturalLess[int]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	os_, err := hcl.NewSet[string](rt, "os", hcl.NaturalLess[string]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := hcl.NewQueue[int](rt, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := hcl.NewPriorityQueue[int](rt, "pq", hcl.NaturalLess[int]())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.Run(func(r *hcl.Rank) {
+		id := r.ID()
+		if _, err := um.Insert(r, fmt.Sprintf("k%d", id), id); err != nil {
+			t.Errorf("um: %v", err)
+		}
+		if _, err := us.Insert(r, id); err != nil {
+			t.Errorf("us: %v", err)
+		}
+		if _, err := om.Insert(r, id, fmt.Sprintf("v%d", id)); err != nil {
+			t.Errorf("om: %v", err)
+		}
+		if _, err := os_.Insert(r, fmt.Sprintf("s%03d", id)); err != nil {
+			t.Errorf("os: %v", err)
+		}
+		if err := q.Push(r, id); err != nil {
+			t.Errorf("q: %v", err)
+		}
+		if err := pq.Push(r, -id); err != nil {
+			t.Errorf("pq: %v", err)
+		}
+	})
+
+	r := w.Rank(0)
+	n := w.NumRanks()
+	if got, _ := um.Size(r); got != n {
+		t.Fatalf("um size %d", got)
+	}
+	if got, _ := us.Size(r); got != n {
+		t.Fatalf("us size %d", got)
+	}
+	if got, _ := om.Size(r); got != n {
+		t.Fatalf("om size %d", got)
+	}
+	if got, _ := os_.Size(r); got != n {
+		t.Fatalf("os size %d", got)
+	}
+	if got, _ := q.Size(r); got != n {
+		t.Fatalf("q size %d", got)
+	}
+	if got, _ := pq.Size(r); got != n {
+		t.Fatalf("pq size %d", got)
+	}
+	// Ordered scan is globally sorted.
+	pairs, err := om.Scan(r, false, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if p.Key != i {
+			t.Fatalf("scan[%d] = %d", i, p.Key)
+		}
+	}
+	// Priority queue drains minimum-first (we pushed negatives).
+	if v, ok, err := pq.Pop(r); err != nil || !ok || v != -(n-1) {
+		t.Fatalf("pq min = %d, %v, %v", v, ok, err)
+	}
+	if w.Makespan() <= 0 {
+		t.Fatal("virtual time did not advance")
+	}
+}
+
+func TestPublicPersistenceViaFacade(t *testing.T) {
+	dir := t.TempDir()
+	{
+		prov := hcl.NewSimFabric(2, hcl.DefaultCostModel())
+		w := hcl.MustWorld(prov, hcl.Block(2, 2))
+		rt := hcl.NewRuntime(w)
+		m, err := hcl.NewUnorderedMap[int, string](rt, "p",
+			hcl.WithPersistence(filepath.Join(dir, "j"), hcl.SyncEager))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := w.Rank(0)
+		for i := 0; i < 100; i++ {
+			if _, err := m.Insert(r, i, fmt.Sprint(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.CloseJournals(); err != nil {
+			t.Fatal(err)
+		}
+		prov.Close()
+	}
+	prov := hcl.NewSimFabric(2, hcl.DefaultCostModel())
+	defer prov.Close()
+	w := hcl.MustWorld(prov, hcl.Block(2, 2))
+	rt := hcl.NewRuntime(w)
+	m, err := hcl.NewUnorderedMap[int, string](rt, "p",
+		hcl.WithPersistence(filepath.Join(dir, "j"), hcl.SyncEager))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for i := 0; i < 100; i++ {
+		v, ok, err := m.Find(r, i)
+		if err != nil || !ok || v != fmt.Sprint(i) {
+			t.Fatalf("lost key %d: %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestPublicMergeAndOptions(t *testing.T) {
+	w, rt := newWorld(t, 2, 2)
+	m, err := hcl.NewUnorderedMap[string, int](rt, "cnt",
+		hcl.WithCodec(hcl.CodecGob()),
+		hcl.WithInitialCapacity(64),
+		hcl.WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMerge(func(old, in int) int { return old + in })
+	w.Run(func(r *hcl.Rank) {
+		for i := 0; i < 25; i++ {
+			if _, err := m.Merge(r, "hits", 1); err != nil {
+				t.Errorf("merge: %v", err)
+				return
+			}
+		}
+	})
+	v, ok, err := m.Find(w.Rank(0), "hits")
+	if err != nil || !ok || v != 25*w.NumRanks() {
+		t.Fatalf("hits = %d, %v, %v (want %d)", v, ok, err, 25*w.NumRanks())
+	}
+}
+
+func TestPublicTCPFabric(t *testing.T) {
+	// Two in-process fabrics standing in for two OS processes.
+	f0, err := hcl.NewTCPFabric(hcl.TCPConfig{NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f0.Close()
+	f1, err := hcl.NewTCPFabric(hcl.TCPConfig{NodeID: 1, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	// Patch resolved addresses into both (the demo binaries pass real
+	// addresses up front; tests bootstrap with :0).
+	addrs := []string{f0.Addr(), f1.Addr()}
+	f0.SetAddrs(addrs)
+	f1.SetAddrs(addrs)
+	// Symmetric construction on both "processes".
+	w0 := hcl.MustWorld(f0, hcl.OnNode(0, 2))
+	rt0 := hcl.NewRuntime(w0)
+	m0, err := hcl.NewUnorderedMap[string, string](rt0, "tcp-map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := hcl.MustWorld(f1, hcl.OnNode(1, 2))
+	rt1 := hcl.NewRuntime(w1)
+	m1, err := hcl.NewUnorderedMap[string, string](rt1, "tcp-map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0.Run(func(r *hcl.Rank) {
+		if _, err := m0.Insert(r, fmt.Sprintf("k%d", r.ID()), "zero"); err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	time.Sleep(100 * time.Millisecond)
+	w1.Run(func(r *hcl.Rank) {
+		for i := 0; i < 2; i++ {
+			if _, _, err := m1.Find(r, fmt.Sprintf("k%d", i)); err != nil {
+				t.Errorf("find: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,307 @@
+// Package isx reproduces the ISx integer-sort mini-application (Hanebutte
+// & Hemstad, PGAS'15) used in the paper's Figure 7a. ISx is a bucket sort
+// of uniformly distributed keys in two phases: an all-to-all key exchange
+// (each key is routed to the node owning its bucket) followed by a local
+// sort of each bucket.
+//
+// Two implementations run on the same cluster:
+//
+//   - HCL: each node hosts an HCL::priority_queue; ranks push their keys
+//     (in vector batches, one invocation per batch) and the data arrives
+//     *already sorted* — the local sort disappears behind the network,
+//     which is the optimization the paper credits for HCL's win;
+//   - BCL: each node hosts a BCL circular queue; ranks push keys with the
+//     client-side CAS protocol and the receiving node must still sort its
+//     bucket afterwards.
+package isx
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"hcl/internal/bcl"
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+)
+
+// Config parameterizes one ISx run.
+type Config struct {
+	// KeysPerRank is the weak-scaling constant (paper default 1<<27 per
+	// rank on Ares; scale down for in-process runs).
+	KeysPerRank int
+	// KeyRange bounds generated keys in [0, KeyRange).
+	KeyRange int
+	// Seed makes the generated keys reproducible.
+	Seed int64
+	// BatchSize is the vector-push granularity for the HCL exchange.
+	BatchSize int
+}
+
+func (c *Config) fill() {
+	if c.KeysPerRank <= 0 {
+		c.KeysPerRank = 1 << 10
+	}
+	if c.KeyRange <= 0 {
+		c.KeyRange = 1 << 27
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Makespan is the modelled end-to-end time.
+	Makespan time.Duration
+	// TotalKeys is the number of keys sorted.
+	TotalKeys int
+	// Sorted reports whether every bucket drained in ascending order and
+	// bucket boundaries were respected.
+	Sorted bool
+}
+
+// genKeys returns rank r's deterministic uniform keys.
+func genKeys(cfg Config, rank, _ int) []int64 {
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(rank)))
+	keys := make([]int64, cfg.KeysPerRank)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(cfg.KeyRange))
+	}
+	return keys
+}
+
+// bucketOf routes a key to its owning node: fixed-width buckets over the
+// key range, one bucket per node (the ISx default).
+func bucketOf(key int64, keyRange, nodes int) int {
+	b := int(key) * nodes / keyRange
+	if b >= nodes {
+		b = nodes - 1
+	}
+	return b
+}
+
+// RunHCL executes ISx on HCL priority queues.
+func RunHCL(rt *core.Runtime, w *cluster.World, cfg Config) (Result, error) {
+	cfg.fill()
+	nodes := w.NumNodes()
+	queues := make([]*core.PriorityQueue[int64], nodes)
+	for n := 0; n < nodes; n++ {
+		pq, err := core.NewPriorityQueue[int64](rt, fmt.Sprintf("isx.bucket.%d", n),
+			core.NaturalLess[int64](), core.WithServers([]int{n}))
+		if err != nil {
+			return Result{}, err
+		}
+		queues[n] = pq
+	}
+	w.ResetClocks()
+
+	// Phase 1: all-to-all key exchange. Keys land pre-sorted in the
+	// destination priority queue, so there is no phase-2 sort.
+	errs := make([]error, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		keys := genKeys(cfg, r.ID(), nodes)
+		batches := make([][]int64, nodes)
+		for _, k := range keys {
+			b := bucketOf(k, cfg.KeyRange, nodes)
+			batches[b] = append(batches[b], k)
+			if len(batches[b]) >= cfg.BatchSize {
+				if err := queues[b].PushMulti(r, batches[b]); err != nil {
+					errs[r.ID()] = err
+					return
+				}
+				batches[b] = batches[b][:0]
+			}
+		}
+		for b, rest := range batches {
+			if len(rest) > 0 {
+				if err := queues[b].PushMulti(r, rest); err != nil {
+					errs[r.ID()] = err
+					return
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	w.Barrier()
+
+	// Phase 2: each node drains its bucket — already in order. One rank
+	// per node does the drain, as in ISx.
+	total := 0
+	sortedFlags := make([]bool, nodes)
+	totals := make([]int, nodes)
+	w.Run(func(r *cluster.Rank) {
+		locals := w.RanksOnNode(r.Node())
+		if len(locals) == 0 || locals[0].ID() != r.ID() {
+			return // only the first rank on each node drains
+		}
+		pq := queues[r.Node()]
+		prev := int64(-1)
+		count := 0
+		ok := true
+		for {
+			vals, err := pq.PopMulti(r, 1024)
+			if err != nil {
+				errs[r.ID()] = err
+				return
+			}
+			if len(vals) == 0 {
+				break
+			}
+			for _, v := range vals {
+				if v < prev {
+					ok = false
+				}
+				prev = v
+				count++
+			}
+		}
+		sortedFlags[r.Node()] = ok
+		totals[r.Node()] = count
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	sorted := true
+	for n := 0; n < nodes; n++ {
+		if !sortedFlags[n] {
+			sorted = false
+		}
+		total += totals[n]
+	}
+	return Result{
+		Makespan:  time.Duration(w.Makespan()),
+		TotalKeys: total,
+		Sorted:    sorted,
+	}, nil
+}
+
+// RunBCL executes ISx on BCL circular queues plus a local sort.
+func RunBCL(w *cluster.World, cfg Config) (Result, error) {
+	cfg.fill()
+	nodes := w.NumNodes()
+	ranksPerNode := w.NumRanks() / nodes
+	if ranksPerNode == 0 {
+		ranksPerNode = 1
+	}
+	queues := make([]*bcl.Queue, nodes)
+	for n := 0; n < nodes; n++ {
+		capacity := cfg.KeysPerRank * w.NumRanks() * 2 / nodes
+		if capacity < 1024 {
+			capacity = 1024
+		}
+		q, err := bcl.NewQueue(w, bcl.QueueConfig{Host: n, Capacity: capacity, SlotSize: 16})
+		if err != nil {
+			return Result{}, err
+		}
+		queues[n] = q
+	}
+	w.ResetClocks()
+
+	errs := make([]error, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		keys := genKeys(cfg, r.ID(), nodes)
+		buf := make([]byte, 8)
+		for _, k := range keys {
+			b := bucketOf(k, cfg.KeyRange, nodes)
+			putInt64(buf, k)
+			if err := queues[b].Push(r, buf); err != nil {
+				errs[r.ID()] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	w.Barrier()
+
+	total := 0
+	sorted := true
+	totals := make([]int, nodes)
+	sortedFlags := make([]bool, nodes)
+	w.Run(func(r *cluster.Rank) {
+		locals := w.RanksOnNode(r.Node())
+		if len(locals) == 0 || locals[0].ID() != r.ID() {
+			return
+		}
+		q := queues[r.Node()]
+		var bucket []int64
+		for {
+			v, ok, err := q.Pop(r)
+			if err != nil {
+				errs[r.ID()] = err
+				return
+			}
+			if !ok {
+				break
+			}
+			bucket = append(bucket, getInt64(v))
+		}
+		// Phase 2 for BCL: the explicit local sort HCL avoids. The
+		// modelled cost is n log n local operations.
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		chargeLocalSort(r, len(bucket))
+		ok := true
+		for i := 1; i < len(bucket); i++ {
+			if bucket[i-1] > bucket[i] {
+				ok = false
+			}
+		}
+		sortedFlags[r.Node()] = ok
+		totals[r.Node()] = len(bucket)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		total += totals[n]
+		if !sortedFlags[n] {
+			sorted = false
+		}
+	}
+	return Result{
+		Makespan:  time.Duration(w.Makespan()),
+		TotalKeys: total,
+		Sorted:    sorted,
+	}, nil
+}
+
+func putInt64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getInt64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// chargeLocalSort advances the draining rank's clock by a modelled
+// n*log2(n) comparison-sort cost.
+func chargeLocalSort(r *cluster.Rank, n int) {
+	if n <= 1 {
+		return
+	}
+	steps := 0
+	for m := n; m > 1; m >>= 1 {
+		steps++
+	}
+	const nsPerCompare = 12 // calibrated to commodity CPU sort throughput
+	r.Clock().Advance(int64(n) * int64(steps) * nsPerCompare)
+}

@@ -1,0 +1,127 @@
+package isx
+
+import (
+	"testing"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+func newWorld(t testing.TB, nodes, ranksPerNode int) (*cluster.World, *core.Runtime) {
+	t.Helper()
+	prov := simfab.New(nodes, fabric.DefaultCostModel())
+	t.Cleanup(func() { prov.Close() })
+	w := cluster.MustWorld(prov, cluster.Block(nodes, nodes*ranksPerNode))
+	return w, core.NewRuntime(w)
+}
+
+func TestBucketOfCoversAllNodes(t *testing.T) {
+	const nodes, keyRange = 8, 1 << 16
+	seen := make([]bool, nodes)
+	for k := 0; k < keyRange; k += 97 {
+		b := bucketOf(int64(k), keyRange, nodes)
+		if b < 0 || b >= nodes {
+			t.Fatalf("bucket %d out of range for key %d", b, k)
+		}
+		seen[b] = true
+	}
+	for n, s := range seen {
+		if !s {
+			t.Fatalf("bucket %d never chosen", n)
+		}
+	}
+	if bucketOf(int64(keyRange-1), keyRange, nodes) != nodes-1 {
+		t.Fatal("max key must land in last bucket")
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	cfg := Config{KeysPerRank: 64, KeyRange: 1000, Seed: 42}
+	cfg.fill()
+	a := genKeys(cfg, 3, 4)
+	b := genKeys(cfg, 3, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("key generation not deterministic")
+		}
+	}
+	c := genKeys(cfg, 4, 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different ranks generated identical keys")
+	}
+}
+
+func TestRunHCLSortsEverything(t *testing.T) {
+	w, rt := newWorld(t, 4, 2)
+	cfg := Config{KeysPerRank: 200, KeyRange: 1 << 20, Seed: 7}
+	res, err := RunHCL(rt, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sorted {
+		t.Fatal("HCL output not sorted")
+	}
+	if want := 200 * w.NumRanks(); res.TotalKeys != want {
+		t.Fatalf("TotalKeys = %d, want %d", res.TotalKeys, want)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("makespan must be positive")
+	}
+}
+
+func TestRunBCLSortsEverything(t *testing.T) {
+	w, _ := newWorld(t, 4, 2)
+	cfg := Config{KeysPerRank: 200, KeyRange: 1 << 20, Seed: 7}
+	res, err := RunBCL(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sorted {
+		t.Fatal("BCL output not sorted")
+	}
+	if want := 200 * w.NumRanks(); res.TotalKeys != want {
+		t.Fatalf("TotalKeys = %d, want %d", res.TotalKeys, want)
+	}
+}
+
+func TestHCLBeatsBCL(t *testing.T) {
+	// The paper's Figure 7a headline: HCL finishes ISx well ahead of BCL
+	// at every scale. Run both on identical fresh worlds and compare
+	// modelled makespans.
+	cfg := Config{KeysPerRank: 300, KeyRange: 1 << 20, Seed: 11}
+
+	wH, rtH := newWorld(t, 4, 2)
+	hcl, err := RunHCL(rtH, wH, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB, _ := newWorld(t, 4, 2)
+	bcl, err := RunBCL(wB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcl.Makespan >= bcl.Makespan {
+		t.Fatalf("HCL (%v) should beat BCL (%v)", hcl.Makespan, bcl.Makespan)
+	}
+	t.Logf("ISx: HCL %v vs BCL %v (%.1fx)", hcl.Makespan, bcl.Makespan,
+		float64(bcl.Makespan)/float64(hcl.Makespan))
+}
+
+func TestInt64Codec(t *testing.T) {
+	buf := make([]byte, 8)
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40), 123456789} {
+		putInt64(buf, v)
+		if got := getInt64(buf); got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}

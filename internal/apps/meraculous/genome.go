@@ -1,0 +1,138 @@
+// Package meraculous reproduces the two Meraculous genome-assembly
+// kernels of the paper's Figures 7b and 7c: k-mer counting (a distributed
+// histogram over an unordered map) and contig generation (a de Bruijn
+// graph traversal whose node set lives in an unordered map). The paper's
+// input is real sequencing data; this package substitutes a seeded
+// synthetic genome plus a read simulator with configurable coverage and
+// error rate, which exercises the hashmap identically (see DESIGN.md).
+package meraculous
+
+import "math/rand"
+
+// Bases in encoding order.
+const bases = "ACGT"
+
+// Genome is a synthetic reference sequence plus sampled reads.
+type Genome struct {
+	// Reference is the underlying sequence.
+	Reference []byte
+	// Reads are the sampled (possibly erroneous) fragments.
+	Reads [][]byte
+}
+
+// GenomeConfig parameterizes the simulator.
+type GenomeConfig struct {
+	// Length of the reference sequence (default 10_000).
+	Length int
+	// ReadLen is the fragment length (default 100).
+	ReadLen int
+	// Coverage is the average sampling depth (default 8).
+	Coverage int
+	// ErrorRate is the per-base substitution probability (default 0).
+	ErrorRate float64
+	// Seed makes the genome reproducible.
+	Seed int64
+}
+
+func (c *GenomeConfig) fill() {
+	if c.Length <= 0 {
+		c.Length = 10_000
+	}
+	if c.ReadLen <= 0 {
+		c.ReadLen = 100
+	}
+	if c.ReadLen > c.Length {
+		c.ReadLen = c.Length
+	}
+	if c.Coverage <= 0 {
+		c.Coverage = 8
+	}
+}
+
+// Generate builds a reference and samples reads from it.
+func Generate(cfg GenomeConfig) *Genome {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed*31337 + 17))
+	ref := make([]byte, cfg.Length)
+	for i := range ref {
+		ref[i] = bases[rng.Intn(4)]
+	}
+	nReads := cfg.Length * cfg.Coverage / cfg.ReadLen
+	if nReads < 1 {
+		nReads = 1
+	}
+	reads := make([][]byte, nReads)
+	for i := range reads {
+		start := rng.Intn(cfg.Length - cfg.ReadLen + 1)
+		read := make([]byte, cfg.ReadLen)
+		copy(read, ref[start:start+cfg.ReadLen])
+		if cfg.ErrorRate > 0 {
+			for j := range read {
+				if rng.Float64() < cfg.ErrorRate {
+					read[j] = bases[rng.Intn(4)]
+				}
+			}
+		}
+		reads[i] = read
+	}
+	return &Genome{Reference: ref, Reads: reads}
+}
+
+// KmerCode packs a k-mer (k <= 31) into a uint64, 2 bits per base. A
+// leading sentinel 1-bit distinguishes lengths (so "A" and "AA" differ).
+func KmerCode(seq []byte, k int) (uint64, bool) {
+	if k > 31 || len(seq) < k {
+		return 0, false
+	}
+	code := uint64(1)
+	for i := 0; i < k; i++ {
+		var b uint64
+		switch seq[i] {
+		case 'A':
+			b = 0
+		case 'C':
+			b = 1
+		case 'G':
+			b = 2
+		case 'T':
+			b = 3
+		default:
+			return 0, false
+		}
+		code = code<<2 | b
+	}
+	return code, true
+}
+
+// KmerDecode unpacks a k-mer code produced by KmerCode.
+func KmerDecode(code uint64, k int) []byte {
+	seq := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		seq[i] = bases[code&3]
+		code >>= 2
+	}
+	return seq
+}
+
+// ForEachKmer invokes fn for every k-mer of every read in [lo, hi).
+func (g *Genome) ForEachKmer(k, lo, hi int, fn func(code uint64)) {
+	if hi > len(g.Reads) {
+		hi = len(g.Reads)
+	}
+	for i := lo; i < hi; i++ {
+		read := g.Reads[i]
+		for j := 0; j+k <= len(read); j++ {
+			if code, ok := KmerCode(read[j:j+k], k); ok {
+				fn(code)
+			}
+		}
+	}
+}
+
+// ReadShard splits the read set evenly across ranks.
+func (g *Genome) ReadShard(rank, ranks int) (lo, hi int) {
+	n := len(g.Reads)
+	lo = rank * n / ranks
+	hi = (rank + 1) * n / ranks
+	return lo, hi
+}

@@ -1,0 +1,457 @@
+package meraculous
+
+import (
+	"time"
+
+	"hcl/internal/bcl"
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/databox"
+)
+
+// Result summarizes one kernel run.
+type Result struct {
+	// Makespan is the modelled end-to-end time.
+	Makespan time.Duration
+	// DistinctKmers is the number of distinct k-mers observed (counting
+	// kernel) or graph nodes (contig kernel).
+	DistinctKmers int
+	// TotalKmers is the number of k-mer occurrences processed.
+	TotalKmers int
+	// Contigs and ContigBases summarize the assembly (contig kernel).
+	Contigs     int
+	ContigBases int
+}
+
+// K is the k-mer length used by both kernels (Meraculous uses large odd
+// k; 21 keeps codes in uint64 comfortably).
+const K = 21
+
+// CountKmersHCL runs the k-mer counting kernel on an HCL unordered map:
+// every occurrence is one Merge invocation — a server-side atomic
+// increment in a single round trip.
+func CountKmersHCL(rt *core.Runtime, w *cluster.World, g *Genome) (Result, error) {
+	m, err := core.NewUnorderedMap[uint64, uint32](rt, "meraculous.kmers")
+	if err != nil {
+		return Result{}, err
+	}
+	m.SetMerge(func(old, incoming uint32) uint32 { return old + incoming })
+	w.ResetClocks()
+
+	errs := make([]error, w.NumRanks())
+	totals := make([]int, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		lo, hi := g.ReadShard(r.ID(), w.NumRanks())
+		count := 0
+		g.ForEachKmer(K, lo, hi, func(code uint64) {
+			if errs[r.ID()] != nil {
+				return
+			}
+			if _, err := m.Merge(r, code, 1); err != nil {
+				errs[r.ID()] = err
+				return
+			}
+			count++
+		})
+		totals[r.ID()] = count
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	total := 0
+	for _, c := range totals {
+		total += c
+	}
+	distinct, err := m.Size(w.Rank(0))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Makespan:      time.Duration(w.Makespan()),
+		DistinctKmers: distinct,
+		TotalKmers:    total,
+	}, nil
+}
+
+// CountKmersBCL runs the counting kernel on the BCL hashmap. The
+// client-side model has no server-side combine: each occurrence is a
+// remote Find (reads) followed by the three-verb Insert, and concurrent
+// increments of one k-mer can lose updates — both costs the paper
+// attributes to the imperative approach. To keep the histogram exact for
+// verification, ranks pre-aggregate their local shard (as real BCL codes
+// do) and only the per-shard totals flow through the map.
+func CountKmersBCL(w *cluster.World, g *Genome) (Result, error) {
+	m, err := bcl.NewHashMap(w, bcl.HashMapConfig{
+		BucketsPerPartition: 1 << 16,
+		SlotSize:            16,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	w.ResetClocks()
+
+	errs := make([]error, w.NumRanks())
+	totals := make([]int, w.NumRanks())
+	kbox := databox.New[uint64]()
+	w.Run(func(r *cluster.Rank) {
+		lo, hi := g.ReadShard(r.ID(), w.NumRanks())
+		// Local pre-aggregation of the shard.
+		local := make(map[uint64]uint32)
+		count := 0
+		g.ForEachKmer(K, lo, hi, func(code uint64) {
+			local[code]++
+			count++
+		})
+		totals[r.ID()] = count
+		// Remote accumulate: read-modify-write per distinct k-mer.
+		for code, c := range local {
+			kb, err := kbox.Encode(code)
+			if err != nil {
+				errs[r.ID()] = err
+				return
+			}
+			cur, _, err := m.Find(r, kb)
+			if err != nil {
+				errs[r.ID()] = err
+				return
+			}
+			var prev uint32
+			if len(cur) >= 4 {
+				prev = uint32(cur[0]) | uint32(cur[1])<<8 | uint32(cur[2])<<16 | uint32(cur[3])<<24
+			}
+			next := prev + c
+			val := []byte{byte(next), byte(next >> 8), byte(next >> 16), byte(next >> 24)}
+			if err := m.Insert(r, kb, val); err != nil {
+				errs[r.ID()] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	total := 0
+	for _, c := range totals {
+		total += c
+	}
+	return Result{
+		Makespan:   time.Duration(w.Makespan()),
+		TotalKmers: total,
+	}, nil
+}
+
+// Extension records, per graph k-mer, how often each base follows it —
+// the de Bruijn adjacency the contig kernel traverses.
+type Extension struct {
+	Next [4]uint32
+}
+
+// CountsFromReads builds the extension map locally (used by tests to
+// cross-check the distributed build).
+func CountsFromReads(g *Genome) map[uint64]*Extension {
+	out := make(map[uint64]*Extension)
+	for _, read := range g.Reads {
+		for j := 0; j+K < len(read); j++ {
+			code, ok := KmerCode(read[j:j+K], K)
+			if !ok {
+				continue
+			}
+			b := baseIndex(read[j+K])
+			if b < 0 {
+				continue
+			}
+			e := out[code]
+			if e == nil {
+				e = &Extension{}
+				out[code] = e
+			}
+			e.Next[b]++
+		}
+	}
+	return out
+}
+
+func baseIndex(b byte) int {
+	switch b {
+	case 'A':
+		return 0
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	case 'T':
+		return 3
+	}
+	return -1
+}
+
+// ContigGenHCL runs the contig-generation kernel on an HCL unordered map:
+// build the de Bruijn extension map with Merge invocations, then walk
+// unique-extension chains with Find invocations.
+func ContigGenHCL(rt *core.Runtime, w *cluster.World, g *Genome) (Result, error) {
+	m, err := core.NewUnorderedMap[uint64, Extension](rt, "meraculous.graph")
+	if err != nil {
+		return Result{}, err
+	}
+	m.SetMerge(func(old, in Extension) Extension {
+		for i := range old.Next {
+			old.Next[i] += in.Next[i]
+		}
+		return old
+	})
+	w.ResetClocks()
+
+	// Phase 1: distributed graph construction.
+	errs := make([]error, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		lo, hi := g.ReadShard(r.ID(), w.NumRanks())
+		for i := lo; i < hi; i++ {
+			read := g.Reads[i]
+			for j := 0; j+K < len(read); j++ {
+				code, ok := KmerCode(read[j:j+K], K)
+				if !ok {
+					continue
+				}
+				b := baseIndex(read[j+K])
+				if b < 0 {
+					continue
+				}
+				var ext Extension
+				ext.Next[b] = 1
+				if _, err := m.Merge(r, code, ext); err != nil {
+					errs[r.ID()] = err
+					return
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	w.Barrier()
+
+	// Phase 2: traversal. Each rank walks chains from seed k-mers in its
+	// shard: while a k-mer has a unique extension, extend the contig.
+	contigs := make([]int, w.NumRanks())
+	bases := make([]int, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		lo, hi := g.ReadShard(r.ID(), w.NumRanks())
+		seen := make(map[uint64]bool)
+		for i := lo; i < hi; i++ {
+			read := g.Reads[i]
+			code, ok := KmerCode(read[:K], K)
+			if !ok || seen[code] {
+				continue
+			}
+			seen[code] = true
+			length := K
+			cur := code
+			for steps := 0; steps < 10_000; steps++ {
+				ext, found, err := m.Find(r, cur)
+				if err != nil {
+					errs[r.ID()] = err
+					return
+				}
+				if !found {
+					break
+				}
+				b := uniqueNext(ext)
+				if b < 0 {
+					break
+				}
+				cur = shiftKmer(cur, b)
+				if seen[cur] {
+					break
+				}
+				seen[cur] = true
+				length++
+			}
+			contigs[r.ID()]++
+			bases[r.ID()] += length
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Makespan: time.Duration(w.Makespan())}
+	for i := range contigs {
+		res.Contigs += contigs[i]
+		res.ContigBases += bases[i]
+	}
+	res.DistinctKmers, err = m.Size(w.Rank(0))
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// uniqueNext returns the single dominant extension base, or -1 when the
+// k-mer is a branch or a dead end (Meraculous' UU-contig rule).
+func uniqueNext(e Extension) int {
+	best, count := -1, 0
+	for i, c := range e.Next {
+		if c > 0 {
+			count++
+			best = i
+		}
+	}
+	if count == 1 {
+		return best
+	}
+	return -1
+}
+
+// shiftKmer appends base b to a k-mer code, dropping the oldest base but
+// keeping the length sentinel.
+func shiftKmer(code uint64, b int) uint64 {
+	body := code &^ (1 << (2 * K)) // strip sentinel
+	body = (body<<2 | uint64(b)) & (1<<(2*K) - 1)
+	return body | 1<<(2*K)
+}
+
+// ContigGenBCL runs the contig kernel on the BCL hashmap. Graph
+// construction uses rank-private pre-aggregation plus read-modify-write
+// (as in CountKmersBCL); traversal is one remote Find per step.
+func ContigGenBCL(w *cluster.World, g *Genome) (Result, error) {
+	m, err := bcl.NewHashMap(w, bcl.HashMapConfig{
+		BucketsPerPartition: 1 << 16,
+		SlotSize:            32,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	kbox := databox.New[uint64]()
+	w.ResetClocks()
+
+	errs := make([]error, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		lo, hi := g.ReadShard(r.ID(), w.NumRanks())
+		local := make(map[uint64]*Extension)
+		for i := lo; i < hi; i++ {
+			read := g.Reads[i]
+			for j := 0; j+K < len(read); j++ {
+				code, ok := KmerCode(read[j:j+K], K)
+				if !ok {
+					continue
+				}
+				b := baseIndex(read[j+K])
+				if b < 0 {
+					continue
+				}
+				e := local[code]
+				if e == nil {
+					e = &Extension{}
+					local[code] = e
+				}
+				e.Next[b]++
+			}
+		}
+		for code, e := range local {
+			kb, err := kbox.Encode(code)
+			if err != nil {
+				errs[r.ID()] = err
+				return
+			}
+			cur, _, err := m.Find(r, kb)
+			if err != nil {
+				errs[r.ID()] = err
+				return
+			}
+			merged := *e
+			if len(cur) >= 16 {
+				for i := 0; i < 4; i++ {
+					merged.Next[i] += decodeU32(cur[4*i:])
+				}
+			}
+			out := make([]byte, 16)
+			for i := 0; i < 4; i++ {
+				encodeU32(out[4*i:], merged.Next[i])
+			}
+			if err := m.Insert(r, kb, out); err != nil {
+				errs[r.ID()] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	w.Barrier()
+
+	contigs := make([]int, w.NumRanks())
+	bases := make([]int, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		lo, hi := g.ReadShard(r.ID(), w.NumRanks())
+		seen := make(map[uint64]bool)
+		for i := lo; i < hi; i++ {
+			read := g.Reads[i]
+			code, ok := KmerCode(read[:K], K)
+			if !ok || seen[code] {
+				continue
+			}
+			seen[code] = true
+			length := K
+			cur := code
+			for steps := 0; steps < 10_000; steps++ {
+				kb, err := kbox.Encode(cur)
+				if err != nil {
+					errs[r.ID()] = err
+					return
+				}
+				raw, found, err := m.Find(r, kb)
+				if err != nil {
+					errs[r.ID()] = err
+					return
+				}
+				if !found || len(raw) < 16 {
+					break
+				}
+				var ext Extension
+				for i := 0; i < 4; i++ {
+					ext.Next[i] = decodeU32(raw[4*i:])
+				}
+				b := uniqueNext(ext)
+				if b < 0 {
+					break
+				}
+				cur = shiftKmer(cur, b)
+				if seen[cur] {
+					break
+				}
+				seen[cur] = true
+				length++
+			}
+			contigs[r.ID()]++
+			bases[r.ID()] += length
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Makespan: time.Duration(w.Makespan())}
+	for i := range contigs {
+		res.Contigs += contigs[i]
+		res.ContigBases += bases[i]
+	}
+	return res, nil
+}
+
+func decodeU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func encodeU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}

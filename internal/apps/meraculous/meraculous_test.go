@@ -1,0 +1,264 @@
+package meraculous
+
+import (
+	"bytes"
+	"testing"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+func newWorld(t testing.TB, nodes, ranksPerNode int) (*cluster.World, *core.Runtime) {
+	t.Helper()
+	prov := simfab.New(nodes, fabric.DefaultCostModel())
+	t.Cleanup(func() { prov.Close() })
+	w := cluster.MustWorld(prov, cluster.Block(nodes, nodes*ranksPerNode))
+	return w, core.NewRuntime(w)
+}
+
+func smallGenome() *Genome {
+	return Generate(GenomeConfig{Length: 2000, ReadLen: 80, Coverage: 6, Seed: 3})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenomeConfig{Length: 500, ReadLen: 50, Coverage: 4, Seed: 9})
+	b := Generate(GenomeConfig{Length: 500, ReadLen: 50, Coverage: 4, Seed: 9})
+	if !bytes.Equal(a.Reference, b.Reference) {
+		t.Fatal("reference not deterministic")
+	}
+	if len(a.Reads) != len(b.Reads) {
+		t.Fatal("read count differs")
+	}
+	for i := range a.Reads {
+		if !bytes.Equal(a.Reads[i], b.Reads[i]) {
+			t.Fatalf("read %d differs", i)
+		}
+	}
+	c := Generate(GenomeConfig{Length: 500, ReadLen: 50, Coverage: 4, Seed: 10})
+	if bytes.Equal(a.Reference, c.Reference) {
+		t.Fatal("different seeds produced identical genomes")
+	}
+}
+
+func TestGenerateErrorRate(t *testing.T) {
+	clean := Generate(GenomeConfig{Length: 1000, ReadLen: 100, Coverage: 4, Seed: 1})
+	noisy := Generate(GenomeConfig{Length: 1000, ReadLen: 100, Coverage: 4, Seed: 1, ErrorRate: 0.1})
+	diff := 0
+	for i := range clean.Reads {
+		for j := range clean.Reads[i] {
+			if clean.Reads[i][j] != noisy.Reads[i][j] {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("error rate produced no substitutions")
+	}
+}
+
+func TestKmerCodeRoundTrip(t *testing.T) {
+	seqs := []string{"ACGTACGTACGTACGTACGTA", "AAAAAAAAAAAAAAAAAAAAA", "TTTTTTTTTTTTTTTTTTTTT"}
+	for _, s := range seqs {
+		code, ok := KmerCode([]byte(s), K)
+		if !ok {
+			t.Fatalf("KmerCode(%s) failed", s)
+		}
+		if got := string(KmerDecode(code&(1<<(2*K)-1), K)); got != s {
+			t.Fatalf("decode = %s, want %s", got, s)
+		}
+	}
+	// Invalid base rejected.
+	if _, ok := KmerCode([]byte("ACGTNACGTACGTACGTACGT"), K); ok {
+		t.Fatal("N must be rejected")
+	}
+	// Too-short sequence rejected.
+	if _, ok := KmerCode([]byte("ACGT"), K); ok {
+		t.Fatal("short sequence must be rejected")
+	}
+	// Distinct sequences yield distinct codes.
+	c1, _ := KmerCode([]byte("ACGTACGTACGTACGTACGTA"), K)
+	c2, _ := KmerCode([]byte("ACGTACGTACGTACGTACGTC"), K)
+	if c1 == c2 {
+		t.Fatal("distinct kmers collided")
+	}
+}
+
+func TestShiftKmer(t *testing.T) {
+	code, _ := KmerCode([]byte("ACGTACGTACGTACGTACGTA"), K)
+	shifted := shiftKmer(code, 1) // append C
+	want, _ := KmerCode([]byte("CGTACGTACGTACGTACGTAC"), K)
+	if shifted != want {
+		t.Fatalf("shiftKmer = %#x, want %#x", shifted, want)
+	}
+}
+
+func TestReadShardPartition(t *testing.T) {
+	g := smallGenome()
+	covered := 0
+	prevHi := 0
+	for r := 0; r < 7; r++ {
+		lo, hi := g.ReadShard(r, 7)
+		if lo != prevHi {
+			t.Fatalf("shard %d starts at %d, want %d", r, lo, prevHi)
+		}
+		covered += hi - lo
+		prevHi = hi
+	}
+	if covered != len(g.Reads) {
+		t.Fatalf("shards cover %d of %d reads", covered, len(g.Reads))
+	}
+}
+
+func TestCountKmersHCLMatchesLocalHistogram(t *testing.T) {
+	g := smallGenome()
+	w, rt := newWorld(t, 4, 2)
+	res, err := CountKmersHCL(rt, w, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth computed locally.
+	truth := make(map[uint64]uint32)
+	total := 0
+	g.ForEachKmer(K, 0, len(g.Reads), func(code uint64) {
+		truth[code]++
+		total++
+	})
+	if res.TotalKmers != total {
+		t.Fatalf("TotalKmers = %d, want %d", res.TotalKmers, total)
+	}
+	if res.DistinctKmers != len(truth) {
+		t.Fatalf("DistinctKmers = %d, want %d", res.DistinctKmers, len(truth))
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("makespan must be positive")
+	}
+}
+
+func TestCountKmersBCLProcessesAll(t *testing.T) {
+	g := smallGenome()
+	w, _ := newWorld(t, 2, 2)
+	res, err := CountKmersBCL(w, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	g.ForEachKmer(K, 0, len(g.Reads), func(uint64) { total++ })
+	if res.TotalKmers != total {
+		t.Fatalf("TotalKmers = %d, want %d", res.TotalKmers, total)
+	}
+}
+
+func TestKmerCountingHCLBeatsBCL(t *testing.T) {
+	g := smallGenome()
+	wH, rtH := newWorld(t, 4, 2)
+	hclRes, err := CountKmersHCL(rtH, wH, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB, _ := newWorld(t, 4, 2)
+	bclRes, err := CountKmersBCL(wB, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hclRes.Makespan >= bclRes.Makespan {
+		t.Fatalf("HCL (%v) should beat BCL (%v)", hclRes.Makespan, bclRes.Makespan)
+	}
+	t.Logf("kmer-count: HCL %v vs BCL %v (%.1fx)", hclRes.Makespan, bclRes.Makespan,
+		float64(bclRes.Makespan)/float64(hclRes.Makespan))
+}
+
+func TestContigGenHCLAssembles(t *testing.T) {
+	// A clean (error-free) genome with good coverage should assemble
+	// into contigs whose total bases are in the rough vicinity of the
+	// reference length.
+	g := Generate(GenomeConfig{Length: 3000, ReadLen: 120, Coverage: 10, Seed: 5})
+	w, rt := newWorld(t, 4, 2)
+	res, err := ContigGenHCL(rt, w, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contigs == 0 || res.ContigBases < K {
+		t.Fatalf("no assembly: %+v", res)
+	}
+	if res.DistinctKmers == 0 {
+		t.Fatal("graph is empty")
+	}
+	t.Logf("contigs=%d bases=%d distinct=%d", res.Contigs, res.ContigBases, res.DistinctKmers)
+}
+
+func TestContigGenBCLAssembles(t *testing.T) {
+	g := Generate(GenomeConfig{Length: 3000, ReadLen: 120, Coverage: 10, Seed: 5})
+	w, _ := newWorld(t, 2, 2)
+	res, err := ContigGenBCL(w, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contigs == 0 || res.ContigBases < K {
+		t.Fatalf("no assembly: %+v", res)
+	}
+}
+
+func TestContigGenHCLBeatsBCL(t *testing.T) {
+	g := Generate(GenomeConfig{Length: 2000, ReadLen: 100, Coverage: 8, Seed: 13})
+	wH, rtH := newWorld(t, 4, 2)
+	hclRes, err := ContigGenHCL(rtH, wH, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB, _ := newWorld(t, 4, 2)
+	bclRes, err := ContigGenBCL(wB, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hclRes.Makespan >= bclRes.Makespan {
+		t.Fatalf("HCL (%v) should beat BCL (%v)", hclRes.Makespan, bclRes.Makespan)
+	}
+	t.Logf("contig-gen: HCL %v vs BCL %v (%.1fx)", hclRes.Makespan, bclRes.Makespan,
+		float64(bclRes.Makespan)/float64(hclRes.Makespan))
+}
+
+func TestCountsFromReadsConsistentWithDistributedGraph(t *testing.T) {
+	g := smallGenome()
+	truth := CountsFromReads(g)
+	w, rt := newWorld(t, 2, 1)
+	m, err := core.NewUnorderedMap[uint64, Extension](rt, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMerge(func(old, in Extension) Extension {
+		for i := range old.Next {
+			old.Next[i] += in.Next[i]
+		}
+		return old
+	})
+	r := w.Rank(0)
+	for i := range g.Reads {
+		read := g.Reads[i]
+		for j := 0; j+K < len(read); j++ {
+			code, ok := KmerCode(read[j:j+K], K)
+			if !ok {
+				continue
+			}
+			b := baseIndex(read[j+K])
+			if b < 0 {
+				continue
+			}
+			var ext Extension
+			ext.Next[b] = 1
+			if _, err := m.Merge(r, code, ext); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for code, e := range truth {
+		got, ok, err := m.Find(r, code)
+		if err != nil || !ok {
+			t.Fatalf("missing graph node %#x: %v", code, err)
+		}
+		if got.Next != e.Next {
+			t.Fatalf("node %#x: %v vs %v", code, got.Next, e.Next)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package bcl implements the comparison baseline: a Berkeley Container
+// Library-style distributed data structure library driven entirely by
+// client-side one-sided operations (paper Section II-B). Every container
+// operation is a sequence of remote verbs issued by the caller — CAS to
+// reserve a bucket, RDMA_WRITE to place the data, CAS to publish — with no
+// server-side execution at all. This is precisely the architecture whose
+// costs the paper measures against HCL:
+//
+//   - multiple network round trips per operation;
+//   - remote CAS serialization on the target memory region;
+//   - static pre-allocated partitions sized up front (no dynamic growth),
+//     fixed entry slots, and exclusive per-client pinned staging buffers —
+//     the cause of the out-of-memory behaviour above 1 MB transfers that
+//     Section IV-B2 reports (BCL may not exceed ~60% of node memory).
+//
+// The implementation runs over the same fabric verbs as HCL, so the two
+// libraries are compared on an identical substrate.
+package bcl
+
+import (
+	"errors"
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+)
+
+// Bucket/slot states used by all BCL containers.
+const (
+	stateEmpty    uint64 = 0
+	stateReserved uint64 = 1
+	stateReady    uint64 = 2
+)
+
+// Errors returned by BCL containers.
+var (
+	ErrFull        = errors.New("bcl: container full (static allocation exhausted)")
+	ErrValueTooBig = errors.New("bcl: value exceeds fixed slot size")
+	ErrOutOfMemory = errors.New("bcl: allocation exceeds 60% of node memory")
+)
+
+// memoryBudget enforces the paper's observation that BCL allocations must
+// stay under ~60% of node memory to complete successfully.
+func chargeAllocation(acct fabric.Accountant, node int, bytes int64, now int64) error {
+	limit := acct.NodeMemory() * 6 / 10
+	if acct.Allocated(node)+bytes > limit {
+		return fmt.Errorf("%w: node %d needs %d more bytes over %d limit",
+			ErrOutOfMemory, node, bytes, limit)
+	}
+	return acct.Alloc(node, bytes, now)
+}
+
+// stagingDepth is the number of exclusive pinned RDMA buffers each client
+// keeps in flight; client-side operation buffers cannot be shared without
+// risking corruption (paper Section IV-B2).
+const stagingDepth = 1024
+
+// registerClientBuffers charges every client rank's node for its pinned
+// staging buffers of opSize bytes each.
+func registerClientBuffers(w *cluster.World, acct fabric.Accountant, opSize int) error {
+	for i := 0; i < w.NumRanks(); i++ {
+		r := w.Rank(i)
+		if err := chargeAllocation(acct, r.Node(), int64(opSize)*stagingDepth, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package bcl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+)
+
+func newWorld(t testing.TB, nodes, ranksPerNode int) (*cluster.World, *metrics.Collector) {
+	t.Helper()
+	col := metrics.New(1e9)
+	prov := simfab.New(nodes, fabric.DefaultCostModel(), simfab.WithCollector(col))
+	t.Cleanup(func() { prov.Close() })
+	return cluster.MustWorld(prov, cluster.Block(nodes, nodes*ranksPerNode)), col
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestHashMapInsertFind(t *testing.T) {
+	w, _ := newWorld(t, 2, 1)
+	m, err := NewHashMap(w, HashMapConfig{BucketsPerPartition: 1 << 10, SlotSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for i := 0; i < 300; i++ {
+		if err := m.Insert(r, key(i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		v, ok, err := m.Find(r, key(i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Find(%d) = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	if _, ok, err := m.Find(r, []byte("nope")); err != nil || ok {
+		t.Fatalf("absent Find = %v,%v", ok, err)
+	}
+}
+
+func TestHashMapUpdate(t *testing.T) {
+	w, _ := newWorld(t, 1, 1)
+	m, err := NewHashMap(w, HashMapConfig{BucketsPerPartition: 64, SlotSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if err := m.Insert(r, key(1), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(r, key(1), []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := m.Find(r, key(1))
+	if err != nil || !ok || string(v) != "second" {
+		t.Fatalf("updated Find = %q,%v,%v", v, ok, err)
+	}
+}
+
+func TestHashMapValueTooBig(t *testing.T) {
+	w, _ := newWorld(t, 1, 1)
+	m, err := NewHashMap(w, HashMapConfig{BucketsPerPartition: 8, SlotSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(w.Rank(0), key(1), make([]byte, 17)); !errors.Is(err, ErrValueTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHashMapFull(t *testing.T) {
+	w, _ := newWorld(t, 1, 1)
+	m, err := NewHashMap(w, HashMapConfig{BucketsPerPartition: 8, SlotSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	full := false
+	for i := 0; i < 64; i++ {
+		if err := m.Insert(r, key(i), []byte("x")); err != nil {
+			if errors.Is(err, ErrFull) {
+				full = true
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if !full {
+		t.Fatal("static table never filled: expected ErrFull")
+	}
+}
+
+func TestHashMapInsertCostsThreeVerbs(t *testing.T) {
+	// The motivating claim: each fresh BCL insert is 2 remote CAS + 1
+	// remote write; finds are reads with no CAS.
+	w, col := newWorld(t, 2, 1)
+	m, err := NewHashMap(w, HashMapConfig{BucketsPerPartition: 1 << 12, SlotSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := m.Insert(r, key(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cas := col.Total(metrics.RemoteCAS, -1)
+	writes := col.Total(metrics.RemoteWrites, -1)
+	// At least 2 CAS and exactly 1 write per fresh insert (collisions
+	// add more CAS, never fewer).
+	if cas < 2*n {
+		t.Fatalf("CAS count %v < %d", cas, 2*n)
+	}
+	if writes != n {
+		t.Fatalf("writes = %v, want %d", writes, n)
+	}
+	if invokes := col.Total(metrics.RemoteInvokes, -1); invokes != 0 {
+		t.Fatalf("BCL made %v RPC invocations; must be zero", invokes)
+	}
+
+	base := col.Total(metrics.RemoteCAS, -1)
+	for i := 0; i < n; i++ {
+		if _, ok, err := m.Find(r, key(i)); err != nil || !ok {
+			t.Fatal(err)
+		}
+	}
+	if got := col.Total(metrics.RemoteCAS, -1) - base; got != 0 {
+		t.Fatalf("finds issued %v CAS", got)
+	}
+	if reads := col.Total(metrics.RemoteReads, -1); reads < 2*n {
+		t.Fatalf("finds made %v reads, want >= %d", reads, 2*n)
+	}
+}
+
+func TestHashMapConcurrentClients(t *testing.T) {
+	w, _ := newWorld(t, 2, 4)
+	m, err := NewHashMap(w, HashMapConfig{BucketsPerPartition: 1 << 12, SlotSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < 100; i++ {
+			k := key(r.ID()*100 + i)
+			if err := m.Insert(r, k, k); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	})
+	r := w.Rank(0)
+	for i := 0; i < w.NumRanks()*100; i++ {
+		v, ok, err := m.Find(r, key(i))
+		if err != nil || !ok || !bytes.Equal(v, key(i)) {
+			t.Fatalf("Find(%d) = %q,%v,%v", i, v, ok, err)
+		}
+	}
+}
+
+func TestHashMapOOMOnHugeStaticAllocation(t *testing.T) {
+	// Paper Section IV-B2: BCL must stay under ~60% of node memory; big
+	// slots push the static allocation (plus pinned client buffers) over.
+	cm := fabric.DefaultCostModel()
+	cm.NodeMemory = 1 << 30 // 1 GiB node
+	prov := simfab.New(2, cm)
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.Block(2, 4))
+	_, err := NewHashMap(w, HashMapConfig{BucketsPerPartition: 1 << 16, SlotSize: 1 << 20})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// A modest map on the same world still fits.
+	if _, err := NewHashMap(w, HashMapConfig{BucketsPerPartition: 1 << 8, SlotSize: 1 << 10}); err != nil {
+		t.Fatalf("small map should fit: %v", err)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	w, _ := newWorld(t, 2, 1)
+	q, err := NewQueue(w, QueueConfig{Host: 1, Capacity: 256, SlotSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if _, ok, err := q.Pop(r); err != nil || ok {
+		t.Fatalf("empty Pop = %v,%v", ok, err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := q.Push(r, []byte(fmt.Sprintf("e%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := q.Size(r); err != nil || n != 100 {
+		t.Fatalf("Size = %d,%v", n, err)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok, err := q.Pop(r)
+		if err != nil || !ok || string(v) != fmt.Sprintf("e%03d", i) {
+			t.Fatalf("Pop %d = %q,%v,%v", i, v, ok, err)
+		}
+	}
+}
+
+func TestQueueWrapsAround(t *testing.T) {
+	w, _ := newWorld(t, 1, 1)
+	q, err := NewQueue(w, QueueConfig{Capacity: 8, SlotSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	// Push/pop several times the capacity to exercise wrapping.
+	for lap := 0; lap < 5; lap++ {
+		for i := 0; i < 8; i++ {
+			if err := q.Push(r, []byte{byte(lap), byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			v, ok, err := q.Pop(r)
+			if err != nil || !ok || v[0] != byte(lap) || v[1] != byte(i) {
+				t.Fatalf("lap %d Pop %d = %v,%v,%v", lap, i, v, ok, err)
+			}
+		}
+	}
+}
+
+func TestQueueConcurrentMPMC(t *testing.T) {
+	w, _ := newWorld(t, 2, 2)
+	q, err := NewQueue(w, QueueConfig{Host: 0, Capacity: 1 << 12, SlotSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const per = 200
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	w.Run(func(r *cluster.Rank) {
+		if r.ID()%2 == 0 {
+			for i := 0; i < per; i++ {
+				if err := q.Push(r, []byte(fmt.Sprintf("%d:%d", r.ID(), i))); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+			return
+		}
+		for i := 0; i < per; i++ {
+			v, ok, err := q.Pop(r)
+			if err != nil {
+				t.Errorf("pop: %v", err)
+				return
+			}
+			if ok {
+				mu.Lock()
+				if seen[string(v)] {
+					t.Errorf("dup %q", v)
+				}
+				seen[string(v)] = true
+				mu.Unlock()
+			}
+		}
+	})
+	r := w.Rank(1)
+	for {
+		v, ok, err := q.Pop(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if seen[string(v)] {
+			t.Fatalf("dup %q", v)
+		}
+		seen[string(v)] = true
+	}
+	want := (w.NumRanks() / 2) * per
+	if len(seen) != want {
+		t.Fatalf("drained %d, want %d", len(seen), want)
+	}
+}
+
+func TestQueuePushPopVerbCounts(t *testing.T) {
+	w, col := newWorld(t, 2, 1)
+	q, err := NewQueue(w, QueueConfig{Host: 1, Capacity: 64, SlotSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	base := col.Total(metrics.RemoteCAS, -1)
+	if err := q.Push(r, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Uncontended push: tail CAS + slot reserve CAS + publish CAS = 3.
+	if got := col.Total(metrics.RemoteCAS, -1) - base; got != 3 {
+		t.Fatalf("push used %v CAS, want 3", got)
+	}
+	base = col.Total(metrics.RemoteCAS, -1)
+	if _, _, err := q.Pop(r); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Total(metrics.RemoteCAS, -1) - base; got != 3 {
+		t.Fatalf("pop used %v CAS, want 3", got)
+	}
+}
+
+func TestQueueHostValidation(t *testing.T) {
+	w, _ := newWorld(t, 1, 1)
+	if _, err := NewQueue(w, QueueConfig{Host: 9}); err == nil {
+		t.Fatal("bad host must fail")
+	}
+}

@@ -1,0 +1,222 @@
+package bcl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+)
+
+// HashMap is the BCL-style distributed hash map: a statically allocated
+// array of fixed-size buckets partitioned block-wise over server nodes,
+// manipulated exclusively by the clients with one-sided verbs.
+//
+// An insert is three remote operations (paper Section II-B):
+//
+//  1. CAS the bucket's state word empty->reserved (retrying the next
+//     bucket in sequence on collision);
+//  2. RDMA_WRITE the entry into the bucket;
+//  3. CAS the state reserved->ready.
+//
+// A find reads the bucket header, probes onward on fingerprint mismatch,
+// then reads the value slot. Entries are fixed-size slots (the paper's
+// limitation (f)), keyed by 64-bit fingerprints of the encoded key.
+type HashMap struct {
+	w        *cluster.World
+	prov     fabric.Provider
+	acct     fabric.Accountant
+	servers  []int
+	segIDs   []int
+	segs     []*memory.Segment
+	buckets  int // per partition; power of two
+	slotSize int
+}
+
+// Bucket layout: state(8) | fingerprint(8) | vallen(8) | value(slotSize).
+const bucketHeader = 24
+
+// HashMapConfig sizes a BCL hash map. Everything is fixed at construction
+// — the static pre-allocation the paper calls out.
+type HashMapConfig struct {
+	// Servers hosts one partition per listed node (default: all nodes).
+	Servers []int
+	// BucketsPerPartition is rounded up to a power of two (default 1<<16).
+	BucketsPerPartition int
+	// SlotSize is the fixed value slot in bytes (default 4096).
+	SlotSize int
+}
+
+// NewHashMap allocates the map's partitions and the clients' pinned
+// staging buffers. It fails with ErrOutOfMemory when the static
+// allocation would exceed 60% of any node's memory.
+func NewHashMap(w *cluster.World, cfg HashMapConfig) (*HashMap, error) {
+	servers := cfg.Servers
+	if servers == nil {
+		servers = make([]int, w.NumNodes())
+		for i := range servers {
+			servers[i] = i
+		}
+	}
+	buckets := cfg.BucketsPerPartition
+	if buckets <= 0 {
+		buckets = 1 << 16
+	}
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	buckets = n
+	slot := cfg.SlotSize
+	if slot <= 0 {
+		slot = 4096
+	}
+	m := &HashMap{
+		w:        w,
+		prov:     w.Provider(),
+		acct:     fabric.AccountantOf(w.Provider()),
+		servers:  servers,
+		segIDs:   make([]int, len(servers)),
+		segs:     make([]*memory.Segment, len(servers)),
+		buckets:  buckets,
+		slotSize: slot,
+	}
+	// Charge the clients' pinned staging buffers before physically
+	// allocating partitions, so an over-budget configuration fails fast.
+	if err := registerClientBuffers(w, m.acct, slot); err != nil {
+		return nil, err
+	}
+	partBytes := int64(buckets) * int64(bucketHeader+slot)
+	for i, node := range servers {
+		if err := chargeAllocation(m.acct, node, partBytes, 0); err != nil {
+			return nil, fmt.Errorf("bcl: partition on node %d: %w", node, err)
+		}
+		seg := memory.NewSegment(int(partBytes))
+		m.segs[i] = seg
+		m.segIDs[i] = m.prov.RegisterSegment(node, seg)
+	}
+	return m, nil
+}
+
+// Buckets reports the per-partition bucket count.
+func (m *HashMap) Buckets() int { return m.buckets }
+
+// SlotSize reports the fixed value slot size.
+func (m *HashMap) SlotSize() int { return m.slotSize }
+
+// Partitions reports the partition count.
+func (m *HashMap) Partitions() int { return len(m.servers) }
+
+func (m *HashMap) bucketOff(b int) int { return b * (bucketHeader + m.slotSize) }
+
+// route picks the partition and home bucket for a key.
+func (m *HashMap) route(key []byte) (part, bucket int, fp uint64) {
+	h := core.StableHash64(key)
+	part = int(h % uint64(len(m.servers)))
+	bucket = int((h / uint64(len(m.servers))) % uint64(m.buckets))
+	fp = h | 1 // never zero, so an empty fingerprint word means "no key"
+	return part, bucket, fp
+}
+
+// Insert stores val under key. The client performs the full three-verb
+// protocol against the owning partition.
+func (m *HashMap) Insert(r *cluster.Rank, key, val []byte) error {
+	if len(val) > m.slotSize {
+		return fmt.Errorf("%w: %d > %d", ErrValueTooBig, len(val), m.slotSize)
+	}
+	part, bucket, fp := m.route(key)
+	node, seg := m.servers[part], m.segIDs[part]
+	clk, ref := r.Clock(), r.Ref()
+
+	for probe := 0; probe < m.buckets; probe++ {
+		b := (bucket + probe) & (m.buckets - 1)
+		off := m.bucketOff(b)
+		// Verb 1: CAS empty -> reserved.
+		witness, ok, err := m.prov.CAS(clk, ref, node, seg, off, stateEmpty, stateReserved)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Occupied: check whether it is our key (update) or a
+			// collision (probe onward). Either way this costs the
+			// client another remote read.
+			hdr := make([]byte, 16)
+			if err := m.prov.Read(clk, ref, node, seg, off+8, hdr); err != nil {
+				return err
+			}
+			if binary.LittleEndian.Uint64(hdr) != fp || witness == stateReserved {
+				if witness == stateReserved && binary.LittleEndian.Uint64(hdr) == fp {
+					// Another client is mid-insert on our key; retry
+					// the same bucket.
+					probe--
+				}
+				continue
+			}
+			// Same key, ready: reserve for update.
+			if _, ok, err := m.prov.CAS(clk, ref, node, seg, off, stateReady, stateReserved); err != nil {
+				return err
+			} else if !ok {
+				probe-- // lost the race; retry this bucket
+				continue
+			}
+		}
+		// Verb 2: write fingerprint, length, and value.
+		entry := make([]byte, 16+len(val))
+		binary.LittleEndian.PutUint64(entry, fp)
+		binary.LittleEndian.PutUint64(entry[8:], uint64(len(val)))
+		copy(entry[16:], val)
+		if err := m.prov.Write(clk, ref, node, seg, off+8, entry); err != nil {
+			return err
+		}
+		// Verb 3: CAS reserved -> ready.
+		if _, ok, err := m.prov.CAS(clk, ref, node, seg, off, stateReserved, stateReady); err != nil {
+			return err
+		} else if !ok {
+			return fmt.Errorf("bcl: bucket state corrupted during publish")
+		}
+		return nil
+	}
+	return ErrFull
+}
+
+// Find reads the value stored under key into a fresh slice.
+func (m *HashMap) Find(r *cluster.Rank, key []byte) ([]byte, bool, error) {
+	part, bucket, fp := m.route(key)
+	node, seg := m.servers[part], m.segIDs[part]
+	clk, ref := r.Clock(), r.Ref()
+
+	for probe := 0; probe < m.buckets; probe++ {
+		b := (bucket + probe) & (m.buckets - 1)
+		off := m.bucketOff(b)
+		// Remote read of the bucket header.
+		hdr := make([]byte, bucketHeader)
+		if err := m.prov.Read(clk, ref, node, seg, off, hdr); err != nil {
+			return nil, false, err
+		}
+		state := binary.LittleEndian.Uint64(hdr)
+		got := binary.LittleEndian.Uint64(hdr[8:])
+		if state == stateEmpty && got == 0 {
+			return nil, false, nil // chain ends: never-used bucket
+		}
+		if got != fp {
+			continue
+		}
+		if state == stateReserved {
+			probe-- // writer in flight on our key; retry
+			continue
+		}
+		vlen := int(binary.LittleEndian.Uint64(hdr[16:]))
+		if vlen > m.slotSize {
+			return nil, false, fmt.Errorf("bcl: corrupt value length %d", vlen)
+		}
+		// Remote read of the value slot.
+		val := make([]byte, vlen)
+		if err := m.prov.Read(clk, ref, node, seg, off+bucketHeader, val); err != nil {
+			return nil, false, err
+		}
+		return val, true, nil
+	}
+	return nil, false, nil
+}

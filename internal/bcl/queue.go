@@ -1,0 +1,224 @@
+package bcl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+)
+
+// Queue is the BCL-style circular queue: a fixed ring of fixed-size slots
+// in one host node's memory, with head and tail counters advanced by
+// remote CAS from the clients. Every push costs the client a CAS on the
+// tail counter, a CAS to reserve the slot, a write, and a CAS to publish;
+// every pop mirrors it on the head — the "multiple client-side CAS
+// operations on the remote memory (per each push and pop)" of Section
+// IV-C.
+type Queue struct {
+	w        *cluster.World
+	prov     fabric.Provider
+	acct     fabric.Accountant
+	host     int
+	segID    int
+	seg      *memory.Segment
+	capacity int
+	slotSize int
+}
+
+// Ring layout: tail(8) | head(8) | capacity slots of
+// [state(8) | len(8) | payload(slotSize)].
+const (
+	qTailOff   = 0
+	qHeadOff   = 8
+	qSlotsBase = 16
+	qSlotHdr   = 16
+)
+
+// QueueConfig sizes a BCL queue.
+type QueueConfig struct {
+	// Host is the node holding the ring (default 0).
+	Host int
+	// Capacity is the number of slots, rounded up to a power of two
+	// (default 1<<16).
+	Capacity int
+	// SlotSize is the fixed element slot in bytes (default 4096).
+	SlotSize int
+}
+
+// NewQueue allocates the ring and the clients' staging buffers.
+func NewQueue(w *cluster.World, cfg QueueConfig) (*Queue, error) {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	capacity = n
+	slot := cfg.SlotSize
+	if slot <= 0 {
+		slot = 4096
+	}
+	if cfg.Host < 0 || cfg.Host >= w.NumNodes() {
+		return nil, fmt.Errorf("bcl: queue host %d out of range", cfg.Host)
+	}
+	q := &Queue{
+		w:        w,
+		prov:     w.Provider(),
+		acct:     fabric.AccountantOf(w.Provider()),
+		host:     cfg.Host,
+		capacity: capacity,
+		slotSize: slot,
+	}
+	ringBytes := int64(qSlotsBase) + int64(capacity)*int64(qSlotHdr+slot)
+	if err := chargeAllocation(q.acct, cfg.Host, ringBytes, 0); err != nil {
+		return nil, err
+	}
+	q.seg = memory.NewSegment(int(ringBytes))
+	q.segID = q.prov.RegisterSegment(cfg.Host, q.seg)
+	if err := registerClientBuffers(w, q.acct, slot); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Capacity reports the ring size in slots.
+func (q *Queue) Capacity() int { return q.capacity }
+
+func (q *Queue) slotOff(i uint64) int {
+	return qSlotsBase + int(i&uint64(q.capacity-1))*(qSlotHdr+q.slotSize)
+}
+
+// reserveCounter CAS-increments the 8-byte counter at off and returns the
+// claimed ticket. Each failed CAS is another remote round trip, so the
+// cost per ticket grows with the number of contending clients — exactly
+// the client-side synchronization the paper blames for BCL's queue
+// behaviour at scale ("this phenomenon gets exaggerated in the largest
+// scale where the client-side synchronization hurts the overall BCL
+// performance", Section IV-C).
+func (q *Queue) reserveCounter(r *cluster.Rank, off int) (uint64, error) {
+	clk, ref := r.Clock(), r.Ref()
+	cur := q.seg.Load64(off) // optimistic local snapshot
+	for {
+		witness, ok, err := q.prov.CAS(clk, ref, q.host, q.segID, off, cur, cur+1)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return cur, nil
+		}
+		cur = witness
+	}
+}
+
+// Push appends val to the queue.
+func (q *Queue) Push(r *cluster.Rank, val []byte) error {
+	if len(val) > q.slotSize {
+		return fmt.Errorf("%w: %d > %d", ErrValueTooBig, len(val), q.slotSize)
+	}
+	clk, ref := r.Clock(), r.Ref()
+	// Verb 1: claim a tail ticket with remote CAS.
+	ticket, err := q.reserveCounter(r, qTailOff)
+	if err != nil {
+		return err
+	}
+	off := q.slotOff(ticket)
+	// Full-ring check: the slot must be empty (a lapped ring would
+	// overwrite unconsumed data).
+	for {
+		// Verb 2: CAS slot empty -> reserved.
+		_, ok, err := q.prov.CAS(clk, ref, q.host, q.segID, off, stateEmpty, stateReserved)
+		if err != nil {
+			return err
+		}
+		if ok {
+			break
+		}
+		// Slot still holds an unconsumed element: the ring is full at
+		// this position. BCL clients spin-retry.
+	}
+	// Verb 3: write length and payload.
+	entry := make([]byte, 8+len(val))
+	binary.LittleEndian.PutUint64(entry, uint64(len(val)))
+	copy(entry[8:], val)
+	if err := q.prov.Write(clk, ref, q.host, q.segID, off+8, entry); err != nil {
+		return err
+	}
+	// Verb 4: CAS reserved -> ready.
+	if _, ok, err := q.prov.CAS(clk, ref, q.host, q.segID, off, stateReserved, stateReady); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("bcl: queue slot corrupted during publish")
+	}
+	return nil
+}
+
+// Pop removes and returns the front element; ok is false when the queue
+// is observed empty.
+func (q *Queue) Pop(r *cluster.Rank) ([]byte, bool, error) {
+	clk, ref := r.Clock(), r.Ref()
+	// Empty check: read both counters remotely.
+	hdr := make([]byte, 16)
+	if err := q.prov.Read(clk, ref, q.host, q.segID, qTailOff, hdr); err != nil {
+		return nil, false, err
+	}
+	tail := binary.LittleEndian.Uint64(hdr[:8])
+	head := binary.LittleEndian.Uint64(hdr[8:])
+	if head >= tail {
+		return nil, false, nil
+	}
+	// Verb 1: claim a head ticket.
+	ticket, err := q.reserveCounter(r, qHeadOff)
+	if err != nil {
+		return nil, false, err
+	}
+	off := q.slotOff(ticket)
+	// Wait for the producer of this slot to publish, then take it.
+	for {
+		// Verb 2: CAS ready -> reserved (consumer-owned).
+		_, ok, err := q.prov.CAS(clk, ref, q.host, q.segID, off, stateReady, stateReserved)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			break
+		}
+	}
+	// Verb 3: read length + payload.
+	lenBuf := make([]byte, 8)
+	if err := q.prov.Read(clk, ref, q.host, q.segID, off+8, lenBuf); err != nil {
+		return nil, false, err
+	}
+	n := int(binary.LittleEndian.Uint64(lenBuf))
+	if n > q.slotSize {
+		return nil, false, fmt.Errorf("bcl: corrupt element length %d", n)
+	}
+	val := make([]byte, n)
+	if err := q.prov.Read(clk, ref, q.host, q.segID, off+qSlotHdr, val); err != nil {
+		return nil, false, err
+	}
+	// Verb 4: release the slot for the next lap.
+	if _, ok, err := q.prov.CAS(clk, ref, q.host, q.segID, off, stateReserved, stateEmpty); err != nil {
+		return nil, false, err
+	} else if !ok {
+		return nil, false, fmt.Errorf("bcl: queue slot corrupted during release")
+	}
+	return val, true, nil
+}
+
+// Size reports tail-head as observed by one remote read.
+func (q *Queue) Size(r *cluster.Rank) (int, error) {
+	hdr := make([]byte, 16)
+	if err := q.prov.Read(r.Clock(), r.Ref(), q.host, q.segID, qTailOff, hdr); err != nil {
+		return 0, err
+	}
+	tail := binary.LittleEndian.Uint64(hdr[:8])
+	head := binary.LittleEndian.Uint64(hdr[8:])
+	if tail < head {
+		return 0, nil
+	}
+	return int(tail - head), nil
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/databox"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/ror"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out: the hybrid
+// access model, the lock-free server path, request aggregation, the
+// ordered-engine choice, the PQ engine choice, and the DataBox codec.
+func Ablations(p Params) *Table {
+	t := &Table{
+		ID:     "ablation",
+		Title:  "design-choice ablations (virtual makespan, lower is better)",
+		Header: []string{"study", "variant A", "time A(s)", "variant B", "time B(s)", "B/A"},
+	}
+
+	// 1. Hybrid access on vs off: clients co-located with the partition.
+	hOn := ablHybrid(p, true)
+	hOff := ablHybrid(p, false)
+	t.AddRow("hybrid access (local clients)", "hybrid on", seconds(hOn), "forced RPC", seconds(hOff), ratio(hOff, hOn))
+
+	// 2. Server path: lock-free vs CAS-based handler (Fig 1's bars 2-3).
+	lf, _, _ := fig1RPC(p, false)
+	cas, _, _ := fig1RPC(p, true)
+	t.AddRow("server path (remote insert)", "lock-free", seconds(lf), "with CAS", seconds(cas), ratio(cas, lf))
+
+	// 3. Request aggregation: singles vs batch.
+	single := ablAggregation(p, 1)
+	batched := ablAggregation(p, 64)
+	t.AddRow("request aggregation (64 ops)", "batched", seconds(batched), "singles", seconds(single), ratio(single, batched))
+
+	// 4. Ordered engine: skip list vs latched red-black tree under
+	// concurrent writers.
+	sk := ablOrdered(p, core.EngineSkipList)
+	rb := ablOrdered(p, core.EngineRBTree)
+	t.AddRow("ordered engine (concurrent)", "skiplist", seconds(sk), "latched rbtree", seconds(rb), ratio(rb, sk))
+
+	// 5. PQ engine: skip-list PQ vs mutex heap.
+	spq := ablPQ(p, core.PQSkipList)
+	hpq := ablPQ(p, core.PQHeap)
+	t.AddRow("pq engine (concurrent)", "skiplist pq", seconds(spq), "mutex heap", seconds(hpq), ratio(hpq, spq))
+
+	// 6. DataBox codec: binc vs gob vs json on struct values (wire bytes
+	// drive virtual cost, so codec compactness shows up as time).
+	binc := ablCodec(p, databox.Binc())
+	gob := ablCodec(p, databox.Gob())
+	jsn := ablCodec(p, databox.JSON())
+	t.AddRow("codec (struct values)", "binc", seconds(binc), "gob", seconds(gob), ratio(gob, binc))
+	t.AddRow("codec (struct values)", "binc", seconds(binc), "json", seconds(jsn), ratio(jsn, binc))
+
+	return t
+}
+
+func ablWorld(p Params, nodes int) (*cluster.World, func()) {
+	prov := simfab.New(nodes, fabric.DefaultCostModel())
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	return w, func() { prov.Close() }
+}
+
+func ablHybrid(p Params, hybrid bool) int64 {
+	w, done := ablWorld(p, 1)
+	defer done()
+	rt := core.NewRuntime(w)
+	m, err := core.NewUnorderedMap[uint64, []byte](rt, "ablh",
+		core.WithServers([]int{0}), core.WithHybrid(hybrid))
+	if err != nil {
+		panic(err)
+	}
+	payload := make([]byte, p.OpSize)
+	w.ResetClocks()
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < p.OpsPerClient; i++ {
+			if _, err := m.Insert(r, uint64(r.ID()*p.OpsPerClient+i), payload); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return w.Makespan()
+}
+
+func ablAggregation(p Params, batch int) int64 {
+	prov := simfab.New(2, fabric.DefaultCostModel())
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	engine := ror.NewEngine(prov)
+	engine.Bind("abl.op", func(node int, arg []byte) ([]byte, int64) {
+		return []byte{1}, 300
+	})
+	payload := make([]byte, 256)
+	w.ResetClocks()
+	w.Run(func(r *cluster.Rank) {
+		if batch <= 1 {
+			for i := 0; i < p.OpsPerClient; i++ {
+				if _, err := engine.Invoke(r, 1, "abl.op", payload); err != nil {
+					panic(err)
+				}
+			}
+			return
+		}
+		b := engine.NewBatch(1)
+		for i := 0; i < p.OpsPerClient; i++ {
+			b.Add("abl.op", payload)
+			if b.Len() >= batch {
+				if _, err := b.Flush(r); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if _, err := b.Flush(r); err != nil {
+			panic(err)
+		}
+	})
+	return w.Makespan()
+}
+
+// ablOrdered measures real elapsed work through the virtual clock for
+// concurrent ordered-map inserts against one co-located partition (the
+// engines differ in *real* concurrency, which surfaces through the
+// per-rank local charges plus wall-clock contention in the handlers).
+func ablOrdered(p Params, kind core.OrderedEngineKind) int64 {
+	w, done := ablWorld(p, 1)
+	defer done()
+	rt := core.NewRuntime(w)
+	m, err := core.NewMap[uint64, uint64](rt, "ablo", core.NaturalLess[uint64](),
+		core.WithServers([]int{0}), core.WithOrderedEngine(kind))
+	if err != nil {
+		panic(err)
+	}
+	w.ResetClocks()
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < p.OpsPerClient; i++ {
+			if _, err := m.Insert(r, uint64(r.ID()*p.OpsPerClient+i), 1); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return w.Makespan()
+}
+
+func ablPQ(p Params, kind core.PQEngineKind) int64 {
+	w, done := ablWorld(p, 1)
+	defer done()
+	rt := core.NewRuntime(w)
+	q, err := core.NewPriorityQueue[uint64](rt, "ablpq", core.NaturalLess[uint64](),
+		core.WithServers([]int{0}), core.WithPQEngine(kind))
+	if err != nil {
+		panic(err)
+	}
+	w.ResetClocks()
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < p.OpsPerClient; i++ {
+			if err := q.Push(r, uint64(r.ID()*p.OpsPerClient+i)); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < p.OpsPerClient; i++ {
+			if _, _, err := q.Pop(r); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return w.Makespan()
+}
+
+type ablRecord struct {
+	ID     uint64
+	Name   string
+	Coords [3]float64
+	Tags   []string
+}
+
+func ablCodec(p Params, codec databox.Codec) int64 {
+	prov := simfab.New(2, fabric.DefaultCostModel())
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	rt := core.NewRuntime(w)
+	m, err := core.NewUnorderedMap[uint64, ablRecord](rt, "ablc",
+		core.WithServers([]int{1}), core.WithCodec(codec))
+	if err != nil {
+		panic(err)
+	}
+	w.ResetClocks()
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < p.OpsPerClient; i++ {
+			rec := ablRecord{
+				ID:     uint64(i),
+				Name:   "record-with-a-reasonably-long-name",
+				Coords: [3]float64{1.5, 2.5, 3.5},
+				Tags:   []string{"alpha", "beta", "gamma"},
+			}
+			if _, err := m.Insert(r, uint64(r.ID()*p.OpsPerClient+i), rec); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return w.Makespan()
+}

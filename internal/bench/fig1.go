@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/memory"
+	"hcl/internal/ror"
+)
+
+// Fig1 reproduces the motivating test case (paper Figure 1): clients on
+// one node issue 4 KB inserts against a hashmap partition on another
+// node, three ways:
+//
+//   - BCL: remote CAS (reserve) + remote write (data) + remote CAS
+//     (publish), all issued by the client;
+//   - RPC with CAS: the same three steps bundled into one RPC whose
+//     handler performs the CAS work locally at memory speed;
+//   - RPC lock-free: one RPC into a lock-free structure, no CAS at all.
+//
+// The paper measures 1.062 s / ~0.53 s / ~0.42 s average per client, i.e.
+// the procedural approach is ~2x and the lock-free variant ~2.5x faster.
+func Fig1(p Params) *Table {
+	t := &Table{
+		ID:     "fig1",
+		Title:  fmt.Sprintf("Motivating test: %d clients x %d inserts of %d B to a remote partition", p.ClientsPerNode, p.OpsPerClient, p.OpSize),
+		Header: []string{"approach", "reserve(s)", "data(s)", "publish(s)", "rpc(s)", "total(s)", "vs BCL"},
+	}
+
+	bclTotal, bclPhases := fig1BCL(p)
+	t.AddRow("BCL (client-side)", seconds(bclPhases[0]), seconds(bclPhases[1]), seconds(bclPhases[2]), "-", seconds(bclTotal), "1.0x")
+
+	casTotal, casRPC, casLocal := fig1RPC(p, true)
+	t.AddRow("RPC with CAS", seconds(casLocal/2), "-", seconds(casLocal/2), seconds(casRPC), seconds(casTotal), ratio(bclTotal, casTotal))
+
+	lfTotal, lfRPC, _ := fig1RPC(p, false)
+	t.AddRow("RPC lock-free", "-", "-", "-", seconds(lfRPC), seconds(lfTotal), ratio(bclTotal, lfTotal))
+
+	t.AddNote("paper: RPC-with-CAS ~2x and lock-free ~2.5x faster than BCL (remote CAS is ~2/3 of BCL's time)")
+	return t
+}
+
+// fig1BCL issues the three-verb protocol per op and accumulates per-phase
+// virtual time averaged over clients.
+func fig1BCL(p Params) (avgTotal int64, phases [3]int64) {
+	prov := simfab.New(2, fabric.DefaultCostModel())
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	// One big partition segment on node 1 with disjoint per-client
+	// bucket ranges, so phase costs reflect protocol structure rather
+	// than collisions.
+	bucket := 32 + p.OpSize
+	seg := memory.NewSegment(bucket * p.ClientsPerNode * p.OpsPerClient)
+	segID := prov.RegisterSegment(1, seg)
+
+	var reserveNS, writeNS, publishNS [1 << 12]int64
+	payload := make([]byte, p.OpSize)
+	w.Run(func(r *cluster.Rank) {
+		clk, ref := r.Clock(), r.Ref()
+		base := r.ID() * p.OpsPerClient
+		for i := 0; i < p.OpsPerClient; i++ {
+			off := (base + i) * bucket
+			t0 := clk.Now()
+			if _, ok, err := prov.CAS(clk, ref, 1, segID, off, 0, 1); err != nil || !ok {
+				panic(fmt.Sprintf("fig1: reserve failed: %v", err))
+			}
+			t1 := clk.Now()
+			if err := prov.Write(clk, ref, 1, segID, off+32, payload); err != nil {
+				panic(err)
+			}
+			t2 := clk.Now()
+			if _, ok, err := prov.CAS(clk, ref, 1, segID, off, 1, 2); err != nil || !ok {
+				panic(fmt.Sprintf("fig1: publish failed: %v", err))
+			}
+			t3 := clk.Now()
+			reserveNS[r.ID()] += t1 - t0
+			writeNS[r.ID()] += t2 - t1
+			publishNS[r.ID()] += t3 - t2
+		}
+	})
+	var sum [3]int64
+	for i := 0; i < p.ClientsPerNode; i++ {
+		sum[0] += reserveNS[i]
+		sum[1] += writeNS[i]
+		sum[2] += publishNS[i]
+	}
+	n := int64(p.ClientsPerNode)
+	phases = [3]int64{sum[0] / n, sum[1] / n, sum[2] / n}
+	return phases[0] + phases[1] + phases[2], phases
+}
+
+// fig1RPC bundles the operation into one invocation; withCAS models a
+// handler that still performs two (local) CAS operations, the lock-free
+// variant performs none.
+func fig1RPC(p Params, withCAS bool) (avgTotal, avgRPC, avgLocal int64) {
+	prov := simfab.New(2, fabric.DefaultCostModel())
+	defer prov.Close()
+	cm := prov.CostModel()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	engine := ror.NewEngine(prov)
+
+	var localCost int64
+	if withCAS {
+		// Two CAS executed at local memory speed plus the bucket write.
+		localCost = 2*cm.CASCostNS + cm.MemTime(p.OpSize) + cm.LocalOpNS
+	} else {
+		localCost = cm.MemTime(p.OpSize) + cm.LocalOpNS
+	}
+	engine.Bind("fig1.insert", func(node int, arg []byte) ([]byte, int64) {
+		return []byte{1}, localCost
+	})
+
+	payload := make([]byte, p.OpSize)
+	totals := make([]int64, p.ClientsPerNode)
+	w.Run(func(r *cluster.Rank) {
+		clk := r.Clock()
+		for i := 0; i < p.OpsPerClient; i++ {
+			t0 := clk.Now()
+			if _, err := engine.Invoke(r, 1, "fig1.insert", payload); err != nil {
+				panic(err)
+			}
+			totals[r.ID()] += clk.Now() - t0
+		}
+	})
+	var sum int64
+	for _, v := range totals {
+		sum += v
+	}
+	avgTotal = sum / int64(p.ClientsPerNode)
+	perOpLocal := localCost * int64(p.OpsPerClient)
+	avgLocal = perOpLocal
+	if withCAS {
+		avgLocal = (2 * cm.CASCostNS) * int64(p.OpsPerClient)
+	} else {
+		avgLocal = 0
+	}
+	avgRPC = avgTotal - avgLocal
+	return avgTotal, avgRPC, avgLocal
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+
+	"hcl/internal/bcl"
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+)
+
+// Fig4 reproduces the RPC-over-RDMA overhead profiling (paper Figure 4):
+// 40 clients on one node write 4 KB values into a partition on another
+// node, once through BCL's client-side verbs and once through HCL's RoR
+// path, while the profiler collects per-virtual-second series of NIC-core
+// utilization (4a), memory utilization (4b), and packets/sec (4c).
+//
+// Paper findings reproduced as shapes: BCL takes ~2.7x longer end to end
+// (28 s vs 10.5 s), keeps the target NIC busier (~60% vs 33%), allocates
+// its memory up front while HCL's allocation ramps with the data, and
+// achieves a ~4x lower packet rate.
+func Fig4(p Params) []*Table {
+	resolution := int64(1e6) // 1 virtual millisecond buckets
+	bclDur, bclCol := fig4BCL(p, resolution)
+	hclDur, hclCol := fig4HCL(p, resolution)
+
+	overview := &Table{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("RoR overhead profiling: %d clients x %d x %d B remote writes", p.ClientsPerNode, p.OpsPerClient, p.OpSize),
+		Header: []string{"system", "elapsed(s)", "avg NIC util(%)", "peak NIC util(%)", "final mem(MB)", "avg pkts/s", "remote CAS"},
+	}
+	bclNIC := nicUtil(bclCol, 1, resolution, bclDur)
+	hclNIC := nicUtil(hclCol, 1, resolution, hclDur)
+	bclNIC.avg = 100 * bclCol.Total(metrics.NICBusyNS, 1) / float64(bclDur)
+	hclNIC.avg = 100 * hclCol.Total(metrics.NICBusyNS, 1) / float64(hclDur)
+	overview.AddRow("BCL",
+		seconds(bclDur),
+		fmt.Sprintf("%.0f", bclNIC.avg), fmt.Sprintf("%.0f", bclNIC.peak),
+		fmt.Sprintf("%.1f", bclCol.Total(metrics.BytesAlloc, 1)/1e6),
+		fmt.Sprintf("%.0f", packetRate(bclCol, bclDur)),
+		fmt.Sprintf("%.0f", bclCol.Total(metrics.RemoteCAS, -1)))
+	overview.AddRow("HCL",
+		seconds(hclDur),
+		fmt.Sprintf("%.0f", hclNIC.avg), fmt.Sprintf("%.0f", hclNIC.peak),
+		fmt.Sprintf("%.1f", hclCol.Total(metrics.BytesAlloc, 1)/1e6),
+		fmt.Sprintf("%.0f", packetRate(hclCol, hclDur)),
+		fmt.Sprintf("%.0f", hclCol.Total(metrics.RemoteCAS, -1)))
+	overview.AddNote("paper: BCL 28s vs HCL 10.5s; NIC ~60%% vs 33%%; BCL memory static at init vs HCL dynamic ramp; BCL ~4x lower packet rate")
+
+	series := &Table{
+		ID:     "fig4-series",
+		Title:  "virtual-time series at the target node (NIC busy %, cumulative MB, packets/s)",
+		Header: []string{"t(s)", "BCL nic%", "HCL nic%", "BCL MB", "HCL MB", "BCL pkt/s", "HCL pkt/s"},
+	}
+	buckets := maxBucket(bclDur, resolution)
+	if hb := maxBucket(hclDur, resolution); hb > buckets {
+		buckets = hb
+	}
+	bclMem, hclMem := cumSeries(bclCol, metrics.BytesAlloc, resolution), cumSeries(hclCol, metrics.BytesAlloc, resolution)
+	bclBusy, hclBusy := bucketSeries(bclCol, metrics.NICBusyNS, 1), bucketSeries(hclCol, metrics.NICBusyNS, 1)
+	bclPk, hclPk := bucketSeries(bclCol, metrics.PacketsRecv, 1), bucketSeries(hclCol, metrics.PacketsRecv, 1)
+	step := buckets/20 + 1
+	for b := int64(0); b <= buckets; b += step {
+		series.AddRow(
+			fmt.Sprintf("%.4f", float64(b)*float64(resolution)/1e9),
+			fmt.Sprintf("%.0f", 100*bclBusy[b]/float64(resolution)),
+			fmt.Sprintf("%.0f", 100*hclBusy[b]/float64(resolution)),
+			fmt.Sprintf("%.1f", lookupCum(bclMem, b)/1e6),
+			fmt.Sprintf("%.1f", lookupCum(hclMem, b)/1e6),
+			fmt.Sprintf("%.0f", bclPk[b]/(float64(resolution)/1e9)),
+			fmt.Sprintf("%.0f", hclPk[b]/(float64(resolution)/1e9)),
+		)
+	}
+	return []*Table{overview, series}
+}
+
+func fig4BCL(p Params, resolution int64) (int64, *metrics.Collector) {
+	col := metrics.New(resolution)
+	prov := simfab.New(2, fabric.DefaultCostModel(), simfab.WithCollector(col))
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	m, err := bcl.NewHashMap(w, bcl.HashMapConfig{
+		Servers:             []int{1},
+		BucketsPerPartition: nextPow2(4 * p.ClientsPerNode * p.OpsPerClient),
+		SlotSize:            p.OpSize,
+	})
+	if err != nil {
+		panic(err)
+	}
+	w.ResetClocks()
+	payload := make([]byte, p.OpSize)
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < p.OpsPerClient; i++ {
+			key := []byte(fmt.Sprintf("c%04d-o%06d", r.ID(), i))
+			if err := m.Insert(r, key, payload); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return w.Makespan(), col
+}
+
+func fig4HCL(p Params, resolution int64) (int64, *metrics.Collector) {
+	col := metrics.New(resolution)
+	prov := simfab.New(2, fabric.DefaultCostModel(), simfab.WithCollector(col))
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	rt := core.NewRuntime(w)
+	m, err := core.NewUnorderedMap[string, []byte](rt, "fig4", core.WithServers([]int{1}))
+	if err != nil {
+		panic(err)
+	}
+	w.ResetClocks()
+	payload := make([]byte, p.OpSize)
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < p.OpsPerClient; i++ {
+			key := fmt.Sprintf("c%04d-o%06d", r.ID(), i)
+			if _, err := m.Insert(r, key, payload); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return w.Makespan(), col
+}
+
+type nicStats struct{ avg, peak float64 }
+
+// nicUtil summarizes NIC-core utilization at a node over the run, in
+// single-core equivalents (100% = one NIC core continuously busy).
+func nicUtil(col *metrics.Collector, node int, resolution, dur int64) nicStats {
+	pts := col.Series(metrics.NICBusyNS, node)
+	var sum, peak float64
+	for _, p := range pts {
+		u := 100 * p.Value / float64(resolution)
+		sum += u
+		if u > peak {
+			peak = u
+		}
+	}
+	buckets := float64(dur/resolution + 1)
+	return nicStats{avg: sum / buckets, peak: peak}
+}
+
+func packetRate(col *metrics.Collector, dur int64) float64 {
+	if dur == 0 {
+		return 0
+	}
+	return col.Total(metrics.PacketsRecv, 1) / (float64(dur) / 1e9)
+}
+
+func maxBucket(dur, resolution int64) int64 { return dur / resolution }
+
+// bucketSeries returns bucket -> value for a kind at a node.
+func bucketSeries(col *metrics.Collector, kind metrics.Kind, node int) map[int64]float64 {
+	out := make(map[int64]float64)
+	for _, p := range col.Series(kind, node) {
+		out[p.Bucket] = p.Value
+	}
+	return out
+}
+
+// cumSeries returns bucket -> cumulative value for a kind (all nodes).
+func cumSeries(col *metrics.Collector, kind metrics.Kind, resolution int64) map[int64]float64 {
+	pts := col.Series(kind, -1)
+	out := make(map[int64]float64, len(pts))
+	var run float64
+	for _, p := range pts {
+		run += p.Value
+		out[p.Bucket] = run
+	}
+	return out
+}
+
+// lookupCum reads a cumulative series at bucket b, carrying the last
+// value forward through gaps.
+func lookupCum(m map[int64]float64, b int64) float64 {
+	for ; b >= 0; b-- {
+		if v, ok := m[b]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"hcl/internal/bcl"
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+// Fig5 reproduces the hybrid access model sweep (paper Figure 5): clients
+// issue fixed-size write (insert) and read (find) operations against one
+// partition, with the operation size swept from 4 KB to 8 MB, and the
+// achieved bandwidth reported in MB/s.
+//
+//   - Fig 5a (intra-node): the partition is co-located with the clients.
+//     HCL's hybrid path hits shared memory (STREAM-class bandwidth);
+//     BCL still loops through its NIC verbs.
+//   - Fig 5b (inter-node): the partition is remote. HCL needs one
+//     invocation per op; BCL needs CAS+write+CAS (inserts) or reads.
+//     BCL runs out of memory above 1 MB because its static partition and
+//     per-client pinned buffers exceed 60% of node memory.
+func Fig5(p Params, intra bool) *Table {
+	id, where := "fig5b", "inter-node"
+	if intra {
+		id, where = "fig5a", "intra-node"
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("hybrid access model, %s: %d clients x %d ops, size sweep", where, p.ClientsPerNode, fig5Ops(p)),
+		Header: []string{"size", "BCL ins(MB/s)", "HCL ins(MB/s)", "ins speedup", "BCL find(MB/s)", "HCL find(MB/s)", "find speedup"},
+	}
+	for _, size := range p.Fig5Sizes {
+		bIns, bFind, bErr := fig5BCL(p, size, intra)
+		hIns, hFind := fig5HCL(p, size, intra)
+		bytesTotal := int64(size) * int64(p.ClientsPerNode) * int64(fig5Ops(p))
+		row := []string{sizeLabel(size)}
+		if bErr != nil {
+			row = append(row, "OOM")
+		} else {
+			row = append(row, mbps(bytesTotal, bIns))
+		}
+		row = append(row, mbps(bytesTotal, hIns))
+		if bErr != nil {
+			row = append(row, "-")
+		} else {
+			row = append(row, ratio(bIns, hIns))
+		}
+		if bErr != nil {
+			row = append(row, "OOM", mbps(bytesTotal, hFind), "-")
+		} else {
+			row = append(row, mbps(bytesTotal, bFind), mbps(bytesTotal, hFind), ratio(bFind, hFind))
+		}
+		t.AddRow(row...)
+	}
+	if intra {
+		t.AddNote("paper: HCL 2-20x faster inserts, 1.5-7.2x finds; HCL ~45-55 GB/s vs BCL 4/12 GB/s; BCL OOM above 1 MB")
+	} else {
+		t.AddNote("paper: HCL 3.1-12x faster inserts, 1.1-9x finds; HCL saturates ~4-4.2 GB/s; BCL 1.3/4 GB/s; BCL OOM above 1 MB")
+	}
+	return t
+}
+
+// fig5Ops scales the op count down so the sweep stays tractable;
+// bandwidth is insensitive to the count once steady.
+func fig5Ops(p Params) int {
+	ops := p.OpsPerClient / 4
+	if ops < 8 {
+		ops = 8
+	}
+	return ops
+}
+
+// keysPerClient bounds the working set: Figure 5 is a bandwidth test, so
+// clients cycle over a small set of keys (overwriting values) rather than
+// materializing ops x 8 MB of live data.
+const keysPerClient = 16
+
+// fig5Model scales node memory with client density so the scaled-down run
+// hits the same OOM boundary (>1 MB) the paper reports for 40 clients on
+// a 96 GB node.
+func fig5Model(p Params) fabric.CostModel {
+	cm := fabric.DefaultCostModel()
+	cm.NodeMemory = cm.NodeMemory * int64(p.ClientsPerNode) / 40
+	return cm
+}
+
+func fig5HCL(p Params, size int, intra bool) (insNS, findNS int64) {
+	prov := simfab.New(2, fig5Model(p))
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	rt := core.NewRuntime(w)
+	server := 1
+	if intra {
+		server = 0
+	}
+	m, err := core.NewUnorderedMap[uint64, []byte](rt, "fig5", core.WithServers([]int{server}))
+	if err != nil {
+		panic(err)
+	}
+	ops := fig5Ops(p)
+	payload := make([]byte, size)
+	w.ResetClocks()
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < ops; i++ {
+			k := uint64(r.ID()*keysPerClient + i%keysPerClient)
+			if _, err := m.Insert(r, k, payload); err != nil {
+				panic(err)
+			}
+		}
+	})
+	insNS = w.Makespan()
+	w.Barrier() // phase timing by delta; resources keep their state
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < ops; i++ {
+			k := uint64(r.ID()*keysPerClient + i%keysPerClient)
+			if _, ok, err := m.Find(r, k); err != nil || !ok {
+				panic(fmt.Sprintf("fig5 find: %v %v", ok, err))
+			}
+		}
+	})
+	findNS = w.Makespan() - insNS
+	return insNS, findNS
+}
+
+func fig5BCL(p Params, size int, intra bool) (insNS, findNS int64, err error) {
+	prov := simfab.New(2, fig5Model(p))
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	server := 1
+	if intra {
+		server = 0
+	}
+	ops := fig5Ops(p)
+	m, err := bcl.NewHashMap(w, bcl.HashMapConfig{
+		Servers:             []int{server},
+		BucketsPerPartition: nextPow2(2 * p.ClientsPerNode * keysPerClient),
+		SlotSize:            size,
+	})
+	if err != nil {
+		if errors.Is(err, bcl.ErrOutOfMemory) {
+			return 0, 0, err
+		}
+		panic(err)
+	}
+	payload := make([]byte, size)
+	w.ResetClocks()
+	errs := make([]error, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < ops; i++ {
+			key := []byte(fmt.Sprintf("k%04d-%06d", r.ID(), i%keysPerClient))
+			if err := m.Insert(r, key, payload); err != nil {
+				errs[r.ID()] = err
+				return
+			}
+		}
+	})
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	insNS = w.Makespan()
+	w.Barrier() // phase timing by delta; resources keep their state
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < ops; i++ {
+			key := []byte(fmt.Sprintf("k%04d-%06d", r.ID(), i%keysPerClient))
+			if _, ok, err := m.Find(r, key); err != nil || !ok {
+				errs[r.ID()] = fmt.Errorf("fig5 bcl find: %v %v", ok, err)
+				return
+			}
+		}
+	})
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	findNS = w.Makespan() - insNS
+	return insNS, findNS, nil
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+
+	"hcl/internal/apps/isx"
+	"hcl/internal/apps/meraculous"
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+// Fig7a reproduces the ISx weak-scaling experiment (paper Figure 7a):
+// node counts 8 -> 64 with a constant per-rank key load. The paper
+// reports BCL 28.87 -> 686 s (near-linear growth) against HCL 22.23 ->
+// 57 s (~1.4x per doubling), crediting the priority queue's sort-on-
+// arrival for hiding the sort behind the exchange.
+func Fig7a(p Params) *Table {
+	t := &Table{
+		ID:     "fig7a",
+		Title:  fmt.Sprintf("ISx weak scaling (%d keys/rank, %d ranks/node)", p.ISxKeysPerRank, p.ClientsPerNode),
+		Header: []string{"nodes", "BCL(s)", "HCL(s)", "speedup", "sorted"},
+	}
+	for nodes := 8; nodes <= p.MaxNodes; nodes *= 2 {
+		cfg := isx.Config{KeysPerRank: p.ISxKeysPerRank, KeyRange: 1 << 27, Seed: 1}
+
+		wB, doneB := fig7World(p, nodes)
+		bres, err := isx.RunBCL(wB, cfg)
+		doneB()
+		if err != nil {
+			panic(err)
+		}
+		wH, doneH := fig7World(p, nodes)
+		rt := core.NewRuntime(wH)
+		hres, err := isx.RunHCL(rt, wH, cfg)
+		doneH()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprint(nodes),
+			seconds(int64(bres.Makespan)), seconds(int64(hres.Makespan)),
+			ratio(int64(bres.Makespan), int64(hres.Makespan)),
+			fmt.Sprint(bres.Sorted && hres.Sorted))
+	}
+	t.AddNote("paper: BCL 28.87->686s, HCL 22.23->57s; HCL scales sub-linearly (~1.4x per doubling)")
+	return t
+}
+
+// Fig7b reproduces the Meraculous contig-generation kernel (paper Figure
+// 7b): weak scaling over node count, genome size growing with nodes. The
+// paper reports HCL 1.8x faster at the smallest scale to 12x at 64 nodes.
+func Fig7b(p Params) *Table {
+	t := &Table{
+		ID:     "fig7b",
+		Title:  "Meraculous contig generation, weak scaling",
+		Header: []string{"nodes", "BCL(s)", "HCL(s)", "speedup", "contigs"},
+	}
+	for nodes := 8; nodes <= p.MaxNodes; nodes *= 2 {
+		g := meraculous.Generate(meraculous.GenomeConfig{
+			Length:   p.GenomeLength * nodes / 8,
+			ReadLen:  100,
+			Coverage: 8,
+			Seed:     2,
+		})
+		wB, doneB := fig7World(p, nodes)
+		bres, err := meraculous.ContigGenBCL(wB, g)
+		doneB()
+		if err != nil {
+			panic(err)
+		}
+		wH, doneH := fig7World(p, nodes)
+		hres, err := meraculous.ContigGenHCL(core.NewRuntime(wH), wH, g)
+		doneH()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprint(nodes),
+			seconds(int64(bres.Makespan)), seconds(int64(hres.Makespan)),
+			ratio(int64(bres.Makespan), int64(hres.Makespan)),
+			fmt.Sprint(hres.Contigs))
+	}
+	t.AddNote("paper: BCL 9.31->689s, HCL 1.8x faster at 8 nodes growing to 12x at 64")
+	return t
+}
+
+// Fig7c reproduces the Meraculous k-mer counting kernel (paper Figure
+// 7c): the paper reports HCL 2.17x to 8x faster than BCL.
+func Fig7c(p Params) *Table {
+	t := &Table{
+		ID:     "fig7c",
+		Title:  "Meraculous k-mer counting, weak scaling",
+		Header: []string{"nodes", "BCL(s)", "HCL(s)", "speedup", "kmers"},
+	}
+	for nodes := 8; nodes <= p.MaxNodes; nodes *= 2 {
+		g := meraculous.Generate(meraculous.GenomeConfig{
+			Length:   p.GenomeLength * nodes / 8,
+			ReadLen:  100,
+			Coverage: 8,
+			Seed:     3,
+		})
+		wB, doneB := fig7World(p, nodes)
+		bres, err := meraculous.CountKmersBCL(wB, g)
+		doneB()
+		if err != nil {
+			panic(err)
+		}
+		wH, doneH := fig7World(p, nodes)
+		hres, err := meraculous.CountKmersHCL(core.NewRuntime(wH), wH, g)
+		doneH()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprint(nodes),
+			seconds(int64(bres.Makespan)), seconds(int64(hres.Makespan)),
+			ratio(int64(bres.Makespan), int64(hres.Makespan)),
+			fmt.Sprint(hres.TotalKmers))
+	}
+	t.AddNote("paper: HCL 2.17x to 8x faster than BCL; weak scaling with genome size")
+	return t
+}
+
+func fig7World(p Params, nodes int) (*cluster.World, func()) {
+	ranksPerNode := p.ClientsPerNode / 2
+	if ranksPerNode < 1 {
+		ranksPerNode = 1
+	}
+	prov := simfab.New(nodes, fabric.DefaultCostModel())
+	w := cluster.MustWorld(prov, cluster.Block(nodes, nodes*ranksPerNode))
+	return w, func() { prov.Close() }
+}

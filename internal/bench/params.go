@@ -1,0 +1,54 @@
+package bench
+
+// Params scales every experiment. Scaled() keeps in-process runs snappy
+// while preserving the paper's ratios; Full() uses the paper's exact
+// workload sizes (2560 ranks, 8192 ops, up to 8 MB values) and needs a
+// large machine and patience.
+type Params struct {
+	// ClientsPerNode is the rank density (paper: 40).
+	ClientsPerNode int
+	// OpsPerClient is the per-rank operation count (paper: 8192).
+	OpsPerClient int
+	// OpSize is the value payload in bytes for fixed-size experiments
+	// (paper: 4 KB for Figs 1/4, 64 KB for Fig 6).
+	OpSize int
+	// MaxNodes bounds the largest scaling point (paper: 64).
+	MaxNodes int
+	// Fig5Sizes lists the operation sizes of the bandwidth sweep
+	// (paper: 4 KB .. 8 MB).
+	Fig5Sizes []int
+	// QueueClients lists the client counts of Fig 6c
+	// (paper: 320..2560).
+	QueueClients []int
+	// ISxKeysPerRank and genome sizes drive Fig 7.
+	ISxKeysPerRank int
+	GenomeLength   int
+}
+
+// Scaled returns laptop-friendly parameters (same shapes, ~1/64 work).
+func Scaled() Params {
+	return Params{
+		ClientsPerNode: 8,
+		OpsPerClient:   128,
+		OpSize:         4096,
+		MaxNodes:       64,
+		Fig5Sizes:      []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20},
+		QueueClients:   []int{16, 40, 80, 160, 320, 640},
+		ISxKeysPerRank: 256,
+		GenomeLength:   4000,
+	}
+}
+
+// Full returns the paper's exact workload sizes.
+func Full() Params {
+	return Params{
+		ClientsPerNode: 40,
+		OpsPerClient:   8192,
+		OpSize:         4096,
+		MaxNodes:       64,
+		Fig5Sizes:      []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20},
+		QueueClients:   []int{320, 640, 1280, 2560},
+		ISxKeysPerRank: 8192,
+		GenomeLength:   100_000,
+	}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Runner produces one or more result tables for an experiment id.
+type Runner func(p Params) []*Table
+
+// Registry maps experiment ids to runners, one per paper table/figure
+// plus the ablation suite.
+var Registry = map[string]Runner{
+	"fig1":   func(p Params) []*Table { return []*Table{Fig1(p)} },
+	"fig4":   Fig4,
+	"fig5a":  func(p Params) []*Table { return []*Table{Fig5(p, true)} },
+	"fig5b":  func(p Params) []*Table { return []*Table{Fig5(p, false)} },
+	"fig6a":  func(p Params) []*Table { return []*Table{Fig6a(p)} },
+	"fig6b":  func(p Params) []*Table { return []*Table{Fig6b(p)} },
+	"fig6c":  func(p Params) []*Table { return []*Table{Fig6c(p)} },
+	"fig7a":  func(p Params) []*Table { return []*Table{Fig7a(p)} },
+	"fig7b":  func(p Params) []*Table { return []*Table{Fig7b(p)} },
+	"fig7c":  func(p Params) []*Table { return []*Table{Fig7c(p)} },
+	"table1": func(p Params) []*Table { return []*Table{Table1(p)} },
+	"abl":    func(p Params) []*Table { return []*Table{Ablations(p)} },
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tables executes one experiment and returns its result tables.
+func Tables(id string, p Params) ([]*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(p), nil
+}
+
+// Run executes one experiment and prints its tables.
+func Run(w io.Writer, id string, p Params) error {
+	tables, err := Tables(id, p)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// WriteCSVDir writes each table as <dir>/<table-id>.csv for external
+// plotting.
+func WriteCSVDir(dir string, tables []*Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Package bench contains one experiment runner per table and figure of
+// the paper's evaluation (Section IV), plus the ablation studies listed in
+// DESIGN.md. Each runner builds a fresh simulated cluster, executes the
+// workload for both HCL and the BCL baseline where applicable, and emits a
+// Table whose rows mirror what the paper plots. Absolute numbers come from
+// the calibrated cost model; the claims under test are the *shapes* — who
+// wins, by what factor, and where the crossovers sit.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result in paper-shaped rows.
+type Table struct {
+	// ID is the experiment identifier ("fig1", "fig6a", "table1", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows hold the data, stringified.
+	Rows [][]string
+	// Notes carry observations the paper calls out in prose.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends an observation.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (header row first), ready
+// for external plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// seconds renders virtual nanoseconds as seconds with 3 decimals.
+func seconds(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e9) }
+
+// ratio renders a speedup factor.
+func ratio(slow, fast int64) string {
+	if fast == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(slow)/float64(fast))
+}
+
+// mbps renders bytes over virtual ns as MB/s.
+func mbps(bytes, ns int64) string {
+	if ns == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(bytes)/1e6/(float64(ns)/1e9))
+}
+
+// kops renders an op/s throughput in thousands.
+func kops(ops int, ns int64) string {
+	if ns == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fK", float64(ops)/(float64(ns)/1e9)/1e3)
+}

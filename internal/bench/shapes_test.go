@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcl/internal/bcl"
+)
+
+// tinyParams keeps the shape tests fast while preserving enough work for
+// the ratios under test to emerge.
+func tinyParams() Params {
+	p := Scaled()
+	p.ClientsPerNode = 8
+	p.OpsPerClient = 64
+	p.MaxNodes = 16
+	p.Fig5Sizes = []int{4 << 10, 64 << 10, 1 << 20, 2 << 20}
+	p.QueueClients = []int{16, 64}
+	p.ISxKeysPerRank = 128
+	p.GenomeLength = 2000
+	return p
+}
+
+// Fig 1's claims: the RPC bundle beats client-side verbs, the lock-free
+// server path beats the CAS path, and remote CAS dominates BCL's cost.
+func TestShapeFig1(t *testing.T) {
+	p := tinyParams()
+	bclTotal, phases := fig1BCL(p)
+	casTotal, _, _ := fig1RPC(p, true)
+	lfTotal, _, _ := fig1RPC(p, false)
+	if casTotal >= bclTotal {
+		t.Fatalf("RPC-with-CAS (%d) must beat BCL (%d)", casTotal, bclTotal)
+	}
+	if lfTotal >= casTotal {
+		t.Fatalf("lock-free (%d) must beat RPC-with-CAS (%d)", lfTotal, casTotal)
+	}
+	speedup := float64(bclTotal) / float64(lfTotal)
+	if speedup < 1.5 || speedup > 5 {
+		t.Fatalf("lock-free speedup %.2fx outside the paper's ballpark (2-2.5x)", speedup)
+	}
+	// Remote CAS phases dominate BCL (paper: ~2/3 of its time).
+	casShare := float64(phases[0]+phases[2]) / float64(bclTotal)
+	if casShare < 0.5 {
+		t.Fatalf("CAS share of BCL time = %.2f, want the majority", casShare)
+	}
+}
+
+// Fig 4's claims: HCL finishes faster, keeps the NIC cooler, allocates
+// dynamically, and issues zero remote CAS.
+func TestShapeFig4(t *testing.T) {
+	p := tinyParams()
+	res := int64(1e5) // fine buckets: the tiny run lasts ~1 virtual ms
+	bclDur, bclCol := fig4BCL(p, res)
+	hclDur, hclCol := fig4HCL(p, res)
+	if hclDur >= bclDur {
+		t.Fatalf("HCL (%d) must finish before BCL (%d)", hclDur, bclDur)
+	}
+	if r := float64(bclDur) / float64(hclDur); r < 1.5 || r > 6 {
+		t.Fatalf("elapsed ratio %.2f outside ballpark (paper ~2.7x)", r)
+	}
+	if got := hclCol.Total("remote_cas", -1); got != 0 {
+		t.Fatalf("HCL issued %v remote CAS", got)
+	}
+	if got := bclCol.Total("remote_cas", -1); got == 0 {
+		t.Fatal("BCL issued no remote CAS")
+	}
+	// BCL allocates statically (all bytes at bucket 0); HCL ramps.
+	bclMem := bclCol.Series("bytes_alloc", 1)
+	if len(bclMem) == 0 || bclMem[0].Value <= 0 {
+		t.Fatal("BCL allocation should land at t=0")
+	}
+	hclMem := hclCol.Series("bytes_alloc", 1)
+	if len(hclMem) < 2 {
+		t.Fatalf("HCL allocation should ramp over time, got %d buckets", len(hclMem))
+	}
+}
+
+// Fig 5's claims: HCL wins both directions; intra-node dwarfs inter-node;
+// BCL goes OOM above 1 MB.
+func TestShapeFig5(t *testing.T) {
+	p := tinyParams()
+	// 64 KB point, both directions.
+	bIntraIns, _, err := fig5BCL(p, 64<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hIntraIns, _ := fig5HCL(p, 64<<10, true)
+	if hIntraIns >= bIntraIns {
+		t.Fatal("HCL intra-node must beat BCL")
+	}
+	bInterIns, _, err := fig5BCL(p, 64<<10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hInterIns, _ := fig5HCL(p, 64<<10, false)
+	if hInterIns >= bInterIns {
+		t.Fatal("HCL inter-node must beat BCL")
+	}
+	if hIntraIns >= hInterIns {
+		t.Fatal("hybrid local path must beat the remote path")
+	}
+	// OOM boundary: 1 MB fits, 2 MB does not.
+	if _, _, err := fig5BCL(p, 1<<20, false); err != nil {
+		t.Fatalf("BCL at 1MB should fit: %v", err)
+	}
+	if _, _, err := fig5BCL(p, 2<<20, false); err == nil {
+		t.Fatal("BCL at 2MB should go OOM")
+	} else if !errors.Is(err, bcl.ErrOutOfMemory) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// Fig 6a's claims: throughput grows with partitions and BCL trails HCL.
+func TestShapeFig6a(t *testing.T) {
+	p := tinyParams()
+	ins4, find4 := fig6HCLMap(p, 4, false)
+	ins16, find16 := fig6HCLMap(p, 16, false)
+	// More partitions -> lower makespan (higher throughput).
+	if float64(ins16) > 0.7*float64(ins4) {
+		t.Fatalf("insert makespan did not scale: 4 parts %d, 16 parts %d", ins4, ins16)
+	}
+	if float64(find16) > 0.7*float64(find4) {
+		t.Fatalf("find makespan did not scale: %d vs %d", find4, find16)
+	}
+	bIns, bFind := fig6BCLMap(p, 4)
+	if bIns <= ins4 || bFind <= find4 {
+		t.Fatal("BCL must trail HCL at equal partitions")
+	}
+}
+
+// Fig 6c's claims: the PQ is slower than the FIFO queue (log n pushes)
+// and the BCL queue trails both by a wide margin.
+func TestShapeFig6c(t *testing.T) {
+	p := tinyParams()
+	fPush, _ := fig6Queue(p, 16, false)
+	pPush, _ := fig6Queue(p, 16, true)
+	bPush, _ := fig6BCLQueue(p, 16)
+	if pPush <= fPush {
+		t.Fatalf("PQ push (%d) should be slower than FIFO push (%d)", pPush, fPush)
+	}
+	if bPush <= 3*fPush {
+		t.Fatalf("BCL queue (%d) should trail FIFO (%d) by a wide margin", bPush, fPush)
+	}
+}
+
+// Table I's claim: one invocation per remote op, flat vs logarithmic cost.
+func TestShapeTable1(t *testing.T) {
+	p := tinyParams()
+	for _, pr := range []struct {
+		name string
+		run  func(n int) (float64, int64)
+	}{
+		{"umap.insert", func(n int) (float64, int64) { return umapProbe(p, n, "insert") }},
+		{"omap.find", func(n int) (float64, int64) { return omapProbe(p, n, "find") }},
+		{"queue.push", func(n int) (float64, int64) { return queueProbe(p, n, false, "push") }},
+		{"pq.push", func(n int) (float64, int64) { return queueProbe(p, n, true, "push") }},
+	} {
+		inv, _ := pr.run(256)
+		if inv != 1.0 {
+			t.Fatalf("%s used %.2f invocations per op", pr.name, inv)
+		}
+	}
+	// Ordered cost grows with N; unordered stays flat.
+	_, uSmall := umapProbe(p, 1<<8, "insert")
+	_, uBig := umapProbe(p, 1<<13, "insert")
+	if float64(uBig) > 1.1*float64(uSmall) {
+		t.Fatalf("unordered insert cost grew: %d -> %d", uSmall, uBig)
+	}
+	_, oSmall := omapProbe(p, 1<<8, "insert")
+	_, oBig := omapProbe(p, 1<<13, "insert")
+	if oBig <= oSmall {
+		t.Fatalf("ordered insert cost did not grow: %d -> %d", oSmall, oBig)
+	}
+}
+
+// Fig 7's claims: HCL beats BCL on all three application kernels.
+func TestShapeFig7(t *testing.T) {
+	p := tinyParams()
+	p.MaxNodes = 8 // one scaling point is enough for the shape
+	for _, exp := range []struct {
+		id  string
+		run func(Params) *Table
+	}{
+		{"fig7a", Fig7a}, {"fig7b", Fig7b}, {"fig7c", Fig7c},
+	} {
+		tab := exp.run(p)
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", exp.id)
+		}
+		for _, row := range tab.Rows {
+			// Columns: nodes, BCL(s), HCL(s), speedup, ...
+			if !strings.Contains(row[3], "x") {
+				t.Fatalf("%s row has no speedup cell: %v", exp.id, row)
+			}
+			if strings.HasPrefix(row[3], "0.") {
+				t.Fatalf("%s: HCL slower than BCL: %v", exp.id, row)
+			}
+		}
+	}
+}
+
+// The ablation table must produce a row per study with positive ratios.
+func TestShapeAblations(t *testing.T) {
+	p := tinyParams()
+	tab := Ablations(p)
+	if len(tab.Rows) < 6 {
+		t.Fatalf("expected >=6 ablation rows, got %d", len(tab.Rows))
+	}
+	// Hybrid-on must beat forced RPC.
+	hybridRow := tab.Rows[0]
+	if !strings.HasPrefix(hybridRow[0], "hybrid") {
+		t.Fatalf("unexpected first row: %v", hybridRow)
+	}
+}
+
+// The registry must render every experiment without panicking.
+func TestRegistryRunsAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep is slow")
+	}
+	p := tinyParams()
+	p.Fig5Sizes = []int{4 << 10, 2 << 20}
+	p.QueueClients = []int{16}
+	p.MaxNodes = 8
+	var buf bytes.Buffer
+	for _, id := range IDs() {
+		buf.Reset()
+		if err := Run(&buf, id, p); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "== "+id) {
+			t.Fatalf("%s output missing header: %q", id, buf.String()[:60])
+		}
+	}
+	if err := Run(&buf, "nope", p); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("n=%d", 5)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "1", "2", "note: n=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+	if seconds(1_500_000_000) != "1.500" {
+		t.Fatalf("seconds: %s", seconds(1_500_000_000))
+	}
+	if ratio(100, 50) != "2.0x" || ratio(100, 0) != "inf" {
+		t.Fatal("ratio")
+	}
+	if mbps(1e6, 1e9) != "1" {
+		t.Fatalf("mbps: %s", mbps(1e6, 1e9))
+	}
+	if kops(1000, 1e9) != "1.0K" {
+		t.Fatalf("kops: %s", kops(1000, 1e9))
+	}
+}
+
+func TestWriteCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	tab := &Table{ID: "csvtest", Title: "x", Header: []string{"a", "b"}}
+	tab.AddRow("1", "two,with,commas")
+	if err := WriteCSVDir(dir, []*Table{tab}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "csvtest.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"two,with,commas\"\n"
+	if string(data) != want {
+		t.Fatalf("csv = %q, want %q", data, want)
+	}
+}

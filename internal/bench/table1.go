@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+)
+
+// Table1 verifies the paper's Table I empirically: every remote container
+// operation compiles down to exactly one remote invocation (F) plus local
+// work, and the measured virtual cost of ordered operations grows
+// logarithmically while unordered ones stay flat.
+func Table1(p Params) *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Table I verification: invocations per op and per-op virtual cost",
+		Header: []string{"container", "operation", "invocations", "cost model", "cost@1K(us)", "cost@16K(us)", "growth"},
+	}
+
+	// Measure per-op invocation counts and costs at two structure sizes.
+	type probe struct {
+		container, op, formula string
+		run                    func(n int) (invokes float64, perOpNS int64)
+	}
+	probes := []probe{
+		{"unordered_map", "insert", "F+L+W", func(n int) (float64, int64) {
+			return umapProbe(p, n, "insert")
+		}},
+		{"unordered_map", "find", "F+L+R", func(n int) (float64, int64) {
+			return umapProbe(p, n, "find")
+		}},
+		{"map", "insert", "F+L*log(N)+W", func(n int) (float64, int64) {
+			return omapProbe(p, n, "insert")
+		}},
+		{"map", "find", "F+L*log(N)+R", func(n int) (float64, int64) {
+			return omapProbe(p, n, "find")
+		}},
+		{"queue", "push", "F+L+W", func(n int) (float64, int64) {
+			return queueProbe(p, n, false, "push")
+		}},
+		{"queue", "pop", "F+L+R", func(n int) (float64, int64) {
+			return queueProbe(p, n, false, "pop")
+		}},
+		{"priority_queue", "push", "F+L*log(N)+W", func(n int) (float64, int64) {
+			return queueProbe(p, n, true, "push")
+		}},
+		{"priority_queue", "pop", "F+L+R", func(n int) (float64, int64) {
+			return queueProbe(p, n, true, "pop")
+		}},
+	}
+	for _, pr := range probes {
+		inv1, cost1 := pr.run(1 << 10)
+		_, cost16 := pr.run(1 << 14)
+		growth := "flat"
+		if float64(cost16) > 1.1*float64(cost1) {
+			growth = "log"
+		}
+		t.AddRow(pr.container, pr.op,
+			fmt.Sprintf("%.2f", inv1), pr.formula,
+			fmt.Sprintf("%.2f", float64(cost1)/1e3),
+			fmt.Sprintf("%.2f", float64(cost16)/1e3),
+			growth)
+	}
+	t.AddNote("every remote op = exactly 1.00 invocations (no client-side CAS); ordered ops grow with log(N)")
+	return t
+}
+
+// table1World builds a 2-node world with the client on node 0 and the
+// structure on node 1, so every op is remote.
+func table1World() (*cluster.World, *core.Runtime, *metrics.Collector, func()) {
+	col := metrics.New(1e9)
+	prov := simfab.New(2, fabric.DefaultCostModel(), simfab.WithCollector(col))
+	w := cluster.MustWorld(prov, cluster.OnNode(0, 1))
+	return w, core.NewRuntime(w), col, func() { prov.Close() }
+}
+
+const table1Probes = 64
+
+func umapProbe(p Params, n int, op string) (float64, int64) {
+	w, rt, col, done := table1World()
+	defer done()
+	m, err := core.NewUnorderedMap[uint64, []byte](rt, "t1u", core.WithServers([]int{1}))
+	if err != nil {
+		panic(err)
+	}
+	r := w.Rank(0)
+	payload := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert(r, uint64(i), payload); err != nil {
+			panic(err)
+		}
+	}
+	base := col.Total(metrics.RemoteInvokes, -1)
+	t0 := r.Clock().Now()
+	for i := 0; i < table1Probes; i++ {
+		switch op {
+		case "insert":
+			if _, err := m.Insert(r, uint64(n+i), payload); err != nil {
+				panic(err)
+			}
+		case "find":
+			if _, _, err := m.Find(r, uint64(i)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	inv := (col.Total(metrics.RemoteInvokes, -1) - base) / table1Probes
+	return inv, (r.Clock().Now() - t0) / table1Probes
+}
+
+func omapProbe(p Params, n int, op string) (float64, int64) {
+	w, rt, col, done := table1World()
+	defer done()
+	m, err := core.NewMap[uint64, []byte](rt, "t1o", core.NaturalLess[uint64](), core.WithServers([]int{1}))
+	if err != nil {
+		panic(err)
+	}
+	r := w.Rank(0)
+	payload := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert(r, uint64(i), payload); err != nil {
+			panic(err)
+		}
+	}
+	base := col.Total(metrics.RemoteInvokes, -1)
+	t0 := r.Clock().Now()
+	for i := 0; i < table1Probes; i++ {
+		switch op {
+		case "insert":
+			if _, err := m.Insert(r, uint64(n+i), payload); err != nil {
+				panic(err)
+			}
+		case "find":
+			if _, _, err := m.Find(r, uint64(i)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	inv := (col.Total(metrics.RemoteInvokes, -1) - base) / table1Probes
+	return inv, (r.Clock().Now() - t0) / table1Probes
+}
+
+func queueProbe(p Params, n int, priority bool, op string) (float64, int64) {
+	w, rt, col, done := table1World()
+	defer done()
+	r := w.Rank(0)
+
+	var push func(int64) error
+	var pop func() error
+	if priority {
+		q, err := core.NewPriorityQueue[int64](rt, "t1pq", core.NaturalLess[int64](), core.WithServers([]int{1}))
+		if err != nil {
+			panic(err)
+		}
+		push = func(v int64) error { return q.Push(r, v) }
+		pop = func() error { _, _, err := q.Pop(r); return err }
+	} else {
+		q, err := core.NewQueue[int64](rt, "t1q", core.WithServers([]int{1}))
+		if err != nil {
+			panic(err)
+		}
+		push = func(v int64) error { return q.Push(r, v) }
+		pop = func() error { _, _, err := q.Pop(r); return err }
+	}
+	for i := 0; i < n; i++ {
+		if err := push(int64(i)); err != nil {
+			panic(err)
+		}
+	}
+	base := col.Total(metrics.RemoteInvokes, -1)
+	t0 := r.Clock().Now()
+	for i := 0; i < table1Probes; i++ {
+		switch op {
+		case "push":
+			if err := push(int64(n + i)); err != nil {
+				panic(err)
+			}
+		case "pop":
+			if err := pop(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	inv := (col.Total(metrics.RemoteInvokes, -1) - base) / table1Probes
+	return inv, (r.Clock().Now() - t0) / table1Probes
+}

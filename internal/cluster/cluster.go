@@ -1,0 +1,163 @@
+// Package cluster provides the parallel runtime the library runs on: a set
+// of logical nodes, each hosting a number of ranks (client processes). In
+// the paper this is an MPI world of 2560 ranks over 64 nodes; here ranks
+// are goroutines with virtual clocks, and node identity — the thing the
+// hybrid access model keys on — is explicit placement.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"hcl/internal/fabric"
+)
+
+// Rank is one client process. A Rank (and its clock) is owned by exactly
+// one goroutine for the duration of a parallel region.
+type Rank struct {
+	id   int
+	node int
+	clk  *fabric.Clock
+	w    *World
+}
+
+// ID reports the global rank id.
+func (r *Rank) ID() int { return r.id }
+
+// Node reports the node the rank lives on.
+func (r *Rank) Node() int { return r.node }
+
+// Clock returns the rank's virtual clock.
+func (r *Rank) Clock() *fabric.Clock { return r.clk }
+
+// Ref returns the fabric-level identity of the rank.
+func (r *Rank) Ref() fabric.RankRef { return fabric.RankRef{Rank: r.id, Node: r.node} }
+
+// World returns the world the rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+// Provider returns the world's fabric provider.
+func (r *Rank) Provider() fabric.Provider { return r.w.prov }
+
+// World is a collection of ranks placed on nodes over one fabric provider.
+type World struct {
+	prov      fabric.Provider
+	placement []int
+	ranks     []*Rank
+}
+
+// Placement strategies -------------------------------------------------
+
+// Block places count ranks evenly over nodes [0,nodes): rank i lives on
+// node i/(count/nodes). count must be a multiple of nodes.
+func Block(nodes, count int) []int {
+	if nodes < 1 || count < 1 || count%nodes != 0 {
+		panic(fmt.Sprintf("cluster: Block(%d,%d): count must be a positive multiple of nodes", nodes, count))
+	}
+	per := count / nodes
+	p := make([]int, count)
+	for i := range p {
+		p[i] = i / per
+	}
+	return p
+}
+
+// OnNode places count ranks all on one node (the paper's motivating test
+// uses 40 clients on one node targeting a partition on another).
+func OnNode(node, count int) []int {
+	p := make([]int, count)
+	for i := range p {
+		p[i] = node
+	}
+	return p
+}
+
+// NewWorld builds a world with the given rank placement (placement[i] is
+// the node of rank i). Node ids must be within the provider's node count.
+func NewWorld(prov fabric.Provider, placement []int) (*World, error) {
+	w := &World{prov: prov, placement: placement}
+	w.ranks = make([]*Rank, len(placement))
+	for i, n := range placement {
+		if n < 0 || n >= prov.NumNodes() {
+			return nil, fmt.Errorf("cluster: rank %d placed on node %d, provider has %d nodes",
+				i, n, prov.NumNodes())
+		}
+		w.ranks[i] = &Rank{id: i, node: n, clk: fabric.NewClock(0), w: w}
+	}
+	return w, nil
+}
+
+// MustWorld is NewWorld that panics on error, for tests and examples.
+func MustWorld(prov fabric.Provider, placement []int) *World {
+	w, err := NewWorld(prov, placement)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Provider returns the fabric provider.
+func (w *World) Provider() fabric.Provider { return w.prov }
+
+// NumRanks reports the number of ranks in the world.
+func (w *World) NumRanks() int { return len(w.ranks) }
+
+// NumNodes reports the number of fabric nodes.
+func (w *World) NumNodes() int { return w.prov.NumNodes() }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// RanksOnNode returns the ranks placed on node n, in id order.
+func (w *World) RanksOnNode(n int) []*Rank {
+	var out []*Rank
+	for _, r := range w.ranks {
+		if r.node == n {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run executes body once per rank, each on its own goroutine, and waits
+// for all of them — one SPMD parallel region.
+func (w *World) Run(body func(*Rank)) {
+	var wg sync.WaitGroup
+	wg.Add(len(w.ranks))
+	for _, r := range w.ranks {
+		go func(r *Rank) {
+			defer wg.Done()
+			body(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Makespan reports the maximum virtual clock across ranks: the modelled
+// end-to-end time of the work performed since the last ResetClocks.
+func (w *World) Makespan() int64 {
+	var max int64
+	for _, r := range w.ranks {
+		if t := r.clk.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// ResetClocks rewinds every rank clock to zero (between benchmark phases).
+func (w *World) ResetClocks() {
+	for _, r := range w.ranks {
+		r.clk.Reset(0)
+	}
+}
+
+// Barrier aligns every rank's clock to the current maximum, modelling a
+// synchronizing collective. Call it only between parallel regions (it is
+// not safe while Run is executing).
+func (w *World) Barrier() {
+	max := w.Makespan()
+	for _, r := range w.ranks {
+		r.clk.AdvanceTo(max)
+	}
+}

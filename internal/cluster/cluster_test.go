@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+func newProv(nodes int) fabric.Provider {
+	return simfab.New(nodes, fabric.DefaultCostModel())
+}
+
+func TestBlockPlacement(t *testing.T) {
+	p := Block(4, 8)
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for i, n := range p {
+		if n != want[i] {
+			t.Fatalf("Block(4,8)[%d] = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestBlockPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Block(3,8) should panic: not a multiple")
+		}
+	}()
+	Block(3, 8)
+}
+
+func TestOnNodePlacement(t *testing.T) {
+	p := OnNode(2, 5)
+	if len(p) != 5 {
+		t.Fatalf("len = %d", len(p))
+	}
+	for _, n := range p {
+		if n != 2 {
+			t.Fatalf("placement = %v", p)
+		}
+	}
+}
+
+func TestNewWorldValidatesPlacement(t *testing.T) {
+	prov := newProv(2)
+	defer prov.Close()
+	if _, err := NewWorld(prov, []int{0, 1, 2}); err == nil {
+		t.Fatal("node 2 does not exist; want error")
+	}
+	w, err := NewWorld(prov, []int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumRanks() != 3 || w.NumNodes() != 2 {
+		t.Fatalf("ranks=%d nodes=%d", w.NumRanks(), w.NumNodes())
+	}
+	if w.Rank(2).Node() != 1 || w.Rank(2).ID() != 2 {
+		t.Fatalf("rank 2 = %+v", w.Rank(2).Ref())
+	}
+}
+
+func TestRanksOnNode(t *testing.T) {
+	prov := newProv(2)
+	defer prov.Close()
+	w := MustWorld(prov, []int{0, 1, 0, 1})
+	on0 := w.RanksOnNode(0)
+	if len(on0) != 2 || on0[0].ID() != 0 || on0[1].ID() != 2 {
+		t.Fatalf("RanksOnNode(0) ids: %d,%d", on0[0].ID(), on0[1].ID())
+	}
+	if len(w.RanksOnNode(1)) != 2 {
+		t.Fatal("RanksOnNode(1)")
+	}
+}
+
+func TestRunExecutesEveryRankConcurrently(t *testing.T) {
+	prov := newProv(4)
+	defer prov.Close()
+	w := MustWorld(prov, Block(4, 16))
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 16)
+	w.Run(func(r *Rank) {
+		count.Add(1)
+		seen[r.ID()].Store(true)
+		r.Clock().Advance(int64(r.ID()) * 10)
+	})
+	if count.Load() != 16 {
+		t.Fatalf("ran %d bodies", count.Load())
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("rank %d did not run", i)
+		}
+	}
+	if ms := w.Makespan(); ms != 150 {
+		t.Fatalf("Makespan = %d, want 150", ms)
+	}
+}
+
+func TestResetClocksAndBarrier(t *testing.T) {
+	prov := newProv(1)
+	defer prov.Close()
+	w := MustWorld(prov, OnNode(0, 3))
+	w.Rank(0).Clock().Advance(100)
+	w.Barrier()
+	for i := 0; i < 3; i++ {
+		if w.Rank(i).Clock().Now() != 100 {
+			t.Fatalf("rank %d clock after barrier = %d", i, w.Rank(i).Clock().Now())
+		}
+	}
+	w.ResetClocks()
+	if w.Makespan() != 0 {
+		t.Fatalf("Makespan after reset = %d", w.Makespan())
+	}
+}
+
+func TestRankAccessors(t *testing.T) {
+	prov := newProv(2)
+	defer prov.Close()
+	w := MustWorld(prov, []int{1})
+	r := w.Rank(0)
+	if r.World() != w || r.Provider() != prov {
+		t.Fatal("accessor wiring")
+	}
+	if ref := r.Ref(); ref.Rank != 0 || ref.Node != 1 {
+		t.Fatalf("Ref = %+v", ref)
+	}
+}

@@ -1,0 +1,196 @@
+// Package coll implements the collective operations the paper says HCL's
+// asynchronous invocation model enables efficiently (Section III-C4):
+// broadcast, gather/all-gather, scatter, and reductions. Each collective
+// is built from asynchronous RPC futures — the sends overlap on the wire
+// and the caller pays one wave of round trips rather than a serialized
+// sequence — plus the hybrid local path for co-located peers.
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"hcl/internal/cluster"
+	"hcl/internal/databox"
+	"hcl/internal/ror"
+)
+
+// Comm is a collective communication context over a world: one mailbox
+// per node, reachable through the RoR engine.
+type Comm[T any] struct {
+	w      *cluster.World
+	e      *ror.Engine
+	name   string
+	box    *databox.Box[T]
+	mu     sync.Mutex
+	boxes  map[string][]byte // slot -> payload, at every node (shared process memory in sim; node-local over TCP)
+	signal *sync.Cond
+}
+
+// NewComm builds a collective context named name. Like the containers, it
+// must be constructed symmetrically on every process.
+func NewComm[T any](w *cluster.World, e *ror.Engine, name string) *Comm[T] {
+	c := &Comm[T]{
+		w:     w,
+		e:     e,
+		name:  "coll." + name,
+		box:   databox.New[T](),
+		boxes: make(map[string][]byte),
+	}
+	c.signal = sync.NewCond(&c.mu)
+	e.Bind(c.name+".put", func(node int, arg []byte) ([]byte, int64) {
+		slot, payload, err := databox.DecodePair(arg)
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		c.mu.Lock()
+		c.boxes[string(slot)] = buf
+		c.mu.Unlock()
+		c.signal.Broadcast()
+		return []byte{1}, 200
+	})
+	e.Bind(c.name+".get", func(node int, arg []byte) ([]byte, int64) {
+		c.mu.Lock()
+		for {
+			if payload, ok := c.boxes[string(arg)]; ok {
+				c.mu.Unlock()
+				return append([]byte{1}, payload...), 200
+			}
+			c.signal.Wait()
+		}
+	})
+	return c
+}
+
+func slotKey(tag string, rank int) []byte {
+	key := make([]byte, 0, len(tag)+9)
+	key = append(key, tag...)
+	key = append(key, ':')
+	return binary.LittleEndian.AppendUint64(key, uint64(rank))
+}
+
+// put stores a value into rank dst's node mailbox.
+func (c *Comm[T]) put(r *cluster.Rank, dstNode int, slot []byte, v T) *ror.Future {
+	vb, err := c.box.Encode(v)
+	if err != nil {
+		panic(fmt.Sprintf("coll: encode: %v", err))
+	}
+	return c.e.InvokeAsync(r, dstNode, c.name+".put", databox.EncodePair(slot, vb))
+}
+
+// get fetches a slot from a node, blocking until it is published.
+func (c *Comm[T]) get(r *cluster.Rank, node int, slot []byte) (T, error) {
+	resp, err := c.e.Invoke(r, node, c.name+".get", slot)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return c.box.Decode(resp[1:])
+}
+
+// Broadcast distributes root's value to every rank. Every rank calls it;
+// non-roots receive the value as the return.
+func (c *Comm[T]) Broadcast(r *cluster.Rank, root int, tag string, v T) (T, error) {
+	slot := slotKey("bcast."+tag, root)
+	if r.ID() == root {
+		// Publish once per node, asynchronously; the waves overlap.
+		futs := make([]*ror.Future, 0, c.w.NumNodes())
+		for n := 0; n < c.w.NumNodes(); n++ {
+			futs = append(futs, c.put(r, n, slot, v))
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(r); err != nil {
+				var zero T
+				return zero, err
+			}
+		}
+		return v, nil
+	}
+	return c.get(r, r.Node(), slot)
+}
+
+// Gather collects every rank's value at the root. Non-roots return nil.
+func (c *Comm[T]) Gather(r *cluster.Rank, root int, tag string, v T) ([]T, error) {
+	rootNode := c.w.Rank(root).Node()
+	fut := c.put(r, rootNode, slotKey("gather."+tag, r.ID()), v)
+	if _, err := fut.Wait(r); err != nil {
+		return nil, err
+	}
+	if r.ID() != root {
+		return nil, nil
+	}
+	out := make([]T, c.w.NumRanks())
+	for i := 0; i < c.w.NumRanks(); i++ {
+		val, err := c.get(r, rootNode, slotKey("gather."+tag, i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = val
+	}
+	return out, nil
+}
+
+// AllGather collects every rank's value at every rank: one put to each
+// node (asynchronous wave) followed by local gets.
+func (c *Comm[T]) AllGather(r *cluster.Rank, tag string, v T) ([]T, error) {
+	futs := make([]*ror.Future, 0, c.w.NumNodes())
+	slot := slotKey("allg."+tag, r.ID())
+	for n := 0; n < c.w.NumNodes(); n++ {
+		futs = append(futs, c.put(r, n, slot, v))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(r); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]T, c.w.NumRanks())
+	for i := 0; i < c.w.NumRanks(); i++ {
+		val, err := c.get(r, r.Node(), slotKey("allg."+tag, i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = val
+	}
+	return out, nil
+}
+
+// Scatter sends chunk i of root's values to rank i; every rank returns
+// its chunk.
+func (c *Comm[T]) Scatter(r *cluster.Rank, root int, tag string, values []T) (T, error) {
+	var zero T
+	if r.ID() == root {
+		if len(values) != c.w.NumRanks() {
+			return zero, fmt.Errorf("coll: scatter needs %d values, got %d", c.w.NumRanks(), len(values))
+		}
+		futs := make([]*ror.Future, 0, c.w.NumRanks())
+		for i := 0; i < c.w.NumRanks(); i++ {
+			dst := c.w.Rank(i).Node()
+			futs = append(futs, c.put(r, dst, slotKey("scat."+tag, i), values[i]))
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(r); err != nil {
+				return zero, err
+			}
+		}
+		return values[root], nil
+	}
+	return c.get(r, r.Node(), slotKey("scat."+tag, r.ID()))
+}
+
+// Reduce gathers every rank's value at the root and folds them with fn
+// (in rank order). Non-roots return the zero value.
+func (c *Comm[T]) Reduce(r *cluster.Rank, root int, tag string, v T, fn func(a, b T) T) (T, error) {
+	vals, err := c.Gather(r, root, tag, v)
+	if err != nil || r.ID() != root {
+		var zero T
+		return zero, err
+	}
+	acc := vals[0]
+	for _, x := range vals[1:] {
+		acc = fn(acc, x)
+	}
+	return acc, nil
+}

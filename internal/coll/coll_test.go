@@ -1,0 +1,161 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/ror"
+)
+
+func newComm[T any](t *testing.T, nodes, ranksPerNode int) (*cluster.World, *Comm[T]) {
+	t.Helper()
+	prov := simfab.New(nodes, fabric.DefaultCostModel())
+	t.Cleanup(func() { prov.Close() })
+	w := cluster.MustWorld(prov, cluster.Block(nodes, nodes*ranksPerNode))
+	e := ror.NewEngine(prov)
+	return w, NewComm[T](w, e, t.Name())
+}
+
+func TestBroadcast(t *testing.T) {
+	w, c := newComm[string](t, 4, 2)
+	got := make([]string, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		v, err := c.Broadcast(r, 2, "t1", fmt.Sprintf("from-%d", r.ID()))
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		got[r.ID()] = v
+	})
+	for i, v := range got {
+		if v != "from-2" {
+			t.Fatalf("rank %d received %q", i, v)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	w, c := newComm[int](t, 4, 2)
+	var rootGot []int
+	w.Run(func(r *cluster.Rank) {
+		vals, err := c.Gather(r, 0, "g1", r.ID()*r.ID())
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if r.ID() == 0 {
+			rootGot = vals
+		} else if vals != nil {
+			t.Errorf("non-root rank %d received %v", r.ID(), vals)
+		}
+	})
+	if len(rootGot) != w.NumRanks() {
+		t.Fatalf("root gathered %d values", len(rootGot))
+	}
+	for i, v := range rootGot {
+		if v != i*i {
+			t.Fatalf("gathered[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	w, c := newComm[int](t, 3, 2)
+	results := make([][]int, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		vals, err := c.AllGather(r, "ag1", r.ID()+100)
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		results[r.ID()] = vals
+	})
+	for rank, vals := range results {
+		if len(vals) != w.NumRanks() {
+			t.Fatalf("rank %d got %d values", rank, len(vals))
+		}
+		for i, v := range vals {
+			if v != i+100 {
+				t.Fatalf("rank %d vals[%d] = %d", rank, i, v)
+			}
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	w, c := newComm[string](t, 4, 1)
+	chunks := make([]string, w.NumRanks())
+	for i := range chunks {
+		chunks[i] = fmt.Sprintf("chunk-%d", i)
+	}
+	got := make([]string, w.NumRanks())
+	w.Run(func(r *cluster.Rank) {
+		var in []string
+		if r.ID() == 1 {
+			in = chunks
+		}
+		v, err := c.Scatter(r, 1, "s1", in)
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		got[r.ID()] = v
+	})
+	for i, v := range got {
+		if v != chunks[i] {
+			t.Fatalf("rank %d got %q", i, v)
+		}
+	}
+}
+
+func TestScatterWrongCount(t *testing.T) {
+	w, c := newComm[int](t, 2, 1)
+	w.Run(func(r *cluster.Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		if _, err := c.Scatter(r, 0, "bad", []int{1}); err == nil {
+			t.Error("scatter with wrong count must fail")
+		}
+	})
+	// Unblock the peer waiting in get: publish its slot.
+	w.Run(func(r *cluster.Rank) {
+		if r.ID() == 0 {
+			c.put(r, r.World().Rank(1).Node(), slotKey("scat.bad", 1), 0).Wait(r)
+		}
+	})
+}
+
+func TestReduce(t *testing.T) {
+	w, c := newComm[int](t, 4, 2)
+	var sum int
+	w.Run(func(r *cluster.Rank) {
+		v, err := c.Reduce(r, 0, "r1", r.ID()+1, func(a, b int) int { return a + b })
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if r.ID() == 0 {
+			sum = v
+		}
+	})
+	n := w.NumRanks()
+	if want := n * (n + 1) / 2; sum != want {
+		t.Fatalf("reduce sum = %d, want %d", sum, want)
+	}
+}
+
+func TestCollectivesCostVirtualTime(t *testing.T) {
+	w, c := newComm[int](t, 4, 2)
+	w.Run(func(r *cluster.Rank) {
+		if _, err := c.AllGather(r, "cost", r.ID()); err != nil {
+			t.Errorf("%v", err)
+		}
+	})
+	if w.Makespan() <= 0 {
+		t.Fatal("collective should advance virtual time")
+	}
+}

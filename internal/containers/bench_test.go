@@ -1,0 +1,159 @@
+package containers
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks of the node-local concurrent engines — the structures
+// every RPC handler mutates. Parallel variants measure MWMR scalability.
+
+func BenchmarkCuckooInsert(b *testing.B) {
+	m := NewCuckooMap[int, int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Insert(i, i)
+	}
+}
+
+func BenchmarkCuckooFind(b *testing.B) {
+	m := NewCuckooMap[int, int]()
+	for i := 0; i < 1<<16; i++ {
+		m.Insert(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Find(i & (1<<16 - 1))
+	}
+}
+
+func BenchmarkCuckooInsertParallel(b *testing.B) {
+	m := NewCuckooMap[int, int]()
+	m.Reserve(1 << 20)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			k := rng.Int()
+			m.Insert(k, k)
+		}
+	})
+}
+
+func BenchmarkCuckooUpsertParallelHotKeys(b *testing.B) {
+	m := NewCuckooMap[int, int]()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Upsert(i&63, func(old int, _ bool) int { return old + 1 })
+			i++
+		}
+	})
+}
+
+func BenchmarkSkipListInsert(b *testing.B) {
+	s := NewSkipList[int, int](intLess)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Insert(i, i)
+	}
+}
+
+func BenchmarkSkipListFind(b *testing.B) {
+	s := NewSkipList[int, int](intLess)
+	for i := 0; i < 1<<16; i++ {
+		s.Insert(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Find(i & (1<<16 - 1))
+	}
+}
+
+func BenchmarkSkipListInsertParallel(b *testing.B) {
+	s := NewSkipList[int, int](intLess)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			k := rng.Int()
+			s.Insert(k, k)
+		}
+	})
+}
+
+func BenchmarkRBTreeInsert(b *testing.B) {
+	t := NewRBTree[int, int](intLess)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Insert(i, i)
+	}
+}
+
+func BenchmarkLatchedRBTreeInsertParallel(b *testing.B) {
+	t := NewLatchedRBTree[int, int](intLess)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			k := rng.Int()
+			t.Insert(k, k)
+		}
+	})
+}
+
+func BenchmarkMSQueuePushPop(b *testing.B) {
+	q := NewMSQueue[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}
+
+func BenchmarkMSQueueParallel(b *testing.B) {
+	q := NewMSQueue[int]()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Push(1)
+			q.Pop()
+		}
+	})
+}
+
+func BenchmarkSkipPQPushPop(b *testing.B) {
+	pq := NewSkipPQ[int](intLess)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pq.Push(i)
+		pq.PopMin()
+	}
+}
+
+func BenchmarkSkipPQParallel(b *testing.B) {
+	pq := NewSkipPQ[int](intLess)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			pq.Push(rng.Int())
+			pq.PopMin()
+		}
+	})
+}
+
+func BenchmarkHeapPQParallel(b *testing.B) {
+	pq := NewHeapPQ[int](intLess)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			pq.Push(rng.Int())
+			pq.PopMin()
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package containers
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCuckooBasicOps(t *testing.T) {
+	m := NewCuckooMap[string, int]()
+	if m.Len() != 0 {
+		t.Fatal("new map not empty")
+	}
+	if !m.Insert("a", 1) {
+		t.Fatal("first insert should be new")
+	}
+	if m.Insert("a", 2) {
+		t.Fatal("second insert of same key should be an update")
+	}
+	if v, ok := m.Find("a"); !ok || v != 2 {
+		t.Fatalf("Find(a) = %d,%v", v, ok)
+	}
+	if _, ok := m.Find("b"); ok {
+		t.Fatal("Find of absent key")
+	}
+	if !m.Contains("a") || m.Contains("zz") {
+		t.Fatal("Contains")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if !m.Delete("a") {
+		t.Fatal("Delete present key")
+	}
+	if m.Delete("a") {
+		t.Fatal("Delete absent key")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after delete = %d", m.Len())
+	}
+}
+
+func TestCuckooDefaultCapacity(t *testing.T) {
+	m := NewCuckooMap[int, int]()
+	if m.Capacity() != 2*DefaultBuckets {
+		t.Fatalf("Capacity = %d, want %d", m.Capacity(), 2*DefaultBuckets)
+	}
+}
+
+func TestCuckooGrowsUnderLoad(t *testing.T) {
+	m := NewCuckooMapSize[int, int](8)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if !m.Insert(i, i*i) {
+			t.Fatalf("Insert(%d) reported update", i)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if lf := m.LoadFactor(); lf > 0.75 {
+		t.Fatalf("load factor %f above threshold after growth", lf)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Find(i); !ok || v != i*i {
+			t.Fatalf("Find(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestCuckooReserve(t *testing.T) {
+	m := NewCuckooMap[int, int]()
+	m.Reserve(100_000)
+	if m.Capacity()*3/4 < 100_000 {
+		t.Fatalf("Capacity %d too small after Reserve", m.Capacity())
+	}
+	before := m.Capacity()
+	for i := 0; i < 100_000; i++ {
+		m.Insert(i, i)
+	}
+	if m.Capacity() != before {
+		t.Fatal("Reserve should have pre-sized the table")
+	}
+}
+
+func TestCuckooRange(t *testing.T) {
+	m := NewCuckooMap[int, int]()
+	want := map[int]int{}
+	for i := 0; i < 500; i++ {
+		m.Insert(i, i+1000)
+		want[i] = i + 1000
+	}
+	got := map[int]int{}
+	m.Range(func(k, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	visits := 0
+	m.Range(func(int, int) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("early-stop Range made %d visits", visits)
+	}
+}
+
+func TestCuckooUpdateKeepsCount(t *testing.T) {
+	m := NewCuckooMap[int, string]()
+	for i := 0; i < 100; i++ {
+		m.Insert(7, fmt.Sprint(i))
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after repeated same-key inserts", m.Len())
+	}
+	if v, _ := m.Find(7); v != "99" {
+		t.Fatalf("latest value = %q", v)
+	}
+}
+
+// Property: the cuckoo map agrees with a builtin map under a random
+// sequence of inserts, deletes, and finds.
+func TestCuckooQuickAgainstModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+		Val  int32
+	}
+	prop := func(ops []op) bool {
+		m := NewCuckooMapSize[uint16, int32](8)
+		model := map[uint16]int32{}
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				_, existed := model[o.Key]
+				model[o.Key] = o.Val
+				if m.Insert(o.Key, o.Val) != !existed {
+					return false
+				}
+			case 1:
+				_, existed := model[o.Key]
+				delete(model, o.Key)
+				if m.Delete(o.Key) != existed {
+					return false
+				}
+			case 2:
+				mv, mok := model[o.Key]
+				gv, gok := m.Find(o.Key)
+				if mok != gok || (mok && mv != gv) {
+					return false
+				}
+			}
+		}
+		return m.Len() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCuckooConcurrentDistinctKeys(t *testing.T) {
+	m := NewCuckooMapSize[int, int](8)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			base := w * per
+			for i := 0; i < per; i++ {
+				if !m.Insert(base+i, base+i) {
+					t.Errorf("Insert(%d) saw duplicate", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", m.Len(), workers*per)
+	}
+	for i := 0; i < workers*per; i++ {
+		if v, ok := m.Find(i); !ok || v != i {
+			t.Fatalf("Find(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestCuckooConcurrentSameKeyAlwaysConsistent(t *testing.T) {
+	// The paper: "multiple insertions on the same key [are] always
+	// consistent". Hammer one key from many writers; the final value
+	// must be one of the written values and Len must be exactly 1.
+	m := NewCuckooMap[string, int]()
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Insert("hot", w*10_000+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	v, ok := m.Find("hot")
+	if !ok || v < 0 || v >= workers*10_000 {
+		t.Fatalf("final value %d out of range", v)
+	}
+}
+
+func TestCuckooConcurrentMixedWorkload(t *testing.T) {
+	m := NewCuckooMapSize[int, int](16)
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				k := rng.Intn(512)
+				switch rng.Intn(3) {
+				case 0:
+					m.Insert(k, k)
+				case 1:
+					m.Delete(k)
+				case 2:
+					if v, ok := m.Find(k); ok && v != k {
+						t.Errorf("Find(%d) returned %d", k, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every surviving entry must map k -> k, and Len must agree with a
+	// full scan.
+	scan := 0
+	m.Range(func(k, v int) bool {
+		scan++
+		if v != k {
+			t.Errorf("entry %d -> %d", k, v)
+		}
+		return true
+	})
+	if scan != m.Len() {
+		t.Fatalf("scan found %d entries, Len = %d", scan, m.Len())
+	}
+}
+
+func TestCuckooDisplacementPath(t *testing.T) {
+	// A tiny table forces displacement chains and growth quickly.
+	m := NewCuckooMapSize[uint64, uint64](8)
+	for i := uint64(0); i < 2000; i++ {
+		m.Insert(i, i)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		if v, ok := m.Find(i); !ok || v != i {
+			t.Fatalf("lost key %d after displacement/growth (got %d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestMix64(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		h := Mix64(i)
+		if seen[h] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[h] = true
+	}
+	if Mix64(0) == 0 {
+		t.Fatal("Mix64(0) should not be 0")
+	}
+}
+
+func TestNewHasherIndependence(t *testing.T) {
+	h1 := NewHasher[int]()
+	h2 := NewHasher[int]()
+	same := 0
+	for i := 0; i < 256; i++ {
+		if h1(i) == h2(i) {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Fatalf("two hashers agreed on %d/256 inputs; seeds not independent", same)
+	}
+	// Deterministic within one hasher.
+	for i := 0; i < 16; i++ {
+		if h1(i) != h1(i) {
+			t.Fatal("hasher not deterministic")
+		}
+	}
+}

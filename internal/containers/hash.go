@@ -1,0 +1,67 @@
+// Package containers implements the node-local concurrent data structures
+// that back every HCL distributed container (paper Section III-D): a
+// cuckoo hash map (unordered map/set partitions), a lock-free skip list and
+// a red-black tree (ordered map/set partitions), a Michael–Scott FIFO queue,
+// and skip-list / binary-heap priority queues. These are the structures the
+// RPC handlers mutate on the target node, so they must tolerate fully
+// concurrent multi-writer multi-reader access.
+package containers
+
+import (
+	"hash/maphash"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Hasher computes a 64-bit hash of a key. The library uses two independent
+// levels of hashing, as the paper describes: a stable cross-process hash to
+// choose the partition, and fast per-process hashes inside the partition.
+type Hasher[K comparable] func(K) uint64
+
+// NewHasher returns a fast per-process hasher with its own random seed.
+// Two calls return independent hash functions — exactly what cuckoo
+// hashing needs.
+func NewHasher[K comparable]() Hasher[K] {
+	seed := maphash.MakeSeed()
+	return func(k K) uint64 { return maphash.Comparable(seed, k) }
+}
+
+// Mix64 is a splitmix64 finalizer used to derive secondary hashes and
+// sequence-number tie-breakers.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is a tiny lock-free pseudo-random source for skip-list levels.
+type rng struct {
+	state atomic.Uint64
+}
+
+func newRNG(seed uint64) *rng {
+	r := &rng{}
+	r.state.Store(seed | 1)
+	return r
+}
+
+// next returns the next pseudo-random value; contention-safe.
+func (r *rng) next() uint64 {
+	for {
+		old := r.state.Load()
+		nxt := Mix64(old)
+		if r.state.CompareAndSwap(old, nxt) {
+			return nxt
+		}
+	}
+}
+
+// randomLevel draws a geometric(1/2) level in [1, max].
+func (r *rng) randomLevel(max int) int {
+	lvl := bits.TrailingZeros64(r.next()|1<<(max-1)) + 1
+	if lvl > max {
+		lvl = max
+	}
+	return lvl
+}

@@ -1,0 +1,106 @@
+package containers
+
+import "sync"
+
+// HeapPQ is a mutex-protected binary heap. It exists as the ablation
+// baseline for SkipPQ: identical semantics, coarse-grained locking, so the
+// benches can quantify what lock freedom buys under concurrency.
+type HeapPQ[T any] struct {
+	mu   sync.Mutex
+	less func(a, b T) bool
+	data []T
+}
+
+// NewHeapPQ returns an empty heap ordered by less (min first).
+func NewHeapPQ[T any](less func(a, b T) bool) *HeapPQ[T] {
+	return &HeapPQ[T]{less: less}
+}
+
+// Len reports the number of elements.
+func (h *HeapPQ[T]) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.data)
+}
+
+// Push inserts v.
+func (h *HeapPQ[T]) Push(v T) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.data = append(h.data, v)
+	h.up(len(h.data) - 1)
+}
+
+// PopMin removes and returns the minimum element.
+func (h *HeapPQ[T]) PopMin() (T, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var zero T
+	n := len(h.data)
+	if n == 0 {
+		return zero, false
+	}
+	top := h.data[0]
+	h.data[0] = h.data[n-1]
+	h.data[n-1] = zero
+	h.data = h.data[:n-1]
+	if len(h.data) > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// PeekMin returns the minimum element without removing it.
+func (h *HeapPQ[T]) PeekMin() (T, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.data) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.data[0], true
+}
+
+func (h *HeapPQ[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.data[i], h.data[parent]) {
+			return
+		}
+		h.data[i], h.data[parent] = h.data[parent], h.data[i]
+		i = parent
+	}
+}
+
+func (h *HeapPQ[T]) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.data[l], h.data[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.data[r], h.data[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.data[i], h.data[smallest] = h.data[smallest], h.data[i]
+		i = smallest
+	}
+}
+
+// PQ is the interface both priority-queue engines satisfy; the ordered
+// container layer and the ablation benches program against it.
+type PQ[T any] interface {
+	Push(v T)
+	PopMin() (T, bool)
+	PeekMin() (T, bool)
+	Len() int
+}
+
+var (
+	_ PQ[int] = (*SkipPQ[int])(nil)
+	_ PQ[int] = (*HeapPQ[int])(nil)
+)

@@ -1,0 +1,88 @@
+package containers
+
+import "sync/atomic"
+
+// MSQueue is a lock-free multi-writer multi-reader FIFO queue in the
+// Michael–Scott style, the engine behind HCL::queue partitions (the paper
+// cites the closely related optimistic queue of Ladan-Mozes & Shavit; the
+// MS queue provides the same lock-free MWMR FIFO semantics — see
+// DESIGN.md). Push CASes a node onto the tail; pop CASes the head forward;
+// lagging tails are repaired cooperatively by whichever thread notices
+// them, which plays the role of the paper's background fix-list pass.
+type MSQueue[T any] struct {
+	head  atomic.Pointer[msNode[T]]
+	tail  atomic.Pointer[msNode[T]]
+	count atomic.Int64
+}
+
+type msNode[T any] struct {
+	v    T
+	next atomic.Pointer[msNode[T]]
+}
+
+// NewMSQueue returns an empty queue.
+func NewMSQueue[T any]() *MSQueue[T] {
+	q := &MSQueue[T]{}
+	sentinel := &msNode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Len reports the number of queued elements.
+func (q *MSQueue[T]) Len() int { return int(q.count.Load()) }
+
+// Push appends v to the back of the queue.
+func (q *MSQueue[T]) Push(v T) {
+	node := &msNode[T]{v: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if next != nil {
+			// Tail is lagging: help swing it forward.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, node) {
+			q.tail.CompareAndSwap(tail, node)
+			q.count.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the front element.
+func (q *MSQueue[T]) Pop() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if next == nil {
+			return zero, false // empty
+		}
+		if head == tail {
+			// Tail lagging behind a non-empty queue: help.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.head.CompareAndSwap(head, next) {
+			q.count.Add(-1)
+			v := next.v
+			var z T
+			next.v = z // release the payload for GC
+			return v, true
+		}
+	}
+}
+
+// Peek returns the front element without removing it.
+func (q *MSQueue[T]) Peek() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	next := head.next.Load()
+	if next == nil {
+		return zero, false
+	}
+	return next.v, true
+}

@@ -1,0 +1,82 @@
+package containers
+
+import "sync"
+
+// OrderedEngine is the contract an ordered-map partition engine must
+// satisfy. Two implementations ship: the lock-free SkipList (default) and
+// the LatchedRBTree (ablation).
+type OrderedEngine[K any, V any] interface {
+	Insert(k K, v V) bool
+	Find(k K) (V, bool)
+	Delete(k K) bool
+	Min() (K, V, bool)
+	Len() int
+	Range(fn func(K, V) bool)
+	RangeFrom(from K, fn func(K, V) bool)
+}
+
+// LatchedRBTree wraps the sequential red-black tree with a read-write
+// latch, giving it the OrderedEngine interface.
+type LatchedRBTree[K any, V any] struct {
+	mu sync.RWMutex
+	t  *RBTree[K, V]
+}
+
+// NewLatchedRBTree returns an empty latched tree ordered by less.
+func NewLatchedRBTree[K any, V any](less func(a, b K) bool) *LatchedRBTree[K, V] {
+	return &LatchedRBTree[K, V]{t: NewRBTree[K, V](less)}
+}
+
+// Insert implements OrderedEngine.
+func (l *LatchedRBTree[K, V]) Insert(k K, v V) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Insert(k, v)
+}
+
+// Find implements OrderedEngine.
+func (l *LatchedRBTree[K, V]) Find(k K) (V, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.t.Find(k)
+}
+
+// Delete implements OrderedEngine.
+func (l *LatchedRBTree[K, V]) Delete(k K) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Delete(k)
+}
+
+// Min implements OrderedEngine.
+func (l *LatchedRBTree[K, V]) Min() (K, V, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.t.Min()
+}
+
+// Len implements OrderedEngine.
+func (l *LatchedRBTree[K, V]) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.t.Len()
+}
+
+// Range implements OrderedEngine.
+func (l *LatchedRBTree[K, V]) Range(fn func(K, V) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.t.Range(fn)
+}
+
+// RangeFrom implements OrderedEngine.
+func (l *LatchedRBTree[K, V]) RangeFrom(from K, fn func(K, V) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	l.t.RangeFrom(from, fn)
+}
+
+var (
+	_ OrderedEngine[int, int] = (*SkipList[int, int])(nil)
+	_ OrderedEngine[int, int] = (*LatchedRBTree[int, int])(nil)
+)

@@ -1,0 +1,346 @@
+package containers
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSQueueFIFO(t *testing.T) {
+	q := NewMSQueue[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if v, ok := q.Peek(); !ok || v != 0 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop %d = %d,%v", i, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestMSQueueInterleaved(t *testing.T) {
+	q := NewMSQueue[int]()
+	next := 0
+	expect := 0
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10_000; i++ {
+		if rng.Intn(2) == 0 || next == expect {
+			q.Push(next)
+			next++
+		} else {
+			v, ok := q.Pop()
+			if !ok || v != expect {
+				t.Fatalf("Pop = %d,%v, want %d", v, ok, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestMSQueueConcurrentMPMC(t *testing.T) {
+	q := NewMSQueue[int]()
+	const producers, consumers, per = 4, 4, 5000
+	var wg sync.WaitGroup
+	results := make(chan int, producers*per)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(p*per + i)
+			}
+		}(p)
+	}
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				if v, ok := q.Pop(); ok {
+					results <- v
+					continue
+				}
+				select {
+				case <-done:
+					// Drain any stragglers before exiting.
+					for {
+						v, ok := q.Pop()
+						if !ok {
+							return
+						}
+						results <- v
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	close(results)
+	seen := make(map[int]bool, producers*per)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*per {
+		t.Fatalf("popped %d values, want %d", len(seen), producers*per)
+	}
+}
+
+func TestMSQueuePerProducerOrderPreserved(t *testing.T) {
+	// FIFO per producer: a single consumer must see each producer's
+	// values in increasing order.
+	q := NewMSQueue[[2]int]()
+	const producers, per = 4, 3000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := map[int]int{}
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		p, i := v[0], v[1]
+		if prev, ok := last[p]; ok && i != prev+1 {
+			t.Fatalf("producer %d order broken: %d after %d", p, i, prev)
+		}
+		last[p] = i
+	}
+}
+
+func TestSkipPQOrdering(t *testing.T) {
+	pq := NewSkipPQ[int](intLess)
+	if _, ok := pq.PopMin(); ok {
+		t.Fatal("pop from empty pq")
+	}
+	if _, ok := pq.PeekMin(); ok {
+		t.Fatal("peek on empty pq")
+	}
+	vals := rand.New(rand.NewSource(6)).Perm(2000)
+	for _, v := range vals {
+		pq.Push(v)
+	}
+	if pq.Len() != 2000 {
+		t.Fatalf("Len = %d", pq.Len())
+	}
+	if v, ok := pq.PeekMin(); !ok || v != 0 {
+		t.Fatalf("PeekMin = %d,%v", v, ok)
+	}
+	for i := 0; i < 2000; i++ {
+		v, ok := pq.PopMin()
+		if !ok || v != i {
+			t.Fatalf("PopMin %d = %d,%v", i, v, ok)
+		}
+	}
+	if pq.Len() != 0 {
+		t.Fatalf("Len after drain = %d", pq.Len())
+	}
+}
+
+func TestSkipPQDuplicatePrioritiesFIFO(t *testing.T) {
+	// Equal priorities pop in arrival order (sequence tie-break).
+	type job struct {
+		pri int
+		id  int
+	}
+	pq := NewSkipPQ[job](func(a, b job) bool { return a.pri < b.pri })
+	for i := 0; i < 100; i++ {
+		pq.Push(job{pri: 7, id: i})
+	}
+	for i := 0; i < 100; i++ {
+		j, ok := pq.PopMin()
+		if !ok || j.id != i {
+			t.Fatalf("duplicate-priority order: got id %d at pop %d", j.id, i)
+		}
+	}
+}
+
+func TestSkipPQConcurrent(t *testing.T) {
+	pq := NewSkipPQ[int](intLess)
+	const producers, per = 8, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				pq.Push(p*per + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Concurrent pops must return each value once; collect and verify.
+	var mu sync.Mutex
+	got := make([]int, 0, producers*per)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := pq.PopMin()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got = append(got, v)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != producers*per {
+		t.Fatalf("popped %d values", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("missing or duplicated value at %d: %d", i, v)
+		}
+	}
+}
+
+func TestSkipPQPopMinIsGloballyMinAtQuiescence(t *testing.T) {
+	pq := NewSkipPQ[int](intLess)
+	for _, v := range []int{42, 7, 99, 1, 55} {
+		pq.Push(v)
+	}
+	order := []int{1, 7, 42, 55, 99}
+	for _, want := range order {
+		if v, _ := pq.PopMin(); v != want {
+			t.Fatalf("PopMin = %d, want %d", v, want)
+		}
+	}
+}
+
+func TestHeapPQMatchesSkipPQ(t *testing.T) {
+	prop := func(vals []int16) bool {
+		h := NewHeapPQ[int16](func(a, b int16) bool { return a < b })
+		s := NewSkipPQ[int16](func(a, b int16) bool { return a < b })
+		for _, v := range vals {
+			h.Push(v)
+			s.Push(v)
+		}
+		if h.Len() != s.Len() {
+			return false
+		}
+		for {
+			hv, hok := h.PopMin()
+			sv, sok := s.PopMin()
+			if hok != sok {
+				return false
+			}
+			if !hok {
+				return true
+			}
+			if hv != sv {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapPQBasics(t *testing.T) {
+	h := NewHeapPQ[int](intLess)
+	if _, ok := h.PopMin(); ok {
+		t.Fatal("empty pop")
+	}
+	if _, ok := h.PeekMin(); ok {
+		t.Fatal("empty peek")
+	}
+	h.Push(5)
+	h.Push(1)
+	h.Push(3)
+	if v, ok := h.PeekMin(); !ok || v != 1 {
+		t.Fatalf("PeekMin = %d", v)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for _, want := range []int{1, 3, 5} {
+		if v, _ := h.PopMin(); v != want {
+			t.Fatalf("PopMin = %d, want %d", v, want)
+		}
+	}
+}
+
+func TestHeapPQConcurrent(t *testing.T) {
+	h := NewHeapPQ[int](intLess)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Push(w*1000 + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() != 8000 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	prev := -1
+	for {
+		v, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		if v <= prev {
+			t.Fatalf("heap order violated: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSkipPQPurge(t *testing.T) {
+	pq := NewSkipPQ[int](intLess)
+	for i := 0; i < 1000; i++ {
+		pq.Push(i)
+	}
+	for i := 0; i < 500; i++ {
+		pq.PopMin()
+	}
+	pq.Purge()
+	if v, ok := pq.PeekMin(); !ok || v != 500 {
+		t.Fatalf("PeekMin after purge = %d,%v", v, ok)
+	}
+	if pq.Len() != 500 {
+		t.Fatalf("Len = %d", pq.Len())
+	}
+}

@@ -1,0 +1,398 @@
+package containers
+
+// RBTree is a classic sequential red-black tree. Wrapped in LatchedRBTree
+// it is the ablation alternative to the lock-free skip list for ordered
+// partitions (the paper's cited engine is a concurrent red-black tree; the
+// latched variant preserves its O(log n) balanced-tree behaviour with
+// coarse concurrency control, which the ablation bench quantifies).
+type RBTree[K any, V any] struct {
+	root  *rbNode[K, V]
+	less  func(a, b K) bool
+	count int
+}
+
+type rbColor bool
+
+const (
+	rbRed   rbColor = false
+	rbBlack rbColor = true
+)
+
+type rbNode[K any, V any] struct {
+	k                   K
+	v                   V
+	left, right, parent *rbNode[K, V]
+	color               rbColor
+}
+
+// NewRBTree returns an empty tree ordered by less.
+func NewRBTree[K any, V any](less func(a, b K) bool) *RBTree[K, V] {
+	return &RBTree[K, V]{less: less}
+}
+
+// Len reports the number of entries.
+func (t *RBTree[K, V]) Len() int { return t.count }
+
+func (t *RBTree[K, V]) equal(a, b K) bool { return !t.less(a, b) && !t.less(b, a) }
+
+// Find returns the value stored under k.
+func (t *RBTree[K, V]) Find(k K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(k, n.k):
+			n = n.left
+		case t.less(n.k, k):
+			n = n.right
+		default:
+			return n.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert stores v under k, returning true when k was newly inserted.
+func (t *RBTree[K, V]) Insert(k K, v V) bool {
+	var parent *rbNode[K, V]
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		switch {
+		case t.less(k, parent.k):
+			link = &parent.left
+		case t.less(parent.k, k):
+			link = &parent.right
+		default:
+			parent.v = v
+			return false
+		}
+	}
+	n := &rbNode[K, V]{k: k, v: v, parent: parent, color: rbRed}
+	*link = n
+	t.count++
+	t.insertFixup(n)
+	return true
+}
+
+func (t *RBTree[K, V]) insertFixup(n *rbNode[K, V]) {
+	for n.parent != nil && n.parent.color == rbRed {
+		gp := n.parent.parent
+		if n.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.color == rbRed {
+				n.parent.color = rbBlack
+				uncle.color = rbBlack
+				gp.color = rbRed
+				n = gp
+				continue
+			}
+			if n == n.parent.right {
+				n = n.parent
+				t.rotateLeft(n)
+			}
+			n.parent.color = rbBlack
+			gp.color = rbRed
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.color == rbRed {
+				n.parent.color = rbBlack
+				uncle.color = rbBlack
+				gp.color = rbRed
+				n = gp
+				continue
+			}
+			if n == n.parent.left {
+				n = n.parent
+				t.rotateRight(n)
+			}
+			n.parent.color = rbBlack
+			gp.color = rbRed
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.color = rbBlack
+}
+
+func (t *RBTree[K, V]) rotateLeft(x *rbNode[K, V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *RBTree[K, V]) rotateRight(x *rbNode[K, V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *RBTree[K, V]) Delete(k K) bool {
+	z := t.root
+	for z != nil && !t.equal(z.k, k) {
+		if t.less(k, z.k) {
+			z = z.left
+		} else {
+			z = z.right
+		}
+	}
+	if z == nil {
+		return false
+	}
+	t.count--
+	t.deleteNode(z)
+	return true
+}
+
+func (t *RBTree[K, V]) deleteNode(z *rbNode[K, V]) {
+	y := z
+	yColor := y.color
+	var x, xParent *rbNode[K, V]
+	switch {
+	case z.left == nil:
+		x, xParent = z.right, z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x, xParent = z.left, z.parent
+		t.transplant(z, z.left)
+	default:
+		y = t.minNode(z.right)
+		yColor = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yColor == rbBlack {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func (t *RBTree[K, V]) transplant(u, v *rbNode[K, V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *RBTree[K, V]) minNode(n *rbNode[K, V]) *rbNode[K, V] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func isBlack[K any, V any](n *rbNode[K, V]) bool { return n == nil || n.color == rbBlack }
+
+func (t *RBTree[K, V]) deleteFixup(x, parent *rbNode[K, V]) {
+	for x != t.root && isBlack(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w != nil && w.color == rbRed {
+				w.color = rbBlack
+				parent.color = rbRed
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x, parent = parent, parent.parent
+				continue
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.color = rbRed
+				x, parent = parent, parent.parent
+				continue
+			}
+			if isBlack(w.right) {
+				if w.left != nil {
+					w.left.color = rbBlack
+				}
+				w.color = rbRed
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.color = parent.color
+			parent.color = rbBlack
+			if w.right != nil {
+				w.right.color = rbBlack
+			}
+			t.rotateLeft(parent)
+			x = t.root
+			break
+		}
+		w := parent.left
+		if w != nil && w.color == rbRed {
+			w.color = rbBlack
+			parent.color = rbRed
+			t.rotateRight(parent)
+			w = parent.left
+		}
+		if w == nil {
+			x, parent = parent, parent.parent
+			continue
+		}
+		if isBlack(w.left) && isBlack(w.right) {
+			w.color = rbRed
+			x, parent = parent, parent.parent
+			continue
+		}
+		if isBlack(w.left) {
+			if w.right != nil {
+				w.right.color = rbBlack
+			}
+			w.color = rbRed
+			t.rotateLeft(w)
+			w = parent.left
+		}
+		w.color = parent.color
+		parent.color = rbBlack
+		if w.left != nil {
+			w.left.color = rbBlack
+		}
+		t.rotateRight(parent)
+		x = t.root
+		break
+	}
+	if x != nil {
+		x.color = rbBlack
+	}
+}
+
+// Min returns the smallest entry.
+func (t *RBTree[K, V]) Min() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := t.minNode(t.root)
+	return n.k, n.v, true
+}
+
+// Range calls fn over entries in ascending order until fn returns false.
+func (t *RBTree[K, V]) Range(fn func(K, V) bool) {
+	t.rangeNode(t.root, fn)
+}
+
+func (t *RBTree[K, V]) rangeNode(n *rbNode[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !t.rangeNode(n.left, fn) {
+		return false
+	}
+	if !fn(n.k, n.v) {
+		return false
+	}
+	return t.rangeNode(n.right, fn)
+}
+
+// RangeFrom behaves like Range starting at the first key >= from.
+func (t *RBTree[K, V]) RangeFrom(from K, fn func(K, V) bool) {
+	t.rangeFromNode(t.root, from, fn)
+}
+
+func (t *RBTree[K, V]) rangeFromNode(n *rbNode[K, V], from K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !t.less(n.k, from) { // n.k >= from: left subtree may contribute
+		if !t.rangeFromNode(n.left, from, fn) {
+			return false
+		}
+		if !fn(n.k, n.v) {
+			return false
+		}
+	}
+	return t.rangeFromNode(n.right, from, fn)
+}
+
+// checkInvariants verifies red-black properties; used by tests.
+func (t *RBTree[K, V]) checkInvariants() (ok bool, reason string) {
+	if t.root == nil {
+		return true, ""
+	}
+	if t.root.color != rbBlack {
+		return false, "root is red"
+	}
+	_, ok, reason = t.checkNode(t.root)
+	return ok, reason
+}
+
+func (t *RBTree[K, V]) checkNode(n *rbNode[K, V]) (blackHeight int, ok bool, reason string) {
+	if n == nil {
+		return 1, true, ""
+	}
+	if n.color == rbRed {
+		if !isBlack(n.left) || !isBlack(n.right) {
+			return 0, false, "red node with red child"
+		}
+	}
+	if n.left != nil && (n.left.parent != n || !t.less(n.left.k, n.k)) {
+		return 0, false, "left child parent/order violation"
+	}
+	if n.right != nil && (n.right.parent != n || !t.less(n.k, n.right.k)) {
+		return 0, false, "right child parent/order violation"
+	}
+	lh, ok, reason := t.checkNode(n.left)
+	if !ok {
+		return 0, false, reason
+	}
+	rh, ok, reason := t.checkNode(n.right)
+	if !ok {
+		return 0, false, reason
+	}
+	if lh != rh {
+		return 0, false, "black height mismatch"
+	}
+	if n.color == rbBlack {
+		lh++
+	}
+	return lh, true, ""
+}

@@ -1,0 +1,249 @@
+package containers
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRBTreeBasicOps(t *testing.T) {
+	tr := NewRBTree[int, string](intLess)
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if !tr.Insert(1, "one") || tr.Insert(1, "ONE") {
+		t.Fatal("insert/update semantics")
+	}
+	if v, ok := tr.Find(1); !ok || v != "ONE" {
+		t.Fatalf("Find = %q,%v", v, ok)
+	}
+	if _, ok := tr.Find(2); ok {
+		t.Fatal("absent key")
+	}
+	if !tr.Delete(1) || tr.Delete(1) {
+		t.Fatal("delete semantics")
+	}
+}
+
+func TestRBTreeInvariantsUnderInsertion(t *testing.T) {
+	tr := NewRBTree[int, int](intLess)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		tr.Insert(rng.Intn(10_000), i)
+		if i%500 == 0 {
+			if ok, reason := tr.checkInvariants(); !ok {
+				t.Fatalf("invariant broken after %d inserts: %s", i+1, reason)
+			}
+		}
+	}
+	if ok, reason := tr.checkInvariants(); !ok {
+		t.Fatal(reason)
+	}
+}
+
+func TestRBTreeInvariantsUnderDeletion(t *testing.T) {
+	tr := NewRBTree[int, int](intLess)
+	const n = 3000
+	perm := rand.New(rand.NewSource(9)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(k, k)
+	}
+	del := rand.New(rand.NewSource(10)).Perm(n)
+	for i, k := range del {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if i%200 == 0 {
+			if ok, reason := tr.checkInvariants(); !ok {
+				t.Fatalf("invariant broken after %d deletes: %s", i+1, reason)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestRBTreeOrderedScanAndMin(t *testing.T) {
+	tr := NewRBTree[int, int](intLess)
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min of empty tree")
+	}
+	for _, k := range rand.New(rand.NewSource(4)).Perm(1000) {
+		tr.Insert(k, -k)
+	}
+	if k, v, ok := tr.Min(); !ok || k != 0 || v != 0 {
+		t.Fatalf("Min = %d,%d,%v", k, v, ok)
+	}
+	prev := -1
+	tr.Range(func(k, v int) bool {
+		if k <= prev || v != -k {
+			t.Fatalf("scan violation at %d", k)
+		}
+		prev = k
+		return true
+	})
+	if prev != 999 {
+		t.Fatalf("scan stopped at %d", prev)
+	}
+}
+
+func TestRBTreeRangeFrom(t *testing.T) {
+	tr := NewRBTree[int, int](intLess)
+	for i := 0; i < 50; i += 5 {
+		tr.Insert(i, i)
+	}
+	var got []int
+	tr.RangeFrom(12, func(k, _ int) bool {
+		got = append(got, k)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[0] != 15 || got[1] != 20 || got[2] != 25 {
+		t.Fatalf("RangeFrom = %v", got)
+	}
+}
+
+func TestRBTreeQuickAgainstModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  int8
+		Val  int16
+	}
+	prop := func(ops []op) bool {
+		tr := NewRBTree[int8, int16](func(a, b int8) bool { return a < b })
+		model := map[int8]int16{}
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				_, existed := model[o.Key]
+				model[o.Key] = o.Val
+				if tr.Insert(o.Key, o.Val) != !existed {
+					return false
+				}
+			case 1:
+				_, existed := model[o.Key]
+				delete(model, o.Key)
+				if tr.Delete(o.Key) != existed {
+					return false
+				}
+			case 2:
+				mv, mok := model[o.Key]
+				gv, gok := tr.Find(o.Key)
+				if mok != gok || (mok && mv != gv) {
+					return false
+				}
+			}
+		}
+		if ok, _ := tr.checkInvariants(); !ok {
+			return false
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		keys := make([]int8, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		good := true
+		tr.Range(func(k int8, v int16) bool {
+			if i >= len(keys) || keys[i] != k || model[k] != v {
+				good = false
+				return false
+			}
+			i++
+			return true
+		})
+		return good && i == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatchedRBTreeConcurrent(t *testing.T) {
+	l := NewLatchedRBTree[int, int](intLess)
+	const workers, per = 8, 1500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				l.Insert(k, k)
+				if v, ok := l.Find(k); !ok || v != k {
+					t.Errorf("Find(%d) after insert = %d,%v", k, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != workers*per {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if k, _, ok := l.Min(); !ok || k != 0 {
+		t.Fatalf("Min = %d,%v", k, ok)
+	}
+	// Interface parity with the skip list on Range/RangeFrom/Delete.
+	n := 0
+	l.Range(func(int, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("Range early stop at %d", n)
+	}
+	var got []int
+	l.RangeFrom(workers*per-3, func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != 3 {
+		t.Fatalf("RangeFrom tail = %v", got)
+	}
+	if !l.Delete(0) || l.Delete(0) {
+		t.Fatal("Delete semantics")
+	}
+}
+
+// Both ordered engines must behave identically on the same op sequence.
+func TestOrderedEnginesAgree(t *testing.T) {
+	engines := func() []OrderedEngine[int, int] {
+		return []OrderedEngine[int, int]{
+			NewSkipList[int, int](intLess),
+			NewLatchedRBTree[int, int](intLess),
+		}
+	}
+	es := engines()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(700)
+		switch rng.Intn(3) {
+		case 0:
+			r0 := es[0].Insert(k, i)
+			r1 := es[1].Insert(k, i)
+			if r0 != r1 {
+				t.Fatalf("Insert(%d) disagreement: %v vs %v", k, r0, r1)
+			}
+		case 1:
+			r0 := es[0].Delete(k)
+			r1 := es[1].Delete(k)
+			if r0 != r1 {
+				t.Fatalf("Delete(%d) disagreement", k)
+			}
+		case 2:
+			v0, ok0 := es[0].Find(k)
+			v1, ok1 := es[1].Find(k)
+			if ok0 != ok1 || (ok0 && v0 != v1) {
+				t.Fatalf("Find(%d) disagreement: (%d,%v) vs (%d,%v)", k, v0, ok0, v1, ok1)
+			}
+		}
+	}
+	if es[0].Len() != es[1].Len() {
+		t.Fatalf("Len disagreement: %d vs %d", es[0].Len(), es[1].Len())
+	}
+	k0, _, ok0 := es[0].Min()
+	k1, _, ok1 := es[1].Min()
+	if ok0 != ok1 || (ok0 && k0 != k1) {
+		t.Fatalf("Min disagreement")
+	}
+}

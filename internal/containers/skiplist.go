@@ -1,0 +1,271 @@
+package containers
+
+import "sync/atomic"
+
+// SkipList is a lock-free concurrent ordered map (Herlihy–Shavit style,
+// with markable successor references). It is the default engine behind
+// HCL's ordered map/set partitions, substituting for the paper's wait-free
+// red-black tree: both give O(log n) ordered operations under full MWMR
+// concurrency; see DESIGN.md for the substitution rationale.
+//
+// Deletion is logical-then-physical: a node is first marked at every level
+// (the mark travels inside the successor reference so it is CASable
+// atomically with the link), then unlinked by the next traversal that
+// passes it — the "asynchronous conflict resolution" the paper relies on.
+type SkipList[K any, V any] struct {
+	head  *slNode[K, V]
+	tail  *slNode[K, V]
+	less  func(a, b K) bool
+	rnd   *rng
+	count atomic.Int64
+}
+
+const slMaxLevel = 24
+
+type slSucc[K any, V any] struct {
+	next   *slNode[K, V]
+	marked bool
+}
+
+type slNode[K any, V any] struct {
+	k     K
+	v     atomic.Pointer[V]
+	next  [slMaxLevel]atomic.Pointer[slSucc[K, V]]
+	level int // number of levels this node participates in
+}
+
+// NewSkipList returns an empty list ordered by less. For map semantics,
+// keys a and b are considered equal when !less(a,b) && !less(b,a).
+func NewSkipList[K any, V any](less func(a, b K) bool) *SkipList[K, V] {
+	s := &SkipList[K, V]{
+		less: less,
+		rnd:  newRNG(0x9e3779b97f4a7c15),
+	}
+	s.head = &slNode[K, V]{level: slMaxLevel}
+	s.tail = &slNode[K, V]{level: slMaxLevel}
+	for i := 0; i < slMaxLevel; i++ {
+		s.head.next[i].Store(&slSucc[K, V]{next: s.tail})
+		s.tail.next[i].Store(&slSucc[K, V]{})
+	}
+	return s
+}
+
+// Len reports the number of live entries.
+func (s *SkipList[K, V]) Len() int { return int(s.count.Load()) }
+
+// find locates the position of k at every level, snipping marked nodes it
+// passes. It fills preds/succs/psp (the successor pointer loaded from each
+// pred, needed for CAS) and reports whether an unmarked node with key k
+// sits at level 0.
+func (s *SkipList[K, V]) find(k K, preds, succs *[slMaxLevel]*slNode[K, V], psp *[slMaxLevel]*slSucc[K, V]) bool {
+retry:
+	for {
+		pred := s.head
+		for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+			sp := pred.next[lvl].Load()
+			if sp.marked {
+				// pred was deleted beneath us; its pointer is frozen
+				// and possibly detached — restart from the head. A CAS
+				// against a marked pointer would resurrect a deleted
+				// node or link into a detached chain.
+				continue retry
+			}
+			curr := sp.next
+			for {
+				if curr == s.tail {
+					break
+				}
+				cs := curr.next[lvl].Load()
+				for cs.marked {
+					// Snip the marked node out of this level.
+					if !pred.next[lvl].CompareAndSwap(sp, &slSucc[K, V]{next: cs.next}) {
+						continue retry
+					}
+					sp = pred.next[lvl].Load()
+					if sp.marked {
+						continue retry
+					}
+					curr = sp.next
+					if curr == s.tail {
+						break
+					}
+					cs = curr.next[lvl].Load()
+				}
+				if curr == s.tail || !s.less(curr.k, k) {
+					break
+				}
+				pred = curr
+				sp = cs
+				curr = cs.next
+			}
+			preds[lvl] = pred
+			succs[lvl] = curr
+			psp[lvl] = sp
+		}
+		c := succs[0]
+		return c != s.tail && !s.less(k, c.k) && !s.less(c.k, k)
+	}
+}
+
+// Find returns the value stored under k.
+func (s *SkipList[K, V]) Find(k K) (V, bool) {
+	var zero V
+	// Wait-free read path: traverse without snipping.
+	pred := s.head
+	for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+		curr := pred.next[lvl].Load().next
+		for curr != s.tail && s.less(curr.k, k) {
+			pred = curr
+			curr = curr.next[lvl].Load().next
+		}
+		if curr != s.tail && !s.less(k, curr.k) && !curr.next[0].Load().marked {
+			if vp := curr.v.Load(); vp != nil {
+				return *vp, true
+			}
+			return zero, true
+		}
+	}
+	return zero, false
+}
+
+// Contains reports whether k is present.
+func (s *SkipList[K, V]) Contains(k K) bool {
+	_, ok := s.Find(k)
+	return ok
+}
+
+// Insert stores v under k. It returns true when k was newly inserted,
+// false when an existing entry's value was replaced.
+func (s *SkipList[K, V]) Insert(k K, v V) bool {
+	var preds, succs [slMaxLevel]*slNode[K, V]
+	var psp [slMaxLevel]*slSucc[K, V]
+	topLevel := s.rnd.randomLevel(slMaxLevel)
+	for {
+		if s.find(k, &preds, &succs, &psp) {
+			node := succs[0]
+			if node.next[0].Load().marked {
+				continue // being deleted; retry until it is gone
+			}
+			node.v.Store(&v)
+			return false
+		}
+		node := &slNode[K, V]{k: k, level: topLevel}
+		node.v.Store(&v)
+		for lvl := 0; lvl < topLevel; lvl++ {
+			node.next[lvl].Store(&slSucc[K, V]{next: succs[lvl]})
+		}
+		// Linearization point: link at level 0.
+		if !preds[0].next[0].CompareAndSwap(psp[0], &slSucc[K, V]{next: node}) {
+			continue
+		}
+		s.count.Add(1)
+		// Link the upper levels; each may need a refreshed snapshot.
+		for lvl := 1; lvl < topLevel; lvl++ {
+			for {
+				ns := node.next[lvl].Load()
+				if ns.marked {
+					return true // deleted concurrently; stop linking
+				}
+				if ns.next != succs[lvl] {
+					if !node.next[lvl].CompareAndSwap(ns, &slSucc[K, V]{next: succs[lvl]}) {
+						continue
+					}
+				}
+				if preds[lvl].next[lvl].CompareAndSwap(psp[lvl], &slSucc[K, V]{next: node}) {
+					break
+				}
+				s.find(k, &preds, &succs, &psp)
+				if succs[lvl] == node {
+					break // already linked by a helper
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Delete removes k, reporting whether this call removed it.
+func (s *SkipList[K, V]) Delete(k K) bool {
+	var preds, succs [slMaxLevel]*slNode[K, V]
+	var psp [slMaxLevel]*slSucc[K, V]
+	if !s.find(k, &preds, &succs, &psp) {
+		return false
+	}
+	node := succs[0]
+	// Mark the upper levels top-down.
+	for lvl := node.level - 1; lvl >= 1; lvl-- {
+		ns := node.next[lvl].Load()
+		for !ns.marked {
+			node.next[lvl].CompareAndSwap(ns, &slSucc[K, V]{next: ns.next, marked: true})
+			ns = node.next[lvl].Load()
+		}
+	}
+	// Level 0 mark is the linearization point; only one remover wins.
+	for {
+		ns := node.next[0].Load()
+		if ns.marked {
+			return false
+		}
+		if node.next[0].CompareAndSwap(ns, &slSucc[K, V]{next: ns.next, marked: true}) {
+			s.count.Add(-1)
+			s.find(k, &preds, &succs, &psp) // physical cleanup
+			return true
+		}
+	}
+}
+
+// Min returns the smallest live entry.
+func (s *SkipList[K, V]) Min() (K, V, bool) {
+	for curr := s.head.next[0].Load().next; curr != s.tail; curr = curr.next[0].Load().next {
+		cs := curr.next[0].Load()
+		if !cs.marked {
+			if vp := curr.v.Load(); vp != nil {
+				return curr.k, *vp, true
+			}
+		}
+	}
+	var zk K
+	var zv V
+	return zk, zv, false
+}
+
+// Range calls fn over live entries in ascending order until fn returns
+// false. The view is weakly consistent.
+func (s *SkipList[K, V]) Range(fn func(K, V) bool) {
+	for curr := s.head.next[0].Load().next; curr != s.tail; curr = curr.next[0].Load().next {
+		if curr.next[0].Load().marked {
+			continue
+		}
+		vp := curr.v.Load()
+		if vp == nil {
+			continue
+		}
+		if !fn(curr.k, *vp) {
+			return
+		}
+	}
+}
+
+// RangeFrom behaves like Range starting at the first key >= from.
+func (s *SkipList[K, V]) RangeFrom(from K, fn func(K, V) bool) {
+	pred := s.head
+	for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+		curr := pred.next[lvl].Load().next
+		for curr != s.tail && s.less(curr.k, from) {
+			pred = curr
+			curr = curr.next[lvl].Load().next
+		}
+	}
+	for curr := pred.next[0].Load().next; curr != s.tail; curr = curr.next[0].Load().next {
+		if s.less(curr.k, from) || curr.next[0].Load().marked {
+			continue
+		}
+		vp := curr.v.Load()
+		if vp == nil {
+			continue
+		}
+		if !fn(curr.k, *vp) {
+			return
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package containers
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestSkipListBasicOps(t *testing.T) {
+	s := NewSkipList[int, string](intLess)
+	if s.Len() != 0 {
+		t.Fatal("new list not empty")
+	}
+	if !s.Insert(5, "five") {
+		t.Fatal("first insert should be new")
+	}
+	if s.Insert(5, "FIVE") {
+		t.Fatal("same-key insert should update")
+	}
+	if v, ok := s.Find(5); !ok || v != "FIVE" {
+		t.Fatalf("Find = %q,%v", v, ok)
+	}
+	if _, ok := s.Find(6); ok {
+		t.Fatal("absent key found")
+	}
+	if !s.Contains(5) || s.Contains(7) {
+		t.Fatal("Contains")
+	}
+	if !s.Delete(5) || s.Delete(5) {
+		t.Fatal("Delete semantics")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSkipListOrderedIteration(t *testing.T) {
+	s := NewSkipList[int, int](intLess)
+	perm := rand.New(rand.NewSource(7)).Perm(2000)
+	for _, k := range perm {
+		s.Insert(k, k*2)
+	}
+	prev := -1
+	count := 0
+	s.Range(func(k, v int) bool {
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d: %d", k, v)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != 2000 {
+		t.Fatalf("Range visited %d", count)
+	}
+}
+
+func TestSkipListRangeFrom(t *testing.T) {
+	s := NewSkipList[int, int](intLess)
+	for i := 0; i < 100; i += 2 { // evens 0..98
+		s.Insert(i, i)
+	}
+	var got []int
+	s.RangeFrom(51, func(k, _ int) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	want := []int{52, 54, 56, 58, 60}
+	if len(got) != len(want) {
+		t.Fatalf("RangeFrom got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RangeFrom got %v, want %v", got, want)
+		}
+	}
+	// From beyond the maximum yields nothing.
+	s.RangeFrom(1000, func(int, int) bool { t.Fatal("unexpected visit"); return false })
+}
+
+func TestSkipListMin(t *testing.T) {
+	s := NewSkipList[int, string](intLess)
+	if _, _, ok := s.Min(); ok {
+		t.Fatal("Min on empty list")
+	}
+	s.Insert(10, "ten")
+	s.Insert(3, "three")
+	s.Insert(7, "seven")
+	if k, v, ok := s.Min(); !ok || k != 3 || v != "three" {
+		t.Fatalf("Min = %d,%q,%v", k, v, ok)
+	}
+	s.Delete(3)
+	if k, _, _ := s.Min(); k != 7 {
+		t.Fatalf("Min after delete = %d", k)
+	}
+}
+
+func TestSkipListQuickAgainstModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  int8
+		Val  int32
+	}
+	prop := func(ops []op) bool {
+		s := NewSkipList[int8, int32](func(a, b int8) bool { return a < b })
+		model := map[int8]int32{}
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				_, existed := model[o.Key]
+				model[o.Key] = o.Val
+				if s.Insert(o.Key, o.Val) != !existed {
+					return false
+				}
+			case 1:
+				_, existed := model[o.Key]
+				delete(model, o.Key)
+				if s.Delete(o.Key) != existed {
+					return false
+				}
+			case 2:
+				mv, mok := model[o.Key]
+				gv, gok := s.Find(o.Key)
+				if mok != gok || (mok && mv != gv) {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		// Ordered scan must equal the sorted model.
+		keys := make([]int8, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		i := 0
+		okScan := true
+		s.Range(func(k int8, v int32) bool {
+			if i >= len(keys) || keys[i] != k || model[k] != v {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(keys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListConcurrentInserts(t *testing.T) {
+	s := NewSkipList[int, int](intLess)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				if !s.Insert(k, k) {
+					t.Errorf("duplicate insert report for %d", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*per {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	prev := -1
+	n := 0
+	s.Range(func(k, v int) bool {
+		if k <= prev || v != k {
+			t.Fatalf("order/value violation at %d (prev %d, v %d)", k, prev, v)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != workers*per {
+		t.Fatalf("scan saw %d", n)
+	}
+}
+
+func TestSkipListConcurrentInsertDelete(t *testing.T) {
+	s := NewSkipList[int, int](intLess)
+	const keys = 256
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 4000; i++ {
+				k := rng.Intn(keys)
+				if rng.Intn(2) == 0 {
+					s.Insert(k, k)
+				} else {
+					s.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every surviving key maps to itself, scan order is strict, and the
+	// count matches the scan.
+	prev := -1
+	n := 0
+	s.Range(func(k, v int) bool {
+		if k <= prev || v != k {
+			t.Fatalf("violation: k=%d prev=%d v=%d", k, prev, v)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != s.Len() {
+		t.Fatalf("scan %d vs Len %d", n, s.Len())
+	}
+}
+
+func TestSkipListDeleteContention(t *testing.T) {
+	// Exactly one deleter must win per key.
+	s := NewSkipList[int, int](intLess)
+	const keys = 512
+	for i := 0; i < keys; i++ {
+		s.Insert(i, i)
+	}
+	wins := make([]int, keys)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				if s.Delete(i) {
+					mu.Lock()
+					wins[i]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, w := range wins {
+		if w != 1 {
+			t.Fatalf("key %d deleted %d times", i, w)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after full deletion", s.Len())
+	}
+}
+
+func TestRandomLevelDistribution(t *testing.T) {
+	r := newRNG(42)
+	counts := make([]int, slMaxLevel+1)
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		lvl := r.randomLevel(slMaxLevel)
+		if lvl < 1 || lvl > slMaxLevel {
+			t.Fatalf("level %d out of range", lvl)
+		}
+		counts[lvl]++
+	}
+	// Roughly half the draws land on level 1, a quarter on 2, etc.
+	if counts[1] < draws/3 || counts[1] > 2*draws/3 {
+		t.Fatalf("level-1 frequency %d of %d looks non-geometric", counts[1], draws)
+	}
+	if counts[2] > counts[1] {
+		t.Fatal("level 2 more common than level 1")
+	}
+}

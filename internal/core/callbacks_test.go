@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+
+	"hcl/internal/metrics"
+)
+
+func TestInsertChainedRunsCallbacks(t *testing.T) {
+	w, rt, col := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[string, int](rt, "cbmap", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var audits atomic.Int64
+	rt.BindCallback("audit", func(node int, prev []byte) ([]byte, error) {
+		audits.Add(1)
+		return prev, nil
+	})
+	rt.BindCallback("stamp", func(node int, prev []byte) ([]byte, error) {
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, uint64(node))
+		return append(prev, out...), nil
+	})
+
+	r := w.Rank(0)
+	base := col.Total(metrics.RemoteInvokes, -1)
+	resp, err := m.InsertChained(r, "k", 7, "audit", "stamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One invocation carried insert + both callbacks.
+	if got := col.Total(metrics.RemoteInvokes, -1) - base; got != 1 {
+		t.Fatalf("chain used %v invocations, want 1", got)
+	}
+	if audits.Load() != 1 {
+		t.Fatalf("audit ran %d times", audits.Load())
+	}
+	// Response = insert's bool byte + stamped node id.
+	if len(resp) != 9 || resp[0] != 1 {
+		t.Fatalf("chained response = %v", resp)
+	}
+	if node := binary.LittleEndian.Uint64(resp[1:]); node != 1 {
+		t.Fatalf("callback saw node %d", node)
+	}
+	// The insert itself happened.
+	if v, ok, err := m.Find(r, "k"); err != nil || !ok || v != 7 {
+		t.Fatalf("Find = %d,%v,%v", v, ok, err)
+	}
+}
+
+func TestInsertChainedAsync(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[string, int](rt, "cbasync", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.BindCallback("echo", func(node int, prev []byte) ([]byte, error) {
+		return prev, nil
+	})
+	r := w.Rank(0)
+	futs := make([]*Future[[]byte], 16)
+	for i := range futs {
+		futs[i] = m.InsertChainedAsync(r, string(rune('a'+i)), i, "echo")
+	}
+	for i, f := range futs {
+		resp, err := f.Wait(r)
+		if err != nil || len(resp) != 1 {
+			t.Fatalf("future %d: %v %v", i, resp, err)
+		}
+	}
+	if n, _ := m.Size(r); n != 16 {
+		t.Fatalf("Size = %d", n)
+	}
+}
+
+func TestInsertChainedUnknownCallback(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[string, int](rt, "cbbad", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.InsertChained(w.Rank(0), "k", 1, "missing"); err == nil {
+		t.Fatal("unknown callback must error")
+	}
+}
+
+func TestCallbackErrorPropagates(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[string, int](rt, "cberr", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.BindCallback("boom", func(node int, prev []byte) ([]byte, error) {
+		return nil, errTest
+	})
+	if _, err := m.InsertChained(w.Rank(0), "k", 1, "boom"); err == nil {
+		t.Fatal("callback error must propagate to the caller")
+	}
+}
+
+var errTest = errForTest{}
+
+type errForTest struct{}
+
+func (errForTest) Error() string { return "test failure" }

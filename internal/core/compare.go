@@ -1,0 +1,10 @@
+package core
+
+import "cmp"
+
+// NaturalLess returns the natural < comparator for Go's ordered types —
+// the equivalent of the paper's std::less<K> default, which users override
+// by passing their own Less to NewMap/NewSet/NewPriorityQueue.
+func NaturalLess[K cmp.Ordered]() Less[K] {
+	return func(a, b K) bool { return a < b }
+}

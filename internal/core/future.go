@@ -1,0 +1,49 @@
+package core
+
+import (
+	"hcl/internal/cluster"
+	"hcl/internal/ror"
+)
+
+// Future is a typed pending result of an asynchronous container operation
+// (paper Section III-C4). Operations that took the hybrid local path
+// resolve immediately; remote operations resolve when the response pull
+// completes, and Wait advances the waiter's clock to that virtual time.
+type Future[T any] struct {
+	raw    *ror.Future
+	decode func([]byte) (T, error)
+	val    T
+	err    error
+	local  bool
+}
+
+// immediateFuture wraps an already-known result (hybrid local path).
+func immediateFuture[T any](v T, err error) *Future[T] {
+	return &Future[T]{val: v, err: err, local: true}
+}
+
+// remoteFuture wraps a pending RPC with a response decoder.
+func remoteFuture[T any](raw *ror.Future, decode func([]byte) (T, error)) *Future[T] {
+	return &Future[T]{raw: raw, decode: decode}
+}
+
+// Done reports whether the result is available without blocking.
+func (f *Future[T]) Done() bool {
+	if f.local {
+		return true
+	}
+	return f.raw.Done()
+}
+
+// Wait blocks for the result, syncing r's clock with the completion time.
+func (f *Future[T]) Wait(r *cluster.Rank) (T, error) {
+	if f.local {
+		return f.val, f.err
+	}
+	resp, err := f.raw.Wait(r)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return f.decode(resp)
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hcl/internal/databox"
+	"hcl/internal/memory"
+)
+
+// journal is the persistence mechanism behind WithPersistence: an append
+// log of encoded (key, value) pairs living in a memory-mapped segment, so
+// the kernel keeps the backing file in sync (eagerly or relaxed) exactly
+// as the paper's DataBox persistency prescribes. On restart, a container
+// constructed with the same directory replays the journal into its
+// partitions.
+type journal struct {
+	mu   sync.Mutex
+	seg  *memory.Segment
+	off  int // next append offset (first 8 bytes hold the committed size)
+	path string
+}
+
+const journalHeader = 8
+const journalInitialSize = 1 << 16
+
+func openJournal(dir, name string, part int, mode memory.SyncMode) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s.part%d.hcl", sanitize(name), part))
+	seg, err := memory.NewPersistentSegment(path, journalInitialSize, mode)
+	if err != nil {
+		return nil, err
+	}
+	used, err := seg.GetUint64(0)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{seg: seg, off: journalHeader + int(used), path: path}, nil
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// append writes one length-prefixed record.
+func (j *journal) append(rec []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	need := j.off + 4 + len(rec)
+	if need > j.seg.Len() {
+		sz := j.seg.Len() * 2
+		for sz < need {
+			sz *= 2
+		}
+		if err := j.seg.Grow(sz); err != nil {
+			return err
+		}
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+	if err := j.seg.WriteAt(j.off, lenBuf[:]); err != nil {
+		return err
+	}
+	if err := j.seg.WriteAt(j.off+4, rec); err != nil {
+		return err
+	}
+	j.off += 4 + len(rec)
+	return j.seg.PutUint64(0, uint64(j.off-journalHeader))
+}
+
+// replay invokes fn for every committed record in order.
+func (j *journal) replay(fn func(rec []byte) error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	pos := journalHeader
+	for pos < j.off {
+		var lenBuf [4]byte
+		if err := j.seg.ReadAt(pos, lenBuf[:]); err != nil {
+			return err
+		}
+		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		rec := make([]byte, n)
+		if err := j.seg.ReadAt(pos+4, rec); err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		pos += 4 + n
+	}
+	return nil
+}
+
+// close flushes and releases the journal.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seg.Close()
+}
+
+// Journal integration for UnorderedMap -----------------------------------
+
+// openJournals creates one journal per partition (when persistence is on)
+// and replays any existing records into the partitions.
+func (m *UnorderedMap[K, V]) openJournals() error {
+	if m.opt.persistDir == "" {
+		return nil
+	}
+	m.journal = make([]*journal, len(m.parts))
+	for p := range m.parts {
+		j, err := openJournal(m.opt.persistDir, m.name, p, m.opt.syncMode)
+		if err != nil {
+			return fmt.Errorf("hcl: %s: open journal: %w", m.name, err)
+		}
+		m.journal[p] = j
+		part := m.parts[p]
+		err = j.replay(func(rec []byte) error {
+			kb, vb, err := databox.DecodePair(rec)
+			if err != nil {
+				return err
+			}
+			k, err := m.kbox.Decode(kb)
+			if err != nil {
+				return err
+			}
+			v, err := m.vbox.Decode(vb)
+			if err != nil {
+				return err
+			}
+			part.Insert(k, v)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("hcl: %s: replay journal: %w", m.name, err)
+		}
+	}
+	return nil
+}
+
+// appendJournal logs an already-encoded (key,value) pair for partition p.
+func (m *UnorderedMap[K, V]) appendJournal(p int, pair []byte) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal[p].append(pair); err != nil {
+		panic(fmt.Sprintf("hcl: %s: journal append: %v", m.name, err))
+	}
+}
+
+// appendJournalEncoded logs a pair from the hybrid path, where only the
+// key is pre-encoded.
+func (m *UnorderedMap[K, V]) appendJournalEncoded(p int, kb []byte, v V, box *databox.Box[V]) {
+	if m.journal == nil {
+		return
+	}
+	vb, err := box.Encode(v)
+	if err != nil {
+		panic(fmt.Sprintf("hcl: %s: journal encode: %v", m.name, err))
+	}
+	m.appendJournal(p, databox.EncodePair(kb, vb))
+}
+
+// CloseJournals flushes and closes all partition journals.
+func (m *UnorderedMap[K, V]) CloseJournals() error {
+	for _, j := range m.journal {
+		if j == nil {
+			continue
+		}
+		if err := j.close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"hcl/internal/memory"
+)
+
+func TestJournalAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, "unit", 0, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d", i))
+		want = append(want, rec)
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	if err := j.replay(func(rec []byte) error {
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		got = append(got, cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalGrowsPastInitialSize(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, "big", 1, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 10_000) // larger than journalInitialSize/8
+	for i := 0; i < 32; i++ {
+		big[0] = byte(i)
+		if err := j.append(big); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	count := 0
+	if err := j.replay(func(rec []byte) error {
+		if len(rec) != len(big) || rec[0] != byte(count) {
+			t.Fatalf("record %d corrupted", count)
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 32 {
+		t.Fatalf("replayed %d", count)
+	}
+	j.close()
+}
+
+func TestJournalSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, "re", 2, memory.SyncEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.append([]byte("one"))
+	j.append([]byte("two"))
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := openJournal(dir, "re", 2, memory.SyncEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	var got []string
+	j2.replay(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	})
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("reopened replay = %v", got)
+	}
+	// Appends continue after the existing records.
+	j2.append([]byte("three"))
+	got = got[:0]
+	j2.replay(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	})
+	if len(got) != 3 || got[2] != "three" {
+		t.Fatalf("after reopen-append = %v", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"plain":         "plain",
+		"with/slash":    "with_slash",
+		"dots.are.ok":   "dots.are.ok",
+		"spaces here":   "spaces_here",
+		"mixed:*?chars": "mixed___chars",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestJournalFilesAreSeparatedByPartition(t *testing.T) {
+	dir := t.TempDir()
+	j0, err := openJournal(dir, "multi", 0, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := openJournal(dir, "multi", 1, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j0.append([]byte("p0"))
+	j1.append([]byte("p1"))
+	j0.close()
+	j1.close()
+	if j0.path == j1.path {
+		t.Fatal("partitions share a journal file")
+	}
+	if filepath.Dir(j0.path) != dir {
+		t.Fatalf("journal not in dir: %s", j0.path)
+	}
+}
+
+func TestMergeStreamsEdgeCases(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	// Empty input.
+	if got := mergeStreams[int, int](nil, less, 10); len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+	// Uneven streams with duplicates across streams.
+	streams := [][]Pair[int, int]{
+		{{1, 0}, {4, 0}, {9, 0}},
+		{},
+		{{2, 0}, {4, 0}},
+	}
+	got := mergeStreams(streams, less, 10)
+	want := []int{1, 2, 4, 4, 9}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v", got)
+	}
+	for i := range want {
+		if got[i].Key != want[i] {
+			t.Fatalf("merge[%d] = %d, want %d", i, got[i].Key, want[i])
+		}
+	}
+	// Limit truncates.
+	if got := mergeStreams(streams, less, 2); len(got) != 2 || got[1].Key != 2 {
+		t.Fatalf("limited merge = %v", got)
+	}
+}
+
+func TestLogCostAndSteps(t *testing.T) {
+	if logCost(100, 0) != 100 || logCost(100, 1) != 100 {
+		t.Fatal("logCost base cases")
+	}
+	if logCost(100, 1024) != 100*11 {
+		t.Fatalf("logCost(1024) = %d", logCost(100, 1024))
+	}
+	if logSteps(1) != 1 || logSteps(2) != 2 || logSteps(1024) != 11 {
+		t.Fatal("logSteps")
+	}
+}

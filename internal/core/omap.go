@@ -1,0 +1,414 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/containers"
+	"hcl/internal/databox"
+)
+
+// Less orders keys; HCL defaults to natural ordering for Go's ordered
+// types via NaturalLess, mirroring the paper's std::less<K> default that
+// users can override.
+type Less[K any] func(a, b K) bool
+
+// Map is HCL::map — a distributed ordered map. Ordered structures are
+// "built using multiple single-partitioned structures that are abstracted
+// behind a global interface" (paper Section III-D): each partition is an
+// ordered engine (lock-free skip list by default, latched red-black tree
+// for the ablation); global ordered iteration merges the per-partition
+// streams. Keys are routed to partitions with the stable hash, so point
+// operations cost one invocation like every other container.
+type Map[K comparable, V any] struct {
+	rt      *Runtime
+	name    string
+	opt     options
+	servers []int
+	parts   []containers.OrderedEngine[K, V]
+	byNode  map[int]int
+	less    Less[K]
+	kbox    *databox.Box[K]
+	vbox    *databox.Box[V]
+}
+
+// NewMap constructs a distributed ordered map with the given comparator.
+func NewMap[K comparable, V any](rt *Runtime, name string, less Less[K], opts ...Option) (*Map[K, V], error) {
+	o := buildOptions(opts)
+	if name == "" {
+		name = rt.autoName("map")
+	}
+	if less == nil {
+		return nil, fmt.Errorf("hcl: %s: nil comparator", name)
+	}
+	servers := o.servers
+	if servers == nil {
+		servers = allNodes(rt)
+	}
+	m := &Map[K, V]{
+		rt:      rt,
+		name:    name,
+		opt:     o,
+		servers: servers,
+		parts:   make([]containers.OrderedEngine[K, V], len(servers)),
+		byNode:  make(map[int]int, len(servers)),
+		less:    less,
+		kbox:    databox.New[K](databox.WithCodec(o.codec)),
+		vbox:    databox.New[V](databox.WithCodec(o.codec)),
+	}
+	for i, n := range servers {
+		m.parts[i] = newOrderedEngine[K, V](o.ordered, less)
+		m.byNode[n] = i
+	}
+	m.bind()
+	return m, nil
+}
+
+func newOrderedEngine[K comparable, V any](kind OrderedEngineKind, less Less[K]) containers.OrderedEngine[K, V] {
+	if kind == EngineRBTree {
+		return containers.NewLatchedRBTree[K, V](less)
+	}
+	return containers.NewSkipList[K, V](less)
+}
+
+// Name returns the container's global name.
+func (m *Map[K, V]) Name() string { return m.name }
+
+// Partitions reports the number of partitions.
+func (m *Map[K, V]) Partitions() int { return len(m.servers) }
+
+func (m *Map[K, V]) fn(op string) string { return "omap." + m.name + "." + op }
+
+func (m *Map[K, V]) partitionOf(k K) (int, []byte, error) {
+	kb, err := m.kbox.Encode(k)
+	if err != nil {
+		return 0, nil, fmt.Errorf("hcl: %s: encode key: %w", m.name, err)
+	}
+	return int(StableHash64(kb) % uint64(len(m.servers))), kb, nil
+}
+
+// logCost prices an O(log n) engine operation for the cost model.
+func logCost(base int64, n int) int64 {
+	steps := int64(1)
+	for m := n; m > 1; m >>= 1 {
+		steps++
+	}
+	return base * steps
+}
+
+func (m *Map[K, V]) bind() {
+	e := m.rt.engine
+	cm := m.rt.model
+	e.Bind(m.fn("insert"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		kb, vb, err := databox.DecodePair(arg)
+		if err != nil {
+			panic(err)
+		}
+		k, err := m.kbox.Decode(kb)
+		if err != nil {
+			panic(err)
+		}
+		v, err := m.vbox.Decode(vb)
+		if err != nil {
+			panic(err)
+		}
+		part := m.parts[p]
+		isNew := part.Insert(k, v)
+		// Table I: insert = F + L*log(N) + W.
+		return boolByte(isNew), logCost(cm.TreeOpNS, part.Len()) + cm.MemTime(len(arg))
+	})
+	e.Bind(m.fn("find"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		k, err := m.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		part := m.parts[p]
+		v, ok := part.Find(k)
+		cost := logCost(cm.TreeOpNS, part.Len())
+		if !ok {
+			return []byte{0}, cost
+		}
+		vb, err := m.vbox.Encode(v)
+		if err != nil {
+			panic(err)
+		}
+		return append([]byte{1}, vb...), cost + cm.MemTime(len(vb))
+	})
+	e.Bind(m.fn("erase"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		k, err := m.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		part := m.parts[p]
+		return boolByte(part.Delete(k)), logCost(cm.TreeOpNS, part.Len())
+	})
+	e.Bind(m.fn("size"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(m.parts[p].Len()))
+		return out[:], cm.LocalOpNS
+	})
+	e.Bind(m.fn("scan"), func(node int, arg []byte) ([]byte, int64) {
+		// scan(fromFlag, fromKey, limit) -> list of pairs, used by the
+		// global merge iterator.
+		p := m.byNode[node]
+		fields, err := databox.DecodeList(arg)
+		if err != nil || len(fields) != 3 {
+			panic(fmt.Sprintf("hcl: %s: bad scan request: %v", m.name, err))
+		}
+		limit := int(binary.LittleEndian.Uint64(fields[2]))
+		var out [][]byte
+		emit := func(k K, v V) bool {
+			kb, err := m.kbox.Encode(k)
+			if err != nil {
+				panic(err)
+			}
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, databox.EncodePair(kb, vb))
+			return len(out) < limit
+		}
+		part := m.parts[p]
+		if len(fields[0]) == 1 && fields[0][0] == 1 {
+			from, err := m.kbox.Decode(fields[1])
+			if err != nil {
+				panic(err)
+			}
+			part.RangeFrom(from, emit)
+		} else {
+			part.Range(emit)
+		}
+		resp := databox.EncodeList(out...)
+		return resp, logCost(cm.TreeOpNS, part.Len()) + int64(len(out))*cm.LocalOpNS + cm.MemTime(len(resp))
+	})
+}
+
+// Insert stores v under k, returning true when k was newly inserted.
+func (m *Map[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		part := m.parts[p]
+		isNew := part.Insert(k, v)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()))
+		return isNew, nil
+	}
+	vb, err := m.vbox.Encode(v)
+	if err != nil {
+		return false, err
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("insert"), databox.EncodePair(kb, vb))
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// InsertAsync is the future-returning form of Insert.
+func (m *Map[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool] {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return immediateFuture(false, err)
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		part := m.parts[p]
+		isNew := part.Insert(k, v)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()))
+		return immediateFuture(isNew, nil)
+	}
+	vb, err := m.vbox.Encode(v)
+	if err != nil {
+		return immediateFuture(false, err)
+	}
+	raw := m.rt.engine.InvokeAsync(r, node, m.fn("insert"), databox.EncodePair(kb, vb))
+	return remoteFuture(raw, decodeBool)
+}
+
+// Find returns the value stored under k.
+func (m *Map[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
+	var zero V
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return zero, false, err
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		part := m.parts[p]
+		v, ok := part.Find(k)
+		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		return v, ok, nil
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("find"), kb)
+	if err != nil {
+		return zero, false, err
+	}
+	if len(resp) < 1 {
+		return zero, false, fmt.Errorf("hcl: %s: empty find response", m.name)
+	}
+	if resp[0] == 0 {
+		return zero, false, nil
+	}
+	v, err := m.vbox.Decode(resp[1:])
+	if err != nil {
+		return zero, false, err
+	}
+	return v, true, nil
+}
+
+// Erase removes k, reporting whether it was present.
+func (m *Map[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		part := m.parts[p]
+		ok := part.Delete(k)
+		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		return ok, nil
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("erase"), kb)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// Size reports the total entry count across partitions.
+func (m *Map[K, V]) Size(r *cluster.Rank) (int, error) {
+	total := 0
+	for p, node := range m.servers {
+		if m.opt.hybrid && node == r.Node() {
+			total += m.parts[p].Len()
+			m.rt.localCharge(r, 0, 1)
+			continue
+		}
+		resp, err := m.rt.engine.Invoke(r, node, m.fn("size"), nil)
+		if err != nil {
+			return 0, err
+		}
+		total += int(binary.LittleEndian.Uint64(resp))
+	}
+	return total, nil
+}
+
+// Pair is one (key, value) entry produced by an ordered scan.
+type Pair[K any, V any] struct {
+	Key   K
+	Value V
+}
+
+// Scan returns up to limit entries with key >= from (all keys when
+// fromSet is false), globally ordered by merging the per-partition
+// streams — one invocation per remote partition.
+func (m *Map[K, V]) Scan(r *cluster.Rank, fromSet bool, from K, limit int) ([]Pair[K, V], error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	streams := make([][]Pair[K, V], len(m.parts))
+	for p, node := range m.servers {
+		var entries []Pair[K, V]
+		if m.opt.hybrid && node == r.Node() {
+			emit := func(k K, v V) bool {
+				entries = append(entries, Pair[K, V]{k, v})
+				return len(entries) < limit
+			}
+			if fromSet {
+				m.parts[p].RangeFrom(from, emit)
+			} else {
+				m.parts[p].Range(emit)
+			}
+			m.rt.localCharge(r, 0, len(entries)+1)
+		} else {
+			var err error
+			entries, err = m.remoteScan(r, node, fromSet, from, limit)
+			if err != nil {
+				return nil, err
+			}
+		}
+		streams[p] = entries
+	}
+	return mergeStreams(streams, m.less, limit), nil
+}
+
+func (m *Map[K, V]) remoteScan(r *cluster.Rank, node int, fromSet bool, from K, limit int) ([]Pair[K, V], error) {
+	flag := []byte{0}
+	var fromB []byte
+	if fromSet {
+		flag[0] = 1
+		var err error
+		fromB, err = m.kbox.Encode(from)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var limitB [8]byte
+	binary.LittleEndian.PutUint64(limitB[:], uint64(limit))
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("scan"), databox.EncodeList(flag, fromB, limitB[:]))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := databox.DecodeList(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pair[K, V], 0, len(raw))
+	for _, pr := range raw {
+		kb, vb, err := databox.DecodePair(pr)
+		if err != nil {
+			return nil, err
+		}
+		k, err := m.kbox.Decode(kb)
+		if err != nil {
+			return nil, err
+		}
+		v, err := m.vbox.Decode(vb)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Pair[K, V]{k, v})
+	}
+	return out, nil
+}
+
+// mergeStreams k-way merges sorted per-partition streams up to limit.
+func mergeStreams[K any, V any](streams [][]Pair[K, V], less Less[K], limit int) []Pair[K, V] {
+	idx := make([]int, len(streams))
+	out := make([]Pair[K, V], 0, limit)
+	for len(out) < limit {
+		best := -1
+		for s := range streams {
+			if idx[s] >= len(streams[s]) {
+				continue
+			}
+			if best < 0 || less(streams[s][idx[s]].Key, streams[best][idx[best]].Key) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+func logSteps(n int) int {
+	steps := 1
+	for m := n; m > 1; m >>= 1 {
+		steps++
+	}
+	return steps
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hcl/internal/cluster"
+	"hcl/internal/metrics"
+)
+
+func TestMapBasicAndOrderedScan(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	m, err := NewMap[int, string](rt, "omap", NaturalLess[int]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range perm {
+		if _, err := m.Insert(r, k, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := m.Size(r); err != nil || n != 500 {
+		t.Fatalf("Size = %d,%v", n, err)
+	}
+	// Global scan is fully ordered despite hash partitioning.
+	pairs, err := m.Scan(r, false, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 500 {
+		t.Fatalf("Scan returned %d", len(pairs))
+	}
+	for i, p := range pairs {
+		if p.Key != i {
+			t.Fatalf("scan[%d] = %d", i, p.Key)
+		}
+	}
+	// Scan from a midpoint with a limit.
+	pairs, err = m.Scan(r, true, 250, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 10 || pairs[0].Key != 250 || pairs[9].Key != 259 {
+		t.Fatalf("bounded scan: first=%d last=%d n=%d", pairs[0].Key, pairs[len(pairs)-1].Key, len(pairs))
+	}
+	// Point ops.
+	if v, ok, err := m.Find(r, 42); err != nil || !ok || v != "v" {
+		t.Fatalf("Find = %q,%v,%v", v, ok, err)
+	}
+	if ok, err := m.Erase(r, 42); err != nil || !ok {
+		t.Fatalf("Erase = %v,%v", ok, err)
+	}
+	if _, ok, _ := m.Find(r, 42); ok {
+		t.Fatal("key survived erase")
+	}
+}
+
+func TestMapNilComparatorRejected(t *testing.T) {
+	_, rt, _ := newTestWorld(t, 1, 1)
+	if _, err := NewMap[int, int](rt, "bad", nil); err == nil {
+		t.Fatal("nil comparator must be rejected")
+	}
+	if _, err := NewSet[int](rt, "bad", nil); err == nil {
+		t.Fatal("nil comparator must be rejected")
+	}
+	if _, err := NewPriorityQueue[int](rt, "bad", nil); err == nil {
+		t.Fatal("nil comparator must be rejected")
+	}
+}
+
+func TestMapCustomComparator(t *testing.T) {
+	// Descending order, the paper's user-overridable std::less.
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewMap[int, int](rt, "desc", func(a, b int) bool { return a > b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for _, k := range []int{3, 1, 4, 1, 5, 9, 2, 6} {
+		m.Insert(r, k, k)
+	}
+	pairs, err := m.Scan(r, false, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].Key < pairs[i].Key {
+			t.Fatalf("descending scan violated at %d: %v", i, pairs)
+		}
+	}
+}
+
+func TestMapRBTreeEngineAgrees(t *testing.T) {
+	wS, rtS, _ := newTestWorld(t, 2, 1)
+	sk, _ := NewMap[int, int](rtS, "sk", NaturalLess[int]())
+	wR, rtR, _ := newTestWorld(t, 2, 1)
+	rb, _ := NewMap[int, int](rtR, "rb", NaturalLess[int](), WithOrderedEngine(EngineRBTree))
+
+	rS, rR := wS.Rank(0), wR.Rank(0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		k := rng.Intn(300)
+		switch rng.Intn(3) {
+		case 0:
+			a, err1 := sk.Insert(rS, k, i)
+			b, err2 := rb.Insert(rR, k, i)
+			if err1 != nil || err2 != nil || a != b {
+				t.Fatalf("Insert(%d): %v/%v %v/%v", k, a, err1, b, err2)
+			}
+		case 1:
+			a, err1 := sk.Erase(rS, k)
+			b, err2 := rb.Erase(rR, k)
+			if err1 != nil || err2 != nil || a != b {
+				t.Fatalf("Erase(%d) disagreement", k)
+			}
+		case 2:
+			av, aok, err1 := sk.Find(rS, k)
+			bv, bok, err2 := rb.Find(rR, k)
+			if err1 != nil || err2 != nil || aok != bok || (aok && av != bv) {
+				t.Fatalf("Find(%d) disagreement", k)
+			}
+		}
+	}
+	an, _ := sk.Size(rS)
+	bn, _ := rb.Size(rR)
+	if an != bn {
+		t.Fatalf("Size disagreement: %d vs %d", an, bn)
+	}
+}
+
+func TestMapOneInvocationPerRemoteOp(t *testing.T) {
+	w, rt, col := newTestWorld(t, 2, 1)
+	m, err := NewMap[int, int](rt, "tab1o", NaturalLess[int](), WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	base := col.Total(metrics.RemoteInvokes, -1)
+	m.Insert(r, 1, 1)
+	m.Find(r, 1)
+	m.Erase(r, 1)
+	if got := col.Total(metrics.RemoteInvokes, -1) - base; got != 3 {
+		t.Fatalf("3 remote ordered ops used %v invocations", got)
+	}
+	if col.Total(metrics.RemoteCAS, -1) != 0 {
+		t.Fatal("ordered map must not use remote CAS")
+	}
+}
+
+func TestSetOrderedScan(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	s, err := NewSet[string](rt, "oset", NaturalLess[string]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	words := []string{"pear", "apple", "fig", "mango", "kiwi", "banana"}
+	for _, wd := range words {
+		if isNew, err := s.Insert(r, wd); err != nil || !isNew {
+			t.Fatalf("Insert(%s) = %v,%v", wd, isNew, err)
+		}
+	}
+	if isNew, _ := s.Insert(r, "fig"); isNew {
+		t.Fatal("duplicate insert reported new")
+	}
+	got, err := s.Scan(r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan = %v, want %v", got, want)
+		}
+	}
+	if ok, err := s.Find(r, "fig"); err != nil || !ok {
+		t.Fatalf("Find = %v,%v", ok, err)
+	}
+	if ok, err := s.Erase(r, "fig"); err != nil || !ok {
+		t.Fatalf("Erase = %v,%v", ok, err)
+	}
+	if n, _ := s.Size(r); n != len(words)-1 {
+		t.Fatalf("Size = %d", n)
+	}
+}
+
+func TestSetAsyncAndConcurrent(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 2)
+	s, err := NewSet[int](rt, "osetcc", NaturalLess[int]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *cluster.Rank) {
+		futs := make([]*Future[bool], 50)
+		for i := range futs {
+			futs[i] = s.InsertAsync(r, r.ID()*50+i)
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(r); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+		}
+	})
+	r := w.Rank(0)
+	n, err := s.Size(r)
+	if err != nil || n != w.NumRanks()*50 {
+		t.Fatalf("Size = %d,%v", n, err)
+	}
+	// Full scan globally ordered.
+	got, err := s.Scan(r, n)
+	if err != nil || len(got) != n {
+		t.Fatalf("Scan len = %d,%v", len(got), err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("Scan[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestOrderedSlowerThanUnordered(t *testing.T) {
+	// Paper Fig 6a: HCL::map is ~54% slower than HCL::unordered_map due
+	// to O(log n) vs O(1). Verify the virtual-time ordering at least.
+	const n = 600
+	wu, rtu, _ := newTestWorld(t, 2, 1)
+	um, _ := NewUnorderedMap[int, int](rtu, "u", WithServers([]int{1}), WithHybrid(false))
+	ru := wu.Rank(0)
+	for i := 0; i < n; i++ {
+		um.Insert(ru, i, i)
+	}
+	uTime := ru.Clock().Now()
+
+	wo, rto, _ := newTestWorld(t, 2, 1)
+	om, _ := NewMap[int, int](rto, "o", NaturalLess[int](), WithServers([]int{1}), WithHybrid(false))
+	ro := wo.Rank(0)
+	for i := 0; i < n; i++ {
+		om.Insert(ro, i, i)
+	}
+	oTime := ro.Clock().Now()
+	if oTime <= uTime {
+		t.Fatalf("ordered map (%d) should be slower than unordered (%d)", oTime, uTime)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"hcl/internal/databox"
+	"hcl/internal/memory"
+)
+
+// OrderedEngineKind selects the engine behind ordered partitions.
+type OrderedEngineKind int
+
+const (
+	// EngineSkipList is the default lock-free skip list.
+	EngineSkipList OrderedEngineKind = iota
+	// EngineRBTree is the latched red-black tree (ablation).
+	EngineRBTree
+)
+
+// PQEngineKind selects the engine behind priority-queue partitions.
+type PQEngineKind int
+
+const (
+	// PQSkipList is the default lock-free skip-list priority queue.
+	PQSkipList PQEngineKind = iota
+	// PQHeap is the mutex binary heap (ablation).
+	PQHeap
+)
+
+type options struct {
+	servers    []int
+	codec      databox.Codec
+	hybrid     bool
+	ordered    OrderedEngineKind
+	pq         PQEngineKind
+	replicas   int
+	persistDir string
+	syncMode   memory.SyncMode
+	initialCap int
+}
+
+func defaultOptions() options {
+	return options{
+		hybrid:     true,
+		codec:      databox.Binc(),
+		initialCap: 128, // the paper's default bucket count
+	}
+}
+
+// Option configures a container at construction time.
+type Option func(*options)
+
+// WithServers places the container's partitions on the given nodes. The
+// default is every node in the world (multi-partition structures) or node
+// 0 (single-partition structures).
+func WithServers(nodes []int) Option {
+	return func(o *options) { o.servers = nodes }
+}
+
+// WithCodec selects the DataBox backend for the container's element types.
+func WithCodec(c databox.Codec) Option {
+	return func(o *options) { o.codec = c }
+}
+
+// WithHybrid enables or disables the hybrid data access model. Disabling
+// it forces even node-local accesses through the RPC path — only the
+// ablation benches do this.
+func WithHybrid(enabled bool) Option {
+	return func(o *options) { o.hybrid = enabled }
+}
+
+// WithOrderedEngine selects the ordered-partition engine.
+func WithOrderedEngine(k OrderedEngineKind) Option {
+	return func(o *options) { o.ordered = k }
+}
+
+// WithPQEngine selects the priority-queue engine.
+func WithPQEngine(k PQEngineKind) Option {
+	return func(o *options) { o.pq = k }
+}
+
+// WithReplicas enables asynchronous server-side replication onto n
+// additional partitions (paper Section III-A4).
+func WithReplicas(n int) Option {
+	return func(o *options) { o.replicas = n }
+}
+
+// WithPersistence backs each partition with an append journal in dir,
+// memory-mapped and flushed per mode — the DataBox persistency model.
+func WithPersistence(dir string, mode memory.SyncMode) Option {
+	return func(o *options) {
+		o.persistDir = dir
+		o.syncMode = mode
+	}
+}
+
+// WithInitialCapacity overrides the default initial bucket count.
+func WithInitialCapacity(n int) Option {
+	return func(o *options) { o.initialCap = n }
+}
+
+func buildOptions(opts []Option) options {
+	o := defaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/containers"
+	"hcl/internal/databox"
+)
+
+// Set is HCL::set — a distributed ordered set: ordered partitions holding
+// keys only, with global ordered iteration by stream merging. Like the
+// ordered map it defaults to the lock-free skip-list engine.
+type Set[K comparable] struct {
+	rt      *Runtime
+	name    string
+	opt     options
+	servers []int
+	parts   []containers.OrderedEngine[K, struct{}]
+	byNode  map[int]int
+	less    Less[K]
+	kbox    *databox.Box[K]
+}
+
+// NewSet constructs a distributed ordered set with the given comparator.
+func NewSet[K comparable](rt *Runtime, name string, less Less[K], opts ...Option) (*Set[K], error) {
+	o := buildOptions(opts)
+	if name == "" {
+		name = rt.autoName("set")
+	}
+	if less == nil {
+		return nil, fmt.Errorf("hcl: %s: nil comparator", name)
+	}
+	servers := o.servers
+	if servers == nil {
+		servers = allNodes(rt)
+	}
+	s := &Set[K]{
+		rt:      rt,
+		name:    name,
+		opt:     o,
+		servers: servers,
+		parts:   make([]containers.OrderedEngine[K, struct{}], len(servers)),
+		byNode:  make(map[int]int, len(servers)),
+		less:    less,
+		kbox:    databox.New[K](databox.WithCodec(o.codec)),
+	}
+	for i, n := range servers {
+		s.parts[i] = newOrderedEngine[K, struct{}](o.ordered, less)
+		s.byNode[n] = i
+	}
+	s.bind()
+	return s, nil
+}
+
+// Name returns the container's global name.
+func (s *Set[K]) Name() string { return s.name }
+
+// Partitions reports the number of partitions.
+func (s *Set[K]) Partitions() int { return len(s.servers) }
+
+func (s *Set[K]) fn(op string) string { return "oset." + s.name + "." + op }
+
+func (s *Set[K]) partitionOf(k K) (int, []byte, error) {
+	kb, err := s.kbox.Encode(k)
+	if err != nil {
+		return 0, nil, fmt.Errorf("hcl: %s: encode key: %w", s.name, err)
+	}
+	return int(StableHash64(kb) % uint64(len(s.servers))), kb, nil
+}
+
+func (s *Set[K]) bind() {
+	e := s.rt.engine
+	cm := s.rt.model
+	e.Bind(s.fn("insert"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		k, err := s.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		part := s.parts[p]
+		return boolByte(part.Insert(k, struct{}{})), logCost(cm.TreeOpNS, part.Len()) + cm.MemTime(len(arg))
+	})
+	e.Bind(s.fn("find"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		k, err := s.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		part := s.parts[p]
+		_, ok := part.Find(k)
+		return boolByte(ok), logCost(cm.TreeOpNS, part.Len())
+	})
+	e.Bind(s.fn("erase"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		k, err := s.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		part := s.parts[p]
+		return boolByte(part.Delete(k)), logCost(cm.TreeOpNS, part.Len())
+	})
+	e.Bind(s.fn("size"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(s.parts[p].Len()))
+		return out[:], cm.LocalOpNS
+	})
+	e.Bind(s.fn("scan"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		limit := int(binary.LittleEndian.Uint64(arg))
+		var out [][]byte
+		part := s.parts[p]
+		part.Range(func(k K, _ struct{}) bool {
+			kb, err := s.kbox.Encode(k)
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, kb)
+			return len(out) < limit
+		})
+		resp := databox.EncodeList(out...)
+		return resp, logCost(cm.TreeOpNS, part.Len()) + int64(len(out))*cm.LocalOpNS + cm.MemTime(len(resp))
+	})
+}
+
+// Insert adds k, returning true when it was not already present.
+func (s *Set[K]) Insert(r *cluster.Rank, k K) (bool, error) {
+	p, kb, err := s.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := s.servers[p]
+	if s.opt.hybrid && node == r.Node() {
+		part := s.parts[p]
+		isNew := part.Insert(k, struct{}{})
+		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		return isNew, nil
+	}
+	resp, err := s.rt.engine.Invoke(r, node, s.fn("insert"), kb)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// InsertAsync is the future-returning form of Insert.
+func (s *Set[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
+	p, kb, err := s.partitionOf(k)
+	if err != nil {
+		return immediateFuture(false, err)
+	}
+	node := s.servers[p]
+	if s.opt.hybrid && node == r.Node() {
+		part := s.parts[p]
+		isNew := part.Insert(k, struct{}{})
+		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		return immediateFuture(isNew, nil)
+	}
+	raw := s.rt.engine.InvokeAsync(r, node, s.fn("insert"), kb)
+	return remoteFuture(raw, decodeBool)
+}
+
+// Find reports whether k is in the set.
+func (s *Set[K]) Find(r *cluster.Rank, k K) (bool, error) {
+	p, kb, err := s.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := s.servers[p]
+	if s.opt.hybrid && node == r.Node() {
+		part := s.parts[p]
+		_, ok := part.Find(k)
+		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		return ok, nil
+	}
+	resp, err := s.rt.engine.Invoke(r, node, s.fn("find"), kb)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// Erase removes k, reporting whether it was present.
+func (s *Set[K]) Erase(r *cluster.Rank, k K) (bool, error) {
+	p, kb, err := s.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := s.servers[p]
+	if s.opt.hybrid && node == r.Node() {
+		part := s.parts[p]
+		ok := part.Delete(k)
+		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		return ok, nil
+	}
+	resp, err := s.rt.engine.Invoke(r, node, s.fn("erase"), kb)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// Size reports the total element count.
+func (s *Set[K]) Size(r *cluster.Rank) (int, error) {
+	total := 0
+	for p, node := range s.servers {
+		if s.opt.hybrid && node == r.Node() {
+			total += s.parts[p].Len()
+			s.rt.localCharge(r, 0, 1)
+			continue
+		}
+		resp, err := s.rt.engine.Invoke(r, node, s.fn("size"), nil)
+		if err != nil {
+			return 0, err
+		}
+		total += int(binary.LittleEndian.Uint64(resp))
+	}
+	return total, nil
+}
+
+// Scan returns up to limit elements in ascending global order.
+func (s *Set[K]) Scan(r *cluster.Rank, limit int) ([]K, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	streams := make([][]Pair[K, struct{}], len(s.parts))
+	for p, node := range s.servers {
+		if s.opt.hybrid && node == r.Node() {
+			var entries []Pair[K, struct{}]
+			s.parts[p].Range(func(k K, _ struct{}) bool {
+				entries = append(entries, Pair[K, struct{}]{Key: k})
+				return len(entries) < limit
+			})
+			s.rt.localCharge(r, 0, len(entries)+1)
+			streams[p] = entries
+			continue
+		}
+		var arg [8]byte
+		binary.LittleEndian.PutUint64(arg[:], uint64(limit))
+		resp, err := s.rt.engine.Invoke(r, node, s.fn("scan"), arg[:])
+		if err != nil {
+			return nil, err
+		}
+		raw, err := databox.DecodeList(resp)
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]Pair[K, struct{}], 0, len(raw))
+		for _, kb := range raw {
+			k, err := s.kbox.Decode(kb)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, Pair[K, struct{}]{Key: k})
+		}
+		streams[p] = entries
+	}
+	merged := mergeStreams(streams, s.less, limit)
+	out := make([]K, len(merged))
+	for i, p := range merged {
+		out[i] = p.Key
+	}
+	return out, nil
+}

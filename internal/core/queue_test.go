@@ -1,0 +1,312 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hcl/internal/cluster"
+	"hcl/internal/metrics"
+)
+
+func TestQueueFIFOAcrossRanks(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	q, err := NewQueue[int](rt, "q", WithServers([]int{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Host() != 2 {
+		t.Fatalf("Host = %d", q.Host())
+	}
+	r0, r3 := w.Rank(0), w.Rank(3)
+	for i := 0; i < 50; i++ {
+		if err := q.Push(r0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := q.Size(r3); err != nil || n != 50 {
+		t.Fatalf("Size = %d,%v", n, err)
+	}
+	for i := 0; i < 50; i++ {
+		v, ok, err := q.Pop(r3)
+		if err != nil || !ok || v != i {
+			t.Fatalf("Pop %d = %d,%v,%v", i, v, ok, err)
+		}
+	}
+	if _, ok, err := q.Pop(r3); err != nil || ok {
+		t.Fatalf("Pop empty = %v,%v", ok, err)
+	}
+}
+
+func TestQueueHostOutOfRange(t *testing.T) {
+	_, rt, _ := newTestWorld(t, 2, 1)
+	if _, err := NewQueue[int](rt, "bad", WithServers([]int{5})); err == nil {
+		t.Fatal("bad host must be rejected")
+	}
+	if _, err := NewPriorityQueue[int](rt, "badpq", NaturalLess[int](), WithServers([]int{-1})); err == nil {
+		t.Fatal("bad pq host must be rejected")
+	}
+}
+
+func TestQueueVectorOps(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	q, err := NewQueue[string](rt, "qv", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if err := q.PushMulti(r, []string{"a", "b", "c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PushMulti(r, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.PopMulti(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("PopMulti = %v", got)
+	}
+	got, err = q.PopMulti(r, 10) // more than available
+	if err != nil || len(got) != 1 || got[0] != "d" {
+		t.Fatalf("PopMulti tail = %v,%v", got, err)
+	}
+	if got, err := q.PopMulti(r, 0); err != nil || got != nil {
+		t.Fatalf("PopMulti(0) = %v,%v", got, err)
+	}
+}
+
+func TestQueueVectorCheaperThanSingles(t *testing.T) {
+	const n = 64
+	w1, rt1, _ := newTestWorld(t, 2, 1)
+	q1, _ := NewQueue[int](rt1, "singles", WithServers([]int{1}))
+	r1 := w1.Rank(0)
+	for i := 0; i < n; i++ {
+		q1.Push(r1, i)
+	}
+	singleTime := r1.Clock().Now()
+
+	w2, rt2, _ := newTestWorld(t, 2, 1)
+	q2, _ := NewQueue[int](rt2, "vector", WithServers([]int{1}))
+	r2 := w2.Rank(0)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	q2.PushMulti(r2, vals)
+	vecTime := r2.Clock().Now()
+	if vecTime >= singleTime {
+		t.Fatalf("vector push (%d) should beat %d single pushes (%d)", vecTime, n, singleTime)
+	}
+}
+
+func TestQueueMWMRConcurrent(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 2)
+	q, err := NewQueue[int](rt, "mwmr", WithServers([]int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	popped := map[int]bool{}
+	const perRank = 100
+	w.Run(func(r *cluster.Rank) {
+		if r.ID()%2 == 0 { // even ranks produce
+			for i := 0; i < perRank; i++ {
+				if err := q.Push(r, r.ID()*perRank+i); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+			return
+		}
+		// Odd ranks consume whatever is available.
+		for i := 0; i < perRank; i++ {
+			v, ok, err := q.Pop(r)
+			if err != nil {
+				t.Errorf("pop: %v", err)
+				return
+			}
+			if ok {
+				mu.Lock()
+				if popped[v] {
+					t.Errorf("value %d popped twice", v)
+				}
+				popped[v] = true
+				mu.Unlock()
+			}
+		}
+	})
+	// Drain the rest and verify total conservation.
+	r := w.Rank(1)
+	for {
+		v, ok, err := q.Pop(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if popped[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		popped[v] = true
+	}
+	want := (w.NumRanks() / 2) * perRank
+	if len(popped) != want {
+		t.Fatalf("popped %d values, want %d", len(popped), want)
+	}
+}
+
+func TestQueueAsyncPush(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	q, err := NewQueue[int](rt, "qasync", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	futs := make([]*Future[bool], 32)
+	for i := range futs {
+		futs[i] = q.PushAsync(r, i)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := q.Size(r); n != 32 {
+		t.Fatalf("Size = %d", n)
+	}
+	// Values arrive in some order; all must be distinct and complete.
+	seen := map[int]bool{}
+	for {
+		v, ok, err := q.Pop(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("dup %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 32 {
+		t.Fatalf("got %d values", len(seen))
+	}
+}
+
+func TestQueueHybridLocalBypassesRPC(t *testing.T) {
+	w, rt, col := newTestWorld(t, 2, 1)
+	q, err := NewQueue[int](rt, "qlocal", WithServers([]int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0) // co-located with host
+	base := col.Total(metrics.RemoteInvokes, -1)
+	q.Push(r, 1)
+	q.Pop(r)
+	q.Size(r)
+	if got := col.Total(metrics.RemoteInvokes, -1) - base; got != 0 {
+		t.Fatalf("local queue ops made %v invocations", got)
+	}
+}
+
+func TestPriorityQueueOrdering(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	pq, err := NewPriorityQueue[int](rt, "pq", NaturalLess[int](), WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for _, v := range []int{42, 7, 99, 1, 55, 7} {
+		if err := pq.Push(r, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := pq.Size(r); n != 6 {
+		t.Fatalf("Size = %d", n)
+	}
+	want := []int{1, 7, 7, 42, 55, 99}
+	for i, expect := range want {
+		v, ok, err := pq.Pop(r)
+		if err != nil || !ok || v != expect {
+			t.Fatalf("Pop %d = %d,%v,%v want %d", i, v, ok, err, expect)
+		}
+	}
+	if _, ok, _ := pq.Pop(r); ok {
+		t.Fatal("pop from empty")
+	}
+}
+
+func TestPriorityQueueVectorOps(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	pq, err := NewPriorityQueue[int](rt, "pqv", NaturalLess[int](), WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if err := pq.PushMulti(r, []int{9, 3, 7, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pq.PopMulti(r, 3)
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 7 {
+		t.Fatalf("PopMulti = %v,%v", got, err)
+	}
+}
+
+func TestPriorityQueueHeapEngineAgrees(t *testing.T) {
+	w1, rt1, _ := newTestWorld(t, 2, 1)
+	sk, _ := NewPriorityQueue[int](rt1, "sk", NaturalLess[int]())
+	w2, rt2, _ := newTestWorld(t, 2, 1)
+	hp, _ := NewPriorityQueue[int](rt2, "hp", NaturalLess[int](), WithPQEngine(PQHeap))
+	r1, r2 := w1.Rank(0), w2.Rank(0)
+	vals := []int{5, 3, 8, 1, 9, 2, 7}
+	for _, v := range vals {
+		sk.Push(r1, v)
+		hp.Push(r2, v)
+	}
+	for range vals {
+		a, okA, _ := sk.Pop(r1)
+		b, okB, _ := hp.Pop(r2)
+		if okA != okB || a != b {
+			t.Fatalf("engines disagree: %d vs %d", a, b)
+		}
+	}
+}
+
+func TestPriorityQueueConcurrentProducersSortedDrain(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 2)
+	pq, err := NewPriorityQueue[int](rt, "pqcc", NaturalLess[int](), WithServers([]int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < 100; i++ {
+			if err := pq.Push(r, r.ID()*100+i); err != nil {
+				t.Errorf("push: %v", err)
+				return
+			}
+		}
+	})
+	r := w.Rank(0)
+	prev := -1
+	count := 0
+	for {
+		v, ok, err := pq.Pop(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if v <= prev {
+			t.Fatalf("pq order violated: %d after %d", v, prev)
+		}
+		prev = v
+		count++
+	}
+	if count != w.NumRanks()*100 {
+		t.Fatalf("drained %d", count)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/containers"
+)
+
+// Dynamic repartitioning (paper Section III-D: lock-free initialization
+// and resizing "allows HCL to have heterogeneous partitions within PGAS,
+// and to enable dynamic addition/removal of partitions").
+//
+// AddPartition and RemovePartition are collective phase-boundary
+// operations, like MPI communicator changes: every rank must be quiescent
+// (no concurrent container operations) while one rank executes them. The
+// stable level-one hash then routes keys over the new partition set, and
+// displaced entries migrate to their new homes.
+
+// AddPartition extends the map with a fresh partition hosted on node and
+// migrates the keys whose home moves. It fails if node already hosts a
+// partition of this map.
+func (m *UnorderedMap[K, V]) AddPartition(r *cluster.Rank, node int) error {
+	if node < 0 || node >= m.rt.world.NumNodes() {
+		return fmt.Errorf("hcl: %s: node %d out of range", m.name, node)
+	}
+	if _, hosted := m.byNode[node]; hosted {
+		return fmt.Errorf("hcl: %s: node %d already hosts a partition", m.name, node)
+	}
+	if m.journal != nil {
+		return fmt.Errorf("hcl: %s: repartitioning a persistent map is not supported", m.name)
+	}
+	m.parts = append(m.parts, containers.NewCuckooMapSize[K, V](m.opt.initialCap))
+	m.servers = append(m.servers, node)
+	m.byNode[node] = len(m.parts) - 1
+	return m.migrate(r)
+}
+
+// RemovePartition drains partition id, redistributing its entries over
+// the remaining partitions, and removes it from the set. At least one
+// partition must remain.
+func (m *UnorderedMap[K, V]) RemovePartition(r *cluster.Rank, id int) error {
+	if id < 0 || id >= len(m.parts) {
+		return fmt.Errorf("hcl: %s: partition %d out of range", m.name, id)
+	}
+	if len(m.parts) == 1 {
+		return fmt.Errorf("hcl: %s: cannot remove the last partition", m.name)
+	}
+	if m.journal != nil {
+		return fmt.Errorf("hcl: %s: repartitioning a persistent map is not supported", m.name)
+	}
+	removed := m.parts[id]
+	m.parts = append(m.parts[:id], m.parts[id+1:]...)
+	m.servers = append(m.servers[:id], m.servers[id+1:]...)
+	m.byNode = make(map[int]int, len(m.servers))
+	for i, n := range m.servers {
+		m.byNode[n] = i
+	}
+	// Entries of the removed partition rehash over the survivors; then a
+	// full migration pass fixes homes that shifted with the new modulus.
+	moved := 0
+	removed.Range(func(k K, v V) bool {
+		p, _, err := m.partitionOf(k)
+		if err != nil {
+			return false
+		}
+		m.parts[p].Insert(k, v)
+		moved++
+		return true
+	})
+	m.rt.localCharge(r, 0, 2*moved+1)
+	return m.migrate(r)
+}
+
+// migrate rehomes every entry whose partition changed under the current
+// server set. Cost is charged to the caller as N(R+W) local operations,
+// like the paper's resize row in Table I.
+func (m *UnorderedMap[K, V]) migrate(r *cluster.Rank) error {
+	type move struct {
+		k    K
+		v    V
+		from int
+		to   int
+	}
+	var moves []move
+	for p, part := range m.parts {
+		var err error
+		part.Range(func(k K, v V) bool {
+			var np int
+			np, _, err = m.partitionOf(k)
+			if err != nil {
+				return false
+			}
+			if np != p {
+				moves = append(moves, move{k: k, v: v, from: p, to: np})
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, mv := range moves {
+		m.parts[mv.from].Delete(mv.k)
+		m.parts[mv.to].Insert(mv.k, mv.v)
+	}
+	m.rt.localCharge(r, 0, 2*len(moves)+1)
+	return nil
+}

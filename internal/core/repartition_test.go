@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAddPartitionMigratesKeys(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 8, 1)
+	m, err := NewUnorderedMap[int, string](rt, "grow", WithServers([]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert(r, i, fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Partitions() != 2 {
+		t.Fatalf("Partitions = %d", m.Partitions())
+	}
+	if err := m.AddPartition(r, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Partitions() != 3 {
+		t.Fatalf("Partitions after add = %d", m.Partitions())
+	}
+	// Every key still findable and total preserved.
+	for i := 0; i < n; i++ {
+		if v, ok, err := m.Find(r, i); err != nil || !ok || v != fmt.Sprint(i) {
+			t.Fatalf("lost key %d after add: %q %v %v", i, v, ok, err)
+		}
+	}
+	if total, _ := m.Size(r); total != n {
+		t.Fatalf("Size = %d", total)
+	}
+	// The new partition actually holds data (~1/3 of the keys).
+	newPart := m.parts[2].Len()
+	if newPart < n/6 || newPart > n/2 {
+		t.Fatalf("new partition holds %d keys; migration looks wrong", newPart)
+	}
+	// Every resident key sits in its routed home.
+	for p, part := range m.parts {
+		part.Range(func(k int, _ string) bool {
+			home, _, _ := m.partitionOf(k)
+			if home != p {
+				t.Fatalf("key %d lives in partition %d, home is %d", k, p, home)
+			}
+			return true
+		})
+	}
+}
+
+func TestAddPartitionValidation(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[int, int](rt, "val", WithServers([]int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if err := m.AddPartition(r, 0); err == nil {
+		t.Fatal("duplicate host must be rejected")
+	}
+	if err := m.AddPartition(r, 9); err == nil {
+		t.Fatal("out-of-range node must be rejected")
+	}
+}
+
+func TestRemovePartitionRedistributes(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	m, err := NewUnorderedMap[int, int](rt, "shrink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		m.Insert(r, i, i*3)
+	}
+	if err := m.RemovePartition(r, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Partitions() != 3 {
+		t.Fatalf("Partitions = %d", m.Partitions())
+	}
+	for i := 0; i < n; i++ {
+		if v, ok, err := m.Find(r, i); err != nil || !ok || v != i*3 {
+			t.Fatalf("lost key %d after remove: %v %v %v", i, v, ok, err)
+		}
+	}
+	if total, _ := m.Size(r); total != n {
+		t.Fatalf("Size = %d", total)
+	}
+}
+
+func TestRemoveLastPartitionRejected(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 1, 1)
+	m, err := NewUnorderedMap[int, int](rt, "last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if err := m.RemovePartition(r, 0); err == nil {
+		t.Fatal("removing the last partition must be rejected")
+	}
+	if err := m.RemovePartition(r, 5); err == nil {
+		t.Fatal("out-of-range partition must be rejected")
+	}
+}
+
+func TestRepartitionGrowShrinkRoundTrip(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 8, 1)
+	m, err := NewUnorderedMap[int, int](rt, "cycle", WithServers([]int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m.Insert(r, i, i)
+	}
+	// Grow to 4 partitions, then shrink back to 1.
+	for _, node := range []int{1, 2, 3} {
+		if err := m.AddPartition(r, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m.Partitions() > 1 {
+		if err := m.RemovePartition(r, m.Partitions()-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v, ok, _ := m.Find(r, i); !ok || v != i {
+			t.Fatalf("lost key %d after grow/shrink cycle", i)
+		}
+	}
+	if total, _ := m.Size(r); total != n {
+		t.Fatalf("Size = %d", total)
+	}
+}
+
+func TestRepartitionPersistentRejected(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[int, int](rt, "persist-repart",
+		WithPersistence(t.TempDir(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if err := m.AddPartition(r, 1); err == nil {
+		t.Fatal("repartitioning a persistent map must be rejected")
+	}
+}

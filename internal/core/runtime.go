@@ -1,0 +1,90 @@
+// Package core implements the Hermes Container Library proper: distributed
+// STL-like containers (unordered and ordered maps and sets, FIFO and
+// priority queues) layered over the RPC-over-RDMA engine, the DataBox
+// serialization abstraction, and the node-local concurrent containers.
+//
+// Every container follows the paper's architecture (Section III-D):
+//
+//   - data is partitioned over server nodes; partitions live in globally
+//     visible memory and are manipulated only by invoking functions on the
+//     owning node (procedural paradigm), never by client-side remote CAS;
+//   - the hybrid access model (Section III-C5) lets a rank co-located with
+//     a partition bypass RPC entirely and touch the partition through
+//     shared memory;
+//   - every remote operation costs exactly one invocation (Table I);
+//   - operations come in synchronous and asynchronous (future) forms;
+//   - optional per-partition replication and mmap-backed persistence.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+	"hcl/internal/ror"
+)
+
+// Runtime bundles the world, the RoR engine, and the accounting hooks a
+// container needs. One Runtime serves any number of containers.
+type Runtime struct {
+	world   *cluster.World
+	engine  *ror.Engine
+	acct    fabric.Accountant
+	model   fabric.CostModel
+	nameSeq atomic.Int64
+}
+
+// NewRuntime builds a runtime over the world's provider.
+func NewRuntime(w *cluster.World) *Runtime {
+	prov := w.Provider()
+	return &Runtime{
+		world:  w,
+		engine: ror.NewEngine(prov),
+		acct:   fabric.AccountantOf(prov),
+		model:  fabric.ModelOf(prov),
+	}
+}
+
+// NewRuntimeWithEngine builds a runtime sharing an existing engine (used
+// when several runtimes must coexist on one provider).
+func NewRuntimeWithEngine(w *cluster.World, e *ror.Engine) *Runtime {
+	prov := w.Provider()
+	return &Runtime{
+		world:  w,
+		engine: e,
+		acct:   fabric.AccountantOf(prov),
+		model:  fabric.ModelOf(prov),
+	}
+}
+
+// World returns the runtime's world.
+func (rt *Runtime) World() *cluster.World { return rt.world }
+
+// Engine returns the runtime's RoR engine.
+func (rt *Runtime) Engine() *ror.Engine { return rt.engine }
+
+// CostModel returns the virtual-time model in effect.
+func (rt *Runtime) CostModel() fabric.CostModel { return rt.model }
+
+// autoName generates a unique container name when the caller passes "".
+func (rt *Runtime) autoName(kind string) string {
+	return fmt.Sprintf("%s#%d", kind, rt.nameSeq.Add(1))
+}
+
+// localCharge bills a hybrid-path access: ops short local operations plus
+// bytes through node memory.
+func (rt *Runtime) localCharge(r *cluster.Rank, bytes, ops int) {
+	rt.acct.LocalAccess(r.Clock(), r.Node(), bytes, ops)
+}
+
+// StableHash64 is the level-one hash of the paper's two-level scheme: a
+// process-independent FNV-1a over the DataBox encoding of the key, so
+// every process (even across OS processes on the TCP provider) agrees on
+// the partition.
+func StableHash64(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

@@ -1,0 +1,511 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/containers"
+	"hcl/internal/databox"
+)
+
+// UnorderedMap is HCL::unordered_map — a distributed hash map whose
+// buckets are partitioned block-wise over server nodes (paper Section
+// III-D1). Each partition is a node-local concurrent cuckoo hash; clients
+// reach remote partitions with exactly one RPC invocation, and co-located
+// partitions directly through shared memory (the hybrid access model).
+type UnorderedMap[K comparable, V any] struct {
+	rt      *Runtime
+	name    string
+	opt     options
+	servers []int
+	parts   []*containers.CuckooMap[K, V]
+	byNode  map[int]int // node id -> partition index
+	kbox    *databox.Box[K]
+	vbox    *databox.Box[V]
+	journal []*journal
+	merge   func(old, incoming V) V
+}
+
+// NewUnorderedMap constructs (collectively, without coordination) a
+// distributed unordered map named name. All processes in the world
+// observe the same partitioning because the level-one hash is stable.
+func NewUnorderedMap[K comparable, V any](rt *Runtime, name string, opts ...Option) (*UnorderedMap[K, V], error) {
+	o := buildOptions(opts)
+	if name == "" {
+		name = rt.autoName("unordered_map")
+	}
+	servers := o.servers
+	if servers == nil {
+		servers = allNodes(rt)
+	}
+	m := &UnorderedMap[K, V]{
+		rt:      rt,
+		name:    name,
+		opt:     o,
+		servers: servers,
+		parts:   make([]*containers.CuckooMap[K, V], len(servers)),
+		byNode:  make(map[int]int, len(servers)),
+		kbox:    databox.New[K](databox.WithCodec(o.codec)),
+		vbox:    databox.New[V](databox.WithCodec(o.codec)),
+	}
+	for i, n := range servers {
+		m.parts[i] = containers.NewCuckooMapSize[K, V](o.initialCap)
+		m.byNode[n] = i
+	}
+	if err := m.openJournals(); err != nil {
+		return nil, err
+	}
+	m.bind()
+	return m, nil
+}
+
+func allNodes(rt *Runtime) []int {
+	n := rt.world.NumNodes()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Name returns the container's global name.
+func (m *UnorderedMap[K, V]) Name() string { return m.name }
+
+// Partitions reports the number of partitions.
+func (m *UnorderedMap[K, V]) Partitions() int { return len(m.servers) }
+
+// partitionOf computes the level-one (stable) hash and the owning
+// partition of a key. The encoded key is returned for reuse on the wire.
+func (m *UnorderedMap[K, V]) partitionOf(k K) (int, []byte, error) {
+	kb, err := m.kbox.Encode(k)
+	if err != nil {
+		return 0, nil, fmt.Errorf("hcl: %s: encode key: %w", m.name, err)
+	}
+	return int(StableHash64(kb) % uint64(len(m.servers))), kb, nil
+}
+
+func (m *UnorderedMap[K, V]) fn(op string) string { return "umap." + m.name + "." + op }
+
+// bind registers the container's server-side handlers in the invocation
+// registry (the paper's bind step).
+func (m *UnorderedMap[K, V]) bind() {
+	e := m.rt.engine
+	cm := m.rt.model
+	e.Bind(m.fn("insert"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		kb, vb, err := databox.DecodePair(arg)
+		if err != nil {
+			panic(err)
+		}
+		k, err := m.kbox.Decode(kb)
+		if err != nil {
+			panic(err)
+		}
+		v, err := m.vbox.Decode(vb)
+		if err != nil {
+			panic(err)
+		}
+		isNew := m.parts[p].Insert(k, v)
+		m.appendJournal(p, arg)
+		m.replicate(node, p, arg)
+		// Table I: insert = F + L + W (F billed by the fabric).
+		return boolByte(isNew), cm.LocalOpNS + cm.MemTime(len(arg))
+	})
+	e.Bind(m.fn("merge"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		kb, vb, err := databox.DecodePair(arg)
+		if err != nil {
+			panic(err)
+		}
+		k, err := m.kbox.Decode(kb)
+		if err != nil {
+			panic(err)
+		}
+		v, err := m.vbox.Decode(vb)
+		if err != nil {
+			panic(err)
+		}
+		isNew := m.mergeLocal(p, k, v)
+		// One server-side read-modify-write: F + L + R + W.
+		return boolByte(isNew), 2*cm.LocalOpNS + cm.MemTime(len(arg))
+	})
+	e.Bind(m.fn("find"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		k, err := m.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		v, ok := m.parts[p].Find(k)
+		if !ok {
+			return []byte{0}, cm.LocalOpNS
+		}
+		vb, err := m.vbox.Encode(v)
+		if err != nil {
+			panic(err)
+		}
+		// Table I: find = F + L + R.
+		return append([]byte{1}, vb...), cm.LocalOpNS + cm.MemTime(len(vb))
+	})
+	e.Bind(m.fn("erase"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		k, err := m.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		return boolByte(m.parts[p].Delete(k)), cm.LocalOpNS
+	})
+	e.Bind(m.fn("resize"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		newSize := int(binary.LittleEndian.Uint64(arg))
+		n := m.parts[p].Len()
+		m.parts[p].Reserve(newSize)
+		// Table I: resize = F + N(R+W).
+		return boolByte(true), int64(n) * 2 * cm.LocalOpNS
+	})
+	e.Bind(m.fn("size"), func(node int, arg []byte) ([]byte, int64) {
+		p := m.byNode[node]
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(m.parts[p].Len()))
+		return out[:], cm.LocalOpNS
+	})
+}
+
+// replicate asynchronously copies an insert onto the next opt.replicas
+// partitions, hashed onward from the primary — the paper's server-side
+// replication. Fire-and-forget: the client is never billed.
+func (m *UnorderedMap[K, V]) replicate(node, p int, arg []byte) {
+	if m.opt.replicas == 0 || len(m.servers) < 2 {
+		return
+	}
+	buf := make([]byte, len(arg))
+	copy(buf, arg)
+	go func() {
+		kb, vb, err := databox.DecodePair(buf)
+		if err != nil {
+			return
+		}
+		k, err := m.kbox.Decode(kb)
+		if err != nil {
+			return
+		}
+		v, err := m.vbox.Decode(vb)
+		if err != nil {
+			return
+		}
+		for i := 1; i <= m.opt.replicas; i++ {
+			rp := (p + i) % len(m.parts)
+			if rp == p {
+				break
+			}
+			m.parts[rp].Insert(k, v)
+		}
+	}()
+}
+
+// SetMerge installs the combiner used by Merge. Call it (identically on
+// every process) before issuing Merge operations; a nil combiner makes
+// Merge behave like Insert.
+func (m *UnorderedMap[K, V]) SetMerge(fn func(old, incoming V) V) { m.merge = fn }
+
+// mergeLocal applies the combiner atomically on partition p.
+func (m *UnorderedMap[K, V]) mergeLocal(p int, k K, v V) bool {
+	fn := m.merge
+	return m.parts[p].Upsert(k, func(old V, exists bool) V {
+		if exists && fn != nil {
+			return fn(old, v)
+		}
+		return v
+	})
+}
+
+// Merge combines v into the entry under k with the registered combiner,
+// atomically at the owning partition — a read-modify-write in a single
+// invocation (e.g. histogram increments), which the client-side baseline
+// cannot express without extra round trips.
+func (m *UnorderedMap[K, V]) Merge(r *cluster.Rank, k K, v V) (bool, error) {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		isNew := m.mergeLocal(p, k, v)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3)
+		return isNew, nil
+	}
+	vb, err := m.vbox.Encode(v)
+	if err != nil {
+		return false, err
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("merge"), databox.EncodePair(kb, vb))
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// MergeAsync is the future-returning form of Merge.
+func (m *UnorderedMap[K, V]) MergeAsync(r *cluster.Rank, k K, v V) *Future[bool] {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return immediateFuture(false, err)
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		isNew := m.mergeLocal(p, k, v)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3)
+		return immediateFuture(isNew, nil)
+	}
+	vb, err := m.vbox.Encode(v)
+	if err != nil {
+		return immediateFuture(false, err)
+	}
+	raw := m.rt.engine.InvokeAsync(r, node, m.fn("merge"), databox.EncodePair(kb, vb))
+	return remoteFuture(raw, decodeBool)
+}
+
+// Insert stores v under k. It returns true when the key was newly
+// inserted into its partition.
+func (m *UnorderedMap[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		// Hybrid path: direct shared-memory access, no RPC, no
+		// serialization of the value.
+		isNew := m.parts[p].Insert(k, v)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2)
+		m.appendJournalEncoded(p, kb, v, m.vbox)
+		if m.opt.replicas > 0 {
+			m.replicate(node, p, mustPair(kb, m.vbox, v))
+		}
+		if isNew {
+			m.chargeAlloc(r, node, len(kb)+payloadSize(m.vbox, v))
+		}
+		return isNew, nil
+	}
+	vb, err := m.vbox.Encode(v)
+	if err != nil {
+		return false, fmt.Errorf("hcl: %s: encode value: %w", m.name, err)
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("insert"), databox.EncodePair(kb, vb))
+	if err != nil {
+		return false, err
+	}
+	isNew, err := decodeBool(resp)
+	if err == nil && isNew {
+		m.chargeAlloc(r, node, len(kb)+len(vb))
+	}
+	return isNew, err
+}
+
+// chargeAlloc records HCL's dynamic, grow-as-you-insert memory behaviour
+// (paper Figure 4b) against the partition's node.
+func (m *UnorderedMap[K, V]) chargeAlloc(r *cluster.Rank, node, bytes int) {
+	// A dynamic structure that cannot allocate would fail its insert;
+	// in these experiments HCL never approaches node memory, so the
+	// error path only guards against misconfigured tiny-node models.
+	_ = m.rt.acct.Alloc(node, int64(bytes), r.Clock().Now())
+}
+
+// InsertAsync is the future-returning form of Insert.
+func (m *UnorderedMap[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool] {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return immediateFuture(false, err)
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		isNew := m.parts[p].Insert(k, v)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2)
+		m.appendJournalEncoded(p, kb, v, m.vbox)
+		return immediateFuture(isNew, nil)
+	}
+	vb, err := m.vbox.Encode(v)
+	if err != nil {
+		return immediateFuture(false, err)
+	}
+	raw := m.rt.engine.InvokeAsync(r, node, m.fn("insert"), databox.EncodePair(kb, vb))
+	return remoteFuture(raw, decodeBool)
+}
+
+// Find returns the value stored under k.
+func (m *UnorderedMap[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
+	var zero V
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return zero, false, err
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		v, ok := m.parts[p].Find(k)
+		sz := len(kb)
+		if ok {
+			sz += payloadSize(m.vbox, v)
+		}
+		m.rt.localCharge(r, sz, 2)
+		return v, ok, nil
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("find"), kb)
+	if err != nil {
+		return zero, false, err
+	}
+	return m.decodeFind(resp)
+}
+
+// FindAsync is the future-returning form of Find.
+func (m *UnorderedMap[K, V]) FindAsync(r *cluster.Rank, k K) *Future[FindResult[V]] {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return immediateFuture(FindResult[V]{}, err)
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		v, ok := m.parts[p].Find(k)
+		m.rt.localCharge(r, len(kb), 2)
+		return immediateFuture(FindResult[V]{Value: v, OK: ok}, nil)
+	}
+	raw := m.rt.engine.InvokeAsync(r, node, m.fn("find"), kb)
+	return remoteFuture(raw, func(resp []byte) (FindResult[V], error) {
+		v, ok, err := m.decodeFind(resp)
+		return FindResult[V]{Value: v, OK: ok}, err
+	})
+}
+
+func (m *UnorderedMap[K, V]) decodeFind(resp []byte) (V, bool, error) {
+	var zero V
+	if len(resp) < 1 {
+		return zero, false, fmt.Errorf("hcl: %s: empty find response", m.name)
+	}
+	if resp[0] == 0 {
+		return zero, false, nil
+	}
+	v, err := m.vbox.Decode(resp[1:])
+	if err != nil {
+		return zero, false, err
+	}
+	return v, true, nil
+}
+
+// Erase removes k, reporting whether it was present.
+func (m *UnorderedMap[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
+	p, kb, err := m.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := m.servers[p]
+	if m.opt.hybrid && node == r.Node() {
+		ok := m.parts[p].Delete(k)
+		m.rt.localCharge(r, len(kb), 2)
+		return ok, nil
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("erase"), kb)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// Resize grows the partition identified by partitionID to hold at least
+// newSize entries (paper Table I). The operation is localized to that
+// partition; no global synchronization occurs.
+func (m *UnorderedMap[K, V]) Resize(r *cluster.Rank, partitionID, newSize int) (bool, error) {
+	if partitionID < 0 || partitionID >= len(m.parts) {
+		return false, fmt.Errorf("hcl: %s: partition %d out of range", m.name, partitionID)
+	}
+	node := m.servers[partitionID]
+	if m.opt.hybrid && node == r.Node() {
+		n := m.parts[partitionID].Len()
+		m.parts[partitionID].Reserve(newSize)
+		m.rt.localCharge(r, 0, 2*n+1)
+		return true, nil
+	}
+	var arg [8]byte
+	binary.LittleEndian.PutUint64(arg[:], uint64(newSize))
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("resize"), arg[:])
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// Size reports the total entry count across all partitions (one
+// invocation per remote partition).
+func (m *UnorderedMap[K, V]) Size(r *cluster.Rank) (int, error) {
+	total := 0
+	for p, node := range m.servers {
+		if m.opt.hybrid && node == r.Node() {
+			total += m.parts[p].Len()
+			m.rt.localCharge(r, 0, 1)
+			continue
+		}
+		resp, err := m.rt.engine.Invoke(r, node, m.fn("size"), nil)
+		if err != nil {
+			return 0, err
+		}
+		total += int(binary.LittleEndian.Uint64(resp))
+	}
+	return total, nil
+}
+
+// LocalPartition exposes the partition co-located with rank r, or nil if
+// r's node hosts none. Used by applications that iterate their shard.
+func (m *UnorderedMap[K, V]) LocalPartition(r *cluster.Rank) *containers.CuckooMap[K, V] {
+	if p, ok := m.byNode[r.Node()]; ok {
+		return m.parts[p]
+	}
+	return nil
+}
+
+// FindResult carries an optional value through a Future.
+type FindResult[V any] struct {
+	Value V
+	OK    bool
+}
+
+// Helpers shared by the container implementations -----------------------
+
+func boolByte(b bool) []byte {
+	if b {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+func decodeBool(resp []byte) (bool, error) {
+	if len(resp) != 1 {
+		return false, fmt.Errorf("hcl: bad bool response length %d", len(resp))
+	}
+	return resp[0] != 0, nil
+}
+
+// payloadSize estimates the in-memory size of a value for hybrid-path cost
+// accounting without a full serialization when possible.
+func payloadSize[T any](box *databox.Box[T], v T) int {
+	switch x := any(v).(type) {
+	case []byte:
+		return len(x)
+	case string:
+		return len(x)
+	}
+	if n, ok := box.Fixed(); ok {
+		return n
+	}
+	if b, err := box.Encode(v); err == nil {
+		return len(b)
+	}
+	return 0
+}
+
+// mustPair encodes a (preEncodedKey, value) pair, panicking on encoder
+// failure (only reachable with a broken custom marshaler).
+func mustPair[T any](kb []byte, box *databox.Box[T], v T) []byte {
+	vb, err := box.Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return databox.EncodePair(kb, vb)
+}

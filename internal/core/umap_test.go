@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+)
+
+// newTestWorld builds a sim world: nodes * ranksPerNode ranks, block
+// placement, with a metrics collector attached.
+func newTestWorld(t testing.TB, nodes, ranksPerNode int) (*cluster.World, *Runtime, *metrics.Collector) {
+	t.Helper()
+	col := metrics.New(1e9)
+	prov := simfab.New(nodes, fabric.DefaultCostModel(), simfab.WithCollector(col))
+	t.Cleanup(func() { prov.Close() })
+	w := cluster.MustWorld(prov, cluster.Block(nodes, nodes*ranksPerNode))
+	return w, NewRuntime(w), col
+}
+
+func TestUnorderedMapBasic(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 2)
+	m, err := NewUnorderedMap[string, int](rt, "basic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if isNew, err := m.Insert(r, "alpha", 1); err != nil || !isNew {
+		t.Fatalf("Insert = %v,%v", isNew, err)
+	}
+	if isNew, err := m.Insert(r, "alpha", 2); err != nil || isNew {
+		t.Fatalf("re-Insert = %v,%v", isNew, err)
+	}
+	if v, ok, err := m.Find(r, "alpha"); err != nil || !ok || v != 2 {
+		t.Fatalf("Find = %d,%v,%v", v, ok, err)
+	}
+	if _, ok, err := m.Find(r, "missing"); err != nil || ok {
+		t.Fatalf("Find(missing) = %v,%v", ok, err)
+	}
+	if n, err := m.Size(r); err != nil || n != 1 {
+		t.Fatalf("Size = %d,%v", n, err)
+	}
+	if ok, err := m.Erase(r, "alpha"); err != nil || !ok {
+		t.Fatalf("Erase = %v,%v", ok, err)
+	}
+	if ok, err := m.Erase(r, "alpha"); err != nil || ok {
+		t.Fatalf("double Erase = %v,%v", ok, err)
+	}
+}
+
+func TestUnorderedMapVisibleAcrossRanks(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 2)
+	m, err := NewUnorderedMap[int, string](rt, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rank inserts a disjoint key range; every rank reads all.
+	w.Run(func(r *cluster.Rank) {
+		base := r.ID() * 100
+		for i := 0; i < 100; i++ {
+			if _, err := m.Insert(r, base+i, fmt.Sprint(base+i)); err != nil {
+				t.Errorf("rank %d insert: %v", r.ID(), err)
+				return
+			}
+		}
+	})
+	w.Run(func(r *cluster.Rank) {
+		for k := 0; k < w.NumRanks()*100; k++ {
+			v, ok, err := m.Find(r, k)
+			if err != nil || !ok || v != fmt.Sprint(k) {
+				t.Errorf("rank %d Find(%d) = %q,%v,%v", r.ID(), k, v, ok, err)
+				return
+			}
+		}
+	})
+	r := w.Rank(0)
+	if n, err := m.Size(r); err != nil || n != w.NumRanks()*100 {
+		t.Fatalf("Size = %d,%v", n, err)
+	}
+}
+
+func TestUnorderedMapTableIOneInvocationPerRemoteOp(t *testing.T) {
+	// Table I: every operation costs exactly one remote invocation (F)
+	// when the partition is remote, and zero when it is local.
+	w, rt, col := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[int, int](rt, "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0) // node 0
+	// Find keys on both partitions.
+	var localKey, remoteKey = -1, -1
+	for k := 0; k < 1000 && (localKey < 0 || remoteKey < 0); k++ {
+		p, _, _ := m.partitionOf(k)
+		if m.servers[p] == 0 && localKey < 0 {
+			localKey = k
+		}
+		if m.servers[p] == 1 && remoteKey < 0 {
+			remoteKey = k
+		}
+	}
+
+	base := col.Total(metrics.RemoteInvokes, -1)
+	if _, err := m.Insert(r, remoteKey, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Total(metrics.RemoteInvokes, -1) - base; got != 1 {
+		t.Fatalf("remote insert used %v invocations, want 1", got)
+	}
+	if _, _, err := m.Find(r, remoteKey); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Total(metrics.RemoteInvokes, -1) - base; got != 2 {
+		t.Fatalf("remote find brought total to %v, want 2", got)
+	}
+
+	// Local (hybrid) ops must not invoke at all.
+	if _, err := m.Insert(r, localKey, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Find(r, localKey); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Total(metrics.RemoteInvokes, -1) - base; got != 2 {
+		t.Fatalf("hybrid ops invoked remotely: total %v", got)
+	}
+	if got := col.Total(metrics.LocalOps, 0); got <= 0 {
+		t.Fatal("hybrid ops were not accounted locally")
+	}
+	// And zero remote CAS anywhere — that is BCL's approach, not HCL's.
+	if got := col.Total(metrics.RemoteCAS, -1); got != 0 {
+		t.Fatalf("HCL op issued %v remote CAS", got)
+	}
+}
+
+func TestUnorderedMapHybridOffForcesRPC(t *testing.T) {
+	w, rt, col := newTestWorld(t, 1, 1)
+	m, err := NewUnorderedMap[int, int](rt, "nohybrid", WithHybrid(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if _, err := m.Insert(r, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Total(metrics.RemoteInvokes, -1); got != 1 {
+		t.Fatalf("hybrid-off insert used %v invocations, want 1", got)
+	}
+}
+
+func TestUnorderedMapAsync(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	m, err := NewUnorderedMap[int, int](rt, "async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	futs := make([]*Future[bool], 64)
+	for i := range futs {
+		futs[i] = m.InsertAsync(r, i, i*3)
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(r); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		ff := m.FindAsync(r, i)
+		res, err := ff.Wait(r)
+		if err != nil || !res.OK || res.Value != i*3 {
+			t.Fatalf("FindAsync(%d) = %+v, %v", i, res, err)
+		}
+		if !ff.Done() {
+			t.Fatal("Done after Wait")
+		}
+	}
+}
+
+func TestUnorderedMapAsyncOverlapsFasterThanSync(t *testing.T) {
+	const n = 128
+	// Sync phase on a fresh world.
+	wS, rtS, _ := newTestWorld(t, 2, 1)
+	mS, _ := NewUnorderedMap[int, int](rtS, "sync", WithServers([]int{1}))
+	rs := wS.Rank(0)
+	for i := 0; i < n; i++ {
+		if _, err := mS.Insert(rs, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncTime := rs.Clock().Now()
+
+	// Async phase on another fresh world.
+	wA, rtA, _ := newTestWorld(t, 2, 1)
+	mA, _ := NewUnorderedMap[int, int](rtA, "async", WithServers([]int{1}))
+	ra := wA.Rank(0)
+	futs := make([]*Future[bool], n)
+	for i := 0; i < n; i++ {
+		futs[i] = mA.InsertAsync(ra, i, i)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(ra); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asyncTime := ra.Clock().Now()
+	if asyncTime >= syncTime {
+		t.Fatalf("async pipeline (%d) should beat sync (%d)", asyncTime, syncTime)
+	}
+}
+
+func TestUnorderedMapResize(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[int, int](rt, "resize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for p := 0; p < m.Partitions(); p++ {
+		if ok, err := m.Resize(r, p, 50_000); err != nil || !ok {
+			t.Fatalf("Resize(%d) = %v,%v", p, ok, err)
+		}
+	}
+	if _, err := m.Resize(r, 99, 10); err == nil {
+		t.Fatal("Resize of bad partition must fail")
+	}
+	// Data still intact after resizes with data present.
+	for i := 0; i < 100; i++ {
+		m.Insert(r, i, i)
+	}
+	m.Resize(r, 0, 200_000)
+	for i := 0; i < 100; i++ {
+		if v, ok, _ := m.Find(r, i); !ok || v != i {
+			t.Fatalf("lost key %d after resize", i)
+		}
+	}
+}
+
+func TestUnorderedMapConcurrentMixed(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 4)
+	m, err := NewUnorderedMap[int, int](rt, "stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	inserted := map[int]bool{}
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < 200; i++ {
+			k := r.ID()*1000 + i
+			if _, err := m.Insert(r, k, k); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			mu.Lock()
+			inserted[k] = true
+			mu.Unlock()
+			if i%3 == 0 {
+				if v, ok, err := m.Find(r, k); err != nil || !ok || v != k {
+					t.Errorf("readback %d: %v %v %v", k, v, ok, err)
+					return
+				}
+			}
+		}
+	})
+	r := w.Rank(0)
+	n, err := m.Size(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(inserted) {
+		t.Fatalf("Size = %d, want %d", n, len(inserted))
+	}
+}
+
+func TestUnorderedMapStructValues(t *testing.T) {
+	type particle struct {
+		ID   int64
+		Pos  [3]float64
+		Tags []string
+	}
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[int64, particle](rt, "particles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	in := particle{ID: 7, Pos: [3]float64{1, 2, 3}, Tags: []string{"hot", "fast"}}
+	if _, err := m.Insert(r, 7, in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := m.Find(r, 7)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Pos != in.Pos || len(out.Tags) != 2 || out.Tags[0] != "hot" {
+		t.Fatalf("struct round trip: %+v", out)
+	}
+}
+
+func TestUnorderedMapReplication(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	m, err := NewUnorderedMap[int, int](rt, "repl", WithReplicas(1), WithHybrid(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for i := 0; i < 64; i++ {
+		if _, err := m.Insert(r, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replication is asynchronous: poll until each key also lives on the
+	// successor partition.
+	deadlineOK := false
+	for attempt := 0; attempt < 200; attempt++ {
+		time.Sleep(2 * time.Millisecond)
+		allThere := true
+		for i := 0; i < 64; i++ {
+			p, _, _ := m.partitionOf(i)
+			rp := (p + 1) % len(m.parts)
+			if _, ok := m.parts[rp].Find(i); !ok {
+				allThere = false
+				break
+			}
+		}
+		if allThere {
+			deadlineOK = true
+			break
+		}
+	}
+	if !deadlineOK {
+		t.Fatal("replicas not populated")
+	}
+}
+
+func TestUnorderedSetBasic(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	s, err := NewUnorderedSet[string](rt, "uset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if isNew, err := s.Insert(r, "x"); err != nil || !isNew {
+		t.Fatalf("Insert = %v,%v", isNew, err)
+	}
+	if isNew, err := s.Insert(r, "x"); err != nil || isNew {
+		t.Fatalf("duplicate Insert = %v,%v", isNew, err)
+	}
+	if ok, err := s.Find(r, "x"); err != nil || !ok {
+		t.Fatalf("Find = %v,%v", ok, err)
+	}
+	if ok, err := s.Find(r, "y"); err != nil || ok {
+		t.Fatalf("Find(absent) = %v,%v", ok, err)
+	}
+	if n, err := s.Size(r); err != nil || n != 1 {
+		t.Fatalf("Size = %d,%v", n, err)
+	}
+	if ok, err := s.Erase(r, "x"); err != nil || !ok {
+		t.Fatalf("Erase = %v,%v", ok, err)
+	}
+	for p := 0; p < s.Partitions(); p++ {
+		if ok, err := s.Resize(r, p, 1000); err != nil || !ok {
+			t.Fatalf("Resize = %v,%v", ok, err)
+		}
+	}
+	if _, err := s.Resize(r, -1, 10); err == nil {
+		t.Fatal("bad partition must error")
+	}
+}
+
+func TestUnorderedSetFasterThanMapOnWire(t *testing.T) {
+	// The paper: sets carry only a key, so they beat maps by 7-14%. At
+	// minimum the set op must not be slower than the map op for the same
+	// key type.
+	wm, rtm, _ := newTestWorld(t, 2, 1)
+	m, _ := NewUnorderedMap[string, string](rtm, "m", WithServers([]int{1}), WithHybrid(false))
+	rm := wm.Rank(0)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		if _, err := m.Insert(rm, k, k+k+k+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mapTime := rm.Clock().Now()
+
+	ws, rts, _ := newTestWorld(t, 2, 1)
+	s, _ := NewUnorderedSet[string](rts, "s", WithServers([]int{1}), WithHybrid(false))
+	rs := ws.Rank(0)
+	for i := 0; i < 200; i++ {
+		if _, err := s.Insert(rs, fmt.Sprintf("key-%06d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setTime := rs.Clock().Now()
+	if setTime > mapTime {
+		t.Fatalf("set inserts (%d) slower than map inserts (%d)", setTime, mapTime)
+	}
+}
+
+func TestUnorderedSetAsync(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	s, err := NewUnorderedSet[int](rt, "usetasync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	futs := make([]*Future[bool], 32)
+	for i := range futs {
+		futs[i] = s.InsertAsync(r, i)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := s.Size(r); n != 32 {
+		t.Fatalf("Size = %d", n)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/containers"
+	"hcl/internal/databox"
+)
+
+// UnorderedSet is HCL::unordered_set — the key-only sibling of
+// UnorderedMap, sharing the same lock-free cuckoo partitions. Because an
+// element is only a key, the serialization cost per operation is lower,
+// which is why the paper measures sets 7-14% faster than maps.
+type UnorderedSet[K comparable] struct {
+	rt      *Runtime
+	name    string
+	opt     options
+	servers []int
+	parts   []*containers.CuckooMap[K, struct{}]
+	byNode  map[int]int
+	kbox    *databox.Box[K]
+}
+
+// NewUnorderedSet constructs a distributed unordered set named name.
+func NewUnorderedSet[K comparable](rt *Runtime, name string, opts ...Option) (*UnorderedSet[K], error) {
+	o := buildOptions(opts)
+	if name == "" {
+		name = rt.autoName("unordered_set")
+	}
+	servers := o.servers
+	if servers == nil {
+		servers = allNodes(rt)
+	}
+	s := &UnorderedSet[K]{
+		rt:      rt,
+		name:    name,
+		opt:     o,
+		servers: servers,
+		parts:   make([]*containers.CuckooMap[K, struct{}], len(servers)),
+		byNode:  make(map[int]int, len(servers)),
+		kbox:    databox.New[K](databox.WithCodec(o.codec)),
+	}
+	for i, n := range servers {
+		s.parts[i] = containers.NewCuckooMapSize[K, struct{}](o.initialCap)
+		s.byNode[n] = i
+	}
+	s.bind()
+	return s, nil
+}
+
+// Name returns the container's global name.
+func (s *UnorderedSet[K]) Name() string { return s.name }
+
+// Partitions reports the number of partitions.
+func (s *UnorderedSet[K]) Partitions() int { return len(s.servers) }
+
+func (s *UnorderedSet[K]) fn(op string) string { return "uset." + s.name + "." + op }
+
+func (s *UnorderedSet[K]) partitionOf(k K) (int, []byte, error) {
+	kb, err := s.kbox.Encode(k)
+	if err != nil {
+		return 0, nil, fmt.Errorf("hcl: %s: encode key: %w", s.name, err)
+	}
+	return int(StableHash64(kb) % uint64(len(s.servers))), kb, nil
+}
+
+func (s *UnorderedSet[K]) bind() {
+	e := s.rt.engine
+	cm := s.rt.model
+	e.Bind(s.fn("insert"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		k, err := s.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		return boolByte(s.parts[p].Insert(k, struct{}{})), cm.LocalOpNS + cm.MemTime(len(arg))
+	})
+	e.Bind(s.fn("find"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		k, err := s.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		return boolByte(s.parts[p].Contains(k)), cm.LocalOpNS
+	})
+	e.Bind(s.fn("erase"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		k, err := s.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		return boolByte(s.parts[p].Delete(k)), cm.LocalOpNS
+	})
+	e.Bind(s.fn("resize"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		n := s.parts[p].Len()
+		s.parts[p].Reserve(int(binary.LittleEndian.Uint64(arg)))
+		return boolByte(true), int64(n) * 2 * cm.LocalOpNS
+	})
+	e.Bind(s.fn("size"), func(node int, arg []byte) ([]byte, int64) {
+		p := s.byNode[node]
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], uint64(s.parts[p].Len()))
+		return out[:], cm.LocalOpNS
+	})
+}
+
+// Insert adds k, returning true when it was not already present.
+func (s *UnorderedSet[K]) Insert(r *cluster.Rank, k K) (bool, error) {
+	p, kb, err := s.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := s.servers[p]
+	if s.opt.hybrid && node == r.Node() {
+		isNew := s.parts[p].Insert(k, struct{}{})
+		s.rt.localCharge(r, len(kb), 2)
+		return isNew, nil
+	}
+	resp, err := s.rt.engine.Invoke(r, node, s.fn("insert"), kb)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// InsertAsync is the future-returning form of Insert.
+func (s *UnorderedSet[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
+	p, kb, err := s.partitionOf(k)
+	if err != nil {
+		return immediateFuture(false, err)
+	}
+	node := s.servers[p]
+	if s.opt.hybrid && node == r.Node() {
+		isNew := s.parts[p].Insert(k, struct{}{})
+		s.rt.localCharge(r, len(kb), 2)
+		return immediateFuture(isNew, nil)
+	}
+	raw := s.rt.engine.InvokeAsync(r, node, s.fn("insert"), kb)
+	return remoteFuture(raw, decodeBool)
+}
+
+// Find reports whether k is in the set.
+func (s *UnorderedSet[K]) Find(r *cluster.Rank, k K) (bool, error) {
+	p, kb, err := s.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := s.servers[p]
+	if s.opt.hybrid && node == r.Node() {
+		ok := s.parts[p].Contains(k)
+		s.rt.localCharge(r, len(kb), 2)
+		return ok, nil
+	}
+	resp, err := s.rt.engine.Invoke(r, node, s.fn("find"), kb)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// Erase removes k, reporting whether it was present.
+func (s *UnorderedSet[K]) Erase(r *cluster.Rank, k K) (bool, error) {
+	p, kb, err := s.partitionOf(k)
+	if err != nil {
+		return false, err
+	}
+	node := s.servers[p]
+	if s.opt.hybrid && node == r.Node() {
+		ok := s.parts[p].Delete(k)
+		s.rt.localCharge(r, len(kb), 2)
+		return ok, nil
+	}
+	resp, err := s.rt.engine.Invoke(r, node, s.fn("erase"), kb)
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// Resize grows one partition (paper Table I).
+func (s *UnorderedSet[K]) Resize(r *cluster.Rank, partitionID, newSize int) (bool, error) {
+	if partitionID < 0 || partitionID >= len(s.parts) {
+		return false, fmt.Errorf("hcl: %s: partition %d out of range", s.name, partitionID)
+	}
+	node := s.servers[partitionID]
+	if s.opt.hybrid && node == r.Node() {
+		n := s.parts[partitionID].Len()
+		s.parts[partitionID].Reserve(newSize)
+		s.rt.localCharge(r, 0, 2*n+1)
+		return true, nil
+	}
+	var arg [8]byte
+	binary.LittleEndian.PutUint64(arg[:], uint64(newSize))
+	resp, err := s.rt.engine.Invoke(r, node, s.fn("resize"), arg[:])
+	if err != nil {
+		return false, err
+	}
+	return decodeBool(resp)
+}
+
+// Size reports the total element count across all partitions.
+func (s *UnorderedSet[K]) Size(r *cluster.Rank) (int, error) {
+	total := 0
+	for p, node := range s.servers {
+		if s.opt.hybrid && node == r.Node() {
+			total += s.parts[p].Len()
+			s.rt.localCharge(r, 0, 1)
+			continue
+		}
+		resp, err := s.rt.engine.Invoke(r, node, s.fn("size"), nil)
+		if err != nil {
+			return 0, err
+		}
+		total += int(binary.LittleEndian.Uint64(resp))
+	}
+	return total, nil
+}

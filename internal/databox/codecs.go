@@ -1,0 +1,91 @@
+package databox
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Codec is a pluggable serialization backend. The paper supports MSGPACK,
+// Cereal, and FlatBuffers; this library ships binc (native binary), gob,
+// and json, all selectable per DataBox.
+type Codec interface {
+	// Name reports the codec's registry name.
+	Name() string
+	// Marshal serializes v.
+	Marshal(v any) ([]byte, error)
+	// Unmarshal deserializes data into the value pointed to by v.
+	Unmarshal(data []byte, v any) error
+}
+
+type gobCodec struct{}
+
+// Gob returns the encoding/gob backend (self-describing, slower, maximally
+// general — the "Cereal" role).
+func Gob() Codec { return gobCodec{} }
+
+func (gobCodec) Name() string { return "gob" }
+
+func (gobCodec) Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (gobCodec) Unmarshal(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+type jsonCodec struct{}
+
+// JSON returns the encoding/json backend (interoperable text format — the
+// "FlatBuffers schema-visible" role).
+func JSON() Codec { return jsonCodec{} }
+
+func (jsonCodec) Name() string { return "json" }
+
+func (jsonCodec) Marshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+func (jsonCodec) Unmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+var (
+	codecMu  sync.RWMutex
+	codecReg = map[string]Codec{
+		"binc": Binc(),
+		"gob":  Gob(),
+		"json": JSON(),
+	}
+)
+
+// RegisterCodec adds a backend to the registry (user-supplied codecs).
+func RegisterCodec(c Codec) {
+	codecMu.Lock()
+	codecReg[c.Name()] = c
+	codecMu.Unlock()
+}
+
+// CodecByName looks a backend up by name.
+func CodecByName(name string) (Codec, error) {
+	codecMu.RLock()
+	c, ok := codecReg[name]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("databox: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// Codecs lists registered backend names.
+func Codecs() []string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	out := make([]string, 0, len(codecReg))
+	for n := range codecReg {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+// Package databox implements the paper's DataBox abstraction (Section
+// III-C): a typed template that defines how complex values are serialized,
+// transmitted, and stored. Byte-copyable fixed-size types skip serialization
+// entirely; variable-length types go through a pluggable codec backend
+// (binc, gob, or json — standing in for the paper's MSGPACK, Cereal, and
+// FlatBuffers); and user types can supply their own custom marshaling,
+// resolved dynamically at runtime.
+package databox
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// Marshaler is the custom-serialization hook: a type implementing it is
+// encoded by its own method regardless of the configured codec.
+type Marshaler interface {
+	MarshalBox() ([]byte, error)
+}
+
+// Unmarshaler is the decoding counterpart of Marshaler. It must have a
+// pointer receiver so the decoded state is visible to the caller.
+type Unmarshaler interface {
+	UnmarshalBox(data []byte) error
+}
+
+// Box is a DataBox for values of type T. The zero Box is not usable; build
+// one with New. A Box is immutable and safe for concurrent use.
+type Box[T any] struct {
+	codec   Codec
+	fixed   int  // >0 when T is byte-copyable with this encoded size
+	custom  bool // T implements Marshaler/Unmarshaler
+	typeOf  reflect.Type
+	ptrImpl bool // Unmarshaler implemented on *T
+}
+
+// Option configures a Box.
+type Option func(*boxConfig)
+
+type boxConfig struct {
+	codec Codec
+}
+
+// WithCodec selects the serialization backend for variable-length types.
+func WithCodec(c Codec) Option {
+	return func(cfg *boxConfig) { cfg.codec = c }
+}
+
+// New builds a DataBox for T. The fixed-size fast path and custom
+// marshaling are detected here, mirroring the paper's compile-time
+// fixed/variable distinction.
+func New[T any](opts ...Option) *Box[T] {
+	cfg := boxConfig{codec: Binc()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var zero T
+	t := reflect.TypeOf(&zero).Elem()
+	b := &Box[T]{codec: cfg.codec, typeOf: t}
+	if _, ok := any(zero).(Marshaler); ok {
+		b.custom = true
+		if _, ok := any(&zero).(Unmarshaler); ok {
+			b.ptrImpl = true
+		}
+	} else if _, ok := any(&zero).(Marshaler); ok {
+		// Marshaler on pointer receiver.
+		b.custom = true
+		b.ptrImpl = true
+	}
+	if !b.custom {
+		b.fixed = fixedSizeOf(t)
+	}
+	return b
+}
+
+// Fixed reports whether T takes the byte-copy fast path, and its size.
+func (b *Box[T]) Fixed() (size int, ok bool) { return b.fixed, b.fixed > 0 }
+
+// CodecName reports the backend codec name.
+func (b *Box[T]) CodecName() string { return b.codec.Name() }
+
+// Encode serializes v.
+func (b *Box[T]) Encode(v T) ([]byte, error) {
+	if b.custom {
+		m, ok := any(v).(Marshaler)
+		if !ok {
+			m, ok = any(&v).(Marshaler)
+		}
+		if !ok {
+			return nil, fmt.Errorf("databox: %v does not implement Marshaler", b.typeOf)
+		}
+		return m.MarshalBox()
+	}
+	if b.fixed > 0 {
+		out := make([]byte, 0, b.fixed)
+		return appendFixed(out, reflect.ValueOf(v)), nil
+	}
+	return b.codec.Marshal(v)
+}
+
+// Decode deserializes data into a value of T.
+func (b *Box[T]) Decode(data []byte) (T, error) {
+	var v T
+	if b.custom {
+		u, ok := any(&v).(Unmarshaler)
+		if !ok {
+			return v, fmt.Errorf("databox: *%v does not implement Unmarshaler", b.typeOf)
+		}
+		if err := u.UnmarshalBox(data); err != nil {
+			return v, err
+		}
+		return v, nil
+	}
+	if b.fixed > 0 {
+		if len(data) != b.fixed {
+			return v, fmt.Errorf("databox: fixed-size %v needs %d bytes, got %d", b.typeOf, b.fixed, len(data))
+		}
+		rv := reflect.ValueOf(&v).Elem()
+		if _, err := readFixed(data, rv); err != nil {
+			return v, err
+		}
+		return v, nil
+	}
+	if err := b.codec.Unmarshal(data, &v); err != nil {
+		return v, err
+	}
+	return v, nil
+}
+
+// fixedSizeOf reports the byte-copy encoded size of t, or 0 when t is not
+// byte-copyable (contains pointers, strings, slices, maps, or interfaces).
+func fixedSizeOf(t reflect.Type) int {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.Int64, reflect.Uint64, reflect.Float64,
+		reflect.Int, reflect.Uint, reflect.Uintptr:
+		return 8
+	case reflect.Complex64:
+		return 8
+	case reflect.Complex128:
+		return 16
+	case reflect.Array:
+		es := fixedSizeOf(t.Elem())
+		if es == 0 {
+			return 0
+		}
+		return es * t.Len()
+	case reflect.Struct:
+		sum := 0
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				return 0 // reflect cannot set unexported fields on decode
+			}
+			fs := fixedSizeOf(f.Type)
+			if fs == 0 {
+				return 0
+			}
+			sum += fs
+		}
+		if sum == 0 {
+			sum = 1 // empty struct still needs one byte on the wire
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+// appendFixed encodes a byte-copyable value little-endian.
+func appendFixed(out []byte, v reflect.Value) []byte {
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			return append(out, 1)
+		}
+		return append(out, 0)
+	case reflect.Int8:
+		return append(out, byte(v.Int()))
+	case reflect.Uint8:
+		return append(out, byte(v.Uint()))
+	case reflect.Int16:
+		return binary.LittleEndian.AppendUint16(out, uint16(v.Int()))
+	case reflect.Uint16:
+		return binary.LittleEndian.AppendUint16(out, uint16(v.Uint()))
+	case reflect.Int32:
+		return binary.LittleEndian.AppendUint32(out, uint32(v.Int()))
+	case reflect.Uint32:
+		return binary.LittleEndian.AppendUint32(out, uint32(v.Uint()))
+	case reflect.Float32:
+		return binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(v.Float())))
+	case reflect.Int, reflect.Int64:
+		return binary.LittleEndian.AppendUint64(out, uint64(v.Int()))
+	case reflect.Uint, reflect.Uint64, reflect.Uintptr:
+		return binary.LittleEndian.AppendUint64(out, v.Uint())
+	case reflect.Float64:
+		return binary.LittleEndian.AppendUint64(out, math.Float64bits(v.Float()))
+	case reflect.Complex64:
+		c := v.Complex()
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(real(c))))
+		return binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(imag(c))))
+	case reflect.Complex128:
+		c := v.Complex()
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(real(c)))
+		return binary.LittleEndian.AppendUint64(out, math.Float64bits(imag(c)))
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			out = appendFixed(out, v.Index(i))
+		}
+		return out
+	case reflect.Struct:
+		if v.NumField() == 0 {
+			return append(out, 0)
+		}
+		for i := 0; i < v.NumField(); i++ {
+			out = appendFixed(out, v.Field(i))
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("databox: appendFixed on non-fixed kind %v", v.Kind()))
+	}
+}
+
+// readFixed decodes a byte-copyable value and returns bytes consumed.
+func readFixed(data []byte, v reflect.Value) (int, error) {
+	need := fixedSizeOf(v.Type())
+	if len(data) < need {
+		return 0, fmt.Errorf("databox: need %d bytes for %v, have %d", need, v.Type(), len(data))
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(data[0] != 0)
+		return 1, nil
+	case reflect.Int8:
+		v.SetInt(int64(int8(data[0])))
+		return 1, nil
+	case reflect.Uint8:
+		v.SetUint(uint64(data[0]))
+		return 1, nil
+	case reflect.Int16:
+		v.SetInt(int64(int16(binary.LittleEndian.Uint16(data))))
+		return 2, nil
+	case reflect.Uint16:
+		v.SetUint(uint64(binary.LittleEndian.Uint16(data)))
+		return 2, nil
+	case reflect.Int32:
+		v.SetInt(int64(int32(binary.LittleEndian.Uint32(data))))
+		return 4, nil
+	case reflect.Uint32:
+		v.SetUint(uint64(binary.LittleEndian.Uint32(data)))
+		return 4, nil
+	case reflect.Float32:
+		v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(data))))
+		return 4, nil
+	case reflect.Int, reflect.Int64:
+		v.SetInt(int64(binary.LittleEndian.Uint64(data)))
+		return 8, nil
+	case reflect.Uint, reflect.Uint64, reflect.Uintptr:
+		v.SetUint(binary.LittleEndian.Uint64(data))
+		return 8, nil
+	case reflect.Float64:
+		v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		return 8, nil
+	case reflect.Complex64:
+		re := math.Float32frombits(binary.LittleEndian.Uint32(data))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(data[4:]))
+		v.SetComplex(complex(float64(re), float64(im)))
+		return 8, nil
+	case reflect.Complex128:
+		re := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+		v.SetComplex(complex(re, im))
+		return 16, nil
+	case reflect.Array:
+		p := 0
+		for i := 0; i < v.Len(); i++ {
+			n, err := readFixed(data[p:], v.Index(i))
+			if err != nil {
+				return 0, err
+			}
+			p += n
+		}
+		return p, nil
+	case reflect.Struct:
+		if v.NumField() == 0 {
+			return 1, nil
+		}
+		p := 0
+		for i := 0; i < v.NumField(); i++ {
+			n, err := readFixed(data[p:], v.Field(i))
+			if err != nil {
+				return 0, err
+			}
+			p += n
+		}
+		return p, nil
+	default:
+		return 0, fmt.Errorf("databox: readFixed on non-fixed kind %v", v.Kind())
+	}
+}

@@ -1,0 +1,397 @@
+package databox
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedSizeDetection(t *testing.T) {
+	type fixedStruct struct {
+		A int64
+		B float64
+		C [4]byte
+	}
+	type varStruct struct {
+		A int64
+		S string
+	}
+	cases := []struct {
+		size int
+		got  int
+	}{
+		{8, fixedSizeOf(reflect.TypeOf(int64(0)))},
+		{8, fixedSizeOf(reflect.TypeOf(int(0)))},
+		{1, fixedSizeOf(reflect.TypeOf(true))},
+		{4, fixedSizeOf(reflect.TypeOf(float32(0)))},
+		{20, fixedSizeOf(reflect.TypeOf(fixedStruct{}))},
+		{0, fixedSizeOf(reflect.TypeOf(varStruct{}))},
+		{0, fixedSizeOf(reflect.TypeOf("s"))},
+		{0, fixedSizeOf(reflect.TypeOf([]int{}))},
+		{0, fixedSizeOf(reflect.TypeOf(map[int]int{}))},
+		{24, fixedSizeOf(reflect.TypeOf([3]uint64{}))},
+		{16, fixedSizeOf(reflect.TypeOf(complex128(0)))},
+	}
+	for i, c := range cases {
+		if c.got != c.size {
+			t.Errorf("case %d: fixedSizeOf = %d, want %d", i, c.got, c.size)
+		}
+	}
+}
+
+func TestFixedFastPathRoundTrip(t *testing.T) {
+	type key struct {
+		Hi, Lo uint64
+		Tag    byte
+	}
+	b := New[key]()
+	if size, ok := b.Fixed(); !ok || size != 17 {
+		t.Fatalf("Fixed = (%d,%v), want (17,true)", size, ok)
+	}
+	in := key{Hi: 1 << 60, Lo: 42, Tag: 7}
+	enc, err := b.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 17 {
+		t.Fatalf("encoded %d bytes", len(enc))
+	}
+	out, err := b.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := b.Decode(enc[:5]); err == nil {
+		t.Fatal("short decode must fail")
+	}
+}
+
+func TestUnexportedFieldsDisableFastPath(t *testing.T) {
+	type mixed struct {
+		A int64
+		b int64 //nolint:unused // probing reflect visibility
+	}
+	if fixedSizeOf(reflect.TypeOf(mixed{})) != 0 {
+		t.Fatal("unexported fields must disable the byte-copy path")
+	}
+}
+
+type wireRecord struct {
+	Name   string
+	Values []float64
+	Tags   map[string]int32
+	Child  *wireRecord
+}
+
+func sampleRecord() wireRecord {
+	return wireRecord{
+		Name:   "hermes",
+		Values: []float64{1.5, -2.25, 3.75},
+		Tags:   map[string]int32{"a": 1, "b": -2},
+		Child:  &wireRecord{Name: "leaf"},
+	}
+}
+
+func TestVariableRoundTripAllCodecs(t *testing.T) {
+	for _, codec := range []Codec{Binc(), Gob(), JSON()} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			b := New[wireRecord](WithCodec(codec))
+			if _, ok := b.Fixed(); ok {
+				t.Fatal("record must not be fixed-size")
+			}
+			if b.CodecName() != codec.Name() {
+				t.Fatalf("CodecName = %s", b.CodecName())
+			}
+			in := sampleRecord()
+			enc, err := b.Encode(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := b.Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+			}
+		})
+	}
+}
+
+func TestBincDeterministicMaps(t *testing.T) {
+	b := New[map[string]int]()
+	m := map[string]int{"x": 1, "y": 2, "z": 3, "w": 4, "v": 5}
+	first, err := b.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := b.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatal("binc map encoding must be deterministic")
+		}
+	}
+}
+
+func TestBincNilHandling(t *testing.T) {
+	type holder struct {
+		S []int
+		M map[int]int
+		P *int
+	}
+	b := New[holder]()
+	enc, err := b.Encode(holder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.S != nil || out.M != nil || out.P != nil {
+		t.Fatalf("nil containers not preserved: %+v", out)
+	}
+	// Empty-but-non-nil slice stays non-nil.
+	enc, err = b.Encode(holder{S: []int{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = b.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.S == nil || len(out.S) != 0 {
+		t.Fatalf("empty slice round trip: %+v", out.S)
+	}
+}
+
+func TestBincByteSliceFastPath(t *testing.T) {
+	b := New[[]byte]()
+	in := []byte{0, 1, 2, 255, 254}
+	enc, err := b.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("byte slice: %v", out)
+	}
+}
+
+func TestBincErrors(t *testing.T) {
+	if _, err := Binc().Marshal(nil); err == nil {
+		t.Fatal("marshal nil must fail")
+	}
+	var x int
+	if err := Binc().Unmarshal([]byte{1, 2, 3}, x); err == nil {
+		t.Fatal("unmarshal into non-pointer must fail")
+	}
+	if err := Binc().Unmarshal(nil, &x); err == nil {
+		t.Fatal("truncated input must fail")
+	}
+	var s string
+	if err := Binc().Unmarshal([]byte{200}, &s); err == nil {
+		t.Fatal("bad string length must fail")
+	}
+	b := New[[]string]()
+	enc, _ := b.Encode([]string{"a"})
+	if _, err := b.Decode(append(enc, 0xff)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	var ch chan int
+	if _, err := Binc().Marshal(ch); err == nil {
+		t.Fatal("channels must be rejected")
+	}
+}
+
+func TestBincQuickInts(t *testing.T) {
+	b := New[[]int64]()
+	prop := func(xs []int64) bool {
+		enc, err := b.Encode(xs)
+		if err != nil {
+			return false
+		}
+		out, err := b.Decode(enc)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(xs, out) || (len(xs) == 0 && len(out) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBincQuickStrings(t *testing.T) {
+	b := New[map[string]string]()
+	prop := func(m map[string]string) bool {
+		enc, err := b.Encode(m)
+		if err != nil {
+			return false
+		}
+		out, err := b.Decode(enc)
+		if err != nil {
+			return false
+		}
+		if len(m) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(m, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// customType exercises the dynamic custom-serialization hook.
+type customType struct {
+	hidden string
+}
+
+func (c customType) MarshalBox() ([]byte, error) {
+	return []byte("X" + c.hidden), nil
+}
+
+func (c *customType) UnmarshalBox(data []byte) error {
+	if len(data) == 0 || data[0] != 'X' {
+		return errors.New("bad magic")
+	}
+	c.hidden = string(data[1:])
+	return nil
+}
+
+func TestCustomMarshaler(t *testing.T) {
+	b := New[customType]()
+	in := customType{hidden: "secret"}
+	enc, err := b.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != "Xsecret" {
+		t.Fatalf("custom encoding = %q", enc)
+	}
+	out, err := b.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.hidden != "secret" {
+		t.Fatalf("custom decode: %+v", out)
+	}
+	if _, err := b.Decode([]byte("bogus")); err == nil {
+		t.Fatal("custom decode error must propagate")
+	}
+}
+
+type ptrMarshaler struct{ N int64 }
+
+func (p *ptrMarshaler) MarshalBox() ([]byte, error) { return []byte(fmt.Sprint(p.N)), nil }
+func (p *ptrMarshaler) UnmarshalBox(b []byte) error { _, err := fmt.Sscan(string(b), &p.N); return err }
+
+func TestCustomMarshalerPointerReceiver(t *testing.T) {
+	b := New[ptrMarshaler]()
+	enc, err := b.Encode(ptrMarshaler{N: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 99 {
+		t.Fatalf("N = %d", out.N)
+	}
+}
+
+func TestCodecRegistry(t *testing.T) {
+	for _, name := range []string{"binc", "gob", "json"} {
+		c, err := CodecByName(name)
+		if err != nil || c.Name() != name {
+			t.Fatalf("CodecByName(%s) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := CodecByName("msgpack"); err == nil {
+		t.Fatal("unknown codec must error")
+	}
+	if len(Codecs()) < 3 {
+		t.Fatalf("Codecs = %v", Codecs())
+	}
+}
+
+func TestStringBox(t *testing.T) {
+	b := New[string]()
+	enc, err := b.Encode("variable length value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Decode(enc)
+	if err != nil || out != "variable length value" {
+		t.Fatalf("string round trip: %q, %v", out, err)
+	}
+}
+
+func TestPairHelpers(t *testing.T) {
+	a, b := []byte("key"), []byte("value-bytes")
+	enc := EncodePair(a, b)
+	ga, gb, err := DecodePair(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ga, a) || !bytes.Equal(gb, b) {
+		t.Fatalf("pair = %q,%q", ga, gb)
+	}
+	if _, _, err := DecodePair(enc[:2]); err == nil {
+		t.Fatal("truncated pair must fail")
+	}
+	if _, _, err := DecodePair(append(enc, 1)); err == nil {
+		t.Fatal("trailing pair bytes must fail")
+	}
+	// Empty fields are legal.
+	ga, gb, err = DecodePair(EncodePair(nil, nil))
+	if err != nil || len(ga) != 0 || len(gb) != 0 {
+		t.Fatalf("empty pair: %v %v %v", ga, gb, err)
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	fields := [][]byte{[]byte("a"), nil, []byte("ccc")}
+	enc := EncodeList(fields...)
+	out, err := DecodeList(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || string(out[0]) != "a" || len(out[1]) != 0 || string(out[2]) != "ccc" {
+		t.Fatalf("list = %q", out)
+	}
+	if _, err := DecodeList(nil); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := DecodeList(append(enc, 9)); err == nil {
+		t.Fatal("trailing list bytes must fail")
+	}
+	// Zero-field list round trip.
+	out, err = DecodeList(EncodeList())
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty list: %v %v", out, err)
+	}
+}
+
+func TestQuickPairRoundTrip(t *testing.T) {
+	prop := func(a, b []byte) bool {
+		ga, gb, err := DecodePair(EncodePair(a, b))
+		return err == nil && bytes.Equal(ga, a) && bytes.Equal(gb, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

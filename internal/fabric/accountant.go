@@ -1,0 +1,40 @@
+package fabric
+
+// Accountant is an optional provider capability for virtual-time accounting
+// of events that do not cross the wire: node-local data-structure work (the
+// hybrid access path) and memory allocation (the paper's Figure 4b and the
+// BCL out-of-memory behaviour). The simulated provider implements it; real
+// transports fall back to the no-op returned by AccountantOf.
+type Accountant interface {
+	// LocalAccess charges the caller's clock for ops short local memory
+	// operations plus moving bytes through the node's shared memory
+	// bandwidth.
+	LocalAccess(clk *Clock, node int, bytes int, ops int)
+	// Alloc records n bytes of registered memory appearing on node at
+	// virtual time now. It fails when the node's memory capacity would
+	// be exceeded.
+	Alloc(node int, n int64, now int64) error
+	// Free records n bytes of registered memory released on node.
+	Free(node int, n int64, now int64)
+	// Allocated reports the bytes currently allocated on node.
+	Allocated(node int) int64
+	// NodeMemory reports the modelled memory capacity of a node.
+	NodeMemory() int64
+}
+
+type noopAccountant struct{}
+
+func (noopAccountant) LocalAccess(*Clock, int, int, int) {}
+func (noopAccountant) Alloc(int, int64, int64) error     { return nil }
+func (noopAccountant) Free(int, int64, int64)            {}
+func (noopAccountant) Allocated(int) int64               { return 0 }
+func (noopAccountant) NodeMemory() int64                 { return 1 << 62 }
+
+// AccountantOf returns p's accounting capability, or a no-op stand-in when
+// the provider runs in real time.
+func AccountantOf(p Provider) Accountant {
+	if a, ok := p.(Accountant); ok {
+		return a
+	}
+	return noopAccountant{}
+}

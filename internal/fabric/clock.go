@@ -1,0 +1,33 @@
+package fabric
+
+// Clock is a per-actor virtual clock measured in nanoseconds. Exactly one
+// goroutine owns a Clock; it is advanced by fabric verbs and by local
+// data-structure work, and never moves backwards. Aggregating the final
+// clocks of all ranks yields the modelled makespan of a parallel phase.
+type Clock struct {
+	now int64
+}
+
+// NewClock returns a clock starting at t virtual nanoseconds.
+func NewClock(t int64) *Clock { return &Clock{now: t} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by d nanoseconds. Negative d is ignored.
+func (c *Clock) Advance(d int64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock to t if t is in the future.
+func (c *Clock) AdvanceTo(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to t regardless of its current value. Only the
+// benchmark harness uses this, between repeated phases.
+func (c *Clock) Reset(t int64) { c.now = t }

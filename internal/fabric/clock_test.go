@@ -1,0 +1,43 @@
+package fabric
+
+import "testing"
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", c.Now())
+	}
+	c.Advance(50)
+	if c.Now() != 150 {
+		t.Fatalf("after Advance(50): %d, want 150", c.Now())
+	}
+	c.Advance(-10)
+	if c.Now() != 150 {
+		t.Fatalf("negative Advance moved clock: %d", c.Now())
+	}
+	c.Advance(0)
+	if c.Now() != 150 {
+		t.Fatalf("zero Advance moved clock: %d", c.Now())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock(0)
+	c.AdvanceTo(500)
+	if c.Now() != 500 {
+		t.Fatalf("AdvanceTo(500): %d", c.Now())
+	}
+	c.AdvanceTo(100) // past time must not rewind
+	if c.Now() != 500 {
+		t.Fatalf("AdvanceTo(past) rewound clock: %d", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(1000)
+	c.Reset(7)
+	if c.Now() != 7 {
+		t.Fatalf("Reset(7): %d", c.Now())
+	}
+}

@@ -1,0 +1,111 @@
+package fabric
+
+// CostModel holds the virtual-time constants of the simulated fabric. The
+// defaults are calibrated to the paper's Ares testbed: dual Xeon 4114
+// (40 cores/node), 96 GB RAM, ConnectX-4 Lx 40GbE with RoCE (~4.5 GB/s
+// node-to-node measured by OSU), ~65 GB/s local memory bandwidth (STREAM,
+// 40 threads).
+//
+// All times are virtual nanoseconds; all bandwidths are bytes/second.
+type CostModel struct {
+	// InterNodeLatencyNS is the one-way wire latency between two nodes.
+	InterNodeLatencyNS int64
+	// IntraNodeLatencyNS is the one-way latency of loopback through the
+	// local NIC (used when a rank talks to its own node *without* the
+	// hybrid shortcut, i.e. what HCL avoids and BCL cannot).
+	IntraNodeLatencyNS int64
+	// LinkBandwidth is the NIC bandwidth of one node in bytes/sec. All
+	// traffic entering or leaving a node serializes on this resource,
+	// which is what produces saturation plateaus.
+	LinkBandwidth float64
+	// MemBandwidth is the node-local memory bandwidth in bytes/sec,
+	// shared by all ranks on the node for bulk copies.
+	MemBandwidth float64
+	// CASCostNS is the execution time of one atomic compare-and-swap at
+	// the target memory region. Remote CAS operations on the same region
+	// serialize behind each other (the paper's BCL bottleneck).
+	CASCostNS int64
+	// RemoteCASHoldNS is how long a *remote* CAS keeps the target region
+	// locked: NIC-initiated atomics hold the host memory path for much
+	// longer than a CPU-local CAS, which is why client-side CAS
+	// protocols serialize so badly under concurrency.
+	RemoteCASHoldNS int64
+	// LocalOpNS is the cost of one short local memory operation (L in
+	// Table I): a hash probe, a pointer chase, a bucket-state check.
+	LocalOpNS int64
+	// TreeOpNS is the cost of one level of an ordered-structure descent
+	// (skip list / tree node visit). Pointer chasing misses cache far
+	// more often than hashing, so it is priced above LocalOpNS; this is
+	// what keeps ordered containers measurably slower than unordered
+	// ones even at full load, as the paper reports.
+	TreeOpNS int64
+	// RPCHandlerNS is the fixed per-invocation overhead of running a
+	// server stub on a NIC core (demarshal, dispatch, marshal).
+	RPCHandlerNS int64
+	// SendPostNS is the client-side cost of posting a verb to the send
+	// queue.
+	SendPostNS int64
+	// ReadPostNS is the client-side cost of an RDMA_READ pull, excluding
+	// wire time.
+	ReadPostNS int64
+	// PerPacketNS is NIC-core processing time per wire packet, charged at
+	// the node that receives the packet.
+	PerPacketNS int64
+	// MTU is the wire packet size in bytes, used for packet counting.
+	MTU int
+	// NICCores is the number of NIC cores per node available to execute
+	// RPC handlers and service verbs.
+	NICCores int
+	// NodeMemory is the memory capacity of one node in bytes; allocation
+	// beyond it fails, reproducing the paper's BCL out-of-memory finding.
+	NodeMemory int64
+}
+
+// DefaultCostModel returns the Ares-calibrated model described above.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		InterNodeLatencyNS: 2_000,    // ~2us RoCE one-way
+		IntraNodeLatencyNS: 350,      // NIC loopback
+		LinkBandwidth:      4.5e9,    // OSU-measured 4.5 GB/s
+		MemBandwidth:       65e9,     // STREAM 65 GB/s
+		CASCostNS:          900,      // atomic execution
+		RemoteCASHoldNS:    1_300,    // NIC-atomic region hold
+		LocalOpNS:          150,      // short local memory op
+		TreeOpNS:           450,      // per-level ordered descent
+		RPCHandlerNS:       600,      // stub demarshal+dispatch
+		SendPostNS:         250,      // post to send queue
+		ReadPostNS:         400,      // client-pull setup
+		PerPacketNS:        120,      // NIC per-packet service
+		MTU:                4096,     // RoCE jumbo-ish MTU
+		NICCores:           4,        // multi-core NIC (BlueField)
+		NodeMemory:         96 << 30, // 96 GB per Ares node
+	}
+}
+
+// Packets reports how many MTU-sized packets a transfer of n bytes needs.
+func (m CostModel) Packets(n int) int64 {
+	if n <= 0 {
+		return 1 // header-only verb still occupies one packet
+	}
+	mtu := m.MTU
+	if mtu <= 0 {
+		mtu = 4096
+	}
+	return int64((n + mtu - 1) / mtu)
+}
+
+// WireTime reports the serialization time of n bytes on the node link.
+func (m CostModel) WireTime(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(float64(n) / m.LinkBandwidth * 1e9)
+}
+
+// MemTime reports the time to move n bytes through local memory.
+func (m CostModel) MemTime(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(float64(n) / m.MemBandwidth * 1e9)
+}

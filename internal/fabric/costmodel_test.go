@@ -1,0 +1,55 @@
+package fabric
+
+import "testing"
+
+func TestDefaultCostModelSanity(t *testing.T) {
+	m := DefaultCostModel()
+	if m.InterNodeLatencyNS <= m.IntraNodeLatencyNS {
+		t.Fatal("inter-node latency must exceed intra-node latency")
+	}
+	if m.MemBandwidth <= m.LinkBandwidth {
+		t.Fatal("memory bandwidth must exceed link bandwidth (hybrid model premise)")
+	}
+	if m.NICCores < 1 {
+		t.Fatal("need at least one NIC core")
+	}
+	if m.NodeMemory != 96<<30 {
+		t.Fatalf("NodeMemory = %d, want 96 GiB (Ares node)", m.NodeMemory)
+	}
+}
+
+func TestPackets(t *testing.T) {
+	m := DefaultCostModel() // MTU 4096
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{0, 1}, {-5, 1}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {1 << 20, 256},
+	}
+	for _, c := range cases {
+		if got := m.Packets(c.n); got != c.want {
+			t.Errorf("Packets(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestWireAndMemTime(t *testing.T) {
+	m := DefaultCostModel()
+	// 4.5 GB transferred at 4.5 GB/s takes one virtual second.
+	if got := m.WireTime(int(4.5e9)); got < 999_000_000 || got > 1_001_000_000 {
+		t.Fatalf("WireTime(4.5GB) = %d ns, want ~1e9", got)
+	}
+	if m.WireTime(0) != 0 || m.MemTime(0) != 0 {
+		t.Fatal("zero-byte transfers must be free")
+	}
+	if m.MemTime(1<<20) >= m.WireTime(1<<20) {
+		t.Fatal("memory copies must be faster than wire transfers")
+	}
+}
+
+func TestPacketsZeroMTU(t *testing.T) {
+	m := CostModel{MTU: 0}
+	if got := m.Packets(4096); got != 1 {
+		t.Fatalf("Packets with zero MTU should default to 4096: got %d", got)
+	}
+}

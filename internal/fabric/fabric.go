@@ -1,0 +1,111 @@
+// Package fabric provides the communication substrate used by every layer of
+// the library: a provider abstraction in the spirit of libfabric/OFI, the
+// RDMA-style verb set (send, one-sided read/write, remote compare-and-swap),
+// and a deterministic virtual-time cost model.
+//
+// Two providers are shipped:
+//
+//   - simfab: an in-process discrete-event simulated fabric. Ranks are
+//     goroutines that own virtual clocks; links, NIC cores, and CAS-contended
+//     memory regions are reservation resources. Data still moves through real
+//     shared memory, so data-structure correctness is genuine; only *time* is
+//     modelled. This is the provider used by all benchmarks that regenerate
+//     the paper's figures.
+//
+//   - tcpfab: a real TCP transport (length-prefixed frames) so the same
+//     programs can run across OS processes, mirroring the paper's claim that
+//     the OFI abstraction makes HCL portable across wire protocols.
+//
+// The verb semantics mirror an RDMA NIC: one-sided operations complete
+// without involving the target CPU, two-sided sends land in a work queue
+// serviced by NIC cores, and RPC responses are *pulled* by the client
+// (RDMA_READ) rather than pushed by the server — the client-pull response
+// paradigm of the paper's Figure 2.
+package fabric
+
+import "errors"
+
+// RankRef identifies a calling process: its global rank and the node the
+// rank lives on. Node locality is what drives HCL's hybrid access model.
+type RankRef struct {
+	Rank int
+	Node int
+}
+
+// Dispatcher executes an opaque RPC request at a node and returns the
+// serialized response together with the modelled execution cost (virtual
+// nanoseconds of NIC-core time). The RPC layer installs one per node.
+type Dispatcher func(req []byte) (resp []byte, cost int64)
+
+// Segment is the minimal view of registered memory the fabric needs for
+// one-sided verbs. Concrete implementations live in internal/memory.
+type Segment interface {
+	// Len returns the current length of the segment in bytes.
+	Len() int
+	// ReadAt copies len(buf) bytes starting at off into buf.
+	ReadAt(off int, buf []byte) error
+	// WriteAt copies data into the segment starting at off.
+	WriteAt(off int, data []byte) error
+	// CAS64 atomically compares-and-swaps the 8-byte word at off (which
+	// must be 8-aligned). It returns the witnessed value and whether the
+	// swap succeeded.
+	CAS64(off int, old, new uint64) (uint64, bool)
+	// Add64 atomically adds delta to the 8-byte word at off and returns
+	// the new value.
+	Add64(off int, delta uint64) uint64
+	// Load64 atomically loads the 8-byte word at off.
+	Load64(off int) uint64
+	// Store64 atomically stores the 8-byte word at off.
+	Store64(off int, v uint64)
+}
+
+// Errors shared by providers.
+var (
+	ErrBadSegment  = errors.New("fabric: unknown segment")
+	ErrBadNode     = errors.New("fabric: node out of range")
+	ErrOutOfBounds = errors.New("fabric: segment access out of bounds")
+	ErrClosed      = errors.New("fabric: provider closed")
+)
+
+// Provider is the transport abstraction. All methods are safe for
+// concurrent use by multiple ranks.
+//
+// Virtual-time methods take the caller's *Clock; a provider that runs in
+// real time (tcpfab) ignores it apart from advancing it past the measured
+// wall time so mixed-mode programs stay monotonic.
+type Provider interface {
+	// Name reports the provider name ("sim" or "tcp").
+	Name() string
+	// NumNodes reports how many nodes participate in the fabric.
+	NumNodes() int
+
+	// RoundTrip performs a full RPC exchange against the dispatcher
+	// registered at node: RDMA_SEND of the request into the node's
+	// request buffer, execution on a NIC core, and an RDMA_READ pull of
+	// the response by the caller.
+	RoundTrip(clk *Clock, from RankRef, node int, req []byte) ([]byte, error)
+
+	// SetDispatcher installs the RPC dispatcher for a node. The RPC
+	// engine calls this once per node during bind().
+	SetDispatcher(node int, d Dispatcher)
+
+	// RegisterSegment exposes a memory segment at a node for one-sided
+	// access and returns its segment id.
+	RegisterSegment(node int, seg Segment) int
+
+	// Write performs a one-sided RDMA_WRITE of data into (node, seg, off).
+	Write(clk *Clock, from RankRef, node, seg, off int, data []byte) error
+	// Read performs a one-sided RDMA_READ of len(buf) bytes from
+	// (node, seg, off) into buf.
+	Read(clk *Clock, from RankRef, node, seg, off int, buf []byte) error
+	// CAS performs a remote atomic compare-and-swap on the 8-byte word at
+	// (node, seg, off). It returns the witnessed value and success.
+	CAS(clk *Clock, from RankRef, node, seg, off int, old, new uint64) (uint64, bool, error)
+	// FetchAdd atomically adds delta to the 8-byte word at
+	// (node, seg, off) and returns the previous value (RDMA
+	// fetch-and-add; one round trip regardless of contention).
+	FetchAdd(clk *Clock, from RankRef, node, seg, off int, delta uint64) (uint64, error)
+
+	// Close releases provider resources.
+	Close() error
+}

@@ -1,0 +1,17 @@
+package fabric
+
+// Modeler is an optional provider capability exposing the virtual-time
+// cost model, used by RPC handlers to price their own execution (the
+// NIC-core time they report back to the fabric).
+type Modeler interface {
+	CostModel() CostModel
+}
+
+// ModelOf returns p's cost model, or the default model when the provider
+// runs in real time (handler-reported costs are then ignored anyway).
+func ModelOf(p Provider) CostModel {
+	if m, ok := p.(Modeler); ok {
+		return m.CostModel()
+	}
+	return DefaultCostModel()
+}

@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSerialReservation(t *testing.T) {
+	var r Resource
+	s1, e1 := r.Acquire(0, 100)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first acquire = [%d,%d), want [0,100)", s1, e1)
+	}
+	// Second request at t=10 must queue behind the first.
+	s2, e2 := r.Acquire(10, 50)
+	if s2 != 100 || e2 != 150 {
+		t.Fatalf("queued acquire = [%d,%d), want [100,150)", s2, e2)
+	}
+	// A request far in the future starts at its own time (idle gap).
+	s3, e3 := r.Acquire(1000, 5)
+	if s3 != 1000 || e3 != 1005 {
+		t.Fatalf("future acquire = [%d,%d), want [1000,1005)", s3, e3)
+	}
+}
+
+func TestResourceZeroDuration(t *testing.T) {
+	var r Resource
+	s, e := r.Acquire(42, 0)
+	if s != 42 || e != 42 {
+		t.Fatalf("zero-duration acquire = [%d,%d)", s, e)
+	}
+}
+
+func TestResourceBusyUntil(t *testing.T) {
+	var r Resource
+	r.BusyUntil(500)
+	if nf := r.NextFree(); nf != 500 {
+		t.Fatalf("NextFree = %d, want 500", nf)
+	}
+	r.BusyUntil(100) // must not rewind
+	if nf := r.NextFree(); nf != 500 {
+		t.Fatalf("BusyUntil(past) rewound to %d", nf)
+	}
+	s, _ := r.Acquire(0, 10)
+	if s != 500 {
+		t.Fatalf("acquire after BusyUntil starts at %d, want 500", s)
+	}
+}
+
+// Total busy time on a serial resource equals the sum of requested
+// durations regardless of concurrency: the reservation CAS loop cannot
+// lose or overlap windows.
+func TestResourceConcurrentConservation(t *testing.T) {
+	var r Resource
+	const workers = 16
+	const perWorker = 200
+	const dur = 7
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s, e := r.Acquire(0, dur)
+				if e-s != dur {
+					t.Errorf("window length %d, want %d", e-s, dur)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if nf := r.NextFree(); nf != workers*perWorker*dur {
+		t.Fatalf("NextFree = %d, want %d (no lost/overlapping windows)", nf, workers*perWorker*dur)
+	}
+}
+
+// Property: acquisitions always yield windows of the requested duration
+// starting no earlier than the request time, and NextFree never decreases.
+func TestResourceProperties(t *testing.T) {
+	var r Resource
+	prevFree := int64(0)
+	prop := func(now uint16, dur uint8) bool {
+		s, e := r.Acquire(int64(now), int64(dur))
+		if s < int64(now) || e-s != int64(dur) {
+			return false
+		}
+		nf := r.NextFree()
+		if nf < prevFree {
+			return false
+		}
+		prevFree = nf
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourcePoolParallelism(t *testing.T) {
+	p := NewResourcePool(4)
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	// Four simultaneous requests fit in parallel: all start at 0.
+	for i := 0; i < 4; i++ {
+		s, _ := p.Acquire(0, 100)
+		if s != 0 {
+			t.Fatalf("request %d started at %d, want 0 (idle member available)", i, s)
+		}
+	}
+	// The fifth queues behind one of them.
+	s, _ := p.Acquire(0, 100)
+	if s != 100 {
+		t.Fatalf("fifth request started at %d, want 100", s)
+	}
+}
+
+func TestResourcePoolMinSize(t *testing.T) {
+	p := NewResourcePool(0)
+	if p.Size() != 1 {
+		t.Fatalf("pool of 0 should clamp to 1, got %d", p.Size())
+	}
+}
+
+func TestResourcePoolBusyTime(t *testing.T) {
+	p := NewResourcePool(2)
+	p.Acquire(0, 100)
+	p.Acquire(0, 50)
+	if bt := p.BusyTime(); bt != 150 {
+		t.Fatalf("BusyTime = %d, want 150", bt)
+	}
+}

@@ -1,0 +1,86 @@
+package simfab
+
+import (
+	"sync"
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+)
+
+func TestFetchAddSemantics(t *testing.T) {
+	f := New(2, fabric.DefaultCostModel())
+	defer f.Close()
+	seg := memory.NewSegment(64)
+	id := f.RegisterSegment(1, seg)
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+
+	old, err := f.FetchAdd(clk, ref, 1, id, 0, 5)
+	if err != nil || old != 0 {
+		t.Fatalf("first FAA = %d, %v", old, err)
+	}
+	old, err = f.FetchAdd(clk, ref, 1, id, 0, 3)
+	if err != nil || old != 5 {
+		t.Fatalf("second FAA = %d, %v", old, err)
+	}
+	if got := seg.Load64(0); got != 8 {
+		t.Fatalf("word = %d", got)
+	}
+	if clk.Now() <= 0 {
+		t.Fatal("FAA must cost virtual time")
+	}
+}
+
+func TestFetchAddConcurrentTicketsUnique(t *testing.T) {
+	f := New(2, fabric.DefaultCostModel())
+	defer f.Close()
+	seg := memory.NewSegment(64)
+	id := f.RegisterSegment(1, seg)
+	const workers, per = 8, 200
+	tickets := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clk := fabric.NewClock(0)
+			for i := 0; i < per; i++ {
+				tk, err := f.FetchAdd(clk, fabric.RankRef{Rank: w, Node: 0}, 1, id, 0, 1)
+				if err != nil {
+					t.Errorf("FAA: %v", err)
+					return
+				}
+				tickets[w] = append(tickets[w], tk)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, workers*per)
+	for _, ts := range tickets {
+		for _, tk := range ts {
+			if seen[tk] {
+				t.Fatalf("duplicate ticket %d", tk)
+			}
+			seen[tk] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("%d distinct tickets, want %d", len(seen), workers*per)
+	}
+}
+
+func TestFetchAddErrors(t *testing.T) {
+	f := New(1, fabric.DefaultCostModel())
+	clk := fabric.NewClock(0)
+	if _, err := f.FetchAdd(clk, fabric.RankRef{}, 0, 9, 0, 1); err != fabric.ErrBadSegment {
+		t.Fatalf("bad segment: %v", err)
+	}
+	if _, err := f.FetchAdd(clk, fabric.RankRef{}, 5, 0, 0, 1); err != fabric.ErrBadNode {
+		t.Fatalf("bad node: %v", err)
+	}
+	f.Close()
+	if _, err := f.FetchAdd(clk, fabric.RankRef{}, 0, 0, 0, 1); err != fabric.ErrClosed {
+		t.Fatalf("closed: %v", err)
+	}
+}

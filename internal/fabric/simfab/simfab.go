@@ -1,0 +1,416 @@
+// Package simfab implements fabric.Provider as a deterministic in-process
+// discrete-event simulation. Every node owns a link resource (NIC
+// bandwidth), a pool of NIC-core resources (which execute RPC handlers and
+// service incoming packets), a shared memory-bandwidth resource, and one
+// CAS-serialization resource per registered segment. Data still moves
+// through real shared memory — only time is modelled.
+package simfab
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hcl/internal/fabric"
+	"hcl/internal/metrics"
+)
+
+// Fabric is the simulated provider. Create one with New.
+type Fabric struct {
+	cm     fabric.CostModel
+	nodes  []*node
+	col    *metrics.Collector
+	closed atomic.Bool
+}
+
+type node struct {
+	linkIn     fabric.Resource // ingress direction (full-duplex link)
+	linkOut    fabric.Resource // egress direction
+	mem        fabric.Resource
+	nic        *fabric.ResourcePool
+	dispatcher atomic.Pointer[fabric.Dispatcher]
+
+	segMu  sync.RWMutex
+	segs   []fabric.Segment
+	casRes []*fabric.Resource
+
+	allocated atomic.Int64
+}
+
+// Option configures a Fabric.
+type Option func(*Fabric)
+
+// WithCollector attaches a metrics collector; nil disables collection.
+func WithCollector(c *metrics.Collector) Option {
+	return func(f *Fabric) { f.col = c }
+}
+
+// New returns a simulated fabric with n nodes using cost model cm.
+func New(n int, cm fabric.CostModel, opts ...Option) *Fabric {
+	if n < 1 {
+		n = 1
+	}
+	f := &Fabric{cm: cm, nodes: make([]*node, n)}
+	for i := range f.nodes {
+		f.nodes[i] = &node{nic: fabric.NewResourcePool(cm.NICCores)}
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Name implements fabric.Provider.
+func (f *Fabric) Name() string { return "sim" }
+
+// NumNodes implements fabric.Provider.
+func (f *Fabric) NumNodes() int { return len(f.nodes) }
+
+// CostModel returns the model the fabric was built with.
+func (f *Fabric) CostModel() fabric.CostModel { return f.cm }
+
+// Collector returns the attached metrics collector (possibly nil).
+func (f *Fabric) Collector() *metrics.Collector { return f.col }
+
+// Close implements fabric.Provider.
+func (f *Fabric) Close() error {
+	f.closed.Store(true)
+	return nil
+}
+
+func (f *Fabric) node(i int) (*node, error) {
+	if i < 0 || i >= len(f.nodes) {
+		return nil, fabric.ErrBadNode
+	}
+	return f.nodes[i], nil
+}
+
+// SetDispatcher implements fabric.Provider.
+func (f *Fabric) SetDispatcher(nodeID int, d fabric.Dispatcher) {
+	n, err := f.node(nodeID)
+	if err != nil {
+		panic(fmt.Sprintf("simfab: SetDispatcher(%d): %v", nodeID, err))
+	}
+	n.dispatcher.Store(&d)
+}
+
+// RegisterSegment implements fabric.Provider.
+func (f *Fabric) RegisterSegment(nodeID int, seg fabric.Segment) int {
+	n, err := f.node(nodeID)
+	if err != nil {
+		panic(fmt.Sprintf("simfab: RegisterSegment(%d): %v", nodeID, err))
+	}
+	n.segMu.Lock()
+	defer n.segMu.Unlock()
+	n.segs = append(n.segs, seg)
+	n.casRes = append(n.casRes, &fabric.Resource{})
+	return len(n.segs) - 1
+}
+
+func (n *node) segment(id int) (fabric.Segment, *fabric.Resource, error) {
+	n.segMu.RLock()
+	defer n.segMu.RUnlock()
+	if id < 0 || id >= len(n.segs) {
+		return nil, nil, fabric.ErrBadSegment
+	}
+	return n.segs[id], n.casRes[id], nil
+}
+
+// latency returns the one-way latency between two nodes.
+func (f *Fabric) latency(a, b int) int64 {
+	if a == b {
+		return f.cm.IntraNodeLatencyNS
+	}
+	return f.cm.InterNodeLatencyNS
+}
+
+// transfer models moving n bytes from node a to node b in virtual time,
+// starting no earlier than t. Links are full duplex: the sender's egress
+// and the receiver's ingress are independent resources, reserved over the
+// same window (cut-through), so a single large message sees the full link
+// bandwidth while contention still charges both endpoints. Header-only
+// messages do not reserve link time at all — a zero-length reservation at
+// a future instant would otherwise discard the idle capacity between the
+// link's horizon and that instant.
+func (f *Fabric) transfer(a, b int, t int64, n int) int64 {
+	// Sub-MTU control messages (headers, acks, tiny responses) do not
+	// reserve link time: their serialization cost is noise, but a
+	// reservation at a future instant would advance the link horizon
+	// over idle capacity that pending bulk transfers (booked at earlier
+	// instants) should have used — the reservation discipline has no
+	// backfill, so tiny messages must not move the horizon.
+	const smallMessage = 256
+	wt := f.cm.WireTime(n)
+	start, end := t, t
+	if n >= smallMessage && wt > 0 {
+		na, nb := f.nodes[a], f.nodes[b]
+		start, end = na.linkOut.Acquire(t, wt)
+		if a != b {
+			_, end2 := nb.linkIn.Acquire(start, wt)
+			if end2 > end {
+				end = end2
+			}
+		}
+	}
+	arrive := end + f.latency(a, b)
+	if f.col != nil {
+		pk := float64(f.cm.Packets(n))
+		f.col.AddSpan(metrics.PacketsSent, a, start, end, pk)
+		f.col.AddSpan(metrics.PacketsRecv, b, start, arrive, pk)
+	}
+	return arrive
+}
+
+// nicService reserves NIC-core time at nodeID starting no earlier than t.
+func (f *Fabric) nicService(nodeID int, t, cost int64) (start, end int64) {
+	start, end = f.nodes[nodeID].nic.Acquire(t, cost)
+	if f.col != nil && end > start {
+		f.col.AddSpan(metrics.NICBusyNS, nodeID, start, end, float64(end-start))
+	}
+	return start, end
+}
+
+// RoundTrip implements fabric.Provider: RDMA_SEND of the request, handler
+// execution on a NIC core of the target, and a client-pull RDMA_READ of
+// the response (the paper's Figure 2 flow).
+func (f *Fabric) RoundTrip(clk *fabric.Clock, from fabric.RankRef, nodeID int, req []byte) ([]byte, error) {
+	yield()
+	if f.closed.Load() {
+		return nil, fabric.ErrClosed
+	}
+	tgt, err := f.node(nodeID)
+	if err != nil {
+		return nil, err
+	}
+	dp := tgt.dispatcher.Load()
+	if dp == nil {
+		return nil, fmt.Errorf("simfab: node %d has no dispatcher", nodeID)
+	}
+
+	// 1-2. Client stub posts the request; RDMA_SEND into the request
+	// buffer at the target.
+	clk.Advance(f.cm.SendPostNS)
+	arrive := f.transfer(from.Node, nodeID, clk.Now(), len(req))
+
+	// 3-5. A NIC core pulls the work-queue entry, runs the server stub,
+	// and writes the response buffer. The dispatcher executes the real
+	// handler against real memory and reports its modelled cost.
+	resp, hcost := (*dp)(req)
+	svc := f.cm.PerPacketNS*f.cm.Packets(len(req)) + f.cm.RPCHandlerNS + hcost
+	_, ready := f.nicService(nodeID, arrive, svc)
+
+	// 6-7. Completion notification reaches the client, which pulls the
+	// response with RDMA_READ.
+	notified := ready + f.latency(nodeID, from.Node)
+	pullFrom := notified + f.cm.ReadPostNS
+	done := f.transfer(nodeID, from.Node, pullFrom, len(resp))
+	clk.AdvanceTo(done)
+
+	if f.col != nil {
+		f.col.Add(metrics.RemoteInvokes, nodeID, arrive, 1)
+	}
+	return resp, nil
+}
+
+// Write implements fabric.Provider: a one-sided RDMA_WRITE.
+func (f *Fabric) Write(clk *fabric.Clock, from fabric.RankRef, nodeID, segID, off int, data []byte) error {
+	yield()
+	if f.closed.Load() {
+		return fabric.ErrClosed
+	}
+	tgt, err := f.node(nodeID)
+	if err != nil {
+		return err
+	}
+	seg, _, err := tgt.segment(segID)
+	if err != nil {
+		return err
+	}
+	clk.Advance(f.cm.SendPostNS)
+	arrive := f.transfer(from.Node, nodeID, clk.Now(), len(data))
+	_, end := f.nicService(nodeID, arrive, f.cm.PerPacketNS*f.cm.Packets(len(data)))
+	if err := seg.WriteAt(off, data); err != nil {
+		return err
+	}
+	// Hardware ack back to the initiator.
+	clk.AdvanceTo(end + f.latency(nodeID, from.Node))
+	if f.col != nil {
+		f.col.Add(metrics.RemoteWrites, nodeID, arrive, 1)
+	}
+	return nil
+}
+
+// Read implements fabric.Provider: a one-sided RDMA_READ.
+func (f *Fabric) Read(clk *fabric.Clock, from fabric.RankRef, nodeID, segID, off int, buf []byte) error {
+	yield()
+	if f.closed.Load() {
+		return fabric.ErrClosed
+	}
+	tgt, err := f.node(nodeID)
+	if err != nil {
+		return err
+	}
+	seg, _, err := tgt.segment(segID)
+	if err != nil {
+		return err
+	}
+	clk.Advance(f.cm.ReadPostNS)
+	// Header-only request travels out; data travels back.
+	reqArrive := f.transfer(from.Node, nodeID, clk.Now(), 0)
+	_, svcEnd := f.nicService(nodeID, reqArrive, f.cm.PerPacketNS*f.cm.Packets(len(buf)))
+	if err := seg.ReadAt(off, buf); err != nil {
+		return err
+	}
+	done := f.transfer(nodeID, from.Node, svcEnd, len(buf))
+	clk.AdvanceTo(done)
+	if f.col != nil {
+		f.col.Add(metrics.RemoteReads, nodeID, reqArrive, 1)
+	}
+	return nil
+}
+
+// CAS implements fabric.Provider: a remote atomic compare-and-swap. All CAS
+// verbs targeting the same segment serialize on that segment's atomic unit,
+// reproducing the region-lock contention the paper attributes to BCL.
+func (f *Fabric) CAS(clk *fabric.Clock, from fabric.RankRef, nodeID, segID, off int, old, new uint64) (uint64, bool, error) {
+	yield()
+	if f.closed.Load() {
+		return 0, false, fabric.ErrClosed
+	}
+	tgt, err := f.node(nodeID)
+	if err != nil {
+		return 0, false, err
+	}
+	seg, casRes, err := tgt.segment(segID)
+	if err != nil {
+		return 0, false, err
+	}
+	clk.Advance(f.cm.SendPostNS)
+	arrive := f.transfer(from.Node, nodeID, clk.Now(), 16) // two operands
+	hold := f.cm.RemoteCASHoldNS
+	if hold < f.cm.CASCostNS {
+		hold = f.cm.CASCostNS
+	}
+	// The atomic is serviced by a NIC core, which stays occupied for the
+	// whole hold (the paper: client CAS "are served by the RDMA
+	// work-queue"), and serializes against other atomics on the region.
+	_, svcEnd := f.nicService(nodeID, arrive, f.cm.PerPacketNS+hold)
+	_, casEnd := casRes.Acquire(svcEnd-hold, hold)
+	val, ok := seg.CAS64(off, old, new)
+	if casEnd < svcEnd {
+		casEnd = svcEnd
+	}
+	clk.AdvanceTo(casEnd + f.latency(nodeID, from.Node))
+	if f.col != nil {
+		f.col.Add(metrics.RemoteCAS, nodeID, arrive, 1)
+	}
+	return val, ok, nil
+}
+
+// FetchAdd implements fabric.Provider: a remote atomic fetch-and-add,
+// serviced like CAS (NIC core + region serialization) but never retried.
+func (f *Fabric) FetchAdd(clk *fabric.Clock, from fabric.RankRef, nodeID, segID, off int, delta uint64) (uint64, error) {
+	yield()
+	if f.closed.Load() {
+		return 0, fabric.ErrClosed
+	}
+	tgt, err := f.node(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	seg, casRes, err := tgt.segment(segID)
+	if err != nil {
+		return 0, err
+	}
+	clk.Advance(f.cm.SendPostNS)
+	arrive := f.transfer(from.Node, nodeID, clk.Now(), 8)
+	hold := f.cm.RemoteCASHoldNS
+	if hold < f.cm.CASCostNS {
+		hold = f.cm.CASCostNS
+	}
+	_, svcEnd := f.nicService(nodeID, arrive, f.cm.PerPacketNS+hold)
+	_, casEnd := casRes.Acquire(svcEnd-hold, hold)
+	newV := seg.Add64(off, delta)
+	if casEnd < svcEnd {
+		casEnd = svcEnd
+	}
+	clk.AdvanceTo(casEnd + f.latency(nodeID, from.Node))
+	if f.col != nil {
+		f.col.Add(metrics.RemoteCAS, nodeID, arrive, 1)
+	}
+	return newV - delta, nil
+}
+
+// LocalAccess implements fabric.Accountant: the hybrid-path cost of ops
+// short local operations plus bytes moved through node memory bandwidth.
+func (f *Fabric) LocalAccess(clk *fabric.Clock, nodeID int, bytes, ops int) {
+	n, err := f.node(nodeID)
+	if err != nil {
+		return
+	}
+	clk.Advance(int64(ops) * f.cm.LocalOpNS)
+	if bytes > 0 {
+		_, end := n.mem.Acquire(clk.Now(), f.cm.MemTime(bytes))
+		clk.AdvanceTo(end)
+	}
+	if f.col != nil {
+		f.col.Add(metrics.LocalOps, nodeID, clk.Now(), float64(ops))
+	}
+}
+
+// Alloc implements fabric.Accountant.
+func (f *Fabric) Alloc(nodeID int, n int64, now int64) error {
+	nd, err := f.node(nodeID)
+	if err != nil {
+		return err
+	}
+	for {
+		cur := nd.allocated.Load()
+		if cur+n > f.cm.NodeMemory {
+			return fmt.Errorf("simfab: node %d out of memory: %d + %d > %d bytes",
+				nodeID, cur, n, f.cm.NodeMemory)
+		}
+		if nd.allocated.CompareAndSwap(cur, cur+n) {
+			break
+		}
+	}
+	if f.col != nil {
+		f.col.Add(metrics.BytesAlloc, nodeID, now, float64(n))
+	}
+	return nil
+}
+
+// Free implements fabric.Accountant.
+func (f *Fabric) Free(nodeID int, n int64, now int64) {
+	nd, err := f.node(nodeID)
+	if err != nil {
+		return
+	}
+	nd.allocated.Add(-n)
+	if f.col != nil {
+		f.col.Add(metrics.BytesAlloc, nodeID, now, -float64(n))
+	}
+}
+
+// Allocated implements fabric.Accountant.
+func (f *Fabric) Allocated(nodeID int) int64 {
+	nd, err := f.node(nodeID)
+	if err != nil {
+		return 0
+	}
+	return nd.allocated.Load()
+}
+
+// NodeMemory implements fabric.Accountant.
+func (f *Fabric) NodeMemory() int64 { return f.cm.NodeMemory }
+
+var _ fabric.Provider = (*Fabric)(nil)
+var _ fabric.Accountant = (*Fabric)(nil)
+
+// yield hands the processor to other rank goroutines before each verb, so
+// the real execution order tracks virtual arrival order closely. The
+// reservation discipline is order-sensitive: without interleaving, one
+// rank could book its entire sequential op stream before its peers run,
+// inverting the queueing the cost model is meant to produce.
+func yield() { runtime.Gosched() }

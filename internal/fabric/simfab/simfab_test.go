@@ -1,0 +1,305 @@
+package simfab
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+	"hcl/internal/metrics"
+)
+
+func newFab(nodes int, col *metrics.Collector) *Fabric {
+	return New(nodes, fabric.DefaultCostModel(), WithCollector(col))
+}
+
+func TestRoundTripExecutesDispatcher(t *testing.T) {
+	f := newFab(2, nil)
+	defer f.Close()
+	f.SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		return append([]byte("echo:"), req...), 100
+	})
+	clk := fabric.NewClock(0)
+	resp, err := f.RoundTrip(clk, fabric.RankRef{Rank: 0, Node: 0}, 1, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:ping" {
+		t.Fatalf("resp = %q", resp)
+	}
+	cm := f.CostModel()
+	// One round trip costs at least two one-way latencies plus the
+	// handler's NIC time.
+	min := 2*cm.InterNodeLatencyNS + cm.RPCHandlerNS + 100
+	if clk.Now() < min {
+		t.Fatalf("clock = %d, want >= %d", clk.Now(), min)
+	}
+}
+
+func TestRoundTripNoDispatcher(t *testing.T) {
+	f := newFab(2, nil)
+	defer f.Close()
+	clk := fabric.NewClock(0)
+	if _, err := f.RoundTrip(clk, fabric.RankRef{}, 1, []byte("x")); err == nil {
+		t.Fatal("expected error for missing dispatcher")
+	}
+}
+
+func TestRoundTripBadNode(t *testing.T) {
+	f := newFab(2, nil)
+	defer f.Close()
+	clk := fabric.NewClock(0)
+	if _, err := f.RoundTrip(clk, fabric.RankRef{}, 7, nil); err != fabric.ErrBadNode {
+		t.Fatalf("err = %v, want ErrBadNode", err)
+	}
+}
+
+func TestIntraNodeCheaperThanInterNode(t *testing.T) {
+	f := newFab(2, nil)
+	defer f.Close()
+	echo := func(req []byte) ([]byte, int64) { return req, 0 }
+	f.SetDispatcher(0, echo)
+	f.SetDispatcher(1, echo)
+
+	local := fabric.NewClock(0)
+	if _, err := f.RoundTrip(local, fabric.RankRef{Rank: 0, Node: 0}, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	remote := fabric.NewClock(0)
+	if _, err := f.RoundTrip(remote, fabric.RankRef{Rank: 1, Node: 0}, 1, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if local.Now() >= remote.Now() {
+		t.Fatalf("loopback RPC (%d) should be cheaper than remote RPC (%d)", local.Now(), remote.Now())
+	}
+}
+
+func TestOneSidedWriteRead(t *testing.T) {
+	f := newFab(2, nil)
+	defer f.Close()
+	seg := memory.NewSegment(4096)
+	id := f.RegisterSegment(1, seg)
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+	if err := f.Write(clk, ref, 1, id, 64, []byte("remote write")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 12)
+	if err := f.Read(clk, ref, 1, id, 64, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "remote write" {
+		t.Fatalf("read back %q", buf)
+	}
+	if clk.Now() <= 0 {
+		t.Fatal("verbs must advance the clock")
+	}
+}
+
+func TestOneSidedBadSegment(t *testing.T) {
+	f := newFab(1, nil)
+	defer f.Close()
+	clk := fabric.NewClock(0)
+	if err := f.Write(clk, fabric.RankRef{}, 0, 3, 0, []byte("x")); err != fabric.ErrBadSegment {
+		t.Fatalf("err = %v, want ErrBadSegment", err)
+	}
+	if err := f.Read(clk, fabric.RankRef{}, 0, 3, 0, make([]byte, 1)); err != fabric.ErrBadSegment {
+		t.Fatalf("err = %v, want ErrBadSegment", err)
+	}
+	if _, _, err := f.CAS(clk, fabric.RankRef{}, 0, 3, 0, 0, 1); err != fabric.ErrBadSegment {
+		t.Fatalf("err = %v, want ErrBadSegment", err)
+	}
+}
+
+func TestRemoteCASSemantics(t *testing.T) {
+	f := newFab(2, nil)
+	defer f.Close()
+	seg := memory.NewSegment(64)
+	id := f.RegisterSegment(1, seg)
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+	if v, ok, err := f.CAS(clk, ref, 1, id, 0, 0, 42); err != nil || !ok || v != 0 {
+		t.Fatalf("CAS = (%d,%v,%v)", v, ok, err)
+	}
+	if v, ok, err := f.CAS(clk, ref, 1, id, 0, 0, 43); err != nil || ok || v != 42 {
+		t.Fatalf("failed CAS = (%d,%v,%v), want (42,false,nil)", v, ok, err)
+	}
+}
+
+// Concurrent remote CAS operations on one segment serialize on the
+// region's atomic unit: the makespan must be at least N * CASCost, which
+// is the contention the paper identifies in BCL.
+func TestRemoteCASSerialization(t *testing.T) {
+	f := newFab(2, nil)
+	defer f.Close()
+	seg := memory.NewSegment(1 << 16)
+	id := f.RegisterSegment(1, seg)
+	const n = 64
+	clocks := make([]*fabric.Clock, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		clocks[i] = fabric.NewClock(0)
+		go func(i int) {
+			defer wg.Done()
+			// Different words, same region: still serialized.
+			if _, _, err := f.CAS(clocks[i], fabric.RankRef{Rank: i, Node: 0}, 1, id, i*8, 0, 1); err != nil {
+				t.Errorf("CAS: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var makespan int64
+	for _, c := range clocks {
+		if c.Now() > makespan {
+			makespan = c.Now()
+		}
+	}
+	cm := f.CostModel()
+	if min := int64(n) * cm.CASCostNS; makespan < min {
+		t.Fatalf("makespan %d < %d: CAS did not serialize", makespan, min)
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	col := metrics.New(1e9)
+	f := newFab(2, col)
+	defer f.Close()
+	f.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 50 })
+	seg := memory.NewSegment(4096)
+	id := f.RegisterSegment(1, seg)
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+	if _, err := f.RoundTrip(clk, ref, 1, make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(clk, ref, 1, id, 0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.CAS(clk, ref, 1, id, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Total(metrics.RemoteInvokes, 1); got != 1 {
+		t.Fatalf("RemoteInvokes = %v", got)
+	}
+	if got := col.Total(metrics.RemoteWrites, 1); got != 1 {
+		t.Fatalf("RemoteWrites = %v", got)
+	}
+	if got := col.Total(metrics.RemoteCAS, 1); got != 1 {
+		t.Fatalf("RemoteCAS = %v", got)
+	}
+	if got := col.Total(metrics.PacketsSent, 0); got < 3 {
+		t.Fatalf("PacketsSent = %v, want >= 3", got)
+	}
+	if got := col.Total(metrics.NICBusyNS, 1); got <= 0 {
+		t.Fatalf("NICBusyNS = %v", got)
+	}
+}
+
+func TestLocalAccessAccounting(t *testing.T) {
+	f := newFab(1, nil)
+	defer f.Close()
+	clk := fabric.NewClock(0)
+	f.LocalAccess(clk, 0, 1<<20, 2)
+	cm := f.CostModel()
+	min := 2*cm.LocalOpNS + cm.MemTime(1<<20)
+	if clk.Now() < min {
+		t.Fatalf("LocalAccess advanced %d, want >= %d", clk.Now(), min)
+	}
+	// Local access must be far cheaper than the wire for the same bytes.
+	if clk.Now() >= cm.WireTime(1<<20) {
+		t.Fatal("local access should beat wire time")
+	}
+}
+
+func TestAllocAccountingAndOOM(t *testing.T) {
+	cm := fabric.DefaultCostModel()
+	cm.NodeMemory = 1 << 20
+	f := New(1, cm)
+	defer f.Close()
+	if err := f.Alloc(0, 1<<19, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Allocated(0); got != 1<<19 {
+		t.Fatalf("Allocated = %d", got)
+	}
+	if err := f.Alloc(0, 1<<20, 0); err == nil {
+		t.Fatal("expected OOM")
+	} else if !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	f.Free(0, 1<<19, 0)
+	if got := f.Allocated(0); got != 0 {
+		t.Fatalf("Allocated after free = %d", got)
+	}
+	if err := f.Alloc(0, 1<<20, 0); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestAccountantOf(t *testing.T) {
+	f := newFab(1, nil)
+	defer f.Close()
+	if fabric.AccountantOf(f) != fabric.Accountant(f) {
+		t.Fatal("AccountantOf(sim) should return the fabric itself")
+	}
+	if fabric.AccountantOf(nil) == nil {
+		t.Fatal("AccountantOf(nil) should return a no-op accountant")
+	}
+	noop := fabric.AccountantOf(nil)
+	if err := noop.Alloc(0, 1<<40, 0); err != nil {
+		t.Fatal("no-op accountant must never fail")
+	}
+}
+
+func TestClosedFabricRejectsVerbs(t *testing.T) {
+	f := newFab(1, nil)
+	f.SetDispatcher(0, func(req []byte) ([]byte, int64) { return req, 0 })
+	seg := memory.NewSegment(64)
+	id := f.RegisterSegment(0, seg)
+	f.Close()
+	clk := fabric.NewClock(0)
+	if _, err := f.RoundTrip(clk, fabric.RankRef{}, 0, nil); err != fabric.ErrClosed {
+		t.Fatalf("RoundTrip after close: %v", err)
+	}
+	if err := f.Write(clk, fabric.RankRef{}, 0, id, 0, []byte("x")); err != fabric.ErrClosed {
+		t.Fatalf("Write after close: %v", err)
+	}
+}
+
+func TestLinkSaturationPlateau(t *testing.T) {
+	// Doubling offered load on one node's link must not double
+	// throughput once saturated: makespan grows linearly with traffic.
+	f := newFab(2, nil)
+	defer f.Close()
+	f.SetDispatcher(1, func(req []byte) ([]byte, int64) { return nil, 0 })
+	run := func(clients int) int64 {
+		clocks := make([]*fabric.Clock, clients)
+		var wg sync.WaitGroup
+		wg.Add(clients)
+		for i := 0; i < clients; i++ {
+			clocks[i] = fabric.NewClock(0)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < 4; k++ {
+					if _, err := f.RoundTrip(clocks[i], fabric.RankRef{Rank: i, Node: 0}, 1, make([]byte, 1<<20)); err != nil {
+						t.Errorf("%v", err)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		var ms int64
+		for _, c := range clocks {
+			if c.Now() > ms {
+				ms = c.Now()
+			}
+		}
+		return ms
+	}
+	m8, m16 := run(8), run(16)
+	if m16 < m8*3/2 {
+		t.Fatalf("saturated link should stretch makespan: 8 clients %d, 16 clients %d", m8, m16)
+	}
+}

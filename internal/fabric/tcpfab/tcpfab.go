@@ -1,0 +1,477 @@
+// Package tcpfab implements fabric.Provider over real TCP sockets, so the
+// same HCL programs that run on the simulated fabric can run across OS
+// processes — the portability the paper gets from OFI's pluggable wire
+// protocols. One process hosts one node; verbs travel as length-prefixed
+// frames; one-sided operations are applied to the owner's registered
+// segments by its frame loop (standing in for the remote NIC).
+//
+// SPMD requirement: all processes must construct containers (and register
+// segments) in the same deterministic order so ids agree, exactly like
+// symmetric allocation in SHMEM/PGAS runtimes.
+package tcpfab
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcl/internal/fabric"
+)
+
+// Frame types.
+const (
+	frameRPC   byte = 1
+	frameWrite byte = 2
+	frameRead  byte = 3
+	frameCAS   byte = 4
+	frameFAA   byte = 5
+)
+
+// Config describes one process's place in the TCP fabric.
+type Config struct {
+	// NodeID is this process's node (index into Addrs).
+	NodeID int
+	// Addrs lists every node's listen address, indexed by node id.
+	Addrs []string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// Fabric is the TCP provider. Create one per process with New.
+type Fabric struct {
+	cfg        Config
+	ln         net.Listener
+	dispatcher atomic.Pointer[fabric.Dispatcher]
+
+	segMu sync.RWMutex
+	segs  []fabric.Segment // local segments; remote ids are symmetric
+
+	poolMu sync.Mutex
+	pools  map[int][]*clientConn
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New starts listening on Addrs[NodeID] and returns the provider.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.NodeID < 0 || cfg.NodeID >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("tcpfab: node %d outside %d addrs", cfg.NodeID, len(cfg.Addrs))
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.NodeID])
+	if err != nil {
+		return nil, fmt.Errorf("tcpfab: listen %s: %w", cfg.Addrs[cfg.NodeID], err)
+	}
+	f := &Fabric{cfg: cfg, ln: ln, pools: make(map[int][]*clientConn)}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr reports the actual listen address (useful with ":0" configs).
+func (f *Fabric) Addr() string { return f.ln.Addr().String() }
+
+// SetAddrs replaces the node address book, supporting ephemeral-port
+// bootstrap: start every node on ":0", gather the resolved Addr()s, then
+// distribute the final list. Call before issuing any cross-node verbs.
+func (f *Fabric) SetAddrs(addrs []string) {
+	f.poolMu.Lock()
+	defer f.poolMu.Unlock()
+	f.cfg.Addrs = addrs
+}
+
+// Name implements fabric.Provider.
+func (f *Fabric) Name() string { return "tcp" }
+
+// NumNodes implements fabric.Provider.
+func (f *Fabric) NumNodes() int { return len(f.cfg.Addrs) }
+
+// Close implements fabric.Provider.
+func (f *Fabric) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := f.ln.Close()
+	f.poolMu.Lock()
+	for _, conns := range f.pools {
+		for _, c := range conns {
+			c.conn.Close()
+		}
+	}
+	f.pools = make(map[int][]*clientConn)
+	f.poolMu.Unlock()
+	return err
+}
+
+// SetDispatcher implements fabric.Provider. Only the local node's
+// dispatcher is retained; remote nodes have their own processes.
+func (f *Fabric) SetDispatcher(node int, d fabric.Dispatcher) {
+	if node == f.cfg.NodeID {
+		f.dispatcher.Store(&d)
+	}
+}
+
+// RegisterSegment implements fabric.Provider. Registrations for remote
+// nodes allocate the symmetric id without storing anything.
+func (f *Fabric) RegisterSegment(node int, seg fabric.Segment) int {
+	f.segMu.Lock()
+	defer f.segMu.Unlock()
+	id := len(f.segs)
+	if node == f.cfg.NodeID {
+		f.segs = append(f.segs, seg)
+	} else {
+		f.segs = append(f.segs, nil) // placeholder to keep ids symmetric
+	}
+	return id
+}
+
+func (f *Fabric) localSegment(id int) (fabric.Segment, error) {
+	f.segMu.RLock()
+	defer f.segMu.RUnlock()
+	if id < 0 || id >= len(f.segs) || f.segs[id] == nil {
+		return nil, fabric.ErrBadSegment
+	}
+	return f.segs[id], nil
+}
+
+// acceptLoop services incoming connections.
+func (f *Fabric) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			defer conn.Close()
+			f.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one peer connection until EOF.
+func (f *Fabric) serveConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		resp, err := f.handleFrame(typ, payload)
+		if err != nil {
+			resp = append([]byte{0}, []byte(err.Error())...)
+		} else {
+			resp = append([]byte{1}, resp...)
+		}
+		if err := writeFrame(bw, typ, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (f *Fabric) handleFrame(typ byte, payload []byte) ([]byte, error) {
+	switch typ {
+	case frameRPC:
+		dp := f.dispatcher.Load()
+		if dp == nil {
+			return nil, errors.New("tcpfab: no dispatcher")
+		}
+		resp, _ := (*dp)(payload)
+		return resp, nil
+	case frameWrite:
+		seg, off, rest, err := splitSegOff(payload)
+		if err != nil {
+			return nil, err
+		}
+		s, err := f.localSegment(seg)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.WriteAt(off, rest)
+	case frameRead:
+		seg, off, rest, err := splitSegOff(payload)
+		if err != nil || len(rest) != 8 {
+			return nil, errors.New("tcpfab: bad read frame")
+		}
+		n := int(binary.LittleEndian.Uint64(rest))
+		s, err := f.localSegment(seg)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		if err := s.ReadAt(off, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	case frameCAS:
+		seg, off, rest, err := splitSegOff(payload)
+		if err != nil || len(rest) != 16 {
+			return nil, errors.New("tcpfab: bad cas frame")
+		}
+		old := binary.LittleEndian.Uint64(rest)
+		new := binary.LittleEndian.Uint64(rest[8:])
+		s, err := f.localSegment(seg)
+		if err != nil {
+			return nil, err
+		}
+		witness, ok := s.CAS64(off, old, new)
+		out := make([]byte, 9)
+		binary.LittleEndian.PutUint64(out, witness)
+		if ok {
+			out[8] = 1
+		}
+		return out, nil
+	case frameFAA:
+		seg, off, rest, err := splitSegOff(payload)
+		if err != nil || len(rest) != 8 {
+			return nil, errors.New("tcpfab: bad faa frame")
+		}
+		s, err := f.localSegment(seg)
+		if err != nil {
+			return nil, err
+		}
+		delta := binary.LittleEndian.Uint64(rest)
+		newV := s.Add64(off, delta)
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, newV-delta)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("tcpfab: unknown frame type %d", typ)
+	}
+}
+
+// Connection pool ------------------------------------------------------
+
+// clientConn keeps its bufio state for the connection's lifetime; a fresh
+// reader per exchange could over-read and silently drop buffered frames.
+type clientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+func (f *Fabric) getConn(node int) (*clientConn, error) {
+	if f.closed.Load() {
+		return nil, fabric.ErrClosed
+	}
+	f.poolMu.Lock()
+	conns := f.pools[node]
+	if len(conns) > 0 {
+		c := conns[len(conns)-1]
+		f.pools[node] = conns[:len(conns)-1]
+		f.poolMu.Unlock()
+		return c, nil
+	}
+	f.poolMu.Unlock()
+	raw, err := net.DialTimeout("tcp", f.cfg.Addrs[node], f.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &clientConn{
+		conn: raw,
+		br:   bufio.NewReaderSize(raw, 1<<16),
+		bw:   bufio.NewWriterSize(raw, 1<<16),
+	}, nil
+}
+
+func (f *Fabric) putConn(node int, c *clientConn) {
+	f.poolMu.Lock()
+	defer f.poolMu.Unlock()
+	if f.closed.Load() || len(f.pools[node]) >= 8 {
+		c.conn.Close()
+		return
+	}
+	f.pools[node] = append(f.pools[node], c)
+}
+
+// exchange sends one frame and waits for its response.
+func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte) ([]byte, error) {
+	start := time.Now()
+	defer func() {
+		// Keep virtual clocks monotone with observed wall time so
+		// mixed-mode programs still produce sane makespans.
+		clk.Advance(time.Since(start).Nanoseconds())
+	}()
+
+	c, err := f.getConn(node)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.bw, typ, payload); err != nil {
+		c.conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.conn.Close()
+		return nil, err
+	}
+	rtyp, resp, err := readFrame(c.br)
+	if err != nil {
+		c.conn.Close()
+		return nil, err
+	}
+	if rtyp != typ {
+		c.conn.Close()
+		return nil, fmt.Errorf("tcpfab: response type %d for request %d", rtyp, typ)
+	}
+	f.putConn(node, c)
+	if len(resp) < 1 {
+		return nil, errors.New("tcpfab: empty response")
+	}
+	if resp[0] == 0 {
+		return nil, fmt.Errorf("tcpfab: remote: %s", string(resp[1:]))
+	}
+	return resp[1:], nil
+}
+
+// RoundTrip implements fabric.Provider.
+func (f *Fabric) RoundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte) ([]byte, error) {
+	if node == f.cfg.NodeID {
+		dp := f.dispatcher.Load()
+		if dp == nil {
+			return nil, errors.New("tcpfab: no dispatcher")
+		}
+		resp, _ := (*dp)(req)
+		return resp, nil
+	}
+	return f.exchange(clk, node, frameRPC, req)
+}
+
+// Write implements fabric.Provider.
+func (f *Fabric) Write(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, data []byte) error {
+	if node == f.cfg.NodeID {
+		s, err := f.localSegment(seg)
+		if err != nil {
+			return err
+		}
+		return s.WriteAt(off, data)
+	}
+	payload := appendSegOff(nil, seg, off)
+	payload = append(payload, data...)
+	_, err := f.exchange(clk, node, frameWrite, payload)
+	return err
+}
+
+// Read implements fabric.Provider.
+func (f *Fabric) Read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, buf []byte) error {
+	if node == f.cfg.NodeID {
+		s, err := f.localSegment(seg)
+		if err != nil {
+			return err
+		}
+		return s.ReadAt(off, buf)
+	}
+	payload := appendSegOff(nil, seg, off)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(buf)))
+	resp, err := f.exchange(clk, node, frameRead, payload)
+	if err != nil {
+		return err
+	}
+	if len(resp) != len(buf) {
+		return fmt.Errorf("tcpfab: read returned %d bytes, want %d", len(resp), len(buf))
+	}
+	copy(buf, resp)
+	return nil
+}
+
+// CAS implements fabric.Provider.
+func (f *Fabric) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, old, new uint64) (uint64, bool, error) {
+	if node == f.cfg.NodeID {
+		s, err := f.localSegment(seg)
+		if err != nil {
+			return 0, false, err
+		}
+		witness, ok := s.CAS64(off, old, new)
+		return witness, ok, nil
+	}
+	payload := appendSegOff(nil, seg, off)
+	payload = binary.LittleEndian.AppendUint64(payload, old)
+	payload = binary.LittleEndian.AppendUint64(payload, new)
+	resp, err := f.exchange(clk, node, frameCAS, payload)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(resp) != 9 {
+		return 0, false, errors.New("tcpfab: bad cas response")
+	}
+	return binary.LittleEndian.Uint64(resp), resp[8] == 1, nil
+}
+
+// FetchAdd implements fabric.Provider.
+func (f *Fabric) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64) (uint64, error) {
+	if node == f.cfg.NodeID {
+		s, err := f.localSegment(seg)
+		if err != nil {
+			return 0, err
+		}
+		return s.Add64(off, delta) - delta, nil
+	}
+	payload := appendSegOff(nil, seg, off)
+	payload = binary.LittleEndian.AppendUint64(payload, delta)
+	resp, err := f.exchange(clk, node, frameFAA, payload)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errors.New("tcpfab: bad faa response")
+	}
+	return binary.LittleEndian.Uint64(resp), nil
+}
+
+// Wire helpers ---------------------------------------------------------
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > 1<<30 {
+		return 0, nil, fmt.Errorf("tcpfab: oversized frame %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+func appendSegOff(out []byte, seg, off int) []byte {
+	out = binary.LittleEndian.AppendUint64(out, uint64(seg))
+	return binary.LittleEndian.AppendUint64(out, uint64(off))
+}
+
+func splitSegOff(b []byte) (seg, off int, rest []byte, err error) {
+	if len(b) < 16 {
+		return 0, 0, nil, errors.New("tcpfab: short seg/off header")
+	}
+	return int(binary.LittleEndian.Uint64(b)), int(binary.LittleEndian.Uint64(b[8:])), b[16:], nil
+}
+
+var _ fabric.Provider = (*Fabric)(nil)

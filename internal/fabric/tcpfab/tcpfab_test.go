@@ -1,0 +1,197 @@
+package tcpfab
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+)
+
+// newPair starts two fabrics on loopback, wired to each other.
+func newPair(t *testing.T) (*Fabric, *Fabric) {
+	t.Helper()
+	// Bootstrap: listen on ephemeral ports, then rebuild configs with
+	// the resolved addresses.
+	a0, err := New(Config{NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := New(Config{NodeID: 1, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		a0.Close()
+		t.Fatal(err)
+	}
+	addrs := []string{a0.Addr(), a1.Addr()}
+	a0.cfg.Addrs = addrs
+	a1.cfg.Addrs = addrs
+	t.Cleanup(func() { a0.Close(); a1.Close() })
+	return a0, a1
+}
+
+func TestRPCAcrossProcessesBoundary(t *testing.T) {
+	f0, f1 := newPair(t)
+	f1.SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		return []byte(strings.ToUpper(string(req))), 0
+	})
+	// Setting a remote node's dispatcher locally must be a no-op.
+	f0.SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		return []byte("WRONG"), 0
+	})
+	clk := fabric.NewClock(0)
+	resp, err := f0.RoundTrip(clk, fabric.RankRef{Rank: 0, Node: 0}, 1, []byte("hermes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "HERMES" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if clk.Now() <= 0 {
+		t.Fatal("wall time must advance the clock")
+	}
+}
+
+func TestRPCLocalLoopback(t *testing.T) {
+	f0, _ := newPair(t)
+	f0.SetDispatcher(0, func(req []byte) ([]byte, int64) { return append(req, '!'), 0 })
+	clk := fabric.NewClock(0)
+	resp, err := f0.RoundTrip(clk, fabric.RankRef{}, 0, []byte("local"))
+	if err != nil || string(resp) != "local!" {
+		t.Fatalf("resp = %q, %v", resp, err)
+	}
+}
+
+func TestOneSidedVerbsOverTCP(t *testing.T) {
+	f0, f1 := newPair(t)
+	// Symmetric registration: both processes register in the same order.
+	seg1 := memory.NewSegment(4096)
+	id0 := f0.RegisterSegment(1, nil) // remote placeholder on node 0's side
+	id1 := f1.RegisterSegment(1, seg1)
+	if id0 != id1 {
+		t.Fatalf("asymmetric ids: %d vs %d", id0, id1)
+	}
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+	if err := f0.Write(clk, ref, 1, id0, 64, []byte("over the wire")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 13)
+	if err := f0.Read(clk, ref, 1, id0, 64, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "over the wire" {
+		t.Fatalf("read back %q", buf)
+	}
+	if v, ok, err := f0.CAS(clk, ref, 1, id0, 0, 0, 99); err != nil || !ok || v != 0 {
+		t.Fatalf("CAS = %d,%v,%v", v, ok, err)
+	}
+	if v, ok, err := f0.CAS(clk, ref, 1, id0, 0, 0, 100); err != nil || ok || v != 99 {
+		t.Fatalf("failed CAS = %d,%v,%v", v, ok, err)
+	}
+	// Local segment ops on the owner side go direct.
+	if err := f1.Write(clk, fabric.RankRef{Node: 1}, 1, id1, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchAddOverTCP(t *testing.T) {
+	f0, f1 := newPair(t)
+	seg1 := memory.NewSegment(64)
+	id0 := f0.RegisterSegment(1, nil)
+	f1.RegisterSegment(1, seg1)
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+	for want := uint64(0); want < 5; want++ {
+		old, err := f0.FetchAdd(clk, ref, 1, id0, 0, 1)
+		if err != nil || old != want {
+			t.Fatalf("FAA = %d, %v (want %d)", old, err, want)
+		}
+	}
+	if got := seg1.Load64(0); got != 5 {
+		t.Fatalf("word = %d", got)
+	}
+	// Local fast path on the owner side.
+	if old, err := f1.FetchAdd(clk, fabric.RankRef{Node: 1}, 1, id0, 0, 10); err != nil || old != 5 {
+		t.Fatalf("local FAA = %d, %v", old, err)
+	}
+}
+
+func TestBadSegmentOverTCP(t *testing.T) {
+	f0, _ := newPair(t)
+	clk := fabric.NewClock(0)
+	if err := f0.Write(clk, fabric.RankRef{}, 1, 42, 0, []byte("x")); err == nil {
+		t.Fatal("write to unknown segment must fail")
+	}
+}
+
+func TestRPCErrorPropagation(t *testing.T) {
+	f0, f1 := newPair(t)
+	_ = f1 // node 1 has no dispatcher
+	clk := fabric.NewClock(0)
+	if _, err := f0.RoundTrip(clk, fabric.RankRef{}, 1, []byte("x")); err == nil ||
+		!strings.Contains(err.Error(), "no dispatcher") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentExchanges(t *testing.T) {
+	f0, f1 := newPair(t)
+	f1.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clk := fabric.NewClock(0)
+			for i := 0; i < 50; i++ {
+				msg := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				resp, err := f0.RoundTrip(clk, fabric.RankRef{Rank: w, Node: 0}, 1, msg)
+				if err != nil || string(resp) != string(msg) {
+					t.Errorf("exchange %s: %q %v", msg, resp, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestClosedFabric(t *testing.T) {
+	f0, f1 := newPair(t)
+	f1.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+	f0.Close()
+	clk := fabric.NewClock(0)
+	if _, err := f0.RoundTrip(clk, fabric.RankRef{}, 1, []byte("x")); err == nil {
+		t.Fatal("closed fabric must reject exchanges")
+	}
+	if err := f0.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{NodeID: 3, Addrs: []string{"127.0.0.1:0"}}); err == nil {
+		t.Fatal("bad node id must fail")
+	}
+}
+
+func TestLargePayloadRoundTrip(t *testing.T) {
+	f0, f1 := newPair(t)
+	f1.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+	clk := fabric.NewClock(0)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	resp, err := f0.RoundTrip(clk, fabric.RankRef{}, 1, big)
+	if err != nil || len(resp) != len(big) {
+		t.Fatalf("big exchange: %d bytes, %v", len(resp), err)
+	}
+	for i := 0; i < len(big); i += 4097 {
+		if resp[i] != big[i] {
+			t.Fatalf("corruption at %d", i)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+//go:build linux
+
+package memory
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// backing is a memory-mapped file region (linux implementation). The kernel
+// synchronizes dirty pages to the device, exactly the mechanism the paper
+// uses for DataBox persistency on NVMe.
+type backing struct {
+	f    *os.File
+	data []byte
+}
+
+func openBacking(path string, size int) (*backing, []uint64, []byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("memory: mmap %s: %w", path, err)
+	}
+	words, bytes := views(data)
+	return &backing{f: f, data: data}, words, bytes, nil
+}
+
+func views(data []byte) ([]uint64, []byte) {
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), len(data)/8)
+	return words, data[:len(words)*8]
+}
+
+func (b *backing) grow(newSize int) ([]uint64, []byte, error) {
+	if err := b.sync(); err != nil {
+		return nil, nil, err
+	}
+	if err := syscall.Munmap(b.data); err != nil {
+		return nil, nil, err
+	}
+	if err := b.f.Truncate(int64(newSize)); err != nil {
+		return nil, nil, err
+	}
+	data, err := syscall.Mmap(int(b.f.Fd()), 0, newSize, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.data = data
+	words, bytes := views(data)
+	return words, bytes, nil
+}
+
+func (b *backing) sync() error {
+	if len(b.data) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b.data[0])), uintptr(len(b.data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func (b *backing) close() error {
+	if err := b.sync(); err != nil {
+		b.f.Close()
+		return err
+	}
+	if err := syscall.Munmap(b.data); err != nil {
+		b.f.Close()
+		return err
+	}
+	b.data = nil
+	return b.f.Close()
+}

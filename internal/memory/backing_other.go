@@ -1,0 +1,64 @@
+//go:build !linux
+
+package memory
+
+import (
+	"os"
+	"unsafe"
+)
+
+// backing is the portable fallback: a heap buffer written to the file on
+// sync. Slower than mmap but behaviourally identical for the library.
+type backing struct {
+	f    *os.File
+	data []byte
+}
+
+func openBacking(path string, size int) (*backing, []uint64, []byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil && err.Error() != "EOF" {
+		// Best effort: a fresh file reads as zeros anyway.
+		_ = err
+	}
+	words, bytes := views(data)
+	return &backing{f: f, data: data}, words, bytes, nil
+}
+
+func views(data []byte) ([]uint64, []byte) {
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), len(data)/8)
+	return words, data[:len(words)*8]
+}
+
+func (b *backing) grow(newSize int) ([]uint64, []byte, error) {
+	if err := b.f.Truncate(int64(newSize)); err != nil {
+		return nil, nil, err
+	}
+	nd := make([]byte, newSize)
+	copy(nd, b.data)
+	b.data = nd
+	words, bytes := views(nd)
+	return words, bytes, nil
+}
+
+func (b *backing) sync() error {
+	if _, err := b.f.WriteAt(b.data, 0); err != nil {
+		return err
+	}
+	return b.f.Sync()
+}
+
+func (b *backing) close() error {
+	if err := b.sync(); err != nil {
+		b.f.Close()
+		return err
+	}
+	return b.f.Close()
+}

@@ -1,0 +1,23 @@
+package memory
+
+import "fmt"
+
+// GlobalPtr addresses a byte range inside a registered segment anywhere in
+// the global address space — the PGAS "global pointer" both BCL and HCL
+// build on.
+type GlobalPtr struct {
+	Node int // owning node
+	Seg  int // fabric segment id at the node
+	Off  int // byte offset inside the segment
+}
+
+// Add returns a pointer advanced by n bytes.
+func (p GlobalPtr) Add(n int) GlobalPtr {
+	p.Off += n
+	return p
+}
+
+// String implements fmt.Stringer.
+func (p GlobalPtr) String() string {
+	return fmt.Sprintf("gptr{node=%d seg=%d off=%d}", p.Node, p.Seg, p.Off)
+}

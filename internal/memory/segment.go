@@ -1,0 +1,259 @@
+// Package memory implements registered memory segments: the byte regions
+// that back every distributed container partition. Segments support the
+// access modes RDMA hardware offers — bulk byte reads/writes plus atomic
+// 8-byte compare-and-swap — and can optionally be backed by a memory-mapped
+// file, giving the paper's DataBox persistency (Section III-C6): a unified
+// memory/storage address space where the kernel flushes dirty pages to an
+// NVMe-class device.
+package memory
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Errors returned by segment operations.
+var (
+	ErrOutOfBounds = errors.New("memory: access out of bounds")
+	ErrMisaligned  = errors.New("memory: atomic access must be 8-byte aligned")
+	ErrClosed      = errors.New("memory: segment closed")
+)
+
+// SyncMode controls when a persistent segment flushes to its backing file.
+type SyncMode int
+
+const (
+	// SyncNone never flushes (volatile segment).
+	SyncNone SyncMode = iota
+	// SyncRelaxed flushes only on explicit Sync calls or Close (the
+	// paper's "relaxed" background synchronization).
+	SyncRelaxed
+	// SyncEager flushes after every bulk write (per-operation
+	// synchronization, the paper's default durable mode).
+	SyncEager
+)
+
+// Segment is a registered memory region. All methods are safe for
+// concurrent use. Bulk byte access and word-level atomics may race with
+// each other exactly as they would on real RDMA hardware; higher layers
+// impose ordering with state words, as BCL does.
+type Segment struct {
+	mu     sync.RWMutex
+	words  []uint64
+	bytes  []byte // same storage as words
+	back   *backing
+	mode   SyncMode
+	closed bool
+}
+
+// NewSegment returns a volatile heap-backed segment of the given size,
+// rounded up to a multiple of 8 bytes.
+func NewSegment(size int) *Segment {
+	s := &Segment{}
+	s.alloc(size)
+	return s
+}
+
+// NewPersistentSegment returns a segment backed by a memory-mapped file at
+// path (created or truncated to size). mode selects the flush discipline.
+func NewPersistentSegment(path string, size int, mode SyncMode) (*Segment, error) {
+	b, words, bytes, err := openBacking(path, roundUp8(size))
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{words: words, bytes: bytes, back: b, mode: mode}, nil
+}
+
+func roundUp8(n int) int {
+	if n < 8 {
+		return 8
+	}
+	return (n + 7) &^ 7
+}
+
+func (s *Segment) alloc(size int) {
+	n := roundUp8(size) / 8
+	s.words = make([]uint64, n)
+	s.bytes = unsafe.Slice((*byte)(unsafe.Pointer(&s.words[0])), n*8)
+}
+
+// Len reports the segment length in bytes.
+func (s *Segment) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bytes)
+}
+
+// ReadAt copies len(buf) bytes from offset off into buf.
+func (s *Segment) ReadAt(off int, buf []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if off < 0 || off+len(buf) > len(s.bytes) {
+		return fmt.Errorf("%w: read [%d,%d) of %d", ErrOutOfBounds, off, off+len(buf), len(s.bytes))
+	}
+	copy(buf, s.bytes[off:])
+	return nil
+}
+
+// WriteAt copies data into the segment at offset off.
+func (s *Segment) WriteAt(off int, data []byte) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	if off < 0 || off+len(data) > len(s.bytes) {
+		n := len(s.bytes)
+		s.mu.RUnlock()
+		return fmt.Errorf("%w: write [%d,%d) of %d", ErrOutOfBounds, off, off+len(data), n)
+	}
+	copy(s.bytes[off:], data)
+	mode, back := s.mode, s.back
+	s.mu.RUnlock()
+	if mode == SyncEager && back != nil {
+		return back.sync()
+	}
+	return nil
+}
+
+func (s *Segment) wordIndex(off int) (int, error) {
+	if off%8 != 0 {
+		return 0, ErrMisaligned
+	}
+	i := off / 8
+	if i < 0 || i >= len(s.words) {
+		return 0, fmt.Errorf("%w: word at %d of %d bytes", ErrOutOfBounds, off, len(s.bytes))
+	}
+	return i, nil
+}
+
+// CAS64 atomically compares-and-swaps the word at off. It returns the
+// witnessed value and whether the swap happened.
+func (s *Segment) CAS64(off int, old, new uint64) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, err := s.wordIndex(off)
+	if err != nil || s.closed {
+		return 0, false
+	}
+	if atomic.CompareAndSwapUint64(&s.words[i], old, new) {
+		return old, true
+	}
+	return atomic.LoadUint64(&s.words[i]), false
+}
+
+// Load64 atomically loads the word at off; out-of-range loads return 0.
+func (s *Segment) Load64(off int) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, err := s.wordIndex(off)
+	if err != nil || s.closed {
+		return 0
+	}
+	return atomic.LoadUint64(&s.words[i])
+}
+
+// Store64 atomically stores v at off; out-of-range stores are dropped.
+func (s *Segment) Store64(off int, v uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, err := s.wordIndex(off)
+	if err != nil || s.closed {
+		return
+	}
+	atomic.StoreUint64(&s.words[i], v)
+}
+
+// Add64 atomically adds d to the word at off and returns the new value.
+func (s *Segment) Add64(off int, d uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, err := s.wordIndex(off)
+	if err != nil || s.closed {
+		return 0
+	}
+	return atomic.AddUint64(&s.words[i], d)
+}
+
+// Grow extends the segment to newSize bytes (no-op if already as large).
+// Existing contents are preserved; concurrent accessors see either the old
+// or the new extent.
+func (s *Segment) Grow(newSize int) error {
+	newSize = roundUp8(newSize)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if newSize <= len(s.bytes) {
+		return nil
+	}
+	if s.back != nil {
+		words, bytes, err := s.back.grow(newSize)
+		if err != nil {
+			return err
+		}
+		s.words, s.bytes = words, bytes
+		return nil
+	}
+	old := s.bytes
+	s.alloc(newSize)
+	copy(s.bytes, old)
+	return nil
+}
+
+// Sync flushes a persistent segment to its backing file. It is a no-op for
+// volatile segments.
+func (s *Segment) Sync() error {
+	s.mu.RLock()
+	back := s.back
+	s.mu.RUnlock()
+	if back == nil {
+		return nil
+	}
+	return back.sync()
+}
+
+// Persistent reports whether the segment has a backing file.
+func (s *Segment) Persistent() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.back != nil
+}
+
+// Close releases the segment; persistent segments are flushed first.
+func (s *Segment) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.back != nil {
+		return s.back.close()
+	}
+	return nil
+}
+
+// PutUint64 writes v in little-endian at off (non-atomic bulk write).
+func (s *Segment) PutUint64(off int, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.WriteAt(off, b[:])
+}
+
+// GetUint64 reads a little-endian word at off (non-atomic bulk read).
+func (s *Segment) GetUint64(off int) (uint64, error) {
+	var b [8]byte
+	if err := s.ReadAt(off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

@@ -1,0 +1,291 @@
+package memory
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentReadWriteRoundTrip(t *testing.T) {
+	s := NewSegment(1024)
+	data := []byte("hermes container library")
+	if err := s.WriteAt(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadAt(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	s := NewSegment(64)
+	if err := s.WriteAt(60, make([]byte, 8)); err == nil {
+		t.Fatal("write past end must fail")
+	}
+	if err := s.ReadAt(-1, make([]byte, 4)); err == nil {
+		t.Fatal("negative read offset must fail")
+	}
+	if err := s.WriteAt(0, make([]byte, 64)); err != nil {
+		t.Fatalf("full-length write failed: %v", err)
+	}
+}
+
+func TestSegmentRoundsUpTo8(t *testing.T) {
+	s := NewSegment(3)
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	if NewSegment(0).Len() != 8 {
+		t.Fatal("zero-size segment should hold one word")
+	}
+}
+
+func TestSegmentCAS(t *testing.T) {
+	s := NewSegment(64)
+	s.Store64(8, 5)
+	if v, ok := s.CAS64(8, 5, 9); !ok || v != 5 {
+		t.Fatalf("CAS(5->9) = (%d,%v), want (5,true)", v, ok)
+	}
+	if v, ok := s.CAS64(8, 5, 11); ok || v != 9 {
+		t.Fatalf("failed CAS = (%d,%v), want (9,false)", v, ok)
+	}
+	if got := s.Load64(8); got != 9 {
+		t.Fatalf("Load64 = %d, want 9", got)
+	}
+}
+
+func TestSegmentCASMisaligned(t *testing.T) {
+	s := NewSegment(64)
+	if _, ok := s.CAS64(3, 0, 1); ok {
+		t.Fatal("misaligned CAS must fail")
+	}
+	if v := s.Load64(5); v != 0 {
+		t.Fatal("misaligned load should return 0")
+	}
+}
+
+func TestSegmentAdd64(t *testing.T) {
+	s := NewSegment(16)
+	if got := s.Add64(0, 3); got != 3 {
+		t.Fatalf("Add64 = %d, want 3", got)
+	}
+	if got := s.Add64(0, ^uint64(0)); got != 2 { // add -1
+		t.Fatalf("Add64(-1) = %d, want 2", got)
+	}
+}
+
+func TestSegmentWordByteCoherence(t *testing.T) {
+	// Bulk writes and atomic loads must see the same storage.
+	s := NewSegment(16)
+	if err := s.PutUint64(0, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Load64(0); got != 0xdeadbeefcafe {
+		t.Fatalf("atomic view of bulk write = %#x", got)
+	}
+	s.Store64(8, 42)
+	if got, err := s.GetUint64(8); err != nil || got != 42 {
+		t.Fatalf("bulk view of atomic store = %d, %v", got, err)
+	}
+}
+
+func TestSegmentGrowPreserves(t *testing.T) {
+	s := NewSegment(32)
+	if err := s.WriteAt(0, []byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grow(4096); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4096 {
+		t.Fatalf("Len after grow = %d", s.Len())
+	}
+	got := make([]byte, 16)
+	if err := s.ReadAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123456789abcdef" {
+		t.Fatalf("grow lost data: %q", got)
+	}
+	if err := s.Grow(64); err != nil { // shrink request is a no-op
+		t.Fatal(err)
+	}
+	if s.Len() != 4096 {
+		t.Fatal("grow to smaller size must not shrink")
+	}
+}
+
+func TestSegmentConcurrentCASCounter(t *testing.T) {
+	s := NewSegment(8)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					old := s.Load64(0)
+					if _, ok := s.CAS64(0, old, old+1); ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Load64(0); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSegmentClose(t *testing.T) {
+	s := NewSegment(64)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(0, []byte("x")); err != ErrClosed {
+		t.Fatalf("write after close = %v, want ErrClosed", err)
+	}
+	if err := s.ReadAt(0, make([]byte, 1)); err != ErrClosed {
+		t.Fatalf("read after close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// Property: any in-bounds write followed by a read of the same range
+// returns the written bytes.
+func TestSegmentQuickRoundTrip(t *testing.T) {
+	s := NewSegment(4096)
+	rng := rand.New(rand.NewSource(1))
+	prop := func(off uint16, n uint8) bool {
+		o := int(off) % 4000
+		data := make([]byte, int(n)%96+1)
+		rng.Read(data)
+		if err := s.WriteAt(o, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := s.ReadAt(o, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentSegmentDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.bin")
+	s, err := NewPersistentSegment(path, 4096, SyncEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Persistent() {
+		t.Fatal("segment should report persistent")
+	}
+	payload := []byte("durable distributed data")
+	if err := s.WriteAt(256, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.Store64(0, 777)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify both bulk and atomic writes survived.
+	s2, err := NewPersistentSegment(path, 4096, SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := make([]byte, len(payload))
+	if err := s2.ReadAt(256, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload lost: %q", got)
+	}
+	if v := s2.Load64(0); v != 777 {
+		t.Fatalf("atomic word lost: %d", v)
+	}
+}
+
+func TestPersistentSegmentGrow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grow.bin")
+	s, err := NewPersistentSegment(path, 64, SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(0, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grow(8192); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := s.ReadAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("grow lost data: %q", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 8192 {
+		t.Fatalf("backing file size = %d, want 8192", fi.Size())
+	}
+}
+
+func TestPersistentSegmentRelaxedSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "relaxed.bin")
+	s, err := NewPersistentSegment(path, 128, SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteAt(0, []byte("relaxed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolatileSegmentSyncNoop(t *testing.T) {
+	s := NewSegment(8)
+	if err := s.Sync(); err != nil {
+		t.Fatalf("volatile Sync: %v", err)
+	}
+}
+
+func TestGlobalPtr(t *testing.T) {
+	p := GlobalPtr{Node: 2, Seg: 1, Off: 128}
+	q := p.Add(64)
+	if q.Off != 192 || q.Node != 2 || q.Seg != 1 {
+		t.Fatalf("Add: %+v", q)
+	}
+	if p.Off != 128 {
+		t.Fatal("Add must not mutate receiver")
+	}
+	if s := p.String(); s != "gptr{node=2 seg=1 off=128}" {
+		t.Fatalf("String: %s", s)
+	}
+}

@@ -1,0 +1,134 @@
+package memory
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// Concurrent bulk writers on disjoint ranges with concurrent readers: the
+// segment must never corrupt neighbouring ranges (this is the access
+// pattern of BCL clients writing their reserved buckets).
+func TestSegmentConcurrentDisjointWriters(t *testing.T) {
+	const workers, slot = 8, 512
+	s := NewSegment(workers * slot)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, slot)
+			for i := range buf {
+				buf[i] = byte(w)
+			}
+			for iter := 0; iter < 200; iter++ {
+				if err := s.WriteAt(w*slot, buf); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := make([]byte, slot)
+	for w := 0; w < workers; w++ {
+		if err := s.ReadAt(w*slot, got); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			if b != byte(w) {
+				t.Fatalf("slot %d byte %d = %d, want %d", w, i, b, w)
+			}
+		}
+	}
+}
+
+// Growing under concurrent readers must never fault or lose data.
+func TestSegmentGrowUnderConcurrentReads(t *testing.T) {
+	s := NewSegment(1 << 10)
+	if err := s.WriteAt(0, []byte("stable prefix")); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 13)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.ReadAt(0, buf); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if string(buf) != "stable prefix" {
+					t.Errorf("read %q", buf)
+					return
+				}
+			}
+		}()
+	}
+	for size := 1 << 11; size <= 1<<16; size <<= 1 {
+		if err := s.Grow(size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPersistentSegmentConcurrentAtomics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "atomic.bin")
+	s, err := NewPersistentSegment(path, 64, SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Add64(8, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Load64(8); got != workers*per {
+		t.Fatalf("counter = %d", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The final value must be durable.
+	s2, err := NewPersistentSegment(path, 64, SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Load64(8); got != workers*per {
+		t.Fatalf("durable counter = %d", got)
+	}
+}
+
+func TestSegmentEagerSyncEveryWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eager.bin")
+	s, err := NewPersistentSegment(path, 256, SyncEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.WriteAt(i*8, []byte("12345678")); err != nil {
+			t.Fatalf("eager write %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

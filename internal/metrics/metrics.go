@@ -1,0 +1,214 @@
+// Package metrics collects virtual-time-bucketed counter series, playing the
+// role of the paper's Intel PAT profiling run: NIC-core utilization, memory
+// utilization, and packets/second over the lifetime of an experiment
+// (Figure 4 of the paper).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind names a counter series.
+type Kind string
+
+// The series reproduced in Figure 4, plus a few extras used by tests.
+const (
+	NICBusyNS     Kind = "nic_busy_ns"    // NIC-core busy nanoseconds
+	BytesAlloc    Kind = "bytes_alloc"    // segment bytes allocated (+/-)
+	PacketsSent   Kind = "packets_sent"   // wire packets leaving a node
+	PacketsRecv   Kind = "packets_recv"   // wire packets entering a node
+	RemoteInvokes Kind = "remote_invokes" // RPC round trips
+	RemoteCAS     Kind = "remote_cas"     // one-sided CAS verbs
+	RemoteWrites  Kind = "remote_writes"  // one-sided write verbs
+	RemoteReads   Kind = "remote_reads"   // one-sided read verbs
+	LocalOps      Kind = "local_ops"      // hybrid-path local operations
+)
+
+// Collector accumulates (kind, node, bucket) -> value sums. Buckets are
+// virtual-time windows of Resolution nanoseconds. The zero value is not
+// usable; call New.
+type Collector struct {
+	mu         sync.Mutex
+	resolution int64
+	cells      map[cellKey]float64
+	totals     map[totalKey]float64
+}
+
+type cellKey struct {
+	kind   Kind
+	node   int
+	bucket int64
+}
+
+type totalKey struct {
+	kind Kind
+	node int
+}
+
+// New returns a collector with the given bucket resolution in virtual
+// nanoseconds (e.g. 1e9 for per-second series, matching the paper's plots).
+func New(resolution int64) *Collector {
+	if resolution <= 0 {
+		resolution = 1e9
+	}
+	return &Collector{
+		resolution: resolution,
+		cells:      make(map[cellKey]float64),
+		totals:     make(map[totalKey]float64),
+	}
+}
+
+// Resolution reports the bucket width in virtual nanoseconds.
+func (c *Collector) Resolution() int64 { return c.resolution }
+
+// Add records value for kind at node at virtual time t.
+func (c *Collector) Add(kind Kind, node int, t int64, value float64) {
+	if c == nil {
+		return
+	}
+	b := t / c.resolution
+	c.mu.Lock()
+	c.cells[cellKey{kind, node, b}] += value
+	c.totals[totalKey{kind, node}] += value
+	c.mu.Unlock()
+}
+
+// AddSpan records value for kind spread proportionally over the virtual
+// window [start, end). Used for busy-time accounting that crosses buckets.
+func (c *Collector) AddSpan(kind Kind, node int, start, end int64, value float64) {
+	if c == nil || end <= start {
+		c.Add(kind, node, start, value)
+		return
+	}
+	total := float64(end - start)
+	for cur := start; cur < end; {
+		b := cur / c.resolution
+		bEnd := (b + 1) * c.resolution
+		if bEnd > end {
+			bEnd = end
+		}
+		frac := float64(bEnd-cur) / total
+		c.mu.Lock()
+		c.cells[cellKey{kind, node, b}] += value * frac
+		c.mu.Unlock()
+		cur = bEnd
+	}
+	c.mu.Lock()
+	c.totals[totalKey{kind, node}] += value
+	c.mu.Unlock()
+}
+
+// Total reports the sum of all recorded values for kind at node. Node -1
+// sums across all nodes.
+func (c *Collector) Total(kind Kind, node int) float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if node >= 0 {
+		return c.totals[totalKey{kind, node}]
+	}
+	var sum float64
+	for k, v := range c.totals {
+		if k.kind == kind {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Point is one bucket of a series.
+type Point struct {
+	Bucket int64   // bucket index (virtual time / resolution)
+	Value  float64 // summed value in the bucket
+}
+
+// Series returns the ordered bucket series for kind at node. Node -1
+// aggregates across nodes. Missing buckets between the first and last
+// recorded bucket are filled with zeros so plots line up.
+func (c *Collector) Series(kind Kind, node int) []Point {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	agg := make(map[int64]float64)
+	for k, v := range c.cells {
+		if k.kind != kind {
+			continue
+		}
+		if node >= 0 && k.node != node {
+			continue
+		}
+		agg[k.bucket] += v
+	}
+	c.mu.Unlock()
+	if len(agg) == 0 {
+		return nil
+	}
+	var lo, hi int64
+	first := true
+	for b := range agg {
+		if first {
+			lo, hi = b, b
+			first = false
+			continue
+		}
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	out := make([]Point, 0, hi-lo+1)
+	for b := lo; b <= hi; b++ {
+		out = append(out, Point{Bucket: b, Value: agg[b]})
+	}
+	return out
+}
+
+// Reset clears all recorded data.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cells = make(map[cellKey]float64)
+	c.totals = make(map[totalKey]float64)
+	c.mu.Unlock()
+}
+
+// Format renders a series as "bucket=value" pairs, handy in test failures.
+func Format(pts []Point) string {
+	var b strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d=%.3g", p.Bucket, p.Value)
+	}
+	return b.String()
+}
+
+// Kinds lists every kind with at least one recorded value, sorted.
+func (c *Collector) Kinds() []Kind {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	set := make(map[Kind]bool)
+	for k := range c.totals {
+		set[k.kind] = true
+	}
+	c.mu.Unlock()
+	out := make([]Kind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAddAndTotal(t *testing.T) {
+	c := New(1e9)
+	c.Add(PacketsSent, 0, 0, 10)
+	c.Add(PacketsSent, 0, 5e8, 5)
+	c.Add(PacketsSent, 1, 0, 3)
+	if got := c.Total(PacketsSent, 0); got != 15 {
+		t.Fatalf("Total(node0) = %v, want 15", got)
+	}
+	if got := c.Total(PacketsSent, -1); got != 18 {
+		t.Fatalf("Total(all) = %v, want 18", got)
+	}
+	if got := c.Total(PacketsRecv, -1); got != 0 {
+		t.Fatalf("Total(unused kind) = %v", got)
+	}
+}
+
+func TestSeriesBucketsAndGapFill(t *testing.T) {
+	c := New(1e9)
+	c.Add(NICBusyNS, 0, 0, 1)     // bucket 0
+	c.Add(NICBusyNS, 0, 3e9+1, 4) // bucket 3
+	pts := c.Series(NICBusyNS, 0)
+	if len(pts) != 4 {
+		t.Fatalf("series length = %d, want 4 (gap filled)", len(pts))
+	}
+	want := []float64{1, 0, 0, 4}
+	for i, p := range pts {
+		if p.Bucket != int64(i) || p.Value != want[i] {
+			t.Fatalf("pts[%d] = %+v, want bucket %d value %v", i, p, i, want[i])
+		}
+	}
+}
+
+func TestSeriesAggregatesNodes(t *testing.T) {
+	c := New(1e9)
+	c.Add(BytesAlloc, 0, 0, 100)
+	c.Add(BytesAlloc, 1, 0, 50)
+	pts := c.Series(BytesAlloc, -1)
+	if len(pts) != 1 || pts[0].Value != 150 {
+		t.Fatalf("aggregated series = %+v", pts)
+	}
+}
+
+func TestAddSpanSplitsProportionally(t *testing.T) {
+	c := New(100)
+	// Span [50, 250): 50 in bucket 0, 100 in bucket 1, 50 in bucket 2.
+	c.AddSpan(NICBusyNS, 0, 50, 250, 200)
+	pts := c.Series(NICBusyNS, 0)
+	if len(pts) != 3 {
+		t.Fatalf("series = %+v", pts)
+	}
+	want := []float64{50, 100, 50}
+	for i, p := range pts {
+		if math.Abs(p.Value-want[i]) > 1e-9 {
+			t.Fatalf("bucket %d = %v, want %v", i, p.Value, want[i])
+		}
+	}
+	if got := c.Total(NICBusyNS, 0); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("span total = %v, want 200", got)
+	}
+}
+
+func TestAddSpanDegenerate(t *testing.T) {
+	c := New(100)
+	c.AddSpan(LocalOps, 0, 500, 500, 3) // empty window falls back to Add
+	if got := c.Total(LocalOps, 0); got != 3 {
+		t.Fatalf("degenerate span total = %v", got)
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Add(PacketsSent, 0, 0, 1)
+	c.AddSpan(PacketsSent, 0, 0, 10, 1)
+	if c.Total(PacketsSent, 0) != 0 || c.Series(PacketsSent, 0) != nil || c.Kinds() != nil {
+		t.Fatal("nil collector must be inert")
+	}
+	c.Reset()
+}
+
+func TestReset(t *testing.T) {
+	c := New(1e9)
+	c.Add(PacketsSent, 0, 0, 1)
+	c.Reset()
+	if c.Total(PacketsSent, 0) != 0 {
+		t.Fatal("Reset did not clear totals")
+	}
+	if c.Series(PacketsSent, 0) != nil {
+		t.Fatal("Reset did not clear cells")
+	}
+}
+
+func TestKindsSorted(t *testing.T) {
+	c := New(1e9)
+	c.Add(PacketsSent, 0, 0, 1)
+	c.Add(BytesAlloc, 0, 0, 1)
+	c.Add(NICBusyNS, 0, 0, 1)
+	ks := c.Kinds()
+	if len(ks) != 3 {
+		t.Fatalf("Kinds = %v", ks)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("Kinds not sorted: %v", ks)
+		}
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c := New(1e9)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(RemoteInvokes, w%2, int64(i)*1e7, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Total(RemoteInvokes, -1); got != workers*per {
+		t.Fatalf("concurrent total = %v, want %d", got, workers*per)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := Format([]Point{{0, 1}, {1, 2.5}})
+	if s != "0=1 1=2.5" {
+		t.Fatalf("Format = %q", s)
+	}
+	if Format(nil) != "" {
+		t.Fatal("Format(nil) should be empty")
+	}
+}
+
+func TestZeroResolutionDefaults(t *testing.T) {
+	c := New(0)
+	if c.Resolution() != 1e9 {
+		t.Fatalf("Resolution = %d", c.Resolution())
+	}
+}

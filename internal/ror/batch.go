@@ -1,0 +1,101 @@
+package ror
+
+import (
+	"errors"
+
+	"hcl/internal/fabric"
+)
+
+// Batch aggregates multiple invocations destined for the same node into a
+// single wire exchange — the paper's request-aggregation optimization: the
+// NIC processes the sub-calls back to back and the responses return in one
+// pull. A Batch is not safe for concurrent use; each rank builds its own.
+type Batch struct {
+	e     *Engine
+	node  int
+	calls []subCall
+}
+
+// NewBatch starts an empty batch aimed at node.
+func (e *Engine) NewBatch(node int) *Batch {
+	return &Batch{e: e, node: node}
+}
+
+// Add appends one sub-call. The argument slice is retained until Flush.
+func (b *Batch) Add(fn string, arg []byte) {
+	b.calls = append(b.calls, subCall{fn: fn, arg: arg})
+}
+
+// Len reports the number of pending sub-calls.
+func (b *Batch) Len() int { return len(b.calls) }
+
+// Flush ships the batch as one round trip and returns the per-call
+// responses in order. The batch is reset for reuse.
+func (b *Batch) Flush(c Caller) ([][]byte, error) {
+	if len(b.calls) == 0 {
+		return nil, nil
+	}
+	req := encodeBatch(b.calls)
+	b.calls = b.calls[:0]
+	raw, err := b.e.prov.RoundTrip(c.Clock(), c.Ref(), b.node, req)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := decodeResponse(raw)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBatchResponses(payload)
+}
+
+// FlushAsync ships the batch asynchronously; the returned BatchFuture
+// yields per-call responses.
+func (b *Batch) FlushAsync(c Caller) *BatchFuture {
+	bf := &BatchFuture{f: &Future{done: make(chan struct{})}}
+	if len(b.calls) == 0 {
+		bf.empty = true
+		close(bf.f.done)
+		bf.f.readyAt = c.Clock().Now()
+		return bf
+	}
+	req := encodeBatch(b.calls)
+	b.calls = b.calls[:0]
+	side := newSideClock(c)
+	ref := c.Ref()
+	go func() {
+		defer close(bf.f.done)
+		raw, err := b.e.prov.RoundTrip(side, ref, b.node, req)
+		if err != nil {
+			bf.f.err = err
+		} else {
+			bf.f.resp, bf.f.err = decodeResponse(raw)
+		}
+		bf.f.readyAt = side.Now()
+	}()
+	return bf
+}
+
+// BatchFuture is the pending result of FlushAsync.
+type BatchFuture struct {
+	f     *Future
+	empty bool
+}
+
+// Wait blocks for all sub-responses and syncs the caller's clock.
+func (bf *BatchFuture) Wait(c Caller) ([][]byte, error) {
+	raw, err := bf.f.Wait(c)
+	if err != nil {
+		return nil, err
+	}
+	if bf.empty {
+		return nil, nil
+	}
+	if raw == nil {
+		return nil, errors.New("ror: missing batch payload")
+	}
+	return decodeBatchResponses(raw)
+}
+
+// newSideClock returns a detached clock starting at the caller's current
+// virtual time, so an asynchronous exchange overlaps the caller's work.
+func newSideClock(c Caller) *fabric.Clock { return fabric.NewClock(c.Clock().Now()) }

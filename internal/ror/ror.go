@@ -1,0 +1,225 @@
+// Package ror implements the paper's RPC-over-RDMA (RoR) framework
+// (Section III-B, Figure 2): a bind/invoke function registry whose calls
+// travel as RDMA_SEND into a request buffer, execute on the target's NIC
+// cores (never the target CPU), and whose responses are pulled back by the
+// client with RDMA_READ. On top of the raw exchange it provides
+// synchronous calls, asynchronous futures, callback chaining, and request
+// aggregation — the four invocation styles the paper describes.
+package ror
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hcl/internal/fabric"
+)
+
+// Handler executes a bound function at a node. It returns the serialized
+// response and the modelled execution cost in virtual nanoseconds (the
+// NIC-core time the operation needs beyond the fixed stub overhead).
+type Handler func(node int, arg []byte) (resp []byte, cost int64)
+
+// Caller is anything that can originate an invocation: a cluster.Rank.
+type Caller interface {
+	Ref() fabric.RankRef
+	Clock() *fabric.Clock
+}
+
+// Errors returned by the engine.
+var (
+	ErrUnbound = errors.New("ror: function not bound")
+)
+
+// Engine is the RoR runtime for one provider. Bind registers functions;
+// Invoke ships them. An Engine is safe for concurrent use.
+type Engine struct {
+	prov fabric.Provider
+
+	mu  sync.RWMutex
+	fns map[string]Handler
+}
+
+// NewEngine creates an engine and installs its dispatcher on every node of
+// the provider.
+func NewEngine(prov fabric.Provider) *Engine {
+	e := &Engine{prov: prov, fns: make(map[string]Handler)}
+	for n := 0; n < prov.NumNodes(); n++ {
+		node := n
+		prov.SetDispatcher(node, func(req []byte) ([]byte, int64) {
+			return e.dispatch(node, req)
+		})
+	}
+	return e
+}
+
+// Provider returns the engine's fabric provider.
+func (e *Engine) Provider() fabric.Provider { return e.prov }
+
+// Bind maps name to handler in the invocation registry (the paper's
+// bind()). Rebinding a name replaces the handler.
+func (e *Engine) Bind(name string, h Handler) {
+	e.mu.Lock()
+	e.fns[name] = h
+	e.mu.Unlock()
+}
+
+// Unbind removes a bound function.
+func (e *Engine) Unbind(name string) {
+	e.mu.Lock()
+	delete(e.fns, name)
+	e.mu.Unlock()
+}
+
+// Bound reports whether name is currently bound.
+func (e *Engine) Bound(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.fns[name]
+	return ok
+}
+
+func (e *Engine) lookup(name string) (Handler, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h, ok := e.fns[name]
+	return h, ok
+}
+
+// dispatch is the server stub: it demarshals the request, runs the main
+// function and any chained callbacks, and marshals the response.
+func (e *Engine) dispatch(node int, req []byte) (resp []byte, cost int64) {
+	defer func() {
+		if p := recover(); p != nil {
+			resp = encodeResponse(nil, fmt.Errorf("ror: handler panic: %v", p))
+		}
+	}()
+	call, err := decodeRequest(req)
+	if err != nil {
+		return encodeResponse(nil, err), 0
+	}
+	switch call.kind {
+	case kindCall:
+		return e.runChain(node, call)
+	case kindBatch:
+		return e.runBatch(node, call)
+	default:
+		return encodeResponse(nil, fmt.Errorf("ror: unknown request kind %d", call.kind)), 0
+	}
+}
+
+// runChain executes the main function followed by each chained callback,
+// feeding every callback the previous stage's response (the paper's
+// "conditional execution of multiple operations in one call").
+func (e *Engine) runChain(node int, call request) ([]byte, int64) {
+	arg := call.arg
+	var total int64
+	for i, name := range call.chain {
+		h, ok := e.lookup(name)
+		if !ok {
+			return encodeResponse(nil, fmt.Errorf("%w: %q", ErrUnbound, name)), total
+		}
+		resp, cost := h(node, arg)
+		total += cost
+		if i == len(call.chain)-1 {
+			return encodeResponse(resp, nil), total
+		}
+		arg = resp
+	}
+	return encodeResponse(nil, errors.New("ror: empty call chain")), 0
+}
+
+// runBatch executes an aggregated request: every sub-call runs back to
+// back on the NIC core, and the sub-responses travel back together.
+func (e *Engine) runBatch(node int, call request) ([]byte, int64) {
+	var total int64
+	resps := make([][]byte, len(call.batch))
+	for i, sub := range call.batch {
+		h, ok := e.lookup(sub.fn)
+		if !ok {
+			return encodeResponse(nil, fmt.Errorf("%w: %q", ErrUnbound, sub.fn)), total
+		}
+		resp, cost := h(node, sub.arg)
+		total += cost
+		resps[i] = resp
+	}
+	return encodeResponse(encodeBatchResponses(resps), nil), total
+}
+
+// Invoke synchronously calls fn at node with arg: the caller blocks until
+// the pulled response is available (paper Section III-C4, synchronous
+// timing of the future).
+func (e *Engine) Invoke(c Caller, node int, fn string, arg []byte) ([]byte, error) {
+	return e.InvokeChain(c, node, []string{fn}, arg)
+}
+
+// InvokeChain calls the first function with arg, then each subsequent
+// function with its predecessor's response, all within one round trip.
+func (e *Engine) InvokeChain(c Caller, node int, chain []string, arg []byte) ([]byte, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("ror: empty chain")
+	}
+	req := encodeCall(chain, arg)
+	raw, err := e.prov.RoundTrip(c.Clock(), c.Ref(), node, req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResponse(raw)
+}
+
+// Future is the pending result of an asynchronous invocation. Wait blocks
+// until completion and advances the waiter's clock to the virtual time at
+// which the response pull finished — so overlapping computation between
+// InvokeAsync and Wait is modelled faithfully.
+type Future struct {
+	done    chan struct{}
+	resp    []byte
+	err     error
+	readyAt int64
+}
+
+// Done reports whether the future has completed without blocking.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks for the result and syncs the caller's clock.
+func (f *Future) Wait(c Caller) ([]byte, error) {
+	<-f.done
+	c.Clock().AdvanceTo(f.readyAt)
+	return f.resp, f.err
+}
+
+// ReadyAt reports the virtual completion time (valid after Wait/Done).
+func (f *Future) ReadyAt() int64 { return f.readyAt }
+
+// InvokeAsync starts an invocation and immediately returns a Future. The
+// caller is charged only the send-post cost; the round trip proceeds on a
+// detached clock that starts at the caller's current time.
+func (e *Engine) InvokeAsync(c Caller, node int, fn string, arg []byte) *Future {
+	return e.InvokeChainAsync(c, node, []string{fn}, arg)
+}
+
+// InvokeChainAsync is the asynchronous form of InvokeChain.
+func (e *Engine) InvokeChainAsync(c Caller, node int, chain []string, arg []byte) *Future {
+	f := &Future{done: make(chan struct{})}
+	side := fabric.NewClock(c.Clock().Now())
+	ref := c.Ref()
+	req := encodeCall(chain, arg)
+	go func() {
+		defer close(f.done)
+		raw, err := e.prov.RoundTrip(side, ref, node, req)
+		if err != nil {
+			f.err = err
+		} else {
+			f.resp, f.err = decodeResponse(raw)
+		}
+		f.readyAt = side.Now()
+	}()
+	return f
+}

@@ -1,0 +1,197 @@
+package ror
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format. Requests:
+//
+//	call:  [kind=0][nchain u8]([len u16][name])...[arg]
+//	batch: [kind=1][count u32]([fnlen u16][fn][arglen u32][arg])...
+//
+// Responses:
+//
+//	[status u8][payload]            status 0 = ok, 1 = error string
+//
+// Batch payloads: [count u32]([len u32][resp])...
+const (
+	kindCall  = 0
+	kindBatch = 1
+
+	statusOK  = 0
+	statusErr = 1
+)
+
+type subCall struct {
+	fn  string
+	arg []byte
+}
+
+type request struct {
+	kind  byte
+	chain []string
+	arg   []byte
+	batch []subCall
+}
+
+var errTruncated = errors.New("ror: truncated request")
+
+func encodeCall(chain []string, arg []byte) []byte {
+	n := 2
+	for _, s := range chain {
+		n += 2 + len(s)
+	}
+	out := make([]byte, 0, n+len(arg))
+	out = append(out, kindCall, byte(len(chain)))
+	for _, s := range chain {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(s)))
+		out = append(out, s...)
+	}
+	return append(out, arg...)
+}
+
+func encodeBatch(calls []subCall) []byte {
+	n := 5
+	for _, c := range calls {
+		n += 6 + len(c.fn) + len(c.arg)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, kindBatch)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(calls)))
+	for _, c := range calls {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(c.fn)))
+		out = append(out, c.fn...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(c.arg)))
+		out = append(out, c.arg...)
+	}
+	return out
+}
+
+func decodeRequest(b []byte) (request, error) {
+	if len(b) < 1 {
+		return request{}, errTruncated
+	}
+	switch b[0] {
+	case kindCall:
+		return decodeCallRequest(b)
+	case kindBatch:
+		return decodeBatchRequest(b)
+	default:
+		return request{kind: b[0]}, nil
+	}
+}
+
+func decodeCallRequest(b []byte) (request, error) {
+	if len(b) < 2 {
+		return request{}, errTruncated
+	}
+	nchain := int(b[1])
+	p := 2
+	chain := make([]string, 0, nchain)
+	for i := 0; i < nchain; i++ {
+		if p+2 > len(b) {
+			return request{}, errTruncated
+		}
+		l := int(binary.LittleEndian.Uint16(b[p:]))
+		p += 2
+		if p+l > len(b) {
+			return request{}, errTruncated
+		}
+		chain = append(chain, string(b[p:p+l]))
+		p += l
+	}
+	return request{kind: kindCall, chain: chain, arg: b[p:]}, nil
+}
+
+func decodeBatchRequest(b []byte) (request, error) {
+	if len(b) < 5 {
+		return request{}, errTruncated
+	}
+	count := int(binary.LittleEndian.Uint32(b[1:]))
+	p := 5
+	batch := make([]subCall, 0, count)
+	for i := 0; i < count; i++ {
+		if p+2 > len(b) {
+			return request{}, errTruncated
+		}
+		fl := int(binary.LittleEndian.Uint16(b[p:]))
+		p += 2
+		if p+fl+4 > len(b) {
+			return request{}, errTruncated
+		}
+		fn := string(b[p : p+fl])
+		p += fl
+		al := int(binary.LittleEndian.Uint32(b[p:]))
+		p += 4
+		if p+al > len(b) {
+			return request{}, errTruncated
+		}
+		batch = append(batch, subCall{fn: fn, arg: b[p : p+al]})
+		p += al
+	}
+	return request{kind: kindBatch, batch: batch}, nil
+}
+
+func encodeResponse(payload []byte, err error) []byte {
+	if err != nil {
+		msg := err.Error()
+		out := make([]byte, 0, 1+len(msg))
+		out = append(out, statusErr)
+		return append(out, msg...)
+	}
+	out := make([]byte, 0, 1+len(payload))
+	out = append(out, statusOK)
+	return append(out, payload...)
+}
+
+func decodeResponse(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, errors.New("ror: empty response")
+	}
+	switch b[0] {
+	case statusOK:
+		return b[1:], nil
+	case statusErr:
+		return nil, fmt.Errorf("ror: remote: %s", string(b[1:]))
+	default:
+		return nil, fmt.Errorf("ror: bad response status %d", b[0])
+	}
+}
+
+func encodeBatchResponses(resps [][]byte) []byte {
+	n := 4
+	for _, r := range resps {
+		n += 4 + len(r)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(resps)))
+	for _, r := range resps {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(r)))
+		out = append(out, r...)
+	}
+	return out
+}
+
+func decodeBatchResponses(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, errors.New("ror: truncated batch response")
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	p := 4
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if p+4 > len(b) {
+			return nil, errors.New("ror: truncated batch response")
+		}
+		l := int(binary.LittleEndian.Uint32(b[p:]))
+		p += 4
+		if p+l > len(b) {
+			return nil, errors.New("ror: truncated batch response")
+		}
+		out = append(out, b[p:p+l])
+		p += l
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package ror
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCallWireRoundTrip(t *testing.T) {
+	prop := func(names []string, arg []byte) bool {
+		if len(names) > 200 {
+			names = names[:200]
+		}
+		chain := make([]string, 0, len(names))
+		for _, n := range names {
+			if len(n) > 1000 {
+				n = n[:1000]
+			}
+			chain = append(chain, n)
+		}
+		if len(chain) == 0 {
+			chain = []string{"f"}
+		}
+		req, err := decodeRequest(encodeCall(chain, arg))
+		if err != nil || req.kind != kindCall {
+			return false
+		}
+		if len(req.chain) != len(chain) {
+			return false
+		}
+		for i := range chain {
+			if req.chain[i] != chain[i] {
+				return false
+			}
+		}
+		return bytes.Equal(req.arg, arg) || (len(req.arg) == 0 && len(arg) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchWireRoundTrip(t *testing.T) {
+	prop := func(fns []string, args [][]byte) bool {
+		n := len(fns)
+		if len(args) < n {
+			n = len(args)
+		}
+		if n > 100 {
+			n = 100
+		}
+		calls := make([]subCall, 0, n)
+		for i := 0; i < n; i++ {
+			fn := fns[i]
+			if len(fn) > 500 {
+				fn = fn[:500]
+			}
+			calls = append(calls, subCall{fn: fn, arg: args[i]})
+		}
+		if len(calls) == 0 {
+			return true
+		}
+		req, err := decodeRequest(encodeBatch(calls))
+		if err != nil || req.kind != kindBatch || len(req.batch) != len(calls) {
+			return false
+		}
+		for i, c := range calls {
+			if req.batch[i].fn != c.fn || !bytes.Equal(req.batch[i].arg, c.arg) {
+				if !(len(req.batch[i].arg) == 0 && len(c.arg) == 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRequestTruncationNeverPanics(t *testing.T) {
+	// Any prefix of a valid frame must fail cleanly, not panic.
+	full := encodeCall([]string{"alpha", "beta"}, []byte("payload"))
+	for i := 0; i < len(full); i++ {
+		decodeRequest(full[:i]) // must not panic; errors are fine
+	}
+	fullBatch := encodeBatch([]subCall{{fn: "f", arg: []byte("xyz")}, {fn: "g"}})
+	for i := 0; i < len(fullBatch); i++ {
+		decodeRequest(fullBatch[:i])
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	payload := []byte("result bytes")
+	got, err := decodeResponse(encodeResponse(payload, nil))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("ok response: %q %v", got, err)
+	}
+	if _, err := decodeResponse(encodeResponse(nil, errTestSentinel{})); err == nil {
+		t.Fatal("error response must decode to error")
+	}
+	if _, err := decodeResponse(nil); err == nil {
+		t.Fatal("empty response must fail")
+	}
+	if _, err := decodeResponse([]byte{9}); err == nil {
+		t.Fatal("bad status must fail")
+	}
+}
+
+func TestBatchResponsesRoundTrip(t *testing.T) {
+	in := [][]byte{[]byte("a"), nil, []byte("ccc")}
+	out, err := decodeBatchResponses(encodeBatchResponses(in))
+	if err != nil || len(out) != 3 {
+		t.Fatalf("batch responses: %v %v", out, err)
+	}
+	if string(out[0]) != "a" || len(out[1]) != 0 || string(out[2]) != "ccc" {
+		t.Fatalf("batch responses = %q", out)
+	}
+	if _, err := decodeBatchResponses([]byte{1}); err == nil {
+		t.Fatal("truncated batch responses must fail")
+	}
+}
+
+type errTestSentinel struct{}
+
+func (errTestSentinel) Error() string { return "sentinel" }
