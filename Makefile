@@ -1,0 +1,25 @@
+# Developer entry points. No build magic lives here — every target is a
+# plain go command you can run by hand.
+
+GO ?= go
+
+.PHONY: verify check test bench vet
+
+# Tier-1 gate (see ROADMAP.md): must pass before every PR.
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Fast pre-PR confidence pass: vet everything, then race-detect the
+# concurrency-heavy trees (fabric providers, RoR engine).
+check: vet
+	$(GO) test -race -count=1 ./internal/fabric/... ./internal/ror/...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -1,8 +1,20 @@
 // TCP cluster: the same HCL program running over real sockets instead of
 // the simulated fabric — the portability the paper gets from OFI. The
-// example forks itself into two OS processes (two nodes); both construct
-// the same containers (SPMD symmetric construction) and node 1's ranks
-// operate on partitions physically owned by process 0 and vice versa.
+// example forks itself into two OS processes (two nodes).
+//
+// SPMD symmetric allocation: both processes run this same program and
+// construct the same containers in the same order, like symmetric
+// allocation in SHMEM/PGAS runtimes. Container names, partition routing,
+// and segment ids are derived from that construction order, so the
+// processes never exchange metadata — process 0's "shared-map" IS process
+// 1's "shared-map", and node 1's ranks operate on partitions physically
+// owned by process 0 and vice versa. Constructing containers in different
+// orders (or conditionally) on different nodes breaks this agreement.
+//
+// Real networks also fail, so every cross-process operation here carries
+// a deadline: a fabric-wide default via TCPConfig.OpDeadline, tightened
+// per call with Rank.WithDeadline. A dead or stalled peer surfaces as
+// hcl.ErrTimeout / hcl.ErrNodeDown instead of a hang (see docs/FAULTS.md).
 //
 // Run with no arguments to launch the pair automatically.
 package main
@@ -74,6 +86,10 @@ func worker(nodeStr, addr0, addr1 string) {
 	prov, err := hcl.NewTCPFabric(hcl.TCPConfig{
 		NodeID: node,
 		Addrs:  []string{addr0, addr1},
+		// Bound every verb end-to-end; without this a crashed peer
+		// would stall the survivor for the default 30s per operation.
+		OpDeadline:  5 * time.Second,
+		MaxAttempts: 3,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,9 +111,13 @@ func worker(nodeStr, addr0, addr1 string) {
 	time.Sleep(300 * time.Millisecond)
 
 	world.Run(func(r *hcl.Rank) {
+		// Tighten the fabric-wide 5s default for the bulk phase: these
+		// are small inserts on loopback, so anything slower than 2s
+		// means the peer is gone and we want the typed error quickly.
+		rd := r.WithDeadline(2 * time.Second)
 		for i := 0; i < 50; i++ {
 			k := fmt.Sprintf("n%d-r%d-k%d", node, r.ID(), i)
-			if _, err := m.Insert(r, k, "from-node-"+nodeStr); err != nil {
+			if _, err := m.Insert(rd, k, "from-node-"+nodeStr); err != nil {
 				log.Fatalf("node %d insert: %v", node, err)
 			}
 		}
@@ -105,7 +125,7 @@ func worker(nodeStr, addr0, addr1 string) {
 
 	// Wait for the peer's inserts to land, then read some of them.
 	time.Sleep(500 * time.Millisecond)
-	r := world.Rank(0)
+	r := world.Rank(0).WithDeadline(2 * time.Second)
 	peer := 1 - node
 	hits := 0
 	for i := 0; i < 50; i++ {

@@ -33,6 +33,7 @@ import (
 	"hcl/internal/core"
 	"hcl/internal/databox"
 	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
 	"hcl/internal/fabric/simfab"
 	"hcl/internal/fabric/tcpfab"
 	"hcl/internal/memory"
@@ -70,6 +71,46 @@ type TCPConfig = tcpfab.Config
 
 // NewTCPFabric returns the TCP provider for genuine multi-process runs.
 func NewTCPFabric(cfg TCPConfig) (*tcpfab.Fabric, error) { return tcpfab.New(cfg) }
+
+// Fault tolerance ------------------------------------------------------
+//
+// See docs/FAULTS.md for the failure model: which verbs retry, default
+// deadlines and backoff, and how to drive faultfab in tests.
+
+// OpOptions bound a single fabric operation: deadline, attempt budget,
+// and the RPC-retry opt-in. Attach per call with Rank.WithOptions /
+// Rank.WithDeadline, or runtime-wide with Runtime.SetOpOptions.
+type OpOptions = fabric.Options
+
+// Backoff is the capped exponential retry schedule with full jitter used
+// between attempts.
+type Backoff = fabric.Backoff
+
+// DefaultBackoff returns the standard retry schedule (2ms base, 250ms
+// cap, doubling, full jitter).
+func DefaultBackoff() Backoff { return fabric.DefaultBackoff() }
+
+// Typed fabric errors. Test with errors.Is.
+var (
+	// ErrTimeout reports a per-operation deadline expired; the remote
+	// effect of the operation is unknown.
+	ErrTimeout = fabric.ErrTimeout
+	// ErrNodeDown reports the target node is unreachable.
+	ErrNodeDown = fabric.ErrNodeDown
+)
+
+// FaultConfig tunes the deterministic fault injector.
+type FaultConfig = faultfab.Config
+
+// FaultFabric is a provider wrapper injecting drops, delays, duplicate
+// deliveries, partitions, and dead nodes, deterministically from a seed.
+type FaultFabric = faultfab.Fabric
+
+// NewFaultFabric wraps any provider (usually a sim fabric) with fault
+// injection so robustness paths can be tested deterministically.
+func NewFaultFabric(inner Provider, cfg FaultConfig) *FaultFabric {
+	return faultfab.New(inner, cfg)
+}
 
 // Cluster layer --------------------------------------------------------
 

@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hcl/internal/fabric"
 )
@@ -19,6 +20,7 @@ type Rank struct {
 	node int
 	clk  *fabric.Clock
 	w    *World
+	opts fabric.Options
 }
 
 // ID reports the global rank id.
@@ -38,6 +40,26 @@ func (r *Rank) World() *World { return r.w }
 
 // Provider returns the world's fabric provider.
 func (r *Rank) Provider() fabric.Provider { return r.w.prov }
+
+// OpOptions implements ror.OptionsCarrier: the per-operation fabric
+// options every invocation issued through this rank carries.
+func (r *Rank) OpOptions() fabric.Options { return r.opts }
+
+// WithOptions returns a derived rank — same identity, same clock — whose
+// operations carry o overlaid on the rank's current options. The usual
+// form is per-call: m.Insert(r.WithDeadline(200*time.Millisecond), k, v).
+func (r *Rank) WithOptions(o fabric.Options) *Rank {
+	d := *r
+	d.opts = r.opts.Merge(o)
+	return &d
+}
+
+// WithDeadline is shorthand for WithOptions with only a deadline: every
+// operation issued through the derived rank fails with fabric.ErrTimeout
+// (or fabric.ErrNodeDown) instead of blocking past d.
+func (r *Rank) WithDeadline(d time.Duration) *Rank {
+	return r.WithOptions(fabric.Options{Deadline: d})
+}
 
 // World is a collection of ranks placed on nodes over one fabric provider.
 type World struct {

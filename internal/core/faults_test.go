@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
+	"hcl/internal/fabric/simfab"
+)
+
+// newFaultyWorld builds a two-node world whose ranks all live on node 0
+// over a fault-injecting provider, so every container op targeting node 1
+// crosses the (faulty) wire.
+func newFaultyWorld(t *testing.T, cfg faultfab.Config) (*cluster.World, *Runtime, *faultfab.Fabric) {
+	t.Helper()
+	sim := simfab.New(2, fabric.DefaultCostModel())
+	t.Cleanup(func() { sim.Close() })
+	ff := faultfab.New(sim, cfg)
+	w := cluster.MustWorld(ff, cluster.OnNode(0, 2))
+	return w, NewRuntime(w), ff
+}
+
+// TestContainerOpsSurfaceTypedErrors: a partition between the client and
+// the container's server node turns Find/Insert into ErrTimeout — typed,
+// within the virtual deadline, never a hang — and healing the link makes
+// the same handle work again.
+func TestContainerOpsSurfaceTypedErrors(t *testing.T) {
+	w, rt, ff := newFaultyWorld(t, faultfab.Config{Seed: 1, MaxAttempts: 100})
+	m, err := NewUnorderedMap[string, int](rt, "fragile", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if _, err := m.Insert(r, "k", 1); err != nil {
+		t.Fatalf("insert on healthy link: %v", err)
+	}
+
+	ff.Partition(0, 1)
+	// RetryRPC keeps the engine retrying until the deadline itself is the
+	// binding limit, so the clock must land exactly on it.
+	rd := r.WithOptions(fabric.Options{Deadline: 10 * time.Millisecond, RetryRPC: true})
+	start := rd.Clock().Now()
+	if _, _, err := m.Find(rd, "k"); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("Find across partition: err = %v, want ErrTimeout", err)
+	}
+	if got := rd.Clock().Now() - start; got != (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("Find burned %dns of virtual time, want exactly the 10ms deadline", got)
+	}
+	if _, err := m.Insert(rd, "k2", 2); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("Insert across partition: err = %v, want ErrTimeout", err)
+	}
+
+	ff.HealAll()
+	if v, ok, err := m.Find(r, "k"); err != nil || !ok || v != 1 {
+		t.Fatalf("Find after heal = %d,%v,%v", v, ok, err)
+	}
+}
+
+// TestFuturesPropagateTypedErrors: the async forms must carry the typed
+// error through the future instead of blocking Wait forever.
+func TestFuturesPropagateTypedErrors(t *testing.T) {
+	w, rt, ff := newFaultyWorld(t, faultfab.Config{Seed: 1, MaxAttempts: 100})
+	m, err := NewUnorderedMap[string, int](rt, "async-fragile", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if _, err := m.Insert(r, "k", 7); err != nil {
+		t.Fatal(err)
+	}
+
+	ff.Partition(0, 1)
+	rd := r.WithDeadline(5 * time.Millisecond)
+	fut := m.FindAsync(rd, "k")
+	if _, err := fut.Wait(rd); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("future err = %v, want ErrTimeout", err)
+	}
+	ins := m.InsertAsync(rd, "k3", 3)
+	if _, err := ins.Wait(rd); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("insert future err = %v, want ErrTimeout", err)
+	}
+
+	ff.HealAll()
+	res, err := m.FindAsync(r, "k").Wait(r)
+	if err != nil || !res.OK || res.Value != 7 {
+		t.Fatalf("FindAsync after heal = %+v, %v", res, err)
+	}
+}
+
+// TestDownServerNodeSurfacesNodeDown: a dead server node answers every
+// container op with ErrNodeDown at once, mirroring a refused connection.
+func TestDownServerNodeSurfacesNodeDown(t *testing.T) {
+	w, rt, ff := newFaultyWorld(t, faultfab.Config{Seed: 1})
+	m, err := NewUnorderedMap[string, int](rt, "dead-server", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	ff.SetDown(1, true)
+	if _, _, err := m.Find(r, "k"); !errors.Is(err, fabric.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	ff.SetDown(1, false)
+	if _, err := m.Insert(r, "k", 1); err != nil {
+		t.Fatalf("insert after revive: %v", err)
+	}
+}
+
+// TestRuntimeWideDefaultOptions: SetOpOptions applies a deadline to every
+// rank without touching call sites, and per-rank options still override it.
+func TestRuntimeWideDefaultOptions(t *testing.T) {
+	w, rt, ff := newFaultyWorld(t, faultfab.Config{Seed: 1, MaxAttempts: 100})
+	m, err := NewUnorderedMap[string, int](rt, "defaults", WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetOpOptions(fabric.Options{Deadline: 2 * time.Millisecond, RetryRPC: true})
+	r := w.Rank(0)
+	ff.Partition(0, 1)
+
+	start := r.Clock().Now()
+	if _, _, err := m.Find(r, "k"); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := r.Clock().Now() - start; got != (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("runtime-wide deadline not applied: burned %dns", got)
+	}
+
+	// Per-rank deadline overrides the runtime default.
+	rd := r.WithDeadline(4 * time.Millisecond)
+	start = rd.Clock().Now()
+	if _, _, err := m.Find(rd, "k"); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := rd.Clock().Now() - start; got != (4 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("per-rank override not applied: burned %dns", got)
+	}
+}

@@ -68,6 +68,14 @@ func (rt *Runtime) Engine() *ror.Engine { return rt.engine }
 // CostModel returns the virtual-time model in effect.
 func (rt *Runtime) CostModel() fabric.CostModel { return rt.model }
 
+// SetOpOptions installs default per-operation fabric options (deadline,
+// retry budget) for every container operation issued through this
+// runtime's engine. Per-call options from Rank.WithDeadline /
+// Rank.WithOptions override them. With options in force, a dead or
+// partitioned peer surfaces as fabric.ErrTimeout / fabric.ErrNodeDown
+// from the container API (and from futures' Wait) instead of a hang.
+func (rt *Runtime) SetOpOptions(o fabric.Options) { rt.engine.SetDefaultOptions(o) }
+
 // autoName generates a unique container name when the caller passes "".
 func (rt *Runtime) autoName(kind string) string {
 	return fmt.Sprintf("%s#%d", kind, rt.nameSeq.Add(1))

@@ -1,0 +1,72 @@
+package fabric
+
+import "time"
+
+// Backoff is a capped exponential retry schedule with full jitter
+// (AWS-style): the pre-jitter ceiling grows as Base·Factor^attempt up to
+// Cap, and the actual pause is drawn uniformly from [0, ceiling). Full
+// jitter decorrelates the retry storms that fixed schedules produce when
+// many ranks lose the same peer at the same instant.
+//
+// The schedule is a pure function of (attempt, rnd), so tests exercise it
+// without sleeping and fault injectors replay it in virtual time.
+type Backoff struct {
+	// Base is the ceiling of the first retry pause (default 2ms).
+	Base time.Duration
+	// Cap clamps the ceiling (default 250ms).
+	Cap time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+}
+
+// DefaultBackoff returns the schedule used by tcpfab and faultfab unless
+// overridden: 2ms base, 250ms cap, doubling.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond, Factor: 2}
+}
+
+// withDefaults fills zero fields so a partially-specified (or zero-value)
+// Backoff is usable.
+func (b Backoff) withDefaults() Backoff {
+	d := DefaultBackoff()
+	if b.Base <= 0 {
+		b.Base = d.Base
+	}
+	if b.Cap <= 0 {
+		b.Cap = d.Cap
+	}
+	if b.Factor < 1 {
+		b.Factor = d.Factor
+	}
+	return b
+}
+
+// Ceiling returns the pre-jitter pause bound before retry attempt
+// (0-based): min(Cap, Base·Factor^attempt).
+func (b Backoff) Ceiling(attempt int) time.Duration {
+	b = b.withDefaults()
+	c := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		c *= b.Factor
+		if c >= float64(b.Cap) {
+			return b.Cap
+		}
+	}
+	if c > float64(b.Cap) {
+		c = float64(b.Cap)
+	}
+	return time.Duration(c)
+}
+
+// Delay returns the jittered pause before retry attempt (0-based), with
+// rnd uniform in [0,1): rnd·Ceiling(attempt). A degenerate rnd outside
+// [0,1) is clamped.
+func (b Backoff) Delay(attempt int, rnd float64) time.Duration {
+	if rnd < 0 {
+		rnd = 0
+	}
+	if rnd >= 1 {
+		rnd = 1 - 1e-9
+	}
+	return time.Duration(rnd * float64(b.Ceiling(attempt)))
+}

@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffCeilingGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 2 * time.Millisecond, Cap: 250 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		2 * time.Millisecond,   // attempt 0
+		4 * time.Millisecond,   // attempt 1
+		8 * time.Millisecond,   // attempt 2
+		16 * time.Millisecond,  // attempt 3
+		32 * time.Millisecond,  // attempt 4
+		64 * time.Millisecond,  // attempt 5
+		128 * time.Millisecond, // attempt 6
+		250 * time.Millisecond, // attempt 7: 256ms clamped to cap
+		250 * time.Millisecond, // attempt 8: stays at cap
+	}
+	for i, w := range want {
+		if got := b.Ceiling(i); got != w {
+			t.Errorf("Ceiling(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	b := DefaultBackoff()
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := b.Ceiling(attempt)
+		if d := b.Delay(attempt, 0); d != 0 {
+			t.Errorf("Delay(%d, 0) = %v, want 0 (full jitter reaches zero)", attempt, d)
+		}
+		if d := b.Delay(attempt, 0.5); d != ceil/2 {
+			t.Errorf("Delay(%d, 0.5) = %v, want %v", attempt, d, ceil/2)
+		}
+		if d := b.Delay(attempt, 0.999999); d >= ceil {
+			t.Errorf("Delay(%d, ~1) = %v, must stay below ceiling %v", attempt, d, ceil)
+		}
+	}
+}
+
+func TestBackoffDegenerateInputsClamped(t *testing.T) {
+	b := DefaultBackoff()
+	if d := b.Delay(3, -5); d != 0 {
+		t.Errorf("negative rnd: %v, want 0", d)
+	}
+	if d := b.Delay(3, 7); d >= b.Ceiling(3)+time.Millisecond {
+		t.Errorf("rnd > 1 must clamp near ceiling, got %v", d)
+	}
+	// A zero-value Backoff is usable via defaults.
+	var z Backoff
+	if z.Ceiling(0) != DefaultBackoff().Base {
+		t.Errorf("zero Backoff Ceiling(0) = %v, want default base", z.Ceiling(0))
+	}
+}
+
+func TestBackoffHugeAttemptStaysAtCap(t *testing.T) {
+	b := DefaultBackoff()
+	if got := b.Ceiling(1000); got != b.Cap {
+		t.Errorf("Ceiling(1000) = %v, want cap %v (no float overflow)", got, b.Cap)
+	}
+}
+
+func TestOptionsMerge(t *testing.T) {
+	base := Options{Deadline: time.Second, MaxAttempts: 3}
+	over := Options{Deadline: 200 * time.Millisecond, RetryRPC: true}
+	m := base.Merge(over)
+	if m.Deadline != 200*time.Millisecond || m.MaxAttempts != 3 || !m.RetryRPC {
+		t.Errorf("merge = %+v", m)
+	}
+	if m2 := base.Merge(Options{}); m2 != base {
+		t.Errorf("merge with zero changed options: %+v", m2)
+	}
+}

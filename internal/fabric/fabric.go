@@ -65,6 +65,16 @@ var (
 	ErrBadNode     = errors.New("fabric: node out of range")
 	ErrOutOfBounds = errors.New("fabric: segment access out of bounds")
 	ErrClosed      = errors.New("fabric: provider closed")
+
+	// ErrTimeout reports that a verb's per-operation deadline expired
+	// before its completion was observed. The operation may still have
+	// executed at the target (an RDMA timeout does not undo remote
+	// effects); callers must treat the outcome as unknown.
+	ErrTimeout = errors.New("fabric: operation deadline exceeded")
+	// ErrNodeDown reports that the target node is unreachable: its
+	// process refused or reset connections (tcpfab) or it was marked
+	// down by a fault injector (faultfab).
+	ErrNodeDown = errors.New("fabric: target node down")
 )
 
 // Provider is the transport abstraction. All methods are safe for

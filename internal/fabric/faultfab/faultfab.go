@@ -1,0 +1,501 @@
+// Package faultfab wraps any fabric.Provider with deterministic fault
+// injection: dropped requests, delayed and duplicated deliveries, node
+// partitions, and dead nodes. It exists so the robustness machinery of the
+// fault-tolerant fabric layer — per-op deadlines, retry with capped
+// backoff, typed ErrTimeout/ErrNodeDown errors — can be exercised on the
+// simulated provider, where every "timeout" is a virtual-clock advance and
+// every run replays identically from the seed. No real time passes and no
+// goroutine sleeps, so fault tests are fast and race-detector friendly.
+//
+// Fault decisions are drawn from a counter-based hash of
+// (seed, rank, target node, verb, per-rank sequence number), not from a
+// shared RNG stream: each rank's fault schedule depends only on its own
+// operation order, so concurrent ranks cannot perturb each other's faults
+// and SPMD tests stay deterministic under arbitrary goroutine scheduling.
+//
+// Faults are injected only on cross-node verbs; a rank talking to its own
+// node never traverses the wire being modelled.
+package faultfab
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hcl/internal/fabric"
+	"hcl/internal/metrics"
+)
+
+// Verb classes for fault rolls and retry gating.
+const (
+	verbRPC byte = iota + 1
+	verbWrite
+	verbRead
+	verbCAS
+	verbFAA
+)
+
+// Config tunes the injected fault mix. Probabilities are per-attempt.
+type Config struct {
+	// Seed drives every fault decision. Two runs with the same seed and
+	// per-rank operation order inject exactly the same faults.
+	Seed int64
+	// DropProb is the probability an attempt's request (or its
+	// response) is lost in flight. The caller burns AttemptTimeoutNS of
+	// virtual time discovering the loss, then retries if allowed.
+	DropProb float64
+	// DupProb is the probability a delivered request is delivered
+	// twice (duplicate delivery after an ack loss). The duplicate's
+	// result is discarded, so only handler side effects reveal it.
+	DupProb float64
+	// DelayProb is the probability a delivered attempt is slowed by
+	// DelayNS of extra virtual latency.
+	DelayProb float64
+	// DelayNS is the injected extra latency (default 20µs virtual).
+	DelayNS int64
+	// AttemptTimeoutNS is the virtual time a caller waits on a lost
+	// attempt before declaring it failed (default 1ms virtual).
+	AttemptTimeoutNS int64
+	// MaxAttempts caps tries per verb (default 4); per-op
+	// fabric.Options.MaxAttempts overrides it.
+	MaxAttempts int
+	// Backoff schedules virtual-time pauses between retries (zero
+	// value selects fabric.DefaultBackoff()).
+	Backoff fabric.Backoff
+	// Collector, when non-nil, receives Retries/Timeouts counters.
+	Collector *metrics.Collector
+}
+
+// Fabric is the fault-injecting provider. Create one with New.
+type Fabric struct {
+	inner fabric.Provider
+	cfg   Config
+
+	mu   sync.RWMutex
+	down map[int]bool
+	cut  map[[2]int]bool
+
+	seqMu sync.Mutex
+	seq   map[int]uint64 // per-rank operation counter
+}
+
+// New wraps inner with fault injection per cfg.
+func New(inner fabric.Provider, cfg Config) *Fabric {
+	if cfg.DelayNS <= 0 {
+		cfg.DelayNS = 20_000
+	}
+	if cfg.AttemptTimeoutNS <= 0 {
+		cfg.AttemptTimeoutNS = 1_000_000
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	return &Fabric{
+		inner: inner,
+		cfg:   cfg,
+		down:  make(map[int]bool),
+		cut:   make(map[[2]int]bool),
+	}
+}
+
+// Inner returns the wrapped provider.
+func (f *Fabric) Inner() fabric.Provider { return f.inner }
+
+// Fault topology controls ----------------------------------------------
+
+func cutKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Partition cuts the link between nodes a and b in both directions:
+// verbs between them are dropped until Heal.
+func (f *Fabric) Partition(a, b int) {
+	f.mu.Lock()
+	f.cut[cutKey(a, b)] = true
+	f.mu.Unlock()
+}
+
+// Heal restores the link between nodes a and b.
+func (f *Fabric) Heal(a, b int) {
+	f.mu.Lock()
+	delete(f.cut, cutKey(a, b))
+	f.mu.Unlock()
+}
+
+// HealAll removes every partition.
+func (f *Fabric) HealAll() {
+	f.mu.Lock()
+	f.cut = make(map[[2]int]bool)
+	f.mu.Unlock()
+}
+
+// SetDown marks a node dead (verbs targeting it fail with ErrNodeDown
+// immediately, like a refused connection) or revives it.
+func (f *Fabric) SetDown(node int, down bool) {
+	f.mu.Lock()
+	if down {
+		f.down[node] = true
+	} else {
+		delete(f.down, node)
+	}
+	f.mu.Unlock()
+}
+
+func (f *Fabric) isDown(node int) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.down[node]
+}
+
+func (f *Fabric) isCut(a, b int) bool {
+	if a == b {
+		return false
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.cut[cutKey(a, b)]
+}
+
+// Deterministic fault rolls --------------------------------------------
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rolls holds the fault decisions for one attempt.
+type rolls struct {
+	drop, dup, delay bool
+	jitter           float64 // uniform [0,1) for backoff
+}
+
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// roll derives the attempt's fault decisions from the seed and the
+// caller's own operation sequence.
+func (f *Fabric) roll(from fabric.RankRef, node int, verb byte) rolls {
+	f.seqMu.Lock()
+	if f.seq == nil {
+		f.seq = make(map[int]uint64)
+	}
+	f.seq[from.Rank]++
+	n := f.seq[from.Rank]
+	f.seqMu.Unlock()
+
+	h := splitmix64(uint64(f.cfg.Seed) ^ uint64(from.Rank)<<32 ^ uint64(node)<<16 ^ uint64(verb)<<8 ^ n*0x2545f4914f6cdd1d)
+	r := rolls{drop: unit(h) < f.cfg.DropProb}
+	h = splitmix64(h)
+	r.dup = unit(h) < f.cfg.DupProb
+	h = splitmix64(h)
+	r.delay = unit(h) < f.cfg.DelayProb
+	h = splitmix64(h)
+	r.jitter = unit(h)
+	return r
+}
+
+// Verb execution --------------------------------------------------------
+
+func (f *Fabric) count(kind metrics.Kind, node int, t int64) {
+	if f.cfg.Collector != nil {
+		f.cfg.Collector.Add(kind, node, t, 1)
+	}
+}
+
+// retryAllowed mirrors tcpfab's policy: idempotent one-sided reads and
+// writes always retry; RPC/CAS/FAA replay only with the explicit opt-in
+// (a dropped attempt may have executed — only the response was lost).
+func retryAllowed(verb byte, o fabric.Options) bool {
+	switch verb {
+	case verbRead, verbWrite:
+		return true
+	default:
+		return o.RetryRPC
+	}
+}
+
+// perform runs op under the fault plan: it resolves the attempt budget and
+// virtual deadline, injects partitions/drops/delays/duplicates, replays
+// the backoff schedule as virtual-clock advances, and converts exhaustion
+// into the same typed errors the real transport surfaces.
+//
+// op receives the clock to charge and whether its result should be
+// recorded (false for duplicate deliveries, whose results are discarded).
+func (f *Fabric) perform(clk *fabric.Clock, from fabric.RankRef, node int, verb byte, o fabric.Options, op func(c *fabric.Clock, record bool) error) error {
+	start := clk.Now()
+	deadline := int64(math.MaxInt64)
+	if o.Deadline > 0 {
+		deadline = start + o.Deadline.Nanoseconds()
+	}
+	attempts := f.cfg.MaxAttempts
+	if o.MaxAttempts > 0 {
+		attempts = o.MaxAttempts
+	}
+
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			f.count(metrics.Retries, node, clk.Now())
+		}
+		if f.isDown(node) {
+			return fmt.Errorf("faultfab: node %d marked down: %w", node, fabric.ErrNodeDown)
+		}
+		r := f.roll(from, node, verb)
+		if attempt > 0 {
+			// Backoff pauses are virtual and never carry the clock past
+			// the deadline — a real caller would stop sleeping there.
+			pause := f.cfg.Backoff.Delay(attempt-1, r.jitter).Nanoseconds()
+			if clk.Now()+pause >= deadline {
+				clk.AdvanceTo(deadline)
+				break
+			}
+			clk.Advance(pause)
+		}
+		if f.isCut(from.Node, node) || r.drop {
+			// The attempt vanished; the caller burns its attempt
+			// timeout (clipped to the deadline) discovering that.
+			if clk.Now()+f.cfg.AttemptTimeoutNS >= deadline {
+				clk.AdvanceTo(deadline)
+				break
+			}
+			clk.Advance(f.cfg.AttemptTimeoutNS)
+			if !retryAllowed(verb, o) {
+				break
+			}
+			continue
+		}
+		if r.delay {
+			if clk.Now()+f.cfg.DelayNS >= deadline {
+				clk.AdvanceTo(deadline)
+				break
+			}
+			clk.Advance(f.cfg.DelayNS)
+		}
+		side := fabric.NewClock(clk.Now())
+		err := op(side, true)
+		if r.dup {
+			// Duplicate delivery: the verb executes again at the
+			// target; the caller never sees the second result.
+			_ = op(fabric.NewClock(clk.Now()), false)
+		}
+		if side.Now() > deadline {
+			clk.AdvanceTo(deadline)
+			break
+		}
+		clk.AdvanceTo(side.Now())
+		return err
+	}
+	f.count(metrics.Timeouts, node, clk.Now())
+	return fmt.Errorf("faultfab: node %d: %w", node, fabric.ErrTimeout)
+}
+
+// fabric.Provider --------------------------------------------------------
+
+// Name implements fabric.Provider.
+func (f *Fabric) Name() string { return "fault+" + f.inner.Name() }
+
+// NumNodes implements fabric.Provider.
+func (f *Fabric) NumNodes() int { return f.inner.NumNodes() }
+
+// SetDispatcher implements fabric.Provider.
+func (f *Fabric) SetDispatcher(node int, d fabric.Dispatcher) { f.inner.SetDispatcher(node, d) }
+
+// RegisterSegment implements fabric.Provider.
+func (f *Fabric) RegisterSegment(node int, seg fabric.Segment) int {
+	return f.inner.RegisterSegment(node, seg)
+}
+
+// Close implements fabric.Provider.
+func (f *Fabric) Close() error { return f.inner.Close() }
+
+// RoundTrip implements fabric.Provider.
+func (f *Fabric) RoundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte) ([]byte, error) {
+	return f.roundTrip(clk, from, node, req, fabric.Options{})
+}
+
+func (f *Fabric) roundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte, o fabric.Options) ([]byte, error) {
+	if node == from.Node {
+		return f.inner.RoundTrip(clk, from, node, req)
+	}
+	var resp []byte
+	err := f.perform(clk, from, node, verbRPC, o, func(c *fabric.Clock, record bool) error {
+		r, err := f.inner.RoundTrip(c, from, node, req)
+		if record {
+			resp = r
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Write implements fabric.Provider.
+func (f *Fabric) Write(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, data []byte) error {
+	return f.write(clk, from, node, seg, off, data, fabric.Options{})
+}
+
+func (f *Fabric) write(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, data []byte, o fabric.Options) error {
+	if node == from.Node {
+		return f.inner.Write(clk, from, node, seg, off, data)
+	}
+	return f.perform(clk, from, node, verbWrite, o, func(c *fabric.Clock, record bool) error {
+		return f.inner.Write(c, from, node, seg, off, data)
+	})
+}
+
+// Read implements fabric.Provider.
+func (f *Fabric) Read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, buf []byte) error {
+	return f.read(clk, from, node, seg, off, buf, fabric.Options{})
+}
+
+func (f *Fabric) read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, buf []byte, o fabric.Options) error {
+	if node == from.Node {
+		return f.inner.Read(clk, from, node, seg, off, buf)
+	}
+	return f.perform(clk, from, node, verbRead, o, func(c *fabric.Clock, record bool) error {
+		if !record {
+			// A duplicated read re-travels the wire but must not
+			// clobber the caller's buffer after it was handed back.
+			return f.inner.Read(c, from, node, seg, off, make([]byte, len(buf)))
+		}
+		return f.inner.Read(c, from, node, seg, off, buf)
+	})
+}
+
+// CAS implements fabric.Provider.
+func (f *Fabric) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, old, new uint64) (uint64, bool, error) {
+	return f.cas(clk, from, node, seg, off, old, new, fabric.Options{})
+}
+
+func (f *Fabric) cas(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, old, new uint64, o fabric.Options) (uint64, bool, error) {
+	if node == from.Node {
+		return f.inner.CAS(clk, from, node, seg, off, old, new)
+	}
+	var witness uint64
+	var ok bool
+	err := f.perform(clk, from, node, verbCAS, o, func(c *fabric.Clock, record bool) error {
+		w, k, err := f.inner.CAS(c, from, node, seg, off, old, new)
+		if record {
+			witness, ok = w, k
+		}
+		return err
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return witness, ok, nil
+}
+
+// FetchAdd implements fabric.Provider.
+func (f *Fabric) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64) (uint64, error) {
+	return f.fetchAdd(clk, from, node, seg, off, delta, fabric.Options{})
+}
+
+func (f *Fabric) fetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64, o fabric.Options) (uint64, error) {
+	if node == from.Node {
+		return f.inner.FetchAdd(clk, from, node, seg, off, delta)
+	}
+	var prev uint64
+	err := f.perform(clk, from, node, verbFAA, o, func(c *fabric.Clock, record bool) error {
+		p, err := f.inner.FetchAdd(c, from, node, seg, off, delta)
+		if record {
+			prev = p
+		}
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return prev, nil
+}
+
+// Capability forwarding --------------------------------------------------
+
+// CostModel forwards the Modeler capability of the wrapped provider.
+func (f *Fabric) CostModel() fabric.CostModel { return fabric.ModelOf(f.inner) }
+
+// LocalAccess forwards the Accountant capability of the wrapped provider.
+func (f *Fabric) LocalAccess(clk *fabric.Clock, node, bytes, ops int) {
+	fabric.AccountantOf(f.inner).LocalAccess(clk, node, bytes, ops)
+}
+
+// Alloc forwards the Accountant capability of the wrapped provider.
+func (f *Fabric) Alloc(node int, n, now int64) error {
+	return fabric.AccountantOf(f.inner).Alloc(node, n, now)
+}
+
+// Free forwards the Accountant capability of the wrapped provider.
+func (f *Fabric) Free(node int, n, now int64) { fabric.AccountantOf(f.inner).Free(node, n, now) }
+
+// Allocated forwards the Accountant capability of the wrapped provider.
+func (f *Fabric) Allocated(node int) int64 { return fabric.AccountantOf(f.inner).Allocated(node) }
+
+// NodeMemory forwards the Accountant capability of the wrapped provider.
+func (f *Fabric) NodeMemory() int64 { return fabric.AccountantOf(f.inner).NodeMemory() }
+
+// WithOptions implements fabric.Optioned.
+func (f *Fabric) WithOptions(o fabric.Options) fabric.Provider {
+	if o == (fabric.Options{}) {
+		return f
+	}
+	return &optioned{f: f, o: o}
+}
+
+// optioned is the per-op-options view of a fault Fabric.
+type optioned struct {
+	f *Fabric
+	o fabric.Options
+}
+
+var _ fabric.Provider = (*optioned)(nil)
+var _ fabric.Optioned = (*optioned)(nil)
+
+func (v *optioned) Name() string                                { return v.f.Name() }
+func (v *optioned) NumNodes() int                               { return v.f.NumNodes() }
+func (v *optioned) Close() error                                { return v.f.Close() }
+func (v *optioned) SetDispatcher(n int, d fabric.Dispatcher)    { v.f.SetDispatcher(n, d) }
+func (v *optioned) RegisterSegment(n int, s fabric.Segment) int { return v.f.RegisterSegment(n, s) }
+func (v *optioned) CostModel() fabric.CostModel                 { return v.f.CostModel() }
+
+func (v *optioned) LocalAccess(clk *fabric.Clock, node, bytes, ops int) {
+	v.f.LocalAccess(clk, node, bytes, ops)
+}
+func (v *optioned) Alloc(node int, n, now int64) error { return v.f.Alloc(node, n, now) }
+func (v *optioned) Free(node int, n, now int64)        { v.f.Free(node, n, now) }
+func (v *optioned) Allocated(node int) int64           { return v.f.Allocated(node) }
+func (v *optioned) NodeMemory() int64                  { return v.f.NodeMemory() }
+
+func (v *optioned) WithOptions(o fabric.Options) fabric.Provider {
+	return v.f.WithOptions(v.o.Merge(o))
+}
+
+func (v *optioned) RoundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte) ([]byte, error) {
+	return v.f.roundTrip(clk, from, node, req, v.o)
+}
+
+func (v *optioned) Write(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, data []byte) error {
+	return v.f.write(clk, from, node, seg, off, data, v.o)
+}
+
+func (v *optioned) Read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, buf []byte) error {
+	return v.f.read(clk, from, node, seg, off, buf, v.o)
+}
+
+func (v *optioned) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, old, new uint64) (uint64, bool, error) {
+	return v.f.cas(clk, from, node, seg, off, old, new, v.o)
+}
+
+func (v *optioned) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64) (uint64, error) {
+	return v.f.fetchAdd(clk, from, node, seg, off, delta, v.o)
+}
+
+var _ fabric.Provider = (*Fabric)(nil)
+var _ fabric.Optioned = (*Fabric)(nil)
+var _ fabric.Accountant = (*Fabric)(nil)
+var _ fabric.Modeler = (*Fabric)(nil)

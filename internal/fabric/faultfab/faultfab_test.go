@@ -1,0 +1,280 @@
+package faultfab
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/memory"
+	"hcl/internal/metrics"
+)
+
+func newSim(t *testing.T, nodes int) *simfab.Fabric {
+	t.Helper()
+	f := simfab.New(nodes, fabric.DefaultCostModel())
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+var ref0 = fabric.RankRef{Rank: 0, Node: 0}
+
+// TestDeterministicScheduleFromSeed: the whole point of faultfab — the
+// same seed and per-rank operation order replay the same faults, so a
+// failing fault test reproduces on every run and under -race.
+func TestDeterministicScheduleFromSeed(t *testing.T) {
+	trace := func(seed int64) string {
+		sim := newSim(t, 2)
+		seg := memory.NewSegment(64)
+		id := sim.RegisterSegment(1, seg)
+		f := New(sim, Config{Seed: seed, DropProb: 0.5})
+		v := f.WithOptions(fabric.Options{MaxAttempts: 1})
+		clk := fabric.NewClock(0)
+		out := ""
+		for i := 0; i < 32; i++ {
+			err := v.Write(clk, ref0, 1, id, 0, []byte("x"))
+			out += fmt.Sprintf("%v@%d;", err != nil, clk.Now())
+		}
+		return out
+	}
+	a, b, c := trace(7), trace(7), trace(8)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+// TestPartitionTimesOutThenHeals: a cut link times out in virtual time —
+// the caller's clock lands exactly on the deadline, no wall time passes —
+// and the first verb after Heal succeeds.
+func TestPartitionTimesOutThenHeals(t *testing.T) {
+	sim := newSim(t, 2)
+	seg := memory.NewSegment(64)
+	id := sim.RegisterSegment(1, seg)
+	col := metrics.New(1e9)
+	// Enough attempts that the deadline, not the budget, ends the op.
+	f := New(sim, Config{Seed: 1, MaxAttempts: 100, Collector: col})
+	f.Partition(0, 1)
+
+	deadline := 10 * time.Millisecond
+	v := f.WithOptions(fabric.Options{Deadline: deadline})
+	clk := fabric.NewClock(0)
+	wall := time.Now()
+	err := v.Write(clk, ref0, 1, id, 0, []byte("lost"))
+	if !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if clk.Now() != deadline.Nanoseconds() {
+		t.Fatalf("clock = %d, want exactly the deadline %d", clk.Now(), deadline.Nanoseconds())
+	}
+	if w := time.Since(wall); w > 2*time.Second {
+		t.Fatalf("virtual timeout took %v of wall time", w)
+	}
+	if col.Total(metrics.Timeouts, 1) != 1 {
+		t.Fatalf("timeouts counter = %v, want 1", col.Total(metrics.Timeouts, 1))
+	}
+
+	f.Heal(0, 1)
+	if err := v.Write(clk, ref0, 1, id, 0, []byte("ok")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	buf := make([]byte, 2)
+	if err := v.Read(clk, ref0, 1, id, 0, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("read back %q, %v", buf, err)
+	}
+}
+
+// TestDownNodeFailsFast: a node marked down refuses immediately with
+// ErrNodeDown — no attempt budget is burned waiting.
+func TestDownNodeFailsFast(t *testing.T) {
+	sim := newSim(t, 2)
+	sim.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+	f := New(sim, Config{Seed: 1})
+	f.SetDown(1, true)
+
+	clk := fabric.NewClock(0)
+	_, err := f.RoundTrip(clk, ref0, 1, []byte("x"))
+	if !errors.Is(err, fabric.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("clock advanced %dns on a refused verb", clk.Now())
+	}
+
+	f.SetDown(1, false)
+	if _, err := f.RoundTrip(clk, ref0, 1, []byte("x")); err != nil {
+		t.Fatalf("rpc after revive: %v", err)
+	}
+}
+
+// TestDuplicateDeliveryExecutesTwice: with DupProb=1 every delivered RPC
+// runs the handler twice; the caller still sees exactly one response.
+// This is the at-least-once hazard the RetryRPC opt-in accepts.
+func TestDuplicateDeliveryExecutesTwice(t *testing.T) {
+	sim := newSim(t, 2)
+	var calls atomic.Int64
+	sim.SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		calls.Add(1)
+		return append([]byte("r:"), req...), 0
+	})
+	f := New(sim, Config{Seed: 1, DupProb: 1})
+
+	resp, err := f.RoundTrip(fabric.NewClock(0), ref0, 1, []byte("q"))
+	if err != nil || string(resp) != "r:q" {
+		t.Fatalf("resp = %q, %v", resp, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("handler ran %d times, want 2 (duplicate delivery)", n)
+	}
+
+	// A duplicated read must not clobber the caller's buffer after the
+	// first delivery handed it back.
+	seg := memory.NewSegment(64)
+	id := sim.RegisterSegment(1, seg)
+	if err := f.Write(fabric.NewClock(0), ref0, 1, id, 0, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if err := f.Read(fabric.NewClock(0), ref0, 1, id, 0, buf); err != nil || string(buf) != "keep" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+}
+
+// TestBackoffBurnsVirtualTimeOnly: every retry pause is a virtual-clock
+// advance following the configured schedule, never a goroutine sleep.
+func TestBackoffBurnsVirtualTimeOnly(t *testing.T) {
+	sim := newSim(t, 2)
+	seg := memory.NewSegment(64)
+	id := sim.RegisterSegment(1, seg)
+	const attemptNS = 1_000_000
+	cfg := Config{
+		Seed:             3,
+		DropProb:         1, // every attempt is lost
+		AttemptTimeoutNS: attemptNS,
+		MaxAttempts:      3,
+		Backoff:          fabric.Backoff{Base: 4 * time.Millisecond, Cap: 16 * time.Millisecond, Factor: 2},
+	}
+	run := func() int64 {
+		f := New(sim, cfg)
+		clk := fabric.NewClock(0)
+		if err := f.Write(clk, ref0, 1, id, 0, []byte("x")); !errors.Is(err, fabric.ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+		return clk.Now()
+	}
+	wall := time.Now()
+	got := run()
+	// 3 lost attempts burn their timeouts; two backoff pauses (full
+	// jitter, so anywhere in [0, ceiling)) separate them.
+	min := int64(3 * attemptNS)
+	max := min + (cfg.Backoff.Ceiling(0) + cfg.Backoff.Ceiling(1)).Nanoseconds()
+	if got < min || got >= max {
+		t.Fatalf("clock = %d, want in [%d, %d)", got, min, max)
+	}
+	if got2 := run(); got2 != got {
+		t.Fatalf("same seed, different elapsed virtual time: %d vs %d", got, got2)
+	}
+	if w := time.Since(wall); w > 2*time.Second {
+		t.Fatalf("backoff slept %v of wall time", w)
+	}
+}
+
+// TestRPCRetryGatedBehindOptIn: a lost RPC may have executed before its
+// response vanished, so it must not be replayed silently — one attempt,
+// typed failure. The RetryRPC opt-in unlocks the full attempt budget.
+func TestRPCRetryGatedBehindOptIn(t *testing.T) {
+	sim := newSim(t, 2)
+	sim.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+	const attemptNS = 1_000_000
+	col := metrics.New(1e9)
+	f := New(sim, Config{Seed: 5, DropProb: 1, AttemptTimeoutNS: attemptNS, MaxAttempts: 4, Collector: col})
+
+	clk := fabric.NewClock(0)
+	_, err := f.RoundTrip(clk, ref0, 1, []byte("x"))
+	if !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if clk.Now() != attemptNS {
+		t.Fatalf("clock = %d, want exactly one attempt timeout %d (no silent replay)", clk.Now(), attemptNS)
+	}
+	if col.Total(metrics.Retries, 1) != 0 {
+		t.Fatalf("retries = %v without opt-in", col.Total(metrics.Retries, 1))
+	}
+
+	v := f.WithOptions(fabric.Options{RetryRPC: true})
+	clk2 := fabric.NewClock(0)
+	if _, err := v.RoundTrip(clk2, ref0, 1, []byte("x")); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if clk2.Now() < 4*attemptNS {
+		t.Fatalf("clock = %d, want >= %d (full attempt budget with opt-in)", clk2.Now(), 4*attemptNS)
+	}
+	if col.Total(metrics.Retries, 1) != 3 {
+		t.Fatalf("retries = %v, want 3", col.Total(metrics.Retries, 1))
+	}
+}
+
+// TestWritesRetryThroughDrops: idempotent writes ride out a 50% drop rate
+// inside their attempt budget; the retries counter records the recoveries.
+func TestWritesRetryThroughDrops(t *testing.T) {
+	sim := newSim(t, 2)
+	seg := memory.NewSegment(64)
+	id := sim.RegisterSegment(1, seg)
+	col := metrics.New(1e9)
+	f := New(sim, Config{Seed: 11, DropProb: 0.5, MaxAttempts: 16, Collector: col})
+
+	clk := fabric.NewClock(0)
+	for i := 0; i < 64; i++ {
+		if err := f.Write(clk, ref0, 1, id, 0, []byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	buf := make([]byte, 1)
+	if err := f.Read(clk, ref0, 1, id, 0, buf); err != nil || buf[0] != 63 {
+		t.Fatalf("read back %d, %v", buf[0], err)
+	}
+	if col.Total(metrics.Retries, 1) == 0 {
+		t.Fatal("64 writes at 50% drop recorded zero retries")
+	}
+}
+
+// TestSameNodeBypassesFaults: a rank talking to its own node never crosses
+// the modelled wire, so even DropProb=1 cannot touch it — mirroring the
+// hybrid access model's local path.
+func TestSameNodeBypassesFaults(t *testing.T) {
+	sim := newSim(t, 2)
+	sim.SetDispatcher(0, func(req []byte) ([]byte, int64) { return req, 0 })
+	f := New(sim, Config{Seed: 1, DropProb: 1})
+	if _, err := f.RoundTrip(fabric.NewClock(0), ref0, 0, []byte("local")); err != nil {
+		t.Fatalf("local rpc hit a fault: %v", err)
+	}
+}
+
+// TestCapabilitiesSurviveWrapping: cost model and memory accounting pass
+// through the wrapper and its options view, so higher layers cannot tell
+// they are running over a faulty wire.
+func TestCapabilitiesSurviveWrapping(t *testing.T) {
+	sim := newSim(t, 2)
+	f := New(sim, Config{Seed: 1})
+	if f.Name() != "fault+sim" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	if fabric.ModelOf(f).NICCores != sim.CostModel().NICCores {
+		t.Fatal("Modeler capability lost")
+	}
+	if fabric.AccountantOf(f).NodeMemory() != sim.NodeMemory() {
+		t.Fatal("Accountant capability lost")
+	}
+	v := f.WithOptions(fabric.Options{Deadline: time.Second})
+	if fabric.ModelOf(v).NICCores != sim.CostModel().NICCores {
+		t.Fatal("Modeler capability lost through the options view")
+	}
+	if f.WithOptions(fabric.Options{}) != fabric.Provider(f) {
+		t.Fatal("zero options must be the identity")
+	}
+}

@@ -1,0 +1,62 @@
+package fabric
+
+import "time"
+
+// Options bound and shape a single fabric operation. The zero value means
+// "provider defaults": tcpfab applies its configured deadline and retry
+// budget, simfab runs unbounded, faultfab uses its own attempt policy.
+//
+// Deadlines are interpreted in the provider's native notion of time:
+// wall-clock for real transports (tcpfab), virtual nanoseconds for the
+// simulated fabric (simfab, and faultfab when wrapping it) — so the same
+// program exercises the same timeout paths deterministically in simulation
+// and for real over sockets.
+type Options struct {
+	// Deadline bounds the operation end-to-end, including every retry
+	// and backoff pause. Zero keeps the provider default; a provider
+	// with no default runs unbounded.
+	Deadline time.Duration
+	// MaxAttempts caps the total number of tries (first attempt
+	// included) for retryable verbs. Zero keeps the provider default.
+	MaxAttempts int
+	// RetryRPC opts non-idempotent verbs (RoundTrip, CAS, FetchAdd)
+	// into retry after transport errors where the request may already
+	// have been delivered. One-sided Read and Write are idempotent and
+	// always eligible; everything else is retried only when the request
+	// provably never left (e.g. dial failure) unless this is set.
+	// Setting it asserts the invoked handlers tolerate re-execution.
+	RetryRPC bool
+}
+
+// Merge overlays o2 on o: fields set in o2 win, unset fields keep o's
+// value. RetryRPC is sticky (true if either sets it).
+func (o Options) Merge(o2 Options) Options {
+	if o2.Deadline != 0 {
+		o.Deadline = o2.Deadline
+	}
+	if o2.MaxAttempts != 0 {
+		o.MaxAttempts = o2.MaxAttempts
+	}
+	o.RetryRPC = o.RetryRPC || o2.RetryRPC
+	return o
+}
+
+// Optioned is the capability of providers whose verbs honor per-operation
+// Options. WithOptions returns a view over the same fabric (shared
+// connections, segments, dispatchers) whose verbs apply o.
+type Optioned interface {
+	WithOptions(o Options) Provider
+}
+
+// WithOptions returns a view of p applying o to every verb. Providers
+// without the Optioned capability ignore options; p itself is returned so
+// call sites need no capability checks.
+func WithOptions(p Provider, o Options) Provider {
+	if o == (Options{}) {
+		return p
+	}
+	if op, ok := p.(Optioned); ok {
+		return op.WithOptions(o)
+	}
+	return p
+}

@@ -1,0 +1,110 @@
+package simfab
+
+import (
+	"hcl/internal/fabric"
+	"hcl/internal/metrics"
+)
+
+// WithOptions implements fabric.Optioned: the returned view shares the
+// fabric's nodes, segments, and dispatchers but bounds every verb by
+// o.Deadline in *virtual* time. A verb whose modelled completion lands
+// past the deadline returns fabric.ErrTimeout and advances the caller's
+// clock only to the deadline instant — the caller stopped waiting there,
+// even though the operation itself still executed at the target (exactly
+// the unknown-outcome semantics of a real RDMA timeout). Virtual
+// deadlines make timeout paths reproducible: the same program hits the
+// same timeouts on every run, with no real sleeping.
+func (f *Fabric) WithOptions(o fabric.Options) fabric.Provider {
+	if o == (fabric.Options{}) {
+		return f
+	}
+	return &optioned{f: f, o: o}
+}
+
+// optioned is the deadline-honoring view of a Fabric.
+type optioned struct {
+	f *Fabric
+	o fabric.Options
+}
+
+var _ fabric.Provider = (*optioned)(nil)
+var _ fabric.Optioned = (*optioned)(nil)
+
+func (v *optioned) Name() string                               { return v.f.Name() }
+func (v *optioned) NumNodes() int                              { return v.f.NumNodes() }
+func (v *optioned) Close() error                               { return v.f.Close() }
+func (v *optioned) SetDispatcher(n int, d fabric.Dispatcher)   { v.f.SetDispatcher(n, d) }
+func (v *optioned) RegisterSegment(n int, s fabric.Segment) int { return v.f.RegisterSegment(n, s) }
+
+// CostModel forwards the Modeler capability so RPC layers above the view
+// still price handler work.
+func (v *optioned) CostModel() fabric.CostModel { return v.f.CostModel() }
+
+// Accountant capability forwarding: hybrid-path charging and memory
+// accounting are unaffected by per-op options.
+func (v *optioned) LocalAccess(clk *fabric.Clock, node, bytes, ops int) {
+	v.f.LocalAccess(clk, node, bytes, ops)
+}
+func (v *optioned) Alloc(node int, n, now int64) error { return v.f.Alloc(node, n, now) }
+func (v *optioned) Free(node int, n, now int64)        { v.f.Free(node, n, now) }
+func (v *optioned) Allocated(node int) int64           { return v.f.Allocated(node) }
+func (v *optioned) NodeMemory() int64                  { return v.f.NodeMemory() }
+
+func (v *optioned) WithOptions(o fabric.Options) fabric.Provider {
+	return v.f.WithOptions(v.o.Merge(o))
+}
+
+// settle applies the virtual deadline after an inner verb ran on a side
+// clock: either syncs the caller to the completion time, or stops the
+// caller at the deadline and converts the outcome to ErrTimeout.
+func (v *optioned) settle(clk, side *fabric.Clock, node int, err error) error {
+	d := v.o.Deadline.Nanoseconds()
+	if d > 0 && side.Now() > clk.Now()+d {
+		clk.Advance(d)
+		if v.f.col != nil {
+			v.f.col.Add(metrics.Timeouts, node, clk.Now(), 1)
+		}
+		return fabric.ErrTimeout
+	}
+	clk.AdvanceTo(side.Now())
+	return err
+}
+
+func (v *optioned) RoundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte) ([]byte, error) {
+	side := fabric.NewClock(clk.Now())
+	resp, err := v.f.RoundTrip(side, from, node, req)
+	if serr := v.settle(clk, side, node, err); serr != nil {
+		return nil, serr
+	}
+	return resp, nil
+}
+
+func (v *optioned) Write(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, data []byte) error {
+	side := fabric.NewClock(clk.Now())
+	err := v.f.Write(side, from, node, seg, off, data)
+	return v.settle(clk, side, node, err)
+}
+
+func (v *optioned) Read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, buf []byte) error {
+	side := fabric.NewClock(clk.Now())
+	err := v.f.Read(side, from, node, seg, off, buf)
+	return v.settle(clk, side, node, err)
+}
+
+func (v *optioned) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, old, new uint64) (uint64, bool, error) {
+	side := fabric.NewClock(clk.Now())
+	witness, ok, err := v.f.CAS(side, from, node, seg, off, old, new)
+	if serr := v.settle(clk, side, node, err); serr != nil {
+		return 0, false, serr
+	}
+	return witness, ok, nil
+}
+
+func (v *optioned) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64) (uint64, error) {
+	side := fabric.NewClock(clk.Now())
+	prev, err := v.f.FetchAdd(side, from, node, seg, off, delta)
+	if serr := v.settle(clk, side, node, err); serr != nil {
+		return 0, serr
+	}
+	return prev, nil
+}

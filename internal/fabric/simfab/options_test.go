@@ -1,0 +1,112 @@
+package simfab
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+	"hcl/internal/metrics"
+)
+
+// TestVirtualDeadlineOnRPC: a handler whose modelled cost exceeds the
+// per-op deadline must surface ErrTimeout, with the caller's clock
+// stopped exactly at the deadline — all in virtual time, no sleeping.
+func TestVirtualDeadlineOnRPC(t *testing.T) {
+	col := metrics.New(1e9)
+	f := New(2, fabric.DefaultCostModel(), WithCollector(col))
+	defer f.Close()
+	f.SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		return req, int64(time.Second) // 1s of virtual NIC-core time
+	})
+
+	deadline := 5 * time.Millisecond
+	v := f.WithOptions(fabric.Options{Deadline: deadline})
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+
+	_, err := v.RoundTrip(clk, ref, 1, []byte("slow"))
+	if !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := clk.Now(); got != deadline.Nanoseconds() {
+		t.Fatalf("clock = %d, want exactly the deadline %d", got, deadline.Nanoseconds())
+	}
+	if n := col.Total(metrics.Timeouts, 1); n != 1 {
+		t.Fatalf("timeouts counter = %v, want 1", n)
+	}
+
+	// A generous deadline lets the same call through.
+	v2 := f.WithOptions(fabric.Options{Deadline: 10 * time.Second})
+	resp, err := v2.RoundTrip(fabric.NewClock(0), ref, 1, []byte("ok"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("resp = %q, %v", resp, err)
+	}
+}
+
+// TestVirtualDeadlineOnOneSided: deadlines bound one-sided verbs too, and
+// deterministically so — the same program hits the same timeout on every
+// run.
+func TestVirtualDeadlineOnOneSided(t *testing.T) {
+	cm := fabric.DefaultCostModel()
+	f := New(2, cm)
+	defer f.Close()
+	seg := memory.NewSegment(1 << 20)
+	id := f.RegisterSegment(1, seg)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+
+	// A 1MB transfer takes ~1MB/4.5GBps ≈ 222µs of wire time; a 1µs
+	// deadline cannot cover it.
+	v := f.WithOptions(fabric.Options{Deadline: time.Microsecond})
+	clk := fabric.NewClock(0)
+	big := make([]byte, 1<<20)
+	if err := v.Write(clk, ref, 1, id, 0, big); !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("write err = %v, want ErrTimeout", err)
+	}
+	if clk.Now() != time.Microsecond.Nanoseconds() {
+		t.Fatalf("clock = %d, want 1000", clk.Now())
+	}
+
+	// Reads and CAS under a generous deadline still work and return data.
+	v2 := f.WithOptions(fabric.Options{Deadline: time.Second}).(*optioned)
+	if err := v2.Write(fabric.NewClock(0), ref, 1, id, 0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if err := v2.Read(fabric.NewClock(0), ref, 1, id, 0, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+	if _, ok, err := v2.CAS(fabric.NewClock(0), ref, 1, id, 8, 0, 7); err != nil || !ok {
+		t.Fatalf("cas ok=%v err=%v", ok, err)
+	}
+	if prev, err := v2.FetchAdd(fabric.NewClock(0), ref, 1, id, 8, 3); err != nil || prev != 7 {
+		t.Fatalf("faa prev=%d err=%v", prev, err)
+	}
+}
+
+// TestWithOptionsViewForwardsCapabilities: the deadline view must remain a
+// full provider — cost model, accounting, and further WithOptions layering.
+func TestWithOptionsViewForwardsCapabilities(t *testing.T) {
+	f := New(2, fabric.DefaultCostModel())
+	defer f.Close()
+	v := f.WithOptions(fabric.Options{Deadline: time.Second})
+	if fabric.ModelOf(v).NICCores != f.CostModel().NICCores {
+		t.Fatal("Modeler capability lost through the view")
+	}
+	if fabric.AccountantOf(v).NodeMemory() != f.NodeMemory() {
+		t.Fatal("Accountant capability lost through the view")
+	}
+	if v.NumNodes() != 2 || v.Name() != "sim" {
+		t.Fatalf("view identity: %s/%d", v.Name(), v.NumNodes())
+	}
+	// Re-optioning merges rather than stacking views.
+	v2 := fabric.WithOptions(v, fabric.Options{MaxAttempts: 2})
+	if vv, ok := v2.(*optioned); !ok || vv.o.Deadline != time.Second || vv.o.MaxAttempts != 2 {
+		t.Fatalf("merged view = %#v", v2)
+	}
+	// Zero options return the fabric itself.
+	if f.WithOptions(fabric.Options{}) != fabric.Provider(f) {
+		t.Fatal("zero options must be the identity")
+	}
+}

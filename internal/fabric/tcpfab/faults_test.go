@@ -1,0 +1,191 @@
+package tcpfab
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+	"hcl/internal/metrics"
+)
+
+// typedUnavailable reports whether err carries one of the two typed
+// fabric errors a robust caller dispatches on.
+func typedUnavailable(err error) bool {
+	return errors.Is(err, fabric.ErrTimeout) || errors.Is(err, fabric.ErrNodeDown)
+}
+
+// TestDeadPeerInvokeReturnsTypedErrorWithinDeadline is the acceptance
+// scenario: with the peer process gone, an Invoke bounded by a 200ms
+// deadline must come back with ErrTimeout/ErrNodeDown instead of hanging.
+func TestDeadPeerInvokeReturnsTypedErrorWithinDeadline(t *testing.T) {
+	f0, f1 := newPair(t)
+	f1.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+
+	// Drive a few RPCs, then kill the peer mid-stream (closing its
+	// listener and every accepted connection — the in-process stand-in
+	// for kill -9 on the peer).
+	for i := 0; i < 5; i++ {
+		if _, err := f0.RoundTrip(clk, ref, 1, []byte("warm")); err != nil {
+			t.Fatalf("warmup rpc: %v", err)
+		}
+	}
+	f1.Close()
+
+	v := f0.WithOptions(fabric.Options{Deadline: 200 * time.Millisecond})
+	start := time.Now()
+	var lastErr error
+	// The first post-kill attempt may ride a half-dead pooled
+	// connection; every failure must be typed, and one bounded retry
+	// loop later the verdict must be conclusive.
+	for i := 0; i < 4; i++ {
+		_, lastErr = v.RoundTrip(clk, ref, 1, []byte("x"))
+		if lastErr == nil {
+			t.Fatal("rpc to a dead peer succeeded")
+		}
+		if !typedUnavailable(lastErr) {
+			t.Fatalf("attempt %d: err = %v, want ErrTimeout or ErrNodeDown", i, lastErr)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("typed failure took %v — deadline not enforced", elapsed)
+	}
+	if !errors.Is(lastErr, fabric.ErrNodeDown) {
+		t.Fatalf("steady-state err = %v, want ErrNodeDown (connection refused)", lastErr)
+	}
+}
+
+// TestStalledPeerHitsDeadline: a peer that accepts but never answers is a
+// timeout, not a hang. The handler stalls longer than the deadline; the
+// socket deadline must cut the read.
+func TestStalledPeerHitsDeadline(t *testing.T) {
+	f0, f1 := newPair(t)
+	release := make(chan struct{})
+	f1.SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		<-release
+		return req, 0
+	})
+	defer close(release)
+
+	v := f0.WithOptions(fabric.Options{Deadline: 150 * time.Millisecond})
+	clk := fabric.NewClock(0)
+	start := time.Now()
+	_, err := v.RoundTrip(clk, fabric.RankRef{Rank: 0, Node: 0}, 1, []byte("stall"))
+	if !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout surfaced after %v", elapsed)
+	}
+	if clk.Now() < (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("clock advanced only %dns; wall time must be reflected", clk.Now())
+	}
+}
+
+// TestWriteRetriesAcrossPeerRestart: idempotent one-sided writes retry
+// automatically and reconnect transparently when the peer comes back —
+// the stale pooled connection is discarded, a fresh dial succeeds, and
+// the retry/reconnect counters record it.
+func TestWriteRetriesAcrossPeerRestart(t *testing.T) {
+	col := metrics.New(1e9)
+	a0, err := New(Config{
+		NodeID:    0,
+		Addrs:     []string{"127.0.0.1:0", "127.0.0.1:0"},
+		Collector: col,
+		Backoff:   fabric.Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Factor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a0.Close()
+	a1, err := New(Config{NodeID: 1, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{a0.Addr(), a1.Addr()}
+	a0.SetAddrs(addrs)
+	a1.SetAddrs(addrs)
+
+	seg := memory.NewSegment(256)
+	id := a0.RegisterSegment(1, nil)
+	a1.RegisterSegment(1, seg)
+
+	clk := fabric.NewClock(0)
+	ref := fabric.RankRef{Rank: 0, Node: 0}
+	if err := a0.Write(clk, ref, 1, id, 0, []byte("first")); err != nil {
+		t.Fatalf("warmup write: %v", err)
+	}
+
+	// Restart the peer on the same address; the pooled connection to the
+	// old incarnation is now dead.
+	a1.Close()
+	a1b, err := New(Config{NodeID: 1, Addrs: addrs})
+	if err != nil {
+		t.Fatalf("restart peer: %v", err)
+	}
+	defer a1b.Close()
+	seg2 := memory.NewSegment(256)
+	a1b.RegisterSegment(1, seg2)
+
+	v := a0.WithOptions(fabric.Options{Deadline: 5 * time.Second, MaxAttempts: 5})
+	if err := v.Write(clk, ref, 1, id, 0, []byte("after")); err != nil {
+		t.Fatalf("write across restart: %v", err)
+	}
+	buf := make([]byte, 5)
+	if err := v.Read(clk, ref, 1, id, 0, buf); err != nil || string(buf) != "after" {
+		t.Fatalf("read back %q, %v", buf, err)
+	}
+	if col.Total(metrics.Reconnects, 1) < 1 {
+		t.Error("reconnects counter not recorded")
+	}
+	if col.Total(metrics.Retries, 1) < 1 {
+		t.Error("retries counter not recorded")
+	}
+}
+
+// TestRPCNotRetriedAfterDelivery: a non-idempotent RPC whose connection
+// dies mid-exchange must NOT be silently replayed without the opt-in —
+// and must be replayed with it.
+func TestRPCRetryPolicyGating(t *testing.T) {
+	if !retryAllowed(frameRead, true, fabric.Options{}) ||
+		!retryAllowed(frameWrite, true, fabric.Options{}) {
+		t.Fatal("idempotent one-sided verbs must always retry")
+	}
+	for _, typ := range []byte{frameRPC, frameCAS, frameFAA} {
+		if retryAllowed(typ, true, fabric.Options{}) {
+			t.Fatalf("verb %d: delivered attempt retried without opt-in", typ)
+		}
+		if !retryAllowed(typ, false, fabric.Options{}) {
+			t.Fatalf("verb %d: undelivered attempt must be retryable", typ)
+		}
+		if !retryAllowed(typ, true, fabric.Options{RetryRPC: true}) {
+			t.Fatalf("verb %d: RetryRPC opt-in ignored", typ)
+		}
+	}
+}
+
+// TestNeverStartedPeer: dialing a node whose process never existed fails
+// typed, fast, and without a listener to answer.
+func TestNeverStartedPeer(t *testing.T) {
+	// Reserve an address, then close it so nothing listens there.
+	probe, err := New(Config{NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := probe.Addr()
+	probe.Close()
+
+	f0, err := New(Config{NodeID: 0, Addrs: []string{"127.0.0.1:0", deadAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f0.Close()
+	v := f0.WithOptions(fabric.Options{Deadline: 300 * time.Millisecond})
+	_, err = v.RoundTrip(fabric.NewClock(0), fabric.RankRef{}, 1, []byte("x"))
+	if !errors.Is(err, fabric.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}

@@ -16,12 +16,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hcl/internal/fabric"
+	"hcl/internal/metrics"
 )
 
 // Frame types.
@@ -41,6 +45,24 @@ type Config struct {
 	Addrs []string
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+
+	// OpDeadline bounds each verb end-to-end — dialing, every retry and
+	// backoff pause, and the exchange itself. Zero selects the default
+	// (30s); negative disables the bound. Per-op fabric.Options.Deadline
+	// overrides it.
+	OpDeadline time.Duration
+	// MaxAttempts caps tries per verb, first attempt included (default
+	// 3). Per-op fabric.Options.MaxAttempts overrides it.
+	MaxAttempts int
+	// Backoff schedules the pauses between retries (zero value selects
+	// fabric.DefaultBackoff()).
+	Backoff fabric.Backoff
+	// Seed seeds retry jitter (default 1; jitter only shapes pauses, so
+	// the value never affects correctness).
+	Seed int64
+	// Collector, when non-nil, receives Retries/Timeouts/Reconnects
+	// counters (bucketed by the caller's virtual clock).
+	Collector *metrics.Collector
 }
 
 // Fabric is the TCP provider. Create one per process with New.
@@ -55,6 +77,15 @@ type Fabric struct {
 	poolMu sync.Mutex
 	pools  map[int][]*clientConn
 
+	// accepted tracks live server-side connections so Close severs them
+	// like real process death would — peers must observe a dead node,
+	// not a half-alive one that still answers on old sockets.
+	acceptMu sync.Mutex
+	accepted map[net.Conn]struct{}
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
@@ -67,14 +98,43 @@ func New(cfg Config) (*Fabric, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
+	if cfg.OpDeadline == 0 {
+		cfg.OpDeadline = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
 	ln, err := net.Listen("tcp", cfg.Addrs[cfg.NodeID])
 	if err != nil {
 		return nil, fmt.Errorf("tcpfab: listen %s: %w", cfg.Addrs[cfg.NodeID], err)
 	}
-	f := &Fabric{cfg: cfg, ln: ln, pools: make(map[int][]*clientConn)}
+	f := &Fabric{
+		cfg:      cfg,
+		ln:       ln,
+		pools:    make(map[int][]*clientConn),
+		accepted: make(map[net.Conn]struct{}),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
 	f.wg.Add(1)
 	go f.acceptLoop()
 	return f, nil
+}
+
+// rand01 draws one jitter sample.
+func (f *Fabric) rand01() float64 {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return f.rng.Float64()
+}
+
+// count records a robustness counter at the caller's virtual time.
+func (f *Fabric) count(kind metrics.Kind, node int, clk *fabric.Clock) {
+	if f.cfg.Collector != nil {
+		f.cfg.Collector.Add(kind, node, clk.Now(), 1)
+	}
 }
 
 // Addr reports the actual listen address (useful with ":0" configs).
@@ -109,6 +169,12 @@ func (f *Fabric) Close() error {
 	}
 	f.pools = make(map[int][]*clientConn)
 	f.poolMu.Unlock()
+	f.acceptMu.Lock()
+	for conn := range f.accepted {
+		conn.Close()
+	}
+	f.accepted = make(map[net.Conn]struct{})
+	f.acceptMu.Unlock()
 	return err
 }
 
@@ -151,10 +217,18 @@ func (f *Fabric) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		f.acceptMu.Lock()
+		f.accepted[conn] = struct{}{}
+		f.acceptMu.Unlock()
 		f.wg.Add(1)
 		go func() {
 			defer f.wg.Done()
-			defer conn.Close()
+			defer func() {
+				f.acceptMu.Lock()
+				delete(f.accepted, conn)
+				f.acceptMu.Unlock()
+				conn.Close()
+			}()
 			f.serveConn(conn)
 		}()
 	}
@@ -265,9 +339,14 @@ type clientConn struct {
 	bw   *bufio.Writer
 }
 
-func (f *Fabric) getConn(node int) (*clientConn, error) {
+// getConn returns a pooled connection to node or dials a fresh one.
+// pooled reports which: a pooled connection was established earlier, so
+// its failure means an established link was lost (a reconnect), while a
+// dial failure means the request never left this process. deadlineAt, when
+// non-zero, clips the dial timeout to the operation's remaining budget.
+func (f *Fabric) getConn(node int, deadlineAt time.Time) (c *clientConn, pooled bool, err error) {
 	if f.closed.Load() {
-		return nil, fabric.ErrClosed
+		return nil, false, fabric.ErrClosed
 	}
 	f.poolMu.Lock()
 	conns := f.pools[node]
@@ -275,18 +354,27 @@ func (f *Fabric) getConn(node int) (*clientConn, error) {
 		c := conns[len(conns)-1]
 		f.pools[node] = conns[:len(conns)-1]
 		f.poolMu.Unlock()
-		return c, nil
+		return c, true, nil
 	}
 	f.poolMu.Unlock()
-	raw, err := net.DialTimeout("tcp", f.cfg.Addrs[node], f.cfg.DialTimeout)
+	dt := f.cfg.DialTimeout
+	if !deadlineAt.IsZero() {
+		if rem := time.Until(deadlineAt); rem < dt {
+			dt = rem
+		}
+	}
+	if dt <= 0 {
+		return nil, false, fmt.Errorf("tcpfab: dial %s: %w", f.cfg.Addrs[node], os.ErrDeadlineExceeded)
+	}
+	raw, err := net.DialTimeout("tcp", f.cfg.Addrs[node], dt)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	return &clientConn{
 		conn: raw,
 		br:   bufio.NewReaderSize(raw, 1<<16),
 		bw:   bufio.NewWriterSize(raw, 1<<16),
-	}, nil
+	}, false, nil
 }
 
 func (f *Fabric) putConn(node int, c *clientConn) {
@@ -299,8 +387,52 @@ func (f *Fabric) putConn(node int, c *clientConn) {
 	f.pools[node] = append(f.pools[node], c)
 }
 
-// exchange sends one frame and waits for its response.
-func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte) ([]byte, error) {
+// remoteError is an application-level failure reported by the peer's frame
+// loop (bad segment, no dispatcher, handler error). The transport worked,
+// so these are never retried.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "tcpfab: remote: " + e.msg }
+
+// retryAllowed reports whether a failed attempt of typ may be re-sent.
+// Reads and writes are idempotent — replaying them converges to the same
+// state — so any transport failure is retryable. RPC, CAS, and FAA mutate
+// non-idempotently; they are re-sent only when the request provably never
+// left this process (the connection could not even be established), unless
+// the caller opted in with Options.RetryRPC.
+func retryAllowed(typ byte, delivered bool, o fabric.Options) bool {
+	switch typ {
+	case frameRead, frameWrite:
+		return true
+	default:
+		return !delivered || o.RetryRPC
+	}
+}
+
+// classify converts the last transport error of an exhausted exchange into
+// the typed errors callers dispatch on: deadline expiry becomes
+// fabric.ErrTimeout; refused, reset, or EOF-ed connections become
+// fabric.ErrNodeDown. Anything else passes through unchanged.
+func classify(node int, err error) error {
+	var nerr net.Error
+	switch {
+	case errors.Is(err, os.ErrDeadlineExceeded),
+		errors.As(err, &nerr) && nerr.Timeout():
+		return fmt.Errorf("tcpfab: node %d: %w (%v)", node, fabric.ErrTimeout, err)
+	case errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("tcpfab: node %d: %w (%v)", node, fabric.ErrNodeDown, err)
+	}
+	return err
+}
+
+// exchange sends one frame and waits for its response, retrying with
+// capped exponential backoff and transparent reconnection per the policy
+// in retryAllowed, all bounded by the operation deadline.
+func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte, o fabric.Options) ([]byte, error) {
 	start := time.Now()
 	defer func() {
 		// Keep virtual clocks monotone with observed wall time so
@@ -308,39 +440,129 @@ func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte)
 		clk.Advance(time.Since(start).Nanoseconds())
 	}()
 
-	c, err := f.getConn(node)
+	deadline := f.cfg.OpDeadline
+	if o.Deadline != 0 {
+		deadline = o.Deadline
+	}
+	var deadlineAt time.Time
+	if deadline > 0 {
+		deadlineAt = start.Add(deadline)
+	}
+	attempts := f.cfg.MaxAttempts
+	if o.MaxAttempts > 0 {
+		attempts = o.MaxAttempts
+	}
+
+	var lastErr error
+	timedOut := false
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			f.count(metrics.Retries, node, clk)
+			pause := f.cfg.Backoff.Delay(attempt-1, f.rand01())
+			if !deadlineAt.IsZero() {
+				rem := time.Until(deadlineAt)
+				if rem <= 0 {
+					timedOut = true
+					break
+				}
+				if pause > rem {
+					pause = rem
+				}
+			}
+			time.Sleep(pause)
+		}
+		if !deadlineAt.IsZero() && !time.Now().Before(deadlineAt) {
+			timedOut = true
+			break
+		}
+		resp, delivered, err := f.attempt(clk, node, typ, payload, deadlineAt)
+		if err == nil {
+			return resp, nil
+		}
+		var rerr *remoteError
+		if errors.As(err, &rerr) {
+			return nil, err
+		}
+		lastErr = err
+		if f.closed.Load() || errors.Is(err, fabric.ErrClosed) {
+			return nil, lastErr
+		}
+		if !retryAllowed(typ, delivered, o) {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("tcpfab: node %d: %w (after %s)", node, fabric.ErrTimeout, time.Since(start))
+	} else {
+		lastErr = classify(node, lastErr)
+		if timedOut && !errors.Is(lastErr, fabric.ErrTimeout) && !errors.Is(lastErr, fabric.ErrNodeDown) {
+			lastErr = fmt.Errorf("tcpfab: node %d: %w (last error: %v)", node, fabric.ErrTimeout, lastErr)
+		}
+	}
+	if errors.Is(lastErr, fabric.ErrTimeout) {
+		f.count(metrics.Timeouts, node, clk)
+	}
+	return nil, lastErr
+}
+
+// attempt performs one wire exchange. delivered reports whether the
+// request may have reached the peer: false only when the connection could
+// not even be established, which is what makes dial-stage failures safe to
+// retry for non-idempotent verbs.
+func (f *Fabric) attempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time) (resp []byte, delivered bool, err error) {
+	c, pooled, err := f.getConn(node, deadlineAt)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	fail := func(err error) ([]byte, bool, error) {
+		c.conn.Close()
+		if pooled {
+			// An established link died under us; the next attempt will
+			// transparently re-dial.
+			f.count(metrics.Reconnects, node, clk)
+		}
+		return nil, true, err
+	}
+	if !deadlineAt.IsZero() {
+		if err := c.conn.SetDeadline(deadlineAt); err != nil {
+			return fail(err)
+		}
 	}
 	if err := writeFrame(c.bw, typ, payload); err != nil {
-		c.conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		c.conn.Close()
-		return nil, err
+		return fail(err)
 	}
-	rtyp, resp, err := readFrame(c.br)
+	rtyp, raw, err := readFrame(c.br)
 	if err != nil {
-		c.conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	if rtyp != typ {
-		c.conn.Close()
-		return nil, fmt.Errorf("tcpfab: response type %d for request %d", rtyp, typ)
+		return fail(fmt.Errorf("tcpfab: response type %d for request %d", rtyp, typ))
+	}
+	if !deadlineAt.IsZero() {
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			c.conn.Close()
+			return nil, true, err
+		}
 	}
 	f.putConn(node, c)
-	if len(resp) < 1 {
-		return nil, errors.New("tcpfab: empty response")
+	if len(raw) < 1 {
+		return nil, true, errors.New("tcpfab: empty response")
 	}
-	if resp[0] == 0 {
-		return nil, fmt.Errorf("tcpfab: remote: %s", string(resp[1:]))
+	if raw[0] == 0 {
+		return nil, true, &remoteError{msg: string(raw[1:])}
 	}
-	return resp[1:], nil
+	return raw[1:], true, nil
 }
 
 // RoundTrip implements fabric.Provider.
 func (f *Fabric) RoundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte) ([]byte, error) {
+	return f.roundTrip(clk, from, node, req, fabric.Options{})
+}
+
+func (f *Fabric) roundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte, o fabric.Options) ([]byte, error) {
 	if node == f.cfg.NodeID {
 		dp := f.dispatcher.Load()
 		if dp == nil {
@@ -349,11 +571,15 @@ func (f *Fabric) RoundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req
 		resp, _ := (*dp)(req)
 		return resp, nil
 	}
-	return f.exchange(clk, node, frameRPC, req)
+	return f.exchange(clk, node, frameRPC, req, o)
 }
 
 // Write implements fabric.Provider.
 func (f *Fabric) Write(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, data []byte) error {
+	return f.write(clk, from, node, seg, off, data, fabric.Options{})
+}
+
+func (f *Fabric) write(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, data []byte, o fabric.Options) error {
 	if node == f.cfg.NodeID {
 		s, err := f.localSegment(seg)
 		if err != nil {
@@ -363,12 +589,16 @@ func (f *Fabric) Write(clk *fabric.Clock, from fabric.RankRef, node, seg, off in
 	}
 	payload := appendSegOff(nil, seg, off)
 	payload = append(payload, data...)
-	_, err := f.exchange(clk, node, frameWrite, payload)
+	_, err := f.exchange(clk, node, frameWrite, payload, o)
 	return err
 }
 
 // Read implements fabric.Provider.
 func (f *Fabric) Read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, buf []byte) error {
+	return f.read(clk, from, node, seg, off, buf, fabric.Options{})
+}
+
+func (f *Fabric) read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, buf []byte, o fabric.Options) error {
 	if node == f.cfg.NodeID {
 		s, err := f.localSegment(seg)
 		if err != nil {
@@ -378,7 +608,7 @@ func (f *Fabric) Read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int
 	}
 	payload := appendSegOff(nil, seg, off)
 	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(buf)))
-	resp, err := f.exchange(clk, node, frameRead, payload)
+	resp, err := f.exchange(clk, node, frameRead, payload, o)
 	if err != nil {
 		return err
 	}
@@ -391,6 +621,10 @@ func (f *Fabric) Read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int
 
 // CAS implements fabric.Provider.
 func (f *Fabric) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, old, new uint64) (uint64, bool, error) {
+	return f.cas(clk, from, node, seg, off, old, new, fabric.Options{})
+}
+
+func (f *Fabric) cas(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, old, new uint64, o fabric.Options) (uint64, bool, error) {
 	if node == f.cfg.NodeID {
 		s, err := f.localSegment(seg)
 		if err != nil {
@@ -402,7 +636,7 @@ func (f *Fabric) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off int,
 	payload := appendSegOff(nil, seg, off)
 	payload = binary.LittleEndian.AppendUint64(payload, old)
 	payload = binary.LittleEndian.AppendUint64(payload, new)
-	resp, err := f.exchange(clk, node, frameCAS, payload)
+	resp, err := f.exchange(clk, node, frameCAS, payload, o)
 	if err != nil {
 		return 0, false, err
 	}
@@ -414,6 +648,10 @@ func (f *Fabric) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off int,
 
 // FetchAdd implements fabric.Provider.
 func (f *Fabric) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64) (uint64, error) {
+	return f.fetchAdd(clk, from, node, seg, off, delta, fabric.Options{})
+}
+
+func (f *Fabric) fetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64, o fabric.Options) (uint64, error) {
 	if node == f.cfg.NodeID {
 		s, err := f.localSegment(seg)
 		if err != nil {
@@ -423,7 +661,7 @@ func (f *Fabric) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off
 	}
 	payload := appendSegOff(nil, seg, off)
 	payload = binary.LittleEndian.AppendUint64(payload, delta)
-	resp, err := f.exchange(clk, node, frameFAA, payload)
+	resp, err := f.exchange(clk, node, frameFAA, payload, o)
 	if err != nil {
 		return 0, err
 	}
@@ -431,6 +669,56 @@ func (f *Fabric) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off
 		return 0, errors.New("tcpfab: bad faa response")
 	}
 	return binary.LittleEndian.Uint64(resp), nil
+}
+
+// WithOptions implements fabric.Optioned: the returned view shares this
+// fabric's listener, segment table, and connection pool, but every verb it
+// issues is bounded by o.Deadline (wall clock, enforced with socket
+// deadlines) and retried per o.MaxAttempts / o.RetryRPC.
+func (f *Fabric) WithOptions(o fabric.Options) fabric.Provider {
+	if o == (fabric.Options{}) {
+		return f
+	}
+	return &optioned{f: f, o: o}
+}
+
+// optioned is the per-op-options view of a Fabric.
+type optioned struct {
+	f *Fabric
+	o fabric.Options
+}
+
+var _ fabric.Provider = (*optioned)(nil)
+var _ fabric.Optioned = (*optioned)(nil)
+
+func (v *optioned) Name() string                                { return v.f.Name() }
+func (v *optioned) NumNodes() int                               { return v.f.NumNodes() }
+func (v *optioned) Close() error                                { return v.f.Close() }
+func (v *optioned) SetDispatcher(n int, d fabric.Dispatcher)    { v.f.SetDispatcher(n, d) }
+func (v *optioned) RegisterSegment(n int, s fabric.Segment) int { return v.f.RegisterSegment(n, s) }
+
+func (v *optioned) WithOptions(o fabric.Options) fabric.Provider {
+	return v.f.WithOptions(v.o.Merge(o))
+}
+
+func (v *optioned) RoundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte) ([]byte, error) {
+	return v.f.roundTrip(clk, from, node, req, v.o)
+}
+
+func (v *optioned) Write(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, data []byte) error {
+	return v.f.write(clk, from, node, seg, off, data, v.o)
+}
+
+func (v *optioned) Read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, buf []byte) error {
+	return v.f.read(clk, from, node, seg, off, buf, v.o)
+}
+
+func (v *optioned) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, old, new uint64) (uint64, bool, error) {
+	return v.f.cas(clk, from, node, seg, off, old, new, v.o)
+}
+
+func (v *optioned) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64) (uint64, error) {
+	return v.f.fetchAdd(clk, from, node, seg, off, delta, v.o)
 }
 
 // Wire helpers ---------------------------------------------------------

@@ -25,6 +25,12 @@ const (
 	RemoteWrites  Kind = "remote_writes"  // one-sided write verbs
 	RemoteReads   Kind = "remote_reads"   // one-sided read verbs
 	LocalOps      Kind = "local_ops"      // hybrid-path local operations
+
+	// Robustness counters recorded by the fault-tolerant fabric layer
+	// (tcpfab retry/reconnect machinery, simfab/faultfab deadlines).
+	Retries    Kind = "fabric_retries"    // verb attempts beyond the first
+	Timeouts   Kind = "fabric_timeouts"   // verbs failed by deadline expiry
+	Reconnects Kind = "fabric_reconnects" // established connections lost
 )
 
 // Collector accumulates (kind, node, bucket) -> value sums. Buckets are

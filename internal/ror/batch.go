@@ -37,7 +37,7 @@ func (b *Batch) Flush(c Caller) ([][]byte, error) {
 	}
 	req := encodeBatch(b.calls)
 	b.calls = b.calls[:0]
-	raw, err := b.e.prov.RoundTrip(c.Clock(), c.Ref(), b.node, req)
+	raw, err := b.e.providerFor(c).RoundTrip(c.Clock(), c.Ref(), b.node, req)
 	if err != nil {
 		return nil, err
 	}
@@ -62,9 +62,10 @@ func (b *Batch) FlushAsync(c Caller) *BatchFuture {
 	b.calls = b.calls[:0]
 	side := newSideClock(c)
 	ref := c.Ref()
+	prov := b.e.providerFor(c)
 	go func() {
 		defer close(bf.f.done)
-		raw, err := b.e.prov.RoundTrip(side, ref, b.node, req)
+		raw, err := prov.RoundTrip(side, ref, b.node, req)
 		if err != nil {
 			bf.f.err = err
 		} else {

@@ -26,6 +26,14 @@ type Caller interface {
 	Clock() *fabric.Clock
 }
 
+// OptionsCarrier is an optional Caller capability: a caller carrying
+// per-operation fabric options (deadline, retry budget). cluster.Rank
+// implements it, so rank.WithDeadline(d) bounds every container operation
+// issued through the derived rank — at any layer, with no extra plumbing.
+type OptionsCarrier interface {
+	OpOptions() fabric.Options
+}
+
 // Errors returned by the engine.
 var (
 	ErrUnbound = errors.New("ror: function not bound")
@@ -35,6 +43,9 @@ var (
 // Invoke ships them. An Engine is safe for concurrent use.
 type Engine struct {
 	prov fabric.Provider
+
+	optMu sync.RWMutex
+	opts  fabric.Options
 
 	mu  sync.RWMutex
 	fns map[string]Handler
@@ -55,6 +66,32 @@ func NewEngine(prov fabric.Provider) *Engine {
 
 // Provider returns the engine's fabric provider.
 func (e *Engine) Provider() fabric.Provider { return e.prov }
+
+// SetDefaultOptions installs engine-wide per-operation fabric options
+// (deadline, attempt budget, RPC-retry opt-in) applied to every
+// invocation. A caller implementing OptionsCarrier overrides them per op.
+func (e *Engine) SetDefaultOptions(o fabric.Options) {
+	e.optMu.Lock()
+	e.opts = o
+	e.optMu.Unlock()
+}
+
+// DefaultOptions reports the engine-wide options.
+func (e *Engine) DefaultOptions() fabric.Options {
+	e.optMu.RLock()
+	defer e.optMu.RUnlock()
+	return e.opts
+}
+
+// providerFor resolves the provider view an invocation by c should travel
+// on: the engine defaults overlaid with the caller's own options.
+func (e *Engine) providerFor(c Caller) fabric.Provider {
+	o := e.DefaultOptions()
+	if oc, ok := c.(OptionsCarrier); ok {
+		o = o.Merge(oc.OpOptions())
+	}
+	return fabric.WithOptions(e.prov, o)
+}
 
 // Bind maps name to handler in the invocation registry (the paper's
 // bind()). Rebinding a name replaces the handler.
@@ -160,7 +197,7 @@ func (e *Engine) InvokeChain(c Caller, node int, chain []string, arg []byte) ([]
 		return nil, errors.New("ror: empty chain")
 	}
 	req := encodeCall(chain, arg)
-	raw, err := e.prov.RoundTrip(c.Clock(), c.Ref(), node, req)
+	raw, err := e.providerFor(c).RoundTrip(c.Clock(), c.Ref(), node, req)
 	if err != nil {
 		return nil, err
 	}
@@ -205,15 +242,18 @@ func (e *Engine) InvokeAsync(c Caller, node int, fn string, arg []byte) *Future 
 	return e.InvokeChainAsync(c, node, []string{fn}, arg)
 }
 
-// InvokeChainAsync is the asynchronous form of InvokeChain.
+// InvokeChainAsync is the asynchronous form of InvokeChain. Transport
+// failures — including typed deadline errors from the provider — surface
+// from the future's Wait, never as a hang.
 func (e *Engine) InvokeChainAsync(c Caller, node int, chain []string, arg []byte) *Future {
 	f := &Future{done: make(chan struct{})}
 	side := fabric.NewClock(c.Clock().Now())
 	ref := c.Ref()
 	req := encodeCall(chain, arg)
+	prov := e.providerFor(c)
 	go func() {
 		defer close(f.done)
-		raw, err := e.prov.RoundTrip(side, ref, node, req)
+		raw, err := prov.RoundTrip(side, ref, node, req)
 		if err != nil {
 			f.err = err
 		} else {
