@@ -21,5 +21,9 @@ vet:
 test:
 	$(GO) test ./...
 
+# Transport + container microbenchmarks, numbers recorded in
+# bench_results.txt (the tcpfab mux-vs-serial A/B is the acceptance bench
+# for the pipelined transport; see docs/TRANSPORT.md).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run xxx -bench=. -benchmem -benchtime=1s \
+		./internal/fabric/tcpfab/ ./internal/containers/ . | tee bench_results.txt

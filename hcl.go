@@ -143,6 +143,21 @@ func NewRuntime(w *World) *Runtime { return core.NewRuntime(w) }
 // Engine is the raw RPC-over-RDMA engine (bind/invoke/futures/batches).
 type Engine = ror.Engine
 
+// Aggregator coalesces small invocations per destination node under
+// op-count, byte, and virtual-time windows, fanning responses back out
+// through futures — the paper's request-aggregation optimization made
+// adaptive. Build one per rank with Engine.NewAggregator; see
+// docs/TRANSPORT.md for tuning.
+type Aggregator = ror.Aggregator
+
+// AggregatorConfig tunes an Aggregator's flush thresholds.
+type AggregatorConfig = ror.AggregatorConfig
+
+// RPCFuture is the pending raw response of an asynchronous engine
+// invocation (Engine.InvokeAsync, Aggregator.Invoke). Container methods
+// return the typed Future instead.
+type RPCFuture = ror.Future
+
 // UnorderedMap is HCL::unordered_map.
 type UnorderedMap[K comparable, V any] = core.UnorderedMap[K, V]
 

@@ -26,6 +26,11 @@ type Options struct {
 	// provably never left (e.g. dial failure) unless this is set.
 	// Setting it asserts the invoked handlers tolerate re-execution.
 	RetryRPC bool
+	// MaxInFlight caps this caller's outstanding requests per peer on
+	// transports that pipeline many requests over one connection
+	// (tcpfab's multiplexed mode). It can only tighten the provider's
+	// configured cap, never raise it. Zero keeps the provider default.
+	MaxInFlight int
 }
 
 // Merge overlays o2 on o: fields set in o2 win, unset fields keep o's
@@ -38,6 +43,9 @@ func (o Options) Merge(o2 Options) Options {
 		o.MaxAttempts = o2.MaxAttempts
 	}
 	o.RetryRPC = o.RetryRPC || o2.RetryRPC
+	if o2.MaxInFlight != 0 {
+		o.MaxInFlight = o2.MaxInFlight
+	}
 	return o
 }
 

@@ -1,0 +1,116 @@
+package tcpfab
+
+import (
+	"fmt"
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+)
+
+// benchPair starts two fabrics on loopback for benchmarking, node 1
+// echoing RPCs.
+func benchPair(b *testing.B, tweak func(cfg *Config)) (*Fabric, *Fabric) {
+	b.Helper()
+	mk := func(node int) *Fabric {
+		cfg := Config{NodeID: node, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		f, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	a0 := mk(0)
+	a1 := mk(1)
+	addrs := []string{a0.Addr(), a1.Addr()}
+	a0.SetAddrs(addrs)
+	a1.SetAddrs(addrs)
+	b.Cleanup(func() { a0.Close(); a1.Close() })
+	a1.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+	return a0, a1
+}
+
+// BenchmarkRoundTrip is the tentpole A/B: many concurrent clients hammering
+// one remote node, multiplexed pipelining (mux) against the seed
+// one-exchange-per-pooled-connection path (serial). Run with -benchmem; the
+// acceptance numbers live in bench_results.txt.
+func BenchmarkRoundTrip(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"mux", false},
+		{"serial", true},
+	} {
+		for _, size := range []int{64, 4096} {
+			b.Run(fmt.Sprintf("%s/%dB", mode.name, size), func(b *testing.B) {
+				f0, _ := benchPair(b, func(cfg *Config) {
+					cfg.DisablePipelining = mode.disable
+				})
+				payload := make([]byte, size)
+				for i := range payload {
+					payload[i] = byte(i)
+				}
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				// 8 client goroutines per core, all against node 1.
+				b.SetParallelism(8)
+				b.RunParallel(func(pb *testing.PB) {
+					clk := fabric.NewClock(0)
+					ref := fabric.RankRef{Rank: 0, Node: 0}
+					for pb.Next() {
+						resp, err := f0.RoundTrip(clk, ref, 1, payload)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if len(resp) != size {
+							b.Errorf("resp %d bytes", len(resp))
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkOneSidedWrite compares the one-sided write verb across the two
+// data paths (the frame loop applies these in order on the server).
+func BenchmarkOneSidedWrite(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"mux", false},
+		{"serial", true},
+	} {
+		b.Run(mode.name+"/64B", func(b *testing.B) {
+			f0, f1 := benchPair(b, func(cfg *Config) {
+				cfg.DisablePipelining = mode.disable
+			})
+			seg := memory.NewSegment(1 << 20)
+			id := f0.RegisterSegment(1, nil)
+			f1.RegisterSegment(1, seg)
+			payload := make([]byte, 64)
+			b.SetBytes(64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				clk := fabric.NewClock(0)
+				ref := fabric.RankRef{Rank: 0, Node: 0}
+				for pb.Next() {
+					if err := f0.Write(clk, ref, 1, id, 0, payload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

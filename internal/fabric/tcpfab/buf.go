@@ -1,0 +1,133 @@
+package tcpfab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Frame layout (both directions, little endian):
+//
+//	[len u32][typ u8][id u64][payload ...]
+//
+// len counts the payload only. id is the request id: chosen by the client,
+// echoed verbatim by the server so responses can complete out of order on a
+// multiplexed connection. Response payloads carry a status byte first
+// (1 = ok, 0 = error string), written by the server's frame handlers.
+const frameHeaderLen = 4 + 1 + 8
+
+// maxFrameLen bounds a single payload; anything larger is a protocol error.
+const maxFrameLen = 1 << 30
+
+// maxPooledBuf keeps oversized one-off buffers (huge values, bulk reads)
+// from pinning pool memory forever.
+const maxPooledBuf = 1 << 20
+
+// flusher is the writer the frame loops batch into: writeFrame calls
+// accumulate, one Flush ships them. *bufio.Writer satisfies it.
+type flusher interface {
+	io.Writer
+	Flush() error
+}
+
+// frameBuf is a pooled payload buffer. Ownership is explicit: whoever holds
+// the *frameBuf either passes it on or calls release exactly once. The
+// backing slice must not be retained past release.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// grabFrame returns a pooled buffer of length n.
+func grabFrame(n int) *frameBuf {
+	fb := framePool.Get().(*frameBuf)
+	if cap(fb.b) < n {
+		fb.b = make([]byte, n)
+	}
+	fb.b = fb.b[:n]
+	return fb
+}
+
+// release returns the buffer to the pool. Safe on nil.
+func (fb *frameBuf) release() {
+	if fb == nil {
+		return
+	}
+	if cap(fb.b) > maxPooledBuf {
+		fb.b = nil
+	}
+	framePool.Put(fb)
+}
+
+// writeFrame emits one frame. The caller flushes; coalescing several
+// writeFrame calls under a single Flush is the transport's batching lever.
+func writeFrame(w io.Writer, typ byte, id uint64, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	binary.LittleEndian.PutUint64(hdr[5:], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrameHeader reads and validates one frame header.
+func readFrameHeader(r io.Reader) (typ byte, id uint64, n int, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	ln := binary.LittleEndian.Uint32(hdr[:4])
+	if ln > maxFrameLen {
+		return 0, 0, 0, fmt.Errorf("tcpfab: oversized frame %d", ln)
+	}
+	return hdr[4], binary.LittleEndian.Uint64(hdr[5:]), int(ln), nil
+}
+
+// readFramePooled reads one frame into a pooled buffer (server request
+// path: the payload dies with the handler).
+func readFramePooled(r io.Reader) (typ byte, id uint64, pb *frameBuf, err error) {
+	typ, id, n, err := readFrameHeader(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	pb = grabFrame(n)
+	if _, err := io.ReadFull(r, pb.b); err != nil {
+		pb.release()
+		return 0, 0, nil, err
+	}
+	return typ, id, pb, nil
+}
+
+// readFrameAlloc reads one frame into a fresh allocation (client response
+// path: RPC response bytes escape to the caller, so they cannot be pooled).
+func readFrameAlloc(r io.Reader) (typ byte, id uint64, payload []byte, err error) {
+	typ, id, n, err := readFrameHeader(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return typ, id, payload, nil
+}
+
+func appendSegOff(out []byte, seg, off int) []byte {
+	out = binary.LittleEndian.AppendUint64(out, uint64(seg))
+	return binary.LittleEndian.AppendUint64(out, uint64(off))
+}
+
+func putSegOff(dst []byte, seg, off int) {
+	binary.LittleEndian.PutUint64(dst, uint64(seg))
+	binary.LittleEndian.PutUint64(dst[8:], uint64(off))
+}
+
+func splitSegOff(b []byte) (seg, off int, rest []byte, err error) {
+	if len(b) < 16 {
+		return 0, 0, nil, errShortSegOff
+	}
+	return int(binary.LittleEndian.Uint64(b)), int(binary.LittleEndian.Uint64(b[8:])), b[16:], nil
+}

@@ -1,0 +1,293 @@
+// Client-side multiplexed connection: many requests in flight over one TCP
+// stream, the paper's RoR pipelining thesis (Section III-B, Fig 2) mapped
+// onto sockets. A writer goroutine drains a send queue and coalesces queued
+// frames into shared Flush syscalls; a reader goroutine demuxes responses
+// to per-request completion channels by request id. Deadlines are enforced
+// with per-request timers, never with connection deadlines — the stream is
+// shared, so one slow request must not sever its neighbours.
+package tcpfab
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcl/internal/metrics"
+)
+
+// muxReq states. A request is written at most once: the writer claims it
+// (queued -> written) before touching the socket, and a timed-out waiter
+// cancels it (queued -> canceled) so the writer skips it. Whoever wins the
+// CAS decides whether the request ever reached the wire — this is what
+// makes "request lost" vs "response lost" a provable distinction.
+const (
+	reqQueued int32 = iota
+	reqWritten
+	reqCanceled
+)
+
+type muxReq struct {
+	id      uint64
+	typ     byte
+	payload []byte
+	state   atomic.Int32
+	resp    chan []byte // buffered 1; status-prefixed response payload
+}
+
+// muxReqPool recycles request records. A record may be pooled only on the
+// response path — after its value was received from resp — because that is
+// the one point where provably no other goroutine (writer, reader) still
+// holds it. Timeout and teardown paths leak the record to the GC instead.
+var muxReqPool = sync.Pool{
+	New: func() any { return &muxReq{resp: make(chan []byte, 1)} },
+}
+
+func grabReq(typ byte, payload []byte) *muxReq {
+	rq := muxReqPool.Get().(*muxReq)
+	rq.typ = typ
+	rq.payload = payload
+	rq.state.Store(reqQueued)
+	return rq
+}
+
+func putReq(rq *muxReq) {
+	rq.payload = nil
+	muxReqPool.Put(rq)
+}
+
+// timerPool recycles deadline timers (go1.23+ Stop/Reset semantics make
+// reuse safe without draining the channel).
+var timerPool sync.Pool
+
+func grabTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
+// mux is one multiplexed connection to a peer.
+type mux struct {
+	f    *Fabric
+	node int
+	conn net.Conn
+
+	sendq chan *muxReq
+
+	pendMu  sync.Mutex
+	pending map[uint64]*muxReq
+
+	nextID   atomic.Uint64
+	inflight atomic.Int64
+	slotFree chan struct{} // capacity 1; nudged on every slot release
+
+	down     chan struct{} // closed by teardown, after err is set
+	err      error
+	downOnce sync.Once
+
+	lastArm time.Time // writeLoop only: last SetWriteDeadline arming
+}
+
+func newMux(f *Fabric, node int, conn net.Conn) *mux {
+	m := &mux{
+		f:        f,
+		node:     node,
+		conn:     conn,
+		sendq:    make(chan *muxReq, 256),
+		pending:  make(map[uint64]*muxReq),
+		slotFree: make(chan struct{}, 1),
+		down:     make(chan struct{}),
+	}
+	go m.writeLoop()
+	go m.readLoop()
+	return m
+}
+
+// teardown fails the connection exactly once: records the cause, wakes
+// every waiter, unregisters from the peer table, and counts the loss of an
+// established link (unless the whole fabric is closing, which is not a
+// fault). Pending requests are not completed individually — waiters observe
+// m.down and read m.err, which the channel close publishes.
+func (m *mux) teardown(err error) {
+	m.downOnce.Do(func() {
+		m.err = err
+		close(m.down)
+		m.conn.Close()
+		m.f.dropMux(m)
+		if !m.f.closed.Load() {
+			m.f.countWall(metrics.Reconnects, m.node)
+		}
+	})
+}
+
+// failure reports the teardown cause. Valid only after m.down is closed.
+func (m *mux) failure() error { return m.err }
+
+// writeLoop drains the send queue. Each wakeup writes every frame already
+// queued, yields the processor once so senders made runnable in the
+// meantime can enqueue too, drains again, and only then issues one Flush —
+// under concurrent load many requests share a single syscall, which is
+// where pipelining beats one-frame-per-flush. The yield matters most on
+// few-core boxes, where the writer would otherwise ping-pong with a single
+// sender and never find a second frame to coalesce.
+func (m *mux) writeLoop() {
+	bw := newBufWriter(m.conn)
+	for {
+		select {
+		case rq := <-m.sendq:
+			m.armWriteDeadline()
+			wrote := 0
+			if ok, err := m.writeOne(bw, rq); err != nil {
+				m.teardown(err)
+				return
+			} else if ok {
+				wrote++
+			}
+			for pass := 0; ; pass++ {
+				n, err := m.drainQueue(bw)
+				if err != nil {
+					m.teardown(err)
+					return
+				}
+				wrote += n
+				if pass >= 1 {
+					break
+				}
+				runtime.Gosched()
+			}
+			if wrote > 0 {
+				if err := bw.Flush(); err != nil {
+					m.teardown(err)
+					return
+				}
+				if wrote > 1 {
+					m.f.countWallN(metrics.FramesCoalesced, m.node, float64(wrote))
+				}
+			}
+		case <-m.down:
+			return
+		}
+	}
+}
+
+// drainQueue writes every frame currently queued without blocking.
+func (m *mux) drainQueue(bw flusher) (int, error) {
+	wrote := 0
+	for {
+		select {
+		case rq := <-m.sendq:
+			ok, err := m.writeOne(bw, rq)
+			if err != nil {
+				return wrote, err
+			}
+			if ok {
+				wrote++
+			}
+		default:
+			return wrote, nil
+		}
+	}
+}
+
+// armWriteDeadline bounds socket writes without paying a poller update per
+// wakeup: the deadline is re-armed only once a second, so a wedged peer is
+// detected within WriteTimeout plus that second of slack.
+func (m *mux) armWriteDeadline() {
+	wt := m.f.cfg.WriteTimeout
+	if wt <= 0 {
+		return
+	}
+	now := time.Now()
+	if now.Sub(m.lastArm) < time.Second {
+		return
+	}
+	m.lastArm = now
+	m.conn.SetWriteDeadline(now.Add(wt))
+}
+
+// writeOne claims and writes a single queued frame. ok reports whether the
+// frame actually went out (false: it had been canceled by a timed-out
+// waiter, and its payload must no longer be touched).
+func (m *mux) writeOne(bw flusher, rq *muxReq) (ok bool, err error) {
+	if !rq.state.CompareAndSwap(reqQueued, reqWritten) {
+		return false, nil
+	}
+	return true, writeFrame(bw, rq.typ, rq.id, rq.payload)
+}
+
+// readLoop demuxes response frames to their waiters. Responses for ids
+// nobody waits on (the waiter timed out and deregistered) are dropped —
+// the connection stays healthy, unlike the one-exchange-per-socket design
+// that had to kill the conn to discard a late response.
+func (m *mux) readLoop() {
+	br := newBufReader(m.conn)
+	for {
+		typ, id, payload, err := readFrameAlloc(br)
+		if err != nil {
+			m.teardown(err)
+			return
+		}
+		m.pendMu.Lock()
+		rq := m.pending[id]
+		delete(m.pending, id)
+		m.pendMu.Unlock()
+		if rq == nil {
+			continue // late response; waiter gave up
+		}
+		if typ != rq.typ {
+			m.teardown(errBadResponseType(typ, rq.typ))
+			return
+		}
+		rq.resp <- payload
+	}
+}
+
+// register adds a request to the pending table.
+func (m *mux) register(rq *muxReq) {
+	m.pendMu.Lock()
+	m.pending[rq.id] = rq
+	m.pendMu.Unlock()
+}
+
+// deregister removes a request, e.g. after a timeout.
+func (m *mux) deregister(id uint64) {
+	m.pendMu.Lock()
+	delete(m.pending, id)
+	m.pendMu.Unlock()
+}
+
+// acquireSlot blocks until the mux has fewer than limit requests in flight,
+// the deadline passes (timerC fires), or the connection dies. It returns
+// whether a slot was taken.
+func (m *mux) acquireSlot(limit int, timerC <-chan time.Time) (ok bool, timedOut bool) {
+	for {
+		n := m.inflight.Load()
+		if n < int64(limit) && m.inflight.CompareAndSwap(n, n+1) {
+			return true, false
+		}
+		select {
+		case <-m.slotFree:
+		case <-m.down:
+			return false, false
+		case <-timerC:
+			return false, true
+		}
+	}
+}
+
+// releaseSlot frees an in-flight slot and nudges one waiter.
+func (m *mux) releaseSlot() {
+	m.inflight.Add(-1)
+	select {
+	case m.slotFree <- struct{}{}:
+	default:
+	}
+}

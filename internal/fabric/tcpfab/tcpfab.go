@@ -1,9 +1,15 @@
 // Package tcpfab implements fabric.Provider over real TCP sockets, so the
 // same HCL programs that run on the simulated fabric can run across OS
 // processes — the portability the paper gets from OFI's pluggable wire
-// protocols. One process hosts one node; verbs travel as length-prefixed
-// frames; one-sided operations are applied to the owner's registered
-// segments by its frame loop (standing in for the remote NIC).
+// protocols. One process hosts one node; verbs travel as length-prefixed,
+// request-id-tagged frames over one multiplexed connection per peer, so
+// many requests stay in flight concurrently (the paper's request-buffer
+// pipelining, Section III-B): a writer goroutine coalesces queued frames
+// into shared flush syscalls and a reader goroutine demuxes responses by
+// request id. At the target, RPC frames are dispatched to a bounded worker
+// pool while one-sided operations are applied in arrival order by the
+// frame loop (standing in for the remote NIC), preserving their
+// memory-model guarantees.
 //
 // SPMD requirement: all processes must construct containers (and register
 // segments) in the same deterministic order so ids agree, exactly like
@@ -19,6 +25,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -60,9 +67,55 @@ type Config struct {
 	// Seed seeds retry jitter (default 1; jitter only shapes pauses, so
 	// the value never affects correctness).
 	Seed int64
-	// Collector, when non-nil, receives Retries/Timeouts/Reconnects
-	// counters (bucketed by the caller's virtual clock).
+	// Collector, when non-nil, receives the robustness counters
+	// (Retries/Timeouts/Reconnects) bucketed by the caller's virtual
+	// clock, plus the pipelining series (fabric_inflight,
+	// fabric_frames_coalesced) bucketed by wall time since New.
 	Collector *metrics.Collector
+
+	// MaxInFlight caps outstanding requests per multiplexed connection
+	// (default 128). Senders beyond the cap wait for a completion, which
+	// is the transport's backpressure. Per-op fabric.Options.MaxInFlight
+	// can tighten (never raise) it.
+	MaxInFlight int
+	// MaxConnsPerPeer caps connections per peer: multiplexed mode grows
+	// a second connection only when every existing one is at its
+	// in-flight cap (default 1); with DisablePipelining it bounds the
+	// pool that burst dials previously grew without limit (default 8).
+	MaxConnsPerPeer int
+	// RPCWorkers sizes the server-side worker pool that executes
+	// incoming RPC frames (default 8). One-sided verbs never use the
+	// pool; the frame loop applies them in arrival order.
+	RPCWorkers int
+	// WriteTimeout bounds each socket flush on shared connections
+	// (default 30s); a peer that stops draining its receive buffer fails
+	// the connection instead of wedging the writer goroutine.
+	WriteTimeout time.Duration
+	// DisablePipelining reverts to the seed transport: one exchange at a
+	// time per pooled connection. Kept for A/B benchmarks
+	// (BenchmarkRoundTrip/serial-*) and protocol debugging.
+	DisablePipelining bool
+}
+
+// peer holds the client-side connection state for one remote node.
+type peer struct {
+	mu    sync.Mutex
+	muxes []*mux // multiplexed mode
+
+	// Legacy (DisablePipelining) pool. Tokens in sem correspond 1:1 to
+	// live connections (idle, checked out, or being dialed), so the cap
+	// bounds sockets even under burst dial. idleFree nudges token
+	// waiters when a connection is returned.
+	idle     []*clientConn
+	sem      chan struct{}
+	idleFree chan struct{}
+}
+
+// serverTask is one RPC frame awaiting a pool worker.
+type serverTask struct {
+	sc *serverConn
+	id uint64
+	pb *frameBuf
 }
 
 // Fabric is the TCP provider. Create one per process with New.
@@ -70,12 +123,13 @@ type Fabric struct {
 	cfg        Config
 	ln         net.Listener
 	dispatcher atomic.Pointer[fabric.Dispatcher]
+	start      time.Time
 
 	segMu sync.RWMutex
 	segs  []fabric.Segment // local segments; remote ids are symmetric
 
-	poolMu sync.Mutex
-	pools  map[int][]*clientConn
+	peerMu sync.Mutex
+	peers  map[int]*peer
 
 	// accepted tracks live server-side connections so Close severs them
 	// like real process death would — peers must observe a dead node,
@@ -83,8 +137,13 @@ type Fabric struct {
 	acceptMu sync.Mutex
 	accepted map[net.Conn]struct{}
 
+	tasks chan serverTask
+	done  chan struct{}
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	legacyID atomic.Uint64
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -107,6 +166,22 @@ func New(cfg Config) (*Fabric, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 128
+	}
+	if cfg.MaxConnsPerPeer <= 0 {
+		if cfg.DisablePipelining {
+			cfg.MaxConnsPerPeer = 8
+		} else {
+			cfg.MaxConnsPerPeer = 1
+		}
+	}
+	if cfg.RPCWorkers <= 0 {
+		cfg.RPCWorkers = 8
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
 	ln, err := net.Listen("tcp", cfg.Addrs[cfg.NodeID])
 	if err != nil {
 		return nil, fmt.Errorf("tcpfab: listen %s: %w", cfg.Addrs[cfg.NodeID], err)
@@ -114,9 +189,18 @@ func New(cfg Config) (*Fabric, error) {
 	f := &Fabric{
 		cfg:      cfg,
 		ln:       ln,
-		pools:    make(map[int][]*clientConn),
+		start:    time.Now(),
+		peers:    make(map[int]*peer),
 		accepted: make(map[net.Conn]struct{}),
+		// Buffered so a frame loop can keep decoding a batched read while
+		// every worker is busy; workers drain it as they free up.
+		tasks:    make(chan serverTask, 4*cfg.RPCWorkers),
+		done:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.RPCWorkers; i++ {
+		f.wg.Add(1)
+		go f.rpcWorker()
 	}
 	f.wg.Add(1)
 	go f.acceptLoop()
@@ -137,6 +221,23 @@ func (f *Fabric) count(kind metrics.Kind, node int, clk *fabric.Clock) {
 	}
 }
 
+// gauge records value for kind at the caller's virtual time.
+func (f *Fabric) gauge(kind metrics.Kind, node int, clk *fabric.Clock, v float64) {
+	if f.cfg.Collector != nil {
+		f.cfg.Collector.Add(kind, node, clk.Now(), v)
+	}
+}
+
+// countWall / countWallN record counters from transport goroutines that
+// have no caller clock (writers, teardown); buckets are wall time since New.
+func (f *Fabric) countWall(kind metrics.Kind, node int) { f.countWallN(kind, node, 1) }
+
+func (f *Fabric) countWallN(kind metrics.Kind, node int, v float64) {
+	if f.cfg.Collector != nil {
+		f.cfg.Collector.Add(kind, node, time.Since(f.start).Nanoseconds(), v)
+	}
+}
+
 // Addr reports the actual listen address (useful with ":0" configs).
 func (f *Fabric) Addr() string { return f.ln.Addr().String() }
 
@@ -144,9 +245,17 @@ func (f *Fabric) Addr() string { return f.ln.Addr().String() }
 // bootstrap: start every node on ":0", gather the resolved Addr()s, then
 // distribute the final list. Call before issuing any cross-node verbs.
 func (f *Fabric) SetAddrs(addrs []string) {
-	f.poolMu.Lock()
-	defer f.poolMu.Unlock()
+	f.peerMu.Lock()
+	defer f.peerMu.Unlock()
 	f.cfg.Addrs = addrs
+}
+
+// addr resolves a node's dial address under the peer lock (SetAddrs may
+// race with early dials during ephemeral-port bootstrap).
+func (f *Fabric) addr(node int) string {
+	f.peerMu.Lock()
+	defer f.peerMu.Unlock()
+	return f.cfg.Addrs[node]
 }
 
 // Name implements fabric.Provider.
@@ -160,15 +269,28 @@ func (f *Fabric) Close() error {
 	if !f.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(f.done)
 	err := f.ln.Close()
-	f.poolMu.Lock()
-	for _, conns := range f.pools {
-		for _, c := range conns {
-			c.conn.Close()
-		}
+
+	// Collect client-side connections under the locks, sever them after.
+	f.peerMu.Lock()
+	var muxes []*mux
+	var conns []*clientConn
+	for _, p := range f.peers {
+		p.mu.Lock()
+		muxes = append(muxes, p.muxes...)
+		conns = append(conns, p.idle...)
+		p.muxes, p.idle = nil, nil
+		p.mu.Unlock()
 	}
-	f.pools = make(map[int][]*clientConn)
-	f.poolMu.Unlock()
+	f.peerMu.Unlock()
+	for _, m := range muxes {
+		m.teardown(fabric.ErrClosed)
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+
 	f.acceptMu.Lock()
 	for conn := range f.accepted {
 		conn.Close()
@@ -209,6 +331,8 @@ func (f *Fabric) localSegment(id int) (fabric.Segment, error) {
 	return f.segs[id], nil
 }
 
+// Server side -----------------------------------------------------------
+
 // acceptLoop services incoming connections.
 func (f *Fabric) acceptLoop() {
 	defer f.wg.Done()
@@ -227,109 +351,453 @@ func (f *Fabric) acceptLoop() {
 				f.acceptMu.Lock()
 				delete(f.accepted, conn)
 				f.acceptMu.Unlock()
-				conn.Close()
 			}()
 			f.serveConn(conn)
 		}()
 	}
 }
 
-// serveConn handles one peer connection until EOF.
-func (f *Fabric) serveConn(conn net.Conn) {
-	br := bufio.NewReaderSize(conn, 1<<16)
-	bw := bufio.NewWriterSize(conn, 1<<16)
+// respFrame is one response awaiting the connection's writer goroutine.
+type respFrame struct {
+	typ byte
+	id  uint64
+	pb  *frameBuf
+}
+
+// serverConn is the server half of one accepted connection: the frame loop
+// reads requests; a dedicated writer goroutine drains respq so worker-pool
+// responses (which complete out of order) and inline one-sided responses
+// interleave without corrupting the stream, coalescing under one flush
+// whenever several are ready.
+type serverConn struct {
+	f     *Fabric
+	conn  net.Conn
+	respq chan respFrame
+	done  chan struct{}
+	once  sync.Once
+
+	lastArm time.Time // writeLoop only: last SetWriteDeadline arming
+}
+
+// armWriteDeadline mirrors mux.armWriteDeadline: bound flushes, re-arming
+// the poller at most once a second.
+func (sc *serverConn) armWriteDeadline() {
+	wt := sc.f.cfg.WriteTimeout
+	if wt <= 0 {
+		return
+	}
+	now := time.Now()
+	if now.Sub(sc.lastArm) < time.Second {
+		return
+	}
+	sc.lastArm = now
+	sc.conn.SetWriteDeadline(now.Add(wt))
+}
+
+func (sc *serverConn) shutdown() {
+	sc.once.Do(func() {
+		close(sc.done)
+		sc.conn.Close()
+	})
+}
+
+// enqueue hands a response to the writer. It reports false — releasing the
+// buffer — once the connection is dead.
+func (sc *serverConn) enqueue(typ byte, id uint64, pb *frameBuf) bool {
+	select {
+	case sc.respq <- respFrame{typ: typ, id: id, pb: pb}:
+		return true
+	case <-sc.done:
+		pb.release()
+		return false
+	}
+}
+
+func (sc *serverConn) writeLoop() {
+	bw := newBufWriter(sc.conn)
 	for {
-		typ, payload, err := readFrame(br)
-		if err != nil {
-			return
-		}
-		resp, err := f.handleFrame(typ, payload)
-		if err != nil {
-			resp = append([]byte{0}, []byte(err.Error())...)
-		} else {
-			resp = append([]byte{1}, resp...)
-		}
-		if err := writeFrame(bw, typ, resp); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
+		select {
+		case r := <-sc.respq:
+			sc.armWriteDeadline()
+			n := 0
+			if !sc.writeResp(bw, r) {
+				return
+			}
+			n++
+			// Like the client writer: drain, yield once so workers that
+			// just finished can enqueue, drain again, flush once.
+			for pass := 0; ; pass++ {
+				got, ok := sc.drainQueue(bw)
+				if !ok {
+					return
+				}
+				n += got
+				if pass >= 1 {
+					break
+				}
+				runtime.Gosched()
+			}
+			if err := bw.Flush(); err != nil {
+				sc.shutdown()
+				return
+			}
+			if n > 1 {
+				sc.f.countWallN(metrics.FramesCoalesced, sc.f.cfg.NodeID, float64(n))
+			}
+		case <-sc.done:
 			return
 		}
 	}
 }
 
-func (f *Fabric) handleFrame(typ byte, payload []byte) ([]byte, error) {
+// drainQueue writes every queued response without blocking; ok=false means
+// the connection failed mid-write.
+func (sc *serverConn) drainQueue(bw *bufio.Writer) (int, bool) {
+	n := 0
+	for {
+		select {
+		case r := <-sc.respq:
+			if !sc.writeResp(bw, r) {
+				return n, false
+			}
+			n++
+		default:
+			return n, true
+		}
+	}
+}
+
+func (sc *serverConn) writeResp(bw *bufio.Writer, r respFrame) bool {
+	err := writeFrame(bw, r.typ, r.id, r.pb.b)
+	r.pb.release()
+	if err != nil {
+		sc.shutdown()
+		return false
+	}
+	return true
+}
+
+// serveConn handles one peer connection until EOF. One-sided verbs run
+// inline, in arrival order — the RDMA memory model a client relies on when
+// it issues dependent Write/Read/CAS sequences. RPC frames go to the
+// worker pool, so a slow handler no longer head-of-line-blocks the
+// connection (responses reorder freely; request ids demux them).
+func (f *Fabric) serveConn(conn net.Conn) {
+	sc := &serverConn{f: f, conn: conn, respq: make(chan respFrame, 256), done: make(chan struct{})}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		sc.writeLoop()
+	}()
+	defer sc.shutdown()
+	br := newBufReader(conn)
+	for {
+		typ, id, pb, err := readFramePooled(br)
+		if err != nil {
+			return
+		}
+		if typ == frameRPC {
+			select {
+			case f.tasks <- serverTask{sc: sc, id: id, pb: pb}:
+			case <-f.done:
+				pb.release()
+				return
+			case <-sc.done:
+				pb.release()
+				return
+			}
+			continue
+		}
+		out := f.handleFrame(typ, pb.b)
+		pb.release()
+		if !sc.enqueue(typ, id, out) {
+			return
+		}
+	}
+}
+
+// rpcWorker executes queued RPC frames. The pool is bounded
+// (Config.RPCWorkers); when every worker is busy the frame loops block on
+// f.tasks, which is the server's backpressure.
+func (f *Fabric) rpcWorker() {
+	defer f.wg.Done()
+	for {
+		select {
+		case t := <-f.tasks:
+			out := f.handleFrame(frameRPC, t.pb.b)
+			t.pb.release()
+			t.sc.enqueue(frameRPC, t.id, out)
+		case <-f.done:
+			return
+		}
+	}
+}
+
+var errShortSegOff = errors.New("tcpfab: short seg/off header")
+
+func errBadResponseType(got, want byte) error {
+	return fmt.Errorf("tcpfab: response type %d for request %d", got, want)
+}
+
+// handleFrame executes one request and returns its status-prefixed
+// response in a pooled buffer (byte 0: 1 = ok, 0 = error string). Handlers
+// must not retain the payload — it returns to the pool when they do.
+func (f *Fabric) handleFrame(typ byte, payload []byte) *frameBuf {
 	switch typ {
 	case frameRPC:
 		dp := f.dispatcher.Load()
 		if dp == nil {
-			return nil, errors.New("tcpfab: no dispatcher")
+			return errFrame(errors.New("tcpfab: no dispatcher"))
 		}
 		resp, _ := (*dp)(payload)
-		return resp, nil
+		return okFrame(resp)
 	case frameWrite:
 		seg, off, rest, err := splitSegOff(payload)
 		if err != nil {
-			return nil, err
+			return errFrame(err)
 		}
 		s, err := f.localSegment(seg)
 		if err != nil {
-			return nil, err
+			return errFrame(err)
 		}
-		return nil, s.WriteAt(off, rest)
+		if err := s.WriteAt(off, rest); err != nil {
+			return errFrame(err)
+		}
+		return okFrame(nil)
 	case frameRead:
 		seg, off, rest, err := splitSegOff(payload)
 		if err != nil || len(rest) != 8 {
-			return nil, errors.New("tcpfab: bad read frame")
+			return errFrame(errors.New("tcpfab: bad read frame"))
 		}
 		n := int(binary.LittleEndian.Uint64(rest))
 		s, err := f.localSegment(seg)
 		if err != nil {
-			return nil, err
+			return errFrame(err)
 		}
-		buf := make([]byte, n)
-		if err := s.ReadAt(off, buf); err != nil {
-			return nil, err
+		out := grabFrame(1 + n)
+		out.b[0] = 1
+		if err := s.ReadAt(off, out.b[1:]); err != nil {
+			out.release()
+			return errFrame(err)
 		}
-		return buf, nil
+		return out
 	case frameCAS:
 		seg, off, rest, err := splitSegOff(payload)
 		if err != nil || len(rest) != 16 {
-			return nil, errors.New("tcpfab: bad cas frame")
+			return errFrame(errors.New("tcpfab: bad cas frame"))
 		}
 		old := binary.LittleEndian.Uint64(rest)
 		new := binary.LittleEndian.Uint64(rest[8:])
 		s, err := f.localSegment(seg)
 		if err != nil {
-			return nil, err
+			return errFrame(err)
 		}
 		witness, ok := s.CAS64(off, old, new)
-		out := make([]byte, 9)
-		binary.LittleEndian.PutUint64(out, witness)
+		out := grabFrame(10)
+		out.b[0] = 1
+		binary.LittleEndian.PutUint64(out.b[1:], witness)
+		out.b[9] = 0
 		if ok {
-			out[8] = 1
+			out.b[9] = 1
 		}
-		return out, nil
+		return out
 	case frameFAA:
 		seg, off, rest, err := splitSegOff(payload)
 		if err != nil || len(rest) != 8 {
-			return nil, errors.New("tcpfab: bad faa frame")
+			return errFrame(errors.New("tcpfab: bad faa frame"))
 		}
 		s, err := f.localSegment(seg)
 		if err != nil {
-			return nil, err
+			return errFrame(err)
 		}
 		delta := binary.LittleEndian.Uint64(rest)
 		newV := s.Add64(off, delta)
-		out := make([]byte, 8)
-		binary.LittleEndian.PutUint64(out, newV-delta)
-		return out, nil
+		out := grabFrame(9)
+		out.b[0] = 1
+		binary.LittleEndian.PutUint64(out.b[1:], newV-delta)
+		return out
 	default:
-		return nil, fmt.Errorf("tcpfab: unknown frame type %d", typ)
+		return errFrame(fmt.Errorf("tcpfab: unknown frame type %d", typ))
 	}
 }
 
-// Connection pool ------------------------------------------------------
+func okFrame(resp []byte) *frameBuf {
+	out := grabFrame(1 + len(resp))
+	out.b[0] = 1
+	copy(out.b[1:], resp)
+	return out
+}
+
+func errFrame(err error) *frameBuf {
+	msg := err.Error()
+	out := grabFrame(1 + len(msg))
+	out.b[0] = 0
+	copy(out.b[1:], msg)
+	return out
+}
+
+// Client side -----------------------------------------------------------
+
+func newBufReader(conn net.Conn) *bufio.Reader { return bufio.NewReaderSize(conn, 1<<16) }
+func newBufWriter(conn net.Conn) *bufio.Writer { return bufio.NewWriterSize(conn, 1<<16) }
+
+func (f *Fabric) peer(node int) *peer {
+	f.peerMu.Lock()
+	defer f.peerMu.Unlock()
+	p := f.peers[node]
+	if p == nil {
+		p = &peer{
+			sem:      make(chan struct{}, f.cfg.MaxConnsPerPeer),
+			idleFree: make(chan struct{}, 1),
+		}
+		f.peers[node] = p
+	}
+	return p
+}
+
+// dialTimeout clips the configured dial timeout to the operation's
+// remaining budget.
+func (f *Fabric) dialTimeout(deadlineAt time.Time) (time.Duration, error) {
+	dt := f.cfg.DialTimeout
+	if !deadlineAt.IsZero() {
+		if rem := time.Until(deadlineAt); rem < dt {
+			dt = rem
+		}
+	}
+	if dt <= 0 {
+		return 0, os.ErrDeadlineExceeded
+	}
+	return dt, nil
+}
+
+// getMux returns the least-loaded live multiplexed connection to node,
+// dialing a new one when there is none — or when every existing one is at
+// its in-flight cap and the per-peer connection budget allows another.
+// fresh reports a connection dialed by this call: its immediate failure
+// means the request never left this process.
+func (f *Fabric) getMux(node int, deadlineAt time.Time) (m *mux, fresh bool, err error) {
+	if f.closed.Load() {
+		return nil, false, fabric.ErrClosed
+	}
+	p := f.peer(node)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *mux
+	for _, c := range p.muxes {
+		select {
+		case <-c.down:
+			continue // being torn down; dropMux will prune it
+		default:
+		}
+		if best == nil || c.inflight.Load() < best.inflight.Load() {
+			best = c
+		}
+	}
+	if best != nil &&
+		(len(p.muxes) >= f.cfg.MaxConnsPerPeer ||
+			best.inflight.Load() < int64(f.cfg.MaxInFlight)) {
+		return best, false, nil
+	}
+	dt, err := f.dialTimeout(deadlineAt)
+	if err != nil {
+		return nil, false, fmt.Errorf("tcpfab: dial %s: %w", f.addr(node), err)
+	}
+	raw, err := net.DialTimeout("tcp", f.addr(node), dt)
+	if err != nil {
+		return nil, false, err
+	}
+	m = newMux(f, node, raw)
+	p.muxes = append(p.muxes, m)
+	return m, true, nil
+}
+
+// dropMux unregisters a torn-down connection.
+func (f *Fabric) dropMux(m *mux) {
+	f.peerMu.Lock()
+	p := f.peers[m.node]
+	f.peerMu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, c := range p.muxes {
+		if c == m {
+			p.muxes = append(p.muxes[:i], p.muxes[i+1:]...)
+			return
+		}
+	}
+}
+
+// muxAttempt performs one wire exchange over a multiplexed connection.
+// delivered reports whether the request may have reached the peer; it is
+// provably false when the frame was canceled before the writer claimed it,
+// which lets even non-idempotent verbs retry a timed-out request that
+// never left the send queue.
+func (f *Fabric) muxAttempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time, o fabric.Options) (resp []byte, delivered bool, err error) {
+	m, fresh, err := f.getMux(node, deadlineAt)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = fresh
+
+	var timerC <-chan time.Time
+	if !deadlineAt.IsZero() {
+		tm := grabTimer(time.Until(deadlineAt))
+		defer putTimer(tm)
+		timerC = tm.C
+	}
+
+	limit := f.cfg.MaxInFlight
+	if o.MaxInFlight > 0 && o.MaxInFlight < limit {
+		limit = o.MaxInFlight
+	}
+	ok, timedOut := m.acquireSlot(limit, timerC)
+	if !ok {
+		if timedOut {
+			return nil, false, os.ErrDeadlineExceeded
+		}
+		return nil, false, m.failure()
+	}
+	defer m.releaseSlot()
+	f.gauge(metrics.Inflight, node, clk, float64(m.inflight.Load()))
+
+	rq := grabReq(typ, payload)
+	rq.id = m.nextID.Add(1)
+	m.register(rq)
+
+	select {
+	case m.sendq <- rq:
+	case <-m.down:
+		m.deregister(rq.id)
+		return nil, false, m.failure()
+	case <-timerC:
+		m.deregister(rq.id)
+		return nil, false, os.ErrDeadlineExceeded
+	}
+
+	select {
+	case raw := <-rq.resp:
+		putReq(rq) // sole remaining holder: writer wrote it, reader delivered it
+		if len(raw) < 1 {
+			return nil, true, errors.New("tcpfab: empty response")
+		}
+		if raw[0] == 0 {
+			return nil, true, &remoteError{msg: string(raw[1:])}
+		}
+		return raw[1:], true, nil
+	case <-m.down:
+		m.deregister(rq.id)
+		return nil, rq.state.Load() == reqWritten, m.failure()
+	case <-timerC:
+		m.deregister(rq.id)
+		// Winning the cancel race proves the frame never hit the wire.
+		canceled := rq.state.CompareAndSwap(reqQueued, reqCanceled)
+		return nil, !canceled, os.ErrDeadlineExceeded
+	}
+}
+
+// Legacy connection pool (DisablePipelining) ---------------------------
 
 // clientConn keeps its bufio state for the connection's lifetime; a fresh
 // reader per exchange could over-read and silently drop buffered frames.
@@ -339,53 +807,140 @@ type clientConn struct {
 	bw   *bufio.Writer
 }
 
-// getConn returns a pooled connection to node or dials a fresh one.
-// pooled reports which: a pooled connection was established earlier, so
-// its failure means an established link was lost (a reconnect), while a
-// dial failure means the request never left this process. deadlineAt, when
-// non-zero, clips the dial timeout to the operation's remaining budget.
+// getConn returns a pooled connection to node or dials a fresh one, never
+// exceeding MaxConnsPerPeer live connections. pooled reports which: a
+// pooled connection was established earlier, so its failure means an
+// established link was lost (a reconnect), while a dial failure means the
+// request never left this process.
 func (f *Fabric) getConn(node int, deadlineAt time.Time) (c *clientConn, pooled bool, err error) {
 	if f.closed.Load() {
 		return nil, false, fabric.ErrClosed
 	}
-	f.poolMu.Lock()
-	conns := f.pools[node]
-	if len(conns) > 0 {
-		c := conns[len(conns)-1]
-		f.pools[node] = conns[:len(conns)-1]
-		f.poolMu.Unlock()
-		return c, true, nil
-	}
-	f.poolMu.Unlock()
-	dt := f.cfg.DialTimeout
+	p := f.peer(node)
+	var timerC <-chan time.Time
+	var tm *time.Timer
 	if !deadlineAt.IsZero() {
-		if rem := time.Until(deadlineAt); rem < dt {
-			dt = rem
+		tm = time.NewTimer(time.Until(deadlineAt))
+		defer tm.Stop()
+		timerC = tm.C
+	}
+	for {
+		p.mu.Lock()
+		if n := len(p.idle); n > 0 {
+			c := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			return c, true, nil
+		}
+		p.mu.Unlock()
+		select {
+		case p.sem <- struct{}{}: // token: the right to hold one connection
+			dt, err := f.dialTimeout(deadlineAt)
+			if err != nil {
+				<-p.sem
+				return nil, false, fmt.Errorf("tcpfab: dial %s: %w", f.addr(node), err)
+			}
+			raw, err := net.DialTimeout("tcp", f.addr(node), dt)
+			if err != nil {
+				<-p.sem
+				return nil, false, err
+			}
+			return &clientConn{conn: raw, br: newBufReader(raw), bw: newBufWriter(raw)}, false, nil
+		case <-p.idleFree:
+			// A connection came back; loop to grab it.
+		case <-f.done:
+			return nil, false, fabric.ErrClosed
+		case <-timerC:
+			return nil, false, os.ErrDeadlineExceeded
 		}
 	}
-	if dt <= 0 {
-		return nil, false, fmt.Errorf("tcpfab: dial %s: %w", f.cfg.Addrs[node], os.ErrDeadlineExceeded)
+}
+
+// putConn returns a healthy connection to the pool (it keeps its token);
+// surplus beyond the per-peer cap is closed, not hoarded.
+func (f *Fabric) putConn(node int, c *clientConn) {
+	p := f.peer(node)
+	p.mu.Lock()
+	if !f.closed.Load() && len(p.idle) < f.cfg.MaxConnsPerPeer {
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+		select {
+		case p.idleFree <- struct{}{}:
+		default:
+		}
+		return
 	}
-	raw, err := net.DialTimeout("tcp", f.cfg.Addrs[node], dt)
+	p.mu.Unlock()
+	f.closeConn(node, c)
+}
+
+// closeConn destroys a connection and releases its token.
+func (f *Fabric) closeConn(node int, c *clientConn) {
+	c.conn.Close()
+	p := f.peer(node)
+	select {
+	case <-p.sem:
+	default: // Close drained the pool already
+	}
+	select {
+	case p.idleFree <- struct{}{}:
+	default:
+	}
+}
+
+// legacyAttempt is the seed data path: the connection is checked out for
+// the whole round trip, so each pooled connection carries one outstanding
+// verb at a time.
+func (f *Fabric) legacyAttempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time) (resp []byte, delivered bool, err error) {
+	c, pooled, err := f.getConn(node, deadlineAt)
 	if err != nil {
 		return nil, false, err
 	}
-	return &clientConn{
-		conn: raw,
-		br:   bufio.NewReaderSize(raw, 1<<16),
-		bw:   bufio.NewWriterSize(raw, 1<<16),
-	}, false, nil
+	fail := func(err error) ([]byte, bool, error) {
+		f.closeConn(node, c)
+		if pooled {
+			// An established link died under us; the next attempt will
+			// transparently re-dial.
+			f.count(metrics.Reconnects, node, clk)
+		}
+		return nil, true, err
+	}
+	if !deadlineAt.IsZero() {
+		if err := c.conn.SetDeadline(deadlineAt); err != nil {
+			return fail(err)
+		}
+	}
+	id := f.legacyID.Add(1)
+	if err := writeFrame(c.bw, typ, id, payload); err != nil {
+		return fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	rtyp, rid, raw, err := readFrameAlloc(c.br)
+	if err != nil {
+		return fail(err)
+	}
+	if rtyp != typ || rid != id {
+		return fail(fmt.Errorf("tcpfab: response (type %d, id %d) for request (type %d, id %d)", rtyp, rid, typ, id))
+	}
+	if !deadlineAt.IsZero() {
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			f.closeConn(node, c)
+			return nil, true, err
+		}
+	}
+	f.putConn(node, c)
+	if len(raw) < 1 {
+		return nil, true, errors.New("tcpfab: empty response")
+	}
+	if raw[0] == 0 {
+		return nil, true, &remoteError{msg: string(raw[1:])}
+	}
+	return raw[1:], true, nil
 }
 
-func (f *Fabric) putConn(node int, c *clientConn) {
-	f.poolMu.Lock()
-	defer f.poolMu.Unlock()
-	if f.closed.Load() || len(f.pools[node]) >= 8 {
-		c.conn.Close()
-		return
-	}
-	f.pools[node] = append(f.pools[node], c)
-}
+// Exchange engine ------------------------------------------------------
 
 // remoteError is an application-level failure reported by the peer's frame
 // loop (bad segment, no dispatcher, handler error). The transport worked,
@@ -398,8 +953,9 @@ func (e *remoteError) Error() string { return "tcpfab: remote: " + e.msg }
 // Reads and writes are idempotent — replaying them converges to the same
 // state — so any transport failure is retryable. RPC, CAS, and FAA mutate
 // non-idempotently; they are re-sent only when the request provably never
-// left this process (the connection could not even be established), unless
-// the caller opted in with Options.RetryRPC.
+// left this process (dial failure, or a frame canceled in the send queue
+// before the writer claimed it), unless the caller opted in with
+// Options.RetryRPC.
 func retryAllowed(typ byte, delivered bool, o fabric.Options) bool {
 	switch typ {
 	case frameRead, frameWrite:
@@ -427,6 +983,14 @@ func classify(node int, err error) error {
 		return fmt.Errorf("tcpfab: node %d: %w (%v)", node, fabric.ErrNodeDown, err)
 	}
 	return err
+}
+
+// attempt performs one wire exchange on the configured data path.
+func (f *Fabric) attempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time, o fabric.Options) (resp []byte, delivered bool, err error) {
+	if f.cfg.DisablePipelining {
+		return f.legacyAttempt(clk, node, typ, payload, deadlineAt)
+	}
+	return f.muxAttempt(clk, node, typ, payload, deadlineAt, o)
 }
 
 // exchange sends one frame and waits for its response, retrying with
@@ -475,7 +1039,7 @@ func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte,
 			timedOut = true
 			break
 		}
-		resp, delivered, err := f.attempt(clk, node, typ, payload, deadlineAt)
+		resp, delivered, err := f.attempt(clk, node, typ, payload, deadlineAt, o)
 		if err == nil {
 			return resp, nil
 		}
@@ -505,57 +1069,7 @@ func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte,
 	return nil, lastErr
 }
 
-// attempt performs one wire exchange. delivered reports whether the
-// request may have reached the peer: false only when the connection could
-// not even be established, which is what makes dial-stage failures safe to
-// retry for non-idempotent verbs.
-func (f *Fabric) attempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time) (resp []byte, delivered bool, err error) {
-	c, pooled, err := f.getConn(node, deadlineAt)
-	if err != nil {
-		return nil, false, err
-	}
-	fail := func(err error) ([]byte, bool, error) {
-		c.conn.Close()
-		if pooled {
-			// An established link died under us; the next attempt will
-			// transparently re-dial.
-			f.count(metrics.Reconnects, node, clk)
-		}
-		return nil, true, err
-	}
-	if !deadlineAt.IsZero() {
-		if err := c.conn.SetDeadline(deadlineAt); err != nil {
-			return fail(err)
-		}
-	}
-	if err := writeFrame(c.bw, typ, payload); err != nil {
-		return fail(err)
-	}
-	if err := c.bw.Flush(); err != nil {
-		return fail(err)
-	}
-	rtyp, raw, err := readFrame(c.br)
-	if err != nil {
-		return fail(err)
-	}
-	if rtyp != typ {
-		return fail(fmt.Errorf("tcpfab: response type %d for request %d", rtyp, typ))
-	}
-	if !deadlineAt.IsZero() {
-		if err := c.conn.SetDeadline(time.Time{}); err != nil {
-			c.conn.Close()
-			return nil, true, err
-		}
-	}
-	f.putConn(node, c)
-	if len(raw) < 1 {
-		return nil, true, errors.New("tcpfab: empty response")
-	}
-	if raw[0] == 0 {
-		return nil, true, &remoteError{msg: string(raw[1:])}
-	}
-	return raw[1:], true, nil
-}
+// Verbs ----------------------------------------------------------------
 
 // RoundTrip implements fabric.Provider.
 func (f *Fabric) RoundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req []byte) ([]byte, error) {
@@ -587,9 +1101,15 @@ func (f *Fabric) write(clk *fabric.Clock, from fabric.RankRef, node, seg, off in
 		}
 		return s.WriteAt(off, data)
 	}
-	payload := appendSegOff(nil, seg, off)
-	payload = append(payload, data...)
-	_, err := f.exchange(clk, node, frameWrite, payload, o)
+	pl := grabFrame(16 + len(data))
+	putSegOff(pl.b, seg, off)
+	copy(pl.b[16:], data)
+	_, err := f.exchange(clk, node, frameWrite, pl.b, o)
+	if err == nil {
+		// On failure the frame may still sit in a send queue; only a
+		// completed exchange proves the payload left the writer.
+		pl.release()
+	}
 	return err
 }
 
@@ -606,12 +1126,14 @@ func (f *Fabric) read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int
 		}
 		return s.ReadAt(off, buf)
 	}
-	payload := appendSegOff(nil, seg, off)
-	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(buf)))
-	resp, err := f.exchange(clk, node, frameRead, payload, o)
+	pl := grabFrame(16 + 8)
+	putSegOff(pl.b, seg, off)
+	binary.LittleEndian.PutUint64(pl.b[16:], uint64(len(buf)))
+	resp, err := f.exchange(clk, node, frameRead, pl.b, o)
 	if err != nil {
 		return err
 	}
+	pl.release()
 	if len(resp) != len(buf) {
 		return fmt.Errorf("tcpfab: read returned %d bytes, want %d", len(resp), len(buf))
 	}
@@ -633,13 +1155,15 @@ func (f *Fabric) cas(clk *fabric.Clock, from fabric.RankRef, node, seg, off int,
 		witness, ok := s.CAS64(off, old, new)
 		return witness, ok, nil
 	}
-	payload := appendSegOff(nil, seg, off)
-	payload = binary.LittleEndian.AppendUint64(payload, old)
-	payload = binary.LittleEndian.AppendUint64(payload, new)
-	resp, err := f.exchange(clk, node, frameCAS, payload, o)
+	pl := grabFrame(16 + 16)
+	putSegOff(pl.b, seg, off)
+	binary.LittleEndian.PutUint64(pl.b[16:], old)
+	binary.LittleEndian.PutUint64(pl.b[24:], new)
+	resp, err := f.exchange(clk, node, frameCAS, pl.b, o)
 	if err != nil {
 		return 0, false, err
 	}
+	pl.release()
 	if len(resp) != 9 {
 		return 0, false, errors.New("tcpfab: bad cas response")
 	}
@@ -659,12 +1183,14 @@ func (f *Fabric) fetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off
 		}
 		return s.Add64(off, delta) - delta, nil
 	}
-	payload := appendSegOff(nil, seg, off)
-	payload = binary.LittleEndian.AppendUint64(payload, delta)
-	resp, err := f.exchange(clk, node, frameFAA, payload, o)
+	pl := grabFrame(16 + 8)
+	putSegOff(pl.b, seg, off)
+	binary.LittleEndian.PutUint64(pl.b[16:], delta)
+	resp, err := f.exchange(clk, node, frameFAA, pl.b, o)
 	if err != nil {
 		return 0, err
 	}
+	pl.release()
 	if len(resp) != 8 {
 		return 0, errors.New("tcpfab: bad faa response")
 	}
@@ -672,9 +1198,10 @@ func (f *Fabric) fetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off
 }
 
 // WithOptions implements fabric.Optioned: the returned view shares this
-// fabric's listener, segment table, and connection pool, but every verb it
-// issues is bounded by o.Deadline (wall clock, enforced with socket
-// deadlines) and retried per o.MaxAttempts / o.RetryRPC.
+// fabric's listener, segment table, and connections, but every verb it
+// issues is bounded by o.Deadline (wall clock, enforced with per-request
+// timers) and retried per o.MaxAttempts / o.RetryRPC, with o.MaxInFlight
+// tightening the per-peer pipelining window.
 func (f *Fabric) WithOptions(o fabric.Options) fabric.Provider {
 	if o == (fabric.Options{}) {
 		return f
@@ -719,47 +1246,6 @@ func (v *optioned) CAS(clk *fabric.Clock, from fabric.RankRef, node, seg, off in
 
 func (v *optioned) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off int, delta uint64) (uint64, error) {
 	return v.f.fetchAdd(clk, from, node, seg, off, delta, v.o)
-}
-
-// Wire helpers ---------------------------------------------------------
-
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = typ
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
-func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
-	if n > 1<<30 {
-		return 0, nil, fmt.Errorf("tcpfab: oversized frame %d", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
-	}
-	return hdr[4], payload, nil
-}
-
-func appendSegOff(out []byte, seg, off int) []byte {
-	out = binary.LittleEndian.AppendUint64(out, uint64(seg))
-	return binary.LittleEndian.AppendUint64(out, uint64(off))
-}
-
-func splitSegOff(b []byte) (seg, off int, rest []byte, err error) {
-	if len(b) < 16 {
-		return 0, 0, nil, errors.New("tcpfab: short seg/off header")
-	}
-	return int(binary.LittleEndian.Uint64(b)), int(binary.LittleEndian.Uint64(b[8:])), b[16:], nil
 }
 
 var _ fabric.Provider = (*Fabric)(nil)

@@ -31,6 +31,13 @@ const (
 	Retries    Kind = "fabric_retries"    // verb attempts beyond the first
 	Timeouts   Kind = "fabric_timeouts"   // verbs failed by deadline expiry
 	Reconnects Kind = "fabric_reconnects" // established connections lost
+
+	// Pipelining counters recorded by the multiplexed transport and the
+	// RoR request aggregator.
+	Inflight        Kind = "fabric_inflight"         // outstanding requests observed at send time
+	FramesCoalesced Kind = "fabric_frames_coalesced" // frames merged into shared flush syscalls
+	OpsAggregated   Kind = "ror_ops_aggregated"      // invocations that rode an aggregated flush
+	AggFlushes      Kind = "ror_agg_flushes"         // aggregator flushes shipped
 )
 
 // Collector accumulates (kind, node, bucket) -> value sums. Buckets are

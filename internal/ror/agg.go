@@ -1,0 +1,172 @@
+package ror
+
+import (
+	"hcl/internal/metrics"
+)
+
+// AggregatorConfig tunes the adaptive request aggregator. Zero fields take
+// the defaults noted on each; see docs/TRANSPORT.md for guidance.
+type AggregatorConfig struct {
+	// MaxOps flushes a destination's bucket once it holds this many
+	// pending invocations (default 16).
+	MaxOps int
+	// MaxBytes flushes a bucket once its pending argument bytes reach
+	// this size (default 4096). One invocation whose argument alone
+	// reaches it ships immediately rather than waiting for company.
+	MaxBytes int
+	// Window flushes a bucket whose oldest pending invocation is this
+	// many virtual nanoseconds old (default 50_000, i.e. 50µs). Age is
+	// checked against the owning rank's clock at every Invoke, so
+	// flushing is deterministic — no wall timers.
+	Window int64
+}
+
+func (c AggregatorConfig) withDefaults() AggregatorConfig {
+	if c.MaxOps <= 0 {
+		c.MaxOps = 16
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 4096
+	}
+	if c.Window <= 0 {
+		c.Window = 50_000
+	}
+	return c
+}
+
+// aggBucket is the pending traffic for one destination node.
+type aggBucket struct {
+	calls    []subCall
+	arena    []byte
+	futs     []*Future
+	openedAt int64 // virtual time the oldest pending invocation arrived
+}
+
+// Aggregator coalesces small invocations per destination into batched
+// round trips — the paper's request-aggregation optimization made
+// adaptive: each Invoke parks in a per-node bucket and ships when the
+// bucket grows past MaxOps or MaxBytes or its oldest occupant ages past
+// Window. Callers hold a Future per invocation and are fanned the batch's
+// sub-responses when it lands.
+//
+// An Aggregator belongs to one rank, like a Batch: it is not safe for
+// concurrent use, and the latency window is measured on that rank's
+// virtual clock. Flush boundaries are therefore deterministic functions of
+// the invocation sequence — the same program aggregates the same way in
+// simulation and over sockets.
+//
+// Pending invocations ship only at Invoke/Flush/FlushAll boundaries; a
+// rank going quiet must FlushAll (or Flush the node) before waiting on its
+// futures, or they never complete.
+type Aggregator struct {
+	e       *Engine
+	c       Caller
+	cfg     AggregatorConfig
+	buckets map[int]*aggBucket
+}
+
+// NewAggregator returns an aggregator issuing invocations as c.
+func (e *Engine) NewAggregator(c Caller, cfg AggregatorConfig) *Aggregator {
+	return &Aggregator{
+		e:       e,
+		c:       c,
+		cfg:     cfg.withDefaults(),
+		buckets: make(map[int]*aggBucket),
+	}
+}
+
+// Invoke queues fn(arg) for node and returns its Future. The argument is
+// copied; the caller may reuse arg immediately. The call ships with its
+// bucket — possibly within this Invoke, when a threshold trips.
+func (a *Aggregator) Invoke(node int, fn string, arg []byte) *Future {
+	b := a.buckets[node]
+	if b == nil {
+		b = &aggBucket{}
+		a.buckets[node] = b
+	}
+	now := a.c.Clock().Now()
+	// Age out a bucket whose oldest occupant has waited past the window
+	// before admitting more traffic behind it.
+	if len(b.calls) > 0 && now-b.openedAt >= a.cfg.Window {
+		a.flushBucket(node, b)
+	}
+	if len(b.calls) == 0 {
+		b.openedAt = now
+	}
+	off := len(b.arena)
+	b.arena = append(b.arena, arg...)
+	b.calls = append(b.calls, subCall{fn: fn, arg: b.arena[off:len(b.arena):len(b.arena)]})
+	f := &Future{done: make(chan struct{})}
+	b.futs = append(b.futs, f)
+	if len(b.calls) >= a.cfg.MaxOps || len(b.arena) >= a.cfg.MaxBytes {
+		a.flushBucket(node, b)
+	}
+	return f
+}
+
+// Pending reports the number of queued invocations for node.
+func (a *Aggregator) Pending(node int) int {
+	if b := a.buckets[node]; b != nil {
+		return len(b.calls)
+	}
+	return 0
+}
+
+// Flush ships node's bucket now, regardless of thresholds.
+func (a *Aggregator) Flush(node int) {
+	if b := a.buckets[node]; b != nil && len(b.calls) > 0 {
+		a.flushBucket(node, b)
+	}
+}
+
+// FlushAll ships every non-empty bucket.
+func (a *Aggregator) FlushAll() {
+	for node, b := range a.buckets {
+		if len(b.calls) > 0 {
+			a.flushBucket(node, b)
+		}
+	}
+}
+
+// flushBucket ships one bucket as a batch round trip on a detached clock
+// and fans the sub-responses out to the pending futures. The bucket is
+// reset for reuse before the exchange starts.
+func (a *Aggregator) flushBucket(node int, b *aggBucket) {
+	req := encodeBatchBuf(b.calls)
+	futs := b.futs
+	n := len(b.calls)
+	b.calls = b.calls[:0]
+	b.arena = b.arena[:0]
+	b.futs = nil
+
+	a.e.count(metrics.OpsAggregated, node, a.c, float64(n))
+	a.e.count(metrics.AggFlushes, node, a.c, 1)
+
+	side := newSideClock(a.c)
+	ref := a.c.Ref()
+	prov := a.e.providerFor(a.c)
+	go func() {
+		raw, err := prov.RoundTrip(side, ref, node, req.b)
+		var resps [][]byte
+		if err == nil {
+			req.release()
+			var payload []byte
+			if payload, err = decodeResponse(raw); err == nil {
+				resps, err = decodeBatchResponses(payload)
+			}
+			if err == nil && len(resps) != len(futs) {
+				err = errBatchFanout(len(resps), len(futs))
+			}
+		}
+		readyAt := side.Now()
+		for i, f := range futs {
+			if err != nil {
+				f.err = err
+			} else {
+				f.resp = resps[i]
+			}
+			f.readyAt = readyAt
+			close(f.done)
+		}
+	}()
+}

@@ -1,0 +1,220 @@
+package ror
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hcl/internal/metrics"
+)
+
+// TestAggregatorFlushOnMaxOps checks the op-count threshold: the bucket
+// ships exactly when it fills, and every future gets its own sub-response.
+func TestAggregatorFlushOnMaxOps(t *testing.T) {
+	e, f := newTestEngine(2)
+	defer f.Close()
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 1 })
+	c := caller(0)
+	a := e.NewAggregator(c, AggregatorConfig{MaxOps: 3, MaxBytes: 1 << 20, Window: 1 << 40})
+
+	var futs []*Future
+	for i := 0; i < 3; i++ {
+		futs = append(futs, a.Invoke(1, "echo", []byte(fmt.Sprintf("op%d", i))))
+		if i < 2 && a.Pending(1) != i+1 {
+			t.Fatalf("pending = %d after op %d", a.Pending(1), i)
+		}
+	}
+	// Third invoke tripped MaxOps: the bucket is gone without any Flush.
+	if a.Pending(1) != 0 {
+		t.Fatalf("pending = %d after threshold", a.Pending(1))
+	}
+	for i, fu := range futs {
+		resp, err := fu.Wait(c)
+		if err != nil || string(resp) != fmt.Sprintf("op%d", i) {
+			t.Fatalf("fut %d: %q %v", i, resp, err)
+		}
+	}
+}
+
+// TestAggregatorFlushOnMaxBytes checks the byte threshold, including the
+// degenerate case of a single argument that alone reaches it.
+func TestAggregatorFlushOnMaxBytes(t *testing.T) {
+	e, f := newTestEngine(2)
+	defer f.Close()
+	e.Bind("len", func(node int, arg []byte) ([]byte, int64) {
+		return []byte(fmt.Sprint(len(arg))), 1
+	})
+	c := caller(0)
+	a := e.NewAggregator(c, AggregatorConfig{MaxOps: 1 << 20, MaxBytes: 64, Window: 1 << 40})
+
+	// One oversized argument ships immediately.
+	fu := a.Invoke(1, "len", make([]byte, 200))
+	if a.Pending(1) != 0 {
+		t.Fatalf("oversized arg parked: pending = %d", a.Pending(1))
+	}
+	if resp, err := fu.Wait(c); err != nil || string(resp) != "200" {
+		t.Fatalf("oversized: %q %v", resp, err)
+	}
+
+	// Small arguments accumulate until the byte budget trips.
+	var futs []*Future
+	for i := 0; i < 4; i++ { // 4 * 20 = 80 >= 64 trips on the 4th
+		futs = append(futs, a.Invoke(1, "len", make([]byte, 20)))
+	}
+	if a.Pending(1) != 0 {
+		t.Fatalf("byte threshold never tripped: pending = %d", a.Pending(1))
+	}
+	for i, fu := range futs {
+		if resp, err := fu.Wait(c); err != nil || string(resp) != "20" {
+			t.Fatalf("fut %d: %q %v", i, resp, err)
+		}
+	}
+}
+
+// TestAggregatorWindowFlush checks the virtual-time window: a parked op
+// ships when the rank's clock moves past Window before the next Invoke.
+func TestAggregatorWindowFlush(t *testing.T) {
+	e, f := newTestEngine(2)
+	defer f.Close()
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 1 })
+	c := caller(0)
+	a := e.NewAggregator(c, AggregatorConfig{MaxOps: 100, MaxBytes: 1 << 20, Window: 1000})
+
+	f1 := a.Invoke(1, "echo", []byte("first"))
+	if a.Pending(1) != 1 {
+		t.Fatalf("pending = %d", a.Pending(1))
+	}
+	c.clk.Advance(5000) // the rank does 5µs of work
+	f2 := a.Invoke(1, "echo", []byte("second"))
+	// The aged bucket shipped before "second" was admitted.
+	if a.Pending(1) != 1 {
+		t.Fatalf("window flush missing: pending = %d", a.Pending(1))
+	}
+	if resp, err := f1.Wait(c); err != nil || string(resp) != "first" {
+		t.Fatalf("f1: %q %v", resp, err)
+	}
+	a.FlushAll()
+	if resp, err := f2.Wait(c); err != nil || string(resp) != "second" {
+		t.Fatalf("f2: %q %v", resp, err)
+	}
+}
+
+// TestAggregatorErrorFanout: a failed batch fails every rider.
+func TestAggregatorErrorFanout(t *testing.T) {
+	e, f := newTestEngine(2)
+	defer f.Close()
+	c := caller(0)
+	a := e.NewAggregator(c, AggregatorConfig{})
+	f1 := a.Invoke(1, "unbound", []byte("x"))
+	f2 := a.Invoke(1, "unbound", []byte("y"))
+	a.Flush(1)
+	for i, fu := range []*Future{f1, f2} {
+		if _, err := fu.Wait(c); err == nil || !strings.Contains(err.Error(), "not bound") {
+			t.Fatalf("fut %d: err = %v", i, err)
+		}
+	}
+}
+
+// TestAggregatorArgNotRetained: like Batch.Add, Invoke must copy its
+// argument so callers can reuse scratch buffers.
+func TestAggregatorArgNotRetained(t *testing.T) {
+	e, f := newTestEngine(2)
+	defer f.Close()
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 1 })
+	c := caller(0)
+	a := e.NewAggregator(c, AggregatorConfig{})
+	scratch := []byte("before")
+	fu := a.Invoke(1, "echo", scratch)
+	copy(scratch, "XXXXXX") // caller reuses its buffer immediately
+	a.Flush(1)
+	if resp, err := fu.Wait(c); err != nil || string(resp) != "before" {
+		t.Fatalf("aggregator retained caller buffer: %q %v", resp, err)
+	}
+}
+
+// TestAggregatorMultiNode: buckets are per destination; traffic to one
+// node never flushes another's bucket.
+func TestAggregatorMultiNode(t *testing.T) {
+	e, f := newTestEngine(3)
+	defer f.Close()
+	e.Bind("node", func(node int, arg []byte) ([]byte, int64) {
+		return []byte(fmt.Sprint(node)), 1
+	})
+	c := caller(0)
+	a := e.NewAggregator(c, AggregatorConfig{MaxOps: 2, MaxBytes: 1 << 20, Window: 1 << 40})
+	f1 := a.Invoke(1, "node", nil)
+	f2 := a.Invoke(2, "node", nil)
+	if a.Pending(1) != 1 || a.Pending(2) != 1 {
+		t.Fatalf("pending = %d,%d", a.Pending(1), a.Pending(2))
+	}
+	f1b := a.Invoke(1, "node", nil) // trips node 1's MaxOps only
+	if a.Pending(1) != 0 || a.Pending(2) != 1 {
+		t.Fatalf("after trip: pending = %d,%d", a.Pending(1), a.Pending(2))
+	}
+	a.FlushAll()
+	for _, tc := range []struct {
+		fu   *Future
+		want string
+	}{{f1, "1"}, {f1b, "1"}, {f2, "2"}} {
+		if resp, err := tc.fu.Wait(c); err != nil || string(resp) != tc.want {
+			t.Fatalf("resp = %q %v, want %q", resp, err, tc.want)
+		}
+	}
+}
+
+// TestAggregatorMetrics: ror_ops_aggregated counts riders and
+// ror_agg_flushes counts shipments, through the engine's collector.
+func TestAggregatorMetrics(t *testing.T) {
+	e, f := newTestEngine(2)
+	defer f.Close()
+	col := metrics.New(1e6)
+	e.SetCollector(col)
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 1 })
+	c := caller(0)
+	a := e.NewAggregator(c, AggregatorConfig{MaxOps: 4, MaxBytes: 1 << 20, Window: 1 << 40})
+
+	var futs []*Future
+	for i := 0; i < 9; i++ { // two full buckets + one remainder
+		futs = append(futs, a.Invoke(1, "echo", []byte{byte(i)}))
+	}
+	a.FlushAll()
+	for _, fu := range futs {
+		if _, err := fu.Wait(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := col.Total(metrics.OpsAggregated, 1); got != 9 {
+		t.Fatalf("ror_ops_aggregated = %v, want 9", got)
+	}
+	if got := col.Total(metrics.AggFlushes, 1); got != 3 {
+		t.Fatalf("ror_agg_flushes = %v, want 3", got)
+	}
+}
+
+// TestBatchAddCopiesArg: Batch.Add must not alias the caller's slice — the
+// historical bug let a reused scratch buffer corrupt queued sub-calls.
+func TestBatchAddCopiesArg(t *testing.T) {
+	e, f := newTestEngine(2)
+	defer f.Close()
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 1 })
+	c := caller(0)
+	b := e.NewBatch(1)
+	scratch := make([]byte, 8)
+	for i := 0; i < 3; i++ {
+		for j := range scratch {
+			scratch[j] = byte('a' + i)
+		}
+		b.Add("echo", scratch) // same backing array every time
+	}
+	resps, err := b.Flush(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		want := bytes.Repeat([]byte{byte('a' + i)}, 8)
+		if !bytes.Equal(r, want) {
+			t.Fatalf("sub-call %d saw %q, want %q — Add aliased the caller's buffer", i, r, want)
+		}
+	}
+}

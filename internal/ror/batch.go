@@ -14,6 +14,7 @@ type Batch struct {
 	e     *Engine
 	node  int
 	calls []subCall
+	arena []byte // backing store for copied args, reset on Flush
 }
 
 // NewBatch starts an empty batch aimed at node.
@@ -21,9 +22,13 @@ func (e *Engine) NewBatch(node int) *Batch {
 	return &Batch{e: e, node: node}
 }
 
-// Add appends one sub-call. The argument slice is retained until Flush.
+// Add appends one sub-call. The argument bytes are copied into the batch's
+// arena, so the caller may reuse or mutate arg immediately — Add never
+// retains it.
 func (b *Batch) Add(fn string, arg []byte) {
-	b.calls = append(b.calls, subCall{fn: fn, arg: arg})
+	off := len(b.arena)
+	b.arena = append(b.arena, arg...)
+	b.calls = append(b.calls, subCall{fn: fn, arg: b.arena[off:len(b.arena):len(b.arena)]})
 }
 
 // Len reports the number of pending sub-calls.
@@ -35,17 +40,25 @@ func (b *Batch) Flush(c Caller) ([][]byte, error) {
 	if len(b.calls) == 0 {
 		return nil, nil
 	}
-	req := encodeBatch(b.calls)
-	b.calls = b.calls[:0]
-	raw, err := b.e.providerFor(c).RoundTrip(c.Clock(), c.Ref(), b.node, req)
+	req := encodeBatchBuf(b.calls)
+	b.reset()
+	raw, err := b.e.providerFor(c).RoundTrip(c.Clock(), c.Ref(), b.node, req.b)
 	if err != nil {
 		return nil, err
 	}
+	req.release()
 	payload, err := decodeResponse(raw)
 	if err != nil {
 		return nil, err
 	}
 	return decodeBatchResponses(payload)
+}
+
+// reset clears the batch for reuse; the encoded request owns copies of
+// everything, so the arena can be recycled immediately.
+func (b *Batch) reset() {
+	b.calls = b.calls[:0]
+	b.arena = b.arena[:0]
 }
 
 // FlushAsync ships the batch asynchronously; the returned BatchFuture
@@ -58,17 +71,18 @@ func (b *Batch) FlushAsync(c Caller) *BatchFuture {
 		bf.f.readyAt = c.Clock().Now()
 		return bf
 	}
-	req := encodeBatch(b.calls)
-	b.calls = b.calls[:0]
+	req := encodeBatchBuf(b.calls)
+	b.reset()
 	side := newSideClock(c)
 	ref := c.Ref()
 	prov := b.e.providerFor(c)
 	go func() {
 		defer close(bf.f.done)
-		raw, err := prov.RoundTrip(side, ref, b.node, req)
+		raw, err := prov.RoundTrip(side, ref, b.node, req.b)
 		if err != nil {
 			bf.f.err = err
 		} else {
+			req.release()
 			bf.f.resp, bf.f.err = decodeResponse(raw)
 		}
 		bf.f.readyAt = side.Now()

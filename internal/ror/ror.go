@@ -11,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hcl/internal/fabric"
+	"hcl/internal/metrics"
 )
 
 // Handler executes a bound function at a node. It returns the serialized
@@ -44,6 +46,8 @@ var (
 type Engine struct {
 	prov fabric.Provider
 
+	collector atomic.Pointer[metrics.Collector]
+
 	optMu sync.RWMutex
 	opts  fabric.Options
 
@@ -66,6 +70,18 @@ func NewEngine(prov fabric.Provider) *Engine {
 
 // Provider returns the engine's fabric provider.
 func (e *Engine) Provider() fabric.Provider { return e.prov }
+
+// SetCollector installs the metrics collector that invocation-layer series
+// (ror_ops_aggregated, ror_agg_flushes) are recorded into, bucketed by the
+// calling rank's virtual clock.
+func (e *Engine) SetCollector(c *metrics.Collector) { e.collector.Store(c) }
+
+// count records one sample at the caller's current virtual time.
+func (e *Engine) count(kind metrics.Kind, node int, c Caller, v float64) {
+	if col := e.collector.Load(); col != nil {
+		col.Add(kind, node, c.Clock().Now(), v)
+	}
+}
 
 // SetDefaultOptions installs engine-wide per-operation fabric options
 // (deadline, attempt budget, RPC-retry opt-in) applied to every
@@ -196,11 +212,14 @@ func (e *Engine) InvokeChain(c Caller, node int, chain []string, arg []byte) ([]
 	if len(chain) == 0 {
 		return nil, errors.New("ror: empty chain")
 	}
-	req := encodeCall(chain, arg)
-	raw, err := e.providerFor(c).RoundTrip(c.Clock(), c.Ref(), node, req)
+	req := encodeCallBuf(chain, arg)
+	raw, err := e.providerFor(c).RoundTrip(c.Clock(), c.Ref(), node, req.b)
 	if err != nil {
+		// The transport may still hold the request (e.g. queued behind a
+		// timed-out send); leak it to the GC rather than risk reuse.
 		return nil, err
 	}
+	req.release()
 	return decodeResponse(raw)
 }
 
@@ -249,14 +268,15 @@ func (e *Engine) InvokeChainAsync(c Caller, node int, chain []string, arg []byte
 	f := &Future{done: make(chan struct{})}
 	side := fabric.NewClock(c.Clock().Now())
 	ref := c.Ref()
-	req := encodeCall(chain, arg)
+	req := encodeCallBuf(chain, arg)
 	prov := e.providerFor(c)
 	go func() {
 		defer close(f.done)
-		raw, err := prov.RoundTrip(side, ref, node, req)
+		raw, err := prov.RoundTrip(side, ref, node, req.b)
 		if err != nil {
 			f.err = err
 		} else {
+			req.release()
 			f.resp, f.err = decodeResponse(raw)
 		}
 		f.readyAt = side.Now()

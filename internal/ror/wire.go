@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Wire format. Requests:
@@ -38,34 +39,96 @@ type request struct {
 
 var errTruncated = errors.New("ror: truncated request")
 
-func encodeCall(chain []string, arg []byte) []byte {
+func errBatchFanout(got, want int) error {
+	return fmt.Errorf("ror: batch returned %d responses for %d calls", got, want)
+}
+
+// encBuf is a pooled request-encode buffer. Requests travel down through
+// the provider and, on pipelined transports, may sit in a send queue after
+// a timeout — so callers release only once the round trip succeeded (a
+// failed exchange leaks the buffer to the GC, which is always safe).
+type encBuf struct{ b []byte }
+
+// maxPooledEnc keeps one-off giant requests from pinning pool memory.
+const maxPooledEnc = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return new(encBuf) }}
+
+// grabEnc returns a pooled buffer of exactly n bytes.
+func grabEnc(n int) *encBuf {
+	eb := encPool.Get().(*encBuf)
+	if cap(eb.b) < n {
+		eb.b = make([]byte, n)
+	}
+	eb.b = eb.b[:n]
+	return eb
+}
+
+func (eb *encBuf) release() {
+	if eb == nil {
+		return
+	}
+	if cap(eb.b) > maxPooledEnc {
+		eb.b = nil
+	}
+	encPool.Put(eb)
+}
+
+// encodeCallBuf marshals a call request into an exactly-sized pooled
+// buffer.
+func encodeCallBuf(chain []string, arg []byte) *encBuf {
 	n := 2
 	for _, s := range chain {
 		n += 2 + len(s)
 	}
-	out := make([]byte, 0, n+len(arg))
-	out = append(out, kindCall, byte(len(chain)))
+	eb := grabEnc(n + len(arg))
+	b := eb.b
+	b[0] = kindCall
+	b[1] = byte(len(chain))
+	p := 2
 	for _, s := range chain {
-		out = binary.LittleEndian.AppendUint16(out, uint16(len(s)))
-		out = append(out, s...)
+		binary.LittleEndian.PutUint16(b[p:], uint16(len(s)))
+		p += 2
+		p += copy(b[p:], s)
 	}
-	return append(out, arg...)
+	copy(b[p:], arg)
+	return eb
 }
 
-func encodeBatch(calls []subCall) []byte {
+// encodeBatchBuf marshals a batch request into an exactly-sized pooled
+// buffer.
+func encodeBatchBuf(calls []subCall) *encBuf {
 	n := 5
 	for _, c := range calls {
 		n += 6 + len(c.fn) + len(c.arg)
 	}
-	out := make([]byte, 0, n)
-	out = append(out, kindBatch)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(calls)))
+	eb := grabEnc(n)
+	b := eb.b
+	b[0] = kindBatch
+	binary.LittleEndian.PutUint32(b[1:], uint32(len(calls)))
+	p := 5
 	for _, c := range calls {
-		out = binary.LittleEndian.AppendUint16(out, uint16(len(c.fn)))
-		out = append(out, c.fn...)
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(c.arg)))
-		out = append(out, c.arg...)
+		binary.LittleEndian.PutUint16(b[p:], uint16(len(c.fn)))
+		p += 2
+		p += copy(b[p:], c.fn)
+		binary.LittleEndian.PutUint32(b[p:], uint32(len(c.arg)))
+		p += 4
+		p += copy(b[p:], c.arg)
 	}
+	return eb
+}
+
+func encodeCall(chain []string, arg []byte) []byte {
+	eb := encodeCallBuf(chain, arg)
+	out := append([]byte(nil), eb.b...)
+	eb.release()
+	return out
+}
+
+func encodeBatch(calls []subCall) []byte {
+	eb := encodeBatchBuf(calls)
+	out := append([]byte(nil), eb.b...)
+	eb.release()
 	return out
 }
 
