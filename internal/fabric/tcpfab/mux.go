@@ -267,17 +267,37 @@ func (m *mux) deregister(id uint64) {
 // acquireSlot blocks until the mux has fewer than limit requests in flight,
 // the deadline passes (timerC fires), or the connection dies. It returns
 // whether a slot was taken.
+//
+// slotFree has capacity 1, so two near-simultaneous releases can merge
+// into a single token. A waiter that consumed a token therefore re-nudges
+// on every exit — win or give up — so the possibly-merged second wakeup
+// reaches another waiter instead of being swallowed (a spurious nudge just
+// makes a waiter re-check and sleep again).
 func (m *mux) acquireSlot(limit int, timerC <-chan time.Time) (ok bool, timedOut bool) {
+	nudged := false
+	renudge := func() {
+		if !nudged {
+			return
+		}
+		select {
+		case m.slotFree <- struct{}{}:
+		default:
+		}
+	}
 	for {
 		n := m.inflight.Load()
 		if n < int64(limit) && m.inflight.CompareAndSwap(n, n+1) {
+			renudge()
 			return true, false
 		}
 		select {
 		case <-m.slotFree:
+			nudged = true
 		case <-m.down:
+			renudge()
 			return false, false
 		case <-timerC:
+			renudge()
 			return false, true
 		}
 	}

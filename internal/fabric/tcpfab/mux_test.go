@@ -162,6 +162,65 @@ func TestMuxMidStreamPeerKill(t *testing.T) {
 	}
 }
 
+// TestCloseDuringConcurrentOps races Close against callers that are mid-op
+// — including ones whose mux died and are re-dialing. Close must return
+// promptly (it may not wait behind a dial: getMux holds no lock across
+// net.DialTimeout, and the peerMu -> p.mu order is never inverted) and
+// every caller must come back with a typed error or a success, never hang.
+func TestCloseDuringConcurrentOps(t *testing.T) {
+	f0, f1 := newPairCfg(t, func(node int, cfg *Config) {
+		cfg.OpDeadline = 2 * time.Second
+		cfg.MaxAttempts = 2
+	})
+	f1.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+
+	const callers = 16
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clk := fabric.NewClock(0)
+			ref := fabric.RankRef{Rank: i, Node: 0}
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := f0.RoundTrip(clk, ref, 1, []byte("x"))
+				if err != nil {
+					if !errors.Is(err, fabric.ErrClosed) &&
+						!errors.Is(err, fabric.ErrNodeDown) &&
+						!errors.Is(err, fabric.ErrTimeout) {
+						t.Errorf("caller %d op %d: untyped error %v", i, j, err)
+					}
+					return
+				}
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let callers get in flight
+
+	closed := make(chan struct{})
+	go func() { f0.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked behind in-flight operations or dials")
+	}
+	close(stop)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("callers hung after Close")
+	}
+}
+
 // TestMuxInFlightCap proves the client-side window: with MaxInFlight=2 and
 // a generous server worker pool, the peer never observes more than two
 // concurrent handler executions from this client.

@@ -569,7 +569,15 @@ func (f *Fabric) handleFrame(typ byte, payload []byte) *frameBuf {
 		if err != nil || len(rest) != 8 {
 			return errFrame(errors.New("tcpfab: bad read frame"))
 		}
-		n := int(binary.LittleEndian.Uint64(rest))
+		// The length is peer-supplied: bound it before allocating so a
+		// corrupt frame cannot OOM the process or (>= 2^63) go negative
+		// and panic grabFrame. The response carries 1 + n bytes and must
+		// itself fit in a frame.
+		want := binary.LittleEndian.Uint64(rest)
+		if want >= maxFrameLen {
+			return errFrame(fmt.Errorf("tcpfab: read length %d exceeds frame limit", want))
+		}
+		n := int(want)
 		s, err := f.localSegment(seg)
 		if err != nil {
 			return errFrame(err)
@@ -670,44 +678,81 @@ func (f *Fabric) dialTimeout(deadlineAt time.Time) (time.Duration, error) {
 	return dt, nil
 }
 
-// getMux returns the least-loaded live multiplexed connection to node,
-// dialing a new one when there is none — or when every existing one is at
-// its in-flight cap and the per-peer connection budget allows another.
-// fresh reports a connection dialed by this call: its immediate failure
-// means the request never left this process.
-func (f *Fabric) getMux(node int, deadlineAt time.Time) (m *mux, fresh bool, err error) {
-	if f.closed.Load() {
-		return nil, false, fabric.ErrClosed
-	}
-	p := f.peer(node)
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// bestMux picks an existing live connection to reuse under p.mu, or nil
+// when the caller should dial: there is no live connection, or every one
+// is at its in-flight cap and the per-peer connection budget allows
+// another.
+func (p *peer) bestMux(cfg *Config) *mux {
 	var best *mux
+	live := 0
 	for _, c := range p.muxes {
 		select {
 		case <-c.down:
 			continue // being torn down; dropMux will prune it
 		default:
 		}
+		live++
 		if best == nil || c.inflight.Load() < best.inflight.Load() {
 			best = c
 		}
 	}
 	if best != nil &&
-		(len(p.muxes) >= f.cfg.MaxConnsPerPeer ||
-			best.inflight.Load() < int64(f.cfg.MaxInFlight)) {
+		(live >= cfg.MaxConnsPerPeer ||
+			best.inflight.Load() < int64(cfg.MaxInFlight)) {
+		return best
+	}
+	return nil
+}
+
+// getMux returns the least-loaded live multiplexed connection to node,
+// dialing a new one when there is none — or when every existing one is at
+// its in-flight cap and the per-peer connection budget allows another.
+// fresh reports a connection dialed by this call: its immediate failure
+// means the request never left this process.
+//
+// Lock order: p.mu is never held while dialing or while acquiring peerMu
+// (f.addr takes peerMu; Close takes peerMu then p.mu), so the dial happens
+// between two short critical sections with a re-check after the second
+// lock acquisition.
+func (f *Fabric) getMux(node int, deadlineAt time.Time) (m *mux, fresh bool, err error) {
+	if f.closed.Load() {
+		return nil, false, fabric.ErrClosed
+	}
+	p := f.peer(node)
+	p.mu.Lock()
+	if best := p.bestMux(&f.cfg); best != nil {
+		p.mu.Unlock()
 		return best, false, nil
 	}
+	p.mu.Unlock()
+
+	addr := f.addr(node)
 	dt, err := f.dialTimeout(deadlineAt)
 	if err != nil {
-		return nil, false, fmt.Errorf("tcpfab: dial %s: %w", f.addr(node), err)
+		return nil, false, fmt.Errorf("tcpfab: dial %s: %w", addr, err)
 	}
-	raw, err := net.DialTimeout("tcp", f.addr(node), dt)
+	raw, err := net.DialTimeout("tcp", addr, dt)
 	if err != nil {
 		return nil, false, err
 	}
+
+	p.mu.Lock()
+	if f.closed.Load() {
+		// Close already swept this peer; a mux added now would leak.
+		p.mu.Unlock()
+		raw.Close()
+		return nil, false, fabric.ErrClosed
+	}
+	if best := p.bestMux(&f.cfg); best != nil {
+		// A concurrent dialer won the race (or a slot freed up); reuse its
+		// connection so the per-peer budget holds, and drop ours.
+		p.mu.Unlock()
+		raw.Close()
+		return best, false, nil
+	}
 	m = newMux(f, node, raw)
 	p.muxes = append(p.muxes, m)
+	p.mu.Unlock()
 	return m, true, nil
 }
 
@@ -788,7 +833,11 @@ func (f *Fabric) muxAttempt(clk *fabric.Clock, node int, typ byte, payload []byt
 		return raw[1:], true, nil
 	case <-m.down:
 		m.deregister(rq.id)
-		return nil, rq.state.Load() == reqWritten, m.failure()
+		// Same cancel race as the timeout path: the writer keeps draining
+		// sendq after close(m.down) and can still flush this frame before
+		// the socket dies, so only winning the CAS proves it never left.
+		canceled := rq.state.CompareAndSwap(reqQueued, reqCanceled)
+		return nil, !canceled, m.failure()
 	case <-timerC:
 		m.deregister(rq.id)
 		// Winning the cancel race proves the frame never hit the wire.
@@ -996,7 +1045,14 @@ func (f *Fabric) attempt(clk *fabric.Clock, node int, typ byte, payload []byte, 
 // exchange sends one frame and waits for its response, retrying with
 // capped exponential backoff and transparent reconnection per the policy
 // in retryAllowed, all bounded by the operation deadline.
-func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte, o fabric.Options) ([]byte, error) {
+//
+// retained reports that some earlier failed attempt may still hold a
+// reference to payload: a mux writer that claimed the frame (state
+// reqWritten) can sit in writeFrame/conn.Write long after the waiter gave
+// up, so a pooled payload must not be released — even after a later
+// attempt succeeds — or the pool could hand the bytes to a new frame while
+// the old socket is still transmitting them.
+func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte, o fabric.Options) (resp []byte, retained bool, err error) {
 	start := time.Now()
 	defer func() {
 		// Keep virtual clocks monotone with observed wall time so
@@ -1041,15 +1097,20 @@ func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte,
 		}
 		resp, delivered, err := f.attempt(clk, node, typ, payload, deadlineAt, o)
 		if err == nil {
-			return resp, nil
+			return resp, retained, nil
 		}
 		var rerr *remoteError
 		if errors.As(err, &rerr) {
-			return nil, err
+			return nil, retained, err
+		}
+		// An abandoned-but-maybe-claimed frame keeps referencing payload
+		// (only the legacy path writes synchronously within the attempt).
+		if delivered && !f.cfg.DisablePipelining {
+			retained = true
 		}
 		lastErr = err
 		if f.closed.Load() || errors.Is(err, fabric.ErrClosed) {
-			return nil, lastErr
+			return nil, retained, lastErr
 		}
 		if !retryAllowed(typ, delivered, o) {
 			break
@@ -1066,7 +1127,7 @@ func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte,
 	if errors.Is(lastErr, fabric.ErrTimeout) {
 		f.count(metrics.Timeouts, node, clk)
 	}
-	return nil, lastErr
+	return nil, retained, lastErr
 }
 
 // Verbs ----------------------------------------------------------------
@@ -1085,7 +1146,8 @@ func (f *Fabric) roundTrip(clk *fabric.Clock, from fabric.RankRef, node int, req
 		resp, _ := (*dp)(req)
 		return resp, nil
 	}
-	return f.exchange(clk, node, frameRPC, req, o)
+	resp, _, err := f.exchange(clk, node, frameRPC, req, o)
+	return resp, err
 }
 
 // Write implements fabric.Provider.
@@ -1104,10 +1166,11 @@ func (f *Fabric) write(clk *fabric.Clock, from fabric.RankRef, node, seg, off in
 	pl := grabFrame(16 + len(data))
 	putSegOff(pl.b, seg, off)
 	copy(pl.b[16:], data)
-	_, err := f.exchange(clk, node, frameWrite, pl.b, o)
-	if err == nil {
-		// On failure the frame may still sit in a send queue; only a
-		// completed exchange proves the payload left the writer.
+	_, retained, err := f.exchange(clk, node, frameWrite, pl.b, o)
+	if err == nil && !retained {
+		// A failed or abandoned earlier attempt may leave the frame in a
+		// writer's hands; release only when the exchange proves no one
+		// still references the payload. Otherwise leak it to the GC.
 		pl.release()
 	}
 	return err
@@ -1129,11 +1192,13 @@ func (f *Fabric) read(clk *fabric.Clock, from fabric.RankRef, node, seg, off int
 	pl := grabFrame(16 + 8)
 	putSegOff(pl.b, seg, off)
 	binary.LittleEndian.PutUint64(pl.b[16:], uint64(len(buf)))
-	resp, err := f.exchange(clk, node, frameRead, pl.b, o)
+	resp, retained, err := f.exchange(clk, node, frameRead, pl.b, o)
 	if err != nil {
 		return err
 	}
-	pl.release()
+	if !retained {
+		pl.release()
+	}
 	if len(resp) != len(buf) {
 		return fmt.Errorf("tcpfab: read returned %d bytes, want %d", len(resp), len(buf))
 	}
@@ -1159,11 +1224,13 @@ func (f *Fabric) cas(clk *fabric.Clock, from fabric.RankRef, node, seg, off int,
 	putSegOff(pl.b, seg, off)
 	binary.LittleEndian.PutUint64(pl.b[16:], old)
 	binary.LittleEndian.PutUint64(pl.b[24:], new)
-	resp, err := f.exchange(clk, node, frameCAS, pl.b, o)
+	resp, retained, err := f.exchange(clk, node, frameCAS, pl.b, o)
 	if err != nil {
 		return 0, false, err
 	}
-	pl.release()
+	if !retained {
+		pl.release()
+	}
 	if len(resp) != 9 {
 		return 0, false, errors.New("tcpfab: bad cas response")
 	}
@@ -1186,11 +1253,13 @@ func (f *Fabric) fetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, off
 	pl := grabFrame(16 + 8)
 	putSegOff(pl.b, seg, off)
 	binary.LittleEndian.PutUint64(pl.b[16:], delta)
-	resp, err := f.exchange(clk, node, frameFAA, pl.b, o)
+	resp, retained, err := f.exchange(clk, node, frameFAA, pl.b, o)
 	if err != nil {
 		return 0, err
 	}
-	pl.release()
+	if !retained {
+		pl.release()
+	}
 	if len(resp) != 8 {
 		return 0, errors.New("tcpfab: bad faa response")
 	}

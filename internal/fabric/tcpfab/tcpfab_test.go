@@ -1,6 +1,7 @@
 package tcpfab
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"sync"
@@ -116,6 +117,36 @@ func TestFetchAddOverTCP(t *testing.T) {
 	if old, err := f1.FetchAdd(clk, fabric.RankRef{Node: 1}, 1, id0, 0, 10); err != nil || old != 5 {
 		t.Fatalf("local FAA = %d, %v", old, err)
 	}
+}
+
+// TestReadLengthBounded feeds handleFrame read requests with hostile
+// lengths: the peer-supplied u64 must be rejected before allocation — a
+// huge value would OOM, and one >= 2^63 turns into a negative slice length
+// and panics grabFrame.
+func TestReadLengthBounded(t *testing.T) {
+	f0, f1 := newPair(t)
+	_ = f0
+	seg1 := memory.NewSegment(64)
+	id := f1.RegisterSegment(1, seg1)
+	for _, want := range []uint64{maxFrameLen, 1 << 40, 1 << 63, ^uint64(0)} {
+		pl := make([]byte, 24)
+		putSegOff(pl, id, 0)
+		binary.LittleEndian.PutUint64(pl[16:], want)
+		out := f1.handleFrame(frameRead, pl)
+		if out.b[0] != 0 {
+			t.Fatalf("read length %d accepted", want)
+		}
+		out.release()
+	}
+	// Sanity: a bounded length still works.
+	pl := make([]byte, 24)
+	putSegOff(pl, id, 0)
+	pl[16] = 8
+	out := f1.handleFrame(frameRead, pl)
+	if out.b[0] != 1 || len(out.b) != 9 {
+		t.Fatalf("bounded read rejected: %v", out.b)
+	}
+	out.release()
 }
 
 func TestBadSegmentOverTCP(t *testing.T) {
