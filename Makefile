@@ -23,7 +23,9 @@ test:
 
 # Transport + container microbenchmarks, numbers recorded in
 # bench_results.txt (the tcpfab mux-vs-serial A/B is the acceptance bench
-# for the pipelined transport; see docs/TRANSPORT.md).
+# for the pipelined transport; see docs/TRANSPORT.md) and, machine-readable,
+# in BENCH_results.json.
 bench:
 	$(GO) test -run xxx -bench=. -benchmem -benchtime=1s \
 		./internal/fabric/tcpfab/ ./internal/containers/ . | tee bench_results.txt
+	$(GO) run ./cmd/hcl-bench -benchjson BENCH_results.json < bench_results.txt

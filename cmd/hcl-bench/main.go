@@ -8,9 +8,13 @@
 //	hcl-bench -exp fig1,fig6a          # a subset
 //	hcl-bench -exp fig7a -full         # paper-scale workload (slow!)
 //	hcl-bench -list                    # list experiment ids
+//	hcl-bench -benchjson out.json      # stdin: go test -bench output -> JSON
+//	hcl-bench -snapshot                # run an instrumented workload, dump
+//	                                   # the metrics snapshot as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +26,12 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		full = flag.Bool("full", false, "use the paper's exact workload sizes (needs a big machine)")
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		csv  = flag.String("csv", "", "also write each result table as CSV into this directory")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full      = flag.Bool("full", false, "use the paper's exact workload sizes (needs a big machine)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		csv       = flag.String("csv", "", "also write each result table as CSV into this directory")
+		benchjson = flag.String("benchjson", "", "convert `go test -bench` output on stdin into this JSON file and exit")
+		snapshot  = flag.Bool("snapshot", false, "run an instrumented workload and print its metrics snapshot as JSON")
 	)
 	flag.Parse()
 
@@ -39,6 +45,30 @@ func main() {
 	p := bench.Scaled()
 	if *full {
 		p = bench.Full()
+	}
+
+	if *benchjson != "" {
+		results, err := bench.ParseGoBench(os.Stdin)
+		if err == nil {
+			err = bench.WriteBenchJSON(*benchjson, results)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d benchmark results to %s\n", len(results), *benchjson)
+		return
+	}
+
+	if *snapshot {
+		snap, _ := bench.ObsSnapshot(p)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := bench.IDs()

@@ -38,7 +38,9 @@ import (
 	"hcl/internal/fabric/tcpfab"
 	"hcl/internal/memory"
 	"hcl/internal/metrics"
+	"hcl/internal/obs"
 	"hcl/internal/ror"
+	"hcl/internal/trace"
 )
 
 // Fabric layer --------------------------------------------------------
@@ -65,6 +67,48 @@ func WithCollector(c *metrics.Collector) simfab.Option { return simfab.WithColle
 
 // NewMetrics returns a collector with the given bucket resolution (ns).
 func NewMetrics(resolution int64) *metrics.Collector { return metrics.New(resolution) }
+
+// Observability --------------------------------------------------------
+//
+// See docs/OBSERVABILITY.md for the span model, the histogram bucket
+// scheme, and the snapshot JSON schema.
+
+// Tracer records RPC spans in a bounded in-memory ring and logs the span
+// trees of slow operations. Attach one to an engine with Engine.SetTracer
+// (and to the fabric: simfab's WithTracer option, tcpfab's Config.Tracer)
+// to get end-to-end traces of container operations.
+type Tracer = trace.Tracer
+
+// Span is one timed segment of a traced operation.
+type Span = trace.Span
+
+// NewTracer returns a tracer retaining the last capacity spans
+// (capacity <= 0 selects the default, 4096).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// WithTracer attaches a tracer to a sim fabric, which then emits
+// deterministic virtual-time spans for the modelled wire, queueing,
+// service, and response phases of every traced round trip.
+func WithTracer(t *Tracer) simfab.Option { return simfab.WithTracer(t) }
+
+// MetricsSnapshot is a point-in-time export of a collector: counter
+// totals plus latency histograms with their quantiles, JSON-encodable.
+type MetricsSnapshot = metrics.Snapshot
+
+// MergeSnapshots folds per-node snapshots into a cluster-wide view;
+// histogram buckets add and quantiles are recomputed, so merged
+// percentiles are as accurate as single-node ones.
+func MergeSnapshots(snaps ...MetricsSnapshot) MetricsSnapshot {
+	return metrics.MergeSnapshots(snaps...)
+}
+
+// ServeDebug starts the runtime introspection HTTP listener (endpoints
+// /metrics, /traces, /traces/tree) on addr; ":0" picks a free port, read
+// it back with Addr. tcpfab nodes can serve the same surface without this
+// call via Config.DebugAddr. Either argument may be nil.
+func ServeDebug(addr string, col *metrics.Collector, tr *Tracer) (*obs.Server, error) {
+	return obs.Serve(addr, col, tr)
+}
 
 // TCPConfig configures the real-socket provider.
 type TCPConfig = tcpfab.Config

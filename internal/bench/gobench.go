@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one measurement line of `go test -bench` output in the
+// machine-readable form recorded in BENCH_results.json.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// ParseGoBench extracts benchmark measurements from `go test -bench`
+// output. Non-benchmark lines (pkg headers, PASS/ok, test logs) are
+// skipped, so the whole tee'd output of `make bench` can be fed through
+// unfiltered. Unknown unit columns (e.g. MB/s from b.SetBytes) are
+// ignored rather than erroring, keeping the parser open to new metrics.
+func ParseGoBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		runs, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue // "BenchmarkX ... FAIL" and friends
+		}
+		br := BenchResult{Name: f[0], Runs: runs}
+		for i := 2; i+1 < len(f); i += 2 {
+			switch f[i+1] {
+			case "ns/op":
+				br.NsPerOp, _ = strconv.ParseFloat(f[i], 64)
+			case "B/op":
+				br.BytesPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+			case "allocs/op":
+				br.AllocsPerOp, _ = strconv.ParseInt(f[i], 10, 64)
+			}
+		}
+		out = append(out, br)
+	}
+	return out, sc.Err()
+}
+
+// WriteBenchJSON writes results as indented JSON to path.
+func WriteBenchJSON(path string, results []BenchResult) error {
+	if results == nil {
+		results = []BenchResult{}
+	}
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

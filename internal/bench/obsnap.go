@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+	"hcl/internal/trace"
+)
+
+// ObsSnapshot runs a small fully-instrumented workload — remote inserts
+// and finds against one partition, hybrid local ops against a co-located
+// one — with the collector and tracer wired through every layer, and
+// returns the resulting metrics snapshot plus the tracer holding the
+// recorded spans. hcl-bench -snapshot dumps the snapshot as JSON; it is
+// the reference specimen of the export schema in docs/OBSERVABILITY.md.
+func ObsSnapshot(p Params) (metrics.Snapshot, *trace.Tracer) {
+	col := metrics.New(1e6)
+	tr := trace.New(0)
+	prov := simfab.New(2, fabric.DefaultCostModel(),
+		simfab.WithCollector(col), simfab.WithTracer(tr))
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, p.ClientsPerNode))
+	rt := core.NewRuntime(w)
+	rt.Engine().SetCollector(col)
+	rt.Engine().SetTracer(tr)
+
+	remote, err := core.NewUnorderedMap[string, []byte](rt, "obs-remote", core.WithServers([]int{1}))
+	if err != nil {
+		panic(err)
+	}
+	local, err := core.NewUnorderedMap[string, []byte](rt, "obs-local", core.WithServers([]int{0}))
+	if err != nil {
+		panic(err)
+	}
+	w.ResetClocks()
+	payload := make([]byte, p.OpSize)
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < p.OpsPerClient; i++ {
+			key := fmt.Sprintf("c%04d-o%06d", r.ID(), i)
+			if _, err := remote.Insert(r, key, payload); err != nil {
+				panic(err)
+			}
+			if _, err := local.Insert(r, key, payload); err != nil {
+				panic(err)
+			}
+			if _, _, err := remote.Find(r, key); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return col.Snapshot(), tr
+}

@@ -199,7 +199,7 @@ func (m *Map[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 	if m.opt.hybrid && node == r.Node() {
 		part := m.parts[p]
 		isNew := part.Insert(k, v)
-		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()))
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()), "omap", m.name, "insert")
 		return isNew, nil
 	}
 	vb, err := m.vbox.Encode(v)
@@ -223,7 +223,7 @@ func (m *Map[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool] {
 	if m.opt.hybrid && node == r.Node() {
 		part := m.parts[p]
 		isNew := part.Insert(k, v)
-		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()))
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()), "omap", m.name, "insert")
 		return immediateFuture(isNew, nil)
 	}
 	vb, err := m.vbox.Encode(v)
@@ -245,7 +245,7 @@ func (m *Map[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 	if m.opt.hybrid && node == r.Node() {
 		part := m.parts[p]
 		v, ok := part.Find(k)
-		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "omap", m.name, "find")
 		return v, ok, nil
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("find"), kb)
@@ -275,7 +275,7 @@ func (m *Map[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
 	if m.opt.hybrid && node == r.Node() {
 		part := m.parts[p]
 		ok := part.Delete(k)
-		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "omap", m.name, "erase")
 		return ok, nil
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("erase"), kb)
@@ -291,7 +291,7 @@ func (m *Map[K, V]) Size(r *cluster.Rank) (int, error) {
 	for p, node := range m.servers {
 		if m.opt.hybrid && node == r.Node() {
 			total += m.parts[p].Len()
-			m.rt.localCharge(r, 0, 1)
+			m.rt.localCharge(r, 0, 1, "omap", m.name, "size")
 			continue
 		}
 		resp, err := m.rt.engine.Invoke(r, node, m.fn("size"), nil)
@@ -329,7 +329,7 @@ func (m *Map[K, V]) Scan(r *cluster.Rank, fromSet bool, from K, limit int) ([]Pa
 			} else {
 				m.parts[p].Range(emit)
 			}
-			m.rt.localCharge(r, 0, len(entries)+1)
+			m.rt.localCharge(r, 0, len(entries)+1, "omap", m.name, "scan")
 		} else {
 			var err error
 			entries, err = m.remoteScan(r, node, fromSet, from, limit)

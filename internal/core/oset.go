@@ -135,7 +135,7 @@ func (s *Set[K]) Insert(r *cluster.Rank, k K) (bool, error) {
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
 		isNew := part.Insert(k, struct{}{})
-		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "insert")
 		return isNew, nil
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("insert"), kb)
@@ -155,7 +155,7 @@ func (s *Set[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
 		isNew := part.Insert(k, struct{}{})
-		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "insert")
 		return immediateFuture(isNew, nil)
 	}
 	raw := s.rt.engine.InvokeAsync(r, node, s.fn("insert"), kb)
@@ -172,7 +172,7 @@ func (s *Set[K]) Find(r *cluster.Rank, k K) (bool, error) {
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
 		_, ok := part.Find(k)
-		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "find")
 		return ok, nil
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("find"), kb)
@@ -192,7 +192,7 @@ func (s *Set[K]) Erase(r *cluster.Rank, k K) (bool, error) {
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
 		ok := part.Delete(k)
-		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()))
+		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "erase")
 		return ok, nil
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("erase"), kb)
@@ -208,7 +208,7 @@ func (s *Set[K]) Size(r *cluster.Rank) (int, error) {
 	for p, node := range s.servers {
 		if s.opt.hybrid && node == r.Node() {
 			total += s.parts[p].Len()
-			s.rt.localCharge(r, 0, 1)
+			s.rt.localCharge(r, 0, 1, "oset", s.name, "size")
 			continue
 		}
 		resp, err := s.rt.engine.Invoke(r, node, s.fn("size"), nil)
@@ -233,7 +233,7 @@ func (s *Set[K]) Scan(r *cluster.Rank, limit int) ([]K, error) {
 				entries = append(entries, Pair[K, struct{}]{Key: k})
 				return len(entries) < limit
 			})
-			s.rt.localCharge(r, 0, len(entries)+1)
+			s.rt.localCharge(r, 0, len(entries)+1, "oset", s.name, "scan")
 			streams[p] = entries
 			continue
 		}

@@ -135,7 +135,7 @@ func (q *PriorityQueue[T]) isLocal(r *cluster.Rank) bool {
 func (q *PriorityQueue[T]) Push(r *cluster.Rank, v T) error {
 	if q.isLocal(r) {
 		q.pq.Push(v)
-		q.rt.localCharge(r, payloadSize(q.box, v), 1+logSteps(q.pq.Len()))
+		q.rt.localCharge(r, payloadSize(q.box, v), 1+logSteps(q.pq.Len()), "pq", q.name, "push")
 		return nil
 	}
 	vb, err := q.box.Encode(v)
@@ -150,7 +150,7 @@ func (q *PriorityQueue[T]) Push(r *cluster.Rank, v T) error {
 func (q *PriorityQueue[T]) PushAsync(r *cluster.Rank, v T) *Future[bool] {
 	if q.isLocal(r) {
 		q.pq.Push(v)
-		q.rt.localCharge(r, payloadSize(q.box, v), 1+logSteps(q.pq.Len()))
+		q.rt.localCharge(r, payloadSize(q.box, v), 1+logSteps(q.pq.Len()), "pq", q.name, "push")
 		return immediateFuture(true, nil)
 	}
 	vb, err := q.box.Encode(v)
@@ -166,7 +166,7 @@ func (q *PriorityQueue[T]) Pop(r *cluster.Rank) (T, bool, error) {
 	var zero T
 	if q.isLocal(r) {
 		v, ok := q.pq.PopMin()
-		q.rt.localCharge(r, payloadSize(q.box, v), 2)
+		q.rt.localCharge(r, payloadSize(q.box, v), 2, "pq", q.name, "pop")
 		return v, ok, nil
 	}
 	resp, err := q.rt.engine.Invoke(r, q.host, q.fn("pop"), nil)
@@ -197,7 +197,7 @@ func (q *PriorityQueue[T]) PushMulti(r *cluster.Rank, vals []T) error {
 			q.pq.Push(v)
 			total += payloadSize(q.box, v)
 		}
-		q.rt.localCharge(r, total, len(vals)*logSteps(q.pq.Len()))
+		q.rt.localCharge(r, total, len(vals)*logSteps(q.pq.Len()), "pq", q.name, "pushN")
 		return nil
 	}
 	fields := make([][]byte, len(vals))
@@ -228,7 +228,7 @@ func (q *PriorityQueue[T]) PopMulti(r *cluster.Rank, n int) ([]T, error) {
 			out = append(out, v)
 			total += payloadSize(q.box, v)
 		}
-		q.rt.localCharge(r, total, 1+len(out))
+		q.rt.localCharge(r, total, 1+len(out), "pq", q.name, "popN")
 		return out, nil
 	}
 	var arg [8]byte
@@ -255,7 +255,7 @@ func (q *PriorityQueue[T]) PopMulti(r *cluster.Rank, n int) ([]T, error) {
 // Size reports the number of queued elements.
 func (q *PriorityQueue[T]) Size(r *cluster.Rank) (int, error) {
 	if q.isLocal(r) {
-		q.rt.localCharge(r, 0, 1)
+		q.rt.localCharge(r, 0, 1, "pq", q.name, "size")
 		return q.pq.Len(), nil
 	}
 	resp, err := q.rt.engine.Invoke(r, q.host, q.fn("size"), nil)

@@ -129,7 +129,7 @@ func (q *Queue[T]) isLocal(r *cluster.Rank) bool {
 func (q *Queue[T]) Push(r *cluster.Rank, v T) error {
 	if q.isLocal(r) {
 		q.q.Push(v)
-		q.rt.localCharge(r, payloadSize(q.box, v), 2)
+		q.rt.localCharge(r, payloadSize(q.box, v), 2, "queue", q.name, "push")
 		return nil
 	}
 	vb, err := q.box.Encode(v)
@@ -144,7 +144,7 @@ func (q *Queue[T]) Push(r *cluster.Rank, v T) error {
 func (q *Queue[T]) PushAsync(r *cluster.Rank, v T) *Future[bool] {
 	if q.isLocal(r) {
 		q.q.Push(v)
-		q.rt.localCharge(r, payloadSize(q.box, v), 2)
+		q.rt.localCharge(r, payloadSize(q.box, v), 2, "queue", q.name, "push")
 		return immediateFuture(true, nil)
 	}
 	vb, err := q.box.Encode(v)
@@ -160,7 +160,7 @@ func (q *Queue[T]) Pop(r *cluster.Rank) (T, bool, error) {
 	var zero T
 	if q.isLocal(r) {
 		v, ok := q.q.Pop()
-		q.rt.localCharge(r, payloadSize(q.box, v), 2)
+		q.rt.localCharge(r, payloadSize(q.box, v), 2, "queue", q.name, "pop")
 		return v, ok, nil
 	}
 	resp, err := q.rt.engine.Invoke(r, q.host, q.fn("pop"), nil)
@@ -197,7 +197,7 @@ func (q *Queue[T]) PushMulti(r *cluster.Rank, vals []T) error {
 			q.q.Push(v)
 			total += payloadSize(q.box, v)
 		}
-		q.rt.localCharge(r, total, 1+len(vals))
+		q.rt.localCharge(r, total, 1+len(vals), "queue", q.name, "pushN")
 		return nil
 	}
 	fields := make([][]byte, len(vals))
@@ -228,7 +228,7 @@ func (q *Queue[T]) PopMulti(r *cluster.Rank, n int) ([]T, error) {
 			out = append(out, v)
 			total += payloadSize(q.box, v)
 		}
-		q.rt.localCharge(r, total, 1+len(out))
+		q.rt.localCharge(r, total, 1+len(out), "queue", q.name, "popN")
 		return out, nil
 	}
 	var arg [8]byte
@@ -255,7 +255,7 @@ func (q *Queue[T]) PopMulti(r *cluster.Rank, n int) ([]T, error) {
 // Size reports the queue length.
 func (q *Queue[T]) Size(r *cluster.Rank) (int, error) {
 	if q.isLocal(r) {
-		q.rt.localCharge(r, 0, 1)
+		q.rt.localCharge(r, 0, 1, "queue", q.name, "size")
 		return q.q.Len(), nil
 	}
 	resp, err := q.rt.engine.Invoke(r, q.host, q.fn("size"), nil)

@@ -68,7 +68,7 @@ func (m *UnorderedMap[K, V]) RemovePartition(r *cluster.Rank, id int) error {
 		moved++
 		return true
 	})
-	m.rt.localCharge(r, 0, 2*moved+1)
+	m.rt.localCharge(r, 0, 2*moved+1, "umap", m.name, "remove_partition")
 	return m.migrate(r)
 }
 
@@ -104,6 +104,6 @@ func (m *UnorderedMap[K, V]) migrate(r *cluster.Rank) error {
 		m.parts[mv.from].Delete(mv.k)
 		m.parts[mv.to].Insert(mv.k, mv.v)
 	}
-	m.rt.localCharge(r, 0, 2*len(moves)+1)
+	m.rt.localCharge(r, 0, 2*len(moves)+1, "umap", m.name, "migrate")
 	return nil
 }

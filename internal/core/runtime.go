@@ -82,9 +82,21 @@ func (rt *Runtime) autoName(kind string) string {
 }
 
 // localCharge bills a hybrid-path access: ops short local operations plus
-// bytes through node memory.
-func (rt *Runtime) localCharge(r *cluster.Rank, bytes, ops int) {
-	rt.acct.LocalAccess(r.Clock(), r.Node(), bytes, ops)
+// bytes through node memory. When the engine has a collector, the charged
+// virtual time is also observed under "local.<kind>.<name>.<op>", the
+// hybrid-path mirror of the remote path's "rpc.<fn>" histograms — the label
+// is only built when someone is listening, so the uninstrumented hybrid
+// path stays allocation-free.
+func (rt *Runtime) localCharge(r *cluster.Rank, bytes, ops int, kind, name, op string) {
+	clk := r.Clock()
+	col := rt.engine.Collector()
+	if col == nil {
+		rt.acct.LocalAccess(clk, r.Node(), bytes, ops)
+		return
+	}
+	t0 := clk.Now()
+	rt.acct.LocalAccess(clk, r.Node(), bytes, ops)
+	col.Observe("local."+kind+"."+name+"."+op, clk.Now()-t0)
 }
 
 // StableHash64 is the level-one hash of the paper's two-level scheme: a

@@ -231,7 +231,7 @@ func (m *UnorderedMap[K, V]) Merge(r *cluster.Rank, k K, v V) (bool, error) {
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		isNew := m.mergeLocal(p, k, v)
-		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3, "umap", m.name, "merge")
 		return isNew, nil
 	}
 	vb, err := m.vbox.Encode(v)
@@ -254,7 +254,7 @@ func (m *UnorderedMap[K, V]) MergeAsync(r *cluster.Rank, k K, v V) *Future[bool]
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		isNew := m.mergeLocal(p, k, v)
-		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3, "umap", m.name, "merge")
 		return immediateFuture(isNew, nil)
 	}
 	vb, err := m.vbox.Encode(v)
@@ -277,7 +277,7 @@ func (m *UnorderedMap[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 		// Hybrid path: direct shared-memory access, no RPC, no
 		// serialization of the value.
 		isNew := m.parts[p].Insert(k, v)
-		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
 		m.appendJournalEncoded(p, kb, v, m.vbox)
 		if m.opt.replicas > 0 {
 			m.replicate(node, p, mustPair(kb, m.vbox, v))
@@ -320,7 +320,7 @@ func (m *UnorderedMap[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		isNew := m.parts[p].Insert(k, v)
-		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2)
+		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
 		m.appendJournalEncoded(p, kb, v, m.vbox)
 		return immediateFuture(isNew, nil)
 	}
@@ -346,7 +346,7 @@ func (m *UnorderedMap[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 		if ok {
 			sz += payloadSize(m.vbox, v)
 		}
-		m.rt.localCharge(r, sz, 2)
+		m.rt.localCharge(r, sz, 2, "umap", m.name, "find")
 		return v, ok, nil
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("find"), kb)
@@ -365,7 +365,7 @@ func (m *UnorderedMap[K, V]) FindAsync(r *cluster.Rank, k K) *Future[FindResult[
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		v, ok := m.parts[p].Find(k)
-		m.rt.localCharge(r, len(kb), 2)
+		m.rt.localCharge(r, len(kb), 2, "umap", m.name, "find")
 		return immediateFuture(FindResult[V]{Value: v, OK: ok}, nil)
 	}
 	raw := m.rt.engine.InvokeAsync(r, node, m.fn("find"), kb)
@@ -399,7 +399,7 @@ func (m *UnorderedMap[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		ok := m.parts[p].Delete(k)
-		m.rt.localCharge(r, len(kb), 2)
+		m.rt.localCharge(r, len(kb), 2, "umap", m.name, "erase")
 		return ok, nil
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("erase"), kb)
@@ -420,7 +420,7 @@ func (m *UnorderedMap[K, V]) Resize(r *cluster.Rank, partitionID, newSize int) (
 	if m.opt.hybrid && node == r.Node() {
 		n := m.parts[partitionID].Len()
 		m.parts[partitionID].Reserve(newSize)
-		m.rt.localCharge(r, 0, 2*n+1)
+		m.rt.localCharge(r, 0, 2*n+1, "umap", m.name, "resize")
 		return true, nil
 	}
 	var arg [8]byte
@@ -439,7 +439,7 @@ func (m *UnorderedMap[K, V]) Size(r *cluster.Rank) (int, error) {
 	for p, node := range m.servers {
 		if m.opt.hybrid && node == r.Node() {
 			total += m.parts[p].Len()
-			m.rt.localCharge(r, 0, 1)
+			m.rt.localCharge(r, 0, 1, "umap", m.name, "size")
 			continue
 		}
 		resp, err := m.rt.engine.Invoke(r, node, m.fn("size"), nil)

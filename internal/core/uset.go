@@ -116,7 +116,7 @@ func (s *UnorderedSet[K]) Insert(r *cluster.Rank, k K) (bool, error) {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		isNew := s.parts[p].Insert(k, struct{}{})
-		s.rt.localCharge(r, len(kb), 2)
+		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "insert")
 		return isNew, nil
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("insert"), kb)
@@ -135,7 +135,7 @@ func (s *UnorderedSet[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		isNew := s.parts[p].Insert(k, struct{}{})
-		s.rt.localCharge(r, len(kb), 2)
+		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "insert")
 		return immediateFuture(isNew, nil)
 	}
 	raw := s.rt.engine.InvokeAsync(r, node, s.fn("insert"), kb)
@@ -151,7 +151,7 @@ func (s *UnorderedSet[K]) Find(r *cluster.Rank, k K) (bool, error) {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		ok := s.parts[p].Contains(k)
-		s.rt.localCharge(r, len(kb), 2)
+		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "find")
 		return ok, nil
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("find"), kb)
@@ -170,7 +170,7 @@ func (s *UnorderedSet[K]) Erase(r *cluster.Rank, k K) (bool, error) {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		ok := s.parts[p].Delete(k)
-		s.rt.localCharge(r, len(kb), 2)
+		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "erase")
 		return ok, nil
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("erase"), kb)
@@ -189,7 +189,7 @@ func (s *UnorderedSet[K]) Resize(r *cluster.Rank, partitionID, newSize int) (boo
 	if s.opt.hybrid && node == r.Node() {
 		n := s.parts[partitionID].Len()
 		s.parts[partitionID].Reserve(newSize)
-		s.rt.localCharge(r, 0, 2*n+1)
+		s.rt.localCharge(r, 0, 2*n+1, "uset", s.name, "resize")
 		return true, nil
 	}
 	var arg [8]byte
@@ -207,7 +207,7 @@ func (s *UnorderedSet[K]) Size(r *cluster.Rank) (int, error) {
 	for p, node := range s.servers {
 		if s.opt.hybrid && node == r.Node() {
 			total += s.parts[p].Len()
-			s.rt.localCharge(r, 0, 1)
+			s.rt.localCharge(r, 0, 1, "uset", s.name, "size")
 			continue
 		}
 		resp, err := s.rt.engine.Invoke(r, node, s.fn("size"), nil)

@@ -1,11 +1,19 @@
 package fabric
 
+import "hcl/internal/trace"
+
 // Clock is a per-actor virtual clock measured in nanoseconds. Exactly one
 // goroutine owns a Clock; it is advanced by fabric verbs and by local
 // data-structure work, and never moves backwards. Aggregating the final
 // clocks of all ranks yields the modelled makespan of a parallel phase.
+//
+// The clock doubles as the per-operation trace conduit: every fabric verb
+// already receives the caller's Clock, so the invocation layer stamps a
+// trace context onto it before issuing a verb and providers read it back
+// without any signature change. Single-ownership makes this race-free.
 type Clock struct {
 	now int64
+	tr  trace.Ctx
 }
 
 // NewClock returns a clock starting at t virtual nanoseconds.
@@ -31,3 +39,10 @@ func (c *Clock) AdvanceTo(t int64) {
 // Reset rewinds the clock to t regardless of its current value. Only the
 // benchmark harness uses this, between repeated phases.
 func (c *Clock) Reset(t int64) { c.now = t }
+
+// SetTrace stamps the trace context the next fabric verbs issued on this
+// clock belong to. The zero Ctx clears it.
+func (c *Clock) SetTrace(tc trace.Ctx) { c.tr = tc }
+
+// Trace reports the trace context currently stamped on the clock.
+func (c *Clock) Trace() trace.Ctx { return c.tr }

@@ -24,6 +24,7 @@ import (
 
 	"hcl/internal/fabric"
 	"hcl/internal/metrics"
+	"hcl/internal/trace"
 )
 
 // Verb classes for fault rolls and retry gating.
@@ -64,6 +65,11 @@ type Config struct {
 	Backoff fabric.Backoff
 	// Collector, when non-nil, receives Retries/Timeouts counters.
 	Collector *metrics.Collector
+	// Tracer, when non-nil, records one "attempt" span per try of a traced
+	// verb — lost, delayed, and successful attempts all surface as sibling
+	// spans under the caller's root, which is how a retry storm reads in a
+	// trace tree. Timestamps are virtual, so the spans replay identically.
+	Tracer *trace.Tracer
 }
 
 // Fabric is the fault-injecting provider. Create one with New.
@@ -207,6 +213,36 @@ func (f *Fabric) count(kind metrics.Kind, node int, t int64) {
 	}
 }
 
+func verbString(verb byte) string {
+	switch verb {
+	case verbRPC:
+		return "rpc"
+	case verbWrite:
+		return "write"
+	case verbRead:
+		return "read"
+	case verbCAS:
+		return "cas"
+	case verbFAA:
+		return "faa"
+	}
+	return "?"
+}
+
+// attemptSpan records one try of a traced verb as a sibling span under the
+// caller's root.
+func (f *Fabric) attemptSpan(tc trace.Ctx, verb byte, node, attempt int, start, end int64) {
+	tr := f.cfg.Tracer
+	if tr == nil || !tc.Valid() {
+		return
+	}
+	tr.Record(trace.Span{
+		TraceID: tc.TraceID, ID: tr.NewID(), Parent: tc.Parent,
+		Name: "attempt", Verb: verbString(verb), Node: node,
+		Attempt: attempt, Start: start, End: end,
+	})
+}
+
 // retryAllowed mirrors tcpfab's policy: idempotent one-sided reads and
 // writes always retry; RPC/CAS/FAA replay only with the explicit opt-in
 // (a dropped attempt may have executed — only the response was lost).
@@ -236,6 +272,7 @@ func (f *Fabric) perform(clk *fabric.Clock, from fabric.RankRef, node int, verb 
 	if o.MaxAttempts > 0 {
 		attempts = o.MaxAttempts
 	}
+	tc := clk.Trace()
 
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -255,14 +292,20 @@ func (f *Fabric) perform(clk *fabric.Clock, from fabric.RankRef, node int, verb 
 			}
 			clk.Advance(pause)
 		}
+		// The attempt span starts after the backoff pause: it covers the
+		// try's wire activity (or the timeout burned discovering a loss),
+		// not the time spent waiting to retry.
+		aStart := clk.Now()
 		if f.isCut(from.Node, node) || r.drop {
 			// The attempt vanished; the caller burns its attempt
 			// timeout (clipped to the deadline) discovering that.
 			if clk.Now()+f.cfg.AttemptTimeoutNS >= deadline {
 				clk.AdvanceTo(deadline)
+				f.attemptSpan(tc, verb, node, attempt, aStart, clk.Now())
 				break
 			}
 			clk.Advance(f.cfg.AttemptTimeoutNS)
+			f.attemptSpan(tc, verb, node, attempt, aStart, clk.Now())
 			if !retryAllowed(verb, o) {
 				break
 			}
@@ -271,11 +314,15 @@ func (f *Fabric) perform(clk *fabric.Clock, from fabric.RankRef, node int, verb 
 		if r.delay {
 			if clk.Now()+f.cfg.DelayNS >= deadline {
 				clk.AdvanceTo(deadline)
+				f.attemptSpan(tc, verb, node, attempt, aStart, clk.Now())
 				break
 			}
 			clk.Advance(f.cfg.DelayNS)
 		}
 		side := fabric.NewClock(clk.Now())
+		// The inner provider sees the restamped context, so its own spans
+		// (e.g. simfab's wire segments) carry this attempt's number.
+		side.SetTrace(tc.WithAttempt(attempt))
 		err := op(side, true)
 		if r.dup {
 			// Duplicate delivery: the verb executes again at the
@@ -284,9 +331,11 @@ func (f *Fabric) perform(clk *fabric.Clock, from fabric.RankRef, node int, verb 
 		}
 		if side.Now() > deadline {
 			clk.AdvanceTo(deadline)
+			f.attemptSpan(tc, verb, node, attempt, aStart, clk.Now())
 			break
 		}
 		clk.AdvanceTo(side.Now())
+		f.attemptSpan(tc, verb, node, attempt, aStart, clk.Now())
 		return err
 	}
 	f.count(metrics.Timeouts, node, clk.Now())

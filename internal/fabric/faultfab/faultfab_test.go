@@ -11,11 +11,19 @@ import (
 	"hcl/internal/fabric/simfab"
 	"hcl/internal/memory"
 	"hcl/internal/metrics"
+	"hcl/internal/trace"
 )
 
 func newSim(t *testing.T, nodes int) *simfab.Fabric {
 	t.Helper()
 	f := simfab.New(nodes, fabric.DefaultCostModel())
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func newSimTraced(t *testing.T, nodes int, tr *trace.Tracer) *simfab.Fabric {
+	t.Helper()
+	f := simfab.New(nodes, fabric.DefaultCostModel(), simfab.WithTracer(tr))
 	t.Cleanup(func() { f.Close() })
 	return f
 }

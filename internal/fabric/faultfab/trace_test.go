@@ -1,0 +1,113 @@
+package faultfab
+
+import (
+	"errors"
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/metrics"
+	"hcl/internal/trace"
+)
+
+// TestRetrySiblingsInSpanTree: a traced RPC through an always-dropping
+// injector records one "attempt" span per try, numbered as siblings of
+// the same parent, and the fabric_retries counter agrees with the span
+// count — the acceptance shape for retry observability.
+func TestRetrySiblingsInSpanTree(t *testing.T) {
+	sim := newSim(t, 2)
+	col := metrics.New(1e6)
+	tr := trace.New(0)
+	f := New(sim, Config{
+		Seed:      1,
+		DropProb:  1, // every attempt is lost
+		Collector: col,
+		Tracer:    tr,
+	})
+	v := f.WithOptions(fabric.Options{MaxAttempts: 3, RetryRPC: true})
+
+	clk := fabric.NewClock(0)
+	tc := trace.Ctx{TraceID: tr.NewID(), Parent: tr.NewID()}
+	clk.SetTrace(tc)
+	_, err := v.RoundTrip(clk, ref0, 1, []byte("req"))
+	if !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+
+	spans := tr.Spans(tc.TraceID)
+	var attempts []trace.Span
+	for _, s := range spans {
+		if s.Name == "attempt" {
+			attempts = append(attempts, s)
+		}
+	}
+	if len(attempts) != 3 {
+		t.Fatalf("attempt spans = %d, want 3: %+v", len(attempts), spans)
+	}
+	for i, s := range attempts {
+		if s.Attempt != i {
+			t.Fatalf("attempt %d numbered %d", i, s.Attempt)
+		}
+		if s.Parent != tc.Parent {
+			t.Fatalf("attempt %d parent = %d, want sibling under %d", i, s.Parent, tc.Parent)
+		}
+		if s.Verb != "rpc" || s.Node != 1 {
+			t.Fatalf("attempt span %+v", s)
+		}
+		if s.Duration() <= 0 {
+			t.Fatalf("attempt %d has no duration: %+v", i, s)
+		}
+		if i > 0 && s.Start < attempts[i-1].End {
+			t.Fatalf("attempt %d overlaps previous: %+v / %+v", i, attempts[i-1], s)
+		}
+	}
+
+	// Counter consistency: retries = attempts - 1, one timeout overall.
+	if got := col.Total(metrics.Retries, 1); got != float64(len(attempts)-1) {
+		t.Fatalf("fabric_retries = %v, want %d", got, len(attempts)-1)
+	}
+	if got := col.Total(metrics.Timeouts, 1); got != 1 {
+		t.Fatalf("timeouts = %v", got)
+	}
+}
+
+// TestSuccessfulAttemptPropagatesCtx: the inner provider sees the
+// restamped per-attempt context, so its own spans join the same tree
+// with the right attempt number.
+func TestSuccessfulAttemptPropagatesCtx(t *testing.T) {
+	tr := trace.New(0)
+	sim := newSimTraced(t, 2, tr)
+	f := New(sim, Config{
+		Seed:     1,
+		DropProb: 0.6, // some attempts lost, eventually one lands
+		Tracer:   tr,
+	})
+	v := f.WithOptions(fabric.Options{MaxAttempts: 10, RetryRPC: true})
+	sim.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 10 })
+
+	clk := fabric.NewClock(0)
+	tc := trace.Ctx{TraceID: tr.NewID(), Parent: tr.NewID()}
+	clk.SetTrace(tc)
+	if _, err := v.RoundTrip(clk, ref0, 1, []byte("req")); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans(tc.TraceID)
+	var last int // attempt number of the landed try
+	for _, s := range spans {
+		if s.Name == "attempt" && s.Attempt > last {
+			last = s.Attempt
+		}
+	}
+	var wires int
+	for _, s := range spans {
+		if s.Name == "wire" {
+			wires++
+			if s.Attempt != last {
+				t.Fatalf("inner wire span attempt = %d, want %d: %+v", s.Attempt, last, s)
+			}
+		}
+	}
+	if wires != 1 {
+		t.Fatalf("wire spans = %d (inner fabric not traced through): %+v", wires, spans)
+	}
+}

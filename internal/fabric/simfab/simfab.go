@@ -14,6 +14,7 @@ import (
 
 	"hcl/internal/fabric"
 	"hcl/internal/metrics"
+	"hcl/internal/trace"
 )
 
 // Fabric is the simulated provider. Create one with New.
@@ -21,6 +22,7 @@ type Fabric struct {
 	cm     fabric.CostModel
 	nodes  []*node
 	col    *metrics.Collector
+	tr     *trace.Tracer
 	closed atomic.Bool
 }
 
@@ -44,6 +46,14 @@ type Option func(*Fabric)
 // WithCollector attaches a metrics collector; nil disables collection.
 func WithCollector(c *metrics.Collector) Option {
 	return func(f *Fabric) { f.col = c }
+}
+
+// WithTracer attaches a tracer; traced round trips then emit spans for the
+// simulated wire, queueing, service, and response-pull phases. All span
+// timestamps are virtual — the same program produces the same trace every
+// run, which is what makes simulated traces diffable.
+func WithTracer(t *trace.Tracer) Option {
+	return func(f *Fabric) { f.tr = t }
 }
 
 // New returns a simulated fabric with n nodes using cost model cm.
@@ -72,6 +82,9 @@ func (f *Fabric) CostModel() fabric.CostModel { return f.cm }
 
 // Collector returns the attached metrics collector (possibly nil).
 func (f *Fabric) Collector() *metrics.Collector { return f.col }
+
+// Tracer returns the attached tracer (possibly nil).
+func (f *Fabric) Tracer() *trace.Tracer { return f.tr }
 
 // Close implements fabric.Provider.
 func (f *Fabric) Close() error {
@@ -191,14 +204,15 @@ func (f *Fabric) RoundTrip(clk *fabric.Clock, from fabric.RankRef, nodeID int, r
 	// 1-2. Client stub posts the request; RDMA_SEND into the request
 	// buffer at the target.
 	clk.Advance(f.cm.SendPostNS)
-	arrive := f.transfer(from.Node, nodeID, clk.Now(), len(req))
+	start0 := clk.Now()
+	arrive := f.transfer(from.Node, nodeID, start0, len(req))
 
 	// 3-5. A NIC core pulls the work-queue entry, runs the server stub,
 	// and writes the response buffer. The dispatcher executes the real
 	// handler against real memory and reports its modelled cost.
 	resp, hcost := (*dp)(req)
 	svc := f.cm.PerPacketNS*f.cm.Packets(len(req)) + f.cm.RPCHandlerNS + hcost
-	_, ready := f.nicService(nodeID, arrive, svc)
+	svcStart, ready := f.nicService(nodeID, arrive, svc)
 
 	// 6-7. Completion notification reaches the client, which pulls the
 	// response with RDMA_READ.
@@ -209,6 +223,25 @@ func (f *Fabric) RoundTrip(clk *fabric.Clock, from fabric.RankRef, nodeID int, r
 
 	if f.col != nil {
 		f.col.Add(metrics.RemoteInvokes, nodeID, arrive, 1)
+	}
+	if tc := clk.Trace(); f.tr != nil && tc.Valid() {
+		// Sibling segments under the caller's root span, all on virtual
+		// time: request flight, NIC-core queueing, service, response pull.
+		// "nic.exec" is the modelled NIC-core occupancy; the engine's
+		// "container.exec" span separately times the real handler.
+		att := int(tc.Attempt)
+		spans := [...]trace.Span{
+			{Name: "wire", Start: start0, End: arrive},
+			{Name: "server.queue", Start: arrive, End: svcStart},
+			{Name: "nic.exec", Start: svcStart, End: ready},
+			{Name: "response", Start: notified, End: done},
+		}
+		id := f.tr.NewIDs(len(spans))
+		for i := range spans {
+			spans[i].TraceID, spans[i].ID, spans[i].Parent = tc.TraceID, id+uint64(i), tc.Parent
+			spans[i].Verb, spans[i].Node, spans[i].Attempt = "rpc", nodeID, att
+		}
+		f.tr.RecordBatch(spans[:]...)
 	}
 	return resp, nil
 }

@@ -15,7 +15,18 @@ import (
 // echoed verbatim by the server so responses can complete out of order on a
 // multiplexed connection. Response payloads carry a status byte first
 // (1 = ok, 0 = error string), written by the server's frame handlers.
+//
+// Traced frames set frameTraced on typ and prepend an extension to the
+// payload region (len counts it): requests carry a trace.CtxWireLen-byte
+// trace context, responses an 8-byte server residency (nanoseconds the
+// request spent at the server, stub queue through execution) the client
+// subtracts to attribute wire time without comparing clocks across
+// machines. Untraced traffic is byte-identical to the pre-tracing format.
 const frameHeaderLen = 4 + 1 + 8
+
+// frameTraced flags a frame carrying a trace extension ahead of its
+// payload. Kept out of the type switch via masking with ^frameTraced.
+const frameTraced byte = 0x80
 
 // maxFrameLen bounds a single payload; anything larger is a protocol error.
 const maxFrameLen = 1 << 30
@@ -67,6 +78,23 @@ func writeFrame(w io.Writer, typ byte, id uint64, payload []byte) error {
 	hdr[4] = typ
 	binary.LittleEndian.PutUint64(hdr[5:], id)
 	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeFrameExt emits one traced frame: the extension bytes ride between
+// the header and the payload, counted in len.
+func writeFrameExt(w io.Writer, typ byte, id uint64, ext, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(ext)+len(payload)))
+	hdr[4] = typ
+	binary.LittleEndian.PutUint64(hdr[5:], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(ext); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)

@@ -8,6 +8,7 @@
 package tcpfab
 
 import (
+	"encoding/binary"
 	"net"
 	"runtime"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"hcl/internal/metrics"
+	"hcl/internal/trace"
 )
 
 // muxReq states. A request is written at most once: the writer claims it
@@ -34,6 +36,23 @@ type muxReq struct {
 	payload []byte
 	state   atomic.Int32
 	resp    chan []byte // buffered 1; status-prefixed response payload
+
+	// Tracing state. traced requests ship a context extension and expect
+	// a residency extension back. sentAt is atomic because the writer
+	// goroutine stamps it and the waiter reads it with no channel edge
+	// between them; respAt and residency are written by the reader before
+	// the resp send, which orders them for the waiter.
+	traced    bool
+	tc        trace.Ctx
+	sentAt    atomic.Int64
+	respAt    int64
+	residency int64
+	// ext is writeOne's scratch for the encoded context. It lives here
+	// rather than on writeOne's stack because a local array escapes
+	// through the io.Writer parameter of writeFrameExt — one heap
+	// allocation per traced frame; the pooled record is already on the
+	// heap.
+	ext [trace.CtxWireLen]byte
 }
 
 // muxReqPool recycles request records. A record may be pooled only on the
@@ -44,10 +63,15 @@ var muxReqPool = sync.Pool{
 	New: func() any { return &muxReq{resp: make(chan []byte, 1)} },
 }
 
-func grabReq(typ byte, payload []byte) *muxReq {
+func grabReq(typ byte, payload []byte, tc trace.Ctx) *muxReq {
 	rq := muxReqPool.Get().(*muxReq)
 	rq.typ = typ
 	rq.payload = payload
+	rq.tc = tc
+	rq.traced = tc.Valid()
+	rq.sentAt.Store(0)
+	rq.respAt = 0
+	rq.residency = 0
 	rq.state.Store(reqQueued)
 	return rq
 }
@@ -145,14 +169,15 @@ func (m *mux) writeLoop() {
 		case rq := <-m.sendq:
 			m.armWriteDeadline()
 			wrote := 0
-			if ok, err := m.writeOne(bw, rq); err != nil {
+			var batchNS int64 // one wire-entry stamp per flush batch
+			if ok, err := m.writeOne(bw, rq, &batchNS); err != nil {
 				m.teardown(err)
 				return
 			} else if ok {
 				wrote++
 			}
 			for pass := 0; ; pass++ {
-				n, err := m.drainQueue(bw)
+				n, err := m.drainQueue(bw, &batchNS)
 				if err != nil {
 					m.teardown(err)
 					return
@@ -179,12 +204,12 @@ func (m *mux) writeLoop() {
 }
 
 // drainQueue writes every frame currently queued without blocking.
-func (m *mux) drainQueue(bw flusher) (int, error) {
+func (m *mux) drainQueue(bw flusher, batchNS *int64) (int, error) {
 	wrote := 0
 	for {
 		select {
 		case rq := <-m.sendq:
-			ok, err := m.writeOne(bw, rq)
+			ok, err := m.writeOne(bw, rq, batchNS)
 			if err != nil {
 				return wrote, err
 			}
@@ -215,10 +240,23 @@ func (m *mux) armWriteDeadline() {
 
 // writeOne claims and writes a single queued frame. ok reports whether the
 // frame actually went out (false: it had been canceled by a timed-out
-// waiter, and its payload must no longer be touched).
-func (m *mux) writeOne(bw flusher, rq *muxReq) (ok bool, err error) {
+// waiter, and its payload must no longer be touched). Traced frames are
+// stamped with their wire-entry time — that boundary is what separates
+// client-enqueue time from wire time. All frames of one flush batch
+// share a stamp (*batchNS, read lazily on the first traced frame):
+// they enter the socket together at the batch's single Flush, so a
+// per-frame clock read would cost a serialized ~40ns for no accuracy.
+func (m *mux) writeOne(bw flusher, rq *muxReq, batchNS *int64) (ok bool, err error) {
 	if !rq.state.CompareAndSwap(reqQueued, reqWritten) {
 		return false, nil
+	}
+	if rq.traced {
+		if *batchNS == 0 {
+			*batchNS = trace.NowNS()
+		}
+		rq.sentAt.Store(*batchNS)
+		trace.PutCtx(rq.ext[:], rq.tc)
+		return true, writeFrameExt(bw, rq.typ|frameTraced, rq.id, rq.ext[:], rq.payload)
 	}
 	return true, writeFrame(bw, rq.typ, rq.id, rq.payload)
 }
@@ -229,7 +267,13 @@ func (m *mux) writeOne(bw flusher, rq *muxReq) (ok bool, err error) {
 // that had to kill the conn to discard a late response.
 func (m *mux) readLoop() {
 	br := newBufReader(m.conn)
+	var stamp int64
 	for {
+		// A frame whose first bytes were already buffered arrived with
+		// the previous syscall, so the previous stamp is its receive
+		// time; only an empty buffer means the next frame costs a
+		// syscall and needs a fresh clock read.
+		fresh := br.Buffered() == 0
 		typ, id, payload, err := readFrameAlloc(br)
 		if err != nil {
 			m.teardown(err)
@@ -242,9 +286,25 @@ func (m *mux) readLoop() {
 		if rq == nil {
 			continue // late response; waiter gave up
 		}
-		if typ != rq.typ {
+		if typ&^frameTraced != rq.typ {
 			m.teardown(errBadResponseType(typ, rq.typ))
 			return
+		}
+		if typ&frameTraced != 0 {
+			if len(payload) < 8 {
+				m.teardown(errShortTraceExt)
+				return
+			}
+			if rq.traced {
+				rq.residency = int64(binary.LittleEndian.Uint64(payload))
+			}
+			payload = payload[8:]
+		}
+		if rq.traced {
+			if fresh || stamp == 0 {
+				stamp = trace.NowNS()
+			}
+			rq.respAt = stamp
 		}
 		rq.resp <- payload
 	}

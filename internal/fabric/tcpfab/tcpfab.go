@@ -33,6 +33,8 @@ import (
 
 	"hcl/internal/fabric"
 	"hcl/internal/metrics"
+	"hcl/internal/obs"
+	"hcl/internal/trace"
 )
 
 // Frame types.
@@ -95,6 +97,19 @@ type Config struct {
 	// time per pooled connection. Kept for A/B benchmarks
 	// (BenchmarkRoundTrip/serial-*) and protocol debugging.
 	DisablePipelining bool
+
+	// Tracer, when non-nil, records transport-level spans (client
+	// enqueue, wire, server stub queue) for operations that arrive
+	// carrying a trace context on their clock. The trace context itself
+	// travels whenever the caller stamped one, tracer or not, so a
+	// server-side tracer still sees its half of a round trip. Untraced
+	// operations pay nothing: no extension bytes, no allocations.
+	Tracer *trace.Tracer
+	// DebugAddr, when non-empty, serves the runtime introspection surface
+	// (GET /metrics, /traces, /traces/tree — see internal/obs) for this
+	// node on the given address. ":0" picks a free port; read it back
+	// with DebugAddr().
+	DebugAddr string
 }
 
 // peer holds the client-side connection state for one remote node.
@@ -116,6 +131,10 @@ type serverTask struct {
 	sc *serverConn
 	id uint64
 	pb *frameBuf
+
+	ext     int       // trace extension bytes at the head of pb.b
+	tc      trace.Ctx // decoded trace context, zero when untraced
+	arrival int64     // trace.NowNS() when the frame loop read the frame
 }
 
 // Fabric is the TCP provider. Create one per process with New.
@@ -139,6 +158,8 @@ type Fabric struct {
 
 	tasks chan serverTask
 	done  chan struct{}
+	debug *obs.Server // debug HTTP listener, nil unless DebugAddr set
+	syms  traceSyms   // pre-interned span labels, set when Tracer != nil
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -198,6 +219,15 @@ func New(cfg Config) (*Fabric, error) {
 		done:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
+	f.syms.intern(cfg.Tracer)
+	if cfg.DebugAddr != "" {
+		dbg, err := obs.Serve(cfg.DebugAddr, cfg.Collector, cfg.Tracer)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		f.debug = dbg
+	}
 	for i := 0; i < cfg.RPCWorkers; i++ {
 		f.wg.Add(1)
 		go f.rpcWorker()
@@ -241,6 +271,15 @@ func (f *Fabric) countWallN(kind metrics.Kind, node int, v float64) {
 // Addr reports the actual listen address (useful with ":0" configs).
 func (f *Fabric) Addr() string { return f.ln.Addr().String() }
 
+// DebugAddr reports the debug listener's resolved address, or "" when no
+// DebugAddr was configured.
+func (f *Fabric) DebugAddr() string {
+	if f.debug == nil {
+		return ""
+	}
+	return f.debug.Addr()
+}
+
 // SetAddrs replaces the node address book, supporting ephemeral-port
 // bootstrap: start every node on ":0", gather the resolved Addr()s, then
 // distribute the final list. Call before issuing any cross-node verbs.
@@ -271,6 +310,7 @@ func (f *Fabric) Close() error {
 	}
 	close(f.done)
 	err := f.ln.Close()
+	f.debug.Close()
 
 	// Collect client-side connections under the locks, sever them after.
 	f.peerMu.Lock()
@@ -358,10 +398,13 @@ func (f *Fabric) acceptLoop() {
 }
 
 // respFrame is one response awaiting the connection's writer goroutine.
+// traced responses carry the server residency back as a frame extension.
 type respFrame struct {
-	typ byte
-	id  uint64
-	pb  *frameBuf
+	typ    byte
+	id     uint64
+	pb     *frameBuf
+	traced bool
+	res    int64 // server residency in nanoseconds
 }
 
 // serverConn is the server half of one accepted connection: the frame loop
@@ -377,6 +420,11 @@ type serverConn struct {
 	once  sync.Once
 
 	lastArm time.Time // writeLoop only: last SetWriteDeadline arming
+
+	// ext is writeResp's scratch for the residency extension (writeLoop
+	// only); a stack array would escape through writeFrameExt's
+	// io.Writer parameter and cost an allocation per traced response.
+	ext [8]byte
 }
 
 // armWriteDeadline mirrors mux.armWriteDeadline: bound flushes, re-arming
@@ -403,12 +451,12 @@ func (sc *serverConn) shutdown() {
 
 // enqueue hands a response to the writer. It reports false — releasing the
 // buffer — once the connection is dead.
-func (sc *serverConn) enqueue(typ byte, id uint64, pb *frameBuf) bool {
+func (sc *serverConn) enqueue(r respFrame) bool {
 	select {
-	case sc.respq <- respFrame{typ: typ, id: id, pb: pb}:
+	case sc.respq <- r:
 		return true
 	case <-sc.done:
-		pb.release()
+		r.pb.release()
 		return false
 	}
 }
@@ -468,7 +516,13 @@ func (sc *serverConn) drainQueue(bw *bufio.Writer) (int, bool) {
 }
 
 func (sc *serverConn) writeResp(bw *bufio.Writer, r respFrame) bool {
-	err := writeFrame(bw, r.typ, r.id, r.pb.b)
+	var err error
+	if r.traced {
+		binary.LittleEndian.PutUint64(sc.ext[:], uint64(r.res))
+		err = writeFrameExt(bw, r.typ|frameTraced, r.id, sc.ext[:], r.pb.b)
+	} else {
+		err = writeFrame(bw, r.typ, r.id, r.pb.b)
+	}
 	r.pb.release()
 	if err != nil {
 		sc.shutdown()
@@ -491,14 +545,36 @@ func (f *Fabric) serveConn(conn net.Conn) {
 	}()
 	defer sc.shutdown()
 	br := newBufReader(conn)
+	var stamp int64
 	for {
+		// Arrival stamps are shared across frames delivered by one
+		// syscall (see mux.readLoop): already-buffered frames reuse the
+		// previous clock read.
+		fresh := br.Buffered() == 0
 		typ, id, pb, err := readFramePooled(br)
 		if err != nil {
 			return
 		}
+		// A traced request leads with its trace context; decode it here so
+		// both the worker pool and the inline path see the bare payload.
+		var tc trace.Ctx
+		ext := 0
+		var arrival int64
+		if typ&frameTraced != 0 {
+			typ &^= frameTraced
+			if tc, err = trace.ReadCtx(pb.b); err != nil {
+				pb.release()
+				return
+			}
+			ext = trace.CtxWireLen
+			if fresh || stamp == 0 {
+				stamp = trace.NowNS()
+			}
+			arrival = stamp
+		}
 		if typ == frameRPC {
 			select {
-			case f.tasks <- serverTask{sc: sc, id: id, pb: pb}:
+			case f.tasks <- serverTask{sc: sc, id: id, pb: pb, ext: ext, tc: tc, arrival: arrival}:
 			case <-f.done:
 				pb.release()
 				return
@@ -508,9 +584,15 @@ func (f *Fabric) serveConn(conn net.Conn) {
 			}
 			continue
 		}
-		out := f.handleFrame(typ, pb.b)
+		out := f.handleFrame(typ, pb.b[ext:])
 		pb.release()
-		if !sc.enqueue(typ, id, out) {
+		r := respFrame{typ: typ, id: id, pb: out}
+		if ext > 0 {
+			// One-sided verbs execute inline: residency is just the
+			// handler, there is no stub-queue wait to report.
+			r.traced, r.res = true, trace.NowNS()-arrival
+		}
+		if !sc.enqueue(r) {
 			return
 		}
 	}
@@ -524,9 +606,23 @@ func (f *Fabric) rpcWorker() {
 	for {
 		select {
 		case t := <-f.tasks:
-			out := f.handleFrame(frameRPC, t.pb.b)
+			if t.ext > 0 {
+				if tr := f.cfg.Tracer; tr != nil && t.tc.Valid() {
+					tr.RecordSyms(trace.SymSpan{
+						TraceID: t.tc.TraceID, ID: tr.NewID(), Parent: t.tc.Parent,
+						Name: f.syms.serverQueue, Verb: f.syms.verbSym(frameRPC),
+						Node: int32(f.cfg.NodeID), Attempt: int32(t.tc.Attempt),
+						Start: t.arrival, End: trace.NowNS(),
+					})
+				}
+			}
+			out := f.handleFrame(frameRPC, t.pb.b[t.ext:])
 			t.pb.release()
-			t.sc.enqueue(frameRPC, t.id, out)
+			r := respFrame{typ: frameRPC, id: t.id, pb: out}
+			if t.ext > 0 {
+				r.traced, r.res = true, trace.NowNS()-t.arrival
+			}
+			t.sc.enqueue(r)
 		case <-f.done:
 			return
 		}
@@ -534,6 +630,8 @@ func (f *Fabric) rpcWorker() {
 }
 
 var errShortSegOff = errors.New("tcpfab: short seg/off header")
+
+var errShortTraceExt = errors.New("tcpfab: short trace extension")
 
 func errBadResponseType(got, want byte) error {
 	return fmt.Errorf("tcpfab: response type %d for request %d", got, want)
@@ -779,7 +877,18 @@ func (f *Fabric) dropMux(m *mux) {
 // provably false when the frame was canceled before the writer claimed it,
 // which lets even non-idempotent verbs retry a timed-out request that
 // never left the send queue.
-func (f *Fabric) muxAttempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time, o fabric.Options) (resp []byte, delivered bool, err error) {
+//
+// tc, when valid, rides the frame as a trace extension; with a Tracer
+// configured the attempt additionally records its client-side segments:
+// client.enqueue (entry to wire write), wire (socket round trip minus the
+// server residency echoed in the response extension — no cross-machine
+// clock comparison needed), and response (delivery back to the waiter).
+func (f *Fabric) muxAttempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time, o fabric.Options, tc trace.Ctx) (resp []byte, delivered bool, err error) {
+	var t0 int64
+	traceHere := f.cfg.Tracer != nil && tc.Valid()
+	if traceHere {
+		t0 = trace.NowNS()
+	}
 	m, fresh, err := f.getMux(node, deadlineAt)
 	if err != nil {
 		return nil, false, err
@@ -807,7 +916,7 @@ func (f *Fabric) muxAttempt(clk *fabric.Clock, node int, typ byte, payload []byt
 	defer m.releaseSlot()
 	f.gauge(metrics.Inflight, node, clk, float64(m.inflight.Load()))
 
-	rq := grabReq(typ, payload)
+	rq := grabReq(typ, payload, tc)
 	rq.id = m.nextID.Add(1)
 	m.register(rq)
 
@@ -823,6 +932,37 @@ func (f *Fabric) muxAttempt(clk *fabric.Clock, node int, typ byte, payload []byt
 
 	select {
 	case raw := <-rq.resp:
+		if traceHere {
+			// Copy the stamps out before the record returns to the pool.
+			sentAt, respAt, res := rq.sentAt.Load(), rq.respAt, rq.residency
+			tr := f.cfg.Tracer
+			if sentAt > 0 && respAt >= sentAt {
+				// The wire-entry stamp is shared by every frame in a
+				// flush batch, so a request that joined a batch already
+				// being written can carry a stamp predating its own t0.
+				if sentAt < t0 {
+					sentAt = t0
+				}
+				wire := respAt - sentAt - res
+				if wire < 0 {
+					wire = 0
+				}
+				attempt := int32(tc.Attempt)
+				verb := f.syms.verbSym(typ)
+				n32 := int32(node)
+				id := tr.NewIDs(3)
+				tr.RecordSyms(
+					trace.SymSpan{TraceID: tc.TraceID, ID: id, Parent: tc.Parent,
+						Name: f.syms.clientEnqueue, Verb: verb, Node: n32, Attempt: attempt,
+						Start: t0, End: sentAt},
+					trace.SymSpan{TraceID: tc.TraceID, ID: id + 1, Parent: tc.Parent,
+						Name: f.syms.wire, Verb: verb, Node: n32, Attempt: attempt,
+						Start: sentAt, End: sentAt + wire},
+					trace.SymSpan{TraceID: tc.TraceID, ID: id + 2, Parent: tc.Parent,
+						Name: f.syms.response, Verb: verb, Node: n32, Attempt: attempt,
+						Start: respAt, End: trace.NowNS()})
+			}
+		}
 		putReq(rq) // sole remaining holder: writer wrote it, reader delivered it
 		if len(raw) < 1 {
 			return nil, true, errors.New("tcpfab: empty response")
@@ -1034,12 +1174,61 @@ func classify(node int, err error) error {
 	return err
 }
 
-// attempt performs one wire exchange on the configured data path.
-func (f *Fabric) attempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time, o fabric.Options) (resp []byte, delivered bool, err error) {
+// verbName labels a frame type for spans and histograms.
+func verbName(typ byte) string {
+	switch typ &^ frameTraced {
+	case frameRPC:
+		return "rpc"
+	case frameWrite:
+		return "write"
+	case frameRead:
+		return "read"
+	case frameCAS:
+		return "cas"
+	case frameFAA:
+		return "faa"
+	default:
+		return "unknown"
+	}
+}
+
+// traceSyms holds the transport's span labels pre-interned, so the
+// per-operation record path never touches the tracer's symbol index.
+type traceSyms struct {
+	clientEnqueue, wire, response, serverQueue trace.Sym
+	verbs                                      [6]trace.Sym // indexed by frame type; 0 = unknown
+}
+
+func (s *traceSyms) intern(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	s.clientEnqueue = tr.Intern("client.enqueue")
+	s.wire = tr.Intern("wire")
+	s.response = tr.Intern("response")
+	s.serverQueue = tr.Intern("server.queue")
+	s.verbs[0] = tr.Intern("unknown")
+	for typ := frameRPC; typ <= frameFAA; typ++ {
+		s.verbs[typ] = tr.Intern(verbName(typ))
+	}
+}
+
+// verbSym maps a frame type to its pre-interned verb label.
+func (s *traceSyms) verbSym(typ byte) trace.Sym {
+	typ &^= frameTraced
+	if typ >= frameRPC && typ <= frameFAA {
+		return s.verbs[typ]
+	}
+	return s.verbs[0]
+}
+
+// attempt performs one wire exchange on the configured data path. The
+// legacy serial path predates tracing and never ships a trace context.
+func (f *Fabric) attempt(clk *fabric.Clock, node int, typ byte, payload []byte, deadlineAt time.Time, o fabric.Options, tc trace.Ctx) (resp []byte, delivered bool, err error) {
 	if f.cfg.DisablePipelining {
 		return f.legacyAttempt(clk, node, typ, payload, deadlineAt)
 	}
-	return f.muxAttempt(clk, node, typ, payload, deadlineAt, o)
+	return f.muxAttempt(clk, node, typ, payload, deadlineAt, o, tc)
 }
 
 // exchange sends one frame and waits for its response, retrying with
@@ -1073,6 +1262,7 @@ func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte,
 		attempts = o.MaxAttempts
 	}
 
+	tc := clk.Trace()
 	var lastErr error
 	timedOut := false
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -1095,7 +1285,7 @@ func (f *Fabric) exchange(clk *fabric.Clock, node int, typ byte, payload []byte,
 			timedOut = true
 			break
 		}
-		resp, delivered, err := f.attempt(clk, node, typ, payload, deadlineAt, o)
+		resp, delivered, err := f.attempt(clk, node, typ, payload, deadlineAt, o, tc.WithAttempt(attempt))
 		if err == nil {
 			return resp, retained, nil
 		}

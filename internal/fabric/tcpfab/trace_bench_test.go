@@ -1,0 +1,137 @@
+package tcpfab
+
+import (
+	"fmt"
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/trace"
+)
+
+// BenchmarkRoundTripTraced is the tracing-overhead A/B against
+// BenchmarkRoundTrip/mux: same mux data path, same payload sizes, but
+// every operation carries a trace context and both endpoints record
+// spans. The acceptance bar is < 10% regression versus the untraced
+// mux numbers in bench_results.txt.
+func BenchmarkRoundTripTraced(b *testing.B) {
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("mux/%dB", size), func(b *testing.B) {
+			// One tracer per node, as in a real deployment where each
+			// node is its own process; a single shared ring would add
+			// client-vs-server lock contention no production setup pays.
+			tr := trace.New(4096)
+			f0, _ := benchPair(b, func(cfg *Config) {
+				if cfg.NodeID == 0 {
+					cfg.Tracer = tr
+				} else {
+					cfg.Tracer = trace.New(4096)
+				}
+			})
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				clk := fabric.NewClock(0)
+				ref := fabric.RankRef{Rank: 0, Node: 0}
+				for pb.Next() {
+					tc, _ := tr.StartTrace()
+					clk.SetTrace(tc)
+					resp, err := f0.RoundTrip(clk, ref, 1, payload)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if len(resp) != size {
+						b.Errorf("resp %d bytes", len(resp))
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+type nopFlusher struct{}
+
+func (nopFlusher) Write(p []byte) (int, error) { return len(p), nil }
+func (nopFlusher) Flush() error                { return nil }
+
+// TestFrameWriteZeroAlloc pins the per-frame cost of the trace plumbing:
+// an untraced frame must allocate exactly what the plain writeFrame path
+// always did (disabled tracing is free), and a traced frame's 17-byte
+// extension must stay on the stack (no extra allocation beyond the
+// shared frame-write baseline).
+func TestFrameWriteZeroAlloc(t *testing.T) {
+	var m mux
+	payload := make([]byte, 64)
+
+	base := testing.AllocsPerRun(200, func() {
+		if err := writeFrame(nopFlusher{}, frameRPC, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	rq := &muxReq{id: 1, typ: frameRPC, payload: payload}
+	if n := testing.AllocsPerRun(200, func() {
+		var batchNS int64
+		rq.state.Store(reqQueued)
+		if ok, err := m.writeOne(nopFlusher{}, rq, &batchNS); !ok || err != nil {
+			t.Fatalf("writeOne: ok=%v err=%v", ok, err)
+		}
+	}); n != base {
+		t.Fatalf("untraced writeOne allocates %v per frame, baseline %v", n, base)
+	}
+
+	// Traced frames reuse the pooled record's ext scratch, so even the
+	// 17-byte context costs nothing beyond the shared frame-write
+	// baseline.
+	trq := &muxReq{id: 2, typ: frameRPC, payload: payload,
+		tc: trace.Ctx{TraceID: 7, Parent: 9}, traced: true}
+	if n := testing.AllocsPerRun(200, func() {
+		var batchNS int64
+		trq.state.Store(reqQueued)
+		if ok, err := m.writeOne(nopFlusher{}, trq, &batchNS); !ok || err != nil {
+			t.Fatalf("writeOne: ok=%v err=%v", ok, err)
+		}
+	}); n != base {
+		t.Fatalf("traced writeOne allocates %v per frame, baseline %v", n, base)
+	}
+}
+
+// TestUntracedClockSkipsExtension: a request from a clock with no trace
+// context goes out as a plain frame even when the fabric has a tracer —
+// the traced wire format is strictly opt-in per operation.
+func TestUntracedClockSkipsExtension(t *testing.T) {
+	rq := grabReq(frameRPC, []byte("x"), trace.Ctx{})
+	if rq.traced {
+		t.Fatal("zero ctx marked traced")
+	}
+	rq.state.Store(reqQueued)
+	var buf captureFlusher
+	if ok, err := rq.writeTo(&buf); !ok || err != nil {
+		t.Fatalf("write: ok=%v err=%v", ok, err)
+	}
+	if got := buf.b[4]; got&frameTraced != 0 {
+		t.Fatalf("untraced frame carries frameTraced flag: %#x", got)
+	}
+	if wantLen := frameHeaderLen + 1; len(buf.b) != wantLen {
+		t.Fatalf("frame length %d, want %d (no extension)", len(buf.b), wantLen)
+	}
+}
+
+type captureFlusher struct{ b []byte }
+
+func (c *captureFlusher) Write(p []byte) (int, error) { c.b = append(c.b, p...); return len(p), nil }
+func (c *captureFlusher) Flush() error                { return nil }
+
+// writeTo routes through the real writer entry point without needing a mux.
+func (rq *muxReq) writeTo(bw flusher) (bool, error) {
+	var m mux
+	var batchNS int64
+	return m.writeOne(bw, rq, &batchNS)
+}

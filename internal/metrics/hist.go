@@ -1,0 +1,368 @@
+// Log-bucketed latency histograms. Buckets are base-2 logarithmic with
+// histSub sub-buckets per octave (HdrHistogram-style), which bounds the
+// relative error of any reported quantile by 1/histSub = 12.5% while
+// keeping the whole range of int64 nanoseconds in a few hundred buckets.
+// Recording is lock-free: counts live in a small set of cache-line-padded
+// stripes of atomics, so concurrent writers on different stripes never
+// share a line, and a snapshot is just a bucket-wise sum over stripes.
+// That same bucket-wise addition is how snapshots from different nodes
+// merge — associative and commutative by construction.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	histSubBits = 3             // sub-buckets per octave = 2^histSubBits
+	histSub     = 1 << histSubBits
+	// Values 0..histSub-1 map to exact buckets; every further octave
+	// contributes histSub buckets. bits.Len64 of an int64 value is at
+	// most 63, so the highest index is (63-histSubBits)*histSub+histSub-1.
+	histBuckets = (63-histSubBits)*histSub + histSub
+	histStripes = 4
+)
+
+// histStripe is one writer stripe, padded to keep stripes on distinct
+// cache lines.
+type histStripe struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+	_      [64]byte
+}
+
+// Histogram is a mergeable, concurrency-cheap latency histogram over
+// non-negative int64 values (nanoseconds by convention). A nil *Histogram
+// ignores Observe. Create via Collector.Hist or NewHistogram.
+type Histogram struct {
+	stripes [histStripes]histStripe
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	for i := range h.stripes {
+		h.stripes[i].min.Store(math.MaxInt64)
+	}
+	return h
+}
+
+// bucketOf maps a value to its bucket index. Values below histSub get an
+// exact bucket each; a value with leading bit at position exp lands in
+// octave exp, sliced into histSub sub-buckets by the bits right below the
+// leading one. Indices are contiguous: value 8 lands in bucket 8.
+func bucketOf(v int64) int {
+	if v < histSub {
+		return int(v) // exact small values, including 0
+	}
+	exp := bits.Len64(uint64(v)) - 1 // position of the leading bit, >= histSubBits
+	sub := int((uint64(v) >> (uint(exp) - histSubBits)) & (histSub - 1))
+	return (exp-histSubBits)*histSub + histSub + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket idx; bucketHigh
+// the largest. Quantiles are reported as bucketHigh of the bucket the
+// rank falls in, so they never under-report.
+func bucketLow(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	k := idx - histSub
+	exp := k/histSub + histSubBits
+	sub := k % histSub
+	return (int64(1) << uint(exp)) | int64(sub)<<uint(exp-histSubBits)
+}
+
+func bucketHigh(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	k := idx - histSub
+	exp := k/histSub + histSubBits
+	sub := k % histSub
+	// Addition, not OR: for the octave's last sub-bucket sub+1 carries
+	// into the next octave's base, which OR would silently drop.
+	return int64(1)<<uint(exp) + int64(sub+1)<<uint(exp-histSubBits) - 1
+}
+
+// stripeOf picks a stripe for the calling goroutine. The address of a
+// stack local is stable per goroutine at a given call depth and distinct
+// across goroutines (stacks live on different spans), which is enough to
+// spread concurrent writers without any per-goroutine state.
+func stripeOf() *byte {
+	var pin byte
+	return &pin
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s := &h.stripes[(uintptr(unsafe.Pointer(stripeOf()))>>10)%histStripes]
+	s.counts[bucketOf(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.min.Load()
+		if v >= cur || s.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot folds the stripes into a stable, mergeable value.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	if h == nil {
+		return out
+	}
+	var counts [histBuckets]uint64
+	minV := int64(math.MaxInt64)
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		// Read count first: a concurrent Observe that bumped a bucket
+		// after our count read only makes quantile ranks conservative.
+		c := s.count.Load()
+		if c == 0 {
+			continue
+		}
+		out.Count += c
+		out.Sum += s.sum.Load()
+		if m := s.min.Load(); m < minV {
+			minV = m
+		}
+		if m := s.max.Load(); m > out.Max {
+			out.Max = m
+		}
+		for b := range s.counts {
+			counts[b] += s.counts[b].Load()
+		}
+	}
+	if out.Count == 0 {
+		return out
+	}
+	out.Min = minV
+	for b, n := range counts {
+		if n != 0 {
+			out.Buckets = append(out.Buckets, BucketCount{Low: bucketLow(b), High: bucketHigh(b), Count: n})
+		}
+	}
+	out.fillQuantiles()
+	return out
+}
+
+// BucketCount is one occupied histogram bucket: Count observations whose
+// values fall in [Low, High].
+type BucketCount struct {
+	Low   int64  `json:"lo_ns"`
+	High  int64  `json:"hi_ns"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is the exported state of one histogram. Merging two
+// snapshots (bucket-wise) is exact: quantiles of the merge are recomputed
+// from the merged buckets, so merge order cannot change any reported
+// number.
+type HistSnapshot struct {
+	Name    string        `json:"name,omitempty"`
+	Count   uint64        `json:"count"`
+	Sum     int64         `json:"sum_ns"`
+	Min     int64         `json:"min_ns"`
+	Max     int64         `json:"max_ns"`
+	P50     int64         `json:"p50_ns"`
+	P95     int64         `json:"p95_ns"`
+	P99     int64         `json:"p99_ns"`
+	P999    int64         `json:"p999_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile reports the value at quantile q in [0, 1] as the upper bound
+// of the bucket the rank falls in (never under-reports; relative error
+// bounded by the bucket scheme's 1/histSub).
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.High
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].High
+}
+
+// Mean reports the exact arithmetic mean of observed values.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+func (s *HistSnapshot) fillQuantiles() {
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
+}
+
+// Merge combines two snapshots of histograms with the same bucket scheme.
+// It is associative and commutative; quantiles are recomputed from the
+// merged buckets.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if s.Count == 0 {
+		if o.Name == "" {
+			o.Name = s.Name
+		}
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := HistSnapshot{Name: s.Name, Count: s.Count + o.Count, Sum: s.Sum + o.Sum, Min: s.Min, Max: s.Max}
+	if out.Name == "" {
+		out.Name = o.Name
+	}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	merged := make(map[int64]BucketCount, len(s.Buckets)+len(o.Buckets))
+	for _, b := range append(append([]BucketCount(nil), s.Buckets...), o.Buckets...) {
+		m := merged[b.Low]
+		m.Low, m.High = b.Low, b.High
+		m.Count += b.Count
+		merged[b.Low] = m
+	}
+	out.Buckets = make([]BucketCount, 0, len(merged))
+	for _, b := range merged {
+		out.Buckets = append(out.Buckets, b)
+	}
+	sortBuckets(out.Buckets)
+	out.fillQuantiles()
+	return out
+}
+
+func sortBuckets(bs []BucketCount) {
+	// Insertion sort: bucket lists are short and usually nearly sorted.
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Low < bs[j-1].Low; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// histSet is the named-histogram registry hanging off a Collector. Reads
+// (the per-op hot path) take only an RLock over a map lookup.
+type histSet struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+func (hs *histSet) get(name string) *Histogram {
+	hs.mu.RLock()
+	h := hs.m[name]
+	hs.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if h = hs.m[name]; h == nil {
+		if hs.m == nil {
+			hs.m = make(map[string]*Histogram)
+		}
+		h = NewHistogram()
+		hs.m[name] = h
+	}
+	return h
+}
+
+func (hs *histSet) names() []string {
+	hs.mu.RLock()
+	defer hs.mu.RUnlock()
+	out := make([]string, 0, len(hs.m))
+	for n := range hs.m {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (hs *histSet) reset() {
+	hs.mu.Lock()
+	hs.m = make(map[string]*Histogram)
+	hs.mu.Unlock()
+}
+
+// Hist returns the named histogram, creating it on first use. The fast
+// path (existing name) is one RLock-protected map lookup. A nil collector
+// returns a nil histogram, whose Observe is a no-op.
+func (c *Collector) Hist(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.hists.get(name)
+}
+
+// Observe records a latency observation in the named histogram.
+func (c *Collector) Observe(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.hists.get(name).Observe(v)
+}
+
+// Histograms snapshots every named histogram, sorted by name.
+func (c *Collector) Histograms() []HistSnapshot {
+	if c == nil {
+		return nil
+	}
+	names := c.hists.names()
+	sortStrings(names)
+	out := make([]HistSnapshot, 0, len(names))
+	for _, n := range names {
+		s := c.hists.get(n).Snapshot()
+		s.Name = n
+		out = append(out, s)
+	}
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestBucketMath(t *testing.T) {
+	// Exact buckets below histSub, contiguity at the first octave
+	// boundary, and every bucket's [low, high] containing its values.
+	for v := int64(0); v < histSub; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact bucket", v, got)
+		}
+	}
+	if got := bucketOf(histSub); got != histSub {
+		t.Fatalf("bucketOf(%d) = %d, want %d (contiguous octaves)", histSub, got, histSub)
+	}
+	for _, v := range []int64{0, 1, 7, 8, 9, 100, 1023, 1024, 1 << 20, 1<<62 + 12345, math.MaxInt64} {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		if lo, hi := bucketLow(idx), bucketHigh(idx); v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d range [%d, %d]", v, idx, lo, hi)
+		}
+	}
+	// Buckets partition the axis: each bucket starts right after the
+	// previous one ends.
+	for idx := 1; idx < histBuckets; idx++ {
+		if bucketLow(idx) != bucketHigh(idx-1)+1 {
+			t.Fatalf("bucket %d low %d != bucket %d high %d + 1",
+				idx, bucketLow(idx), idx-1, bucketHigh(idx-1))
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// Quantiles report a bucket upper bound, so they overshoot the true
+	// rank value by at most one sub-bucket width (12.5% relative).
+	for _, c := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 500}, {0.95, 950}, {0.99, 990}, {0.999, 999}} {
+		got := s.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*1.13+1 {
+			t.Fatalf("q%v = %d, want within 12.5%% above %d", c.q, got, c.want)
+		}
+	}
+	if s.P50 != s.Quantile(0.5) || s.P999 != s.Quantile(0.999) {
+		t.Fatalf("precomputed quantiles disagree with Quantile()")
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("negative observation: %+v", s)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 8, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(r.Int63n(1 << 20))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+func TestMergeAssociativeAndCommutative(t *testing.T) {
+	mk := func(vals ...int64) HistSnapshot {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		s.Name = "x"
+		return s
+	}
+	a := mk(1, 50, 900, 70_000)
+	b := mk(3, 3, 3, 1<<30)
+	c := mk(1024, 2048)
+
+	ab, ba := a.Merge(b), b.Merge(a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge not commutative:\n%+v\n%+v", ab, ba)
+	}
+	abc1, abc2 := a.Merge(b).Merge(c), a.Merge(b.Merge(c))
+	if !reflect.DeepEqual(abc1, abc2) {
+		t.Fatalf("merge not associative:\n%+v\n%+v", abc1, abc2)
+	}
+	if abc1.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count = %d", abc1.Count)
+	}
+	if abc1.Min != 1 || abc1.Max != 1<<30 {
+		t.Fatalf("merged min/max = %d/%d", abc1.Min, abc1.Max)
+	}
+	// Quantiles of a merge equal quantiles of observing everything into
+	// one histogram — buckets add, no information is lost.
+	all := mk(1, 50, 900, 70_000, 3, 3, 3, 1<<30, 1024, 2048)
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		if abc1.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%v: merged %d != combined %d", q, abc1.Quantile(q), all.Quantile(q))
+		}
+	}
+	// Merging an empty side is the identity on the data.
+	var empty HistSnapshot
+	if got := a.Merge(empty); got.Count != a.Count || got.Min != a.Min || got.Max != a.Max {
+		t.Fatalf("merge with empty changed data: %+v", got)
+	}
+}
+
+func TestCollectorHistAndSnapshot(t *testing.T) {
+	c := New(1000)
+	c.Observe("rpc.insert", 4096)
+	c.Observe("rpc.insert", 8192)
+	c.Observe("rpc.find", 100)
+	c.Add(Retries, 1, 0, 2)
+
+	snap := c.Snapshot()
+	if len(snap.Histograms) != 2 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+	if snap.Histograms[0].Name != "rpc.find" || snap.Histograms[1].Name != "rpc.insert" {
+		t.Fatalf("histogram order: %q, %q", snap.Histograms[0].Name, snap.Histograms[1].Name)
+	}
+	if h := snap.Hist("rpc.insert"); h.Count != 2 {
+		t.Fatalf("rpc.insert count = %d", h.Count)
+	}
+	if got := snap.Total(Retries, -1); got != 2 {
+		t.Fatalf("retries total = %v", got)
+	}
+
+	// The snapshot round-trips through JSON losslessly.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("JSON round trip changed the snapshot:\n%+v\n%+v", snap, back)
+	}
+
+	// Reset drops histograms along with counters.
+	c.Reset()
+	if got := c.Snapshot(); len(got.Histograms) != 0 || len(got.Totals) != 0 {
+		t.Fatalf("reset left data: %+v", got)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a, b := New(1000), New(1000)
+	a.Observe("rpc.insert", 100)
+	a.Add(Retries, 0, 0, 1)
+	b.Observe("rpc.insert", 200)
+	b.Observe("rpc.find", 50)
+	b.Add(Retries, 0, 0, 2)
+	b.Add(Timeouts, 1, 0, 1)
+
+	m := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if got := m.Hist("rpc.insert"); got.Count != 2 || got.Min != 100 || got.Max != 200 {
+		t.Fatalf("merged rpc.insert: %+v", got)
+	}
+	if got := m.Hist("rpc.find"); got.Count != 1 {
+		t.Fatalf("merged rpc.find: %+v", got)
+	}
+	if got := m.Total(Retries, 0); got != 3 {
+		t.Fatalf("merged retries = %v", got)
+	}
+	if got := m.Total(Timeouts, -1); got != 1 {
+		t.Fatalf("merged timeouts = %v", got)
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(100, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op", n)
+	}
+	c := New(1000)
+	c.Hist("rpc.x") // pre-create so the steady state is measured
+	if n := testing.AllocsPerRun(100, func() { c.Observe("rpc.x", 12345) }); n != 0 {
+		t.Fatalf("Collector.Observe allocates %v per op", n)
+	}
+}
+
+// BenchmarkCollectorAdd guards the hot-path cost of the counter write the
+// simulated fabric issues on every verb.
+func BenchmarkCollectorAdd(b *testing.B) {
+	c := New(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(PacketsSent, 0, int64(i), 1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			h.Observe(v)
+			v++
+		}
+	})
+}
+
+func BenchmarkCollectorObserve(b *testing.B) {
+	c := New(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Observe("rpc.bench", int64(i))
+	}
+}

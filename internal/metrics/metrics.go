@@ -48,6 +48,7 @@ type Collector struct {
 	resolution int64
 	cells      map[cellKey]float64
 	totals     map[totalKey]float64
+	hists      histSet
 }
 
 type cellKey struct {
@@ -91,25 +92,24 @@ func (c *Collector) Add(kind Kind, node int, t int64, value float64) {
 
 // AddSpan records value for kind spread proportionally over the virtual
 // window [start, end). Used for busy-time accounting that crosses buckets.
+// The mutex is taken once for the whole call, however many buckets the
+// span crosses.
 func (c *Collector) AddSpan(kind Kind, node int, start, end int64, value float64) {
 	if c == nil || end <= start {
 		c.Add(kind, node, start, value)
 		return
 	}
 	total := float64(end - start)
+	c.mu.Lock()
 	for cur := start; cur < end; {
 		b := cur / c.resolution
 		bEnd := (b + 1) * c.resolution
 		if bEnd > end {
 			bEnd = end
 		}
-		frac := float64(bEnd-cur) / total
-		c.mu.Lock()
-		c.cells[cellKey{kind, node, b}] += value * frac
-		c.mu.Unlock()
+		c.cells[cellKey{kind, node, b}] += value * float64(bEnd-cur) / total
 		cur = bEnd
 	}
-	c.mu.Lock()
 	c.totals[totalKey{kind, node}] += value
 	c.mu.Unlock()
 }
@@ -184,7 +184,7 @@ func (c *Collector) Series(kind Kind, node int) []Point {
 	return out
 }
 
-// Reset clears all recorded data.
+// Reset clears all recorded data, histograms included.
 func (c *Collector) Reset() {
 	if c == nil {
 		return
@@ -193,6 +193,7 @@ func (c *Collector) Reset() {
 	c.cells = make(map[cellKey]float64)
 	c.totals = make(map[totalKey]float64)
 	c.mu.Unlock()
+	c.hists.reset()
 }
 
 // Format renders a series as "bucket=value" pairs, handy in test failures.

@@ -1,0 +1,103 @@
+// Snapshot is the stable export surface of a Collector: counter totals
+// plus histogram snapshots, as one JSON-serializable value. Snapshots
+// from different nodes merge bucket-wise, so a cluster-wide view is just
+// MergeSnapshots over per-node dumps.
+package metrics
+
+import "sort"
+
+// TotalPoint is one (kind, node) counter total.
+type TotalPoint struct {
+	Kind  Kind    `json:"kind"`
+	Node  int     `json:"node"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a point-in-time export of a Collector. Field order and JSON
+// names are part of the introspection contract (docs/OBSERVABILITY.md).
+type Snapshot struct {
+	Resolution int64          `json:"resolution_ns"`
+	Totals     []TotalPoint   `json:"totals"`
+	Histograms []HistSnapshot `json:"histograms"`
+}
+
+// Snapshot exports the collector's current totals and histograms, both
+// deterministically ordered (totals by kind then node, histograms by
+// name) so dumps diff cleanly.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{Resolution: c.resolution, Histograms: c.Histograms()}
+	c.mu.Lock()
+	s.Totals = make([]TotalPoint, 0, len(c.totals))
+	for k, v := range c.totals {
+		s.Totals = append(s.Totals, TotalPoint{Kind: k.kind, Node: k.node, Value: v})
+	}
+	c.mu.Unlock()
+	sortTotals(s.Totals)
+	return s
+}
+
+func sortTotals(ts []TotalPoint) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Kind != ts[j].Kind {
+			return ts[i].Kind < ts[j].Kind
+		}
+		return ts[i].Node < ts[j].Node
+	})
+}
+
+// Hist returns the named histogram snapshot, or a zero snapshot if the
+// name is absent.
+func (s Snapshot) Hist(name string) HistSnapshot {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	return HistSnapshot{}
+}
+
+// Total sums the counter for kind across nodes (node -1) or at one node.
+func (s Snapshot) Total(kind Kind, node int) float64 {
+	var sum float64
+	for _, t := range s.Totals {
+		if t.Kind == kind && (node < 0 || t.Node == node) {
+			sum += t.Value
+		}
+	}
+	return sum
+}
+
+// MergeSnapshots combines per-node snapshots into one cluster-wide view:
+// totals add per (kind, node) pair, histograms of the same name merge
+// bucket-wise. Associative and commutative.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	totals := make(map[totalKey]float64)
+	hists := make(map[string]HistSnapshot)
+	for _, s := range snaps {
+		if out.Resolution == 0 {
+			out.Resolution = s.Resolution
+		}
+		for _, t := range s.Totals {
+			totals[totalKey{t.Kind, t.Node}] += t.Value
+		}
+		for _, h := range s.Histograms {
+			hists[h.Name] = hists[h.Name].Merge(h)
+		}
+	}
+	out.Totals = make([]TotalPoint, 0, len(totals))
+	for k, v := range totals {
+		out.Totals = append(out.Totals, TotalPoint{Kind: k.kind, Node: k.node, Value: v})
+	}
+	sortTotals(out.Totals)
+	out.Histograms = make([]HistSnapshot, 0, len(hists))
+	for n, h := range hists {
+		h.Name = n
+		out.Histograms = append(out.Histograms, h)
+	}
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}

@@ -1,0 +1,91 @@
+// Package obs is the runtime introspection surface: a small HTTP handler
+// exposing a node's metrics snapshot and recent trace spans as JSON, plus
+// a human-readable span-tree view. tcpfab nodes serve it when configured
+// with a DebugAddr; hcl-bench uses the same snapshot encoding for its
+// dump files, so the wire and the file formats never drift apart.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"hcl/internal/metrics"
+	"hcl/internal/trace"
+)
+
+// Handler serves the introspection endpoints:
+//
+//	GET /metrics              metrics.Snapshot as JSON
+//	GET /traces?max=N         the N most recent spans as JSON (default 256)
+//	GET /traces/tree?trace=ID one trace rendered as an indented tree (text)
+//
+// Either argument may be nil; the matching endpoints then serve empty
+// data rather than erroring, so one handler shape fits every node.
+func Handler(col *metrics.Collector, tr *trace.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, col.Snapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		max := 256
+		if s := r.URL.Query().Get("max"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				max = n
+			}
+		}
+		spans := tr.Recent(max)
+		if spans == nil {
+			spans = []trace.Span{}
+		}
+		writeJSON(w, spans)
+	})
+	mux.HandleFunc("/traces/tree", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.URL.Query().Get("trace"), 10, 64)
+		if err != nil {
+			http.Error(w, "trace: want a decimal trace id", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, trace.TreeString(tr.Spans(id)))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Server is a running debug listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection listener on addr (":0" picks a port;
+// read it back with Addr).
+func Serve(addr string, col *metrics.Collector, tr *trace.Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(col, tr)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the listener's resolved address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

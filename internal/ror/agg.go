@@ -2,6 +2,7 @@ package ror
 
 import (
 	"hcl/internal/metrics"
+	"hcl/internal/trace"
 )
 
 // AggregatorConfig tunes the adaptive request aggregator. Zero fields take
@@ -39,7 +40,8 @@ type aggBucket struct {
 	calls    []subCall
 	arena    []byte
 	futs     []*Future
-	openedAt int64 // virtual time the oldest pending invocation arrived
+	times    []int64 // per-call enqueue times, filled only while tracing
+	openedAt int64   // virtual time the oldest pending invocation arrived
 }
 
 // Aggregator coalesces small invocations per destination into batched
@@ -96,6 +98,9 @@ func (a *Aggregator) Invoke(node int, fn string, arg []byte) *Future {
 	off := len(b.arena)
 	b.arena = append(b.arena, arg...)
 	b.calls = append(b.calls, subCall{fn: fn, arg: b.arena[off:len(b.arena):len(b.arena)]})
+	if a.e.tracer.Load() != nil {
+		b.times = append(b.times, now)
+	}
 	f := &Future{done: make(chan struct{})}
 	b.futs = append(b.futs, f)
 	if len(b.calls) >= a.cfg.MaxOps || len(b.arena) >= a.cfg.MaxBytes {
@@ -132,17 +137,40 @@ func (a *Aggregator) FlushAll() {
 // and fans the sub-responses out to the pending futures. The bucket is
 // reset for reuse before the exchange starts.
 func (a *Aggregator) flushBucket(node int, b *aggBucket) {
-	req := encodeBatchBuf(b.calls)
+	// The flush is its own trace: a root span for the batch round trip,
+	// with one agg.residence child per invocation covering the virtual
+	// time it sat in the bucket waiting for company.
+	tr := a.e.tracer.Load()
+	var tc trace.Ctx
+	var rootID uint64
+	var residence []trace.Span
+	flushAt := a.c.Clock().Now()
+	if tr != nil {
+		tc, rootID = tr.StartTrace()
+		if len(b.times) == len(b.calls) {
+			for i, sc := range b.calls {
+				residence = append(residence, trace.Span{
+					TraceID: tc.TraceID, ID: tr.NewID(), Parent: rootID,
+					Name: "agg.residence", Verb: sc.fn, Node: node,
+					Start: b.times[i], End: flushAt,
+				})
+			}
+		}
+	}
+
+	req := encodeBatchBuf(b.calls, tc)
 	futs := b.futs
 	n := len(b.calls)
 	b.calls = b.calls[:0]
 	b.arena = b.arena[:0]
 	b.futs = nil
+	b.times = b.times[:0]
 
 	a.e.count(metrics.OpsAggregated, node, a.c, float64(n))
 	a.e.count(metrics.AggFlushes, node, a.c, 1)
 
 	side := newSideClock(a.c)
+	side.SetTrace(tc)
 	ref := a.c.Ref()
 	prov := a.e.providerFor(a.c)
 	go func() {
@@ -159,6 +187,15 @@ func (a *Aggregator) flushBucket(node int, b *aggBucket) {
 			}
 		}
 		readyAt := side.Now()
+		if tr != nil {
+			for _, s := range residence {
+				tr.Record(s)
+			}
+			tr.FinishRoot(trace.Span{
+				TraceID: tc.TraceID, ID: rootID, Name: "agg.flush", Verb: "batch",
+				Node: node, Start: flushAt, End: readyAt,
+			})
+		}
 		for i, f := range futs {
 			if err != nil {
 				f.err = err

@@ -40,7 +40,7 @@ func (b *Batch) Flush(c Caller) ([][]byte, error) {
 	if len(b.calls) == 0 {
 		return nil, nil
 	}
-	req := encodeBatchBuf(b.calls)
+	req := encodeBatchBuf(b.calls, c.Clock().Trace())
 	b.reset()
 	raw, err := b.e.providerFor(c).RoundTrip(c.Clock(), c.Ref(), b.node, req.b)
 	if err != nil {
@@ -71,7 +71,7 @@ func (b *Batch) FlushAsync(c Caller) *BatchFuture {
 		bf.f.readyAt = c.Clock().Now()
 		return bf
 	}
-	req := encodeBatchBuf(b.calls)
+	req := encodeBatchBuf(b.calls, c.Clock().Trace())
 	b.reset()
 	side := newSideClock(c)
 	ref := c.Ref()
@@ -113,4 +113,10 @@ func (bf *BatchFuture) Wait(c Caller) ([][]byte, error) {
 
 // newSideClock returns a detached clock starting at the caller's current
 // virtual time, so an asynchronous exchange overlaps the caller's work.
-func newSideClock(c Caller) *fabric.Clock { return fabric.NewClock(c.Clock().Now()) }
+// The caller's trace context is copied along, so spans recorded for the
+// detached exchange stay linked to the originating operation.
+func newSideClock(c Caller) *fabric.Clock {
+	clk := fabric.NewClock(c.Clock().Now())
+	clk.SetTrace(c.Clock().Trace())
+	return clk
+}

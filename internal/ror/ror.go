@@ -15,6 +15,7 @@ import (
 
 	"hcl/internal/fabric"
 	"hcl/internal/metrics"
+	"hcl/internal/trace"
 )
 
 // Handler executes a bound function at a node. It returns the serialized
@@ -47,6 +48,7 @@ type Engine struct {
 	prov fabric.Provider
 
 	collector atomic.Pointer[metrics.Collector]
+	tracer    atomic.Pointer[trace.Tracer]
 
 	optMu sync.RWMutex
 	opts  fabric.Options
@@ -75,6 +77,19 @@ func (e *Engine) Provider() fabric.Provider { return e.prov }
 // (ror_ops_aggregated, ror_agg_flushes) are recorded into, bucketed by the
 // calling rank's virtual clock.
 func (e *Engine) SetCollector(c *metrics.Collector) { e.collector.Store(c) }
+
+// Collector reports the installed collector (nil when none).
+func (e *Engine) Collector() *metrics.Collector { return e.collector.Load() }
+
+// SetTracer installs the span tracer. Every invocation then opens a root
+// span, stamps the trace context onto the caller's clock (which carries
+// it into the fabric and, on wire transports, across it), and records a
+// container-execution span per handler on the serving side. A nil tracer
+// disables tracing; the disabled path adds no allocations.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer.Store(t) }
+
+// Tracer reports the installed tracer (nil when none).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer.Load() }
 
 // count records one sample at the caller's current virtual time.
 func (e *Engine) count(kind metrics.Kind, node int, c Caller, v float64) {
@@ -161,6 +176,32 @@ func (e *Engine) dispatch(node int, req []byte) (resp []byte, cost int64) {
 	}
 }
 
+// runHandler executes one bound function, observing its wall execution
+// time into the exec.<fn> histogram and, for traced requests, recording a
+// container.exec span under the operation's root.
+func (e *Engine) runHandler(node int, fn string, arg []byte, h Handler, tc trace.Ctx) ([]byte, int64) {
+	col := e.collector.Load()
+	tr := e.tracer.Load()
+	traced := tr != nil && tc.Valid()
+	if col == nil && !traced {
+		return h(node, arg)
+	}
+	t0 := trace.NowNS()
+	resp, cost := h(node, arg)
+	t1 := trace.NowNS()
+	if col != nil {
+		col.Observe("exec."+fn, t1-t0)
+	}
+	if traced {
+		tr.Record(trace.Span{
+			TraceID: tc.TraceID, ID: tr.NewID(), Parent: tc.Parent,
+			Name: "container.exec", Verb: fn, Node: node,
+			Attempt: int(tc.Attempt), Start: t0, End: t1,
+		})
+	}
+	return resp, cost
+}
+
 // runChain executes the main function followed by each chained callback,
 // feeding every callback the previous stage's response (the paper's
 // "conditional execution of multiple operations in one call").
@@ -172,7 +213,7 @@ func (e *Engine) runChain(node int, call request) ([]byte, int64) {
 		if !ok {
 			return encodeResponse(nil, fmt.Errorf("%w: %q", ErrUnbound, name)), total
 		}
-		resp, cost := h(node, arg)
+		resp, cost := e.runHandler(node, name, arg, h, call.tc)
 		total += cost
 		if i == len(call.chain)-1 {
 			return encodeResponse(resp, nil), total
@@ -192,7 +233,7 @@ func (e *Engine) runBatch(node int, call request) ([]byte, int64) {
 		if !ok {
 			return encodeResponse(nil, fmt.Errorf("%w: %q", ErrUnbound, sub.fn)), total
 		}
-		resp, cost := h(node, sub.arg)
+		resp, cost := e.runHandler(node, sub.fn, sub.arg, h, call.tc)
 		total += cost
 		resps[i] = resp
 	}
@@ -212,8 +253,28 @@ func (e *Engine) InvokeChain(c Caller, node int, chain []string, arg []byte) ([]
 	if len(chain) == 0 {
 		return nil, errors.New("ror: empty chain")
 	}
-	req := encodeCallBuf(chain, arg)
-	raw, err := e.providerFor(c).RoundTrip(c.Clock(), c.Ref(), node, req.b)
+	clk := c.Clock()
+	col := e.collector.Load()
+	tr := e.tracer.Load()
+	var tc trace.Ctx
+	var rootID uint64
+	start := clk.Now()
+	if tr != nil {
+		tc, rootID = tr.StartTrace()
+		clk.SetTrace(tc)
+	}
+	req := encodeCallBuf(chain, arg, tc)
+	raw, err := e.providerFor(c).RoundTrip(clk, c.Ref(), node, req.b)
+	if tr != nil {
+		clk.SetTrace(trace.Ctx{})
+		tr.FinishRoot(trace.Span{
+			TraceID: tc.TraceID, ID: rootID, Name: "rpc", Verb: chain[0],
+			Node: node, Start: start, End: clk.Now(),
+		})
+	}
+	if col != nil {
+		col.Observe("rpc."+chain[0], clk.Now()-start)
+	}
 	if err != nil {
 		// The transport may still hold the request (e.g. queued behind a
 		// timed-out send); leak it to the GC rather than risk reuse.
@@ -268,8 +329,17 @@ func (e *Engine) InvokeChainAsync(c Caller, node int, chain []string, arg []byte
 	f := &Future{done: make(chan struct{})}
 	side := fabric.NewClock(c.Clock().Now())
 	ref := c.Ref()
-	req := encodeCallBuf(chain, arg)
+	col := e.collector.Load()
+	tr := e.tracer.Load()
+	var tc trace.Ctx
+	var rootID uint64
+	if tr != nil {
+		tc, rootID = tr.StartTrace()
+		side.SetTrace(tc)
+	}
+	req := encodeCallBuf(chain, arg, tc)
 	prov := e.providerFor(c)
+	start := side.Now()
 	go func() {
 		defer close(f.done)
 		raw, err := prov.RoundTrip(side, ref, node, req.b)
@@ -280,6 +350,15 @@ func (e *Engine) InvokeChainAsync(c Caller, node int, chain []string, arg []byte
 			f.resp, f.err = decodeResponse(raw)
 		}
 		f.readyAt = side.Now()
+		if tr != nil {
+			tr.FinishRoot(trace.Span{
+				TraceID: tc.TraceID, ID: rootID, Name: "rpc.async", Verb: chain[0],
+				Node: node, Start: start, End: side.Now(),
+			})
+		}
+		if col != nil {
+			col.Observe("rpc."+chain[0], side.Now()-start)
+		}
 	}()
 	return f
 }

@@ -1,0 +1,198 @@
+package ror
+
+import (
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+	"hcl/internal/trace"
+)
+
+// tracedEngine builds an engine over a traced sim fabric, tracer shared by
+// both layers.
+func tracedEngine(nodes int) (*Engine, *simfab.Fabric, *trace.Tracer) {
+	tr := trace.New(0)
+	f := simfab.New(nodes, fabric.DefaultCostModel(), simfab.WithTracer(tr))
+	e := NewEngine(f)
+	e.SetTracer(tr)
+	return e, f, tr
+}
+
+func spansByName(spans []trace.Span) map[string][]trace.Span {
+	m := make(map[string][]trace.Span)
+	for _, s := range spans {
+		m[s.Name] = append(m[s.Name], s)
+	}
+	return m
+}
+
+func TestInvokeProducesSpanTree(t *testing.T) {
+	e, f, tr := tracedEngine(2)
+	defer f.Close()
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 10 })
+
+	c := caller(0)
+	if _, err := e.Invoke(c, 1, "echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly one trace: find it via the recorded root span.
+	var root trace.Span
+	for _, s := range tr.Recent(0) {
+		if s.Name == "rpc" {
+			root = s
+		}
+	}
+	if root.TraceID == 0 {
+		t.Fatalf("no root span recorded: %+v", tr.Recent(0))
+	}
+	if root.Verb != "echo" || root.Node != 1 {
+		t.Fatalf("root = %+v", root)
+	}
+
+	byName := spansByName(tr.Spans(root.TraceID))
+	// Engine layer: container execution. Fabric layer: the simulated
+	// wire/queue/service/response decomposition.
+	for _, name := range []string{"rpc", "container.exec", "wire", "server.queue", "nic.exec", "response"} {
+		if len(byName[name]) != 1 {
+			t.Fatalf("span %q count = %d; spans: %+v", name, len(byName[name]), byName)
+		}
+	}
+	// Fabric segments are siblings under the root and sum within it
+	// (virtual clocks, so the accounting is exact).
+	var sum int64
+	for _, name := range []string{"wire", "server.queue", "nic.exec", "response"} {
+		s := byName[name][0]
+		if s.Parent != root.ID {
+			t.Fatalf("%s parent = %d, want root %d", name, s.Parent, root.ID)
+		}
+		sum += s.Duration()
+	}
+	if sum <= 0 || sum > root.Duration() {
+		t.Fatalf("segments sum %d outside root duration %d", sum, root.Duration())
+	}
+}
+
+func TestUntracedInvokeRecordsNothing(t *testing.T) {
+	e, f := newTestEngine(2)
+	defer f.Close()
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 10 })
+	if _, err := e.Invoke(caller(0), 1, "echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// No tracer anywhere: the caller's clock must carry no context either.
+	if e.Tracer() != nil {
+		t.Fatal("engine grew a tracer")
+	}
+}
+
+func TestInvokeAsyncTraced(t *testing.T) {
+	e, f, tr := tracedEngine(2)
+	defer f.Close()
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 10 })
+
+	c := caller(0)
+	fut := e.InvokeAsync(c, 1, "echo", []byte("x"))
+	if _, err := fut.Wait(c); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, s := range tr.Recent(0) {
+		if s.Name == "rpc.async" && s.Verb == "echo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rpc.async root: %+v", tr.Recent(0))
+	}
+}
+
+func TestAggregatorTraced(t *testing.T) {
+	e, f, tr := tracedEngine(2)
+	defer f.Close()
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 10 })
+
+	c := caller(0)
+	a := e.NewAggregator(c, AggregatorConfig{MaxOps: 2})
+	f1 := a.Invoke(1, "echo", []byte("a"))
+	f2 := a.Invoke(1, "echo", []byte("b")) // trips MaxOps, flushes
+	for _, fu := range []*Future{f1, f2} {
+		if _, err := fu.Wait(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var flush trace.Span
+	for _, s := range tr.Recent(0) {
+		if s.Name == "agg.flush" {
+			flush = s
+		}
+	}
+	if flush.TraceID == 0 {
+		t.Fatalf("no agg.flush root: %+v", tr.Recent(0))
+	}
+	byName := spansByName(tr.Spans(flush.TraceID))
+	if len(byName["agg.residence"]) != 2 {
+		t.Fatalf("residence spans: %+v", byName["agg.residence"])
+	}
+	for _, s := range byName["agg.residence"] {
+		if s.Parent != flush.ID || s.Verb != "echo" {
+			t.Fatalf("residence span %+v under root %d", s, flush.ID)
+		}
+	}
+	if len(byName["container.exec"]) != 2 {
+		t.Fatalf("exec spans in batch: %+v", byName["container.exec"])
+	}
+}
+
+func TestTraceCtxOnWire(t *testing.T) {
+	// The 17-byte context must survive encode/decode of both request kinds.
+	tc := trace.Ctx{TraceID: 7, Parent: 9, Attempt: 2}
+	req := encodeCallBuf([]string{"fn"}, []byte("arg"), tc)
+	dec, err := decodeRequest(req.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.tc != tc {
+		t.Fatalf("call ctx = %+v, want %+v", dec.tc, tc)
+	}
+	req.release()
+
+	breq := encodeBatchBuf([]subCall{{fn: "fn", arg: []byte("a")}}, tc)
+	bdec, err := decodeRequest(breq.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdec.tc != tc {
+		t.Fatalf("batch ctx = %+v, want %+v", bdec.tc, tc)
+	}
+	breq.release()
+
+	// Untraced requests stay byte-identical to the legacy encoding: no
+	// flag bit, no context bytes.
+	plain := encodeCall([]string{"fn"}, []byte("arg"))
+	flagged := encodeCallBuf([]string{"fn"}, []byte("arg"), trace.Ctx{})
+	if string(plain) != string(flagged.b) {
+		t.Fatalf("zero ctx changed the wire format")
+	}
+	flagged.release()
+}
+
+func TestTracedInvokeObservesHistograms(t *testing.T) {
+	e, f, _ := tracedEngine(2)
+	defer f.Close()
+	col := metrics.New(1e6)
+	e.SetCollector(col)
+	e.Bind("echo", func(node int, arg []byte) ([]byte, int64) { return arg, 10 })
+	if _, err := e.Invoke(caller(0), 1, "echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	if h := snap.Hist("rpc.echo"); h.Count != 1 {
+		t.Fatalf("rpc.echo hist: %+v", snap.Histograms)
+	}
+	if h := snap.Hist("exec.echo"); h.Count != 1 {
+		t.Fatalf("exec.echo hist: %+v", snap.Histograms)
+	}
+}

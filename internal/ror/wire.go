@@ -5,12 +5,18 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"hcl/internal/trace"
 )
 
 // Wire format. Requests:
 //
 //	call:  [kind=0][nchain u8]([len u16][name])...[arg]
 //	batch: [kind=1][count u32]([fnlen u16][fn][arglen u32][arg])...
+//
+// A traced request sets kindTraceFlag on the kind byte and inserts a
+// trace.CtxWireLen-byte trace context between the kind byte and the
+// body. Untraced requests are byte-identical to the pre-tracing format.
 //
 // Responses:
 //
@@ -20,6 +26,10 @@ import (
 const (
 	kindCall  = 0
 	kindBatch = 1
+
+	// kindTraceFlag marks a request carrying a trace context. Flagged on
+	// the kind byte so old decoders reject rather than misparse.
+	kindTraceFlag = 0x80
 
 	statusOK  = 0
 	statusErr = 1
@@ -35,6 +45,7 @@ type request struct {
 	chain []string
 	arg   []byte
 	batch []subCall
+	tc    trace.Ctx // zero when the request was untraced
 }
 
 var errTruncated = errors.New("ror: truncated request")
@@ -75,17 +86,28 @@ func (eb *encBuf) release() {
 }
 
 // encodeCallBuf marshals a call request into an exactly-sized pooled
-// buffer.
-func encodeCallBuf(chain []string, arg []byte) *encBuf {
-	n := 2
+// buffer. A valid trace context flags the kind byte and rides between it
+// and the body; the zero context produces the legacy encoding unchanged.
+func encodeCallBuf(chain []string, arg []byte, tc trace.Ctx) *encBuf {
+	hdr := 2
+	if tc.Valid() {
+		hdr += trace.CtxWireLen
+	}
+	n := hdr
 	for _, s := range chain {
 		n += 2 + len(s)
 	}
 	eb := grabEnc(n + len(arg))
 	b := eb.b
 	b[0] = kindCall
-	b[1] = byte(len(chain))
-	p := 2
+	p := 1
+	if tc.Valid() {
+		b[0] |= kindTraceFlag
+		trace.PutCtx(b[p:], tc)
+		p += trace.CtxWireLen
+	}
+	b[p] = byte(len(chain))
+	p++
 	for _, s := range chain {
 		binary.LittleEndian.PutUint16(b[p:], uint16(len(s)))
 		p += 2
@@ -97,16 +119,25 @@ func encodeCallBuf(chain []string, arg []byte) *encBuf {
 
 // encodeBatchBuf marshals a batch request into an exactly-sized pooled
 // buffer.
-func encodeBatchBuf(calls []subCall) *encBuf {
+func encodeBatchBuf(calls []subCall, tc trace.Ctx) *encBuf {
 	n := 5
+	if tc.Valid() {
+		n += trace.CtxWireLen
+	}
 	for _, c := range calls {
 		n += 6 + len(c.fn) + len(c.arg)
 	}
 	eb := grabEnc(n)
 	b := eb.b
 	b[0] = kindBatch
-	binary.LittleEndian.PutUint32(b[1:], uint32(len(calls)))
-	p := 5
+	p := 1
+	if tc.Valid() {
+		b[0] |= kindTraceFlag
+		trace.PutCtx(b[p:], tc)
+		p += trace.CtxWireLen
+	}
+	binary.LittleEndian.PutUint32(b[p:], uint32(len(calls)))
+	p += 4
 	for _, c := range calls {
 		binary.LittleEndian.PutUint16(b[p:], uint16(len(c.fn)))
 		p += 2
@@ -119,14 +150,14 @@ func encodeBatchBuf(calls []subCall) *encBuf {
 }
 
 func encodeCall(chain []string, arg []byte) []byte {
-	eb := encodeCallBuf(chain, arg)
+	eb := encodeCallBuf(chain, arg, trace.Ctx{})
 	out := append([]byte(nil), eb.b...)
 	eb.release()
 	return out
 }
 
 func encodeBatch(calls []subCall) []byte {
-	eb := encodeBatchBuf(calls)
+	eb := encodeBatchBuf(calls, trace.Ctx{})
 	out := append([]byte(nil), eb.b...)
 	eb.release()
 	return out
@@ -136,22 +167,39 @@ func decodeRequest(b []byte) (request, error) {
 	if len(b) < 1 {
 		return request{}, errTruncated
 	}
-	switch b[0] {
+	kind := b[0]
+	body := b[1:]
+	var tc trace.Ctx
+	if kind&kindTraceFlag != 0 {
+		kind &^= kindTraceFlag
+		var err error
+		if tc, err = trace.ReadCtx(body); err != nil {
+			return request{}, errTruncated
+		}
+		body = body[trace.CtxWireLen:]
+	}
+	switch kind {
 	case kindCall:
-		return decodeCallRequest(b)
+		r, err := decodeCallRequest(body)
+		r.tc = tc
+		return r, err
 	case kindBatch:
-		return decodeBatchRequest(b)
+		r, err := decodeBatchRequest(body)
+		r.tc = tc
+		return r, err
 	default:
-		return request{kind: b[0]}, nil
+		return request{kind: kind, tc: tc}, nil
 	}
 }
 
+// decodeCallRequest parses a call body (everything after the kind byte
+// and optional trace context).
 func decodeCallRequest(b []byte) (request, error) {
-	if len(b) < 2 {
+	if len(b) < 1 {
 		return request{}, errTruncated
 	}
-	nchain := int(b[1])
-	p := 2
+	nchain := int(b[0])
+	p := 1
 	chain := make([]string, 0, nchain)
 	for i := 0; i < nchain; i++ {
 		if p+2 > len(b) {
@@ -168,12 +216,14 @@ func decodeCallRequest(b []byte) (request, error) {
 	return request{kind: kindCall, chain: chain, arg: b[p:]}, nil
 }
 
+// decodeBatchRequest parses a batch body (everything after the kind byte
+// and optional trace context).
 func decodeBatchRequest(b []byte) (request, error) {
-	if len(b) < 5 {
+	if len(b) < 4 {
 		return request{}, errTruncated
 	}
-	count := int(binary.LittleEndian.Uint32(b[1:]))
-	p := 5
+	count := int(binary.LittleEndian.Uint32(b))
+	p := 4
 	batch := make([]subCall, 0, count)
 	for i := 0; i < count; i++ {
 		if p+2 > len(b) {

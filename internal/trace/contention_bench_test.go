@@ -1,0 +1,25 @@
+package trace
+
+import "testing"
+
+func BenchmarkStartTraceParallel(b *testing.B) {
+	tr := New(4096)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_, _ = tr.StartTrace()
+		}
+	})
+}
+
+func BenchmarkRecordBatch3Parallel(b *testing.B) {
+	tr := New(4096)
+	s := Span{TraceID: 1, Name: "wire"}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := tr.NewIDs(3)
+			a, c, d := s, s, s
+			a.ID, c.ID, d.ID = id, id+1, id+2
+			tr.RecordBatch(a, c, d)
+		}
+	})
+}

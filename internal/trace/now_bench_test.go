@@ -1,0 +1,18 @@
+package trace
+
+import "testing"
+
+func BenchmarkNowNS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NowNS()
+	}
+}
+func BenchmarkRecordOne(b *testing.B) {
+	tr := New(4096)
+	s := Span{TraceID: 1, ID: 2, Name: "wire"}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Record(s)
+		}
+	})
+}

@@ -1,0 +1,450 @@
+// Package trace implements compact span-based tracing for the RoR stack:
+// every operation carries a 17-byte trace context (trace id, parent span
+// id, attempt counter) down through the invocation engine and the wire,
+// and each layer records the segments it can observe — client enqueue,
+// wire, server stub queue, container execution, response pull — as spans
+// linked into one tree per operation. This is the queue-delay vs.
+// service-time decomposition Mercury and Storm use to attribute RPC
+// latency, applied to HCL's RPC-over-RDMA reproduction.
+//
+// Timestamps are layer-native: the invocation layer and the simulated
+// fabric stamp spans with virtual-clock nanoseconds, the TCP transport
+// with monotonic wall nanoseconds (NowNS). Durations are therefore
+// comparable within a tree, while absolute offsets only align within one
+// layer; sums of sibling durations stay within their parent either way.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Ctx is the trace context one operation carries across layers and, in
+// CtxWireLen bytes, across the wire. The zero Ctx means "not traced" and
+// costs nothing to pass around.
+type Ctx struct {
+	TraceID uint64 // identifies the operation's span tree; 0 = untraced
+	Parent  uint64 // span id new child spans attach to
+	Attempt uint8  // retry attempt this delivery belongs to (0 = first)
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (c Ctx) Valid() bool { return c.TraceID != 0 }
+
+// WithAttempt returns the context restamped for retry attempt n, so spans
+// recorded under it surface as sibling attempts. Clamped to 255.
+func (c Ctx) WithAttempt(n int) Ctx {
+	if n < 0 {
+		n = 0
+	}
+	if n > 255 {
+		n = 255
+	}
+	c.Attempt = uint8(n)
+	return c
+}
+
+// CtxWireLen is the encoded size of a Ctx: [trace u64][parent u64][attempt u8].
+const CtxWireLen = 17
+
+var errShortCtx = errors.New("trace: short context")
+
+// PutCtx encodes c into b, which must hold CtxWireLen bytes.
+func PutCtx(b []byte, c Ctx) {
+	binary.LittleEndian.PutUint64(b, c.TraceID)
+	binary.LittleEndian.PutUint64(b[8:], c.Parent)
+	b[16] = c.Attempt
+}
+
+// ReadCtx decodes a context from the first CtxWireLen bytes of b.
+func ReadCtx(b []byte) (Ctx, error) {
+	if len(b) < CtxWireLen {
+		return Ctx{}, errShortCtx
+	}
+	return Ctx{
+		TraceID: binary.LittleEndian.Uint64(b),
+		Parent:  binary.LittleEndian.Uint64(b[8:]),
+		Attempt: b[16],
+	}, nil
+}
+
+// Span is one recorded segment of an operation.
+type Span struct {
+	TraceID uint64 `json:"trace"`
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"` // 0 = root of its trace
+	Name    string `json:"name"`             // segment: rpc, client.enqueue, wire, ...
+	Verb    string `json:"verb,omitempty"`   // per-verb/per-container label, e.g. umap.scores.insert
+	Node    int    `json:"node"`             // target node of the segment
+	Attempt int    `json:"attempt,omitempty"`
+	Start   int64  `json:"start_ns"`
+	End     int64  `json:"end_ns"`
+}
+
+// Duration reports the span's length in nanoseconds.
+func (s Span) Duration() int64 { return s.End - s.Start }
+
+// nowBase anchors NowNS: one process-wide monotonic origin, so wall-time
+// spans recorded by different fabrics in one process share a timeline.
+var nowBase = time.Now()
+
+// NowNS returns monotonic wall nanoseconds since process start.
+func NowNS() int64 { return time.Since(nowBase).Nanoseconds() }
+
+// Tracer records spans into a bounded ring and renders span trees. It is
+// safe for concurrent use; a nil *Tracer ignores all calls. One Tracer may
+// be shared by every layer of one process (engine, transport, fault
+// injector) — and by several in-process fabrics in tests, which is how a
+// two-node test assembles both halves of a round trip into one tree.
+//
+// The ring stores spans in a pointer-free form, with Name and Verb
+// interned into a small symbol table. That matters on the hot path:
+// a []Span ring holds two string headers per slot, which costs a write
+// barrier on every Record and has the GC re-scan the whole ring (up to
+// DefaultCapacity slots) every cycle — measurable next to an
+// allocation-heavy transport. A []ringSpan ring is skipped by the GC
+// entirely.
+type Tracer struct {
+	ids atomic.Uint64
+
+	slowNS atomic.Int64
+
+	// Symbol interning for span names/verbs. symIdx is the read-mostly
+	// fast path (string -> symbol, lock-free); symTab is a copy-on-append
+	// snapshot for symbol -> string. Both grow only, bounded by the set
+	// of distinct labels (segment names x instrumented containers x ops).
+	symIdx sync.Map
+	symTab atomic.Pointer[[]string]
+
+	mu    sync.Mutex
+	ring  []ringSpan
+	next  int // ring cursor
+	count int // spans currently held
+
+	logf func(format string, args ...any)
+}
+
+// ringSpan is the pointer-free ring representation of a Span.
+type ringSpan struct {
+	traceID, id, parent uint64
+	name, verb          uint32 // symbol-table indices; 0 = ""
+	node, attempt       int32
+	start, end          int64
+}
+
+// intern maps s to its stable symbol, assigning one on first sight.
+func (t *Tracer) intern(s string) uint32 {
+	if s == "" {
+		return 0
+	}
+	if v, ok := t.symIdx.Load(s); ok {
+		return v.(uint32)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.symIdx.Load(s); ok {
+		return v.(uint32)
+	}
+	old := *t.symTab.Load()
+	idx := uint32(len(old))
+	tab := make([]string, len(old)+1)
+	copy(tab, old)
+	tab[idx] = s
+	t.symTab.Store(&tab)
+	t.symIdx.Store(s, idx)
+	return idx
+}
+
+// Sym is a pre-interned span label for the zero-lookup record form.
+// Hot layers that emit a fixed set of segment names (the TCP transport)
+// intern each label once at setup via Intern and record SymSpans, so the
+// per-operation path never touches the symbol index. 0 is the empty
+// string.
+type Sym uint32
+
+// Intern returns the stable symbol for s.
+func (t *Tracer) Intern(s string) Sym {
+	if t == nil {
+		return 0
+	}
+	return Sym(t.intern(s))
+}
+
+// SymSpan is Span with pre-interned labels; it converts to the ring
+// representation with no map lookups.
+type SymSpan struct {
+	TraceID uint64
+	ID      uint64
+	Parent  uint64
+	Name    Sym
+	Verb    Sym
+	Node    int32
+	Attempt int32
+	Start   int64
+	End     int64
+}
+
+// RecordSyms stores several finished pre-interned spans under a single
+// lock acquisition — the cheapest record form.
+func (t *Tracer) RecordSyms(spans ...SymSpan) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, s := range spans {
+		t.put(ringSpan{
+			traceID: s.TraceID, id: s.ID, parent: s.Parent,
+			name: uint32(s.Name), verb: uint32(s.Verb),
+			node: s.Node, attempt: s.Attempt,
+			start: s.Start, end: s.End,
+		})
+	}
+	t.mu.Unlock()
+}
+
+// toRing interns the span's strings; called before taking the ring lock.
+func (t *Tracer) toRing(s Span) ringSpan {
+	return ringSpan{
+		traceID: s.TraceID, id: s.ID, parent: s.Parent,
+		name: t.intern(s.Name), verb: t.intern(s.Verb),
+		node: int32(s.Node), attempt: int32(s.Attempt),
+		start: s.Start, end: s.End,
+	}
+}
+
+// fromRing reconstructs a Span using the given symbol-table snapshot.
+func fromRing(rs ringSpan, tab []string) Span {
+	return Span{
+		TraceID: rs.traceID, ID: rs.id, Parent: rs.parent,
+		Name: tab[rs.name], Verb: tab[rs.verb],
+		Node: int(rs.node), Attempt: int(rs.attempt),
+		Start: rs.start, End: rs.end,
+	}
+}
+
+// DefaultCapacity is the span ring size when New is given n <= 0.
+const DefaultCapacity = 4096
+
+// New returns a tracer retaining the most recent n spans.
+func New(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	t := &Tracer{ring: make([]ringSpan, n), logf: log.Printf}
+	tab := []string{""} // symbol 0 is the empty string
+	t.symTab.Store(&tab)
+	return t
+}
+
+// NewID allocates a fresh identifier, used for both trace ids and span
+// ids (uniqueness across both is what matters).
+func (t *Tracer) NewID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ids.Add(1)
+}
+
+// NewIDs allocates n consecutive identifiers with one atomic add and
+// returns the first; the block is first..first+n-1.
+func (t *Tracer) NewIDs(n int) uint64 {
+	if t == nil || n <= 0 {
+		return 0
+	}
+	return t.ids.Add(uint64(n)) - uint64(n) + 1
+}
+
+// StartTrace opens a new trace rooted at a fresh span id and returns the
+// context children should record under plus the root span id the caller
+// must eventually FinishRoot with.
+func (t *Tracer) StartTrace() (Ctx, uint64) {
+	if t == nil {
+		return Ctx{}, 0
+	}
+	root := t.NewID()
+	return Ctx{TraceID: t.NewID(), Parent: root}, root
+}
+
+// SetSlowThreshold arms the slow-op log: any root span finished via
+// FinishRoot whose duration meets or exceeds d has its full span tree
+// printed through the tracer's logger. d <= 0 disarms it.
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.slowNS.Store(d.Nanoseconds())
+}
+
+// SetLogger replaces the slow-op logger (default log.Printf).
+func (t *Tracer) SetLogger(logf func(format string, args ...any)) {
+	if t == nil || logf == nil {
+		return
+	}
+	t.mu.Lock()
+	t.logf = logf
+	t.mu.Unlock()
+}
+
+// Record stores one finished span.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	rs := t.toRing(s) // intern outside the ring lock
+	t.mu.Lock()
+	t.put(rs)
+	t.mu.Unlock()
+}
+
+// RecordBatch stores several finished spans under a single lock
+// acquisition — the hot-path form for layers that emit a fixed set of
+// segments per operation (the TCP transport records three client-side
+// segments per round trip).
+func (t *Tracer) RecordBatch(spans ...Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	var buf [8]ringSpan
+	rs := buf[:0]
+	if len(spans) > len(buf) {
+		rs = make([]ringSpan, 0, len(spans))
+	}
+	for _, s := range spans {
+		rs = append(rs, t.toRing(s))
+	}
+	t.mu.Lock()
+	for _, r := range rs {
+		t.put(r)
+	}
+	t.mu.Unlock()
+}
+
+// put appends one span to the ring; callers hold t.mu.
+func (t *Tracer) put(rs ringSpan) {
+	t.ring[t.next] = rs
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+}
+
+// FinishRoot records the root span of a trace and, when the slow-op
+// threshold is armed and met, logs the whole tree.
+func (t *Tracer) FinishRoot(s Span) {
+	if t == nil {
+		return
+	}
+	t.Record(s)
+	if slow := t.slowNS.Load(); slow > 0 && s.Duration() >= slow {
+		tree := TreeString(t.Spans(s.TraceID))
+		t.mu.Lock()
+		logf := t.logf
+		t.mu.Unlock()
+		logf("hcl/trace: slow op %s %s: %v (threshold %v)\n%s",
+			s.Name, s.Verb, time.Duration(s.Duration()), time.Duration(slow), tree)
+	}
+}
+
+// Spans returns every retained span of a trace, oldest first.
+func (t *Tracer) Spans(traceID uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Under t.mu the table covers every symbol any ring entry references:
+	// interning appends to the table (also under t.mu) before the span
+	// is put.
+	tab := *t.symTab.Load()
+	out := make([]Span, 0, 8)
+	start := t.next - t.count
+	for i := 0; i < t.count; i++ {
+		idx := (start + i + len(t.ring)) % len(t.ring)
+		if t.ring[idx].traceID == traceID {
+			out = append(out, fromRing(t.ring[idx], tab))
+		}
+	}
+	return out
+}
+
+// Recent returns up to max of the most recently recorded spans, newest
+// last. max <= 0 returns everything retained.
+func (t *Tracer) Recent(max int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tab := *t.symTab.Load()
+	n := t.count
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Span, 0, n)
+	start := t.next - n
+	for i := 0; i < n; i++ {
+		idx := (start + i + len(t.ring)) % len(t.ring)
+		out = append(out, fromRing(t.ring[idx], tab))
+	}
+	return out
+}
+
+// TreeString renders spans of one trace as an indented tree. Spans whose
+// parent is missing from the set (evicted, or recorded by another
+// process) print at top level.
+func TreeString(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no spans)"
+	}
+	byParent := make(map[uint64][]Span)
+	ids := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		ids[s.ID] = true
+	}
+	var roots []Span
+	for _, s := range spans {
+		if s.Parent != 0 && ids[s.Parent] && s.Parent != s.ID {
+			byParent[s.Parent] = append(byParent[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	order := func(ss []Span) {
+		sort.SliceStable(ss, func(i, j int) bool {
+			if ss[i].Attempt != ss[j].Attempt {
+				return ss[i].Attempt < ss[j].Attempt
+			}
+			return ss[i].Start < ss[j].Start
+		})
+	}
+	order(roots)
+	var b strings.Builder
+	var walk func(s Span, depth int)
+	walk = func(s Span, depth int) {
+		fmt.Fprintf(&b, "%s%s", strings.Repeat("  ", depth), s.Name)
+		if s.Verb != "" {
+			fmt.Fprintf(&b, " %s", s.Verb)
+		}
+		fmt.Fprintf(&b, " node=%d", s.Node)
+		if s.Attempt > 0 {
+			fmt.Fprintf(&b, " attempt=%d", s.Attempt)
+		}
+		fmt.Fprintf(&b, " %v\n", time.Duration(s.Duration()))
+		kids := byParent[s.ID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCtxWireRoundTrip(t *testing.T) {
+	c := Ctx{TraceID: 0xdeadbeefcafe, Parent: 42, Attempt: 7}
+	var b [CtxWireLen]byte
+	PutCtx(b[:], c)
+	got, err := ReadCtx(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip: %+v != %+v", got, c)
+	}
+	if _, err := ReadCtx(b[:CtxWireLen-1]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestCtxValidAndAttempt(t *testing.T) {
+	if (Ctx{}).Valid() {
+		t.Fatal("zero ctx valid")
+	}
+	c := Ctx{TraceID: 1}
+	if !c.Valid() {
+		t.Fatal("ctx with trace id invalid")
+	}
+	if got := c.WithAttempt(3).Attempt; got != 3 {
+		t.Fatalf("attempt = %d", got)
+	}
+	if got := c.WithAttempt(1000).Attempt; got != 255 {
+		t.Fatalf("clamped attempt = %d", got)
+	}
+	if got := c.WithAttempt(-1).Attempt; got != 0 {
+		t.Fatalf("negative attempt = %d", got)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{})
+	tr.FinishRoot(Span{})
+	tr.SetSlowThreshold(time.Second)
+	tr.SetLogger(func(string, ...any) {})
+	if tr.NewID() != 0 || tr.Spans(1) != nil || tr.Recent(0) != nil {
+		t.Fatal("nil tracer returned data")
+	}
+	if tc, root := tr.StartTrace(); tc.Valid() || root != 0 {
+		t.Fatal("nil tracer started a trace")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(4)
+	tc, _ := tr.StartTrace()
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{TraceID: tc.TraceID, ID: tr.NewID(), Start: int64(i), End: int64(i + 1)})
+	}
+	spans := tr.Spans(tc.TraceID)
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want ring size 4", len(spans))
+	}
+	// Oldest first, and only the newest four survive.
+	for i, s := range spans {
+		if want := int64(6 + i); s.Start != want {
+			t.Fatalf("span %d start = %d, want %d", i, s.Start, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].Start != 9 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	tr := New(0)
+	tc, root := tr.StartTrace()
+	tr.Record(Span{TraceID: tc.TraceID, ID: tr.NewID(), Parent: root, Name: "wire", Start: 10, End: 30})
+	tr.Record(Span{TraceID: tc.TraceID, ID: tr.NewID(), Parent: root, Name: "client.enqueue", Start: 0, End: 10})
+	tr.FinishRoot(Span{TraceID: tc.TraceID, ID: root, Name: "rpc", Verb: "umap.m.insert", Start: 0, End: 50})
+
+	out := TreeString(tr.Spans(tc.TraceID))
+	lines := strings.Split(out, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "rpc umap.m.insert") {
+		t.Fatalf("root line: %q", lines[0])
+	}
+	// Children indented under the root, ordered by start time.
+	if !strings.HasPrefix(lines[1], "  client.enqueue") || !strings.HasPrefix(lines[2], "  wire") {
+		t.Fatalf("child order:\n%s", out)
+	}
+	if TreeString(nil) != "(no spans)" {
+		t.Fatal("empty tree rendering")
+	}
+}
+
+func TestTreeStringOrphanParent(t *testing.T) {
+	// A span whose parent was evicted prints at top level, not dropped.
+	s := Span{TraceID: 1, ID: 2, Parent: 99, Name: "wire", Start: 0, End: 5}
+	out := TreeString([]Span{s})
+	if !strings.HasPrefix(out, "wire") {
+		t.Fatalf("orphan rendering: %q", out)
+	}
+}
+
+func TestSlowOpLogging(t *testing.T) {
+	tr := New(0)
+	var logged []string
+	tr.SetLogger(func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	tr.SetSlowThreshold(100 * time.Nanosecond)
+
+	tc, root := tr.StartTrace()
+	tr.Record(Span{TraceID: tc.TraceID, ID: tr.NewID(), Parent: root, Name: "wire", Start: 0, End: 150})
+	tr.FinishRoot(Span{TraceID: tc.TraceID, ID: root, Name: "rpc", Verb: "q.push", Start: 0, End: 150})
+	if len(logged) != 1 {
+		t.Fatalf("slow op logged %d times", len(logged))
+	}
+	if !strings.Contains(logged[0], "slow op rpc q.push") || !strings.Contains(logged[0], "wire") {
+		t.Fatalf("log line: %q", logged[0])
+	}
+
+	// Under the threshold: silent.
+	tc2, root2 := tr.StartTrace()
+	tr.FinishRoot(Span{TraceID: tc2.TraceID, ID: root2, Name: "rpc", Start: 0, End: 50})
+	if len(logged) != 1 {
+		t.Fatal("fast op logged")
+	}
+
+	// Disarmed: silent again.
+	tr.SetSlowThreshold(0)
+	tc3, root3 := tr.StartTrace()
+	tr.FinishRoot(Span{TraceID: tc3.TraceID, ID: root3, Name: "rpc", Start: 0, End: 1 << 40})
+	if len(logged) != 1 {
+		t.Fatal("disarmed threshold logged")
+	}
+}
+
+func TestStartTraceIDsDistinct(t *testing.T) {
+	tr := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		tc, root := tr.StartTrace()
+		if !tc.Valid() || tc.Parent != root {
+			t.Fatalf("ctx %+v root %d", tc, root)
+		}
+		for _, id := range []uint64{tc.TraceID, root} {
+			if seen[id] {
+				t.Fatalf("id %d reused", id)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package hcl_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"hcl"
+)
+
+// TestObservabilityEndToEnd is the acceptance test of the observability
+// surface: two tcpfab nodes run a batch of container operations with a
+// shared tracer and per-node collectors, then the test asserts (a)
+// per-verb p99s from the merged histogram snapshot, (b) a complete span
+// tree — client enqueue, wire, server queue, container execution,
+// response — whose segment durations sum within the root span, and (c)
+// that the debug HTTP endpoint serves the same snapshot through JSON.
+func TestObservabilityEndToEnd(t *testing.T) {
+	tr := hcl.NewTracer(0) // shared: both halves of each round trip in one tree
+	col0, col1 := hcl.NewMetrics(1e6), hcl.NewMetrics(1e6)
+
+	f0, err := hcl.NewTCPFabric(hcl.TCPConfig{
+		NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"},
+		Collector: col0, Tracer: tr, DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f0.Close()
+	f1, err := hcl.NewTCPFabric(hcl.TCPConfig{
+		NodeID: 1, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"},
+		Collector: col1, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	addrs := []string{f0.Addr(), f1.Addr()}
+	f0.SetAddrs(addrs)
+	f1.SetAddrs(addrs)
+
+	// Symmetric construction; the partition lives on node 1, so every op
+	// from node 0 is remote.
+	w0 := hcl.MustWorld(f0, hcl.OnNode(0, 2))
+	rt0 := hcl.NewRuntime(w0)
+	rt0.Engine().SetCollector(col0)
+	rt0.Engine().SetTracer(tr)
+	m0, err := hcl.NewUnorderedMap[string, int](rt0, "obs", hcl.WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := hcl.MustWorld(f1, hcl.OnNode(1, 2))
+	rt1 := hcl.NewRuntime(w1)
+	rt1.Engine().SetCollector(col1)
+	rt1.Engine().SetTracer(tr)
+	if _, err := hcl.NewUnorderedMap[string, int](rt1, "obs", hcl.WithServers([]int{1})); err != nil {
+		t.Fatal(err)
+	}
+
+	const opsPerRank = 16
+	w0.Run(func(r *hcl.Rank) {
+		for i := 0; i < opsPerRank; i++ {
+			key := fmt.Sprintf("r%d-k%d", r.ID(), i)
+			if _, err := m0.Insert(r, key, i); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if _, _, err := m0.Find(r, key); err != nil {
+				t.Errorf("find: %v", err)
+				return
+			}
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	ops := 2 * opsPerRank // ranks on node 0
+
+	// (a) Per-verb latency from the merged cluster snapshot: the client
+	// side observed rpc.*, the server side exec.*; merging must keep both
+	// and report sane quantiles.
+	merged := hcl.MergeSnapshots(col0.Snapshot(), col1.Snapshot())
+	for _, name := range []string{"rpc.umap.obs.insert", "rpc.umap.obs.find"} {
+		h := merged.Hist(name)
+		if h.Count != uint64(ops) {
+			t.Fatalf("%s count = %d, want %d", name, h.Count, ops)
+		}
+		if h.P99 <= 0 || h.P99 < h.P50 || h.Max < h.P99/2 {
+			t.Fatalf("%s quantiles implausible: %+v", name, h)
+		}
+	}
+	for _, name := range []string{"exec.umap.obs.insert", "exec.umap.obs.find"} {
+		if h := merged.Hist(name); h.Count != uint64(ops) {
+			t.Fatalf("%s count = %d, want %d", name, h.Count, ops)
+		}
+	}
+
+	// (b) At least one operation assembled the full five-segment tree,
+	// with every segment a sibling under the root and the durations
+	// summing to no more than the root span.
+	want := []string{"client.enqueue", "wire", "server.queue", "container.exec", "response"}
+	var complete int
+	for _, root := range tr.Recent(0) {
+		if root.Name != "rpc" {
+			continue
+		}
+		segs := make(map[string]hcl.Span)
+		for _, s := range tr.Spans(root.TraceID) {
+			if s.Name != "rpc" {
+				segs[s.Name] = s
+			}
+		}
+		var sum int64
+		ok := true
+		for _, name := range want {
+			s, found := segs[name]
+			if !found || s.Parent != root.ID {
+				ok = false
+				break
+			}
+			if s.Duration() < 0 {
+				t.Fatalf("%s has negative duration: %+v", name, s)
+			}
+			sum += s.Duration()
+		}
+		if !ok {
+			continue
+		}
+		complete++
+		if sum > root.Duration() {
+			t.Fatalf("segments sum %v exceeds root %v (trace %d)",
+				time.Duration(sum), time.Duration(root.Duration()), root.TraceID)
+		}
+	}
+	if complete == 0 {
+		t.Fatalf("no complete span tree among %d spans", len(tr.Recent(0)))
+	}
+
+	// (c) The debug endpoint serves the node's snapshot as JSON.
+	resp, err := http.Get("http://" + f0.DebugAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var served hcl.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if got := served.Hist("rpc.umap.obs.insert"); got.Count != uint64(ops) {
+		t.Fatalf("debug endpoint rpc.umap.obs.insert count = %d, want %d", got.Count, ops)
+	}
+
+	// And the trace surface: recent spans decode as JSON spans, and the
+	// tree endpoint renders a known trace.
+	resp2, err := http.Get("http://" + f0.DebugAddr() + "/traces?max=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var spans []hcl.Span
+	if err := json.NewDecoder(resp2.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("debug endpoint served no spans")
+	}
+}
+
+// TestSimWorkloadSnapshot: the simulated fabric feeds the same export
+// surface — hybrid local ops included — deterministically.
+func TestSimWorkloadSnapshot(t *testing.T) {
+	col := hcl.NewMetrics(1e6)
+	tr := hcl.NewTracer(0)
+	prov := hcl.NewSimFabric(2, hcl.DefaultCostModel(), hcl.WithCollector(col), hcl.WithTracer(tr))
+	defer prov.Close()
+	w := hcl.MustWorld(prov, hcl.OnNode(0, 2))
+	rt := hcl.NewRuntime(w)
+	rt.Engine().SetCollector(col)
+	rt.Engine().SetTracer(tr)
+	remote, err := hcl.NewUnorderedMap[string, int](rt, "rm", hcl.WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := hcl.NewUnorderedMap[string, int](rt, "lm", hcl.WithServers([]int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *hcl.Rank) {
+		for i := 0; i < 8; i++ {
+			key := fmt.Sprintf("r%d-k%d", r.ID(), i)
+			if _, err := remote.Insert(r, key, i); err != nil {
+				t.Errorf("remote insert: %v", err)
+			}
+			if _, err := local.Insert(r, key, i); err != nil {
+				t.Errorf("local insert: %v", err)
+			}
+		}
+	})
+	snap := col.Snapshot()
+	if h := snap.Hist("rpc.umap.rm.insert"); h.Count != 16 {
+		t.Fatalf("rpc hist: %+v", h)
+	}
+	// The hybrid path bypasses RPC and lands in local.* histograms.
+	if h := snap.Hist("local.umap.lm.insert"); h.Count != 16 {
+		t.Fatalf("local hist: %+v", h)
+	}
+	if snap.Hist("rpc.umap.lm.insert").Count != 0 {
+		t.Fatal("hybrid ops crossed the wire")
+	}
+}
