@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: verify check test bench vet
+.PHONY: verify check test bench bench-compare vet lint stress race-all
+
+# Time budget for the `stress` sweep, in milliseconds of wall time.
+STRESS_MS ?= 5000
+# staticcheck module version for `lint` (pinned so CI results are stable;
+# `go run pkg@version` fetches it on demand and leaves go.mod untouched).
+STATICCHECK_VERSION ?= v0.6.1
 
 # Tier-1 gate (see ROADMAP.md): must pass before every PR.
 verify:
@@ -18,14 +24,42 @@ check: vet
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Needs network access the first time (the
+# pinned staticcheck build is fetched by `go run`); offline machines can
+# still run `make vet`.
+lint: vet
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# Race-detect every package (the `check` target only covers the
+# concurrency-heavy trees; CI runs this as its own job).
+race-all:
+	$(GO) test -race -count=1 ./...
+
+# Deterministic cluster stress harness (docs/TESTING.md): a time-boxed
+# seeded sweep of all six containers under chaos on the simulated fabric,
+# plus the checker self-test against deliberately broken builds. A failure
+# prints `HCL_SEED=<seed>` — export it to replay the exact run.
+stress:
+	HCL_STRESS_MS=$(STRESS_MS) $(GO) test -count=1 -v -run 'TestStress' ./internal/harness/
+
 test:
 	$(GO) test ./...
 
 # Transport + container microbenchmarks, numbers recorded in
 # bench_results.txt (the tcpfab mux-vs-serial A/B is the acceptance bench
 # for the pipelined transport; see docs/TRANSPORT.md) and, machine-readable,
-# in BENCH_results.json.
+# in BENCH_results.json. Each benchmark runs BENCH_COUNT times and the
+# JSON records the per-metric median, so one noisy measurement cannot
+# trip the regression gate.
+BENCH_COUNT ?= 3
 bench:
-	$(GO) test -run xxx -bench=. -benchmem -benchtime=1s \
+	$(GO) test -run xxx -bench=. -benchmem -benchtime=1s -count=$(BENCH_COUNT) \
 		./internal/fabric/tcpfab/ ./internal/containers/ . | tee bench_results.txt
 	$(GO) run ./cmd/hcl-bench -benchjson BENCH_results.json < bench_results.txt
+
+# Regression gate: compare the last `make bench` run against the
+# checked-in baseline (±15% ns/op and allocs/op; see internal/bench/compare.go
+# for the noise slack). Refresh the baseline deliberately with
+# `cp BENCH_results.json BENCH_baseline.json` in the PR that justifies it.
+bench-compare:
+	$(GO) run ./cmd/hcl-bench -benchcompare BENCH_results.json -baseline BENCH_baseline.json

@@ -9,6 +9,7 @@
 //	hcl-bench -exp fig7a -full         # paper-scale workload (slow!)
 //	hcl-bench -list                    # list experiment ids
 //	hcl-bench -benchjson out.json      # stdin: go test -bench output -> JSON
+//	hcl-bench -benchcompare cur.json   # gate cur.json against BENCH_baseline.json
 //	hcl-bench -snapshot                # run an instrumented workload, dump
 //	                                   # the metrics snapshot as JSON
 package main
@@ -31,6 +32,9 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		csv       = flag.String("csv", "", "also write each result table as CSV into this directory")
 		benchjson = flag.String("benchjson", "", "convert `go test -bench` output on stdin into this JSON file and exit")
+		benchcmp  = flag.String("benchcompare", "", "compare this BENCH_*.json against -baseline; exit 1 on regression")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON for -benchcompare")
+		tolerance = flag.Float64("tolerance", bench.DefaultTolerance, "relative regression budget for -benchcompare")
 		snapshot  = flag.Bool("snapshot", false, "run an instrumented workload and print its metrics snapshot as JSON")
 	)
 	flag.Parse()
@@ -48,7 +52,8 @@ func main() {
 	}
 
 	if *benchjson != "" {
-		results, err := bench.ParseGoBench(os.Stdin)
+		raw, err := bench.ParseGoBench(os.Stdin)
+		results := bench.MedianBench(raw)
 		if err == nil {
 			err = bench.WriteBenchJSON(*benchjson, results)
 		}
@@ -56,8 +61,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d benchmark results to %s\n", len(results), *benchjson)
+		fmt.Printf("wrote %d benchmark results (median over %d measurements) to %s\n",
+			len(results), len(raw), *benchjson)
 		return
+	}
+
+	if *benchcmp != "" {
+		base, err := bench.ReadBenchJSON(*baseline)
+		if err == nil {
+			var cur []bench.BenchResult
+			cur, err = bench.ReadBenchJSON(*benchcmp)
+			if err == nil {
+				regs, missing := bench.CompareBench(base, cur, *tolerance)
+				for _, m := range missing {
+					fmt.Printf("MISSING  %s (in %s, absent from %s)\n", m, *baseline, *benchcmp)
+				}
+				for _, r := range regs {
+					fmt.Printf("REGRESSED  %s\n", r)
+				}
+				if len(regs)+len(missing) > 0 {
+					fmt.Printf("bench gate: %d regressions, %d missing (tolerance %.0f%%)\n",
+						len(regs), len(missing), 100**tolerance)
+					os.Exit(1)
+				}
+				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s\n",
+					len(base), 100**tolerance, *baseline)
+				return
+			}
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if *snapshot {

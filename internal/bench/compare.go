@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The bench-regression gate: CI re-runs the microbenchmarks, converts the
+// output with ParseGoBench, and compares against the checked-in
+// BENCH_baseline.json. A benchmark regresses when it gets slower (ns/op)
+// or allocates more (allocs/op) by more than the tolerance, with a small
+// absolute slack so sub-microsecond benchmarks and ±1-alloc jitter on
+// shared CI runners do not flap the gate.
+
+const (
+	// DefaultTolerance is the relative regression budget (±15%).
+	DefaultTolerance = 0.15
+	// nsSlack is an absolute ns/op floor under which relative deltas are
+	// treated as timer noise.
+	nsSlack = 100.0
+	// allocSlack tolerates one extra allocation regardless of percentage
+	// (a 15% budget on a 5-alloc benchmark is otherwise zero).
+	allocSlack = 1
+)
+
+// Delta is one regressed metric of one benchmark.
+type Delta struct {
+	Name   string  // benchmark name
+	Metric string  // "ns/op" or "allocs/op"
+	Base   float64 // baseline value
+	Cur    float64 // current value
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s %s: %.0f -> %.0f (%+.1f%%)",
+		d.Name, d.Metric, d.Base, d.Cur, 100*(d.Cur/d.Base-1))
+}
+
+// CompareBench checks current against baseline with the given relative
+// tolerance (<=0 selects DefaultTolerance). It returns the regressed
+// metrics and the baseline benchmarks missing from the current run —
+// both fail the gate: a silently vanished benchmark is a lost guarantee,
+// not an improvement. Benchmarks new in current are ignored; they become
+// binding once the baseline is refreshed.
+func CompareBench(baseline, current []BenchResult, tol float64) (regressions []Delta, missing []string) {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	cur := make(map[string]BenchResult, len(current))
+	for _, c := range current {
+		cur[c.Name] = c
+	}
+	for _, b := range baseline {
+		c, ok := cur[b.Name]
+		if !ok {
+			missing = append(missing, b.Name)
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*(1+tol) && c.NsPerOp-b.NsPerOp > nsSlack {
+			regressions = append(regressions, Delta{b.Name, "ns/op", b.NsPerOp, c.NsPerOp})
+		}
+		if ca, ba := float64(c.AllocsPerOp), float64(b.AllocsPerOp); ca > ba*(1+tol) && c.AllocsPerOp-b.AllocsPerOp > allocSlack {
+			regressions = append(regressions, Delta{b.Name, "allocs/op", ba, ca})
+		}
+	}
+	sort.Slice(regressions, func(i, j int) bool {
+		if regressions[i].Name != regressions[j].Name {
+			return regressions[i].Name < regressions[j].Name
+		}
+		return regressions[i].Metric < regressions[j].Metric
+	})
+	sort.Strings(missing)
+	return regressions, missing
+}
+
+// ReadBenchJSON loads a BENCH_*.json file written by WriteBenchJSON.
+func ReadBenchJSON(path string) ([]BenchResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchResult
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -51,6 +52,61 @@ func ParseGoBench(r io.Reader) ([]BenchResult, error) {
 		out = append(out, br)
 	}
 	return out, sc.Err()
+}
+
+// MedianBench collapses repeated measurements of the same benchmark
+// (`go test -bench -count=N`) into one result per name carrying the
+// element-wise median of each metric. A single timing outlier — a GC
+// pause, a scheduler hiccup, a noisy neighbour — then cannot move the
+// recorded number, which is what makes the ±tolerance regression gate
+// usable on wall-clock benchmarks. Results keep first-appearance order;
+// single measurements pass through unchanged.
+func MedianBench(results []BenchResult) []BenchResult {
+	groups := make(map[string][]BenchResult, len(results))
+	var order []string
+	for _, r := range results {
+		if _, seen := groups[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	out := make([]BenchResult, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		m := BenchResult{Name: name}
+		m.Runs = medianInt64(g, func(r BenchResult) int64 { return r.Runs })
+		m.NsPerOp = medianFloat64(g, func(r BenchResult) float64 { return r.NsPerOp })
+		m.BytesPerOp = medianInt64(g, func(r BenchResult) int64 { return r.BytesPerOp })
+		m.AllocsPerOp = medianInt64(g, func(r BenchResult) int64 { return r.AllocsPerOp })
+		out = append(out, m)
+	}
+	return out
+}
+
+func medianFloat64(g []BenchResult, get func(BenchResult) float64) float64 {
+	vs := make([]float64, len(g))
+	for i, r := range g {
+		vs[i] = get(r)
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+func medianInt64(g []BenchResult, get func(BenchResult) int64) int64 {
+	vs := make([]int64, len(g))
+	for i, r := range g {
+		vs[i] = get(r)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // WriteBenchJSON writes results as indented JSON to path.

@@ -9,13 +9,16 @@ import (
 	"hcl/internal/fabric"
 	"hcl/internal/fabric/faultfab"
 	"hcl/internal/fabric/simfab"
+	"hcl/internal/seed"
 )
 
 // newFaultyWorld builds a two-node world whose ranks all live on node 0
 // over a fault-injecting provider, so every container op targeting node 1
-// crosses the (faulty) wire.
+// crosses the (faulty) wire. The fault seed honors HCL_SEED and is printed
+// on failure (see internal/seed).
 func newFaultyWorld(t *testing.T, cfg faultfab.Config) (*cluster.World, *Runtime, *faultfab.Fabric) {
 	t.Helper()
+	cfg.Seed = seed.FromEnv(t, cfg.Seed)
 	sim := simfab.New(2, fabric.DefaultCostModel())
 	t.Cleanup(func() { sim.Close() })
 	ff := faultfab.New(sim, cfg)

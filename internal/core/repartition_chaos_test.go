@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hcl/internal/cluster"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/seed"
+)
+
+// TestRepartitionUnderChaos drives the conservation argument for dynamic
+// repartitioning (paper Section III-D) through a faulty timeline: keys are
+// inserted under drop/delay chaos, a server node is killed mid-stream and
+// restarted, then the map is grown onto a fresh node and shrunk again —
+// with the fault injector still active. Afterwards every acked key must be
+// findable exactly once with its inserted value (Size equals the acked
+// count, so a migration that duplicated entries fails too), and every
+// insert refused with ErrNodeDown must have left no trace.
+func TestRepartitionUnderChaos(t *testing.T) {
+	s := seed.FromEnv(t, 17)
+	sim := simfab.New(4, fabric.DefaultCostModel())
+	t.Cleanup(func() { sim.Close() })
+	ff := faultfab.New(sim, faultfab.Config{
+		Seed:             s,
+		DropProb:         0.2,
+		DelayProb:        0.2,
+		DelayNS:          50_000,
+		AttemptTimeoutNS: 200_000,
+		MaxAttempts:      50,
+	})
+	w := cluster.MustWorld(ff, cluster.OnNode(0, 1))
+	rt := NewRuntime(w)
+	m, err := NewUnorderedMap[int, string](rt, "chaosgrow", WithServers([]int{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drops never execute the op before losing it, so retried inserts stay
+	// exactly-once; the deep attempt budget makes acks near-certain.
+	r := w.Rank(0).WithOptions(fabric.Options{
+		Deadline:    time.Second, // virtual
+		MaxAttempts: 50,
+		RetryRPC:    true,
+	})
+
+	acked := map[int]string{} // key -> value the store acknowledged
+	insert := func(k int) {
+		v := fmt.Sprintf("v%d", k)
+		_, err := m.Insert(r, k, v)
+		switch {
+		case err == nil:
+			acked[k] = v
+		case errors.Is(err, fabric.ErrNodeDown):
+			// Definitely not applied; the key must stay absent.
+		default:
+			t.Fatalf("insert %d: unexpected error %v", k, err)
+		}
+	}
+
+	const phase = 150
+	for k := 0; k < phase; k++ {
+		insert(k)
+	}
+	// Kill node 2 mid-stream: inserts homed there are refused, the rest
+	// keep landing.
+	ff.SetDown(2, true)
+	for k := phase; k < 2*phase; k++ {
+		insert(k)
+	}
+	if len(acked) == 2*phase {
+		t.Fatal("no insert was refused while node 2 was down; chaos not effective")
+	}
+	// Restart the node and resize while drops and delays stay active.
+	ff.SetDown(2, false)
+	if err := m.AddPartition(r, 3); err != nil {
+		t.Fatalf("grow under chaos: %v", err)
+	}
+	for k := 2 * phase; k < 3*phase; k++ {
+		insert(k)
+	}
+	if err := m.RemovePartition(r, 0); err != nil {
+		t.Fatalf("shrink under chaos: %v", err)
+	}
+
+	verify := func(stage string) {
+		t.Helper()
+		if total, err := m.Size(r); err != nil || total != len(acked) {
+			t.Fatalf("%s: Size = %d, %v; want %d acked keys (loss or duplication)",
+				stage, total, err, len(acked))
+		}
+		for k := 0; k < 3*phase; k++ {
+			v, ok, err := m.Find(r, k)
+			if err != nil {
+				t.Fatalf("%s: Find(%d): %v", stage, k, err)
+			}
+			want, wasAcked := acked[k]
+			if ok != wasAcked || (ok && v != want) {
+				t.Fatalf("%s: Find(%d) = %q,%v; acked %q,%v", stage, k, v, ok, want, wasAcked)
+			}
+		}
+	}
+	verify("after shrink")
+
+	// One more kill/restart cycle must not disturb the settled state.
+	ff.SetDown(1, true)
+	ff.SetDown(1, false)
+	verify("after restart")
+}

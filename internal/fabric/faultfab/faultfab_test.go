@@ -11,6 +11,7 @@ import (
 	"hcl/internal/fabric/simfab"
 	"hcl/internal/memory"
 	"hcl/internal/metrics"
+	"hcl/internal/seed"
 	"hcl/internal/trace"
 )
 
@@ -66,7 +67,7 @@ func TestPartitionTimesOutThenHeals(t *testing.T) {
 	id := sim.RegisterSegment(1, seg)
 	col := metrics.New(1e9)
 	// Enough attempts that the deadline, not the budget, ends the op.
-	f := New(sim, Config{Seed: 1, MaxAttempts: 100, Collector: col})
+	f := New(sim, Config{Seed: seed.FromEnv(t, 1), MaxAttempts: 100, Collector: col})
 	f.Partition(0, 1)
 
 	deadline := 10 * time.Millisecond
@@ -102,7 +103,7 @@ func TestPartitionTimesOutThenHeals(t *testing.T) {
 func TestDownNodeFailsFast(t *testing.T) {
 	sim := newSim(t, 2)
 	sim.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
-	f := New(sim, Config{Seed: 1})
+	f := New(sim, Config{Seed: seed.FromEnv(t, 1)})
 	f.SetDown(1, true)
 
 	clk := fabric.NewClock(0)
@@ -130,7 +131,7 @@ func TestDuplicateDeliveryExecutesTwice(t *testing.T) {
 		calls.Add(1)
 		return append([]byte("r:"), req...), 0
 	})
-	f := New(sim, Config{Seed: 1, DupProb: 1})
+	f := New(sim, Config{Seed: seed.FromEnv(t, 1), DupProb: 1})
 
 	resp, err := f.RoundTrip(fabric.NewClock(0), ref0, 1, []byte("q"))
 	if err != nil || string(resp) != "r:q" {
@@ -161,7 +162,7 @@ func TestBackoffBurnsVirtualTimeOnly(t *testing.T) {
 	id := sim.RegisterSegment(1, seg)
 	const attemptNS = 1_000_000
 	cfg := Config{
-		Seed:             3,
+		Seed:             seed.FromEnv(t, 3),
 		DropProb:         1, // every attempt is lost
 		AttemptTimeoutNS: attemptNS,
 		MaxAttempts:      3,
@@ -200,7 +201,7 @@ func TestRPCRetryGatedBehindOptIn(t *testing.T) {
 	sim.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
 	const attemptNS = 1_000_000
 	col := metrics.New(1e9)
-	f := New(sim, Config{Seed: 5, DropProb: 1, AttemptTimeoutNS: attemptNS, MaxAttempts: 4, Collector: col})
+	f := New(sim, Config{Seed: seed.FromEnv(t, 5), DropProb: 1, AttemptTimeoutNS: attemptNS, MaxAttempts: 4, Collector: col})
 
 	clk := fabric.NewClock(0)
 	_, err := f.RoundTrip(clk, ref0, 1, []byte("x"))
@@ -234,7 +235,7 @@ func TestWritesRetryThroughDrops(t *testing.T) {
 	seg := memory.NewSegment(64)
 	id := sim.RegisterSegment(1, seg)
 	col := metrics.New(1e9)
-	f := New(sim, Config{Seed: 11, DropProb: 0.5, MaxAttempts: 16, Collector: col})
+	f := New(sim, Config{Seed: seed.FromEnv(t, 11), DropProb: 0.5, MaxAttempts: 16, Collector: col})
 
 	clk := fabric.NewClock(0)
 	for i := 0; i < 64; i++ {
@@ -257,7 +258,7 @@ func TestWritesRetryThroughDrops(t *testing.T) {
 func TestSameNodeBypassesFaults(t *testing.T) {
 	sim := newSim(t, 2)
 	sim.SetDispatcher(0, func(req []byte) ([]byte, int64) { return req, 0 })
-	f := New(sim, Config{Seed: 1, DropProb: 1})
+	f := New(sim, Config{Seed: seed.FromEnv(t, 1), DropProb: 1})
 	if _, err := f.RoundTrip(fabric.NewClock(0), ref0, 0, []byte("local")); err != nil {
 		t.Fatalf("local rpc hit a fault: %v", err)
 	}

@@ -30,10 +30,10 @@ type optioned struct {
 var _ fabric.Provider = (*optioned)(nil)
 var _ fabric.Optioned = (*optioned)(nil)
 
-func (v *optioned) Name() string                               { return v.f.Name() }
-func (v *optioned) NumNodes() int                              { return v.f.NumNodes() }
-func (v *optioned) Close() error                               { return v.f.Close() }
-func (v *optioned) SetDispatcher(n int, d fabric.Dispatcher)   { v.f.SetDispatcher(n, d) }
+func (v *optioned) Name() string                                { return v.f.Name() }
+func (v *optioned) NumNodes() int                               { return v.f.NumNodes() }
+func (v *optioned) Close() error                                { return v.f.Close() }
+func (v *optioned) SetDispatcher(n int, d fabric.Dispatcher)    { v.f.SetDispatcher(n, d) }
 func (v *optioned) RegisterSegment(n int, s fabric.Segment) int { return v.f.RegisterSegment(n, s) }
 
 // CostModel forwards the Modeler capability so RPC layers above the view

@@ -8,6 +8,7 @@ import (
 	"hcl/internal/fabric"
 	"hcl/internal/memory"
 	"hcl/internal/metrics"
+	"hcl/internal/seed"
 )
 
 // typedUnavailable reports whether err carries one of the two typed
@@ -93,6 +94,7 @@ func TestWriteRetriesAcrossPeerRestart(t *testing.T) {
 	col := metrics.New(1e9)
 	a0, err := New(Config{
 		NodeID:    0,
+		Seed:      seed.FromEnv(t, 1),
 		Addrs:     []string{"127.0.0.1:0", "127.0.0.1:0"},
 		Collector: col,
 		Backoff:   fabric.Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond, Factor: 2},

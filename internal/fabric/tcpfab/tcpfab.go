@@ -215,9 +215,9 @@ func New(cfg Config) (*Fabric, error) {
 		accepted: make(map[net.Conn]struct{}),
 		// Buffered so a frame loop can keep decoding a batched read while
 		// every worker is busy; workers drain it as they free up.
-		tasks:    make(chan serverTask, 4*cfg.RPCWorkers),
-		done:     make(chan struct{}),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		tasks: make(chan serverTask, 4*cfg.RPCWorkers),
+		done:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	f.syms.intern(cfg.Tracer)
 	if cfg.DebugAddr != "" {

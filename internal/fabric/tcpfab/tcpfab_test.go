@@ -9,6 +9,7 @@ import (
 
 	"hcl/internal/fabric"
 	"hcl/internal/memory"
+	"hcl/internal/seed"
 )
 
 // newPair starts two fabrics on loopback, wired to each other.
@@ -16,11 +17,12 @@ func newPair(t *testing.T) (*Fabric, *Fabric) {
 	t.Helper()
 	// Bootstrap: listen on ephemeral ports, then rebuild configs with
 	// the resolved addresses.
-	a0, err := New(Config{NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	s := seed.FromEnv(t, 1) // retry-jitter seed; HCL_SEED overrides
+	a0, err := New(Config{NodeID: 0, Seed: s, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a1, err := New(Config{NodeID: 1, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	a1, err := New(Config{NodeID: 1, Seed: s, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
 	if err != nil {
 		a0.Close()
 		t.Fatal(err)

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
+)
+
+// The chaos schedule. Probabilistic faults (drops, delays) ride on
+// faultfab's own counter-based rolls; the discrete events here — kills,
+// restarts, partitions, heals — fire when the global completed-op counter
+// crosses seeded trigger points, so a schedule is a pure function of
+// (seed, total ops) and shrinking the workload shrinks the schedule with
+// it. DupProb stays zero: the repository's retry machinery promises
+// exactly-once application of non-idempotent verbs, so an injected
+// duplicate delivery would make the conservation checkers flag correct
+// code. Events never touch node 0, where every client lives.
+
+// chaosEvent is one discrete fault, applied when afterOps operations have
+// completed.
+type chaosEvent struct {
+	afterOps int
+	desc     string
+	apply    func(ff *faultfab.Fabric)
+}
+
+// chaosPlan couples the probabilistic fault mix with the event schedule.
+type chaosPlan struct {
+	fault  faultfab.Config
+	events []chaosEvent
+}
+
+// opOptions returns the per-op fabric options clients run under during
+// the chaotic phase: a virtual deadline that converts injected losses
+// into ErrTimeout, and the RPC-retry opt-in so dropped attempts (which
+// never executed) are retried transparently.
+func (p *chaosPlan) opOptions() fabric.Options {
+	return fabric.Options{
+		Deadline:    2 * time.Millisecond, // virtual
+		MaxAttempts: 4,
+		RetryRPC:    true,
+	}
+}
+
+// buildChaos derives the plan from the config. totalOps is the sum of all
+// stream lengths.
+func buildChaos(cfg Config, totalOps int) *chaosPlan {
+	if !cfg.Chaos {
+		return nil
+	}
+	p := &chaosPlan{
+		fault: faultfab.Config{
+			Seed:             cfg.Seed,
+			DropProb:         0.05,
+			DelayProb:        0.10,
+			DelayNS:          30_000,
+			AttemptTimeoutNS: 200_000,
+			MaxAttempts:      4,
+		},
+	}
+	r := newRNG(cfg.Seed, 0xC4A05)
+	servers := cfg.Nodes - 1
+	n := 2 + r.intn(3)
+	for i := 0; i < n && totalOps >= 8; i++ {
+		node := 1 + r.intn(servers)
+		at := r.intn(totalOps * 3 / 4)
+		dur := 1 + r.intn(totalOps/8+1)
+		if r.intn(2) == 0 {
+			p.events = append(p.events,
+				chaosEvent{at, fmt.Sprintf("kill node %d", node), func(ff *faultfab.Fabric) { ff.SetDown(node, true) }},
+				chaosEvent{at + dur, fmt.Sprintf("restart node %d", node), func(ff *faultfab.Fabric) { ff.SetDown(node, false) }},
+			)
+		} else {
+			p.events = append(p.events,
+				chaosEvent{at, fmt.Sprintf("partition 0|%d", node), func(ff *faultfab.Fabric) { ff.Partition(0, node) }},
+				chaosEvent{at + dur, fmt.Sprintf("heal 0|%d", node), func(ff *faultfab.Fabric) { ff.Heal(0, node) }},
+			)
+		}
+	}
+	return p
+}
+
+// chaosRunner applies the plan's events as the op counter advances.
+// Clients call tick after every completed op; whichever client crosses a
+// trigger point applies the event inline.
+type chaosRunner struct {
+	ff *faultfab.Fabric
+
+	mu      sync.Mutex
+	pending []chaosEvent // sorted by afterOps
+	done    int
+	applied []string
+}
+
+func newChaosRunner(p *chaosPlan, ff *faultfab.Fabric) *chaosRunner {
+	if p == nil || ff == nil {
+		return nil
+	}
+	ev := make([]chaosEvent, len(p.events))
+	copy(ev, p.events)
+	// Insertion sort: the list is tiny.
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && ev[j].afterOps < ev[j-1].afterOps; j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
+	return &chaosRunner{ff: ff, pending: ev}
+}
+
+// tick advances the completed-op counter and fires due events.
+func (c *chaosRunner) tick() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.done++
+	for len(c.pending) > 0 && c.pending[0].afterOps <= c.done {
+		e := c.pending[0]
+		c.pending = c.pending[1:]
+		e.apply(c.ff)
+		c.applied = append(c.applied, fmt.Sprintf("@%d %s", c.done, e.desc))
+	}
+	c.mu.Unlock()
+}
+
+// quiesce fires any leftover events (so every kill meets its restart),
+// then heals all partitions and revives every node for the verification
+// phase.
+func (c *chaosRunner) quiesce(nodes int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for _, e := range c.pending {
+		e.apply(c.ff)
+	}
+	c.pending = nil
+	c.mu.Unlock()
+	c.ff.HealAll()
+	for n := 0; n < nodes; n++ {
+		c.ff.SetDown(n, false)
+	}
+}
+
+// log reports the applied events for reproducer reports.
+func (c *chaosRunner) log() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.applied))
+	copy(out, c.applied)
+	return out
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Queue, priority-queue, scan, and conservation invariants. Unlike the
+// per-key linearizability search these are global, linear-time passes;
+// together they are the "conservation" layer of the ISSUE: every acked
+// insert is readable or explicitly erased, every acked push pops exactly
+// once, and retried non-idempotent verbs never apply twice (a double
+// application would surface as a duplicated pop or a resurrected key).
+
+// checkQueue validates one queue/priority-queue history: the concurrent
+// phase's pushes and pops plus the verification phase's sequential drain,
+// all recorded as ordinary entries. fifo enables the per-producer order
+// check (FIFO queue only); minSorted enables the drain pop-min order
+// check (priority queue only).
+func checkQueue(entries []Entry, fifo, minSorted bool) []string {
+	var viols []string
+
+	// Index pushes by value: unique values make this exact.
+	pushByVal := map[uint64]Entry{}
+	pushOutcome := map[uint64]Outcome{}
+	for _, e := range entries {
+		if e.Op.Kind != OpPush {
+			continue
+		}
+		pushByVal[e.Op.Val] = e
+		pushOutcome[e.Op.Val] = e.Outcome
+	}
+
+	// Collect successful pops in response order; count unknown pops,
+	// each of which may have consumed one element whose response was
+	// lost.
+	var pops []Entry
+	unknownPops := 0
+	for _, e := range entries {
+		if e.Op.Kind != OpPop {
+			continue
+		}
+		switch e.Outcome {
+		case OutcomeUnknown:
+			unknownPops++
+		case OutcomeOK:
+			if e.OutOK {
+				pops = append(pops, e)
+			}
+		}
+	}
+
+	// No creation, no duplication.
+	seen := map[uint64]Entry{}
+	for _, p := range pops {
+		oc, pushed := pushOutcome[p.OutVal]
+		if !pushed {
+			viols = append(viols, fmt.Sprintf("pop returned value %#x that no push produced:\n%s", p.OutVal, p))
+			continue
+		}
+		if oc == OutcomeFailed {
+			viols = append(viols, fmt.Sprintf("pop returned value %#x whose push failed before the wire:\n%s\n%s", p.OutVal, pushByVal[p.OutVal], p))
+		}
+		if prev, dup := seen[p.OutVal]; dup {
+			viols = append(viols, fmt.Sprintf("value %#x popped twice (non-idempotent verb applied more than once):\n%s\n%s", p.OutVal, prev, p))
+			continue
+		}
+		seen[p.OutVal] = p
+	}
+
+	// No loss: every acked push must be consumed by some successful pop,
+	// with an allowance of one element per unknown pop (a pop that
+	// executed but whose response was lost consumes silently).
+	var missing []uint64
+	for v, oc := range pushOutcome {
+		if oc == OutcomeOK {
+			if _, consumed := seen[v]; !consumed {
+				missing = append(missing, v)
+			}
+		}
+	}
+	if len(missing) > unknownPops {
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		viols = append(viols, fmt.Sprintf(
+			"lost elements: %d acked pushes never popped (only %d unknown pops could account for losses): %#x",
+			len(missing), unknownPops, missing))
+	}
+
+	if fifo {
+		viols = append(viols, checkProducerOrder(pops, pushByVal)...)
+	}
+	if minSorted {
+		viols = append(viols, checkDrainOrder(entries)...)
+	}
+	return viols
+}
+
+// checkProducerOrder asserts FIFO through the one partial order the
+// history fixes: if the same client pushed a before b, two pops that do
+// not overlap in time must not return b first. (Overlapping pops may
+// linearize either way.)
+func checkProducerOrder(pops []Entry, pushByVal map[uint64]Entry) []string {
+	var viols []string
+	for i := 0; i < len(pops); i++ {
+		for j := 0; j < len(pops); j++ {
+			pa, pb := pops[i], pops[j]
+			if pa.Ret >= pb.Inv { // only strictly ordered pop pairs constrain
+				continue
+			}
+			a, b := pushByVal[pa.OutVal], pushByVal[pb.OutVal]
+			if a.Client == b.Client && b.Ret < a.Inv {
+				// b was pushed entirely before a by the same client, yet
+				// popped entirely after a.
+				viols = append(viols, fmt.Sprintf(
+					"FIFO violation: same-client pushes popped out of order:\npush %s\npush %s\npop  %s\npop  %s",
+					b, a, pa, pb))
+			}
+		}
+	}
+	return viols
+}
+
+// checkDrainOrder asserts the verification drain of a priority queue pops
+// in non-decreasing order (the containers pop min-first).
+func checkDrainOrder(entries []Entry) []string {
+	var last *Entry
+	var viols []string
+	for i := range entries {
+		e := entries[i]
+		if e.Phase != phaseVerify || e.Op.Kind != OpPop || e.Outcome != OutcomeOK || !e.OutOK {
+			continue
+		}
+		if last != nil && e.OutVal < last.OutVal {
+			viols = append(viols, fmt.Sprintf(
+				"priority order violation in sequential drain: %#x popped after %#x:\n%s\n%s",
+				e.OutVal, last.OutVal, *last, e))
+		}
+		last = &entries[i]
+	}
+	return viols
+}
+
+// checkConservation runs the explicit global accounting for map/set
+// histories: (1) a key whose history holds at least one acked put and no
+// erase of any outcome must be present in the final read; (2) a present
+// final value must have been written by some acked-or-unknown put of that
+// key (no corruption, no resurrection of failed writes). The final reads
+// are the verification-phase gets.
+func checkConservation(entries []Entry, blind bool) []string {
+	type keyFacts struct {
+		ackedPut   bool
+		anyErase   bool
+		writes     map[uint64]bool // values written by OK/Unknown puts
+		finalOK    bool
+		finalSeen  bool
+		finalVal   uint64
+		finalEntry Entry
+	}
+	facts := map[uint64]*keyFacts{}
+	get := func(k uint64) *keyFacts {
+		f := facts[k]
+		if f == nil {
+			f = &keyFacts{writes: map[uint64]bool{}}
+			facts[k] = f
+		}
+		return f
+	}
+	for _, e := range entries {
+		if e.Outcome == OutcomeFailed || e.Op.Kind == OpRange || e.Op.Kind == OpPop || e.Op.Kind == OpPush {
+			continue
+		}
+		f := get(e.Op.Key)
+		switch e.Op.Kind {
+		case OpPut:
+			f.writes[e.Op.Val] = true
+			if e.Outcome == OutcomeOK {
+				f.ackedPut = true
+			}
+		case OpErase:
+			f.anyErase = true
+		case OpGet:
+			if e.Phase == phaseVerify && e.Outcome == OutcomeOK {
+				f.finalSeen = true
+				f.finalOK = e.OutOK
+				f.finalVal = e.OutVal
+				f.finalEntry = e
+			}
+		}
+	}
+	keys := make([]uint64, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var viols []string
+	for _, k := range keys {
+		f := facts[k]
+		if !f.finalSeen {
+			continue
+		}
+		if f.ackedPut && !f.anyErase && !f.finalOK {
+			viols = append(viols, fmt.Sprintf(
+				"conservation: key %d had an acked insert and no erase, but the final read found it absent:\n%s",
+				k, f.finalEntry))
+		}
+		if f.finalOK && !blind && !f.writes[f.finalVal] {
+			viols = append(viols, fmt.Sprintf(
+				"conservation: key %d finally holds %#x, which no acked-or-unknown insert wrote:\n%s",
+				k, f.finalVal, f.finalEntry))
+		}
+	}
+	return viols
+}
+
+// checkScans flags range scans whose adapter-side validation failed
+// (unsorted output or a value no write produced).
+func checkScans(entries []Entry) []string {
+	var viols []string
+	for _, e := range entries {
+		if e.Op.Kind == OpRange && e.Outcome == OutcomeOK && !e.OutOK {
+			viols = append(viols, fmt.Sprintf("range scan returned unsorted output or an alien value:\n%s", e))
+		}
+	}
+	return viols
+}

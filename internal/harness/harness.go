@@ -1,0 +1,158 @@
+// Package harness is the deterministic cluster stress harness: a seeded,
+// property-based workload generator, a chaos scheduler, a history
+// recorder, and per-container correctness checkers, wired so that a
+// failure prints the seed and a minimized operation trace that replays
+// the violation locally (HCL_SEED=<seed> make stress).
+//
+// The pieces, in dataflow order:
+//
+//   - opgen.go derives per-client operation streams (put/get/erase,
+//     push/pop, ordered-range) from (seed, client) with a counter-based
+//     splitmix64 stream, so streams never depend on goroutine scheduling;
+//   - store.go adapts all six HCL containers (unordered/ordered map and
+//     set, FIFO and priority queue) to two tiny op interfaces, plus
+//     deliberately broken builds used to self-test the checkers;
+//   - chaos.go turns the seed into a schedule of kills, restarts,
+//     partitions and heals applied to a faultfab wrapper at fixed
+//     global-op-count trigger points;
+//   - history.go records one invocation/response entry per operation,
+//     stamped with a global order counter and a trace id (reusing the
+//     trace.Ctx plumbing, so a violating op can be correlated with its
+//     fabric spans);
+//   - linearize.go checks map/set histories for linearizability with a
+//     WGL-style search over per-key sub-histories; check.go holds the
+//     queue/priority-queue order and conservation invariants;
+//   - minimize.go shrinks a failing run's op streams while the violation
+//     reproduces, and report.go formats the reproducer.
+//
+// Runs on the simulated fabric are virtual-time only: a full chaotic
+// sweep of several thousand operations, including every injected timeout,
+// completes in milliseconds of wall time and is race-detector friendly.
+// The same harness drives real sockets (RunTCP) so the multiplexed
+// transport's retry/cancel machinery is exercised under -race too.
+package harness
+
+import (
+	"time"
+)
+
+// Kind selects a container under test.
+type Kind int
+
+// The six container kinds of the paper, plus the broken builds.
+const (
+	KindUnorderedMap Kind = iota
+	KindUnorderedSet
+	KindOrderedMap
+	KindOrderedSet
+	KindQueue
+	KindPriorityQueue
+)
+
+// AllKinds lists every real container kind, in checker order.
+var AllKinds = []Kind{
+	KindUnorderedMap, KindUnorderedSet, KindOrderedMap,
+	KindOrderedSet, KindQueue, KindPriorityQueue,
+}
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindUnorderedMap:
+		return "unordered_map"
+	case KindUnorderedSet:
+		return "unordered_set"
+	case KindOrderedMap:
+		return "ordered_map"
+	case KindOrderedSet:
+		return "ordered_set"
+	case KindQueue:
+		return "queue"
+	case KindPriorityQueue:
+		return "priority_queue"
+	}
+	return "?"
+}
+
+// Bug selects a deliberately broken container build. The harness must
+// flag every one of them — that is the checker's self-test, run by
+// TestStressSelfTest and `make stress`.
+type Bug int
+
+const (
+	// BugNone tests the real containers.
+	BugNone Bug = iota
+	// BugStaleRead serves a superseded value on some reads (a torn
+	// cache: the read linearizes before a write that completed before
+	// the read began).
+	BugStaleRead
+	// BugDropWrite acks a write without applying it (a lost update).
+	BugDropWrite
+	// BugDupPop returns the same element from two pops (a queue that
+	// forgets to unlink).
+	BugDupPop
+)
+
+// Config parameterizes one harness run.
+type Config struct {
+	// Seed drives everything: op streams, chaos schedule, faultfab rolls.
+	Seed int64
+	// Kind is the container under test.
+	Kind Kind
+	// Clients is the number of concurrent client ranks (default 4).
+	Clients int
+	// Nodes is the fabric size; servers are nodes 1..Nodes-1 and every
+	// client lives on node 0 so all container traffic crosses the wire
+	// (default 3).
+	Nodes int
+	// OpsPerClient is the length of each client's op stream (default 48).
+	OpsPerClient int
+	// Keys bounds the key space; small values maximize contention
+	// (default 8).
+	Keys int
+	// Chaos enables the fault schedule (drops, delays, kills, restarts,
+	// partitions). Off, the run is failure-free and every op must succeed.
+	Chaos bool
+	// Bug substitutes a deliberately broken container build.
+	Bug Bug
+	// Minimize shrinks the failing op streams before reporting
+	// (default on for sim runs; minimization re-executes the run).
+	Minimize bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 48
+	}
+	if c.Keys <= 0 {
+		c.Keys = 8
+	}
+	return c
+}
+
+// Violation is one checker finding: a history the container's
+// specification cannot explain.
+type Violation struct {
+	Kind   Kind
+	Seed   int64
+	Desc   string // what invariant broke
+	Trace  string // the (minimized) op trace that exhibits it
+	Shrunk bool   // whether Trace is minimized
+}
+
+// Result aggregates a run or sweep.
+type Result struct {
+	Runs       int           // completed harness runs
+	Ops        int           // total operations driven
+	Violations []Violation   // empty on a correct container
+	Elapsed    time.Duration // wall time spent
+}
+
+// Failed reports whether any violation was found.
+func (r Result) Failed() bool { return len(r.Violations) > 0 }

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hcl/internal/seed"
+)
+
+// TestStressSim runs one chaotic seeded run per container kind on the
+// simulated fabric and requires a clean bill of health: every checker
+// must accept the history of a correct container under kills, restarts,
+// partitions, drops and delays.
+func TestStressSim(t *testing.T) {
+	s := seed.FromEnv(t, 1)
+	for _, k := range AllKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			res := Run(Config{Seed: s, Kind: k, Chaos: true, Minimize: true})
+			if res.Failed() {
+				t.Fatalf("violations on correct %s:\n%s", k, Report(res))
+			}
+		})
+	}
+}
+
+// TestStressQuiet covers the fault-free path: with chaos off every
+// operation must complete with OutcomeOK, so the checkers run on a
+// complete, unambiguous history.
+func TestStressQuiet(t *testing.T) {
+	s := seed.FromEnv(t, 2)
+	for _, k := range AllKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			res := Run(Config{Seed: s, Kind: k})
+			if res.Failed() {
+				t.Fatalf("violations on correct %s without chaos:\n%s", k, Report(res))
+			}
+		})
+	}
+}
+
+// TestStressSweep is the time-boxed sweep behind `make stress`: seeds
+// derived from the base seed are run across all kinds until the budget
+// (HCL_STRESS_MS, default 2000ms) is spent or a violation appears.
+func TestStressSweep(t *testing.T) {
+	budget := 2 * time.Second
+	if v := os.Getenv("HCL_STRESS_MS"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			t.Fatalf("bad HCL_STRESS_MS=%q", v)
+		}
+		budget = time.Duration(ms) * time.Millisecond
+	}
+	if testing.Short() {
+		budget = 300 * time.Millisecond
+	}
+	s := seed.FromEnv(t, 1000)
+	res := Sweep(Config{Seed: s, Chaos: true, Minimize: true}, AllKinds, budget)
+	t.Logf("%s", Report(res))
+	if res.Failed() {
+		t.Fatalf("sweep found violations:\n%s", Report(res))
+	}
+}
+
+// TestStressSelfTest is the acceptance criterion's checker self-test:
+// each deliberately broken container build must be flagged, and the
+// report must carry the seed and a minimized reproducer. A harness whose
+// checkers pass on these builds proves nothing on the real ones.
+func TestStressSelfTest(t *testing.T) {
+	s := seed.FromEnv(t, 3)
+	cases := []struct {
+		name string
+		kind Kind
+		bug  Bug
+	}{
+		{"stale_read_umap", KindUnorderedMap, BugStaleRead},
+		{"stale_read_omap", KindOrderedMap, BugStaleRead},
+		{"drop_write_umap", KindUnorderedMap, BugDropWrite},
+		{"drop_push_queue", KindQueue, BugDropWrite},
+		{"dup_pop_queue", KindQueue, BugDupPop},
+		{"dup_pop_pq", KindPriorityQueue, BugDupPop},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			// Chaos stays off so every violation is attributable to the
+			// injected bug, not to an ambiguous fault outcome.
+			res := Run(Config{Seed: s, Kind: c.kind, Bug: c.bug, Minimize: true})
+			if !res.Failed() {
+				t.Fatalf("checkers missed injected bug %s on %s", c.name, c.kind)
+			}
+			rep := Report(res)
+			if !strings.Contains(rep, "HCL_SEED=") {
+				t.Fatalf("report lacks seed reproducer line:\n%s", rep)
+			}
+			v := res.Violations[0]
+			if v.Seed != s {
+				t.Fatalf("violation seed %d != run seed %d", v.Seed, s)
+			}
+			if !v.Shrunk {
+				t.Fatalf("violation trace was not minimized:\n%s", rep)
+			}
+			if v.Trace == "" {
+				t.Fatalf("violation carries no op trace:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestMinimizerShrinks pins the minimizer's value: the reported trace of
+// a drop-write bug must be strictly smaller than the full generated
+// workload.
+func TestMinimizerShrinks(t *testing.T) {
+	s := seed.FromEnv(t, 5)
+	cfg := Config{Seed: s, Kind: KindUnorderedMap, Bug: BugDropWrite, Minimize: true}
+	res := Run(cfg)
+	if !res.Failed() {
+		t.Fatal("drop-write bug not found")
+	}
+	full := cfg.withDefaults()
+	if res.Ops >= full.Clients*full.OpsPerClient {
+		t.Fatalf("minimizer failed to shrink: %d ops reported, %d generated",
+			res.Ops, full.Clients*full.OpsPerClient)
+	}
+}

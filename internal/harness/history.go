@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hcl/internal/fabric"
+)
+
+// Outcome classifies how an operation's effect must be treated by the
+// checkers.
+type Outcome uint8
+
+const (
+	// OutcomeOK: the operation completed and its response is binding.
+	OutcomeOK Outcome = iota
+	// OutcomeFailed: the operation definitely did not execute
+	// (ErrNodeDown is returned before the verb reaches the wire).
+	OutcomeFailed
+	// OutcomeUnknown: the operation may or may not have executed
+	// (ErrTimeout — the attempt can have been delivered with only the
+	// response lost). Checkers must consider both possibilities.
+	OutcomeUnknown
+)
+
+// Run phases: the concurrent chaotic phase, then the quiescent
+// verification phase (final reads, sequential drain) after faults heal.
+const (
+	phaseConcurrent uint8 = iota
+	phaseVerify
+)
+
+// Entry is one invocation/response record. Inv and Ret are draws from a
+// single global order counter: operation A happens-before operation B iff
+// A.Ret < B.Inv, which is the partial order the linearizability search
+// respects. TraceID reuses the trace.Ctx id namespace, so a violating
+// entry can be matched against recorded fabric spans.
+type Entry struct {
+	Client  int
+	Op      Op
+	Inv     uint64
+	Ret     uint64
+	OutVal  uint64 // value returned by Get/Pop
+	OutOK   bool   // presence bit of Get/Pop, "new" bit of Put
+	Outcome Outcome
+	Phase   uint8
+	TraceID uint64
+}
+
+func (e Entry) String() string {
+	out := "?"
+	switch e.Outcome {
+	case OutcomeOK:
+		switch e.Op.Kind {
+		case OpGet, OpPop:
+			if e.OutOK {
+				out = fmt.Sprintf("-> %d", e.OutVal)
+			} else {
+				out = "-> absent"
+			}
+		default:
+			out = fmt.Sprintf("-> ok=%v", e.OutOK)
+		}
+	case OutcomeFailed:
+		out = "-> failed(node down)"
+	case OutcomeUnknown:
+		out = "-> unknown(timeout)"
+	}
+	return fmt.Sprintf("c%d [%4d,%4d] t=%#x %-12s %s", e.Client, e.Inv, e.Ret, e.TraceID, e.Op, out)
+}
+
+// History records entries concurrently. One History covers one run.
+type History struct {
+	order atomic.Uint64
+	trace atomic.Uint64 // trace-id allocator (ids are only unique per run)
+
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// Begin stamps the invocation side, returning the entry index and the
+// trace id allocated to the operation (stamped on the rank's clock so the
+// fabric's spans carry it).
+func (h *History) Begin(client int, op Op, phase uint8) (idx int, traceID uint64) {
+	e := Entry{
+		Client:  client,
+		Op:      op,
+		Phase:   phase,
+		Inv:     h.order.Add(1),
+		TraceID: h.trace.Add(1),
+	}
+	h.mu.Lock()
+	h.entries = append(h.entries, e)
+	idx = len(h.entries) - 1
+	h.mu.Unlock()
+	return idx, e.TraceID
+}
+
+// End stamps the response side and returns the outcome err folded into:
+// nil is binding, ErrNodeDown definitely-not-applied, anything else
+// (ErrTimeout and wrapped variants) unknown.
+func (h *History) End(idx int, val uint64, ok bool, err error) Outcome {
+	ret := h.order.Add(1)
+	h.mu.Lock()
+	e := &h.entries[idx]
+	e.Ret = ret
+	e.OutVal = val
+	e.OutOK = ok
+	switch {
+	case err == nil:
+		e.Outcome = OutcomeOK
+	case errors.Is(err, fabric.ErrNodeDown):
+		e.Outcome = OutcomeFailed
+	default:
+		e.Outcome = OutcomeUnknown
+	}
+	out := e.Outcome
+	h.mu.Unlock()
+	return out
+}
+
+// Entries snapshots the history. Safe only after the run's clients have
+// finished.
+func (h *History) Entries() []Entry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Entry, len(h.entries))
+	copy(out, h.entries)
+	return out
+}
+
+// Len reports the number of recorded entries.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries)
+}
+
+// Format renders entries for a reproducer report, in invocation order.
+func Format(entries []Entry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

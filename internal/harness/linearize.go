@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Per-key linearizability checking, WGL-style (Wing & Gong's algorithm
+// with Lowe's memoization). Map and set histories decompose exactly: put,
+// get, and erase on different keys commute, so a history is linearizable
+// iff each per-key sub-history is linearizable against a single register
+// that is either absent or holds the value of the last applied put. Unique
+// write values keep the state space tiny, and the memo on
+// (linearized-set, register) keeps the search polynomial in practice.
+//
+// Outcome handling follows the standard treatment of ambiguous RPCs:
+// OutcomeOK responses are binding; OutcomeFailed ops are excluded (the
+// injector failed them before the wire); OutcomeUnknown ops (timeouts)
+// may linearize anywhere after their invocation or never — the search is
+// free to apply them or drop them, and they never gate other ops.
+
+// absent is the register's empty state. Real written values come from
+// uniqueVal and are always >= 1<<32, so 0 is safe as the sentinel.
+const absent = uint64(0)
+
+// searchBudget caps explored states per key so a pathological history
+// degrades to "inconclusive" instead of hanging the suite.
+const searchBudget = 4 << 20
+
+// LinResult is the outcome of a linearizability check.
+type LinResult struct {
+	OK           bool
+	Inconclusive bool   // budget exhausted before a verdict
+	Key          uint64 // offending key when !OK
+	Entries      []Entry
+}
+
+// CheckLinearizable partitions entries by key and checks each sub-history.
+// blind relaxes value matching for sets, whose reads observe only
+// presence. Range and queue entries must not be passed in.
+func CheckLinearizable(entries []Entry, blind bool) LinResult {
+	byKey := map[uint64][]Entry{}
+	for _, e := range entries {
+		if e.Outcome == OutcomeFailed {
+			continue
+		}
+		if e.Outcome == OutcomeUnknown && e.Op.Kind == OpGet {
+			// A lost read constrains nothing and changes nothing.
+			continue
+		}
+		byKey[e.Op.Key] = append(byKey[e.Op.Key], e)
+	}
+	keys := make([]uint64, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	res := LinResult{OK: true}
+	for _, k := range keys {
+		sub := byKey[k]
+		sort.Slice(sub, func(i, j int) bool { return sub[i].Inv < sub[j].Inv })
+		ok, conclusive := linearizeKey(sub, blind)
+		if !conclusive {
+			res.Inconclusive = true
+			continue
+		}
+		if !ok {
+			return LinResult{OK: false, Key: k, Entries: sub}
+		}
+	}
+	return res
+}
+
+// memoKey identifies a search state: which ops have linearized and what
+// the register holds.
+type memoKey struct {
+	mask uint64
+	val  uint64
+}
+
+// linearizeKey searches for a legal total order of one key's history.
+// conclusive is false when the op count exceeds the bitmask width or the
+// state budget runs out.
+func linearizeKey(sub []Entry, blind bool) (ok, conclusive bool) {
+	n := len(sub)
+	if n == 0 {
+		return true, true
+	}
+	if n > 64 {
+		return true, false
+	}
+	// requiredMask: the OK ops that must all linearize.
+	var requiredMask uint64
+	for i, e := range sub {
+		if e.Outcome == OutcomeOK {
+			requiredMask |= 1 << i
+		}
+	}
+	visited := map[memoKey]bool{}
+	budget := searchBudget
+
+	var search func(mask, val uint64) bool
+	search = func(mask, val uint64) bool {
+		if mask&requiredMask == requiredMask {
+			return true
+		}
+		mk := memoKey{mask, val}
+		if visited[mk] {
+			return false
+		}
+		if budget--; budget <= 0 {
+			return false
+		}
+		visited[mk] = true
+		// The frontier bound: no op may linearize after an op that
+		// returned before it was invoked. Unknown ops have an open
+		// response and never bound others.
+		bound := ^uint64(0)
+		for i, e := range sub {
+			if mask&(1<<i) == 0 && e.Outcome == OutcomeOK && e.Ret < bound {
+				bound = e.Ret
+			}
+		}
+		for i, e := range sub {
+			if mask&(1<<i) != 0 || e.Inv > bound {
+				continue
+			}
+			next, legal := apply(e, val, blind)
+			if !legal {
+				continue
+			}
+			if search(mask|1<<i, next) {
+				return true
+			}
+		}
+		return false
+	}
+	ok = search(0, absent)
+	if !ok && budget <= 0 {
+		return true, false
+	}
+	return ok, true
+}
+
+// apply executes one op against the register model, returning the next
+// state and whether the op's recorded response is consistent with val.
+// Unknown ops carry no response constraint.
+func apply(e Entry, val uint64, blind bool) (next uint64, legal bool) {
+	switch e.Op.Kind {
+	case OpPut:
+		if e.Outcome == OutcomeOK {
+			// OutOK is the "newly inserted" bit.
+			if e.OutOK != (val == absent) {
+				return val, false
+			}
+		}
+		return e.Op.Val, true
+	case OpErase:
+		if e.Outcome == OutcomeOK && e.OutOK != (val != absent) {
+			return val, false
+		}
+		return absent, true
+	case OpGet:
+		if e.OutOK != (val != absent) {
+			return val, false
+		}
+		if e.OutOK && !blind && e.OutVal != val {
+			return val, false
+		}
+		return val, true
+	}
+	return val, false
+}
+
+// explainLin renders a violation for the report.
+func explainLin(r LinResult) string {
+	return fmt.Sprintf("history of key %d admits no linearization:\n%s", r.Key, Format(r.Entries))
+}

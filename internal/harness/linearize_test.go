@@ -1,0 +1,225 @@
+package harness
+
+import "testing"
+
+// h builds a sequential-history helper: each op occupies its own
+// [inv,ret] window in call order.
+type histBuilder struct {
+	t    uint64
+	list []Entry
+}
+
+func (b *histBuilder) add(client int, op Op, val uint64, ok bool, oc Outcome) *histBuilder {
+	b.t++
+	inv := b.t
+	b.t++
+	b.list = append(b.list, Entry{Client: client, Op: op, Inv: inv, Ret: b.t, OutVal: val, OutOK: ok, Outcome: oc})
+	return b
+}
+
+// addOverlap opens an op window covering the rest of the history.
+func (b *histBuilder) addAt(client int, op Op, val uint64, ok bool, oc Outcome, inv, ret uint64) *histBuilder {
+	b.list = append(b.list, Entry{Client: client, Op: op, Inv: inv, Ret: ret, OutVal: val, OutOK: ok, Outcome: oc})
+	return b
+}
+
+func put(k, v uint64) Op { return Op{Kind: OpPut, Key: k, Val: v} }
+func get(k uint64) Op    { return Op{Kind: OpGet, Key: k} }
+func erase(k uint64) Op  { return Op{Kind: OpErase, Key: k} }
+
+func TestLinearizableSequentialHistory(t *testing.T) {
+	b := &histBuilder{}
+	b.add(0, put(1, 100), 0, true, OutcomeOK). // new insert
+							add(0, get(1), 100, true, OutcomeOK).
+							add(1, put(1, 200), 0, false, OutcomeOK). // overwrite: not new
+							add(1, get(1), 200, true, OutcomeOK).
+							add(0, erase(1), 0, true, OutcomeOK).
+							add(0, get(1), 0, false, OutcomeOK) // absent
+	if r := CheckLinearizable(b.list, false); !r.OK || r.Inconclusive {
+		t.Fatalf("valid sequential history rejected: %+v", r)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	b := &histBuilder{}
+	b.add(0, put(1, 100), 0, true, OutcomeOK).
+		add(0, put(1, 200), 0, false, OutcomeOK).
+		add(0, get(1), 100, true, OutcomeOK) // reads the overwritten value
+	r := CheckLinearizable(b.list, false)
+	if r.OK {
+		t.Fatal("stale read accepted")
+	}
+	if r.Key != 1 || len(r.Entries) != 3 {
+		t.Fatalf("violation context wrong: %+v", r)
+	}
+}
+
+func TestLostUpdateRejected(t *testing.T) {
+	b := &histBuilder{}
+	b.add(0, put(2, 300), 0, true, OutcomeOK).
+		add(0, get(2), 0, false, OutcomeOK) // acked insert, then absent
+	if r := CheckLinearizable(b.list, false); r.OK {
+		t.Fatal("lost update accepted")
+	}
+}
+
+func TestWrongNewBitRejected(t *testing.T) {
+	b := &histBuilder{}
+	// Two acked "newly inserted" puts with no erase between them cannot
+	// both have found the key absent.
+	b.add(0, put(3, 100), 0, true, OutcomeOK).
+		add(1, put(3, 200), 0, true, OutcomeOK)
+	if r := CheckLinearizable(b.list, false); r.OK {
+		t.Fatal("impossible isNew bits accepted")
+	}
+}
+
+func TestConcurrentReadsMayDiverge(t *testing.T) {
+	// Two writes overlapping a read: the read may see either value.
+	b := &histBuilder{}
+	b.addAt(0, put(1, 100), 0, true, OutcomeOK, 1, 10).
+		addAt(1, put(1, 200), 0, false, OutcomeOK, 2, 9).
+		addAt(2, get(1), 200, true, OutcomeOK, 3, 8).
+		addAt(2, get(1), 100, true, OutcomeOK, 11, 12)
+	// get->200 then get->100 is legal only if put(200) linearized before
+	// put(100); the isNew bits force put(100) first... so this specific
+	// combination must be rejected.
+	if r := CheckLinearizable(b.list, false); r.OK {
+		t.Fatal("isNew-contradicting order accepted")
+	}
+	// With isNew bits that allow either order, the same reads pass.
+	b2 := &histBuilder{}
+	b2.addAt(0, put(1, 100), 0, false, OutcomeOK, 1, 10).
+		addAt(1, put(1, 200), 0, false, OutcomeOK, 2, 9).
+		addAt(2, get(1), 200, true, OutcomeOK, 3, 8).
+		addAt(2, get(1), 100, true, OutcomeOK, 11, 12)
+	// Seed the register so neither put is "new".
+	b2.addAt(3, put(1, 300), 0, true, OutcomeOK, 0, 1)
+	if r := CheckLinearizable(b2.list, false); !r.OK {
+		t.Fatalf("legal concurrent order rejected: %+v", r)
+	}
+}
+
+func TestUnknownOpsMayApplyOrNot(t *testing.T) {
+	// A timed-out put followed by a read of its value: legal (it
+	// applied). The same read when the put definitely failed: illegal.
+	b := &histBuilder{}
+	b.add(0, put(1, 100), 0, false, OutcomeUnknown).
+		add(1, get(1), 100, true, OutcomeOK)
+	if r := CheckLinearizable(b.list, false); !r.OK {
+		t.Fatalf("applied unknown write rejected: %+v", r)
+	}
+	// And a timed-out put never observed is also legal (it was lost).
+	b2 := &histBuilder{}
+	b2.add(0, put(1, 100), 0, false, OutcomeUnknown).
+		add(1, get(1), 0, false, OutcomeOK)
+	if r := CheckLinearizable(b2.list, false); !r.OK {
+		t.Fatalf("dropped unknown write rejected: %+v", r)
+	}
+	// A failed put observed by a read is creation ex nihilo.
+	b3 := &histBuilder{}
+	b3.add(0, put(1, 100), 0, false, OutcomeFailed).
+		add(1, get(1), 100, true, OutcomeOK)
+	if r := CheckLinearizable(b3.list, false); r.OK {
+		t.Fatal("failed write's value observed, but history accepted")
+	}
+}
+
+func TestBlindSetSemantics(t *testing.T) {
+	// Set reads observe presence only; a value mismatch must not fail a
+	// blind check, but a presence mismatch must.
+	b := &histBuilder{}
+	b.add(0, put(1, 100), 0, true, OutcomeOK).
+		add(0, get(1), 0, true, OutcomeOK) // presence, no value
+	if r := CheckLinearizable(b.list, true); !r.OK {
+		t.Fatalf("blind set history rejected: %+v", r)
+	}
+	b2 := &histBuilder{}
+	b2.add(0, put(1, 100), 0, true, OutcomeOK).
+		add(0, get(1), 0, false, OutcomeOK) // absent after acked insert
+	if r := CheckLinearizable(b2.list, true); r.OK {
+		t.Fatal("blind lost insert accepted")
+	}
+}
+
+func TestQueueCheckerFindsDupAndLoss(t *testing.T) {
+	pushOp := func(v uint64) Op { return Op{Kind: OpPush, Val: v} }
+	popR := func(t *histBuilder, v uint64) { t.add(1, Op{Kind: OpPop}, v, true, OutcomeOK) }
+
+	// Duplicate pop.
+	b := &histBuilder{}
+	b.add(0, pushOp(7), 0, true, OutcomeOK)
+	popR(b, 7)
+	popR(b, 7)
+	if v := checkQueue(b.list, true, false); len(v) == 0 {
+		t.Fatal("duplicate pop not flagged")
+	}
+
+	// Lost element: acked push never popped, no unknown pops to blame.
+	b2 := &histBuilder{}
+	b2.add(0, pushOp(7), 0, true, OutcomeOK).
+		add(1, Op{Kind: OpPop}, 0, false, OutcomeOK)
+	if v := checkQueue(b2.list, true, false); len(v) == 0 {
+		t.Fatal("lost element not flagged")
+	}
+
+	// Same, but an unknown pop may have consumed it: clean.
+	b3 := &histBuilder{}
+	b3.add(0, pushOp(7), 0, true, OutcomeOK).
+		add(1, Op{Kind: OpPop}, 0, false, OutcomeUnknown)
+	if v := checkQueue(b3.list, true, false); len(v) != 0 {
+		t.Fatalf("unknown pop allowance not applied: %v", v)
+	}
+
+	// FIFO: same client pushes 1 then 2; strictly-ordered pops see 2
+	// then 1.
+	b4 := &histBuilder{}
+	b4.add(0, pushOp(1), 0, true, OutcomeOK).
+		add(0, pushOp(2), 0, true, OutcomeOK)
+	popR(b4, 2)
+	popR(b4, 1)
+	if v := checkQueue(b4.list, true, false); len(v) == 0 {
+		t.Fatal("FIFO inversion not flagged")
+	}
+	if v := checkQueue(b4.list, false, false); len(v) != 0 {
+		t.Fatalf("priority queue flagged for FIFO inversion: %v", v)
+	}
+}
+
+func TestDrainOrderChecker(t *testing.T) {
+	b := &histBuilder{}
+	b.add(0, Op{Kind: OpPush, Val: 5}, 0, true, OutcomeOK).
+		add(0, Op{Kind: OpPush, Val: 3}, 0, true, OutcomeOK)
+	// Verification-phase drain popping 5 before 3 breaks pop-min order.
+	b.t++
+	b.list = append(b.list, Entry{Client: 0, Op: Op{Kind: OpPop}, Inv: b.t, Ret: b.t + 1, OutVal: 5, OutOK: true, Outcome: OutcomeOK, Phase: phaseVerify})
+	b.t += 2
+	b.list = append(b.list, Entry{Client: 0, Op: Op{Kind: OpPop}, Inv: b.t, Ret: b.t + 1, OutVal: 3, OutOK: true, Outcome: OutcomeOK, Phase: phaseVerify})
+	if v := checkQueue(b.list, false, true); len(v) == 0 {
+		t.Fatal("drain priority inversion not flagged")
+	}
+}
+
+func TestConservationChecker(t *testing.T) {
+	b := &histBuilder{}
+	b.add(0, put(1, 100), 0, true, OutcomeOK)
+	b.list = append(b.list, Entry{Client: 0, Op: get(1), Inv: 90, Ret: 91, OutVal: 0, OutOK: false, Outcome: OutcomeOK, Phase: phaseVerify})
+	if v := checkConservation(b.list, false); len(v) == 0 {
+		t.Fatal("vanished acked insert not flagged")
+	}
+	// A final value no put wrote.
+	b2 := &histBuilder{}
+	b2.add(0, put(1, 100), 0, true, OutcomeOK)
+	b2.list = append(b2.list, Entry{Client: 0, Op: get(1), Inv: 90, Ret: 91, OutVal: 42, OutOK: true, Outcome: OutcomeOK, Phase: phaseVerify})
+	if v := checkConservation(b2.list, false); len(v) == 0 {
+		t.Fatal("alien final value not flagged")
+	}
+	// An unknown erase excuses absence.
+	b3 := &histBuilder{}
+	b3.add(0, put(1, 100), 0, true, OutcomeOK).
+		add(1, erase(1), 0, false, OutcomeUnknown)
+	b3.list = append(b3.list, Entry{Client: 0, Op: get(1), Inv: 90, Ret: 91, OutVal: 0, OutOK: false, Outcome: OutcomeOK, Phase: phaseVerify})
+	if v := checkConservation(b3.list, false); len(v) != 0 {
+		t.Fatalf("excused absence flagged: %v", v)
+	}
+}

@@ -1,0 +1,77 @@
+package harness
+
+import "fmt"
+
+// Trace minimization: a delta-debugging pass over the per-client op
+// streams. Shrinking re-executes the run, so it is only wired to the
+// simulated fabric, where a full run costs milliseconds. Because the
+// goroutine interleaving is not pinned, a candidate reduction is retried
+// a few times before being rejected — a violation that reproduces on any
+// retry keeps the reduction.
+
+const (
+	shrinkRetries  = 3   // re-runs before declaring a candidate passing
+	shrinkRunLimit = 200 // total re-runs across the whole minimization
+)
+
+// minimizeStreams returns the smallest stream set (found within budget)
+// that still fails, along with that run's violations. When no reduced
+// run fails within the retry budget, the originals are re-run and
+// returned.
+func minimizeStreams(cfg Config, streams [][]Op) ([][]Op, []Violation) {
+	runs := 0
+	fails := func(s [][]Op) []Violation {
+		for i := 0; i < shrinkRetries && runs < shrinkRunLimit; i++ {
+			runs++
+			if _, v := runSim(cfg, s); len(v) > 0 {
+				return v
+			}
+		}
+		return nil
+	}
+
+	cur := streams
+	curViol := fails(cur)
+	if curViol == nil {
+		return streams, nil
+	}
+	// Per-client chunk removal, halving chunk sizes: classic ddmin
+	// simplified to one client at a time (cross-client minimal pairs are
+	// rare enough not to justify the quadratic pass).
+	for chunk := maxLen(cur) / 2; chunk >= 1; chunk /= 2 {
+		for c := range cur {
+			for off := 0; off+chunk <= len(cur[c]) && runs < shrinkRunLimit; {
+				cand := copyStreams(cur)
+				cand[c] = append(append([]Op{}, cur[c][:off]...), cur[c][off+chunk:]...)
+				if v := fails(cand); v != nil {
+					cur, curViol = cand, v
+					continue // same offset now holds the next chunk
+				}
+				off += chunk
+			}
+		}
+	}
+	for i := range curViol {
+		curViol[i].Desc = fmt.Sprintf("%s\n(minimized to %d ops over %d clients)",
+			curViol[i].Desc, opCount(cur), len(cur))
+	}
+	return cur, curViol
+}
+
+func maxLen(streams [][]Op) int {
+	m := 0
+	for _, s := range streams {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}
+
+func copyStreams(streams [][]Op) [][]Op {
+	out := make([][]Op, len(streams))
+	for i, s := range streams {
+		out[i] = append([]Op{}, s...)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package harness
+
+import "fmt"
+
+// OpKind is one generated operation verb.
+type OpKind uint8
+
+// Operation verbs. Maps use Put/Get/Erase; sets use the same verbs with
+// the value ignored; queues use Push/Pop; ordered containers additionally
+// draw Range scans.
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpErase
+	OpPush
+	OpPop
+	OpRange
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpErase:
+		return "erase"
+	case OpPush:
+		return "push"
+	case OpPop:
+		return "pop"
+	case OpRange:
+		return "range"
+	}
+	return "?"
+}
+
+// Op is one generated operation. Val carries the written value for
+// Put/Push; it is unique per (client, index) so every write is
+// distinguishable, which is what lets the linearizability search prune
+// aggressively and the queue checker detect duplication.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpGet, OpErase, OpPop:
+		if o.Kind == OpPop {
+			return o.Kind.String()
+		}
+		return fmt.Sprintf("%s(%d)", o.Kind, o.Key)
+	case OpRange:
+		return fmt.Sprintf("range(limit=%d)", o.Key)
+	default:
+		return fmt.Sprintf("%s(%d,%d)", o.Kind, o.Key, o.Val)
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer — the same mixer faultfab uses,
+// so one seed namespace covers workload and faults.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is a tiny counter-based generator: draw i of stream s is a pure
+// function of (seed, s, i). Streams are independent of goroutine
+// scheduling by construction.
+type rng struct {
+	base uint64
+	n    uint64
+}
+
+func newRNG(seed int64, stream uint64) *rng {
+	return &rng{base: splitmix64(uint64(seed) ^ stream*0xa0761d6478bd642f)}
+}
+
+func (r *rng) next() uint64 {
+	r.n++
+	return splitmix64(r.base ^ r.n*0x2545f4914f6cdd1d)
+}
+
+// intn returns a draw in [0,n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// uniqueVal packs (client, index) into a value no other write can produce.
+func uniqueVal(client, index int) uint64 {
+	return uint64(client+1)<<32 | uint64(index+1)
+}
+
+// genStreams derives every client's op stream from the config. The mix is
+// write-heavy early (so the key space populates) and balanced after.
+func genStreams(cfg Config) [][]Op {
+	streams := make([][]Op, cfg.Clients)
+	queueLike := cfg.Kind == KindQueue || cfg.Kind == KindPriorityQueue
+	ordered := cfg.Kind == KindOrderedMap || cfg.Kind == KindOrderedSet
+	for c := range streams {
+		r := newRNG(cfg.Seed, uint64(c)+1)
+		ops := make([]Op, cfg.OpsPerClient)
+		for i := range ops {
+			if queueLike {
+				// Pushers and poppers in one stream, push-biased so the
+				// drain phase has material to conserve.
+				if r.intn(100) < 60 {
+					ops[i] = Op{Kind: OpPush, Val: uniqueVal(c, i)}
+				} else {
+					ops[i] = Op{Kind: OpPop}
+				}
+				continue
+			}
+			key := uint64(r.intn(cfg.Keys))
+			roll := r.intn(100)
+			switch {
+			case i < cfg.OpsPerClient/8 || roll < 40:
+				ops[i] = Op{Kind: OpPut, Key: key, Val: uniqueVal(c, i)}
+			case roll < 75:
+				ops[i] = Op{Kind: OpGet, Key: key}
+			case roll < 90 || !ordered:
+				ops[i] = Op{Kind: OpErase, Key: key}
+			default:
+				// Ordered containers: a bounded scan; Key carries the limit.
+				ops[i] = Op{Kind: OpRange, Key: uint64(1 + r.intn(cfg.Keys))}
+			}
+		}
+		streams[c] = ops
+	}
+	return streams
+}

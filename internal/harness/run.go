@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/trace"
+)
+
+// verifyOptions are the per-op options of the quiescent verification
+// phase: a deadline far beyond any residual injected delay and a deep
+// retry budget, so final reads and the drain are effectively fault-free.
+var verifyOptions = fabric.Options{
+	Deadline:    5 * time.Second, // virtual on sim, wall on tcp
+	MaxAttempts: 64,
+	RetryRPC:    true,
+}
+
+// Run executes one seeded harness run on the simulated fabric (wrapped
+// in faultfab when cfg.Chaos is set), checks the history, and — when a
+// violation is found and cfg.Minimize is set — shrinks the op streams
+// before reporting.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	streams := genStreams(cfg)
+	entries, viols := runSim(cfg, streams)
+	res := Result{Runs: 1, Ops: len(entries), Elapsed: time.Since(start)}
+	if len(viols) > 0 && cfg.Minimize {
+		if small, sviols := minimizeStreams(cfg, streams); len(sviols) > 0 {
+			viols = sviols
+			for i := range viols {
+				viols[i].Shrunk = true
+			}
+			res.Ops = opCount(small)
+		}
+	}
+	res.Violations = viols
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Sweep runs seeds derived from cfg.Seed across kinds until the time
+// budget is spent, stopping early on the first violation.
+func Sweep(cfg Config, kinds []Kind, budget time.Duration) Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	var total Result
+	for round := 0; ; round++ {
+		for _, k := range kinds {
+			if time.Since(start) > budget && total.Runs > 0 {
+				total.Elapsed = time.Since(start)
+				return total
+			}
+			c := cfg
+			c.Kind = k
+			c.Seed = cfg.Seed + int64(round)
+			r := Run(c)
+			total.Runs += r.Runs
+			total.Ops += r.Ops
+			total.Violations = append(total.Violations, r.Violations...)
+			if r.Failed() {
+				total.Elapsed = time.Since(start)
+				return total
+			}
+		}
+	}
+}
+
+func opCount(streams [][]Op) int {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	return n
+}
+
+// runSim builds the sim world, drives the streams, and checks the
+// recorded history.
+func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation) {
+	sim := simfab.New(cfg.Nodes, fabric.DefaultCostModel())
+	defer sim.Close()
+	var prov fabric.Provider = sim
+	plan := buildChaos(cfg, opCount(streams))
+	var ff *faultfab.Fabric
+	if plan != nil {
+		ff = faultfab.New(sim, plan.fault)
+		prov = ff
+	}
+	w := cluster.MustWorld(prov, cluster.OnNode(0, cfg.Clients))
+	rt := core.NewRuntime(w)
+	if plan != nil {
+		rt.SetOpOptions(plan.opOptions())
+	}
+	st, err := newStore(rt, cfg, "stress", streamValidator(streams))
+	if err != nil {
+		return nil, []Violation{{Kind: cfg.Kind, Seed: cfg.Seed, Desc: "store construction: " + err.Error()}}
+	}
+	hist := &History{}
+	chaos := newChaosRunner(plan, ff)
+
+	w.Run(func(r *cluster.Rank) {
+		for _, op := range streams[r.ID()] {
+			applyOp(hist, st, r, r.ID(), op, phaseConcurrent)
+			chaos.tick()
+		}
+	})
+	chaos.quiesce(cfg.Nodes)
+	verify(cfg, hist, st, w.Rank(0))
+	entries := hist.Entries()
+	return entries, checkAll(cfg, entries, chaos.log())
+}
+
+// applyOp records one operation end to end, stamping the allocated trace
+// id on the rank's clock so fabric spans of the op share it.
+func applyOp(hist *History, st store, r *cluster.Rank, client int, op Op, phase uint8) Outcome {
+	idx, tid := hist.Begin(client, op, phase)
+	r.Clock().SetTrace(trace.Ctx{TraceID: tid, Parent: tid})
+	val, ok, err := st.Apply(r, op)
+	r.Clock().SetTrace(trace.Ctx{})
+	return hist.End(idx, val, ok, err)
+}
+
+// verify runs the quiescent verification phase on rank 0: final reads of
+// every key for map/set kinds, a sequential drain for queue kinds. Each
+// probe retries until it completes cleanly so the phase's entries are
+// binding.
+func verify(cfg Config, hist *History, st store, r0 *cluster.Rank) {
+	rv := r0.WithOptions(verifyOptions)
+	switch cfg.Kind {
+	case KindQueue, KindPriorityQueue:
+		// Drain until two consecutive clean "empty" responses; cap the
+		// loop so a broken store cannot spin it forever.
+		budget := cfg.Clients*cfg.OpsPerClient*2 + 64
+		empties := 0
+		for empties < 2 && budget > 0 {
+			budget--
+			idx, tid := hist.Begin(0, Op{Kind: OpPop}, phaseVerify)
+			rv.Clock().SetTrace(trace.Ctx{TraceID: tid, Parent: tid})
+			val, ok, err := st.Apply(rv, Op{Kind: OpPop})
+			rv.Clock().SetTrace(trace.Ctx{})
+			hist.End(idx, val, ok, err)
+			if err != nil {
+				continue
+			}
+			if ok {
+				empties = 0
+			} else {
+				empties++
+			}
+		}
+	default:
+		for k := 0; k < cfg.Keys; k++ {
+			op := Op{Kind: OpGet, Key: uint64(k)}
+			for attempt := 0; attempt < 8; attempt++ {
+				if applyOp(hist, st, rv, 0, op, phaseVerify) == OutcomeOK {
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkAll dispatches the per-kind checkers and wraps findings as
+// Violations.
+func checkAll(cfg Config, entries []Entry, chaosLog []string) []Violation {
+	var descs []string
+	blind := cfg.Kind == KindUnorderedSet || cfg.Kind == KindOrderedSet
+	switch cfg.Kind {
+	case KindQueue, KindPriorityQueue:
+		descs = checkQueue(entries, cfg.Kind == KindQueue, cfg.Kind == KindPriorityQueue)
+	default:
+		var lin []Entry
+		for _, e := range entries {
+			if e.Op.Kind != OpRange {
+				lin = append(lin, e)
+			}
+		}
+		if r := CheckLinearizable(lin, blind); !r.OK {
+			descs = append(descs, explainLin(r))
+		}
+		descs = append(descs, checkConservation(entries, blind)...)
+		descs = append(descs, checkScans(entries)...)
+	}
+	if len(descs) == 0 {
+		return nil
+	}
+	trace := Format(entries)
+	if len(chaosLog) > 0 {
+		trace = fmt.Sprintf("chaos events: %v\n%s", chaosLog, trace)
+	}
+	viols := make([]Violation, len(descs))
+	for i, d := range descs {
+		viols[i] = Violation{Kind: cfg.Kind, Seed: cfg.Seed, Desc: d, Trace: trace}
+	}
+	return viols
+}

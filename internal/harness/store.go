@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+)
+
+// store adapts one container to the generated op alphabet. Apply's result
+// triple is recorded verbatim into the history: val/ok are the Get/Pop
+// value and presence (or the Put "new" bit), err feeds the outcome
+// classification.
+type store interface {
+	Apply(r *cluster.Rank, op Op) (val uint64, ok bool, err error)
+}
+
+// validator reports whether v is a value some client's stream writes to
+// key k — the provenance net for range scans, computed from the generated
+// streams before the run.
+type validator func(k, v uint64) bool
+
+// streamValidator indexes every put in the streams.
+func streamValidator(streams [][]Op) validator {
+	writes := map[uint64]map[uint64]bool{}
+	for _, ops := range streams {
+		for _, op := range ops {
+			if op.Kind != OpPut {
+				continue
+			}
+			m := writes[op.Key]
+			if m == nil {
+				m = map[uint64]bool{}
+				writes[op.Key] = m
+			}
+			m[op.Val] = true
+		}
+	}
+	return func(k, v uint64) bool { return writes[k][v] }
+}
+
+// serverNodes places partitions on every node except the clients' node 0,
+// so all harness traffic crosses the (faulty) wire.
+func serverNodes(nodes int) []int {
+	out := make([]int, 0, nodes-1)
+	for n := 1; n < nodes; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// newStore builds the container under test on rt. Every adapter uses
+// uint64 keys and values; queue kinds are hosted on node 1.
+func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store, error) {
+	servers := core.WithServers(serverNodes(cfg.Nodes))
+	var (
+		st  store
+		err error
+	)
+	switch cfg.Kind {
+	case KindUnorderedMap:
+		var m *core.UnorderedMap[uint64, uint64]
+		m, err = core.NewUnorderedMap[uint64, uint64](rt, name, servers)
+		st = umapStore{m}
+	case KindUnorderedSet:
+		var s *core.UnorderedSet[uint64]
+		s, err = core.NewUnorderedSet[uint64](rt, name, servers)
+		st = usetStore{s}
+	case KindOrderedMap:
+		var m *core.Map[uint64, uint64]
+		m, err = core.NewMap[uint64, uint64](rt, name, func(a, b uint64) bool { return a < b }, servers)
+		st = omapStore{m, valid}
+	case KindOrderedSet:
+		var s *core.Set[uint64]
+		s, err = core.NewSet[uint64](rt, name, func(a, b uint64) bool { return a < b }, servers)
+		st = osetStore{s}
+	case KindQueue:
+		var q *core.Queue[uint64]
+		q, err = core.NewQueue[uint64](rt, name, core.WithServers([]int{1}))
+		st = queueStore{q}
+	case KindPriorityQueue:
+		var q *core.PriorityQueue[uint64]
+		q, err = core.NewPriorityQueue[uint64](rt, name, func(a, b uint64) bool { return a < b }, core.WithServers([]int{1}))
+		st = pqStore{q}
+	default:
+		return nil, fmt.Errorf("harness: unknown kind %v", cfg.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return breakStore(st, cfg.Bug), nil
+}
+
+type umapStore struct {
+	m *core.UnorderedMap[uint64, uint64]
+}
+
+func (s umapStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	switch op.Kind {
+	case OpPut:
+		ok, err := s.m.Insert(r, op.Key, op.Val)
+		return 0, ok, err
+	case OpGet:
+		return s.m.Find(r, op.Key)
+	case OpErase:
+		ok, err := s.m.Erase(r, op.Key)
+		return 0, ok, err
+	}
+	return 0, false, fmt.Errorf("harness: umap: bad op %v", op.Kind)
+}
+
+type usetStore struct{ s *core.UnorderedSet[uint64] }
+
+func (s usetStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	switch op.Kind {
+	case OpPut:
+		ok, err := s.s.Insert(r, op.Key)
+		return 0, ok, err
+	case OpGet:
+		ok, err := s.s.Find(r, op.Key)
+		return 0, ok, err
+	case OpErase:
+		ok, err := s.s.Erase(r, op.Key)
+		return 0, ok, err
+	}
+	return 0, false, fmt.Errorf("harness: uset: bad op %v", op.Kind)
+}
+
+type omapStore struct {
+	m     *core.Map[uint64, uint64]
+	valid validator
+}
+
+func (s omapStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	switch op.Kind {
+	case OpPut:
+		ok, err := s.m.Insert(r, op.Key, op.Val)
+		return 0, ok, err
+	case OpGet:
+		return s.m.Find(r, op.Key)
+	case OpErase:
+		ok, err := s.m.Erase(r, op.Key)
+		return 0, ok, err
+	case OpRange:
+		var zero uint64
+		pairs, err := s.m.Scan(r, false, zero, int(op.Key))
+		if err != nil {
+			return 0, false, err
+		}
+		ok := sort.SliceIsSorted(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+		for _, p := range pairs {
+			if !s.valid(p.Key, p.Value) {
+				ok = false
+			}
+		}
+		return 0, ok, nil
+	}
+	return 0, false, fmt.Errorf("harness: omap: bad op %v", op.Kind)
+}
+
+type osetStore struct{ s *core.Set[uint64] }
+
+func (s osetStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	switch op.Kind {
+	case OpPut:
+		ok, err := s.s.Insert(r, op.Key)
+		return 0, ok, err
+	case OpGet:
+		ok, err := s.s.Find(r, op.Key)
+		return 0, ok, err
+	case OpErase:
+		ok, err := s.s.Erase(r, op.Key)
+		return 0, ok, err
+	case OpRange:
+		keys, err := s.s.Scan(r, int(op.Key))
+		if err != nil {
+			return 0, false, err
+		}
+		return 0, sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }), nil
+	}
+	return 0, false, fmt.Errorf("harness: oset: bad op %v", op.Kind)
+}
+
+type queueStore struct{ q *core.Queue[uint64] }
+
+func (s queueStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	switch op.Kind {
+	case OpPush:
+		err := s.q.Push(r, op.Val)
+		return 0, err == nil, err
+	case OpPop:
+		return s.q.Pop(r)
+	}
+	return 0, false, fmt.Errorf("harness: queue: bad op %v", op.Kind)
+}
+
+type pqStore struct{ q *core.PriorityQueue[uint64] }
+
+func (s pqStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	switch op.Kind {
+	case OpPush:
+		err := s.q.Push(r, op.Val)
+		return 0, err == nil, err
+	case OpPop:
+		return s.q.Pop(r)
+	}
+	return 0, false, fmt.Errorf("harness: pq: bad op %v", op.Kind)
+}
+
+// Deliberately broken builds --------------------------------------------
+//
+// Each wrapper corrupts a real store in one specific, seeded way. They
+// exist so `make stress` proves the checkers can actually find bugs (the
+// acceptance criterion's self-test): a harness whose checkers pass on a
+// broken build is worse than no harness.
+
+func breakStore(st store, bug Bug) store {
+	switch bug {
+	case BugStaleRead:
+		return &staleStore{inner: st, first: map[uint64]uint64{}, writes: map[uint64]int{}}
+	case BugDropWrite:
+		return &dropStore{inner: st}
+	case BugDupPop:
+		return &dupPopStore{inner: st}
+	}
+	return st
+}
+
+// staleStore serves the key's first-ever value on every second read once
+// the key has been overwritten — a stale cache in front of a correct
+// store.
+type staleStore struct {
+	inner  store
+	mu     sync.Mutex
+	first  map[uint64]uint64
+	writes map[uint64]int
+	reads  int
+}
+
+func (s *staleStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	if op.Kind == OpGet {
+		s.mu.Lock()
+		s.reads++
+		stale := s.reads%2 == 0 && s.writes[op.Key] >= 2
+		v := s.first[op.Key]
+		s.mu.Unlock()
+		if stale {
+			return v, true, nil
+		}
+	}
+	val, ok, err := s.inner.Apply(r, op)
+	if op.Kind == OpPut && err == nil {
+		s.mu.Lock()
+		if s.writes[op.Key] == 0 {
+			s.first[op.Key] = op.Val
+		}
+		s.writes[op.Key]++
+		s.mu.Unlock()
+	}
+	return val, ok, err
+}
+
+// dropStore acks every fourth write without applying it — a lost update.
+type dropStore struct {
+	inner store
+	mu    sync.Mutex
+	puts  int
+}
+
+func (s *dropStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	if op.Kind == OpPut || op.Kind == OpPush {
+		s.mu.Lock()
+		s.puts++
+		drop := s.puts%4 == 0
+		s.mu.Unlock()
+		if drop {
+			return 0, true, nil
+		}
+	}
+	return s.inner.Apply(r, op)
+}
+
+// dupPopStore re-delivers the previous pop's element on every third pop —
+// a queue that forgot to unlink.
+type dupPopStore struct {
+	inner store
+	mu    sync.Mutex
+	last  uint64
+	ok    bool
+	pops  int
+}
+
+func (s *dupPopStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
+	if op.Kind == OpPop {
+		s.mu.Lock()
+		s.pops++
+		dup := s.pops%3 == 0 && s.ok
+		last := s.last
+		s.mu.Unlock()
+		if dup {
+			return last, true, nil
+		}
+		v, ok, err := s.inner.Apply(r, op)
+		if err == nil && ok {
+			s.mu.Lock()
+			s.last, s.ok = v, true
+			s.mu.Unlock()
+		}
+		return v, ok, err
+	}
+	return s.inner.Apply(r, op)
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric/tcpfab"
+)
+
+// RunTCP executes one harness run over real sockets: two tcpfab nodes in
+// this process (symmetric container construction, the paper's SPMD
+// convention), clients on node 0, the container's partitions on node 1.
+// There is no fault injection — the point of this shard is the genuine
+// concurrency of the multiplexed transport under the race detector; the
+// same history checkers apply unchanged.
+func RunTCP(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	cfg.Nodes = 2
+	cfg.Chaos = false
+	start := time.Now()
+
+	f0, err := tcpfab.New(tcpfab.Config{NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		return Result{}, err
+	}
+	defer f0.Close()
+	f1, err := tcpfab.New(tcpfab.Config{NodeID: 1, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	if err != nil {
+		return Result{}, err
+	}
+	defer f1.Close()
+	addrs := []string{f0.Addr(), f1.Addr()}
+	f0.SetAddrs(addrs)
+	f1.SetAddrs(addrs)
+
+	streams := genStreams(cfg)
+	valid := streamValidator(streams)
+
+	// Client side: the world all ranks run in.
+	w0 := cluster.MustWorld(f0, cluster.OnNode(0, cfg.Clients))
+	rt0 := core.NewRuntime(w0)
+	st, err := newStore(rt0, cfg, "tcpstress", valid)
+	if err != nil {
+		return Result{}, err
+	}
+	// Server side: same container, same name, binds the handlers that
+	// node 1's dispatcher executes.
+	w1 := cluster.MustWorld(f1, cluster.OnNode(1, 1))
+	rt1 := core.NewRuntime(w1)
+	if _, err := newStore(rt1, cfg, "tcpstress", valid); err != nil {
+		return Result{}, err
+	}
+
+	hist := &History{}
+	w0.Run(func(r *cluster.Rank) {
+		for _, op := range streams[r.ID()] {
+			applyOp(hist, st, r, r.ID(), op, phaseConcurrent)
+		}
+	})
+	verify(cfg, hist, st, w0.Rank(0))
+
+	entries := hist.Entries()
+	res := Result{
+		Runs:       1,
+		Ops:        len(entries),
+		Violations: checkAll(cfg, entries, nil),
+		Elapsed:    time.Since(start),
+	}
+	return res, nil
+}
+
+// Report renders a result for humans: the reproduction command first,
+// then each violation with its (possibly minimized) trace.
+func Report(r Result) string {
+	if !r.Failed() {
+		return fmt.Sprintf("harness: %d runs, %d ops, no violations (%.0fms)",
+			r.Runs, r.Ops, float64(r.Elapsed.Milliseconds()))
+	}
+	out := ""
+	for i, v := range r.Violations {
+		shrunk := ""
+		if v.Shrunk {
+			shrunk = " (minimized)"
+		}
+		out += fmt.Sprintf("violation %d/%d in %s at seed %d%s — reproduce with HCL_SEED=%d make stress\n%s\nop trace%s:\n%s\n",
+			i+1, len(r.Violations), v.Kind, v.Seed, shrunk, v.Seed, v.Desc, shrunk, v.Trace)
+	}
+	return out
+}

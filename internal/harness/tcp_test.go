@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"testing"
+
+	"hcl/internal/seed"
+)
+
+// TestStressTCP drives the generated workload over real sockets: two
+// tcpfab nodes in-process, clients on node 0, partitions on node 1. This
+// is the -race shard of the CI matrix — the value is genuine transport
+// concurrency under the race detector, with the same history checkers.
+func TestStressTCP(t *testing.T) {
+	s := seed.FromEnv(t, 11)
+	ops := 32
+	if testing.Short() {
+		ops = 12
+	}
+	for _, k := range AllKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			res, err := RunTCP(Config{Seed: s, Kind: k, OpsPerClient: ops})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatalf("violations on correct %s over tcp:\n%s", k, Report(res))
+			}
+		})
+	}
+}

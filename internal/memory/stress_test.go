@@ -43,6 +43,57 @@ func TestSegmentConcurrentDisjointWriters(t *testing.T) {
 	}
 }
 
+// Bulk reads racing word atomics and bulk writes on the same region —
+// the BCL bucket protocol's access pattern (Find bulk-reads a header
+// whose state word a concurrent Insert CASes, then bulk-writes). The
+// stripe locks must keep this clean under the race detector while each
+// reader still observes a coherent per-stripe snapshot.
+func TestSegmentBulkReadVsAtomicsAndWrites(t *testing.T) {
+	s := NewSegment(1 << 10)
+	const hdr = 24 // state word + 16 payload bytes, as bcl buckets lay out
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := make([]byte, hdr-8)
+			for i := range payload {
+				payload[i] = byte(w + 1)
+			}
+			for iter := 0; iter < 400; iter++ {
+				if _, ok := s.CAS64(0, 0, uint64(w+1)); ok {
+					if err := s.WriteAt(8, payload); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+					s.Store64(0, 0)
+				}
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		buf := make([]byte, hdr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.ReadAt(0, buf); err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+}
+
 // Growing under concurrent readers must never fault or lose data.
 func TestSegmentGrowUnderConcurrentReads(t *testing.T) {
 	s := NewSegment(1 << 10)

@@ -18,7 +18,7 @@ import (
 )
 
 const (
-	histSubBits = 3             // sub-buckets per octave = 2^histSubBits
+	histSubBits = 3 // sub-buckets per octave = 2^histSubBits
 	histSub     = 1 << histSubBits
 	// Values 0..histSub-1 map to exact buckets; every further octave
 	// contributes histSub buckets. bits.Len64 of an int64 value is at

@@ -1,0 +1,55 @@
+// Package seed centralizes the seed policy of every randomized or
+// fault-injecting test in the repository: tests draw their seed through
+// FromEnv so a CI failure always prints the seed it ran with, and so the
+// same failure replays locally by exporting HCL_SEED. The harness package
+// builds its sweep seeds the same way, which is what makes a
+// "linearizability violation at seed S" line in a CI log a one-command
+// local reproduction.
+package seed
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// EnvVar is the environment variable that overrides test seeds.
+const EnvVar = "HCL_SEED"
+
+// FromEnv returns def, or the value of HCL_SEED when set, and registers a
+// cleanup that prints the seed and the replay command if the test fails.
+// Malformed HCL_SEED values fail the test immediately rather than silently
+// running with a seed the caller did not ask for.
+func FromEnv(t testing.TB, def int64) int64 {
+	t.Helper()
+	s := def
+	if v := os.Getenv(EnvVar); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("seed: bad %s=%q: %v", EnvVar, v, err)
+		}
+		s = n
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("seed: failing run used seed %d; reproduce with %s=%d go test -run '%s' ...",
+				s, EnvVar, s, t.Name())
+		}
+	})
+	return s
+}
+
+// Override reports the HCL_SEED override without a testing context (used
+// by non-test tooling like the stress sweep's main path). ok is false when
+// the variable is unset or malformed.
+func Override() (int64, bool) {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
