@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify check test bench bench-compare vet lint stress race-all
+.PHONY: verify check test bench bench-compare vet lint stress stress-replicated race-all
 
 # Time budget for the `stress` sweep, in milliseconds of wall time.
 STRESS_MS ?= 5000
@@ -41,6 +41,13 @@ race-all:
 # prints `HCL_SEED=<seed>` — export it to replay the exact run.
 stress:
 	HCL_STRESS_MS=$(STRESS_MS) $(GO) test -count=1 -v -run 'TestStress' ./internal/harness/
+
+# The replicated availability gate on its own, under the race detector:
+# crash/repair chaos against quorum-all replication must stay
+# linearizable for acked ops, and the checker self-test must catch the
+# deliberately weak async-ack mode (docs/REPLICATION.md).
+stress-replicated:
+	$(GO) test -race -count=1 -v -run 'TestStressReplicated' ./internal/harness/
 
 test:
 	$(GO) test ./...

@@ -141,6 +141,9 @@ var (
 	ErrTimeout = fabric.ErrTimeout
 	// ErrNodeDown reports the target node is unreachable.
 	ErrNodeDown = fabric.ErrNodeDown
+	// ErrDegraded reports a replicated mutation that could not reach
+	// its write quorum; nothing was applied and a retry is safe.
+	ErrDegraded = core.ErrDegraded
 )
 
 // FaultConfig tunes the deterministic fault injector.
@@ -287,8 +290,25 @@ func WithCodec(c databox.Codec) Option { return core.WithCodec(c) }
 // WithHybrid toggles the hybrid (node-local bypass) access model.
 func WithHybrid(enabled bool) Option { return core.WithHybrid(enabled) }
 
-// WithReplicas enables asynchronous server-side replication.
-func WithReplicas(n int) Option { return core.WithReplicas(n) }
+// WithReplicas enables quorum-acked server-side replication onto n
+// additional partition holders (docs/REPLICATION.md).
+func WithReplicas(n int, mode ReplMode) Option { return core.WithReplicas(n, mode) }
+
+// ReplMode selects the write-acknowledgement policy of a replicated
+// container.
+type ReplMode = core.ReplMode
+
+const (
+	// QuorumAll acks a mutation only after every replica holds it;
+	// acked writes survive a primary kill (linearizable, harness-gated).
+	QuorumAll = core.QuorumAll
+	// QuorumOne acks once at least one copy (the primary counts) holds
+	// the mutation; availability over consistency.
+	QuorumOne = core.QuorumOne
+	// ReplAsync is the bounded, error-counted fire-and-forget mode:
+	// acked writes can be lost on a crash.
+	ReplAsync = core.ReplAsync
+)
 
 // WithPersistence backs partitions with mmap journals in dir.
 func WithPersistence(dir string, mode memory.SyncMode) Option {

@@ -148,6 +148,101 @@ func TestPublicPersistenceViaFacade(t *testing.T) {
 	}
 }
 
+// TestPersistedEraseSurvivesRestart is the no-resurrection regression:
+// erases used to never reach the journal, so a deleted key came back
+// from the dead after a restart replayed its original insert.
+func TestPersistedEraseSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	{
+		prov := hcl.NewSimFabric(2, hcl.DefaultCostModel())
+		w := hcl.MustWorld(prov, hcl.Block(2, 2))
+		rt := hcl.NewRuntime(w)
+		m, err := hcl.NewUnorderedMap[int, string](rt, "tomb",
+			hcl.WithPersistence(filepath.Join(dir, "j"), hcl.SyncEager))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := w.Rank(0)
+		for i := 0; i < 64; i++ {
+			if _, err := m.Insert(r, i, fmt.Sprint(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Erase the even keys; the odd ones must survive, the even ones
+		// must STAY erased across the restart below.
+		for i := 0; i < 64; i += 2 {
+			if ok, err := m.Erase(r, i); err != nil || !ok {
+				t.Fatalf("erase %d = %v, %v", i, ok, err)
+			}
+		}
+		if err := m.CloseJournals(); err != nil {
+			t.Fatal(err)
+		}
+		prov.Close()
+	}
+	prov := hcl.NewSimFabric(2, hcl.DefaultCostModel())
+	defer prov.Close()
+	w := hcl.MustWorld(prov, hcl.Block(2, 2))
+	rt := hcl.NewRuntime(w)
+	m, err := hcl.NewUnorderedMap[int, string](rt, "tomb",
+		hcl.WithPersistence(filepath.Join(dir, "j"), hcl.SyncEager))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for i := 0; i < 64; i++ {
+		v, ok, err := m.Find(r, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 && ok {
+			t.Fatalf("erased key %d resurrected after restart (= %q)", i, v)
+		}
+		if i%2 == 1 && (!ok || v != fmt.Sprint(i)) {
+			t.Fatalf("lost surviving key %d: %q %v", i, v, ok)
+		}
+	}
+}
+
+// TestPublicReplication exercises the quorum-acked availability layer
+// through the facade: kill a primary, reads fail over, writes to the
+// degraded partition report ErrDegraded, repair brings the node back.
+func TestPublicReplication(t *testing.T) {
+	prov := hcl.NewSimFabric(3, hcl.DefaultCostModel())
+	defer prov.Close()
+	ff := hcl.NewFaultFabric(prov, hcl.FaultConfig{Seed: 7})
+	w := hcl.MustWorld(ff, hcl.Block(3, 3))
+	rt := hcl.NewRuntime(w)
+	m, err := hcl.NewUnorderedMap[int, int](rt, "repl",
+		hcl.WithReplicas(1, hcl.QuorumAll), hcl.WithHybrid(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for i := 0; i < 60; i++ {
+		if _, err := m.Insert(r, i, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ff.SetDown(1, true)
+	m.CrashNode(1)
+	for i := 0; i < 60; i++ {
+		v, ok, err := m.Find(r, i)
+		if err != nil || !ok || v != i*i {
+			t.Fatalf("find %d with node 1 down = %d, %v, %v", i, v, ok, err)
+		}
+	}
+	if err := m.RepairNode(1); err != nil {
+		t.Fatal(err)
+	}
+	ff.SetDown(1, false)
+	for i := 0; i < 60; i++ {
+		if v, ok, err := m.Find(r, i); err != nil || !ok || v != i*i {
+			t.Fatalf("find %d after repair = %d, %v, %v", i, v, ok, err)
+		}
+	}
+}
+
 func TestPublicMergeAndOptions(t *testing.T) {
 	w, rt := newWorld(t, 2, 2)
 	m, err := hcl.NewUnorderedMap[string, int](rt, "cnt",

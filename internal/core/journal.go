@@ -12,55 +12,101 @@ import (
 )
 
 // journal is the persistence mechanism behind WithPersistence: an append
-// log of encoded (key, value) pairs living in a memory-mapped segment, so
-// the kernel keeps the backing file in sync (eagerly or relaxed) exactly
-// as the paper's DataBox persistency prescribes. On restart, a container
+// log of typed records living in a memory-mapped segment, so the kernel
+// keeps the backing file in sync (eagerly or relaxed) exactly as the
+// paper's DataBox persistency prescribes. On restart, a container
 // constructed with the same directory replays the journal into its
 // partitions.
+//
+// Record layout: [4B LE length][1B type][payload]. recPut's payload is an
+// EncodePair(key, value); recDel's is the bare encoded key (the tombstone
+// that keeps erased keys from resurrecting on replay).
 type journal struct {
-	mu   sync.Mutex
-	seg  *memory.Segment
-	off  int // next append offset (first 8 bytes hold the committed size)
-	path string
+	mu     sync.Mutex
+	seg    *memory.Segment
+	off    int // next append offset (first 8 bytes hold the committed size)
+	path   string
+	closed bool
 }
+
+const (
+	recPut byte = 1
+	recDel byte = 2
+)
 
 const journalHeader = 8
 const journalInitialSize = 1 << 16
+
+// journalRegistry tracks every open journal file so two containers whose
+// sanitized names collide (or two instances of one name in one dir) fail
+// loudly at open instead of silently corrupting each other's log.
+var journalRegistry = struct {
+	mu   sync.Mutex
+	open map[string]bool
+}{open: make(map[string]bool)}
 
 func openJournal(dir, name string, part int, mode memory.SyncMode) (*journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	path := filepath.Join(dir, fmt.Sprintf("%s.part%d.hcl", sanitize(name), part))
+	journalRegistry.mu.Lock()
+	if journalRegistry.open[path] {
+		journalRegistry.mu.Unlock()
+		return nil, fmt.Errorf("journal %s is already open (duplicate container name in %s?)", path, dir)
+	}
+	journalRegistry.open[path] = true
+	journalRegistry.mu.Unlock()
 	seg, err := memory.NewPersistentSegment(path, journalInitialSize, mode)
 	if err != nil {
+		journalRegistry.mu.Lock()
+		delete(journalRegistry.open, path)
+		journalRegistry.mu.Unlock()
 		return nil, err
 	}
 	used, err := seg.GetUint64(0)
 	if err != nil {
+		seg.Close()
+		journalRegistry.mu.Lock()
+		delete(journalRegistry.open, path)
+		journalRegistry.mu.Unlock()
 		return nil, err
 	}
 	return &journal{seg: seg, off: journalHeader + int(used), path: path}, nil
 }
 
+// sanitize maps a container name to a filesystem-safe stem. Names that
+// need no rewriting map to themselves; any name containing a replaced
+// rune gets a hash of the *original* name appended, so distinct names
+// can never collide onto one file ("a/b" vs "a_b").
 func sanitize(name string) string {
 	out := make([]rune, 0, len(name))
+	changed := false
 	for _, r := range name {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
 			out = append(out, r)
 		default:
 			out = append(out, '_')
+			changed = true
 		}
+	}
+	if changed {
+		return fmt.Sprintf("%s-%016x", string(out), StableHash64([]byte(name)))
 	}
 	return string(out)
 }
 
-// append writes one length-prefixed record.
-func (j *journal) append(rec []byte) error {
+// append writes one typed, length-prefixed record.
+func (j *journal) append(typ byte, payload []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	need := j.off + 4 + len(rec)
+	return j.appendLocked(typ, payload)
+}
+
+func (j *journal) appendLocked(typ byte, payload []byte) error {
+	n := 1 + len(payload)
+	need := j.off + 4 + n
 	if need > j.seg.Len() {
 		sz := j.seg.Len() * 2
 		for sz < need {
@@ -71,36 +117,84 @@ func (j *journal) append(rec []byte) error {
 		}
 	}
 	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(n))
 	if err := j.seg.WriteAt(j.off, lenBuf[:]); err != nil {
 		return err
 	}
-	if err := j.seg.WriteAt(j.off+4, rec); err != nil {
+	if err := j.seg.WriteAt(j.off+4, []byte{typ}); err != nil {
 		return err
 	}
-	j.off += 4 + len(rec)
+	if err := j.seg.WriteAt(j.off+5, payload); err != nil {
+		return err
+	}
+	j.off += 4 + n
 	return j.seg.PutUint64(0, uint64(j.off-journalHeader))
 }
 
-// replay invokes fn for every committed record in order.
-func (j *journal) replay(fn func(rec []byte) error) error {
+// replay invokes fn for every committed record in order. The committed
+// size header and each length prefix are validated against the segment:
+// a torn tail (record written but size header not flushed at crash time,
+// or vice versa — a short, zero, or out-of-bounds length, or an unknown
+// record type) ends the log there, and the committed size is truncated
+// back to the last good record so the next append overwrites the garbage.
+func (j *journal) replay(fn func(typ byte, payload []byte) error) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	end := j.off
+	if end > j.seg.Len() {
+		end = j.seg.Len()
+	}
 	pos := journalHeader
-	for pos < j.off {
+	for pos < end {
+		if pos+4 > end {
+			return j.truncateLocked(pos)
+		}
 		var lenBuf [4]byte
 		if err := j.seg.ReadAt(pos, lenBuf[:]); err != nil {
 			return err
 		}
 		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n <= 0 || pos+4+n > end {
+			return j.truncateLocked(pos)
+		}
 		rec := make([]byte, n)
 		if err := j.seg.ReadAt(pos+4, rec); err != nil {
 			return err
 		}
-		if err := fn(rec); err != nil {
+		typ := rec[0]
+		if typ != recPut && typ != recDel {
+			return j.truncateLocked(pos)
+		}
+		if err := fn(typ, rec[1:]); err != nil {
 			return err
 		}
 		pos += 4 + n
+	}
+	if pos != j.off {
+		return j.truncateLocked(pos)
+	}
+	return nil
+}
+
+// truncateLocked discards everything from pos on, committing pos as the
+// new end of log.
+func (j *journal) truncateLocked(pos int) error {
+	j.off = pos
+	return j.seg.PutUint64(0, uint64(pos-journalHeader))
+}
+
+// rewrite atomically replaces the journal contents with one recPut per
+// payload (used after an anti-entropy repair installs a snapshot).
+func (j *journal) rewrite(payloads [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.truncateLocked(journalHeader); err != nil {
+		return err
+	}
+	for _, p := range payloads {
+		if err := j.appendLocked(recPut, p); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -109,13 +203,21 @@ func (j *journal) replay(fn func(rec []byte) error) error {
 func (j *journal) close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	journalRegistry.mu.Lock()
+	delete(journalRegistry.open, j.path)
+	journalRegistry.mu.Unlock()
 	return j.seg.Close()
 }
 
 // Journal integration for UnorderedMap -----------------------------------
 
 // openJournals creates one journal per partition (when persistence is on)
-// and replays any existing records into the partitions.
+// and replays any existing records into the partitions, honoring delete
+// tombstones so erased keys stay erased across restarts.
 func (m *UnorderedMap[K, V]) openJournals() error {
 	if m.opt.persistDir == "" {
 		return nil
@@ -124,39 +226,60 @@ func (m *UnorderedMap[K, V]) openJournals() error {
 	for p := range m.parts {
 		j, err := openJournal(m.opt.persistDir, m.name, p, m.opt.syncMode)
 		if err != nil {
+			m.CloseJournals()
 			return fmt.Errorf("hcl: %s: open journal: %w", m.name, err)
 		}
 		m.journal[p] = j
 		part := m.parts[p]
-		err = j.replay(func(rec []byte) error {
-			kb, vb, err := databox.DecodePair(rec)
-			if err != nil {
-				return err
+		err = j.replay(func(typ byte, payload []byte) error {
+			switch typ {
+			case recPut:
+				kb, vb, err := databox.DecodePair(payload)
+				if err != nil {
+					return err
+				}
+				k, err := m.kbox.Decode(kb)
+				if err != nil {
+					return err
+				}
+				v, err := m.vbox.Decode(vb)
+				if err != nil {
+					return err
+				}
+				part.Insert(k, v)
+			case recDel:
+				k, err := m.kbox.Decode(payload)
+				if err != nil {
+					return err
+				}
+				part.Delete(k)
 			}
-			k, err := m.kbox.Decode(kb)
-			if err != nil {
-				return err
-			}
-			v, err := m.vbox.Decode(vb)
-			if err != nil {
-				return err
-			}
-			part.Insert(k, v)
 			return nil
 		})
 		if err != nil {
+			m.CloseJournals()
 			return fmt.Errorf("hcl: %s: replay journal: %w", m.name, err)
 		}
 	}
 	return nil
 }
 
-// appendJournal logs an already-encoded (key,value) pair for partition p.
-func (m *UnorderedMap[K, V]) appendJournal(p int, pair []byte) {
+// appendJournalPut logs an already-encoded (key,value) pair for partition p.
+func (m *UnorderedMap[K, V]) appendJournalPut(p int, pair []byte) {
 	if m.journal == nil {
 		return
 	}
-	if err := m.journal[p].append(pair); err != nil {
+	if err := m.journal[p].append(recPut, pair); err != nil {
+		panic(fmt.Sprintf("hcl: %s: journal append: %v", m.name, err))
+	}
+}
+
+// appendJournalDel logs a delete tombstone for partition p.
+func (m *UnorderedMap[K, V]) appendJournalDel(p int, kb []byte) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal[p].append(recDel, kb); err != nil {
 		panic(fmt.Sprintf("hcl: %s: journal append: %v", m.name, err))
 	}
 }
@@ -171,18 +294,42 @@ func (m *UnorderedMap[K, V]) appendJournalEncoded(p int, kb []byte, v V, box *da
 	if err != nil {
 		panic(fmt.Sprintf("hcl: %s: journal encode: %v", m.name, err))
 	}
-	m.appendJournal(p, databox.EncodePair(kb, vb))
+	m.appendJournalPut(p, databox.EncodePair(kb, vb))
+}
+
+// journalMerged logs the post-merge value under k: the combiner cannot be
+// replayed at open time (SetMerge runs after construction), so the journal
+// records merge results as plain puts.
+func (m *UnorderedMap[K, V]) journalMerged(p int, kb []byte, k K) {
+	if m.journal == nil {
+		return
+	}
+	if v, ok := m.parts[p].Find(k); ok {
+		m.appendJournalEncoded(p, kb, v, m.vbox)
+	}
+}
+
+// rewriteJournal replaces partition p's journal with recPut records (one
+// per snapshot pair) after an anti-entropy repair.
+func (m *UnorderedMap[K, V]) rewriteJournal(p int, pairs [][]byte) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal[p].rewrite(pairs); err != nil {
+		panic(fmt.Sprintf("hcl: %s: journal rewrite: %v", m.name, err))
+	}
 }
 
 // CloseJournals flushes and closes all partition journals.
 func (m *UnorderedMap[K, V]) CloseJournals() error {
+	var firstErr error
 	for _, j := range m.journal {
 		if j == nil {
 			continue
 		}
-		if err := j.close(); err != nil {
-			return err
+		if err := j.close(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hcl/internal/memory"
@@ -19,12 +21,24 @@ func TestJournalAppendReplay(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		rec := []byte(fmt.Sprintf("record-%04d", i))
 		want = append(want, rec)
-		if err := j.append(rec); err != nil {
+		typ := recPut
+		if i%3 == 0 {
+			typ = recDel
+		}
+		if err := j.append(typ, rec); err != nil {
 			t.Fatal(err)
 		}
 	}
 	var got [][]byte
-	if err := j.replay(func(rec []byte) error {
+	if err := j.replay(func(typ byte, rec []byte) error {
+		i := len(got)
+		wantTyp := recPut
+		if i%3 == 0 {
+			wantTyp = recDel
+		}
+		if typ != wantTyp {
+			t.Fatalf("record %d type = %d, want %d", i, typ, wantTyp)
+		}
 		cp := make([]byte, len(rec))
 		copy(cp, rec)
 		got = append(got, cp)
@@ -54,12 +68,12 @@ func TestJournalGrowsPastInitialSize(t *testing.T) {
 	big := make([]byte, 10_000) // larger than journalInitialSize/8
 	for i := 0; i < 32; i++ {
 		big[0] = byte(i)
-		if err := j.append(big); err != nil {
+		if err := j.append(recPut, big); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
 	count := 0
-	if err := j.replay(func(rec []byte) error {
+	if err := j.replay(func(_ byte, rec []byte) error {
 		if len(rec) != len(big) || rec[0] != byte(count) {
 			t.Fatalf("record %d corrupted", count)
 		}
@@ -80,8 +94,8 @@ func TestJournalSurvivesReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.append([]byte("one"))
-	j.append([]byte("two"))
+	j.append(recPut, []byte("one"))
+	j.append(recPut, []byte("two"))
 	if err := j.close(); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +106,7 @@ func TestJournalSurvivesReopen(t *testing.T) {
 	}
 	defer j2.close()
 	var got []string
-	j2.replay(func(rec []byte) error {
+	j2.replay(func(_ byte, rec []byte) error {
 		got = append(got, string(rec))
 		return nil
 	})
@@ -100,9 +114,9 @@ func TestJournalSurvivesReopen(t *testing.T) {
 		t.Fatalf("reopened replay = %v", got)
 	}
 	// Appends continue after the existing records.
-	j2.append([]byte("three"))
+	j2.append(recPut, []byte("three"))
 	got = got[:0]
-	j2.replay(func(rec []byte) error {
+	j2.replay(func(_ byte, rec []byte) error {
 		got = append(got, string(rec))
 		return nil
 	})
@@ -112,18 +126,173 @@ func TestJournalSurvivesReopen(t *testing.T) {
 }
 
 func TestSanitize(t *testing.T) {
-	cases := map[string]string{
-		"plain":         "plain",
-		"with/slash":    "with_slash",
-		"dots.are.ok":   "dots.are.ok",
-		"spaces here":   "spaces_here",
-		"mixed:*?chars": "mixed___chars",
-	}
-	for in, want := range cases {
-		if got := sanitize(in); got != want {
-			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+	// Filesystem-safe names map to themselves.
+	for _, in := range []string{"plain", "dots.are.ok", "under_score", "da-sh"} {
+		if got := sanitize(in); got != in {
+			t.Fatalf("sanitize(%q) = %q, want identity", in, got)
 		}
 	}
+	// Rewritten names keep a readable stem and gain a hash of the
+	// original, so distinct names can never collide onto one file.
+	got := sanitize("with/slash")
+	if !strings.HasPrefix(got, "with_slash-") {
+		t.Fatalf("sanitize(with/slash) = %q, want with_slash-<hash>", got)
+	}
+	if strings.ContainsAny(got, "/:*? ") {
+		t.Fatalf("sanitize left unsafe runes: %q", got)
+	}
+	// The historical collision: "a/b" and "a_b" used to both map to
+	// "a_b" and silently share a journal file.
+	if sanitize("a/b") == sanitize("a_b") {
+		t.Fatalf("sanitize(a/b) collides with sanitize(a_b): %q", sanitize("a/b"))
+	}
+	if sanitize("a/b") == sanitize("a.b") {
+		t.Fatal("distinct rewritten names collide")
+	}
+}
+
+// TestJournalNameCollisionRejected is the journal-name-collision
+// regression test: two containers whose names sanitize differently get
+// distinct files, and opening the very same (dir, name, part) twice —
+// which WOULD share a file — is rejected loudly instead of corrupting.
+func TestJournalNameCollisionRejected(t *testing.T) {
+	dir := t.TempDir()
+	ja, err := openJournal(dir, "a/b", 0, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ja.close()
+	jb, err := openJournal(dir, "a_b", 0, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatalf("distinct names rejected as colliding: %v", err)
+	}
+	defer jb.close()
+	if ja.path == jb.path {
+		t.Fatalf("a/b and a_b share journal file %s", ja.path)
+	}
+	if _, err := openJournal(dir, "a/b", 0, memory.SyncRelaxed); err == nil {
+		t.Fatal("duplicate (dir, name, part) open was not rejected")
+	}
+	// After close the slot frees up (a restarted container may reopen).
+	ja.close()
+	ja2, err := openJournal(dir, "a/b", 0, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatalf("reopen after close rejected: %v", err)
+	}
+	ja2.close()
+}
+
+// TestJournalTornTailRecovery covers the crash-consistency bug: a torn
+// write (record bytes present but committed-size header pointing past
+// the segment, or a garbage length in the tail) must end replay at the
+// last good record and truncate, not read out of bounds or replay junk.
+func TestJournalTornTailRecovery(t *testing.T) {
+	t.Run("header_past_segment", func(t *testing.T) {
+		dir := t.TempDir()
+		j, err := openJournal(dir, "torn", 0, memory.SyncEager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.append(recPut, []byte("good-1"))
+		j.append(recPut, []byte("good-2"))
+		// Simulate the header flush landing before the record write:
+		// committed size points far past anything actually written.
+		if err := j.seg.PutUint64(0, uint64(j.seg.Len()*4)); err != nil {
+			t.Fatal(err)
+		}
+		j.close()
+
+		j2, err := openJournal(dir, "torn", 0, memory.SyncEager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j2.close()
+		var got []string
+		if err := j2.replay(func(_ byte, rec []byte) error {
+			got = append(got, string(rec))
+			return nil
+		}); err != nil {
+			t.Fatalf("replay of torn journal errored: %v", err)
+		}
+		if len(got) != 2 || got[0] != "good-1" || got[1] != "good-2" {
+			t.Fatalf("replay after torn header = %v", got)
+		}
+		// The committed size was truncated back: a second replay and
+		// further appends work on the repaired log.
+		j2.append(recPut, []byte("good-3"))
+		got = got[:0]
+		j2.replay(func(_ byte, rec []byte) error {
+			got = append(got, string(rec))
+			return nil
+		})
+		if len(got) != 3 || got[2] != "good-3" {
+			t.Fatalf("append after truncation = %v", got)
+		}
+	})
+
+	t.Run("garbage_tail_record", func(t *testing.T) {
+		dir := t.TempDir()
+		j, err := openJournal(dir, "torn2", 0, memory.SyncEager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.append(recPut, []byte("keep"))
+		// A record whose length prefix was written as garbage before the
+		// crash: huge n, committed header already covering it.
+		tail := j.off
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], 0xFFFF_FF00)
+		if err := j.seg.WriteAt(tail, lenBuf[:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.seg.PutUint64(0, uint64(tail+4+16-journalHeader)); err != nil {
+			t.Fatal(err)
+		}
+		j.close()
+
+		j2, err := openJournal(dir, "torn2", 0, memory.SyncEager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j2.close()
+		var got []string
+		if err := j2.replay(func(_ byte, rec []byte) error {
+			got = append(got, string(rec))
+			return nil
+		}); err != nil {
+			t.Fatalf("replay of garbage tail errored: %v", err)
+		}
+		if len(got) != 1 || got[0] != "keep" {
+			t.Fatalf("replay after garbage tail = %v", got)
+		}
+	})
+
+	t.Run("unknown_record_type", func(t *testing.T) {
+		dir := t.TempDir()
+		j, err := openJournal(dir, "torn3", 0, memory.SyncEager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.append(recPut, []byte("keep"))
+		j.append(0x7F, []byte("junk")) // type from a future/corrupt format
+		j.close()
+
+		j2, err := openJournal(dir, "torn3", 0, memory.SyncEager)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j2.close()
+		count := 0
+		if err := j2.replay(func(_ byte, _ []byte) error {
+			count++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != 1 {
+			t.Fatalf("unknown-type tail replayed %d records, want 1", count)
+		}
+	})
 }
 
 func TestJournalFilesAreSeparatedByPartition(t *testing.T) {
@@ -136,8 +305,8 @@ func TestJournalFilesAreSeparatedByPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j0.append([]byte("p0"))
-	j1.append([]byte("p1"))
+	j0.append(recPut, []byte("p0"))
+	j1.append(recPut, []byte("p1"))
 	j0.close()
 	j1.close()
 	if j0.path == j1.path {

@@ -2,11 +2,13 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"hcl/internal/cluster"
 	"hcl/internal/containers"
 	"hcl/internal/databox"
+	"hcl/internal/fabric"
 )
 
 // Less orders keys; HCL defaults to natural ordering for Go's ordered
@@ -31,6 +33,7 @@ type Map[K comparable, V any] struct {
 	less    Less[K]
 	kbox    *databox.Box[K]
 	vbox    *databox.Box[V]
+	repl    *replGroup[K, V]
 }
 
 // NewMap constructs a distributed ordered map with the given comparator.
@@ -41,6 +44,11 @@ func NewMap[K comparable, V any](rt *Runtime, name string, less Less[K], opts ..
 	}
 	if less == nil {
 		return nil, fmt.Errorf("hcl: %s: nil comparator", name)
+	}
+	if o.persistDir != "" {
+		// Journals exist only for UnorderedMap; silently ignoring the
+		// option would promise durability the container cannot deliver.
+		return nil, fmt.Errorf("hcl: %s: persistence is not supported for ordered maps", name)
 	}
 	servers := o.servers
 	if servers == nil {
@@ -61,6 +69,12 @@ func NewMap[K comparable, V any](rt *Runtime, name string, less Less[K], opts ..
 		m.parts[i] = newOrderedEngine[K, V](o.ordered, less)
 		m.byNode[n] = i
 	}
+	// Replica copies live in hash maps even for ordered containers: the
+	// copy only serves point lookups and repair snapshots, never ordered
+	// scans, so the cheaper structure wins.
+	m.repl = newReplGroup(rt, name, m.fn(""), servers, m.byNode,
+		func(p int) replPart[K, V] { return m.parts[p] },
+		m.kbox, m.vbox, false, o)
 	m.bind()
 	return m, nil
 }
@@ -115,12 +129,23 @@ func (m *Map[K, V]) bind() {
 			panic(err)
 		}
 		part := m.parts[p]
-		isNew := part.Insert(k, v)
 		// Table I: insert = F + L*log(N) + W.
-		return boolByte(isNew), logCost(cm.TreeOpNS, part.Len()) + cm.MemTime(len(arg))
+		cost := logCost(cm.TreeOpNS, part.Len()) + cm.MemTime(len(arg))
+		if m.repl == nil {
+			return boolByte(part.Insert(k, v)), cost
+		}
+		isNew, fcost, rerr := m.repl.mutate(p, replPut, kb, vb, func() bool {
+			return part.Insert(k, v)
+		})
+		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(m.fn("find"), func(node int, arg []byte) ([]byte, int64) {
 		p := m.byNode[node]
+		if m.repl != nil && m.repl.isDead(p) {
+			// Crashed, awaiting repair: the wiped primary must not serve
+			// reads. The marker sends the client to a replica.
+			return deadResp(), cm.LocalOpNS
+		}
 		k, err := m.kbox.Decode(arg)
 		if err != nil {
 			panic(err)
@@ -144,7 +169,14 @@ func (m *Map[K, V]) bind() {
 			panic(err)
 		}
 		part := m.parts[p]
-		return boolByte(part.Delete(k)), logCost(cm.TreeOpNS, part.Len())
+		cost := logCost(cm.TreeOpNS, part.Len())
+		if m.repl == nil {
+			return boolByte(part.Delete(k)), cost
+		}
+		ok, fcost, rerr := m.repl.mutate(p, replDel, arg, nil, func() bool {
+			return part.Delete(k)
+		})
+		return mutResp(ok, rerr), cost + fcost
 	})
 	e.Bind(m.fn("size"), func(node int, arg []byte) ([]byte, int64) {
 		p := m.byNode[node]
@@ -198,6 +230,15 @@ func (m *Map[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		part := m.parts[p]
+		if m.repl != nil {
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				return false, err
+			}
+			return m.mutateLocal(r, p, replPut, kb, vb, "insert", func() bool {
+				return part.Insert(k, v)
+			})
+		}
 		isNew := part.Insert(k, v)
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()), "omap", m.name, "insert")
 		return isNew, nil
@@ -206,11 +247,53 @@ func (m *Map[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	resp, err := m.rt.engine.Invoke(r, node, m.fn("insert"), databox.EncodePair(kb, vb))
+	arg := databox.EncodePair(kb, vb)
+	if m.repl != nil {
+		return m.repl.invokeMutation(r, node, m.fn("insert"), arg, replPut, p, kb, vb)
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("insert"), arg)
 	if err != nil {
 		return false, err
 	}
 	return decodeBool(resp)
+}
+
+// mutateLocal runs the hybrid-path form of a replicated mutation through
+// the full forward-first protocol (a co-located writer cannot bypass the
+// quorum), billing the forward time to the caller's clock.
+func (m *Map[K, V]) mutateLocal(r *cluster.Rank, p int, verb byte, kb, vb []byte, op string, apply func() bool) (bool, error) {
+	res, fcost, rerr := m.repl.mutate(p, verb, kb, vb, apply)
+	m.rt.localCharge(r, len(kb)+len(vb), 1+logSteps(m.parts[p].Len()), "omap", m.name, op)
+	r.Clock().Advance(fcost)
+	return res, rerr
+}
+
+// CrashNode simulates process death of node for fault-injection drivers:
+// its primary partition and any replica copies it holds are wiped.
+func (m *Map[K, V]) CrashNode(node int) {
+	if m.repl != nil {
+		m.repl.CrashNode(node)
+		return
+	}
+	if p, ok := m.byNode[node]; ok {
+		wipePart[K, V](m.parts[p])
+	}
+}
+
+// RepairNode anti-entropy-repairs node's partition from a live replica
+// before it rejoins; no-op without replication.
+func (m *Map[K, V]) RepairNode(node int) error {
+	if m.repl == nil {
+		return nil
+	}
+	return m.repl.RepairNode(node)
+}
+
+// FlushReplication drains queued asynchronous forwards (ReplAsync mode).
+func (m *Map[K, V]) FlushReplication() {
+	if m.repl != nil {
+		m.repl.Flush()
+	}
 }
 
 // InsertAsync is the future-returning form of Insert.
@@ -222,6 +305,16 @@ func (m *Map[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool] {
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		part := m.parts[p]
+		if m.repl != nil {
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				return immediateFuture(false, err)
+			}
+			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", func() bool {
+				return part.Insert(k, v)
+			})
+			return immediateFuture(isNew, rerr)
+		}
 		isNew := part.Insert(k, v)
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()), "omap", m.name, "insert")
 		return immediateFuture(isNew, nil)
@@ -231,6 +324,9 @@ func (m *Map[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool] {
 		return immediateFuture(false, err)
 	}
 	raw := m.rt.engine.InvokeAsync(r, node, m.fn("insert"), databox.EncodePair(kb, vb))
+	if m.repl != nil {
+		return remoteFuture(raw, m.repl.decodeMutResp)
+	}
 	return remoteFuture(raw, decodeBool)
 }
 
@@ -242,7 +338,7 @@ func (m *Map[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 		return zero, false, err
 	}
 	node := m.servers[p]
-	if m.opt.hybrid && node == r.Node() {
+	if m.opt.hybrid && node == r.Node() && (m.repl == nil || !m.repl.isDead(p)) {
 		part := m.parts[p]
 		v, ok := part.Find(k)
 		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "omap", m.name, "find")
@@ -250,7 +346,25 @@ func (m *Map[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("find"), kb)
 	if err != nil {
-		return zero, false, err
+		// Read-failover: a dead primary does not fail the read when a
+		// replica still holds the partition's acked state.
+		if m.repl != nil && errors.Is(err, fabric.ErrNodeDown) {
+			if fresp, ferr := m.repl.failoverFind(r, p, kb); ferr == nil {
+				resp, err = fresp, nil
+			}
+		}
+		if err != nil {
+			return zero, false, err
+		}
+	}
+	if m.repl != nil && isDeadResp(resp) {
+		// The primary answered but its partition crashed and awaits
+		// repair; a replica still holds the acked state.
+		fresp, ferr := m.repl.failoverFind(r, p, kb)
+		if ferr != nil {
+			return zero, false, ferr
+		}
+		resp = fresp
 	}
 	if len(resp) < 1 {
 		return zero, false, fmt.Errorf("hcl: %s: empty find response", m.name)
@@ -274,9 +388,17 @@ func (m *Map[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		part := m.parts[p]
+		if m.repl != nil {
+			return m.mutateLocal(r, p, replDel, kb, nil, "erase", func() bool {
+				return part.Delete(k)
+			})
+		}
 		ok := part.Delete(k)
 		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "omap", m.name, "erase")
 		return ok, nil
+	}
+	if m.repl != nil {
+		return m.repl.invokeMutation(r, node, m.fn("erase"), kb, replDel, p, kb, nil)
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("erase"), kb)
 	if err != nil {

@@ -32,6 +32,7 @@ type options struct {
 	ordered    OrderedEngineKind
 	pq         PQEngineKind
 	replicas   int
+	replMode   ReplMode
 	persistDir string
 	syncMode   memory.SyncMode
 	initialCap int
@@ -77,10 +78,17 @@ func WithPQEngine(k PQEngineKind) Option {
 	return func(o *options) { o.pq = k }
 }
 
-// WithReplicas enables asynchronous server-side replication onto n
-// additional partitions (paper Section III-A4).
-func WithReplicas(n int) Option {
-	return func(o *options) { o.replicas = n }
+// WithReplicas enables server-side replication onto n additional
+// partition holders (paper Section III-A4). mode selects the write
+// quorum: QuorumAll (acked writes survive a primary kill — the mode the
+// chaos harness gates on), QuorumOne (availability over consistency),
+// or ReplAsync (bounded, error-counted fire-and-forget). See
+// docs/REPLICATION.md.
+func WithReplicas(n int, mode ReplMode) Option {
+	return func(o *options) {
+		o.replicas = n
+		o.replMode = mode
+	}
 }
 
 // WithPersistence backs each partition with an append journal in dir,

@@ -2,11 +2,13 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"hcl/internal/cluster"
 	"hcl/internal/containers"
 	"hcl/internal/databox"
+	"hcl/internal/fabric"
 )
 
 // Set is HCL::set — a distributed ordered set: ordered partitions holding
@@ -21,6 +23,7 @@ type Set[K comparable] struct {
 	byNode  map[int]int
 	less    Less[K]
 	kbox    *databox.Box[K]
+	repl    *replGroup[K, struct{}]
 }
 
 // NewSet constructs a distributed ordered set with the given comparator.
@@ -31,6 +34,9 @@ func NewSet[K comparable](rt *Runtime, name string, less Less[K], opts ...Option
 	}
 	if less == nil {
 		return nil, fmt.Errorf("hcl: %s: nil comparator", name)
+	}
+	if o.persistDir != "" {
+		return nil, fmt.Errorf("hcl: %s: persistence is not supported for ordered sets", name)
 	}
 	servers := o.servers
 	if servers == nil {
@@ -50,6 +56,11 @@ func NewSet[K comparable](rt *Runtime, name string, less Less[K], opts ...Option
 		s.parts[i] = newOrderedEngine[K, struct{}](o.ordered, less)
 		s.byNode[n] = i
 	}
+	// Replica copies live in hash maps even for ordered containers: they
+	// only serve point failover reads and repair snapshots, never scans.
+	s.repl = newReplGroup(rt, name, s.fn(""), servers, s.byNode,
+		func(p int) replPart[K, struct{}] { return s.parts[p] },
+		s.kbox, nil, true, o)
 	s.bind()
 	return s, nil
 }
@@ -80,10 +91,22 @@ func (s *Set[K]) bind() {
 			panic(err)
 		}
 		part := s.parts[p]
-		return boolByte(part.Insert(k, struct{}{})), logCost(cm.TreeOpNS, part.Len()) + cm.MemTime(len(arg))
+		cost := logCost(cm.TreeOpNS, part.Len()) + cm.MemTime(len(arg))
+		if s.repl == nil {
+			return boolByte(part.Insert(k, struct{}{})), cost
+		}
+		isNew, fcost, rerr := s.repl.mutate(p, replPut, arg, nil, func() bool {
+			return part.Insert(k, struct{}{})
+		})
+		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(s.fn("find"), func(node int, arg []byte) ([]byte, int64) {
 		p := s.byNode[node]
+		if s.repl != nil && s.repl.isDead(p) {
+			// Crashed, awaiting repair: the wiped primary must not serve
+			// reads. The marker sends the client to a replica.
+			return deadResp(), cm.LocalOpNS
+		}
 		k, err := s.kbox.Decode(arg)
 		if err != nil {
 			panic(err)
@@ -99,7 +122,14 @@ func (s *Set[K]) bind() {
 			panic(err)
 		}
 		part := s.parts[p]
-		return boolByte(part.Delete(k)), logCost(cm.TreeOpNS, part.Len())
+		cost := logCost(cm.TreeOpNS, part.Len())
+		if s.repl == nil {
+			return boolByte(part.Delete(k)), cost
+		}
+		ok, fcost, rerr := s.repl.mutate(p, replDel, arg, nil, func() bool {
+			return part.Delete(k)
+		})
+		return mutResp(ok, rerr), cost + fcost
 	})
 	e.Bind(s.fn("size"), func(node int, arg []byte) ([]byte, int64) {
 		p := s.byNode[node]
@@ -134,15 +164,61 @@ func (s *Set[K]) Insert(r *cluster.Rank, k K) (bool, error) {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
+		if s.repl != nil {
+			return s.mutateLocal(r, p, replPut, kb, "insert", func() bool {
+				return part.Insert(k, struct{}{})
+			})
+		}
 		isNew := part.Insert(k, struct{}{})
 		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "insert")
 		return isNew, nil
+	}
+	if s.repl != nil {
+		return s.repl.invokeMutation(r, node, s.fn("insert"), kb, replPut, p, kb, nil)
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("insert"), kb)
 	if err != nil {
 		return false, err
 	}
 	return decodeBool(resp)
+}
+
+// mutateLocal runs the hybrid-path form of a replicated mutation through
+// the full forward-first protocol (a co-located writer cannot bypass the
+// quorum), billing the forward time to the caller's clock.
+func (s *Set[K]) mutateLocal(r *cluster.Rank, p int, verb byte, kb []byte, op string, apply func() bool) (bool, error) {
+	res, fcost, rerr := s.repl.mutate(p, verb, kb, nil, apply)
+	s.rt.localCharge(r, len(kb), 1+logSteps(s.parts[p].Len()), "oset", s.name, op)
+	r.Clock().Advance(fcost)
+	return res, rerr
+}
+
+// CrashNode simulates process death of node for fault-injection drivers:
+// its primary partition and any replica copies it holds are wiped.
+func (s *Set[K]) CrashNode(node int) {
+	if s.repl != nil {
+		s.repl.CrashNode(node)
+		return
+	}
+	if p, ok := s.byNode[node]; ok {
+		wipePart[K, struct{}](s.parts[p])
+	}
+}
+
+// RepairNode anti-entropy-repairs node's partition from a live replica
+// before it rejoins; no-op without replication.
+func (s *Set[K]) RepairNode(node int) error {
+	if s.repl == nil {
+		return nil
+	}
+	return s.repl.RepairNode(node)
+}
+
+// FlushReplication drains queued asynchronous forwards (ReplAsync mode).
+func (s *Set[K]) FlushReplication() {
+	if s.repl != nil {
+		s.repl.Flush()
+	}
 }
 
 // InsertAsync is the future-returning form of Insert.
@@ -154,11 +230,20 @@ func (s *Set[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
+		if s.repl != nil {
+			isNew, rerr := s.mutateLocal(r, p, replPut, kb, "insert", func() bool {
+				return part.Insert(k, struct{}{})
+			})
+			return immediateFuture(isNew, rerr)
+		}
 		isNew := part.Insert(k, struct{}{})
 		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "insert")
 		return immediateFuture(isNew, nil)
 	}
 	raw := s.rt.engine.InvokeAsync(r, node, s.fn("insert"), kb)
+	if s.repl != nil {
+		return remoteFuture(raw, s.repl.decodeMutResp)
+	}
 	return remoteFuture(raw, decodeBool)
 }
 
@@ -169,7 +254,7 @@ func (s *Set[K]) Find(r *cluster.Rank, k K) (bool, error) {
 		return false, err
 	}
 	node := s.servers[p]
-	if s.opt.hybrid && node == r.Node() {
+	if s.opt.hybrid && node == r.Node() && (s.repl == nil || !s.repl.isDead(p)) {
 		part := s.parts[p]
 		_, ok := part.Find(k)
 		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "find")
@@ -177,7 +262,23 @@ func (s *Set[K]) Find(r *cluster.Rank, k K) (bool, error) {
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("find"), kb)
 	if err != nil {
+		// Read-failover: a dead primary does not fail the read when a
+		// replica still holds the partition's acked state.
+		if s.repl != nil && errors.Is(err, fabric.ErrNodeDown) {
+			if fresp, ferr := s.repl.failoverFind(r, p, kb); ferr == nil {
+				return decodeBool(fresp)
+			}
+		}
 		return false, err
+	}
+	if s.repl != nil && isDeadResp(resp) {
+		// The primary answered but its partition crashed and awaits
+		// repair; a replica still holds the acked state.
+		fresp, ferr := s.repl.failoverFind(r, p, kb)
+		if ferr != nil {
+			return false, ferr
+		}
+		resp = fresp
 	}
 	return decodeBool(resp)
 }
@@ -191,9 +292,17 @@ func (s *Set[K]) Erase(r *cluster.Rank, k K) (bool, error) {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
+		if s.repl != nil {
+			return s.mutateLocal(r, p, replDel, kb, "erase", func() bool {
+				return part.Delete(k)
+			})
+		}
 		ok := part.Delete(k)
 		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "erase")
 		return ok, nil
+	}
+	if s.repl != nil {
+		return s.repl.invokeMutation(r, node, s.fn("erase"), kb, replDel, p, kb, nil)
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("erase"), kb)
 	if err != nil {

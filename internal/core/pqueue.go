@@ -32,6 +32,12 @@ func NewPriorityQueue[T any](rt *Runtime, name string, less func(a, b T) bool, o
 	if less == nil {
 		return nil, fmt.Errorf("hcl: %s: nil comparator", name)
 	}
+	if o.persistDir != "" {
+		return nil, fmt.Errorf("hcl: %s: persistence is not supported for priority queues", name)
+	}
+	if o.replicas > 0 {
+		return nil, fmt.Errorf("hcl: %s: replication is not supported for priority queues", name)
+	}
 	host := 0
 	if len(o.servers) > 0 {
 		host = o.servers[0]

@@ -30,6 +30,12 @@ func NewQueue[T any](rt *Runtime, name string, opts ...Option) (*Queue[T], error
 	if name == "" {
 		name = rt.autoName("queue")
 	}
+	if o.persistDir != "" {
+		return nil, fmt.Errorf("hcl: %s: persistence is not supported for queues", name)
+	}
+	if o.replicas > 0 {
+		return nil, fmt.Errorf("hcl: %s: replication is not supported for queues", name)
+	}
 	host := 0
 	if len(o.servers) > 0 {
 		host = o.servers[0]

@@ -30,6 +30,9 @@ func (m *UnorderedMap[K, V]) AddPartition(r *cluster.Rank, node int) error {
 	if m.journal != nil {
 		return fmt.Errorf("hcl: %s: repartitioning a persistent map is not supported", m.name)
 	}
+	if m.repl != nil {
+		return fmt.Errorf("hcl: %s: repartitioning a replicated map is not supported", m.name)
+	}
 	m.parts = append(m.parts, containers.NewCuckooMapSize[K, V](m.opt.initialCap))
 	m.servers = append(m.servers, node)
 	m.byNode[node] = len(m.parts) - 1
@@ -48,6 +51,9 @@ func (m *UnorderedMap[K, V]) RemovePartition(r *cluster.Rank, id int) error {
 	}
 	if m.journal != nil {
 		return fmt.Errorf("hcl: %s: repartitioning a persistent map is not supported", m.name)
+	}
+	if m.repl != nil {
+		return fmt.Errorf("hcl: %s: repartitioning a replicated map is not supported", m.name)
 	}
 	removed := m.parts[id]
 	m.parts = append(m.parts[:id], m.parts[id+1:]...)

@@ -2,11 +2,13 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"hcl/internal/cluster"
 	"hcl/internal/containers"
 	"hcl/internal/databox"
+	"hcl/internal/fabric"
 )
 
 // UnorderedMap is HCL::unordered_map — a distributed hash map whose
@@ -25,6 +27,7 @@ type UnorderedMap[K comparable, V any] struct {
 	vbox    *databox.Box[V]
 	journal []*journal
 	merge   func(old, incoming V) V
+	repl    *replGroup[K, V]
 }
 
 // NewUnorderedMap constructs (collectively, without coordination) a
@@ -55,6 +58,21 @@ func NewUnorderedMap[K comparable, V any](rt *Runtime, name string, opts ...Opti
 	}
 	if err := m.openJournals(); err != nil {
 		return nil, err
+	}
+	m.repl = newReplGroup(rt, name, m.fn(""), servers, m.byNode,
+		func(p int) replPart[K, V] { return m.parts[p] },
+		m.kbox, m.vbox, false, o)
+	if m.repl != nil {
+		m.repl.mergeInto = func(cp *containers.CuckooMap[K, V], k K, v V) bool {
+			fn := m.merge
+			return cp.Upsert(k, func(old V, exists bool) V {
+				if exists && fn != nil {
+					return fn(old, v)
+				}
+				return v
+			})
+		}
+		m.repl.onRestore = m.rewriteJournal
 	}
 	m.bind()
 	return m, nil
@@ -106,11 +124,18 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		isNew := m.parts[p].Insert(k, v)
-		m.appendJournal(p, arg)
-		m.replicate(node, p, arg)
+		apply := func() bool {
+			isNew := m.parts[p].Insert(k, v)
+			m.appendJournalPut(p, arg)
+			return isNew
+		}
 		// Table I: insert = F + L + W (F billed by the fabric).
-		return boolByte(isNew), cm.LocalOpNS + cm.MemTime(len(arg))
+		cost := cm.LocalOpNS + cm.MemTime(len(arg))
+		if m.repl == nil {
+			return boolByte(apply()), cost
+		}
+		isNew, fcost, rerr := m.repl.mutate(p, replPut, kb, vb, apply)
+		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(m.fn("merge"), func(node int, arg []byte) ([]byte, int64) {
 		p := m.byNode[node]
@@ -126,12 +151,26 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		isNew := m.mergeLocal(p, k, v)
+		apply := func() bool {
+			isNew := m.mergeLocal(p, k, v)
+			m.journalMerged(p, kb, k)
+			return isNew
+		}
 		// One server-side read-modify-write: F + L + R + W.
-		return boolByte(isNew), 2*cm.LocalOpNS + cm.MemTime(len(arg))
+		cost := 2*cm.LocalOpNS + cm.MemTime(len(arg))
+		if m.repl == nil {
+			return boolByte(apply()), cost
+		}
+		isNew, fcost, rerr := m.repl.mutate(p, replMerge, kb, vb, apply)
+		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(m.fn("find"), func(node int, arg []byte) ([]byte, int64) {
 		p := m.byNode[node]
+		if m.repl != nil && m.repl.isDead(p) {
+			// Crashed, awaiting repair: the wiped primary must not serve
+			// reads. The marker sends the client to a replica.
+			return deadResp(), cm.LocalOpNS
+		}
 		k, err := m.kbox.Decode(arg)
 		if err != nil {
 			panic(err)
@@ -153,7 +192,16 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		return boolByte(m.parts[p].Delete(k)), cm.LocalOpNS
+		apply := func() bool {
+			ok := m.parts[p].Delete(k)
+			m.appendJournalDel(p, arg)
+			return ok
+		}
+		if m.repl == nil {
+			return boolByte(apply()), cm.LocalOpNS
+		}
+		ok, fcost, rerr := m.repl.mutate(p, replDel, arg, nil, apply)
+		return mutResp(ok, rerr), cm.LocalOpNS + fcost
 	})
 	e.Bind(m.fn("resize"), func(node int, arg []byte) ([]byte, int64) {
 		p := m.byNode[node]
@@ -171,36 +219,45 @@ func (m *UnorderedMap[K, V]) bind() {
 	})
 }
 
-// replicate asynchronously copies an insert onto the next opt.replicas
-// partitions, hashed onward from the primary — the paper's server-side
-// replication. Fire-and-forget: the client is never billed.
-func (m *UnorderedMap[K, V]) replicate(node, p int, arg []byte) {
-	if m.opt.replicas == 0 || len(m.servers) < 2 {
+// mutateLocal runs the hybrid-path form of a replicated mutation: the
+// co-located writer still walks the full forward-first protocol (it
+// cannot bypass the quorum), then bills the forward time to its own
+// clock. rerr, when set, wraps ErrDegraded: nothing was applied.
+func (m *UnorderedMap[K, V]) mutateLocal(r *cluster.Rank, p int, verb byte, kb, vb []byte, op string, apply func() bool) (bool, error) {
+	res, fcost, rerr := m.repl.mutate(p, verb, kb, vb, apply)
+	m.rt.localCharge(r, len(kb)+len(vb), 2, "umap", m.name, op)
+	r.Clock().Advance(fcost)
+	return res, rerr
+}
+
+// CrashNode simulates process death of node for fault-injection drivers:
+// its primary partition and any replica copies it holds are wiped.
+func (m *UnorderedMap[K, V]) CrashNode(node int) {
+	if m.repl != nil {
+		m.repl.CrashNode(node)
 		return
 	}
-	buf := make([]byte, len(arg))
-	copy(buf, arg)
-	go func() {
-		kb, vb, err := databox.DecodePair(buf)
-		if err != nil {
-			return
-		}
-		k, err := m.kbox.Decode(kb)
-		if err != nil {
-			return
-		}
-		v, err := m.vbox.Decode(vb)
-		if err != nil {
-			return
-		}
-		for i := 1; i <= m.opt.replicas; i++ {
-			rp := (p + i) % len(m.parts)
-			if rp == p {
-				break
-			}
-			m.parts[rp].Insert(k, v)
-		}
-	}()
+	if p, ok := m.byNode[node]; ok {
+		wipePart[K, V](m.parts[p])
+	}
+}
+
+// RepairNode anti-entropy-repairs node's partition from a live replica
+// (and refreshes the replica copies node holds) before it rejoins; call
+// it while the node is still fenced off from clients. A nil error means
+// the node may serve again. No-op without replication.
+func (m *UnorderedMap[K, V]) RepairNode(node int) error {
+	if m.repl == nil {
+		return nil
+	}
+	return m.repl.RepairNode(node)
+}
+
+// FlushReplication drains queued asynchronous forwards (ReplAsync mode).
+func (m *UnorderedMap[K, V]) FlushReplication() {
+	if m.repl != nil {
+		m.repl.Flush()
+	}
 }
 
 // SetMerge installs the combiner used by Merge. Call it (identically on
@@ -230,7 +287,19 @@ func (m *UnorderedMap[K, V]) Merge(r *cluster.Rank, k K, v V) (bool, error) {
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.repl != nil {
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				return false, err
+			}
+			return m.mutateLocal(r, p, replMerge, kb, vb, "merge", func() bool {
+				isNew := m.mergeLocal(p, k, v)
+				m.journalMerged(p, kb, k)
+				return isNew
+			})
+		}
 		isNew := m.mergeLocal(p, k, v)
+		m.journalMerged(p, kb, k)
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3, "umap", m.name, "merge")
 		return isNew, nil
 	}
@@ -238,7 +307,11 @@ func (m *UnorderedMap[K, V]) Merge(r *cluster.Rank, k K, v V) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	resp, err := m.rt.engine.Invoke(r, node, m.fn("merge"), databox.EncodePair(kb, vb))
+	arg := databox.EncodePair(kb, vb)
+	if m.repl != nil {
+		return m.repl.invokeMutation(r, node, m.fn("merge"), arg, replMerge, p, kb, vb)
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("merge"), arg)
 	if err != nil {
 		return false, err
 	}
@@ -253,7 +326,20 @@ func (m *UnorderedMap[K, V]) MergeAsync(r *cluster.Rank, k K, v V) *Future[bool]
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.repl != nil {
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				return immediateFuture(false, err)
+			}
+			isNew, rerr := m.mutateLocal(r, p, replMerge, kb, vb, "merge", func() bool {
+				n := m.mergeLocal(p, k, v)
+				m.journalMerged(p, kb, k)
+				return n
+			})
+			return immediateFuture(isNew, rerr)
+		}
 		isNew := m.mergeLocal(p, k, v)
+		m.journalMerged(p, kb, k)
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3, "umap", m.name, "merge")
 		return immediateFuture(isNew, nil)
 	}
@@ -262,6 +348,9 @@ func (m *UnorderedMap[K, V]) MergeAsync(r *cluster.Rank, k K, v V) *Future[bool]
 		return immediateFuture(false, err)
 	}
 	raw := m.rt.engine.InvokeAsync(r, node, m.fn("merge"), databox.EncodePair(kb, vb))
+	if m.repl != nil {
+		return remoteFuture(raw, m.repl.decodeMutResp)
+	}
 	return remoteFuture(raw, decodeBool)
 }
 
@@ -274,14 +363,26 @@ func (m *UnorderedMap[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.repl != nil {
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				return false, fmt.Errorf("hcl: %s: encode value: %w", m.name, err)
+			}
+			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", func() bool {
+				n := m.parts[p].Insert(k, v)
+				m.appendJournalPut(p, databox.EncodePair(kb, vb))
+				return n
+			})
+			if rerr == nil && isNew {
+				m.chargeAlloc(r, node, len(kb)+len(vb))
+			}
+			return isNew, rerr
+		}
 		// Hybrid path: direct shared-memory access, no RPC, no
 		// serialization of the value.
 		isNew := m.parts[p].Insert(k, v)
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
 		m.appendJournalEncoded(p, kb, v, m.vbox)
-		if m.opt.replicas > 0 {
-			m.replicate(node, p, mustPair(kb, m.vbox, v))
-		}
 		if isNew {
 			m.chargeAlloc(r, node, len(kb)+payloadSize(m.vbox, v))
 		}
@@ -291,7 +392,15 @@ func (m *UnorderedMap[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("hcl: %s: encode value: %w", m.name, err)
 	}
-	resp, err := m.rt.engine.Invoke(r, node, m.fn("insert"), databox.EncodePair(kb, vb))
+	arg := databox.EncodePair(kb, vb)
+	if m.repl != nil {
+		isNew, err := m.repl.invokeMutation(r, node, m.fn("insert"), arg, replPut, p, kb, vb)
+		if err == nil && isNew {
+			m.chargeAlloc(r, node, len(kb)+len(vb))
+		}
+		return isNew, err
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("insert"), arg)
 	if err != nil {
 		return false, err
 	}
@@ -319,6 +428,18 @@ func (m *UnorderedMap[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.repl != nil {
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				return immediateFuture(false, err)
+			}
+			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", func() bool {
+				n := m.parts[p].Insert(k, v)
+				m.appendJournalPut(p, databox.EncodePair(kb, vb))
+				return n
+			})
+			return immediateFuture(isNew, rerr)
+		}
 		isNew := m.parts[p].Insert(k, v)
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
 		m.appendJournalEncoded(p, kb, v, m.vbox)
@@ -329,6 +450,9 @@ func (m *UnorderedMap[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool
 		return immediateFuture(false, err)
 	}
 	raw := m.rt.engine.InvokeAsync(r, node, m.fn("insert"), databox.EncodePair(kb, vb))
+	if m.repl != nil {
+		return remoteFuture(raw, m.repl.decodeMutResp)
+	}
 	return remoteFuture(raw, decodeBool)
 }
 
@@ -340,7 +464,7 @@ func (m *UnorderedMap[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 		return zero, false, err
 	}
 	node := m.servers[p]
-	if m.opt.hybrid && node == r.Node() {
+	if m.opt.hybrid && node == r.Node() && (m.repl == nil || !m.repl.isDead(p)) {
 		v, ok := m.parts[p].Find(k)
 		sz := len(kb)
 		if ok {
@@ -351,7 +475,23 @@ func (m *UnorderedMap[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("find"), kb)
 	if err != nil {
+		// Read-failover: a dead primary does not fail the read when a
+		// replica still holds the partition's acked state.
+		if m.repl != nil && errors.Is(err, fabric.ErrNodeDown) {
+			if fresp, ferr := m.repl.failoverFind(r, p, kb); ferr == nil {
+				return m.decodeFind(fresp)
+			}
+		}
 		return zero, false, err
+	}
+	if m.repl != nil && isDeadResp(resp) {
+		// The primary answered but its partition crashed and awaits
+		// repair; a replica still holds the acked state.
+		fresp, ferr := m.repl.failoverFind(r, p, kb)
+		if ferr != nil {
+			return zero, false, ferr
+		}
+		resp = fresp
 	}
 	return m.decodeFind(resp)
 }
@@ -398,9 +538,20 @@ func (m *UnorderedMap[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.repl != nil {
+			return m.mutateLocal(r, p, replDel, kb, nil, "erase", func() bool {
+				ok := m.parts[p].Delete(k)
+				m.appendJournalDel(p, kb)
+				return ok
+			})
+		}
 		ok := m.parts[p].Delete(k)
+		m.appendJournalDel(p, kb)
 		m.rt.localCharge(r, len(kb), 2, "umap", m.name, "erase")
 		return ok, nil
+	}
+	if m.repl != nil {
+		return m.repl.invokeMutation(r, node, m.fn("erase"), kb, replDel, p, kb, nil)
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("erase"), kb)
 	if err != nil {
@@ -498,14 +649,4 @@ func payloadSize[T any](box *databox.Box[T], v T) int {
 		return len(b)
 	}
 	return 0
-}
-
-// mustPair encodes a (preEncodedKey, value) pair, panicking on encoder
-// failure (only reachable with a broken custom marshaler).
-func mustPair[T any](kb []byte, box *databox.Box[T], v T) []byte {
-	vb, err := box.Encode(v)
-	if err != nil {
-		panic(err)
-	}
-	return databox.EncodePair(kb, vb)
 }

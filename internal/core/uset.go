@@ -2,11 +2,13 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"hcl/internal/cluster"
 	"hcl/internal/containers"
 	"hcl/internal/databox"
+	"hcl/internal/fabric"
 )
 
 // UnorderedSet is HCL::unordered_set — the key-only sibling of
@@ -21,6 +23,7 @@ type UnorderedSet[K comparable] struct {
 	parts   []*containers.CuckooMap[K, struct{}]
 	byNode  map[int]int
 	kbox    *databox.Box[K]
+	repl    *replGroup[K, struct{}]
 }
 
 // NewUnorderedSet constructs a distributed unordered set named name.
@@ -28,6 +31,11 @@ func NewUnorderedSet[K comparable](rt *Runtime, name string, opts ...Option) (*U
 	o := buildOptions(opts)
 	if name == "" {
 		name = rt.autoName("unordered_set")
+	}
+	if o.persistDir != "" {
+		// Journals exist only for UnorderedMap; silently ignoring the
+		// option would promise durability the container cannot deliver.
+		return nil, fmt.Errorf("hcl: %s: persistence is not supported for unordered sets", name)
 	}
 	servers := o.servers
 	if servers == nil {
@@ -46,6 +54,9 @@ func NewUnorderedSet[K comparable](rt *Runtime, name string, opts ...Option) (*U
 		s.parts[i] = containers.NewCuckooMapSize[K, struct{}](o.initialCap)
 		s.byNode[n] = i
 	}
+	s.repl = newReplGroup(rt, name, s.fn(""), servers, s.byNode,
+		func(p int) replPart[K, struct{}] { return s.parts[p] },
+		s.kbox, nil, true, o)
 	s.bind()
 	return s, nil
 }
@@ -75,10 +86,22 @@ func (s *UnorderedSet[K]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		return boolByte(s.parts[p].Insert(k, struct{}{})), cm.LocalOpNS + cm.MemTime(len(arg))
+		cost := cm.LocalOpNS + cm.MemTime(len(arg))
+		if s.repl == nil {
+			return boolByte(s.parts[p].Insert(k, struct{}{})), cost
+		}
+		isNew, fcost, rerr := s.repl.mutate(p, replPut, arg, nil, func() bool {
+			return s.parts[p].Insert(k, struct{}{})
+		})
+		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(s.fn("find"), func(node int, arg []byte) ([]byte, int64) {
 		p := s.byNode[node]
+		if s.repl != nil && s.repl.isDead(p) {
+			// Crashed, awaiting repair: the wiped primary must not serve
+			// reads. The marker sends the client to a replica.
+			return deadResp(), cm.LocalOpNS
+		}
 		k, err := s.kbox.Decode(arg)
 		if err != nil {
 			panic(err)
@@ -91,7 +114,13 @@ func (s *UnorderedSet[K]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		return boolByte(s.parts[p].Delete(k)), cm.LocalOpNS
+		if s.repl == nil {
+			return boolByte(s.parts[p].Delete(k)), cm.LocalOpNS
+		}
+		ok, fcost, rerr := s.repl.mutate(p, replDel, arg, nil, func() bool {
+			return s.parts[p].Delete(k)
+		})
+		return mutResp(ok, rerr), cm.LocalOpNS + fcost
 	})
 	e.Bind(s.fn("resize"), func(node int, arg []byte) ([]byte, int64) {
 		p := s.byNode[node]
@@ -115,15 +144,61 @@ func (s *UnorderedSet[K]) Insert(r *cluster.Rank, k K) (bool, error) {
 	}
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
+		if s.repl != nil {
+			return s.mutateLocal(r, p, replPut, kb, "insert", func() bool {
+				return s.parts[p].Insert(k, struct{}{})
+			})
+		}
 		isNew := s.parts[p].Insert(k, struct{}{})
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "insert")
 		return isNew, nil
+	}
+	if s.repl != nil {
+		return s.repl.invokeMutation(r, node, s.fn("insert"), kb, replPut, p, kb, nil)
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("insert"), kb)
 	if err != nil {
 		return false, err
 	}
 	return decodeBool(resp)
+}
+
+// mutateLocal runs the hybrid-path form of a replicated mutation through
+// the full forward-first protocol (a co-located writer cannot bypass the
+// quorum), billing the forward time to the caller's clock.
+func (s *UnorderedSet[K]) mutateLocal(r *cluster.Rank, p int, verb byte, kb []byte, op string, apply func() bool) (bool, error) {
+	res, fcost, rerr := s.repl.mutate(p, verb, kb, nil, apply)
+	s.rt.localCharge(r, len(kb), 2, "uset", s.name, op)
+	r.Clock().Advance(fcost)
+	return res, rerr
+}
+
+// CrashNode simulates process death of node for fault-injection drivers:
+// its primary partition and any replica copies it holds are wiped.
+func (s *UnorderedSet[K]) CrashNode(node int) {
+	if s.repl != nil {
+		s.repl.CrashNode(node)
+		return
+	}
+	if p, ok := s.byNode[node]; ok {
+		wipePart[K, struct{}](s.parts[p])
+	}
+}
+
+// RepairNode anti-entropy-repairs node's partition from a live replica
+// before it rejoins; no-op without replication.
+func (s *UnorderedSet[K]) RepairNode(node int) error {
+	if s.repl == nil {
+		return nil
+	}
+	return s.repl.RepairNode(node)
+}
+
+// FlushReplication drains queued asynchronous forwards (ReplAsync mode).
+func (s *UnorderedSet[K]) FlushReplication() {
+	if s.repl != nil {
+		s.repl.Flush()
+	}
 }
 
 // InsertAsync is the future-returning form of Insert.
@@ -134,11 +209,20 @@ func (s *UnorderedSet[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
 	}
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
+		if s.repl != nil {
+			isNew, rerr := s.mutateLocal(r, p, replPut, kb, "insert", func() bool {
+				return s.parts[p].Insert(k, struct{}{})
+			})
+			return immediateFuture(isNew, rerr)
+		}
 		isNew := s.parts[p].Insert(k, struct{}{})
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "insert")
 		return immediateFuture(isNew, nil)
 	}
 	raw := s.rt.engine.InvokeAsync(r, node, s.fn("insert"), kb)
+	if s.repl != nil {
+		return remoteFuture(raw, s.repl.decodeMutResp)
+	}
 	return remoteFuture(raw, decodeBool)
 }
 
@@ -149,14 +233,30 @@ func (s *UnorderedSet[K]) Find(r *cluster.Rank, k K) (bool, error) {
 		return false, err
 	}
 	node := s.servers[p]
-	if s.opt.hybrid && node == r.Node() {
+	if s.opt.hybrid && node == r.Node() && (s.repl == nil || !s.repl.isDead(p)) {
 		ok := s.parts[p].Contains(k)
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "find")
 		return ok, nil
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("find"), kb)
 	if err != nil {
+		// Read-failover: a dead primary does not fail the read when a
+		// replica still holds the partition's acked state.
+		if s.repl != nil && errors.Is(err, fabric.ErrNodeDown) {
+			if fresp, ferr := s.repl.failoverFind(r, p, kb); ferr == nil {
+				return decodeBool(fresp)
+			}
+		}
 		return false, err
+	}
+	if s.repl != nil && isDeadResp(resp) {
+		// The primary answered but its partition crashed and awaits
+		// repair; a replica still holds the acked state.
+		fresp, ferr := s.repl.failoverFind(r, p, kb)
+		if ferr != nil {
+			return false, ferr
+		}
+		resp = fresp
 	}
 	return decodeBool(resp)
 }
@@ -169,9 +269,17 @@ func (s *UnorderedSet[K]) Erase(r *cluster.Rank, k K) (bool, error) {
 	}
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
+		if s.repl != nil {
+			return s.mutateLocal(r, p, replDel, kb, "erase", func() bool {
+				return s.parts[p].Delete(k)
+			})
+		}
 		ok := s.parts[p].Delete(k)
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "erase")
 		return ok, nil
+	}
+	if s.repl != nil {
+		return s.repl.invokeMutation(r, node, s.fn("erase"), kb, replDel, p, kb, nil)
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("erase"), kb)
 	if err != nil {

@@ -20,11 +20,12 @@ import (
 // code. Events never touch node 0, where every client lives.
 
 // chaosEvent is one discrete fault, applied when afterOps operations have
-// completed.
+// completed. Replicated schedules also get the store's crash/repair hook
+// (nil otherwise).
 type chaosEvent struct {
 	afterOps int
 	desc     string
-	apply    func(ff *faultfab.Fabric)
+	apply    func(ff *faultfab.Fabric, cr crasher)
 }
 
 // chaosPlan couples the probabilistic fault mix with the event schedule.
@@ -63,6 +64,33 @@ func buildChaos(cfg Config, totalOps int) *chaosPlan {
 	}
 	r := newRNG(cfg.Seed, 0xC4A05)
 	servers := cfg.Nodes - 1
+	if cfg.Replicas > 0 {
+		// Replicated schedule: sequential, non-overlapping crash→repair
+		// cycles. A crash takes the node off the network AND wipes its
+		// partition state (process death, not a network blip); the paired
+		// repair anti-entropy-copies the partition back from a replica
+		// before the node rejoins. Cycles never overlap, so a repair
+		// always has a live replica to copy from.
+		cycles := 1 + r.intn(2)
+		at := 2 + r.intn(totalOps/4+1)
+		for i := 0; i < cycles && totalOps >= 8; i++ {
+			node := 1 + r.intn(servers)
+			dur := 1 + r.intn(totalOps/8+1)
+			p.events = append(p.events,
+				chaosEvent{at, fmt.Sprintf("crash node %d", node), func(ff *faultfab.Fabric, cr crasher) {
+					ff.SetDown(node, true)
+					if cr != nil {
+						cr.Crash(node)
+					}
+				}},
+				chaosEvent{at + dur, fmt.Sprintf("repair node %d", node), func(ff *faultfab.Fabric, cr crasher) {
+					repairAndRevive(ff, cr, node)
+				}},
+			)
+			at += dur + 2 + r.intn(totalOps/4+1)
+		}
+		return p
+	}
 	n := 2 + r.intn(3)
 	for i := 0; i < n && totalOps >= 8; i++ {
 		node := 1 + r.intn(servers)
@@ -70,17 +98,31 @@ func buildChaos(cfg Config, totalOps int) *chaosPlan {
 		dur := 1 + r.intn(totalOps/8+1)
 		if r.intn(2) == 0 {
 			p.events = append(p.events,
-				chaosEvent{at, fmt.Sprintf("kill node %d", node), func(ff *faultfab.Fabric) { ff.SetDown(node, true) }},
-				chaosEvent{at + dur, fmt.Sprintf("restart node %d", node), func(ff *faultfab.Fabric) { ff.SetDown(node, false) }},
+				chaosEvent{at, fmt.Sprintf("kill node %d", node), func(ff *faultfab.Fabric, _ crasher) { ff.SetDown(node, true) }},
+				chaosEvent{at + dur, fmt.Sprintf("restart node %d", node), func(ff *faultfab.Fabric, _ crasher) { ff.SetDown(node, false) }},
 			)
 		} else {
 			p.events = append(p.events,
-				chaosEvent{at, fmt.Sprintf("partition 0|%d", node), func(ff *faultfab.Fabric) { ff.Partition(0, node) }},
-				chaosEvent{at + dur, fmt.Sprintf("heal 0|%d", node), func(ff *faultfab.Fabric) { ff.Heal(0, node) }},
+				chaosEvent{at, fmt.Sprintf("partition 0|%d", node), func(ff *faultfab.Fabric, _ crasher) { ff.Partition(0, node) }},
+				chaosEvent{at + dur, fmt.Sprintf("heal 0|%d", node), func(ff *faultfab.Fabric, _ crasher) { ff.Heal(0, node) }},
 			)
 		}
 	}
 	return p
+}
+
+// repairAndRevive restores a crashed node's partition from a replica and
+// only then lets it take traffic again. Repair RPCs ride the deep-retry
+// options, so a handful of attempts absorbs any residual injected drops.
+func repairAndRevive(ff *faultfab.Fabric, cr crasher, node int) {
+	if cr != nil {
+		for attempt := 0; attempt < 8; attempt++ {
+			if err := cr.Repair(node); err == nil {
+				break
+			}
+		}
+	}
+	ff.SetDown(node, false)
 }
 
 // chaosRunner applies the plan's events as the op counter advances.
@@ -88,6 +130,7 @@ func buildChaos(cfg Config, totalOps int) *chaosPlan {
 // trigger point applies the event inline.
 type chaosRunner struct {
 	ff *faultfab.Fabric
+	cr crasher
 
 	mu      sync.Mutex
 	pending []chaosEvent // sorted by afterOps
@@ -95,7 +138,7 @@ type chaosRunner struct {
 	applied []string
 }
 
-func newChaosRunner(p *chaosPlan, ff *faultfab.Fabric) *chaosRunner {
+func newChaosRunner(p *chaosPlan, ff *faultfab.Fabric, cr crasher) *chaosRunner {
 	if p == nil || ff == nil {
 		return nil
 	}
@@ -107,7 +150,7 @@ func newChaosRunner(p *chaosPlan, ff *faultfab.Fabric) *chaosRunner {
 			ev[j], ev[j-1] = ev[j-1], ev[j]
 		}
 	}
-	return &chaosRunner{ff: ff, pending: ev}
+	return &chaosRunner{ff: ff, cr: cr, pending: ev}
 }
 
 // tick advances the completed-op counter and fires due events.
@@ -120,7 +163,7 @@ func (c *chaosRunner) tick() {
 	for len(c.pending) > 0 && c.pending[0].afterOps <= c.done {
 		e := c.pending[0]
 		c.pending = c.pending[1:]
-		e.apply(c.ff)
+		e.apply(c.ff, c.cr)
 		c.applied = append(c.applied, fmt.Sprintf("@%d %s", c.done, e.desc))
 	}
 	c.mu.Unlock()
@@ -135,7 +178,7 @@ func (c *chaosRunner) quiesce(nodes int) {
 	}
 	c.mu.Lock()
 	for _, e := range c.pending {
-		e.apply(c.ff)
+		e.apply(c.ff, c.cr)
 	}
 	c.pending = nil
 	c.mu.Unlock()

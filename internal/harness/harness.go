@@ -34,6 +34,8 @@ package harness
 
 import (
 	"time"
+
+	"hcl/internal/core"
 )
 
 // Kind selects a container under test.
@@ -113,6 +115,15 @@ type Config struct {
 	// Chaos enables the fault schedule (drops, delays, kills, restarts,
 	// partitions). Off, the run is failure-free and every op must succeed.
 	Chaos bool
+	// Replicas configures the container with WithReplicas(Replicas,
+	// ReplMode) for map/set kinds. With Chaos also set, the schedule
+	// switches to crash→repair cycles that wipe a server's partition
+	// state and anti-entropy-repair it from a replica before it rejoins.
+	Replicas int
+	// ReplMode selects the ack discipline (QuorumAll, QuorumOne,
+	// ReplAsync). ReplAsync deliberately loses acked writes under crashes
+	// — the checkers must catch it (the replication self-test).
+	ReplMode core.ReplMode
 	// Bug substitutes a deliberately broken container build.
 	Bug Bug
 	// Minimize shrinks the failing op streams before reporting

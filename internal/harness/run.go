@@ -97,12 +97,12 @@ func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation) {
 	if plan != nil {
 		rt.SetOpOptions(plan.opOptions())
 	}
-	st, err := newStore(rt, cfg, "stress", streamValidator(streams))
+	st, cr, err := newStore(rt, cfg, "stress", streamValidator(streams))
 	if err != nil {
 		return nil, []Violation{{Kind: cfg.Kind, Seed: cfg.Seed, Desc: "store construction: " + err.Error()}}
 	}
 	hist := &History{}
-	chaos := newChaosRunner(plan, ff)
+	chaos := newChaosRunner(plan, ff, cr)
 
 	w.Run(func(r *cluster.Rank) {
 		for _, op := range streams[r.ID()] {

@@ -51,31 +51,45 @@ func serverNodes(nodes int) []int {
 	return out
 }
 
+// crasher is implemented by the map/set adapters so the chaos schedule
+// can crash a server's partition state (not just its network) and
+// anti-entropy-repair it from a replica before the node rejoins.
+type crasher interface {
+	Crash(node int)
+	Repair(node int) error
+}
+
 // newStore builds the container under test on rt. Every adapter uses
-// uint64 keys and values; queue kinds are hosted on node 1.
-func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store, error) {
-	servers := core.WithServers(serverNodes(cfg.Nodes))
+// uint64 keys and values; queue kinds are hosted on node 1. The second
+// result is the crash/repair hook for replicated chaos — nil for queue
+// kinds, which do not replicate.
+func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store, crasher, error) {
+	opts := []core.Option{core.WithServers(serverNodes(cfg.Nodes))}
+	if cfg.Replicas > 0 {
+		opts = append(opts, core.WithReplicas(cfg.Replicas, cfg.ReplMode))
+	}
 	var (
 		st  store
+		cr  crasher
 		err error
 	)
 	switch cfg.Kind {
 	case KindUnorderedMap:
 		var m *core.UnorderedMap[uint64, uint64]
-		m, err = core.NewUnorderedMap[uint64, uint64](rt, name, servers)
-		st = umapStore{m}
+		m, err = core.NewUnorderedMap[uint64, uint64](rt, name, opts...)
+		st, cr = umapStore{m}, umapStore{m}
 	case KindUnorderedSet:
 		var s *core.UnorderedSet[uint64]
-		s, err = core.NewUnorderedSet[uint64](rt, name, servers)
-		st = usetStore{s}
+		s, err = core.NewUnorderedSet[uint64](rt, name, opts...)
+		st, cr = usetStore{s}, usetStore{s}
 	case KindOrderedMap:
 		var m *core.Map[uint64, uint64]
-		m, err = core.NewMap[uint64, uint64](rt, name, func(a, b uint64) bool { return a < b }, servers)
-		st = omapStore{m, valid}
+		m, err = core.NewMap[uint64, uint64](rt, name, func(a, b uint64) bool { return a < b }, opts...)
+		st, cr = omapStore{m, valid}, omapStore{m, valid}
 	case KindOrderedSet:
 		var s *core.Set[uint64]
-		s, err = core.NewSet[uint64](rt, name, func(a, b uint64) bool { return a < b }, servers)
-		st = osetStore{s}
+		s, err = core.NewSet[uint64](rt, name, func(a, b uint64) bool { return a < b }, opts...)
+		st, cr = osetStore{s}, osetStore{s}
 	case KindQueue:
 		var q *core.Queue[uint64]
 		q, err = core.NewQueue[uint64](rt, name, core.WithServers([]int{1}))
@@ -85,12 +99,12 @@ func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store
 		q, err = core.NewPriorityQueue[uint64](rt, name, func(a, b uint64) bool { return a < b }, core.WithServers([]int{1}))
 		st = pqStore{q}
 	default:
-		return nil, fmt.Errorf("harness: unknown kind %v", cfg.Kind)
+		return nil, nil, fmt.Errorf("harness: unknown kind %v", cfg.Kind)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return breakStore(st, cfg.Bug), nil
+	return breakStore(st, cfg.Bug), cr, nil
 }
 
 type umapStore struct {
@@ -111,6 +125,9 @@ func (s umapStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
 	return 0, false, fmt.Errorf("harness: umap: bad op %v", op.Kind)
 }
 
+func (s umapStore) Crash(node int)        { s.m.CrashNode(node) }
+func (s umapStore) Repair(node int) error { return s.m.RepairNode(node) }
+
 type usetStore struct{ s *core.UnorderedSet[uint64] }
 
 func (s usetStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
@@ -127,6 +144,9 @@ func (s usetStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
 	}
 	return 0, false, fmt.Errorf("harness: uset: bad op %v", op.Kind)
 }
+
+func (s usetStore) Crash(node int)        { s.s.CrashNode(node) }
+func (s usetStore) Repair(node int) error { return s.s.RepairNode(node) }
 
 type omapStore struct {
 	m     *core.Map[uint64, uint64]
@@ -160,6 +180,9 @@ func (s omapStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
 	return 0, false, fmt.Errorf("harness: omap: bad op %v", op.Kind)
 }
 
+func (s omapStore) Crash(node int)        { s.m.CrashNode(node) }
+func (s omapStore) Repair(node int) error { return s.m.RepairNode(node) }
+
 type osetStore struct{ s *core.Set[uint64] }
 
 func (s osetStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
@@ -182,6 +205,9 @@ func (s osetStore) Apply(r *cluster.Rank, op Op) (uint64, bool, error) {
 	}
 	return 0, false, fmt.Errorf("harness: oset: bad op %v", op.Kind)
 }
+
+func (s osetStore) Crash(node int)        { s.s.CrashNode(node) }
+func (s osetStore) Repair(node int) error { return s.s.RepairNode(node) }
 
 type queueStore struct{ q *core.Queue[uint64] }
 

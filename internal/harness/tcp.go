@@ -41,7 +41,7 @@ func RunTCP(cfg Config) (Result, error) {
 	// Client side: the world all ranks run in.
 	w0 := cluster.MustWorld(f0, cluster.OnNode(0, cfg.Clients))
 	rt0 := core.NewRuntime(w0)
-	st, err := newStore(rt0, cfg, "tcpstress", valid)
+	st, _, err := newStore(rt0, cfg, "tcpstress", valid)
 	if err != nil {
 		return Result{}, err
 	}
@@ -49,7 +49,7 @@ func RunTCP(cfg Config) (Result, error) {
 	// node 1's dispatcher executes.
 	w1 := cluster.MustWorld(f1, cluster.OnNode(1, 1))
 	rt1 := core.NewRuntime(w1)
-	if _, err := newStore(rt1, cfg, "tcpstress", valid); err != nil {
+	if _, _, err := newStore(rt1, cfg, "tcpstress", valid); err != nil {
 		return Result{}, err
 	}
 

@@ -38,6 +38,13 @@ const (
 	FramesCoalesced Kind = "fabric_frames_coalesced" // frames merged into shared flush syscalls
 	OpsAggregated   Kind = "ror_ops_aggregated"      // invocations that rode an aggregated flush
 	AggFlushes      Kind = "ror_agg_flushes"         // aggregator flushes shipped
+
+	// Replication counters recorded by the quorum-acked availability
+	// layer (internal/core/replication.go; docs/REPLICATION.md).
+	ReplicationErrors Kind = "hcl_replication_errors" // failed/fenced/dropped replica forwards
+	ReplicaLag        Kind = "hcl_replica_lag"        // forward latency (sync) or queue depth (async)
+	FailoverReads     Kind = "hcl_failover_reads"     // reads served by a replica after primary ErrNodeDown
+	RepairKeys        Kind = "hcl_repair_keys"        // keys restored by anti-entropy repair
 )
 
 // Collector accumulates (kind, node, bucket) -> value sums. Buckets are
