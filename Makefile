@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify check test bench bench-compare vet lint stress stress-replicated race-all
+.PHONY: verify check test bench bench-compare vet lint stress stress-replicated stress-hybrid race-all sweep docs-check
 
 # Time budget for the `stress` sweep, in milliseconds of wall time.
 STRESS_MS ?= 5000
@@ -49,6 +49,13 @@ stress:
 stress-replicated:
 	$(GO) test -race -count=1 -v -run 'TestStressReplicated' ./internal/harness/
 
+# The adaptive-dataplane gate under the race detector: chaos (including
+# crash/repair against quorum replication) with per-op routing and read
+# leases on; every history must stay linearizable — the dataplane is
+# pure optimization (docs/DATAPLANE.md).
+stress-hybrid:
+	$(GO) test -race -count=1 -v -run 'TestStressHybrid' ./internal/harness/
+
 test:
 	$(GO) test ./...
 
@@ -63,6 +70,20 @@ bench:
 	$(GO) test -run xxx -bench=. -benchmem -benchtime=1s -count=$(BENCH_COUNT) \
 		./internal/fabric/tcpfab/ ./internal/containers/ . | tee bench_results.txt
 	$(GO) run ./cmd/hcl-bench -benchjson BENCH_results.json < bench_results.txt
+	$(GO) run ./cmd/hcl-bench -sweep
+
+# The read-ratio dataplane A/B sweep on its own (docs/DATAPLANE.md):
+# deterministic virtual-time ns/op for RoR vs one-sided vs hybrid, merged
+# into BENCH_results.json. Exits 1 unless the hybrid is within 15% of the
+# best pure mode at every read ratio.
+sweep:
+	$(GO) run ./cmd/hcl-bench -sweep
+
+# Docs lint (scripts/docs_check.sh, stdlib shell + grep only): every
+# relative markdown link must resolve, and every metric series named in
+# the docs must exist in internal/metrics/metrics.go.
+docs-check:
+	./scripts/docs_check.sh
 
 # Regression gate: compare the last `make bench` run against the
 # checked-in baseline (±15% ns/op and allocs/op; see internal/bench/compare.go

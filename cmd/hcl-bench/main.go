@@ -12,6 +12,9 @@
 //	hcl-bench -benchcompare cur.json   # gate cur.json against BENCH_baseline.json
 //	hcl-bench -snapshot                # run an instrumented workload, dump
 //	                                   # the metrics snapshot as JSON
+//	hcl-bench -sweep                   # read-ratio dataplane A/B sweep;
+//	                                   # merges into BENCH_results.json and
+//	                                   # gates hybrid vs the pure modes
 package main
 
 import (
@@ -36,6 +39,8 @@ func main() {
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON for -benchcompare")
 		tolerance = flag.Float64("tolerance", bench.DefaultTolerance, "relative regression budget for -benchcompare")
 		snapshot  = flag.Bool("snapshot", false, "run an instrumented workload and print its metrics snapshot as JSON")
+		sweep     = flag.Bool("sweep", false, "run the read-ratio dataplane sweep, merge results into -sweepout, gate hybrid vs pure modes")
+		sweepout  = flag.String("sweepout", "BENCH_results.json", "results JSON the -sweep entries are merged into")
 	)
 	flag.Parse()
 
@@ -93,6 +98,31 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *sweep {
+		results := bench.SweepResults(p)
+		bench.SweepTable(results, p).Fprint(os.Stdout)
+		merged, err := mergeResults(*sweepout, results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bench.WriteBenchJSON(*sweepout, merged); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d sweep entries into %s\n", len(results), *sweepout)
+		if fails := bench.SweepGate(results, 0); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Printf("SWEEP GATE  %s\n", f)
+			}
+			fmt.Printf("sweep gate: hybrid lost to a pure dataplane at %d ratio(s)\n", len(fails))
+			os.Exit(1)
+		}
+		fmt.Printf("sweep gate: hybrid within %.0f%% of the best pure mode at every read ratio\n",
+			100*bench.SweepSlack)
+		return
+	}
+
 	if *snapshot {
 		snap, _ := bench.ObsSnapshot(p)
 		enc := json.NewEncoder(os.Stdout)
@@ -130,4 +160,32 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// mergeResults overlays fresh entries onto the results file at path:
+// existing entries keep their position (same-named ones are replaced),
+// new entries append in sweep order. A missing file starts empty.
+func mergeResults(path string, fresh []bench.BenchResult) ([]bench.BenchResult, error) {
+	existing, err := bench.ReadBenchJSON(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	replace := make(map[string]bench.BenchResult, len(fresh))
+	for _, r := range fresh {
+		replace[r.Name] = r
+	}
+	out := make([]bench.BenchResult, 0, len(existing)+len(fresh))
+	for _, r := range existing {
+		if nr, ok := replace[r.Name]; ok {
+			r = nr
+			delete(replace, r.Name)
+		}
+		out = append(out, r)
+	}
+	for _, r := range fresh {
+		if _, ok := replace[r.Name]; ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
 }

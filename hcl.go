@@ -25,6 +25,21 @@
 // mmap-backed persistence. The package re-exports the implementation
 // packages so downstream code needs only this import; power users can
 // reach the substrates (fabric, memory, databox, containers) directly.
+//
+// # Dataplanes
+//
+// The repository carries two data-access models: RoR (internal/ror), the
+// paper's RPC-over-RDMA invocation engine that executes every operation
+// at the owning node, and the one-sided model (internal/bcl), BCL-style
+// client-side access that reads remote memory without involving the
+// target CPU. WithDataplane(DataplaneAuto) layers an adaptive router
+// (internal/dataplane) over a container: uncontended small-value reads
+// of read-mostly partitions take a single one-sided read of the
+// partition's slot mirror, while mutations, compound operations, and
+// hot-partition traffic stay on RoR; read leases let repeat reads skip
+// the network entirely. DataplaneOneSided and DataplaneRoR pin the
+// router for A/B comparison. The decision model and lease protocol are
+// documented in docs/DATAPLANE.md.
 package hcl
 
 import (
@@ -32,6 +47,7 @@ import (
 	"hcl/internal/coll"
 	"hcl/internal/core"
 	"hcl/internal/databox"
+	"hcl/internal/dataplane"
 	"hcl/internal/fabric"
 	"hcl/internal/fabric/faultfab"
 	"hcl/internal/fabric/simfab"
@@ -331,6 +347,33 @@ const (
 	PQSkipList     = core.PQSkipList
 	PQHeap         = core.PQHeap
 )
+
+// DataplaneMode selects how a container's reads travel: through RoR
+// invocations, one-sided mirror reads, or the adaptive hybrid router.
+type DataplaneMode = dataplane.Mode
+
+const (
+	// DataplaneAuto routes each read per-op between the one-sided mirror
+	// and RoR from live partition statistics, and grants read leases that
+	// mutations revoke synchronously before they ack (docs/DATAPLANE.md).
+	DataplaneAuto = dataplane.ModeAuto
+	// DataplaneOneSided pins eligible reads to the one-sided mirror path
+	// (the BCL client-side model) — an A/B baseline.
+	DataplaneOneSided = dataplane.ModeOneSided
+	// DataplaneRoR pins the router to the RPC path — the other baseline.
+	DataplaneRoR = dataplane.ModeRoR
+)
+
+// DataplaneConfig tunes the dataplane (mirror geometry, lease TTL,
+// router thresholds); see docs/DATAPLANE.md for the tuning guide.
+type DataplaneConfig = dataplane.Config
+
+// WithDataplane enables the adaptive hybrid dataplane in the given mode.
+// The default (no option) keeps the dataplane off.
+func WithDataplane(m DataplaneMode) Option { return core.WithDataplane(m) }
+
+// WithDataplaneConfig replaces the full dataplane configuration.
+func WithDataplaneConfig(c DataplaneConfig) Option { return core.WithDataplaneConfig(c) }
 
 // Callback is a user function run server-side after a container operation
 // within the same invocation (chained callbacks, paper Section III-C3).

@@ -15,6 +15,13 @@
 //
 // The implementation runs over the same fabric verbs as HCL, so the two
 // libraries are compared on an identical substrate.
+//
+// In dataplane terms (docs/DATAPLANE.md) this package is the one-sided
+// model. The adaptive router in internal/dataplane picks this access
+// style — via FastPath, which wraps the same SlotReader protocol — for
+// uncontended small-value reads of read-mostly partitions, where a single
+// client-issued read beats a full RPC invocation; mutations, compound
+// operations, and hot-partition reads go to the RoR model instead.
 package bcl
 
 import (

@@ -1,0 +1,38 @@
+package bcl
+
+import (
+	"hcl/internal/cluster"
+	"hcl/internal/dataplane"
+)
+
+// FastPath is the shared one-sided fast-path entry: a BCL-style client
+// view of an HCL container partition's slot mirror. It wraps
+// dataplane.SlotReader — the same read-and-validate protocol the adaptive
+// router uses — so the one-sided model this package implements and the
+// dataplane's one-sided route are literally one code path, not two
+// reimplementations of the slot format.
+//
+// A FastPath performs exactly what this package's containers do for every
+// operation: a single client-issued remote read, no server-side
+// execution. The difference is what backs the memory — here it is an HCL
+// partition's mirror, published by RoR mutations, rather than a BCL
+// static allocation. Get never blocks on the target CPU and never takes a
+// lease; a miss (absent key, torn concurrent publish, wiped mirror) just
+// reports false and the caller decides whether to fall back to an RoR
+// invocation.
+type FastPath struct {
+	sr dataplane.SlotReader
+}
+
+// NewFastPath wraps a partition's SlotReader (obtained from
+// dataplane.Plane.Reader) as a BCL-style access handle.
+func NewFastPath(sr dataplane.SlotReader) FastPath { return FastPath{sr: sr} }
+
+// Valid reports whether the fast path is wired to a mirrored partition.
+func (f FastPath) Valid() bool { return f.sr.Valid() }
+
+// Get reads kb's slot with one one-sided verb on r's clock and returns
+// the encoded value and whether a validated entry for kb was present.
+func (f FastPath) Get(r *cluster.Rank, kb []byte) ([]byte, bool) {
+	return f.sr.Read(r.Clock(), r.Ref(), kb)
+}

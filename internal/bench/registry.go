@@ -26,6 +26,7 @@ var Registry = map[string]Runner{
 	"fig7c":  func(p Params) []*Table { return []*Table{Fig7c(p)} },
 	"table1": func(p Params) []*Table { return []*Table{Table1(p)} },
 	"abl":    func(p Params) []*Table { return []*Table{Ablations(p)} },
+	"sweep":  func(p Params) []*Table { return []*Table{Sweep(p)} },
 }
 
 // IDs lists the registered experiment ids in order.

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/dataplane"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+// The read-ratio A/B sweep behind `hcl-bench -sweep`: one client on
+// node 0 drives a seeded mixed workload against an unordered-map
+// partition on node 1, once per (read-ratio, dataplane-mode) cell, and
+// records virtual ns/op. The three modes are the two pure dataplanes —
+// RoR (every op one invocation) and one-sided (every read a BCL-style
+// mirror read, no leases) — plus the adaptive hybrid (per-op routing +
+// read leases, dataplane.ModeAuto). The gate asserts the hybrid is never
+// worse than the best pure mode by more than SweepSlack at any ratio:
+// adaptivity must pay for itself across the whole mix, not just at the
+// corner it was tuned for. Everything is deterministic — virtual clock,
+// one client, counter-seeded op stream — so the recorded numbers are
+// reproducible bit-for-bit and safe to gate on in CI.
+
+// SweepReadRatios lists the read percentages swept, write-heavy to
+// read-dominated. 99 (not 100) keeps at least a trickle of invalidations
+// in every cell so the lease protocol is always exercised.
+var SweepReadRatios = []int{0, 25, 50, 75, 90, 99}
+
+// SweepSlack is the gate's relative budget: the hybrid may trail the
+// best pure mode by at most this fraction at any read ratio.
+const SweepSlack = 0.15
+
+// sweepKeys bounds the key space; small enough that reads repeat (so
+// leases and mirror slots get hits), large enough that invalidations
+// don't serialize on one key.
+const sweepKeys = 32
+
+var sweepModes = []struct {
+	name string
+	mode dataplane.Mode
+}{
+	{"ror", dataplane.ModeRoR},
+	{"onesided", dataplane.ModeOneSided},
+	{"hybrid", dataplane.ModeAuto},
+}
+
+func sweepName(ratio int, mode string) string {
+	return fmt.Sprintf("sweep/umap/read=%d/mode=%s", ratio, mode)
+}
+
+// SweepResults runs every cell of the sweep and returns one BenchResult
+// per cell, named "sweep/umap/read=<pct>/mode=<mode>", with NsPerOp in
+// virtual nanoseconds. These entries are merged into BENCH_results.json
+// by `hcl-bench -sweep`.
+func SweepResults(p Params) []BenchResult {
+	ops := p.OpsPerClient * 4
+	out := make([]BenchResult, 0, len(SweepReadRatios)*len(sweepModes))
+	for _, ratio := range SweepReadRatios {
+		for _, m := range sweepModes {
+			ns := sweepCell(ratio, m.mode, ops)
+			out = append(out, BenchResult{
+				Name:    sweepName(ratio, m.name),
+				Runs:    int64(ops),
+				NsPerOp: ns,
+			})
+		}
+	}
+	return out
+}
+
+// Sweep renders SweepResults as the paper-style table for `-exp sweep`.
+func Sweep(p Params) *Table {
+	return SweepTable(SweepResults(p), p)
+}
+
+// SweepTable formats already-computed sweep results.
+func SweepTable(results []BenchResult, p Params) *Table {
+	byName := make(map[string]float64, len(results))
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	t := &Table{
+		ID:     "sweep",
+		Title:  fmt.Sprintf("Read-ratio sweep: 1 client x %d mixed ops on a remote umap partition, virtual ns/op", p.OpsPerClient*4),
+		Header: []string{"read%", "ror(ns/op)", "onesided(ns/op)", "hybrid(ns/op)", "hybrid vs best pure"},
+	}
+	for _, ratio := range SweepReadRatios {
+		ror := byName[sweepName(ratio, "ror")]
+		one := byName[sweepName(ratio, "onesided")]
+		hyb := byName[sweepName(ratio, "hybrid")]
+		best := math.Min(ror, one)
+		t.AddRow(
+			fmt.Sprintf("%d", ratio),
+			fmt.Sprintf("%.0f", ror),
+			fmt.Sprintf("%.0f", one),
+			fmt.Sprintf("%.0f", hyb),
+			ratio64(best, hyb),
+		)
+	}
+	t.AddNote("gate: hybrid <= best pure mode x %.2f at every ratio (hcl-bench -sweep exits 1 otherwise)", 1+SweepSlack)
+	t.AddNote("leases are hybrid-only: the one-sided column is the faithful no-cache BCL baseline")
+	return t
+}
+
+// SweepGate checks the dominance property: at every read ratio the
+// hybrid's ns/op must be within (1+slack) of min(ror, onesided).
+// slack <= 0 selects SweepSlack. It returns one message per violation;
+// empty means the gate passes.
+func SweepGate(results []BenchResult, slack float64) []string {
+	if slack <= 0 {
+		slack = SweepSlack
+	}
+	byName := make(map[string]float64, len(results))
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	var fails []string
+	for _, ratio := range SweepReadRatios {
+		ror, okR := byName[sweepName(ratio, "ror")]
+		one, okO := byName[sweepName(ratio, "onesided")]
+		hyb, okH := byName[sweepName(ratio, "hybrid")]
+		if !okR || !okO || !okH {
+			fails = append(fails, fmt.Sprintf("read=%d: incomplete sweep results", ratio))
+			continue
+		}
+		best := math.Min(ror, one)
+		if hyb > best*(1+slack) {
+			fails = append(fails, fmt.Sprintf(
+				"read=%d: hybrid %.0f ns/op exceeds best pure %.0f ns/op by more than %.0f%%",
+				ratio, hyb, best, 100*slack))
+		}
+	}
+	return fails
+}
+
+// sweepCell measures one (ratio, mode) point: prewarm every key, then
+// run the seeded mix and average the virtual-clock delta over ops.
+func sweepCell(ratio int, mode dataplane.Mode, ops int) float64 {
+	prov := simfab.New(2, fabric.DefaultCostModel())
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, 1))
+	rt := core.NewRuntime(w)
+	m, err := core.NewUnorderedMap[uint64, uint64](rt, "",
+		core.WithServers([]int{1}), core.WithDataplane(mode))
+	if err != nil {
+		panic(err)
+	}
+	var perOp float64
+	w.Run(func(r *cluster.Rank) {
+		for k := uint64(0); k < sweepKeys; k++ {
+			if _, err := m.Insert(r, k, k); err != nil {
+				panic(err)
+			}
+		}
+		// Counter-based splitmix stream keyed by the cell, so re-running
+		// any single cell reproduces its exact op sequence.
+		state := uint64(0x5eed0fca11) ^ uint64(ratio)<<32 ^ uint64(mode)
+		clk := r.Clock()
+		t0 := clk.Now()
+		for i := 0; i < ops; i++ {
+			roll := sweepRand(&state) % 100
+			key := sweepRand(&state) % sweepKeys
+			if int(roll) < ratio {
+				if _, _, err := m.Find(r, key); err != nil {
+					panic(err)
+				}
+			} else {
+				if _, err := m.Insert(r, key, uint64(i)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		perOp = float64(clk.Now()-t0) / float64(ops)
+	})
+	return perOp
+}
+
+// sweepRand advances a splitmix64 state.
+func sweepRand(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d49b133111eb
+	return z ^ (z >> 31)
+}
+
+// ratio64 renders best/cur as "N.Nx" ("-" when cur is zero).
+func ratio64(best, cur float64) string {
+	if cur == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", best/cur)
+}

@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestSweepHybridDominates is the tentpole acceptance gate in test form:
+// at every read ratio the adaptive hybrid dataplane must be no more than
+// SweepSlack slower than the better of the two pure modes. The sweep is
+// fully deterministic (virtual clock, one client, counter-seeded
+// stream), so a failure here is a real routing or lease-protocol
+// regression, not noise.
+func TestSweepHybridDominates(t *testing.T) {
+	results := SweepResults(Scaled())
+	if want := len(SweepReadRatios) * len(sweepModes); len(results) != want {
+		t.Fatalf("sweep produced %d results, want %d", len(results), want)
+	}
+	for _, r := range results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns/op %v", r.Name, r.NsPerOp)
+		}
+	}
+	for _, msg := range SweepGate(results, 0) {
+		t.Errorf("sweep gate: %s", msg)
+	}
+}
+
+// TestSweepDeterministic: the same params must reproduce the same
+// numbers bit-for-bit — the property that makes the gate CI-safe.
+func TestSweepDeterministic(t *testing.T) {
+	a := SweepResults(Scaled())
+	b := SweepResults(Scaled())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep not deterministic: %v vs %v", a[i], b[i])
+		}
+	}
+}

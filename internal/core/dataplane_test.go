@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hcl/internal/dataplane"
+	"hcl/internal/metrics"
+)
+
+// TestDataplaneLeaseServesAndInvalidates is the end-to-end lease
+// lifecycle: a remote find grants a lease, a repeat find is served from it
+// (no extra invocation), and a mutation revokes it before acking so the
+// next find observes the new value.
+func TestDataplaneLeaseServesAndInvalidates(t *testing.T) {
+	w, rt, col := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[string, int](rt, "dplease",
+		WithServers([]int{1}), WithDataplane(dataplane.ModeAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0) // node 0: every access to the node-1 partition is remote
+	if _, err := m.Insert(r, "k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := m.Find(r, "k"); err != nil || !ok || v != 1 {
+		t.Fatalf("warming Find = %d,%v,%v", v, ok, err)
+	}
+	invokes := col.Total(metrics.RemoteInvokes, -1)
+	if v, ok, err := m.Find(r, "k"); err != nil || !ok || v != 1 {
+		t.Fatalf("cached Find = %d,%v,%v", v, ok, err)
+	}
+	if got := col.Total(metrics.RemoteInvokes, -1); got != invokes {
+		t.Fatalf("cached Find used %v extra invocations, want 0", got-invokes)
+	}
+	if hits := col.Total(metrics.LeaseHits, -1); hits != 1 {
+		t.Fatalf("hcl_lease_hits = %v, want 1", hits)
+	}
+	if _, err := m.Insert(r, "k", 2); err != nil {
+		t.Fatal(err)
+	}
+	if inv := col.Total(metrics.LeaseInvalidations, -1); inv != 1 {
+		t.Fatalf("hcl_lease_invalidations = %v, want 1", inv)
+	}
+	if m.dp.LeaseLen() != 0 {
+		t.Fatalf("lease survived the mutation's ack")
+	}
+	if v, ok, err := m.Find(r, "k"); err != nil || !ok || v != 2 {
+		t.Fatalf("post-mutation Find = %d,%v,%v", v, ok, err)
+	}
+}
+
+// TestDataplaneLeaseCachesAbsence: a find of a missing key leases the
+// absence; the inserting mutation revokes it so the key appears.
+func TestDataplaneLeaseCachesAbsence(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[string, int](rt, "dpabs",
+		WithServers([]int{1}), WithDataplane(dataplane.ModeAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if _, ok, err := m.Find(r, "ghost"); err != nil || ok {
+		t.Fatalf("Find(ghost) = %v,%v", ok, err)
+	}
+	if _, ok, err := m.Find(r, "ghost"); err != nil || ok {
+		t.Fatalf("cached Find(ghost) = %v,%v", ok, err)
+	}
+	if _, err := m.Insert(r, "ghost", 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := m.Find(r, "ghost"); err != nil || !ok || v != 9 {
+		t.Fatalf("Find(ghost) after insert = %d,%v,%v", v, ok, err)
+	}
+}
+
+// TestDataplaneReadYourWritesUnderRace drives a writer and a reader rank
+// concurrently: after every acked insert the writer's own find must
+// observe its write (or newer) — the mutation cannot have acked while a
+// lease still served the old value.
+func TestDataplaneReadYourWritesUnderRace(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 2) // ranks 0,1 on node 0; partition on node 1
+	m, err := NewUnorderedMap[string, int](rt, "dprace",
+		WithServers([]int{1}), WithDataplane(dataplane.ModeAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // reader: hammer Find to keep leases warm
+		defer wg.Done()
+		r := w.Rank(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := m.Find(r, "contended"); err != nil {
+				t.Errorf("reader Find: %v", err)
+				return
+			}
+		}
+	}()
+	r := w.Rank(1)
+	for i := 1; i <= iters; i++ {
+		if _, err := m.Insert(r, "contended", i); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := m.Find(r, "contended")
+		if err != nil || !ok {
+			t.Fatalf("writer Find = %v,%v", ok, err)
+		}
+		if v < i {
+			t.Fatalf("iteration %d: read %d after acked insert of %d (stale lease)", i, v, i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDataplaneEpochFencing: crashing a partition's node must fence its
+// leases — the post-crash read goes to a replica for the acked value, and
+// post-repair reads are correct. The epoch counter records both bumps.
+func TestDataplaneEpochFencing(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 3, 1)
+	m, err := NewUnorderedMap[string, int](rt, "dpfence",
+		WithServers([]int{1, 2}), WithReplicas(1, QuorumAll),
+		WithDataplane(dataplane.ModeAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	// Find the partition served by node 1 so the crash hits a warm lease.
+	var key string
+	var part int
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("key-%d", i)
+		p, _, err := m.partitionOf(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.servers[p] == 1 {
+			part = p
+			break
+		}
+	}
+	if _, err := m.Insert(r, key, 41); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := m.Find(r, key); err != nil || !ok || v != 41 {
+		t.Fatalf("warming Find = %d,%v,%v", v, ok, err)
+	}
+	epoch0 := m.dp.Epoch(part)
+	m.CrashNode(1)
+	if got := m.dp.Epoch(part); got != epoch0+1 {
+		t.Fatalf("epoch after crash = %d, want %d", got, epoch0+1)
+	}
+	if m.dp.LeaseLen() != 0 {
+		t.Fatalf("crash left %d leases alive", m.dp.LeaseLen())
+	}
+	// The stale lease is gone and the read fails over to the replica.
+	if v, ok, err := m.Find(r, key); err != nil || !ok || v != 41 {
+		t.Fatalf("failover Find = %d,%v,%v", v, ok, err)
+	}
+	if err := m.RepairNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.dp.Epoch(part); got <= epoch0+1 {
+		t.Fatalf("epoch after repair = %d, want > %d", got, epoch0+1)
+	}
+	if v, ok, err := m.Find(r, key); err != nil || !ok || v != 41 {
+		t.Fatalf("post-repair Find = %d,%v,%v", v, ok, err)
+	}
+	if _, err := m.Insert(r, key, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := m.Find(r, key); err != nil || !ok || v != 42 {
+		t.Fatalf("post-repair write Find = %d,%v,%v", v, ok, err)
+	}
+}
+
+// TestDataplaneOneSidedRoute: with the router pinned one-sided, a read of
+// a published key is served by the mirror (counted as a one-sided route)
+// and still returns the authoritative value.
+func TestDataplaneOneSidedRoute(t *testing.T) {
+	w, rt, col := newTestWorld(t, 2, 1)
+	m, err := NewUnorderedMap[string, int](rt, "dpones",
+		WithServers([]int{1}), WithDataplane(dataplane.ModeOneSided))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if _, err := m.Insert(r, "pub", 7); err != nil {
+		t.Fatal(err)
+	}
+	invokes := col.Total(metrics.RemoteInvokes, -1)
+	if v, ok, err := m.Find(r, "pub"); err != nil || !ok || v != 7 {
+		t.Fatalf("one-sided Find = %d,%v,%v", v, ok, err)
+	}
+	if got := col.Total(metrics.RemoteInvokes, -1); got != invokes {
+		t.Fatalf("one-sided Find used %v invocations, want 0", got-invokes)
+	}
+	if routes := col.Total(metrics.RouteOneSided, -1); routes < 1 {
+		t.Fatalf("hcl_route_onesided = %v, want >= 1", routes)
+	}
+	// ModeOneSided grants no leases — the speedup is all mirror.
+	if hits := col.Total(metrics.LeaseHits, -1); hits != 0 {
+		t.Fatalf("hcl_lease_hits = %v in ModeOneSided, want 0", hits)
+	}
+	// Erase clears the slot; the next read falls back to RoR and agrees.
+	if ok, err := m.Erase(r, "pub"); err != nil || !ok {
+		t.Fatalf("Erase = %v,%v", ok, err)
+	}
+	if _, ok, err := m.Find(r, "pub"); err != nil || ok {
+		t.Fatalf("post-erase Find = %v,%v", ok, err)
+	}
+}
+
+// TestDataplaneModesAgree runs one mixed workload under every mode and
+// requires identical results — routing is an optimization, never a
+// semantic change.
+func TestDataplaneModesAgree(t *testing.T) {
+	type result struct {
+		v  int
+		ok bool
+	}
+	run := func(mode dataplane.Mode) []result {
+		w, rt, _ := newTestWorld(t, 3, 1)
+		m, err := NewUnorderedMap[string, int](rt, "dpagree",
+			WithServers([]int{1, 2}), WithDataplane(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := w.Rank(0)
+		var out []result
+		for i := 0; i < 60; i++ {
+			k := fmt.Sprintf("k%d", i%20)
+			switch i % 6 {
+			case 0, 1:
+				if _, err := m.Insert(r, k, i); err != nil {
+					t.Fatal(err)
+				}
+			case 5:
+				if _, err := m.Erase(r, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			v, ok, err := m.Find(r, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, result{v, ok})
+		}
+		return out
+	}
+	want := run(dataplane.ModeOff)
+	for _, mode := range []dataplane.Mode{dataplane.ModeRoR, dataplane.ModeOneSided, dataplane.ModeAuto} {
+		got := run(mode)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("mode %v diverges at op %d: got %+v want %+v", mode, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDataplaneSetLeases: the unordered set's membership answers flow
+// through the same lease + mirror machinery.
+func TestDataplaneSetLeases(t *testing.T) {
+	w, rt, col := newTestWorld(t, 2, 1)
+	s, err := NewUnorderedSet[string](rt, "dpset",
+		WithServers([]int{1}), WithDataplane(dataplane.ModeAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if _, err := s.Insert(r, "member"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Find(r, "member"); err != nil || !ok {
+		t.Fatalf("Find = %v,%v", ok, err)
+	}
+	if ok, err := s.Find(r, "member"); err != nil || !ok {
+		t.Fatalf("cached Find = %v,%v", ok, err)
+	}
+	if hits := col.Total(metrics.LeaseHits, -1); hits != 1 {
+		t.Fatalf("hcl_lease_hits = %v, want 1", hits)
+	}
+	if ok, err := s.Erase(r, "member"); err != nil || !ok {
+		t.Fatalf("Erase = %v,%v", ok, err)
+	}
+	if ok, err := s.Find(r, "member"); err != nil || ok {
+		t.Fatalf("post-erase Find = %v,%v", ok, err)
+	}
+}
+
+// TestDataplaneOrderedLeases: ordered containers run leases without a
+// mirror; scans stay authoritative.
+func TestDataplaneOrderedLeases(t *testing.T) {
+	w, rt, col := newTestWorld(t, 2, 1)
+	m, err := NewMap[int, string](rt, "dpomap", NaturalLess[int](),
+		WithServers([]int{1}), WithDataplane(dataplane.ModeAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for i := 0; i < 8; i++ {
+		if _, err := m.Insert(r, i, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok, err := m.Find(r, 3); err != nil || !ok || v != "v3" {
+		t.Fatalf("Find = %q,%v,%v", v, ok, err)
+	}
+	if v, ok, err := m.Find(r, 3); err != nil || !ok || v != "v3" {
+		t.Fatalf("cached Find = %q,%v,%v", v, ok, err)
+	}
+	if hits := col.Total(metrics.LeaseHits, -1); hits != 1 {
+		t.Fatalf("hcl_lease_hits = %v, want 1", hits)
+	}
+	// Ordered partitions must never build a mirror.
+	for p := range m.servers {
+		if m.dp.Mirrored(p) {
+			t.Fatalf("ordered partition %d has a mirror", p)
+		}
+	}
+	if _, err := m.Insert(r, 3, "v3'"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := m.Find(r, 3); err != nil || !ok || v != "v3'" {
+		t.Fatalf("post-mutation Find = %q,%v,%v", v, ok, err)
+	}
+}

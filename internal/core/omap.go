@@ -8,6 +8,7 @@ import (
 	"hcl/internal/cluster"
 	"hcl/internal/containers"
 	"hcl/internal/databox"
+	"hcl/internal/dataplane"
 	"hcl/internal/fabric"
 )
 
@@ -34,6 +35,7 @@ type Map[K comparable, V any] struct {
 	kbox    *databox.Box[K]
 	vbox    *databox.Box[V]
 	repl    *replGroup[K, V]
+	dp      *dataplane.Plane
 }
 
 // NewMap constructs a distributed ordered map with the given comparator.
@@ -75,7 +77,24 @@ func NewMap[K comparable, V any](rt *Runtime, name string, less Less[K], opts ..
 	m.repl = newReplGroup(rt, name, m.fn(""), servers, m.byNode,
 		func(p int) replPart[K, V] { return m.parts[p] },
 		m.kbox, m.vbox, false, o)
+	// Ordered partitions get routing + leases but no slot mirror: their
+	// reads interleave with ordered scans, which fixed-size slots cannot
+	// serve, so the one-sided route never wins here.
+	m.dp = newPlane(rt, "omap", name, servers, o, false)
 	m.bind()
+	if m.dp != nil {
+		rt.engine.SetReadThrough(m.fn("find"), func(arg []byte) ([]byte, bool) {
+			p := int(StableHash64(arg) % uint64(len(servers)))
+			vb, ok, hit := m.dp.CacheGet(p, arg, 0)
+			if !hit {
+				return nil, false
+			}
+			if !ok {
+				return []byte{0}, true
+			}
+			return append([]byte{1}, vb...), true
+		})
+	}
 	return m, nil
 }
 
@@ -131,12 +150,13 @@ func (m *Map[K, V]) bind() {
 		part := m.parts[p]
 		// Table I: insert = F + L*log(N) + W.
 		cost := logCost(cm.TreeOpNS, part.Len()) + cm.MemTime(len(arg))
-		if m.repl == nil {
-			return boolByte(part.Insert(k, v)), cost
-		}
-		isNew, fcost, rerr := m.repl.mutate(p, replPut, kb, vb, func() bool {
+		apply := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 			return part.Insert(k, v)
 		})
+		if m.repl == nil {
+			return boolByte(apply()), cost
+		}
+		isNew, fcost, rerr := m.repl.mutate(p, replPut, kb, vb, apply)
 		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(m.fn("find"), func(node int, arg []byte) ([]byte, int64) {
@@ -151,14 +171,27 @@ func (m *Map[K, V]) bind() {
 			panic(err)
 		}
 		part := m.parts[p]
-		v, ok := part.Find(k)
+		read := func() ([]byte, bool) {
+			v, ok := part.Find(k)
+			if !ok {
+				return nil, false
+			}
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				panic(err)
+			}
+			return vb, true
+		}
+		var vb []byte
+		var ok bool
+		if m.dp != nil {
+			vb, ok = m.dp.GrantRead(p, arg, read)
+		} else {
+			vb, ok = read()
+		}
 		cost := logCost(cm.TreeOpNS, part.Len())
 		if !ok {
 			return []byte{0}, cost
-		}
-		vb, err := m.vbox.Encode(v)
-		if err != nil {
-			panic(err)
 		}
 		return append([]byte{1}, vb...), cost + cm.MemTime(len(vb))
 	})
@@ -170,12 +203,13 @@ func (m *Map[K, V]) bind() {
 		}
 		part := m.parts[p]
 		cost := logCost(cm.TreeOpNS, part.Len())
-		if m.repl == nil {
-			return boolByte(part.Delete(k)), cost
-		}
-		ok, fcost, rerr := m.repl.mutate(p, replDel, arg, nil, func() bool {
+		apply := dpApply(m.dp, p, arg, dataplane.PubClear, nil, func() bool {
 			return part.Delete(k)
 		})
+		if m.repl == nil {
+			return boolByte(apply()), cost
+		}
+		ok, fcost, rerr := m.repl.mutate(p, replDel, arg, nil, apply)
 		return mutResp(ok, rerr), cost + fcost
 	})
 	e.Bind(m.fn("size"), func(node int, arg []byte) ([]byte, int64) {
@@ -235,11 +269,13 @@ func (m *Map[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			return m.mutateLocal(r, p, replPut, kb, vb, "insert", func() bool {
+			return m.mutateLocal(r, p, replPut, kb, vb, "insert", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				return part.Insert(k, v)
-			})
+			}))
 		}
-		isNew := part.Insert(k, v)
+		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return part.Insert(k, v)
+		})()
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()), "omap", m.name, "insert")
 		return isNew, nil
 	}
@@ -273,10 +309,23 @@ func (m *Map[K, V]) mutateLocal(r *cluster.Rank, p int, verb byte, kb, vb []byte
 func (m *Map[K, V]) CrashNode(node int) {
 	if m.repl != nil {
 		m.repl.CrashNode(node)
+		m.fence(node)
 		return
 	}
 	if p, ok := m.byNode[node]; ok {
 		wipePart[K, V](m.parts[p])
+	}
+	m.fence(node)
+}
+
+// fence bumps the dataplane lease epoch of node's partition so no
+// pre-crash lease can serve another read.
+func (m *Map[K, V]) fence(node int) {
+	if m.dp == nil {
+		return
+	}
+	if p, ok := m.byNode[node]; ok {
+		m.dp.Fence(p)
 	}
 }
 
@@ -286,7 +335,9 @@ func (m *Map[K, V]) RepairNode(node int) error {
 	if m.repl == nil {
 		return nil
 	}
-	return m.repl.RepairNode(node)
+	err := m.repl.RepairNode(node)
+	m.fence(node)
+	return err
 }
 
 // FlushReplication drains queued asynchronous forwards (ReplAsync mode).
@@ -310,12 +361,14 @@ func (m *Map[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool] {
 			if err != nil {
 				return immediateFuture(false, err)
 			}
-			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", func() bool {
+			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				return part.Insert(k, v)
-			})
+			}))
 			return immediateFuture(isNew, rerr)
 		}
-		isNew := part.Insert(k, v)
+		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return part.Insert(k, v)
+		})()
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 1+logSteps(part.Len()), "omap", m.name, "insert")
 		return immediateFuture(isNew, nil)
 	}
@@ -338,6 +391,19 @@ func (m *Map[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 		return zero, false, err
 	}
 	node := m.servers[p]
+	// Lease cache: ordered maps have no mirror, but point reads still hit
+	// unexpired leases granted by earlier finds.
+	if vb, ok, hit := m.dp.CacheGet(p, kb, r.Clock().Now()); hit {
+		m.rt.localCharge(r, len(kb), 1, "omap", m.name, "find")
+		if !ok {
+			return zero, false, nil
+		}
+		v, derr := m.vbox.Decode(vb)
+		if derr != nil {
+			return zero, false, derr
+		}
+		return v, true, nil
+	}
 	if m.opt.hybrid && node == r.Node() && (m.repl == nil || !m.repl.isDead(p)) {
 		part := m.parts[p]
 		v, ok := part.Find(k)
@@ -389,11 +455,13 @@ func (m *Map[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
 	if m.opt.hybrid && node == r.Node() {
 		part := m.parts[p]
 		if m.repl != nil {
-			return m.mutateLocal(r, p, replDel, kb, nil, "erase", func() bool {
+			return m.mutateLocal(r, p, replDel, kb, nil, "erase", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				return part.Delete(k)
-			})
+			}))
 		}
-		ok := part.Delete(k)
+		ok := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return part.Delete(k)
+		})()
 		m.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "omap", m.name, "erase")
 		return ok, nil
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"hcl/internal/databox"
+	"hcl/internal/dataplane"
 	"hcl/internal/memory"
 )
 
@@ -36,6 +37,7 @@ type options struct {
 	persistDir string
 	syncMode   memory.SyncMode
 	initialCap int
+	dataplane  dataplane.Config
 }
 
 func defaultOptions() options {
@@ -103,6 +105,21 @@ func WithPersistence(dir string, mode memory.SyncMode) Option {
 // WithInitialCapacity overrides the default initial bucket count.
 func WithInitialCapacity(n int) Option {
 	return func(o *options) { o.initialCap = n }
+}
+
+// WithDataplane selects the container's dataplane mode: ModeAuto routes
+// each read adaptively between the one-sided mirror and RoR and grants
+// read leases; ModeOneSided and ModeRoR pin the router for A/B baselines;
+// ModeOff (the default) disables the dataplane entirely. See
+// docs/DATAPLANE.md for the decision model.
+func WithDataplane(m dataplane.Mode) Option {
+	return func(o *options) { o.dataplane.Mode = m }
+}
+
+// WithDataplaneConfig replaces the container's full dataplane
+// configuration (mode, mirror geometry, lease TTL, router thresholds).
+func WithDataplaneConfig(c dataplane.Config) Option {
+	return func(o *options) { o.dataplane = c }
 }
 
 func buildOptions(opts []Option) options {

@@ -8,6 +8,7 @@ import (
 	"hcl/internal/cluster"
 	"hcl/internal/containers"
 	"hcl/internal/databox"
+	"hcl/internal/dataplane"
 	"hcl/internal/fabric"
 )
 
@@ -24,6 +25,7 @@ type Set[K comparable] struct {
 	less    Less[K]
 	kbox    *databox.Box[K]
 	repl    *replGroup[K, struct{}]
+	dp      *dataplane.Plane
 }
 
 // NewSet constructs a distributed ordered set with the given comparator.
@@ -61,7 +63,19 @@ func NewSet[K comparable](rt *Runtime, name string, less Less[K], opts ...Option
 	s.repl = newReplGroup(rt, name, s.fn(""), servers, s.byNode,
 		func(p int) replPart[K, struct{}] { return s.parts[p] },
 		s.kbox, nil, true, o)
+	// Routing + leases only, no slot mirror: see the ordered-map note.
+	s.dp = newPlane(rt, "oset", name, servers, o, false)
 	s.bind()
+	if s.dp != nil {
+		rt.engine.SetReadThrough(s.fn("find"), func(arg []byte) ([]byte, bool) {
+			p := int(StableHash64(arg) % uint64(len(servers)))
+			_, ok, hit := s.dp.CacheGet(p, arg, 0)
+			if !hit {
+				return nil, false
+			}
+			return boolByte(ok), true
+		})
+	}
 	return s, nil
 }
 
@@ -92,12 +106,13 @@ func (s *Set[K]) bind() {
 		}
 		part := s.parts[p]
 		cost := logCost(cm.TreeOpNS, part.Len()) + cm.MemTime(len(arg))
-		if s.repl == nil {
-			return boolByte(part.Insert(k, struct{}{})), cost
-		}
-		isNew, fcost, rerr := s.repl.mutate(p, replPut, arg, nil, func() bool {
+		apply := dpApply(s.dp, p, arg, dataplane.PubClear, nil, func() bool {
 			return part.Insert(k, struct{}{})
 		})
+		if s.repl == nil {
+			return boolByte(apply()), cost
+		}
+		isNew, fcost, rerr := s.repl.mutate(p, replPut, arg, nil, apply)
 		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(s.fn("find"), func(node int, arg []byte) ([]byte, int64) {
@@ -112,6 +127,13 @@ func (s *Set[K]) bind() {
 			panic(err)
 		}
 		part := s.parts[p]
+		if s.dp != nil {
+			_, ok := s.dp.GrantRead(p, arg, func() ([]byte, bool) {
+				_, ok := part.Find(k)
+				return nil, ok
+			})
+			return boolByte(ok), logCost(cm.TreeOpNS, part.Len())
+		}
 		_, ok := part.Find(k)
 		return boolByte(ok), logCost(cm.TreeOpNS, part.Len())
 	})
@@ -123,12 +145,13 @@ func (s *Set[K]) bind() {
 		}
 		part := s.parts[p]
 		cost := logCost(cm.TreeOpNS, part.Len())
-		if s.repl == nil {
-			return boolByte(part.Delete(k)), cost
-		}
-		ok, fcost, rerr := s.repl.mutate(p, replDel, arg, nil, func() bool {
+		apply := dpApply(s.dp, p, arg, dataplane.PubClear, nil, func() bool {
 			return part.Delete(k)
 		})
+		if s.repl == nil {
+			return boolByte(apply()), cost
+		}
+		ok, fcost, rerr := s.repl.mutate(p, replDel, arg, nil, apply)
 		return mutResp(ok, rerr), cost + fcost
 	})
 	e.Bind(s.fn("size"), func(node int, arg []byte) ([]byte, int64) {
@@ -165,11 +188,13 @@ func (s *Set[K]) Insert(r *cluster.Rank, k K) (bool, error) {
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
 		if s.repl != nil {
-			return s.mutateLocal(r, p, replPut, kb, "insert", func() bool {
+			return s.mutateLocal(r, p, replPut, kb, "insert", dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				return part.Insert(k, struct{}{})
-			})
+			}))
 		}
-		isNew := part.Insert(k, struct{}{})
+		isNew := dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return part.Insert(k, struct{}{})
+		})()
 		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "insert")
 		return isNew, nil
 	}
@@ -198,10 +223,23 @@ func (s *Set[K]) mutateLocal(r *cluster.Rank, p int, verb byte, kb []byte, op st
 func (s *Set[K]) CrashNode(node int) {
 	if s.repl != nil {
 		s.repl.CrashNode(node)
+		s.fence(node)
 		return
 	}
 	if p, ok := s.byNode[node]; ok {
 		wipePart[K, struct{}](s.parts[p])
+	}
+	s.fence(node)
+}
+
+// fence bumps the dataplane lease epoch of node's partition so no
+// pre-crash lease can serve another read.
+func (s *Set[K]) fence(node int) {
+	if s.dp == nil {
+		return
+	}
+	if p, ok := s.byNode[node]; ok {
+		s.dp.Fence(p)
 	}
 }
 
@@ -211,7 +249,9 @@ func (s *Set[K]) RepairNode(node int) error {
 	if s.repl == nil {
 		return nil
 	}
-	return s.repl.RepairNode(node)
+	err := s.repl.RepairNode(node)
+	s.fence(node)
+	return err
 }
 
 // FlushReplication drains queued asynchronous forwards (ReplAsync mode).
@@ -231,12 +271,14 @@ func (s *Set[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
 		if s.repl != nil {
-			isNew, rerr := s.mutateLocal(r, p, replPut, kb, "insert", func() bool {
+			isNew, rerr := s.mutateLocal(r, p, replPut, kb, "insert", dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				return part.Insert(k, struct{}{})
-			})
+			}))
 			return immediateFuture(isNew, rerr)
 		}
-		isNew := part.Insert(k, struct{}{})
+		isNew := dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return part.Insert(k, struct{}{})
+		})()
 		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "insert")
 		return immediateFuture(isNew, nil)
 	}
@@ -254,6 +296,10 @@ func (s *Set[K]) Find(r *cluster.Rank, k K) (bool, error) {
 		return false, err
 	}
 	node := s.servers[p]
+	if _, ok, hit := s.dp.CacheGet(p, kb, r.Clock().Now()); hit {
+		s.rt.localCharge(r, len(kb), 1, "oset", s.name, "find")
+		return ok, nil
+	}
 	if s.opt.hybrid && node == r.Node() && (s.repl == nil || !s.repl.isDead(p)) {
 		part := s.parts[p]
 		_, ok := part.Find(k)
@@ -293,11 +339,13 @@ func (s *Set[K]) Erase(r *cluster.Rank, k K) (bool, error) {
 	if s.opt.hybrid && node == r.Node() {
 		part := s.parts[p]
 		if s.repl != nil {
-			return s.mutateLocal(r, p, replDel, kb, "erase", func() bool {
+			return s.mutateLocal(r, p, replDel, kb, "erase", dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				return part.Delete(k)
-			})
+			}))
 		}
-		ok := part.Delete(k)
+		ok := dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return part.Delete(k)
+		})()
 		s.rt.localCharge(r, len(kb), 1+logSteps(part.Len()), "oset", s.name, "erase")
 		return ok, nil
 	}

@@ -23,6 +23,7 @@ import (
 
 	"hcl/internal/cluster"
 	"hcl/internal/fabric"
+	"hcl/internal/metrics"
 	"hcl/internal/ror"
 )
 
@@ -39,24 +40,53 @@ type Runtime struct {
 // NewRuntime builds a runtime over the world's provider.
 func NewRuntime(w *cluster.World) *Runtime {
 	prov := w.Provider()
-	return &Runtime{
+	rt := &Runtime{
 		world:  w,
 		engine: ror.NewEngine(prov),
 		acct:   fabric.AccountantOf(prov),
 		model:  fabric.ModelOf(prov),
 	}
+	if col := collectorOf(prov); col != nil {
+		rt.engine.SetCollector(col)
+	}
+	return rt
 }
 
 // NewRuntimeWithEngine builds a runtime sharing an existing engine (used
 // when several runtimes must coexist on one provider).
 func NewRuntimeWithEngine(w *cluster.World, e *ror.Engine) *Runtime {
 	prov := w.Provider()
+	if e.Collector() == nil {
+		if col := collectorOf(prov); col != nil {
+			e.SetCollector(col)
+		}
+	}
 	return &Runtime{
 		world:  w,
 		engine: e,
 		acct:   fabric.AccountantOf(prov),
 		model:  fabric.ModelOf(prov),
 	}
+}
+
+// collectorOf finds the metrics collector attached to a provider,
+// unwrapping fault-injection (and any future) decorators, so engine- and
+// dataplane-level series land in the same collector as fabric series
+// without every caller having to wire SetCollector by hand.
+func collectorOf(prov fabric.Provider) *metrics.Collector {
+	for prov != nil {
+		if c, ok := prov.(interface{ Collector() *metrics.Collector }); ok {
+			if col := c.Collector(); col != nil {
+				return col
+			}
+		}
+		inner, ok := prov.(interface{ Inner() fabric.Provider })
+		if !ok {
+			return nil
+		}
+		prov = inner.Inner()
+	}
+	return nil
 }
 
 // World returns the runtime's world.

@@ -8,6 +8,7 @@ import (
 	"hcl/internal/cluster"
 	"hcl/internal/containers"
 	"hcl/internal/databox"
+	"hcl/internal/dataplane"
 	"hcl/internal/fabric"
 )
 
@@ -28,6 +29,7 @@ type UnorderedMap[K comparable, V any] struct {
 	journal []*journal
 	merge   func(old, incoming V) V
 	repl    *replGroup[K, V]
+	dp      *dataplane.Plane
 }
 
 // NewUnorderedMap constructs (collectively, without coordination) a
@@ -74,7 +76,23 @@ func NewUnorderedMap[K comparable, V any](rt *Runtime, name string, opts ...Opti
 		}
 		m.repl.onRestore = m.rewriteJournal
 	}
+	m.dp = newPlane(rt, "umap", name, servers, o, true)
 	m.bind()
+	if m.dp != nil {
+		// Client-side cache check before aggregation: an aggregated find
+		// whose key holds an unexpired lease never joins a batch bucket.
+		rt.engine.SetReadThrough(m.fn("find"), func(arg []byte) ([]byte, bool) {
+			p := int(StableHash64(arg) % uint64(len(servers)))
+			vb, ok, hit := m.dp.CacheGet(p, arg, 0)
+			if !hit {
+				return nil, false
+			}
+			if !ok {
+				return []byte{0}, true
+			}
+			return append([]byte{1}, vb...), true
+		})
+	}
 	return m, nil
 }
 
@@ -124,11 +142,11 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		apply := func() bool {
+		apply := dpApply(m.dp, p, kb, dataplane.PubValue, vb, func() bool {
 			isNew := m.parts[p].Insert(k, v)
 			m.appendJournalPut(p, arg)
 			return isNew
-		}
+		})
 		// Table I: insert = F + L + W (F billed by the fabric).
 		cost := cm.LocalOpNS + cm.MemTime(len(arg))
 		if m.repl == nil {
@@ -151,11 +169,14 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		apply := func() bool {
+		// PubClear, not PubValue: the combined value lives only in the
+		// partition, never on the wire, so the mirror slot is invalidated
+		// rather than re-encoded on the mutation path.
+		apply := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 			isNew := m.mergeLocal(p, k, v)
 			m.journalMerged(p, kb, k)
 			return isNew
-		}
+		})
 		// One server-side read-modify-write: F + L + R + W.
 		cost := 2*cm.LocalOpNS + cm.MemTime(len(arg))
 		if m.repl == nil {
@@ -175,13 +196,28 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		v, ok := m.parts[p].Find(k)
+		read := func() ([]byte, bool) {
+			v, ok := m.parts[p].Find(k)
+			if !ok {
+				return nil, false
+			}
+			vb, err := m.vbox.Encode(v)
+			if err != nil {
+				panic(err)
+			}
+			return vb, true
+		}
+		var vb []byte
+		var ok bool
+		if m.dp != nil {
+			// Serving a find is also granting a read lease: the read and
+			// the grant happen atomically under the key's stripe lock.
+			vb, ok = m.dp.GrantRead(p, arg, read)
+		} else {
+			vb, ok = read()
+		}
 		if !ok {
 			return []byte{0}, cm.LocalOpNS
-		}
-		vb, err := m.vbox.Encode(v)
-		if err != nil {
-			panic(err)
 		}
 		// Table I: find = F + L + R.
 		return append([]byte{1}, vb...), cm.LocalOpNS + cm.MemTime(len(vb))
@@ -192,11 +228,11 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		apply := func() bool {
+		apply := dpApply(m.dp, p, arg, dataplane.PubClear, nil, func() bool {
 			ok := m.parts[p].Delete(k)
 			m.appendJournalDel(p, arg)
 			return ok
-		}
+		})
 		if m.repl == nil {
 			return boolByte(apply()), cm.LocalOpNS
 		}
@@ -235,10 +271,23 @@ func (m *UnorderedMap[K, V]) mutateLocal(r *cluster.Rank, p int, verb byte, kb, 
 func (m *UnorderedMap[K, V]) CrashNode(node int) {
 	if m.repl != nil {
 		m.repl.CrashNode(node)
+		m.fence(node)
 		return
 	}
 	if p, ok := m.byNode[node]; ok {
 		wipePart[K, V](m.parts[p])
+	}
+	m.fence(node)
+}
+
+// fence bumps the dataplane lease epoch of node's partition and wipes its
+// mirror, so no pre-crash lease or slot can serve another read.
+func (m *UnorderedMap[K, V]) fence(node int) {
+	if m.dp == nil {
+		return
+	}
+	if p, ok := m.byNode[node]; ok {
+		m.dp.Fence(p)
 	}
 }
 
@@ -250,7 +299,12 @@ func (m *UnorderedMap[K, V]) RepairNode(node int) error {
 	if m.repl == nil {
 		return nil
 	}
-	return m.repl.RepairNode(node)
+	err := m.repl.RepairNode(node)
+	// A second epoch bump on rejoin: leases granted between crash and
+	// repair (e.g. by a failover replica, were that ever added) can never
+	// match the post-repair epoch.
+	m.fence(node)
+	return err
 }
 
 // FlushReplication drains queued asynchronous forwards (ReplAsync mode).
@@ -292,14 +346,17 @@ func (m *UnorderedMap[K, V]) Merge(r *cluster.Rank, k K, v V) (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			return m.mutateLocal(r, p, replMerge, kb, vb, "merge", func() bool {
+			return m.mutateLocal(r, p, replMerge, kb, vb, "merge", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				isNew := m.mergeLocal(p, k, v)
 				m.journalMerged(p, kb, k)
 				return isNew
-			})
+			}))
 		}
-		isNew := m.mergeLocal(p, k, v)
-		m.journalMerged(p, kb, k)
+		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			n := m.mergeLocal(p, k, v)
+			m.journalMerged(p, kb, k)
+			return n
+		})()
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3, "umap", m.name, "merge")
 		return isNew, nil
 	}
@@ -331,15 +388,18 @@ func (m *UnorderedMap[K, V]) MergeAsync(r *cluster.Rank, k K, v V) *Future[bool]
 			if err != nil {
 				return immediateFuture(false, err)
 			}
-			isNew, rerr := m.mutateLocal(r, p, replMerge, kb, vb, "merge", func() bool {
+			isNew, rerr := m.mutateLocal(r, p, replMerge, kb, vb, "merge", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				n := m.mergeLocal(p, k, v)
 				m.journalMerged(p, kb, k)
 				return n
-			})
+			}))
 			return immediateFuture(isNew, rerr)
 		}
-		isNew := m.mergeLocal(p, k, v)
-		m.journalMerged(p, kb, k)
+		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			n := m.mergeLocal(p, k, v)
+			m.journalMerged(p, kb, k)
+			return n
+		})()
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3, "umap", m.name, "merge")
 		return immediateFuture(isNew, nil)
 	}
@@ -368,19 +428,22 @@ func (m *UnorderedMap[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 			if err != nil {
 				return false, fmt.Errorf("hcl: %s: encode value: %w", m.name, err)
 			}
-			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", func() bool {
+			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", dpApply(m.dp, p, kb, dataplane.PubValue, vb, func() bool {
 				n := m.parts[p].Insert(k, v)
 				m.appendJournalPut(p, databox.EncodePair(kb, vb))
 				return n
-			})
+			}))
 			if rerr == nil && isNew {
 				m.chargeAlloc(r, node, len(kb)+len(vb))
 			}
 			return isNew, rerr
 		}
 		// Hybrid path: direct shared-memory access, no RPC, no
-		// serialization of the value.
-		isNew := m.parts[p].Insert(k, v)
+		// serialization of the value — so the mirror slot is cleared, not
+		// published (publishing would force the encode this path avoids).
+		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return m.parts[p].Insert(k, v)
+		})()
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
 		m.appendJournalEncoded(p, kb, v, m.vbox)
 		if isNew {
@@ -433,14 +496,16 @@ func (m *UnorderedMap[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool
 			if err != nil {
 				return immediateFuture(false, err)
 			}
-			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", func() bool {
+			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", dpApply(m.dp, p, kb, dataplane.PubValue, vb, func() bool {
 				n := m.parts[p].Insert(k, v)
 				m.appendJournalPut(p, databox.EncodePair(kb, vb))
 				return n
-			})
+			}))
 			return immediateFuture(isNew, rerr)
 		}
-		isNew := m.parts[p].Insert(k, v)
+		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return m.parts[p].Insert(k, v)
+		})()
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
 		m.appendJournalEncoded(p, kb, v, m.vbox)
 		return immediateFuture(isNew, nil)
@@ -464,6 +529,19 @@ func (m *UnorderedMap[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 		return zero, false, err
 	}
 	node := m.servers[p]
+	// Lease cache: a mutation cannot ack while a lease on k is live, so an
+	// unexpired, unfenced lease answers without touching the network.
+	if vb, ok, hit := m.dp.CacheGet(p, kb, r.Clock().Now()); hit {
+		m.rt.localCharge(r, len(kb), 1, "umap", m.name, "find")
+		if !ok {
+			return zero, false, nil
+		}
+		v, derr := m.vbox.Decode(vb)
+		if derr != nil {
+			return zero, false, derr
+		}
+		return v, true, nil
+	}
 	if m.opt.hybrid && node == r.Node() && (m.repl == nil || !m.repl.isDead(p)) {
 		v, ok := m.parts[p].Find(k)
 		sz := len(kb)
@@ -472,6 +550,15 @@ func (m *UnorderedMap[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 		}
 		m.rt.localCharge(r, sz, 2, "umap", m.name, "find")
 		return v, ok, nil
+	}
+	// Per-op route decision: an uncontended read-mostly partition is read
+	// with one one-sided fetch of its mirror slot; everything else (and any
+	// mirror miss) takes the authoritative RoR invocation below.
+	if vb, ok := dpRouteRead(m.dp, r, p, kb); ok {
+		v, derr := m.vbox.Decode(vb)
+		if derr == nil {
+			return v, true, nil
+		}
 	}
 	resp, err := m.rt.engine.Invoke(r, node, m.fn("find"), kb)
 	if err != nil {
@@ -503,10 +590,26 @@ func (m *UnorderedMap[K, V]) FindAsync(r *cluster.Rank, k K) *Future[FindResult[
 		return immediateFuture(FindResult[V]{}, err)
 	}
 	node := m.servers[p]
+	if vb, ok, hit := m.dp.CacheGet(p, kb, r.Clock().Now()); hit {
+		m.rt.localCharge(r, len(kb), 1, "umap", m.name, "find")
+		if !ok {
+			return immediateFuture(FindResult[V]{}, nil)
+		}
+		v, derr := m.vbox.Decode(vb)
+		if derr != nil {
+			return immediateFuture(FindResult[V]{}, derr)
+		}
+		return immediateFuture(FindResult[V]{Value: v, OK: true}, nil)
+	}
 	if m.opt.hybrid && node == r.Node() {
 		v, ok := m.parts[p].Find(k)
 		m.rt.localCharge(r, len(kb), 2, "umap", m.name, "find")
 		return immediateFuture(FindResult[V]{Value: v, OK: ok}, nil)
+	}
+	if vb, ok := dpRouteRead(m.dp, r, p, kb); ok {
+		if v, derr := m.vbox.Decode(vb); derr == nil {
+			return immediateFuture(FindResult[V]{Value: v, OK: true}, nil)
+		}
 	}
 	raw := m.rt.engine.InvokeAsync(r, node, m.fn("find"), kb)
 	return remoteFuture(raw, func(resp []byte) (FindResult[V], error) {
@@ -539,14 +642,17 @@ func (m *UnorderedMap[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
 		if m.repl != nil {
-			return m.mutateLocal(r, p, replDel, kb, nil, "erase", func() bool {
+			return m.mutateLocal(r, p, replDel, kb, nil, "erase", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				ok := m.parts[p].Delete(k)
 				m.appendJournalDel(p, kb)
 				return ok
-			})
+			}))
 		}
-		ok := m.parts[p].Delete(k)
-		m.appendJournalDel(p, kb)
+		ok := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			n := m.parts[p].Delete(k)
+			m.appendJournalDel(p, kb)
+			return n
+		})()
 		m.rt.localCharge(r, len(kb), 2, "umap", m.name, "erase")
 		return ok, nil
 	}

@@ -8,6 +8,7 @@ import (
 	"hcl/internal/cluster"
 	"hcl/internal/containers"
 	"hcl/internal/databox"
+	"hcl/internal/dataplane"
 	"hcl/internal/fabric"
 )
 
@@ -24,6 +25,7 @@ type UnorderedSet[K comparable] struct {
 	byNode  map[int]int
 	kbox    *databox.Box[K]
 	repl    *replGroup[K, struct{}]
+	dp      *dataplane.Plane
 }
 
 // NewUnorderedSet constructs a distributed unordered set named name.
@@ -57,7 +59,20 @@ func NewUnorderedSet[K comparable](rt *Runtime, name string, opts ...Option) (*U
 	s.repl = newReplGroup(rt, name, s.fn(""), servers, s.byNode,
 		func(p int) replPart[K, struct{}] { return s.parts[p] },
 		s.kbox, nil, true, o)
+	s.dp = newPlane(rt, "uset", name, servers, o, true)
 	s.bind()
+	if s.dp != nil {
+		// Client-side cache check before aggregation: a membership test
+		// answered by an unexpired lease never joins a batch bucket.
+		rt.engine.SetReadThrough(s.fn("find"), func(arg []byte) ([]byte, bool) {
+			p := int(StableHash64(arg) % uint64(len(servers)))
+			_, ok, hit := s.dp.CacheGet(p, arg, 0)
+			if !hit {
+				return nil, false
+			}
+			return boolByte(ok), true
+		})
+	}
 	return s, nil
 }
 
@@ -87,12 +102,15 @@ func (s *UnorderedSet[K]) bind() {
 			panic(err)
 		}
 		cost := cm.LocalOpNS + cm.MemTime(len(arg))
-		if s.repl == nil {
-			return boolByte(s.parts[p].Insert(k, struct{}{})), cost
-		}
-		isNew, fcost, rerr := s.repl.mutate(p, replPut, arg, nil, func() bool {
+		// A set element's mirror entry is presence itself: PubValue with an
+		// empty value publishes "k is a member" to one-sided readers.
+		apply := dpApply(s.dp, p, arg, dataplane.PubValue, nil, func() bool {
 			return s.parts[p].Insert(k, struct{}{})
 		})
+		if s.repl == nil {
+			return boolByte(apply()), cost
+		}
+		isNew, fcost, rerr := s.repl.mutate(p, replPut, arg, nil, apply)
 		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(s.fn("find"), func(node int, arg []byte) ([]byte, int64) {
@@ -106,6 +124,12 @@ func (s *UnorderedSet[K]) bind() {
 		if err != nil {
 			panic(err)
 		}
+		if s.dp != nil {
+			_, ok := s.dp.GrantRead(p, arg, func() ([]byte, bool) {
+				return nil, s.parts[p].Contains(k)
+			})
+			return boolByte(ok), cm.LocalOpNS
+		}
 		return boolByte(s.parts[p].Contains(k)), cm.LocalOpNS
 	})
 	e.Bind(s.fn("erase"), func(node int, arg []byte) ([]byte, int64) {
@@ -114,12 +138,13 @@ func (s *UnorderedSet[K]) bind() {
 		if err != nil {
 			panic(err)
 		}
-		if s.repl == nil {
-			return boolByte(s.parts[p].Delete(k)), cm.LocalOpNS
-		}
-		ok, fcost, rerr := s.repl.mutate(p, replDel, arg, nil, func() bool {
+		apply := dpApply(s.dp, p, arg, dataplane.PubClear, nil, func() bool {
 			return s.parts[p].Delete(k)
 		})
+		if s.repl == nil {
+			return boolByte(apply()), cm.LocalOpNS
+		}
+		ok, fcost, rerr := s.repl.mutate(p, replDel, arg, nil, apply)
 		return mutResp(ok, rerr), cm.LocalOpNS + fcost
 	})
 	e.Bind(s.fn("resize"), func(node int, arg []byte) ([]byte, int64) {
@@ -145,11 +170,13 @@ func (s *UnorderedSet[K]) Insert(r *cluster.Rank, k K) (bool, error) {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		if s.repl != nil {
-			return s.mutateLocal(r, p, replPut, kb, "insert", func() bool {
+			return s.mutateLocal(r, p, replPut, kb, "insert", dpApply(s.dp, p, kb, dataplane.PubValue, nil, func() bool {
 				return s.parts[p].Insert(k, struct{}{})
-			})
+			}))
 		}
-		isNew := s.parts[p].Insert(k, struct{}{})
+		isNew := dpApply(s.dp, p, kb, dataplane.PubValue, nil, func() bool {
+			return s.parts[p].Insert(k, struct{}{})
+		})()
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "insert")
 		return isNew, nil
 	}
@@ -178,10 +205,23 @@ func (s *UnorderedSet[K]) mutateLocal(r *cluster.Rank, p int, verb byte, kb []by
 func (s *UnorderedSet[K]) CrashNode(node int) {
 	if s.repl != nil {
 		s.repl.CrashNode(node)
+		s.fence(node)
 		return
 	}
 	if p, ok := s.byNode[node]; ok {
 		wipePart[K, struct{}](s.parts[p])
+	}
+	s.fence(node)
+}
+
+// fence bumps the dataplane lease epoch of node's partition and wipes its
+// mirror, so no pre-crash lease or slot can serve another read.
+func (s *UnorderedSet[K]) fence(node int) {
+	if s.dp == nil {
+		return
+	}
+	if p, ok := s.byNode[node]; ok {
+		s.dp.Fence(p)
 	}
 }
 
@@ -191,7 +231,9 @@ func (s *UnorderedSet[K]) RepairNode(node int) error {
 	if s.repl == nil {
 		return nil
 	}
-	return s.repl.RepairNode(node)
+	err := s.repl.RepairNode(node)
+	s.fence(node)
+	return err
 }
 
 // FlushReplication drains queued asynchronous forwards (ReplAsync mode).
@@ -210,12 +252,14 @@ func (s *UnorderedSet[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		if s.repl != nil {
-			isNew, rerr := s.mutateLocal(r, p, replPut, kb, "insert", func() bool {
+			isNew, rerr := s.mutateLocal(r, p, replPut, kb, "insert", dpApply(s.dp, p, kb, dataplane.PubValue, nil, func() bool {
 				return s.parts[p].Insert(k, struct{}{})
-			})
+			}))
 			return immediateFuture(isNew, rerr)
 		}
-		isNew := s.parts[p].Insert(k, struct{}{})
+		isNew := dpApply(s.dp, p, kb, dataplane.PubValue, nil, func() bool {
+			return s.parts[p].Insert(k, struct{}{})
+		})()
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "insert")
 		return immediateFuture(isNew, nil)
 	}
@@ -233,10 +277,22 @@ func (s *UnorderedSet[K]) Find(r *cluster.Rank, k K) (bool, error) {
 		return false, err
 	}
 	node := s.servers[p]
+	// Lease cache: membership (or absence) cached until a mutation on k
+	// revokes it — the mutation cannot ack while the lease is live.
+	if _, ok, hit := s.dp.CacheGet(p, kb, r.Clock().Now()); hit {
+		s.rt.localCharge(r, len(kb), 1, "uset", s.name, "find")
+		return ok, nil
+	}
 	if s.opt.hybrid && node == r.Node() && (s.repl == nil || !s.repl.isDead(p)) {
 		ok := s.parts[p].Contains(k)
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "find")
 		return ok, nil
+	}
+	// Per-op route decision: a validated mirror slot proves membership with
+	// one one-sided read; misses (including genuine absence, which the
+	// mirror cannot represent) fall through to the RoR invocation.
+	if _, ok := dpRouteRead(s.dp, r, p, kb); ok {
+		return true, nil
 	}
 	resp, err := s.rt.engine.Invoke(r, node, s.fn("find"), kb)
 	if err != nil {
@@ -270,11 +326,13 @@ func (s *UnorderedSet[K]) Erase(r *cluster.Rank, k K) (bool, error) {
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
 		if s.repl != nil {
-			return s.mutateLocal(r, p, replDel, kb, "erase", func() bool {
+			return s.mutateLocal(r, p, replDel, kb, "erase", dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				return s.parts[p].Delete(k)
-			})
+			}))
 		}
-		ok := s.parts[p].Delete(k)
+		ok := dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return s.parts[p].Delete(k)
+		})()
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "erase")
 		return ok, nil
 	}

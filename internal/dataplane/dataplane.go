@@ -1,0 +1,324 @@
+// Package dataplane implements the adaptive hybrid dataplane: a per-op
+// routing policy that picks, for every container read, between the two
+// data-access models this repository carries —
+//
+//   - the one-sided model (internal/bcl's BCL-style client-side access):
+//     the client reads a partition's slot mirror with a single RDMA_READ
+//     and never involves the target CPU. The router picks it for
+//     uncontended, small-value point reads on read-mostly partitions,
+//     where Brock et al. measure one-sided access fastest;
+//   - the RoR model (internal/ror's RPC-over-RDMA engine): one invocation
+//     executed at the owning node. The router picks it for mutations,
+//     compound operations, hot partitions, and whenever the one-sided
+//     path's observed p99 falls behind the RPC path's.
+//
+// On top of routing, the package adds lease-based read caching for
+// read-mostly keys: the primary grants a bounded-TTL read lease when it
+// serves a find, mutations revoke every lease on the key synchronously
+// before they acknowledge, and crash/repair events fence whole partitions
+// by bumping a lease epoch that outstanding grants can never match.
+//
+// The decision model (signals, thresholds, hysteresis), the lease
+// protocol, and the tuning knobs are documented in docs/DATAPLANE.md.
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcl/internal/fabric"
+	"hcl/internal/metrics"
+)
+
+// Mode selects the dataplane policy of a container.
+type Mode int
+
+const (
+	// ModeOff disables the dataplane entirely (the default): no router,
+	// no mirror, no leases. Byte-identical to the pre-dataplane paths.
+	ModeOff Mode = iota
+	// ModeRoR pins the router to the RoR path. Reads and mutations behave
+	// exactly as with ModeOff, but route decisions are counted — the
+	// instrumented pure-RPC baseline of the A/B sweep.
+	ModeRoR
+	// ModeOneSided forces every eligible read down the one-sided mirror
+	// path (falling back to RoR only on a mirror miss). No leases: this
+	// is the faithful BCL client-side model, the sweep's other baseline.
+	ModeOneSided
+	// ModeAuto is the adaptive hybrid: the router decides per op from the
+	// partition's mutation-fraction EWMA, op-rate EWMA, and the observed
+	// one-sided vs RPC p99, with hysteresis; read leases are granted on
+	// read-mostly partitions and revoked synchronously by mutations.
+	ModeAuto
+)
+
+// String names the mode for logs and bench labels.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeRoR:
+		return "ror"
+	case ModeOneSided:
+		return "onesided"
+	case ModeAuto:
+		return "auto"
+	}
+	return "?"
+}
+
+// Route is a per-op routing decision.
+type Route int
+
+const (
+	// RouteRoR sends the op through the RPC-over-RDMA invocation path.
+	RouteRoR Route = iota
+	// RouteOneSided sends the read down the one-sided mirror path.
+	RouteOneSided
+)
+
+// PubAction tells a mutation wrapper what to do with the partition's slot
+// mirror after the primary applied the mutation.
+type PubAction int
+
+const (
+	// PubClear zeroes the key's slot: erases, merges (whose final value
+	// the wire payload does not carry), and hybrid-path mutations that
+	// never serialized a value. Readers fall back to RoR until the next
+	// published write.
+	PubClear PubAction = iota
+	// PubValue writes the key's new encoded value through to the slot
+	// before the mutation acks, so one-sided readers observe it.
+	PubValue
+)
+
+// Config tunes the dataplane policy. The zero value of every field selects
+// the documented default; see docs/DATAPLANE.md for the tuning guide.
+type Config struct {
+	// Mode selects the policy (default ModeOff).
+	Mode Mode
+	// Slots is the number of mirror slots per partition, rounded up to a
+	// power of two (default 4096).
+	Slots int
+	// SlotSize is the bytes per mirror slot (default 256). It must divide
+	// the memory segment's 4KiB stripe so a slot never crosses a write
+	// lock boundary; values are clamped to the nearest valid size.
+	SlotSize int
+	// LeaseTTL bounds how long a granted read lease may serve cache hits
+	// (default 250ms, wall clock). Correctness never depends on expiry —
+	// mutations revoke synchronously — so the TTL only bounds staleness
+	// against out-of-band state changes (e.g. an operator poking a
+	// partition behind the library's back).
+	LeaseTTL time.Duration
+	// MutEnter is the mutation-fraction EWMA below which a partition's
+	// reads enter the one-sided route (default 0.05).
+	MutEnter float64
+	// MutExit is the mutation-fraction EWMA above which a partition's
+	// reads exit back to RoR (default 0.25). MutEnter < MutExit is the
+	// hysteresis band that keeps routes from flapping.
+	MutExit float64
+	// HotOpsPerSec routes a partition's reads to RoR regardless of its
+	// mutation mix once its op-rate EWMA exceeds this many ops per
+	// virtual second (default 5e6). RoR aggregates hot-partition traffic;
+	// one-sided reads cannot.
+	HotOpsPerSec float64
+	// DwellOps is the minimum ops a partition must observe between two
+	// route flips (default 128).
+	DwellOps int
+	// EWMAAlpha is the per-op smoothing factor of both EWMAs (default 1/64).
+	EWMAAlpha float64
+	// ProbeEvery is the per-partition op cadence of the p99 probe, which
+	// compares the one-sided and RPC read histograms (default 512).
+	ProbeEvery int
+	// P99Ratio biases a partition to RoR while the one-sided read p99
+	// exceeds P99Ratio times the RPC find p99 (default 1.5) — the mirror
+	// is missing or contended, so probing it first only adds latency.
+	P99Ratio float64
+	// Now overrides the wall-clock source used for lease expiry (tests).
+	Now func() int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots <= 0 {
+		c.Slots = 4096
+	}
+	// Round Slots to a power of two so slot indexing is a mask.
+	s := 1
+	for s < c.Slots {
+		s <<= 1
+	}
+	c.Slots = s
+	if c.SlotSize <= 0 {
+		c.SlotSize = 256
+	}
+	// A slot must divide the 4KiB segment stripe; clamp to the largest
+	// power-of-two size <= requested, within [64, 4096].
+	ss := 64
+	for ss*2 <= c.SlotSize && ss*2 <= 4096 {
+		ss *= 2
+	}
+	c.SlotSize = ss
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 250 * time.Millisecond
+	}
+	if c.MutEnter <= 0 {
+		c.MutEnter = 0.05
+	}
+	if c.MutExit <= 0 {
+		c.MutExit = 0.25
+	}
+	if c.MutExit <= c.MutEnter {
+		c.MutExit = c.MutEnter * 2
+	}
+	if c.HotOpsPerSec <= 0 {
+		c.HotOpsPerSec = 5e6
+	}
+	if c.DwellOps <= 0 {
+		c.DwellOps = 128
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha >= 1 {
+		c.EWMAAlpha = 1.0 / 64
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 512
+	}
+	if c.P99Ratio <= 1 {
+		c.P99Ratio = 1.5
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	return c
+}
+
+// Deps wires a Plane to its container: the provider for one-sided verbs,
+// the partition placement, and the metrics surface.
+type Deps struct {
+	// Prov issues the one-sided mirror reads and registers mirror
+	// segments. Required when the mode mirrors (ModeOneSided, ModeAuto
+	// with Mirror set).
+	Prov fabric.Provider
+	// Nodes maps partition index to owning node.
+	Nodes []int
+	// Col returns the current metrics collector (may return nil).
+	Col func() *metrics.Collector
+	// HistOneSided and HistRPC name the latency histograms the p99 probe
+	// compares (e.g. "onesided.umap.m.find" vs "rpc.umap.m.find").
+	HistOneSided string
+	HistRPC string
+	// Mirror enables the per-partition slot mirror. Containers whose
+	// reads cannot use fixed-size slots (ordered scans) leave it false
+	// and get routing + leases only.
+	Mirror bool
+}
+
+// Plane is one container's dataplane: router state, lease table, and slot
+// mirrors. All methods are safe for concurrent use. A nil *Plane is inert:
+// callers must check for nil before use (the containers do).
+type Plane struct {
+	cfg  Config
+	deps Deps
+
+	parts   []partState
+	mirrors []*Mirror
+
+	stripes [leaseStripes]sync.Mutex
+	leaseMu sync.RWMutex
+	leases  map[string]leaseEntry
+	epochs  []atomic.Uint64
+}
+
+// New builds a Plane for a container with len(deps.Nodes) partitions.
+func New(cfg Config, deps Deps) *Plane {
+	cfg = cfg.withDefaults()
+	pl := &Plane{
+		cfg:    cfg,
+		deps:   deps,
+		parts:  make([]partState, len(deps.Nodes)),
+		leases: make(map[string]leaseEntry),
+		epochs: make([]atomic.Uint64, len(deps.Nodes)),
+	}
+	if deps.Mirror && cfg.Mode != ModeRoR && deps.Prov != nil {
+		pl.mirrors = make([]*Mirror, len(deps.Nodes))
+		for p, node := range deps.Nodes {
+			pl.mirrors[p] = newMirror(deps.Prov, node, cfg.Slots, cfg.SlotSize)
+		}
+	}
+	return pl
+}
+
+// Mode reports the plane's policy mode.
+func (pl *Plane) Mode() Mode { return pl.cfg.Mode }
+
+// Mirrored reports whether partition p has a slot mirror.
+func (pl *Plane) Mirrored(p int) bool {
+	return pl != nil && pl.mirrors != nil && pl.mirrors[p] != nil
+}
+
+// Epoch reports partition p's current lease epoch (fencing generation).
+func (pl *Plane) Epoch(p int) uint64 { return pl.epochs[p].Load() }
+
+// count adds v to kind at the partition's node, tolerating a nil collector.
+func (pl *Plane) count(kind metrics.Kind, p int, t int64, v float64) {
+	if col := pl.deps.Col(); col != nil {
+		col.Add(kind, pl.deps.Nodes[p], t, v)
+	}
+}
+
+// observe records a latency into the named histogram.
+func (pl *Plane) observe(name string, ns int64) {
+	if name == "" {
+		return
+	}
+	if col := pl.deps.Col(); col != nil {
+		col.Observe(name, ns)
+	}
+}
+
+// MirrorRead attempts a one-sided read of kb's slot on partition p. It
+// returns the slot's encoded value and true on a validated hit; any miss,
+// checksum mismatch (torn concurrent publish), fabric error, or absent
+// mirror returns false and the caller falls back to the authoritative RoR
+// path. The read's virtual latency is observed in the one-sided histogram
+// so the router's p99 probe sees real data.
+func (pl *Plane) MirrorRead(clk *fabric.Clock, ref fabric.RankRef, p int, kb []byte) ([]byte, bool) {
+	if pl == nil || pl.mirrors == nil || pl.mirrors[p] == nil {
+		return nil, false
+	}
+	t0 := clk.Now()
+	vb, ok := pl.mirrors[p].Read(clk, ref, kb)
+	pl.observe(pl.deps.HistOneSided, clk.Now()-t0)
+	return vb, ok
+}
+
+// Fence invalidates every read-side shortcut of partition p: the lease
+// epoch is bumped (so grants that raced the fence die on their first hit),
+// all cached leases for p are purged, and the slot mirror is wiped. Called
+// by CrashNode and after RepairNode — the PR 5 epoch-bump events.
+func (pl *Plane) Fence(p int) {
+	if pl == nil {
+		return
+	}
+	pl.epochs[p].Add(1)
+	pl.leaseMu.Lock()
+	for k, e := range pl.leases {
+		if e.part == p {
+			delete(pl.leases, k)
+		}
+	}
+	pl.leaseMu.Unlock()
+	if pl.mirrors != nil && pl.mirrors[p] != nil {
+		pl.mirrors[p].Wipe()
+	}
+}
+
+// Reader exposes partition p's mirror read protocol for BCL-style direct
+// clients (internal/bcl's shared fast-path entry). Returns a zero SlotReader
+// when p has no mirror.
+func (pl *Plane) Reader(p int) SlotReader {
+	if pl == nil || pl.mirrors == nil || pl.mirrors[p] == nil {
+		return SlotReader{}
+	}
+	return pl.mirrors[p].Reader()
+}

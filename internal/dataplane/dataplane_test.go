@@ -1,0 +1,321 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+)
+
+func testPlane(t *testing.T, mode Mode, mirror bool) (*Plane, *metrics.Collector, func()) {
+	t.Helper()
+	sim := simfab.New(2, fabric.DefaultCostModel())
+	col := metrics.New(1e9)
+	pl := New(Config{Mode: mode}, Deps{
+		Prov:         sim,
+		Nodes:        []int{1},
+		Col:          func() *metrics.Collector { return col },
+		HistOneSided: "onesided.test.find",
+		HistRPC:      "rpc.test.find",
+		Mirror:       mirror,
+	})
+	return pl, col, func() { sim.Close() }
+}
+
+func clientRef() (*fabric.Clock, fabric.RankRef) {
+	return fabric.NewClock(0), fabric.RankRef{Rank: 0, Node: 0}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Slots != 4096 || c.SlotSize != 256 {
+		t.Fatalf("mirror defaults: slots=%d slotSize=%d", c.Slots, c.SlotSize)
+	}
+	if c.MutEnter >= c.MutExit {
+		t.Fatalf("hysteresis band inverted: enter=%v exit=%v", c.MutEnter, c.MutExit)
+	}
+	if 4096%c.SlotSize != 0 {
+		t.Fatalf("slot size %d does not divide the 4KiB stripe", c.SlotSize)
+	}
+	c2 := Config{Slots: 100, SlotSize: 200}.withDefaults()
+	if c2.Slots != 128 || c2.SlotSize != 128 {
+		t.Fatalf("rounding: slots=%d slotSize=%d", c2.Slots, c2.SlotSize)
+	}
+}
+
+func TestMirrorPublishReadClear(t *testing.T) {
+	pl, _, done := testPlane(t, ModeOneSided, true)
+	defer done()
+	clk, ref := clientRef()
+	kb, vb := []byte("key-one"), []byte("value-one")
+
+	if _, ok := pl.MirrorRead(clk, ref, 0, kb); ok {
+		t.Fatal("empty mirror served a hit")
+	}
+	mr := pl.mirrors[0]
+	mr.Publish(kb, vb)
+	got, ok := pl.MirrorRead(clk, ref, 0, kb)
+	if !ok || string(got) != string(vb) {
+		t.Fatalf("mirror read: got %q ok=%v", got, ok)
+	}
+	// A different key mapping elsewhere must miss.
+	if _, ok := pl.MirrorRead(clk, ref, 0, []byte("other-key")); ok {
+		t.Fatal("mirror served a key never published")
+	}
+	mr.Clear(kb)
+	if _, ok := pl.MirrorRead(clk, ref, 0, kb); ok {
+		t.Fatal("mirror served a cleared slot")
+	}
+	// Oversized values clear rather than publish a truncation.
+	big := make([]byte, 1024)
+	mr.Publish(kb, big)
+	if _, ok := pl.MirrorRead(clk, ref, 0, kb); ok {
+		t.Fatal("mirror served an oversized entry")
+	}
+	mr.Publish(kb, vb)
+	mr.Wipe()
+	if _, ok := pl.MirrorRead(clk, ref, 0, kb); ok {
+		t.Fatal("mirror served after a wipe")
+	}
+}
+
+func TestMirrorEmptyValue(t *testing.T) {
+	// Key-only containers publish presence with a zero-length value.
+	pl, _, done := testPlane(t, ModeAuto, true)
+	defer done()
+	clk, ref := clientRef()
+	kb := []byte("set-member")
+	pl.mirrors[0].Publish(kb, nil)
+	got, ok := pl.MirrorRead(clk, ref, 0, kb)
+	if !ok || len(got) != 0 {
+		t.Fatalf("presence read: got %q ok=%v", got, ok)
+	}
+}
+
+func TestRouterHysteresis(t *testing.T) {
+	pl, col, done := testPlane(t, ModeAuto, true)
+	defer done()
+	cfg := pl.cfg
+	// Fresh partition starts on RoR (conservative) and needs DwellOps
+	// read-mostly ops before it may flip.
+	if got := pl.RouteRead(0, 0); got != RouteRoR {
+		t.Fatalf("initial route = %v, want RoR", got)
+	}
+	for i := 0; i < cfg.DwellOps+1; i++ {
+		pl.RouteRead(0, 0)
+	}
+	if got := pl.RouteRead(0, 0); got != RouteOneSided {
+		t.Fatalf("after %d pure reads route = %v, want one-sided (mutEWMA=%v)",
+			cfg.DwellOps, got, pl.PartState(0).MutEWMA)
+	}
+	// A sustained 50% mutation mix holds the EWMA over MutExit; after the
+	// dwell the reads must exit back to RoR.
+	for i := 0; i < 3*cfg.DwellOps; i++ {
+		pl.noteMutation(0)
+		pl.RouteRead(0, 0)
+	}
+	if st := pl.PartState(0); st.MutEWMA <= cfg.MutExit {
+		t.Fatalf("mutEWMA %v did not cross exit threshold %v", st.MutEWMA, cfg.MutExit)
+	}
+	if got := pl.PartState(0).Route; got != RouteRoR {
+		t.Fatalf("hot-mutation partition still routed %v", got)
+	}
+	if col.Total(metrics.RouteOneSided, -1) == 0 || col.Total(metrics.RouteRoR, -1) == 0 {
+		t.Fatal("route decisions were not counted")
+	}
+}
+
+func TestRouterForcedModes(t *testing.T) {
+	one, _, done1 := testPlane(t, ModeOneSided, true)
+	defer done1()
+	ror, _, done2 := testPlane(t, ModeRoR, true)
+	defer done2()
+	for i := 0; i < 10; i++ {
+		if one.RouteRead(0, 0) != RouteOneSided {
+			t.Fatal("ModeOneSided routed RoR")
+		}
+		if ror.RouteRead(0, 0) != RouteRoR {
+			t.Fatal("ModeRoR routed one-sided")
+		}
+	}
+}
+
+func TestRouterHotPartition(t *testing.T) {
+	sim := simfab.New(2, fabric.DefaultCostModel())
+	defer sim.Close()
+	col := metrics.New(1e9)
+	pl := New(Config{Mode: ModeAuto, HotOpsPerSec: 1e6, DwellOps: 8}, Deps{
+		Prov: sim, Nodes: []int{1},
+		Col:    func() *metrics.Collector { return col },
+		Mirror: true,
+	})
+	// 100ns between ops = 1e7 ops/s, far above the 1e6 threshold: the
+	// partition is hot and reads must stay on RoR even with zero mutations.
+	now := int64(0)
+	for i := 0; i < 256; i++ {
+		now += 100
+		pl.RouteRead(0, now)
+	}
+	if got := pl.PartState(0).Route; got != RouteRoR {
+		t.Fatalf("hot partition routed %v, want RoR (rate=%v)", got, pl.PartState(0).RateEWMA)
+	}
+}
+
+func TestLeaseGrantHitInvalidate(t *testing.T) {
+	pl, col, done := testPlane(t, ModeAuto, false)
+	defer done()
+	kb, vb := []byte("k"), []byte("v1")
+
+	if _, _, hit := pl.CacheGet(0, kb, 0); hit {
+		t.Fatal("hit before any grant")
+	}
+	got, ok := pl.GrantRead(0, kb, func() ([]byte, bool) { return vb, true })
+	if !ok || string(got) != "v1" {
+		t.Fatalf("grant read returned %q ok=%v", got, ok)
+	}
+	cv, cok, hit := pl.CacheGet(0, kb, 0)
+	if !hit || !cok || string(cv) != "v1" {
+		t.Fatalf("cache get: %q ok=%v hit=%v", cv, cok, hit)
+	}
+	ran := false
+	pl.WrapMutation(0, kb, PubClear, nil, func() bool {
+		// The revocation must precede the apply: no lease may be
+		// outstanding while the mutation is in flight.
+		if pl.LeaseLen() != 0 {
+			t.Error("lease still outstanding inside apply")
+		}
+		ran = true
+		return true
+	})
+	if !ran {
+		t.Fatal("apply did not run")
+	}
+	if _, _, hit := pl.CacheGet(0, kb, 0); hit {
+		t.Fatal("hit after invalidation")
+	}
+	if col.Total(metrics.LeaseHits, -1) != 1 || col.Total(metrics.LeaseInvalidations, -1) != 1 {
+		t.Fatalf("counters: hits=%v invals=%v",
+			col.Total(metrics.LeaseHits, -1), col.Total(metrics.LeaseInvalidations, -1))
+	}
+}
+
+func TestLeaseCachesAbsence(t *testing.T) {
+	pl, _, done := testPlane(t, ModeAuto, false)
+	defer done()
+	kb := []byte("missing")
+	pl.GrantRead(0, kb, func() ([]byte, bool) { return nil, false })
+	_, ok, hit := pl.CacheGet(0, kb, 0)
+	if !hit || ok {
+		t.Fatalf("absence lease: ok=%v hit=%v", ok, hit)
+	}
+}
+
+// TestLeaseOrderingUnderRace drives the exact race the stripe lock exists
+// for: a grant (read old value, record lease) racing a mutation
+// (revoke, apply new value). Whatever the interleaving, a lease observed
+// after the mutation acked must never carry the old value.
+func TestLeaseOrderingUnderRace(t *testing.T) {
+	pl, _, done := testPlane(t, ModeAuto, false)
+	defer done()
+	kb := []byte("contended")
+
+	var mu sync.Mutex
+	val := []byte("old")
+	read := func() ([]byte, bool) {
+		mu.Lock()
+		v := append([]byte(nil), val...)
+		mu.Unlock()
+		return v, true
+	}
+	for iter := 0; iter < 200; iter++ {
+		mu.Lock()
+		val = []byte("old")
+		mu.Unlock()
+		pl.GrantRead(0, kb, read)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			pl.GrantRead(0, kb, read)
+		}()
+		go func() {
+			defer wg.Done()
+			pl.WrapMutation(0, kb, PubClear, nil, func() bool {
+				mu.Lock()
+				val = []byte("new")
+				mu.Unlock()
+				return true
+			})
+		}()
+		wg.Wait()
+		// The mutation has acked. Any surviving lease must be the new value.
+		if vb, ok, hit := pl.CacheGet(0, kb, 0); hit && ok && string(vb) == "old" {
+			t.Fatalf("iter %d: stale lease (old value) after mutation ack", iter)
+		}
+	}
+}
+
+func TestFenceEpochAndPurge(t *testing.T) {
+	pl, _, done := testPlane(t, ModeAuto, true)
+	defer done()
+	clk, ref := clientRef()
+	kb, vb := []byte("fenced-key"), []byte("v")
+
+	pl.GrantRead(0, kb, func() ([]byte, bool) { return vb, true })
+	pl.mirrors[0].Publish(kb, vb)
+	e0 := pl.Epoch(0)
+	pl.Fence(0)
+	if pl.Epoch(0) != e0+1 {
+		t.Fatalf("epoch not bumped: %d -> %d", e0, pl.Epoch(0))
+	}
+	if _, _, hit := pl.CacheGet(0, kb, 0); hit {
+		t.Fatal("pre-fence lease served after fence")
+	}
+	if _, ok := pl.MirrorRead(clk, ref, 0, kb); ok {
+		t.Fatal("pre-fence mirror entry served after fence")
+	}
+	// A grant that raced the fence (recorded with the old epoch) must be
+	// rejected at hit time even though it was inserted after the purge.
+	pl.leaseMu.Lock()
+	pl.leases[string(kb)] = leaseEntry{vb: vb, ok: true, part: 0, epoch: e0, exp: pl.cfg.Now() + int64(time.Hour)}
+	pl.leaseMu.Unlock()
+	if _, _, hit := pl.CacheGet(0, kb, 0); hit {
+		t.Fatal("old-epoch lease served after fence")
+	}
+}
+
+func TestLeaseTTLExpiry(t *testing.T) {
+	sim := simfab.New(2, fabric.DefaultCostModel())
+	defer sim.Close()
+	now := int64(0)
+	pl := New(Config{Mode: ModeAuto, LeaseTTL: time.Microsecond, Now: func() int64 { return now }},
+		Deps{Prov: sim, Nodes: []int{1}, Col: func() *metrics.Collector { return nil }})
+	kb := []byte("ttl")
+	pl.GrantRead(0, kb, func() ([]byte, bool) { return []byte("v"), true })
+	if _, _, hit := pl.CacheGet(0, kb, 0); !hit {
+		t.Fatal("fresh lease did not serve")
+	}
+	now += 2 * time.Microsecond.Nanoseconds()
+	if _, _, hit := pl.CacheGet(0, kb, 0); hit {
+		t.Fatal("expired lease served")
+	}
+}
+
+func TestNilPlaneIsInert(t *testing.T) {
+	var pl *Plane
+	if _, _, hit := pl.CacheGet(0, []byte("k"), 0); hit {
+		t.Fatal("nil plane cache hit")
+	}
+	if pl.RouteRead(0, 0) != RouteRoR {
+		t.Fatal("nil plane routed one-sided")
+	}
+	ran := false
+	pl.WrapMutation(0, []byte("k"), PubClear, nil, func() bool { ran = true; return true })
+	if !ran {
+		t.Fatal("nil plane swallowed apply")
+	}
+	pl.Fence(0)
+}

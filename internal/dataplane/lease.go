@@ -1,0 +1,138 @@
+package dataplane
+
+import (
+	"hash/fnv"
+
+	"hcl/internal/metrics"
+)
+
+// The lease protocol, in one place (sequence diagram in docs/DATAPLANE.md):
+//
+//	grant   (find handler):  lock stripe(k) -> read primary -> record
+//	                         lease {value, epoch(p), now+TTL} -> unlock
+//	revoke  (mutation):      lock stripe(k) -> delete lease (counted) ->
+//	                         apply at primary -> publish/clear mirror ->
+//	                         unlock -> ack
+//	hit     (client read):   lease present && epoch == epoch(p) &&
+//	                         now < expiry -> serve locally
+//	fence   (crash/repair):  epoch(p)++ -> purge leases of p -> wipe mirror
+//
+// The stripe lock is the ordering heart: because grant holds it across
+// read+record and revoke holds it across delete+apply, a grant can never
+// re-install a value that a concurrent mutation has already superseded —
+// the mutation cannot ack while a lease recording the old value is being
+// (or could still be) installed. Lock order is replication-lock (outer,
+// taken by replGroup.mutate) then stripe (inner); reads take only the
+// stripe, so the pair cannot deadlock.
+
+const leaseStripes = 128
+
+type leaseEntry struct {
+	vb    []byte
+	ok    bool // key present at grant time (absence is cacheable too)
+	part  int
+	epoch uint64
+	exp   int64 // wall-clock ns deadline
+}
+
+func stripeOf(kb []byte) int {
+	h := fnv.New32a()
+	h.Write(kb)
+	return int(h.Sum32() % leaseStripes)
+}
+
+// CacheGet serves a read from an unexpired, unfenced lease. It returns
+// (encoded value, present, hit); hit=false means no usable lease and the
+// caller proceeds to route the read. Hits are counted as hcl_lease_hits.
+func (pl *Plane) CacheGet(p int, kb []byte, vnow int64) ([]byte, bool, bool) {
+	if pl == nil || pl.cfg.Mode != ModeAuto {
+		return nil, false, false
+	}
+	pl.leaseMu.RLock()
+	e, found := pl.leases[string(kb)]
+	pl.leaseMu.RUnlock()
+	if !found || e.epoch != pl.epochs[p].Load() || pl.cfg.Now() >= e.exp {
+		return nil, false, false
+	}
+	pl.count(metrics.LeaseHits, p, vnow, 1)
+	return e.vb, e.ok, true
+}
+
+// GrantRead runs the server-side read under the key's stripe lock and, in
+// ModeAuto, records a read lease for the result. read returns the encoded
+// value and presence; both are returned unchanged. The find handlers call
+// this so the grant and the read are one atomic step with respect to
+// revocation.
+func (pl *Plane) GrantRead(p int, kb []byte, read func() ([]byte, bool)) ([]byte, bool) {
+	if pl == nil || pl.cfg.Mode != ModeAuto {
+		return read()
+	}
+	s := &pl.stripes[stripeOf(kb)]
+	s.Lock()
+	vb, ok := read()
+	// kb and vb may alias transport buffers that are reused after the
+	// handler returns; the recorded lease needs stable copies.
+	e := leaseEntry{
+		ok:    ok,
+		part:  p,
+		epoch: pl.epochs[p].Load(),
+		exp:   pl.cfg.Now() + pl.cfg.LeaseTTL.Nanoseconds(),
+	}
+	if ok {
+		e.vb = append([]byte(nil), vb...)
+	}
+	pl.leaseMu.Lock()
+	pl.leases[string(kb)] = e
+	pl.leaseMu.Unlock()
+	s.Unlock()
+	return vb, ok
+}
+
+// WrapMutation runs apply — the primary-side effect of one mutation —
+// inside the lease-revocation critical section: any lease on kb is revoked
+// first (counted as hcl_lease_invalidations), then apply runs, then the
+// slot mirror is updated (PubValue writes vb through, PubClear zeroes the
+// slot), all under the key's stripe lock and therefore all before the
+// mutation can ack. Returns apply's result.
+//
+// Callers pass this as the apply closure to replGroup.mutate (or run it
+// directly on unreplicated paths), so on quorum failure nothing runs and
+// no lease is disturbed — exactly mirroring "nothing was applied".
+func (pl *Plane) WrapMutation(p int, kb []byte, act PubAction, vb []byte, apply func() bool) bool {
+	if pl == nil {
+		return apply()
+	}
+	pl.noteMutation(p)
+	if pl.cfg.Mode == ModeRoR {
+		return apply()
+	}
+	s := &pl.stripes[stripeOf(kb)]
+	s.Lock()
+	if pl.cfg.Mode == ModeAuto {
+		pl.leaseMu.Lock()
+		if _, found := pl.leases[string(kb)]; found {
+			delete(pl.leases, string(kb))
+			pl.leaseMu.Unlock()
+			pl.count(metrics.LeaseInvalidations, p, 0, 1)
+		} else {
+			pl.leaseMu.Unlock()
+		}
+	}
+	res := apply()
+	if pl.mirrors != nil && pl.mirrors[p] != nil {
+		if act == PubValue {
+			pl.mirrors[p].Publish(kb, vb)
+		} else {
+			pl.mirrors[p].Clear(kb)
+		}
+	}
+	s.Unlock()
+	return res
+}
+
+// LeaseLen reports the number of recorded leases (tests).
+func (pl *Plane) LeaseLen() int {
+	pl.leaseMu.RLock()
+	defer pl.leaseMu.RUnlock()
+	return len(pl.leases)
+}

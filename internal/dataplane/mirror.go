@@ -1,0 +1,171 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+)
+
+// Mirror is a partition's one-sided read mirror: a fixed-slot segment
+// registered with the fabric so clients can fetch a key's latest published
+// value with a single RDMA_READ — the BCL access model applied as a cache
+// in front of the authoritative RoR-managed partition.
+//
+// Slot layout ([mirrorHdr]=24 bytes of header):
+//
+//	[ 0: 8]  csum  FNV-1a over bytes [8 : 24+klen+vlen]
+//	[ 8:16]  fp    full 64-bit key fingerprint
+//	[16:20]  klen  encoded key length
+//	[20:24]  vlen  encoded value length
+//	[24:  ]  key bytes, then value bytes
+//
+// Addressing is direct (fp & mask) with no probing: the mirror is a cache,
+// so a colliding publish simply evicts. The slot size divides the memory
+// segment's 4KiB write-lock stripe, so a publish never spans two stripes;
+// a read racing a publish can still observe a torn mix of 8-byte words
+// (segment bulk reads are per-word atomic, not transactional), which the
+// checksum detects and turns into a miss. Absence is not representable:
+// erases clear the slot and absent keys always fall through to RoR.
+type Mirror struct {
+	prov     fabric.Provider
+	node     int
+	segID    int
+	seg      *memory.Segment
+	slots    int // power of two
+	slotSize int
+}
+
+const mirrorHdr = 24
+
+func fingerprint(kb []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(kb)
+	return h.Sum64()
+}
+
+func newMirror(prov fabric.Provider, node, slots, slotSize int) *Mirror {
+	seg := memory.NewSegment(slots * slotSize)
+	return &Mirror{
+		prov:     prov,
+		node:     node,
+		segID:    prov.RegisterSegment(node, seg),
+		seg:      seg,
+		slots:    slots,
+		slotSize: slotSize,
+	}
+}
+
+func (mr *Mirror) slotOf(fp uint64) int { return int(fp&uint64(mr.slots-1)) * mr.slotSize }
+
+func mirrorCsum(slot []byte, klen, vlen int) uint64 {
+	h := fnv.New64a()
+	h.Write(slot[8 : mirrorHdr+klen+vlen])
+	return h.Sum64()
+}
+
+// Publish writes kb's new value through to its slot. Called on the owning
+// node, inside the mutation's critical section, before the mutation acks —
+// so the mirror's real memory effect precedes the response, as
+// linearizability of one-sided readers requires. Oversized entries clear
+// the slot instead (readers fall back to RoR).
+func (mr *Mirror) Publish(kb, vb []byte) {
+	if mirrorHdr+len(kb)+len(vb) > mr.slotSize {
+		mr.Clear(kb)
+		return
+	}
+	fp := fingerprint(kb)
+	slot := make([]byte, mirrorHdr+len(kb)+len(vb))
+	binary.LittleEndian.PutUint64(slot[8:16], fp)
+	binary.LittleEndian.PutUint32(slot[16:20], uint32(len(kb)))
+	binary.LittleEndian.PutUint32(slot[20:24], uint32(len(vb)))
+	copy(slot[mirrorHdr:], kb)
+	copy(slot[mirrorHdr+len(kb):], vb)
+	binary.LittleEndian.PutUint64(slot[0:8], mirrorCsum(slot, len(kb), len(vb)))
+	_ = mr.seg.WriteAt(mr.slotOf(fp), slot)
+}
+
+// Clear invalidates kb's slot (erases, merges, oversized publishes). The
+// slot may currently mirror a different, colliding key; clearing it anyway
+// only costs that key a cache miss.
+func (mr *Mirror) Clear(kb []byte) {
+	var zero [16]byte // csum + fp
+	_ = mr.seg.WriteAt(mr.slotOf(fingerprint(kb)), zero[:])
+}
+
+// Wipe invalidates every slot (crash/repair fencing).
+func (mr *Mirror) Wipe() {
+	buf := make([]byte, mr.slots*mr.slotSize)
+	_ = mr.seg.WriteAt(0, buf)
+}
+
+// Read fetches kb's slot with one one-sided read and validates it.
+func (mr *Mirror) Read(clk *fabric.Clock, ref fabric.RankRef, kb []byte) ([]byte, bool) {
+	return mr.Reader().Read(clk, ref, kb)
+}
+
+// Reader returns the client-side view of the mirror: everything needed to
+// read slots with one-sided verbs and no reference to server state. This
+// is the shared fast-path entry internal/bcl's FastPath wraps.
+func (mr *Mirror) Reader() SlotReader {
+	return SlotReader{
+		Prov:     mr.prov,
+		Node:     mr.node,
+		SegID:    mr.segID,
+		Slots:    mr.slots,
+		SlotSize: mr.slotSize,
+	}
+}
+
+// SlotReader is the pure client side of the mirror protocol: given the
+// provider, the target node, and the registered segment, it performs the
+// single RDMA_READ + validate sequence. Both the router's one-sided path
+// and internal/bcl's FastPath use it, so the two dataplane models share
+// one fast-path implementation.
+type SlotReader struct {
+	Prov     fabric.Provider
+	Node     int
+	SegID    int
+	Slots    int
+	SlotSize int
+}
+
+// Valid reports whether the reader is wired to a mirror.
+func (sr SlotReader) Valid() bool { return sr.Prov != nil && sr.Slots > 0 }
+
+// Read performs one one-sided read of kb's slot and validates checksum,
+// fingerprint, and full key bytes. It returns the encoded value (empty for
+// key-only containers) and whether the slot held a validated entry for kb.
+func (sr SlotReader) Read(clk *fabric.Clock, ref fabric.RankRef, kb []byte) ([]byte, bool) {
+	if !sr.Valid() {
+		return nil, false
+	}
+	fp := fingerprint(kb)
+	buf := make([]byte, sr.SlotSize)
+	off := int(fp&uint64(sr.Slots-1)) * sr.SlotSize
+	if err := sr.Prov.Read(clk, ref, sr.Node, sr.SegID, off, buf); err != nil {
+		return nil, false
+	}
+	return decodeSlot(buf, fp, kb)
+}
+
+func decodeSlot(buf []byte, fp uint64, kb []byte) ([]byte, bool) {
+	csum := binary.LittleEndian.Uint64(buf[0:8])
+	gotFP := binary.LittleEndian.Uint64(buf[8:16])
+	if gotFP != fp {
+		return nil, false
+	}
+	klen := int(binary.LittleEndian.Uint32(buf[16:20]))
+	vlen := int(binary.LittleEndian.Uint32(buf[20:24]))
+	if klen != len(kb) || klen == 0 || mirrorHdr+klen+vlen > len(buf) {
+		return nil, false
+	}
+	if csum != mirrorCsum(buf, klen, vlen) {
+		return nil, false // empty slot or torn concurrent publish
+	}
+	if string(buf[mirrorHdr:mirrorHdr+klen]) != string(kb) {
+		return nil, false
+	}
+	return append([]byte(nil), buf[mirrorHdr+klen:mirrorHdr+klen+vlen]...), true
+}

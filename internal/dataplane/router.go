@@ -1,0 +1,148 @@
+package dataplane
+
+import (
+	"sync"
+
+	"hcl/internal/metrics"
+)
+
+// partState is the per-partition routing state. All signal updates and
+// route decisions happen under mu; the hot path is one short critical
+// section per op.
+type partState struct {
+	mu        sync.Mutex
+	mutEWMA   float64 // fraction of recent ops that were mutations
+	rateEWMA  float64 // recent op rate in ops per virtual second
+	lastT     int64   // latest virtual timestamp observed (max-monotone)
+	route     Route   // current read route
+	sinceFlip int     // ops since the route last changed
+	sinceProbe int    // ops since the last p99 probe
+	biasRoR   bool    // p99 probe found the one-sided path slower
+}
+
+// noteOp folds one op into the partition's EWMAs. mut marks a mutation;
+// vnow is the caller's virtual clock (0 when unavailable). Callers hold mu.
+func (ps *partState) noteOp(cfg *Config, mut bool, vnow int64) {
+	a := cfg.EWMAAlpha
+	m := 0.0
+	if mut {
+		m = 1.0
+	}
+	ps.mutEWMA = ps.mutEWMA*(1-a) + m*a
+	if vnow > ps.lastT {
+		if ps.lastT > 0 {
+			dt := vnow - ps.lastT
+			inst := 1e9 / float64(dt) // one op over dt ns
+			ps.rateEWMA = ps.rateEWMA*(1-a) + inst*a
+		}
+		ps.lastT = vnow
+	}
+	ps.sinceFlip++
+	ps.sinceProbe++
+}
+
+// RouteRead decides the route for one read on partition p and counts the
+// decision. The decision uses three signals with hysteresis:
+//
+//   - mutation-fraction EWMA: enter one-sided below MutEnter, exit above
+//     MutExit (the band in between holds the current route);
+//   - op-rate EWMA: above HotOpsPerSec the partition is hot and reads
+//     stay on RoR, whose aggregator amortizes hot traffic;
+//   - p99 probe: every ProbeEvery ops the one-sided read histogram's p99
+//     is compared against the RPC find p99; while it exceeds P99Ratio
+//     times the RPC p99 the partition is biased to RoR.
+//
+// A route flip is allowed only after DwellOps ops on the current route.
+// ModeRoR always answers RouteRoR; ModeOneSided always RouteOneSided
+// (unless p has no mirror); both still count.
+func (pl *Plane) RouteRead(p int, vnow int64) Route {
+	if pl == nil {
+		return RouteRoR
+	}
+	r := pl.decideRead(p, vnow)
+	if r == RouteOneSided {
+		pl.count(metrics.RouteOneSided, p, vnow, 1)
+	} else {
+		pl.count(metrics.RouteRoR, p, vnow, 1)
+	}
+	return r
+}
+
+func (pl *Plane) decideRead(p int, vnow int64) Route {
+	mirrored := pl.Mirrored(p)
+	switch pl.cfg.Mode {
+	case ModeRoR:
+		return RouteRoR
+	case ModeOneSided:
+		if mirrored {
+			return RouteOneSided
+		}
+		return RouteRoR
+	}
+	ps := &pl.parts[p]
+	ps.mu.Lock()
+	ps.noteOp(&pl.cfg, false, vnow)
+	if ps.sinceProbe >= pl.cfg.ProbeEvery {
+		ps.sinceProbe = 0
+		ps.biasRoR = pl.probeP99()
+	}
+	want := ps.route
+	hot := ps.rateEWMA > pl.cfg.HotOpsPerSec
+	switch {
+	case !mirrored || hot || ps.biasRoR || ps.mutEWMA >= pl.cfg.MutExit:
+		want = RouteRoR
+	case ps.mutEWMA <= pl.cfg.MutEnter:
+		want = RouteOneSided
+	}
+	if want != ps.route && ps.sinceFlip >= pl.cfg.DwellOps {
+		ps.route = want
+		ps.sinceFlip = 0
+	}
+	r := ps.route
+	ps.mu.Unlock()
+	return r
+}
+
+// probeP99 compares the one-sided and RPC read p99s and reports whether
+// the one-sided path should be avoided. With too few observations on
+// either side the probe abstains (no bias).
+func (pl *Plane) probeP99() bool {
+	col := pl.deps.Col()
+	if col == nil || pl.deps.HistOneSided == "" || pl.deps.HistRPC == "" {
+		return false
+	}
+	os := col.Hist(pl.deps.HistOneSided).Snapshot()
+	rpc := col.Hist(pl.deps.HistRPC).Snapshot()
+	const minSamples = 32
+	if os.Count < minSamples || rpc.Count < minSamples || rpc.P99 == 0 {
+		return false
+	}
+	return float64(os.P99) > pl.cfg.P99Ratio*float64(rpc.P99)
+}
+
+// noteMutation folds a mutation into partition p's EWMAs (called from the
+// mutation wrapper; it never changes the route by itself — the next read
+// decision sees the updated signals).
+func (pl *Plane) noteMutation(p int) {
+	ps := &pl.parts[p]
+	ps.mu.Lock()
+	ps.noteOp(&pl.cfg, true, 0)
+	ps.mu.Unlock()
+}
+
+// RouterState is a read-only snapshot of one partition's routing signals,
+// for tests and the debug surface.
+type RouterState struct {
+	MutEWMA  float64
+	RateEWMA float64
+	Route    Route
+	BiasRoR  bool
+}
+
+// PartState snapshots partition p's router signals.
+func (pl *Plane) PartState(p int) RouterState {
+	ps := &pl.parts[p]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return RouterState{MutEWMA: ps.mutEWMA, RateEWMA: ps.rateEWMA, Route: ps.route, BiasRoR: ps.biasRoR}
+}

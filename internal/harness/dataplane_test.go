@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"testing"
+
+	"hcl/internal/core"
+	"hcl/internal/dataplane"
+	"hcl/internal/seed"
+)
+
+// TestStressHybrid runs the chaotic schedule against containers with the
+// adaptive dataplane on: per-op one-sided/RoR routing plus read leases.
+// The WGL linearizability checker must accept every history — a lease
+// serving a stale value, a mirror read surviving a crash, or a mutation
+// acking before its invalidation would all surface as stale-read
+// violations here.
+func TestStressHybrid(t *testing.T) {
+	s := seed.FromEnv(t, 11)
+	for _, k := range AllKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			res := Run(Config{
+				Seed: s, Kind: k, Chaos: true, Minimize: true,
+				Dataplane: dataplane.ModeAuto,
+			})
+			if res.Failed() {
+				t.Fatalf("violations on hybrid-dataplane %s:\n%s", k, Report(res))
+			}
+		})
+	}
+}
+
+// TestStressHybridReplicated is the tentpole acceptance run: adaptive
+// routing AND leases AND quorum replication under a chaos schedule that
+// crashes primaries (state wipe + epoch fence) and repairs them from
+// replicas. Leases must be fenced by the crash's epoch bump — a pre-crash
+// lease serving after the wipe is exactly the stale read the checker
+// rejects.
+func TestStressHybridReplicated(t *testing.T) {
+	s := seed.FromEnv(t, 13)
+	for _, k := range replicatedKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			res := Run(Config{
+				Seed: s, Kind: k, Chaos: true, Minimize: true,
+				Replicas: 1, ReplMode: core.QuorumAll,
+				Dataplane: dataplane.ModeAuto,
+			})
+			if res.Failed() {
+				t.Fatalf("violations on hybrid replicated %s:\n%s", k, Report(res))
+			}
+		})
+	}
+}
+
+// TestStressHybridQuiet: fault-free hybrid runs must complete every op.
+func TestStressHybridQuiet(t *testing.T) {
+	s := seed.FromEnv(t, 17)
+	for _, k := range AllKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			res := Run(Config{Seed: s, Kind: k, Dataplane: dataplane.ModeAuto})
+			if res.Failed() {
+				t.Fatalf("violations on hybrid %s without chaos:\n%s", k, Report(res))
+			}
+		})
+	}
+}
+
+// TestStressHybridSelfTest: the hybrid run must still catch broken
+// builds — the dataplane cannot mask the checker's sensitivity.
+func TestStressHybridSelfTest(t *testing.T) {
+	s := seed.FromEnv(t, 19)
+	res := Run(Config{
+		Seed: s, Kind: KindUnorderedMap, Chaos: true,
+		Bug: BugStaleRead, Dataplane: dataplane.ModeAuto,
+	})
+	if !res.Failed() {
+		t.Fatal("stale-read build passed the hybrid stress run; checker is blind")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"hcl/internal/core"
+	"hcl/internal/dataplane"
 )
 
 // Kind selects a container under test.
@@ -124,6 +125,11 @@ type Config struct {
 	// ReplAsync). ReplAsync deliberately loses acked writes under crashes
 	// — the checkers must catch it (the replication self-test).
 	ReplMode core.ReplMode
+	// Dataplane selects the container's dataplane mode (dataplane.ModeOff
+	// default, dataplane.ModeAuto for the adaptive router + read leases).
+	// The checkers treat it as pure optimization: every linearizability
+	// and ordering invariant must hold unchanged, chaos included.
+	Dataplane dataplane.Mode
 	// Bug substitutes a deliberately broken container build.
 	Bug Bug
 	// Minimize shrinks the failing op streams before reporting

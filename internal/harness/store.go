@@ -7,6 +7,7 @@ import (
 
 	"hcl/internal/cluster"
 	"hcl/internal/core"
+	"hcl/internal/dataplane"
 )
 
 // store adapts one container to the generated op alphabet. Apply's result
@@ -67,6 +68,9 @@ func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store
 	opts := []core.Option{core.WithServers(serverNodes(cfg.Nodes))}
 	if cfg.Replicas > 0 {
 		opts = append(opts, core.WithReplicas(cfg.Replicas, cfg.ReplMode))
+	}
+	if cfg.Dataplane != dataplane.ModeOff {
+		opts = append(opts, core.WithDataplane(cfg.Dataplane))
 	}
 	var (
 		st  store

@@ -45,6 +45,13 @@ const (
 	ReplicaLag        Kind = "hcl_replica_lag"        // forward latency (sync) or queue depth (async)
 	FailoverReads     Kind = "hcl_failover_reads"     // reads served by a replica after primary ErrNodeDown
 	RepairKeys        Kind = "hcl_repair_keys"        // keys restored by anti-entropy repair
+
+	// Dataplane counters recorded by the adaptive routing layer
+	// (internal/dataplane; docs/DATAPLANE.md).
+	RouteOneSided      Kind = "hcl_route_onesided"      // reads routed down the one-sided mirror path
+	RouteRoR           Kind = "hcl_route_ror"           // reads routed through the RoR invocation path
+	LeaseHits          Kind = "hcl_lease_hits"          // reads served from an unexpired read lease
+	LeaseInvalidations Kind = "hcl_lease_invalidations" // leases revoked synchronously by a mutation
 )
 
 // Collector accumulates (kind, node, bucket) -> value sums. Buckets are

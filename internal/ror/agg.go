@@ -81,6 +81,13 @@ func (e *Engine) NewAggregator(c Caller, cfg AggregatorConfig) *Aggregator {
 // copied; the caller may reuse arg immediately. The call ships with its
 // bucket — possibly within this Invoke, when a threshold trips.
 func (a *Aggregator) Invoke(node int, fn string, arg []byte) *Future {
+	// Dataplane read-through: a lease-cache hit is answered before the
+	// call ever joins a bucket — no aggregation, no round trip.
+	if h := a.e.readThroughFor(fn); h != nil {
+		if resp, ok := h(arg); ok {
+			return immediateFuture(resp, a.c.Clock().Now())
+		}
+	}
 	b := a.buckets[node]
 	if b == nil {
 		b = &aggBucket{}

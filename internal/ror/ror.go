@@ -5,6 +5,15 @@
 // client with RDMA_READ. On top of the raw exchange it provides
 // synchronous calls, asynchronous futures, callback chaining, and request
 // aggregation — the four invocation styles the paper describes.
+//
+// In dataplane terms (docs/DATAPLANE.md) this package is the RPC model:
+// one invocation executed at the owning node per operation. The adaptive
+// router in internal/dataplane sends every mutation, every compound
+// operation, and reads on hot or mutation-heavy partitions through this
+// path; uncontended small-value reads may instead take the one-sided
+// mirror path. The engine also hosts the dataplane's client-side cache
+// check: a ReadThrough installed for a function answers an aggregated
+// invocation from an unexpired read lease before it joins a batch bucket.
 package ror
 
 import (
@@ -55,6 +64,47 @@ type Engine struct {
 
 	mu  sync.RWMutex
 	fns map[string]Handler
+
+	rtMu        sync.RWMutex
+	readThrough map[string]ReadThrough
+}
+
+// ReadThrough is a client-side shortcut consulted before an invocation is
+// queued for aggregation: given the call's argument it may produce the
+// response locally (a dataplane lease-cache hit) and report true, sparing
+// the round trip entirely. The produced bytes must have the exact shape
+// the bound handler would return. Installed per function name by the
+// dataplane-enabled containers; see docs/DATAPLANE.md.
+type ReadThrough func(arg []byte) ([]byte, bool)
+
+// SetReadThrough installs (or, with nil, removes) the read-through
+// shortcut for fn.
+func (e *Engine) SetReadThrough(fn string, h ReadThrough) {
+	e.rtMu.Lock()
+	if e.readThrough == nil {
+		e.readThrough = make(map[string]ReadThrough)
+	}
+	if h == nil {
+		delete(e.readThrough, fn)
+	} else {
+		e.readThrough[fn] = h
+	}
+	e.rtMu.Unlock()
+}
+
+// readThroughFor reports fn's installed shortcut, or nil.
+func (e *Engine) readThroughFor(fn string) ReadThrough {
+	e.rtMu.RLock()
+	h := e.readThrough[fn]
+	e.rtMu.RUnlock()
+	return h
+}
+
+// immediateFuture returns an already-completed future (read-through hits).
+func immediateFuture(resp []byte, readyAt int64) *Future {
+	f := &Future{done: make(chan struct{}), resp: resp, readyAt: readyAt}
+	close(f.done)
+	return f
 }
 
 // NewEngine creates an engine and installs its dispatcher on every node of

@@ -1,0 +1,59 @@
+#!/bin/sh
+# docs_check.sh — the docs lint behind `make docs-check` and CI's
+# docs-check step. Stdlib shell + grep/sed only, no dependencies.
+#
+# Two checks:
+#   1. every relative markdown link [..](path) in *.md and docs/*.md
+#      must point at a file that exists (anchors and URLs are skipped);
+#   2. every metric series the docs name with the repo's prefixes
+#      (hcl_*, fabric_*, ror_*) must be declared in
+#      internal/metrics/metrics.go — docs cannot drift from the
+#      instrumentation they describe.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative links resolve -----------------------------------------
+for f in *.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Strip fenced code blocks and inline code (generic Go calls like
+    # m[k](r, ...) would read as links), then pull every [text](target).
+    links=$(sed '/^[[:space:]]*```/,/^[[:space:]]*```/d' "$f" \
+        | sed 's/`[^`]*`//g' \
+        | grep -o '\[[^]]*\]([^)]*)' | sed 's/^.*](//; s/)$//')
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "docs-check: $f: broken link -> $link"
+            fail=1
+        fi
+    done
+done
+
+# --- 2. metric names exist ---------------------------------------------
+metrics_src=internal/metrics/metrics.go
+for f in *.md docs/*.md; do
+    [ -f "$f" ] || continue
+    names=$(grep -o '\(hcl\|fabric\|ror\)_[a-z_]*' "$f" | sort -u)
+    for name in $names; do
+        # Skip non-series identifiers that share the prefixes.
+        case "$name" in
+            ror_|hcl_|fabric_) continue ;;
+        esac
+        if ! grep -q "\"$name\"" "$metrics_src"; then
+            echo "docs-check: $f: metric '$name' not declared in $metrics_src"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "docs-check: all markdown links resolve and all metric names exist"
+fi
+exit $fail
