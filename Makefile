@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify check test bench bench-compare vet lint stress stress-replicated stress-hybrid race-all sweep docs-check
+.PHONY: verify check test bench bench-shm bench-compare vet lint stress stress-replicated stress-hybrid stress-shm race-all sweep docs-check
 
 # Time budget for the `stress` sweep, in milliseconds of wall time.
 STRESS_MS ?= 5000
@@ -56,6 +56,13 @@ stress-replicated:
 stress-hybrid:
 	$(GO) test -race -count=1 -v -run 'TestStressHybrid' ./internal/harness/
 
+# The shared-memory transport gate under the race detector: the full
+# workload plus the chaos schedule and the adaptive dataplane over real
+# SPSC rings (spin/park wakeups, in-place decode, arena one-sided
+# reads); see docs/TRANSPORT.md, "Shared-memory rings".
+stress-shm:
+	$(GO) test -race -count=1 -v -run 'TestStressShm' ./internal/harness/
+
 test:
 	$(GO) test ./...
 
@@ -68,9 +75,17 @@ test:
 BENCH_COUNT ?= 3
 bench:
 	$(GO) test -run xxx -bench=. -benchmem -benchtime=1s -count=$(BENCH_COUNT) \
-		./internal/fabric/tcpfab/ ./internal/containers/ . | tee bench_results.txt
+		./internal/fabric/tcpfab/ ./internal/fabric/shmfab/ ./internal/containers/ . | tee bench_results.txt
 	$(GO) run ./cmd/hcl-bench -benchjson BENCH_results.json < bench_results.txt
 	$(GO) run ./cmd/hcl-bench -sweep
+
+# The shm round-trip A/B on its own (shm 64B/4096B vs a raw buffered
+# channel send measured in the same run) for quick iteration on the
+# shared-memory transport; full runs and the regression gate come from
+# `make bench` + `make bench-compare`.
+bench-shm:
+	$(GO) test -run xxx -bench 'BenchmarkRoundTrip|BenchmarkChanSend' -benchmem -benchtime=1s \
+		./internal/fabric/shmfab/
 
 # The read-ratio dataplane A/B sweep on its own (docs/DATAPLANE.md):
 # deterministic virtual-time ns/op for RoR vs one-sided vs hybrid, merged

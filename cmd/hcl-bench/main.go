@@ -84,12 +84,19 @@ func main() {
 				for _, r := range regs {
 					fmt.Printf("REGRESSED  %s\n", r)
 				}
-				if len(regs)+len(missing) > 0 {
-					fmt.Printf("bench gate: %d regressions, %d missing (tolerance %.0f%%)\n",
-						len(regs), len(missing), 100**tolerance)
+				// The shm transport ratios are same-run invariants, not
+				// baseline-relative deltas: gate them off the current
+				// results whenever those benchmarks are present.
+				shmFails := bench.ShmGate(cur)
+				for _, f := range shmFails {
+					fmt.Printf("SHM GATE  %s\n", f)
+				}
+				if len(regs)+len(missing)+len(shmFails) > 0 {
+					fmt.Printf("bench gate: %d regressions, %d missing, %d shm ratio failures (tolerance %.0f%%)\n",
+						len(regs), len(missing), len(shmFails), 100**tolerance)
 					os.Exit(1)
 				}
-				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s\n",
+				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s; shm ratios hold\n",
 					len(base), 100**tolerance, *baseline)
 				return
 			}

@@ -50,6 +50,7 @@ import (
 	"hcl/internal/dataplane"
 	"hcl/internal/fabric"
 	"hcl/internal/fabric/faultfab"
+	"hcl/internal/fabric/shmfab"
 	"hcl/internal/fabric/simfab"
 	"hcl/internal/fabric/tcpfab"
 	"hcl/internal/memory"
@@ -131,6 +132,30 @@ type TCPConfig = tcpfab.Config
 
 // NewTCPFabric returns the TCP provider for genuine multi-process runs.
 func NewTCPFabric(cfg TCPConfig) (*tcpfab.Fabric, error) { return tcpfab.New(cfg) }
+
+// ShmConfig configures the zero-copy shared-memory provider for
+// co-located ranks: per-peer-pair SPSC rings and a shared segment arena
+// inside one mmap'd file, spin-then-futex parking, torn-frame checksums
+// (docs/TRANSPORT.md, "Shared-memory rings").
+type ShmConfig = shmfab.Config
+
+// ShmFabric is the mmap-backed intra-node provider.
+type ShmFabric = shmfab.Fabric
+
+// NewShmFabric returns the shared-memory provider with full
+// configuration control.
+func NewShmFabric(cfg ShmConfig) (*ShmFabric, error) { return shmfab.New(cfg) }
+
+// WithSharedMemory builds the shared-memory provider for one co-located
+// rank — node `node` of `nodes`, rendezvoused over the mapping file in
+// dir — with default ring, arena, and deadline settings. Processes (or
+// goroutines, in tests) naming the same dir converse through the same
+// mapping; containers built over the runtime place their partitions in
+// the provider's shared arena automatically, so co-located one-sided
+// reads happen in place, without a round trip.
+func WithSharedMemory(dir string, node, nodes int) (*ShmFabric, error) {
+	return shmfab.New(shmfab.Config{NodeID: node, Nodes: nodes, Dir: dir})
+}
 
 // Fault tolerance ------------------------------------------------------
 //

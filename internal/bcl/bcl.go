@@ -30,6 +30,7 @@ import (
 
 	"hcl/internal/cluster"
 	"hcl/internal/fabric"
+	"hcl/internal/memory"
 )
 
 // Bucket/slot states used by all BCL containers.
@@ -45,6 +46,10 @@ var (
 	ErrValueTooBig = errors.New("bcl: value exceeds fixed slot size")
 	ErrOutOfMemory = errors.New("bcl: allocation exceeds 60% of node memory")
 )
+
+// heapSegment is the fallback for fabric.AllocSegment when the provider
+// has no shared arena to place a container's partition in.
+func heapSegment(n int) fabric.Segment { return memory.NewSegment(n) }
 
 // memoryBudget enforces the paper's observation that BCL allocations must
 // stay under ~60% of node memory to complete successfully.

@@ -7,7 +7,6 @@ import (
 	"hcl/internal/cluster"
 	"hcl/internal/core"
 	"hcl/internal/fabric"
-	"hcl/internal/memory"
 )
 
 // HashMap is the BCL-style distributed hash map: a statically allocated
@@ -30,7 +29,7 @@ type HashMap struct {
 	acct     fabric.Accountant
 	servers  []int
 	segIDs   []int
-	segs     []*memory.Segment
+	segs     []fabric.Segment
 	buckets  int // per partition; power of two
 	slotSize int
 }
@@ -79,7 +78,7 @@ func NewHashMap(w *cluster.World, cfg HashMapConfig) (*HashMap, error) {
 		acct:     fabric.AccountantOf(w.Provider()),
 		servers:  servers,
 		segIDs:   make([]int, len(servers)),
-		segs:     make([]*memory.Segment, len(servers)),
+		segs:     make([]fabric.Segment, len(servers)),
 		buckets:  buckets,
 		slotSize: slot,
 	}
@@ -93,7 +92,10 @@ func NewHashMap(w *cluster.World, cfg HashMapConfig) (*HashMap, error) {
 		if err := chargeAllocation(m.acct, node, partBytes, 0); err != nil {
 			return nil, fmt.Errorf("bcl: partition on node %d: %w", node, err)
 		}
-		seg := memory.NewSegment(int(partBytes))
+		// Partitions land in the transport's shared arena when it has one
+		// (shmfab): co-located clients and the dataplane's one-sided fast
+		// path then read slots in place, no copy out of the transport.
+		seg := fabric.AllocSegment(m.prov, node, int(partBytes), heapSegment)
 		m.segs[i] = seg
 		m.segIDs[i] = m.prov.RegisterSegment(node, seg)
 	}

@@ -6,7 +6,6 @@ import (
 
 	"hcl/internal/cluster"
 	"hcl/internal/fabric"
-	"hcl/internal/memory"
 )
 
 // Queue is the BCL-style circular queue: a fixed ring of fixed-size slots
@@ -22,7 +21,7 @@ type Queue struct {
 	acct     fabric.Accountant
 	host     int
 	segID    int
-	seg      *memory.Segment
+	seg      fabric.Segment
 	capacity int
 	slotSize int
 }
@@ -77,7 +76,7 @@ func NewQueue(w *cluster.World, cfg QueueConfig) (*Queue, error) {
 	if err := chargeAllocation(q.acct, cfg.Host, ringBytes, 0); err != nil {
 		return nil, err
 	}
-	q.seg = memory.NewSegment(int(ringBytes))
+	q.seg = fabric.AllocSegment(q.prov, cfg.Host, int(ringBytes), heapSegment)
 	q.segID = q.prov.RegisterSegment(cfg.Host, q.seg)
 	if err := registerClientBuffers(w, q.acct, slot); err != nil {
 		return nil, err

@@ -75,6 +75,54 @@ func CompareBench(baseline, current []BenchResult, tol float64) (regressions []D
 	return regressions, missing
 }
 
+// The shared-memory transport gate (ROADMAP item 4): the shm 64B round
+// trip must stay within ShmChanFactor of a raw buffered-channel
+// request/response and at least ShmMuxFactor faster than the loopback
+// TCP mux at the same payload. All three numbers come from one run —
+// the same machine state — so a noisy runner shifts the ratio's
+// numerator and denominator together.
+const (
+	ShmChanFactor = 2.0
+	ShmMuxFactor  = 4.0
+
+	shmBenchName  = "BenchmarkRoundTrip/shm/64B"
+	chanBenchName = "BenchmarkChanSend/64B"
+	muxBenchName  = "BenchmarkRoundTrip/mux/64B"
+)
+
+// ShmGate checks the shm round-trip ratios over one run's results and
+// returns a line per violation (empty slice: gate passes). A missing
+// benchmark fails the gate like a missing baseline does in
+// CompareBench: a vanished measurement is a lost guarantee.
+func ShmGate(current []BenchResult) []string {
+	byName := make(map[string]float64, len(current))
+	for _, r := range current {
+		byName[r.Name] = r.NsPerOp
+	}
+	var fails []string
+	shm, okS := byName[shmBenchName]
+	ch, okC := byName[chanBenchName]
+	mux, okM := byName[muxBenchName]
+	for name, ok := range map[string]bool{shmBenchName: okS, chanBenchName: okC, muxBenchName: okM} {
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s missing from the run", name))
+		}
+	}
+	if len(fails) > 0 {
+		sort.Strings(fails)
+		return fails
+	}
+	if shm > ShmChanFactor*ch {
+		fails = append(fails, fmt.Sprintf("%s %.0f ns/op exceeds %.0fx channel send (%.0f ns/op)",
+			shmBenchName, shm, ShmChanFactor, ch))
+	}
+	if shm*ShmMuxFactor > mux {
+		fails = append(fails, fmt.Sprintf("%s %.0f ns/op is not %.0fx faster than mux (%.0f ns/op)",
+			shmBenchName, shm, ShmMuxFactor, mux))
+	}
+	return fails
+}
+
 // ReadBenchJSON loads a BENCH_*.json file written by WriteBenchJSON.
 func ReadBenchJSON(path string) ([]BenchResult, error) {
 	b, err := os.ReadFile(path)

@@ -12,9 +12,11 @@ import (
 //
 // The plane is disabled on TCP transports regardless of the requested
 // mode: leases require synchronous cross-client invalidation, which holds
-// in-process (sim and fault-wrapped sim providers share one address space)
-// but would need server-push invalidation frames across OS processes —
-// a documented limitation (docs/DATAPLANE.md, "Transport scope").
+// in-process (sim, shm, and fault-wrapped variants run the whole world in
+// one address space here) but would need server-push invalidation frames
+// across OS processes — a documented limitation (docs/DATAPLANE.md,
+// "Transport scope"). The shm provider qualifies: its mirror segments
+// live in the shared arena, so one-sided mirror reads are in-place loads.
 func newPlane(rt *Runtime, kind, name string, servers []int, o options, mirror bool) *dataplane.Plane {
 	if o.dataplane.Mode == dataplane.ModeOff {
 		return nil

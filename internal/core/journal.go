@@ -57,7 +57,12 @@ func openJournal(dir, name string, part int, mode memory.SyncMode) (*journal, er
 	}
 	journalRegistry.open[path] = true
 	journalRegistry.mu.Unlock()
-	seg, err := memory.NewPersistentSegment(path, journalInitialSize, mode)
+	// Attach-or-create: a journal that grew past journalInitialSize in a
+	// previous incarnation must reopen at its full extent —
+	// NewPersistentSegment's truncate-to-size would cut the tail off and
+	// the torn-tail validation would then silently discard every record
+	// past the first 64 KiB.
+	seg, err := memory.NewSharedSegment(path, journalInitialSize, mode)
 	if err != nil {
 		journalRegistry.mu.Lock()
 		delete(journalRegistry.open, path)

@@ -356,3 +356,45 @@ func TestLogCostAndSteps(t *testing.T) {
 		t.Fatal("logSteps")
 	}
 }
+
+// A journal that grew past journalInitialSize must reopen at its full
+// extent. The old opener truncated the backing file back to the initial
+// 64 KiB, so the torn-tail validation silently discarded every record
+// past it — data loss dressed up as crash recovery.
+func TestJournalGrownFileSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, "regrow", 0, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 10_000)
+	const n = 32 // ~320 KB, well past the 64 KiB initial size
+	for i := 0; i < n; i++ {
+		big[0] = byte(i)
+		if err := j.append(recPut, big); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := openJournal(dir, "regrow", 0, memory.SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	count := 0
+	if err := j2.replay(func(_ byte, rec []byte) error {
+		if len(rec) != len(big) || rec[0] != byte(count) {
+			t.Fatalf("record %d corrupted after reopen", count)
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("reopened replay kept %d of %d records", count, n)
+	}
+}

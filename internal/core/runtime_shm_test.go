@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
+	"hcl/internal/fabric/shmfab"
+	"hcl/internal/metrics"
+)
+
+// collectorOf must find the collector attached to a shm provider through
+// every decorator shape the runtime meets: the bare fabric, an options
+// view, and a faultfab wrapper — otherwise dataplane auto-wiring and span
+// collection silently degrade on the shm path.
+func TestCollectorOfShm(t *testing.T) {
+	col := metrics.New(1e9)
+	f, err := shmfab.New(shmfab.Config{Nodes: 1, Dir: t.TempDir(), Collector: col})
+	if err != nil {
+		t.Fatalf("shmfab.New: %v", err)
+	}
+	defer f.Close()
+
+	if got := collectorOf(f); got != col {
+		t.Fatalf("collectorOf(bare shmfab) = %p, want %p", got, col)
+	}
+	if got := collectorOf(f.WithOptions(fabric.Options{})); got != col {
+		t.Fatalf("collectorOf(optioned shmfab) did not unwrap to the collector")
+	}
+	wrapped := faultfab.New(f, faultfab.Config{Seed: 1})
+	if got := collectorOf(wrapped); got != col {
+		t.Fatalf("collectorOf(faultfab(shmfab)) did not unwrap to the collector")
+	}
+
+	// The shared-arena capability must survive the same wrappers, or
+	// containers built over a fault-wrapped shm world would silently
+	// fall back to heap partitions.
+	if fabric.ArenaOf(wrapped) == nil {
+		t.Fatalf("ArenaOf(faultfab(shmfab)) = nil, want the shm arena")
+	}
+	if fabric.ArenaOf(f.WithOptions(fabric.Options{})) == nil {
+		t.Fatalf("ArenaOf(optioned shmfab) = nil, want the shm arena")
+	}
+	if seg, ok := fabric.ArenaOf(wrapped).SharedSegmentAt(0, 128); !ok || seg == nil {
+		t.Fatalf("SharedSegmentAt(0, 128) through faultfab failed")
+	}
+}

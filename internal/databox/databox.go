@@ -100,6 +100,22 @@ func (b *Box[T]) Encode(v T) ([]byte, error) {
 	return b.codec.Marshal(v)
 }
 
+// AppendEncode serializes v onto dst and returns the extended slice.
+// Fixed-size types append their little-endian bytes directly — a caller
+// holding a shared-memory destination (an shm ring frame, an arena
+// mirror slot) encodes in place with no temporary allocation. Custom and
+// codec-backed types marshal as usual and are copied once.
+func (b *Box[T]) AppendEncode(dst []byte, v T) ([]byte, error) {
+	if !b.custom && b.fixed > 0 {
+		return appendFixed(dst, reflect.ValueOf(v)), nil
+	}
+	enc, err := b.Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, enc...), nil
+}
+
 // Decode deserializes data into a value of T.
 func (b *Box[T]) Decode(data []byte) (T, error) {
 	var v T

@@ -32,7 +32,7 @@ type Mirror struct {
 	prov     fabric.Provider
 	node     int
 	segID    int
-	seg      *memory.Segment
+	seg      fabric.Segment
 	slots    int // power of two
 	slotSize int
 }
@@ -46,7 +46,12 @@ func fingerprint(kb []byte) uint64 {
 }
 
 func newMirror(prov fabric.Provider, node, slots, slotSize int) *Mirror {
-	seg := memory.NewSegment(slots * slotSize)
+	// With a shared-arena transport (shmfab) the mirror itself lives in
+	// shared memory, so co-located readers' one-sided slot loads are
+	// plain in-place reads — the zero-copy fast path end to end.
+	seg := fabric.AllocSegment(prov, node, slots*slotSize, func(n int) fabric.Segment {
+		return memory.NewSegment(n)
+	})
 	return &Mirror{
 		prov:     prov,
 		node:     node,

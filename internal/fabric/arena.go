@@ -1,0 +1,44 @@
+package fabric
+
+// SharedArena is an optional provider capability for placing a data
+// structure's backing segment directly inside transport-owned shared
+// memory. Providers that can do this (shmfab) return a segment whose
+// bytes peers on the same node read and write without any round trip;
+// registering it with RegisterSegment then exports that placement.
+// Providers without a shared arena simply lack the capability and
+// callers fall back to ordinary heap segments.
+type SharedArena interface {
+	// SharedSegmentAt allocates a size-byte segment in the shared arena
+	// for the given node. It reports false when the provider cannot
+	// place the segment there — wrong node, arena exhausted — in which
+	// case the caller should allocate from the heap instead.
+	SharedSegmentAt(node, size int) (Segment, bool)
+}
+
+// ArenaOf returns p's shared-arena capability, unwrapping decorator
+// layers (options views, fault injectors) that expose Inner. It returns
+// nil when no layer has one.
+func ArenaOf(p Provider) SharedArena {
+	for p != nil {
+		if a, ok := p.(SharedArena); ok {
+			return a
+		}
+		u, ok := p.(interface{ Inner() Provider })
+		if !ok {
+			return nil
+		}
+		p = u.Inner()
+	}
+	return nil
+}
+
+// AllocSegment places a size-byte segment for node in p's shared arena
+// when the capability is present, falling back to fallback() otherwise.
+func AllocSegment(p Provider, node, size int, fallback func(int) Segment) Segment {
+	if a := ArenaOf(p); a != nil {
+		if seg, ok := a.SharedSegmentAt(node, size); ok {
+			return seg
+		}
+	}
+	return fallback(size)
+}

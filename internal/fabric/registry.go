@@ -1,0 +1,57 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory opens a provider from an opaque, provider-specific
+// configuration value (each provider documents the concrete type it
+// expects — shmfab.Config for "shm", tcpfab.Config for "tcp").
+type Factory func(cfg any) (Provider, error)
+
+// The provider registry, in the style of database/sql drivers: providers
+// register themselves from an init function, and transport-agnostic code
+// (launchers, the facade) opens them by name without importing every
+// provider package.
+var registry = struct {
+	mu sync.Mutex
+	m  map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register installs a provider factory under name. Registering a
+// duplicate name panics: two packages claiming one transport is a build
+// wiring error, not a runtime condition.
+func Register(name string, f Factory) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("fabric: provider %q registered twice", name))
+	}
+	registry.m[name] = f
+}
+
+// Open builds a provider by registered name. The cfg value is passed to
+// the factory verbatim.
+func Open(name string, cfg any) (Provider, error) {
+	registry.mu.Lock()
+	f, ok := registry.m[name]
+	registry.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown provider %q (registered: %v)", name, Providers())
+	}
+	return f(cfg)
+}
+
+// Providers lists the registered provider names, sorted.
+func Providers() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

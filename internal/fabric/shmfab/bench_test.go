@@ -1,0 +1,103 @@
+package shmfab
+
+import (
+	"fmt"
+	"testing"
+
+	"hcl/internal/fabric"
+)
+
+// benchWorld maps two fabrics over one rendezvous file, node 1 echoing
+// RPCs — the shm counterpart of tcpfab's benchPair.
+func benchWorld(b *testing.B) *Fabric {
+	b.Helper()
+	dir := b.TempDir()
+	mk := func(node int) *Fabric {
+		// The echo dispatcher is pure compute: declare it inline-safe so
+		// client goroutines drive the serving ring with zero handoffs.
+		f, err := New(Config{NodeID: node, Nodes: 2, Dir: dir, InlineHandlers: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	f0 := mk(0)
+	f1 := mk(1)
+	b.Cleanup(func() {
+		f0.Close()
+		f1.Close()
+	})
+	f1.SetDispatcher(1, func(req []byte) ([]byte, int64) { return req, 0 })
+	return f0
+}
+
+// BenchmarkRoundTrip/shm is the intra-node A/B against the loopback
+// tcpfab mux variants (same name, same sizes, same 8-clients-per-core
+// shape, so the JSON rows line up): request and response ride the SPSC
+// rings, written once and decoded in place. The ROADMAP item-4 target —
+// shm 64B ≤ 2x a raw channel send, ≥ 4x faster than loopback mux — is
+// gated by bench.ShmGate over the same run's BENCH_results.json.
+func BenchmarkRoundTrip(b *testing.B) {
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("shm/%dB", size), func(b *testing.B) {
+			f0 := benchWorld(b)
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			// 8 client goroutines per core, all against node 1.
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				clk := fabric.NewClock(0)
+				ref := fabric.RankRef{Rank: 0, Node: 0}
+				for pb.Next() {
+					resp, err := f0.RoundTrip(clk, ref, 1, payload)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if len(resp) != size {
+						b.Errorf("resp %d bytes", len(resp))
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkChanSend is the in-process latency floor the shm rings are
+// measured against: the same request/response shape — a client
+// goroutine sends a payload, an echo goroutine returns it — over raw
+// buffered Go channels, so the number is pure scheduler handoff with no
+// framing, checksums, or shared-memory discipline. Run in the same
+// `make bench` invocation as BenchmarkRoundTrip/shm so the gate compares
+// numbers from one machine state.
+func BenchmarkChanSend(b *testing.B) {
+	b.Run("64B", func(b *testing.B) {
+		payload := make([]byte, 64)
+		b.SetBytes(64)
+		b.ResetTimer()
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			req := make(chan []byte, 64)
+			resp := make(chan []byte, 64)
+			go func() {
+				for m := range req {
+					resp <- m
+				}
+				close(resp)
+			}()
+			for pb.Next() {
+				req <- payload
+				<-resp
+			}
+			close(req)
+			for range resp {
+			}
+		})
+	})
+}

@@ -1,0 +1,32 @@
+//go:build linux
+
+package shmfab
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Linux futex(2) on a shared mapping word: the cross-process half of the
+// ring wakeup protocol. No FUTEX_PRIVATE_FLAG — the word may be mapped
+// by several processes.
+const (
+	futexWaitOp = 0
+	futexWakeOp = 1
+)
+
+// futexWait blocks while *addr == val, for at most d. Spurious returns
+// are fine; callers re-check state in a loop.
+func futexWait(addr *uint32, val uint32, d time.Duration) {
+	ts := syscall.NsecToTimespec(d.Nanoseconds())
+	_, _, _ = syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexWaitOp, uintptr(val),
+		uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// futexWake wakes up to n waiters parked on addr.
+func futexWake(addr *uint32, n int) {
+	_, _, _ = syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexWakeOp, uintptr(n), 0, 0, 0)
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package shmfab
+
+import "time"
+
+// Without futex the consumer parks by micro-sleeping and re-polling; a
+// "wake" is just the producer's store becoming visible before the next
+// poll. Worst-case wake latency is the sleep quantum.
+func futexWait(addr *uint32, val uint32, d time.Duration) {
+	q := 200 * time.Microsecond
+	if d < q {
+		q = d
+	}
+	time.Sleep(q)
+}
+
+func futexWake(addr *uint32, n int) {}

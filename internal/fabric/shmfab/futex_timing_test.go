@@ -1,0 +1,21 @@
+package shmfab
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFutexTimeoutFires(t *testing.T) {
+	var w uint32
+	atomic.StoreUint32(&w, 1)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		futexWait(&w, 1, time.Millisecond)
+		d := time.Since(start)
+		t.Logf("futexWait(1ms) returned after %v", d)
+		if d > 500*time.Millisecond {
+			t.Fatalf("futex timeout did not fire: %v", d)
+		}
+	}
+}

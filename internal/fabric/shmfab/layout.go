@@ -1,0 +1,96 @@
+// Package shmfab is the intra-node shared-memory fabric provider: every
+// co-located rank process maps one rendezvous file and exchanges the
+// PR-2 frame vocabulary (request-id u64 frames, trace extension 0x80)
+// over per-peer-pair SPSC ring buffers instead of loopback sockets.
+// Payloads are written once into the ring and decoded in place; segments
+// exported into the file's arena are readable with direct loads, so the
+// BCL one-sided fast path costs a memcpy, not a round trip. See
+// docs/TRANSPORT.md ("Shared-memory rings").
+package shmfab
+
+// Rendezvous file layout. Every field the protocol shares lives at a
+// deterministic offset computed from (nodes, ringBytes, arenaBytes), so
+// any process opening the file with the same Config lands on the same
+// map. All multi-byte fields are little endian; all protocol words are
+// 8-byte aligned so cross-process atomics are architecturally atomic.
+//
+//	[header page(s)]
+//	  [0:8]    magic "HCLSHM01"
+//	  [8:16]   nodes
+//	  [16:24]  ring data bytes per directed pair (power of two)
+//	  [24:32]  arena bytes
+//	  [32:40]  arena bump cursor (Add64-allocated, bytes used)
+//	  [256+i*128 ...]  per-node block i:
+//	    +0   state   (0 unborn, 1 alive, 2 dead)
+//	    +8   heartbeat (incremented by node i's pollers)
+//	    +16  park     (u32 futex word in the low half: 1 = parked)
+//	    +24  epoch    (attach count; bumped on every (re)join)
+//	[segment table]  nodes*maxSegs entries of 16 bytes:
+//	    +0   arena offset + 1 (0 = not exported to the arena)
+//	    +8   exported length
+//	[rings]          nodes*nodes directed rings, ring(i,j) carries every
+//	                 frame i sends j (requests to j and responses to j);
+//	                 each is a 128-byte header + ringBytes of data:
+//	    +0   tail (producer cursor, absolute bytes, store-release)
+//	    +64  head (consumer cursor, absolute bytes, store-release)
+//	[arena]          bump-allocated shared segments (mirrors, DataBoxes)
+const (
+	magic = 0x31304d48534c4348 // "HCLSHM01" little endian
+
+	hdrMagic     = 0
+	hdrNodes     = 8
+	hdrRingBytes = 16
+	hdrArena     = 24
+	hdrArenaNext = 32
+
+	nodeBlock0   = 256
+	nodeBlockLen = 128
+	nbState      = 0
+	nbBeat       = 8
+	nbPark       = 16
+	nbEpoch      = 24
+
+	stateAlive uint64 = 1
+	stateDead  uint64 = 2
+
+	// maxSegs bounds registered segments per node; one table entry each.
+	maxSegs = 256
+
+	ringHdrLen = 128
+	ringTail   = 0
+	ringHead   = 64
+)
+
+// layout holds the computed absolute offsets for one configuration.
+type layout struct {
+	nodes     int
+	ringBytes int // data bytes per ring, power of two
+	arena     int
+
+	segTableOff int
+	ringsOff    int
+	arenaOff    int
+	total       int
+}
+
+func align4K(n int) int { return (n + 4095) &^ 4095 }
+
+func computeLayout(nodes, ringBytes, arenaBytes int) layout {
+	l := layout{nodes: nodes, ringBytes: ringBytes, arena: arenaBytes}
+	l.segTableOff = align4K(nodeBlock0 + nodes*nodeBlockLen)
+	l.ringsOff = align4K(l.segTableOff + nodes*maxSegs*16)
+	l.arenaOff = align4K(l.ringsOff + nodes*nodes*(ringHdrLen+ringBytes))
+	l.total = l.arenaOff + arenaBytes
+	return l
+}
+
+// ringOff locates the ring carrying frames from node i to node j.
+func (l layout) ringOff(i, j int) int {
+	return l.ringsOff + (i*l.nodes+j)*(ringHdrLen+l.ringBytes)
+}
+
+func (l layout) nodeBlockOff(i int) int { return nodeBlock0 + i*nodeBlockLen }
+
+func (l layout) segEntryOff(node, id int) int {
+	return l.segTableOff + (node*maxSegs+id)*16
+}

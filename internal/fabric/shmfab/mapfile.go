@@ -1,0 +1,122 @@
+package shmfab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"hcl/internal/memory"
+)
+
+// mapFile is one process's view of a rendezvous file. Mappings are
+// shared process-wide through a registry keyed by absolute path: two
+// Fabrics in one process (the usual test topology) get the *same* byte
+// slice, so their atomics are on identical addresses and the race
+// detector sees every happens-before edge the protocol claims. Across
+// OS processes the kernel aliases the pages instead.
+type mapFile struct {
+	path string
+	data []byte
+	refs int
+
+	// exported shared segments by arena offset: in-process peers reuse
+	// the owner's *memory.Segment (sharing its stripe write-locks, so
+	// bulk reads are torn-free); other processes wrap their own view
+	// and rely on the checksum discipline instead.
+	segMu sync.Mutex
+	segs  map[uint64]*memory.Segment
+}
+
+var mapRegistry = struct {
+	mu sync.Mutex
+	m  map[string]*mapFile
+}{m: make(map[string]*mapFile)}
+
+// openMapFile maps path at exactly size bytes, creating it on first
+// touch. The size is deterministic from the Config, so concurrent
+// creators converge on the same extent; existing contents are never
+// zeroed (rings and the arena survive a peer restarting).
+func openMapFile(path string, size int) (*mapFile, error) {
+	mapRegistry.mu.Lock()
+	defer mapRegistry.mu.Unlock()
+	if mf, ok := mapRegistry.m[path]; ok {
+		if len(mf.data) != size {
+			return nil, fmt.Errorf("shmfab: %s already mapped at %d bytes, want %d (mismatched Config?)", path, len(mf.data), size)
+		}
+		mf.refs++
+		return mf, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > int64(size) {
+		f.Close()
+		return nil, fmt.Errorf("shmfab: %s is %d bytes, want %d (mismatched Config?)", path, fi.Size(), size)
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	data, err := mmapShared(f, size)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.Close() // the mapping outlives the descriptor
+	mf := &mapFile{path: path, data: data, refs: 1, segs: make(map[uint64]*memory.Segment)}
+	mapRegistry.m[path] = mf
+	return mf, nil
+}
+
+func (mf *mapFile) close() error {
+	mapRegistry.mu.Lock()
+	defer mapRegistry.mu.Unlock()
+	mf.refs--
+	if mf.refs > 0 {
+		return nil
+	}
+	delete(mapRegistry.m, mf.path)
+	return munmapShared(mf.data)
+}
+
+func (mf *mapFile) exportSeg(off uint64, seg *memory.Segment) {
+	mf.segMu.Lock()
+	mf.segs[off] = seg
+	mf.segMu.Unlock()
+}
+
+func (mf *mapFile) ownerSeg(off uint64) *memory.Segment {
+	mf.segMu.Lock()
+	defer mf.segMu.Unlock()
+	return mf.segs[off]
+}
+
+// Shared-word atomics over the mapping. Offsets must be 8-aligned (the
+// layout guarantees it); alignment makes these single-instruction
+// atomics on the shared page, i.e. atomic across processes too.
+
+func (mf *mapFile) word(off int) *uint64 {
+	return (*uint64)(unsafe.Pointer(&mf.data[off]))
+}
+
+func (mf *mapFile) load64(off int) uint64      { return atomic.LoadUint64(mf.word(off)) }
+func (mf *mapFile) store64(off int, v uint64)  { atomic.StoreUint64(mf.word(off), v) }
+func (mf *mapFile) add64(off int, d uint64) uint64 {
+	return atomic.AddUint64(mf.word(off), d)
+}
+func (mf *mapFile) cas64(off int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(mf.word(off), old, new)
+}
+
+func (mf *mapFile) word32(off int) *uint32 {
+	return (*uint32)(unsafe.Pointer(&mf.data[off]))
+}
+
+func le32(b []byte) uint32      { return binary.LittleEndian.Uint32(b) }
+func le64(b []byte) uint64      { return binary.LittleEndian.Uint64(b) }
+func put32(b []byte, v uint32)  { binary.LittleEndian.PutUint32(b, v) }
+func put64(b []byte, v uint64)  { binary.LittleEndian.PutUint64(b, v) }

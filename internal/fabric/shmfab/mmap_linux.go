@@ -1,0 +1,17 @@
+//go:build linux
+
+package shmfab
+
+import (
+	"os"
+	"syscall"
+)
+
+func mmapShared(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapShared(data []byte) error {
+	return syscall.Munmap(data)
+}

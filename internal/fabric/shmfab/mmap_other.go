@@ -1,0 +1,17 @@
+//go:build !linux
+
+package shmfab
+
+import "os"
+
+// Portable fallback: a heap region, shared only within this process (the
+// map registry hands every Fabric the same slice). Cross-OS-process
+// operation needs real mmap; the tests and the harness shard run all
+// ranks in one process, which this covers.
+func mmapShared(f *os.File, size int) ([]byte, error) {
+	data := make([]byte, size)
+	_, _ = f.ReadAt(data, 0)
+	return data, nil
+}
+
+func munmapShared(data []byte) error { return nil }

@@ -1,0 +1,150 @@
+package shmfab
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Ring record layout — the PR-2 frame vocabulary with the stream length
+// prefix replaced by a ring record header (the checksum takes the role
+// TCP's reliable byte stream played):
+//
+//	[0:4]   plen  u32  extension + payload bytes (wrapMark = skip record)
+//	[4:8]   csum  u32  multiply-xor hash over [8 : 24+plen], folded
+//	[8:16]  id    u64  request id, echoed verbatim by the response
+//	[16]    typ        frame type; 0x80 = traced, 0x40 = response
+//	[17:24] zero
+//	[24:]   extension (trace ctx / residency) then payload, in place
+//
+// Records are 8-aligned and never wrap: a record that would straddle the
+// ring end is preceded by a wrap marker (plen == wrapMark) telling the
+// consumer to skip to the ring start. typ and the trace extension keep
+// PR 2's meaning exactly — frameRPC..frameFAA, 0x80 flagging a
+// trace.CtxWireLen request extension / 8-byte residency response
+// extension — so ror/core/dataplane ride the new transport unchanged.
+const (
+	recHdr   = 24
+	wrapMark = ^uint32(0)
+
+	frameRPC   byte = 1
+	frameWrite byte = 2
+	frameRead  byte = 3
+	frameCAS   byte = 4
+	frameFAA   byte = 5
+
+	frameResp   byte = 0x40
+	frameTraced byte = 0x80
+	frameVerb   byte = 0x3f
+)
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+func recSize(plen int) int { return recHdr + align8(plen) }
+
+// csumM is the multiply constant of the record checksum (fasthash's
+// mixing prime).
+const csumM = 0x880355f21e6d1965
+
+// recCsum folds a word-wise multiply-xor hash of the record body to 32
+// bits. A record whose checksum does not match was torn by a producer
+// dying mid-write — the consumer treats the peer as crashed
+// (fabric.ErrNodeDown), exactly the dataplane slot-mirror discipline.
+// The hash eats 8 bytes per step; byte-at-a-time FNV here dominated
+// round-trip CPU once payloads reached mirror-slot sizes.
+func recCsum(rec []byte, plen int) uint32 {
+	b := rec[8 : recHdr+plen]
+	h := uint64(len(b)) * csumM
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * csumM
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var t uint64
+		for i, c := range b {
+			t |= uint64(c) << (8 * uint(i))
+		}
+		h = (h ^ t) * csumM
+	}
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// ring is one directed SPSC byte ring in the shared mapping. The
+// producer side is serialized per sending process by Fabric.sendMu; the
+// consumer side by inRing.mu — across processes each side has exactly
+// one owner, preserving SPSC.
+type ring struct {
+	hdr  []byte // ringHdrLen shared header bytes
+	data []byte // ringBytes of record storage, power of two
+	mask uint64
+}
+
+func (r *ring) tailPtr() *uint64 { return (*uint64)(unsafe.Pointer(&r.hdr[ringTail])) }
+func (r *ring) headPtr() *uint64 { return (*uint64)(unsafe.Pointer(&r.hdr[ringHead])) }
+
+func (r *ring) loadTail() uint64     { return atomic.LoadUint64(r.tailPtr()) }
+func (r *ring) storeTail(v uint64)   { atomic.StoreUint64(r.tailPtr(), v) }
+func (r *ring) loadHead() uint64     { return atomic.LoadUint64(r.headPtr()) }
+func (r *ring) storeHead(v uint64)   { atomic.StoreUint64(r.headPtr(), v) }
+
+// inflight tracks one parsed inbound record whose ring bytes are still
+// referenced (an RPC payload being dispatched in place). head may only
+// advance past a record once it is done — until then the producer cannot
+// reuse the bytes.
+type inflight struct {
+	end  uint64 // absolute consumer cursor after this record
+	done atomic.Bool
+}
+
+// inRing is the local consumer state for one inbound ring.
+type inRing struct {
+	r  ring
+	mu sync.Mutex // serializes this process's consumers
+
+	scan   uint64 // next unparsed byte; >= published head
+	window []*inflight
+	free   []*inflight // folded records, recycled by grab
+	dead   bool        // torn frame seen; ring abandoned
+}
+
+// maxFree bounds the per-ring inflight freelist (beyond it, folded
+// records go back to the GC).
+const maxFree = 64
+
+// grab returns an inflight for a record ending at end, recycling folded
+// ones — two fresh heap records per round trip (request and response
+// side) were a third of the 64B benchmark's allocations. Caller holds
+// ir.mu.
+func (ir *inRing) grab(end uint64) *inflight {
+	if n := len(ir.free) - 1; n >= 0 {
+		fin := ir.free[n]
+		ir.free = ir.free[:n]
+		fin.end = end
+		fin.done.Store(false)
+		return fin
+	}
+	return &inflight{end: end}
+}
+
+// fold publishes head past the completed prefix of the window. Caller
+// holds ir.mu. Folded records are recycled: a dispatcher's last touch
+// of its inflight is the done.Store(true) that makes it foldable, so
+// once observed done here the record is unreachable outside the lock.
+func (ir *inRing) fold() {
+	i := 0
+	for i < len(ir.window) && ir.window[i].done.Load() {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	ir.r.storeHead(ir.window[i-1].end)
+	for _, fin := range ir.window[:i] {
+		if len(ir.free) < maxFree {
+			ir.free = append(ir.free, fin)
+		}
+	}
+	ir.window = append(ir.window[:0], ir.window[i:]...)
+}

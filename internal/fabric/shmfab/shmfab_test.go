@@ -1,0 +1,341 @@
+package shmfab
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hcl/internal/fabric"
+	"hcl/internal/memory"
+	"hcl/internal/seed"
+)
+
+// world spins up n co-attached fabrics over one rendezvous dir.
+func world(t *testing.T, n int, mut func(*Config)) []*Fabric {
+	t.Helper()
+	dir := t.TempDir()
+	fs := make([]*Fabric, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{NodeID: i, Nodes: n, Dir: dir, RingBytes: 1 << 16, ArenaBytes: 1 << 20,
+			OpDeadline: 5 * time.Second, DeadAfter: 500 * time.Millisecond}
+		if mut != nil {
+			mut(&cfg)
+		}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(node %d): %v", i, err)
+		}
+		fs[i] = f
+	}
+	t.Cleanup(func() {
+		for _, f := range fs {
+			f.Close()
+		}
+	})
+	return fs
+}
+
+func echoAt(f *Fabric) {
+	f.SetDispatcher(f.me, func(req []byte) ([]byte, int64) {
+		out := append([]byte("echo:"), req...)
+		return out, 0
+	})
+}
+
+func TestRoundTripEcho(t *testing.T) {
+	fs := world(t, 2, nil)
+	echoAt(fs[1])
+	clk := fabric.NewClock(0)
+	for i := 0; i < 100; i++ {
+		req := []byte(fmt.Sprintf("req-%d", i))
+		resp, err := fs[0].RoundTrip(clk, fabric.RankRef{}, 1, req)
+		if err != nil {
+			t.Fatalf("RoundTrip %d: %v", i, err)
+		}
+		if want := "echo:" + string(req); string(resp) != want {
+			t.Fatalf("RoundTrip %d: got %q want %q", i, resp, want)
+		}
+	}
+	if clk.Now() == 0 {
+		t.Fatal("clock did not advance past wall time")
+	}
+}
+
+func TestRoundTripSelf(t *testing.T) {
+	fs := world(t, 2, nil)
+	echoAt(fs[0])
+	resp, err := fs[0].RoundTrip(fabric.NewClock(0), fabric.RankRef{}, 0, []byte("hi"))
+	if err != nil || string(resp) != "echo:hi" {
+		t.Fatalf("self round trip: %q, %v", resp, err)
+	}
+}
+
+func TestConcurrentRoundTrips(t *testing.T) {
+	fs := world(t, 2, nil)
+	echoAt(fs[0])
+	echoAt(fs[1])
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			me, peer := fs[g%2], 1-g%2
+			clk := fabric.NewClock(0)
+			for i := 0; i < 200; i++ {
+				req := []byte(fmt.Sprintf("g%d-%d", g, i))
+				resp, err := me.RoundTrip(clk, fabric.RankRef{}, peer, req)
+				if err != nil {
+					t.Errorf("g%d RoundTrip: %v", g, err)
+					return
+				}
+				if want := "echo:" + string(req); string(resp) != want {
+					t.Errorf("g%d: got %q want %q", g, resp, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestNestedDispatch exercises poller promotion: the handler at node 1
+// itself round-trips to node 0 before answering. Without promotion the
+// single resident poller deadlocks inside its own handler.
+func TestNestedDispatch(t *testing.T) {
+	fs := world(t, 2, nil)
+	echoAt(fs[0])
+	clk1 := fabric.NewClock(0)
+	var mu sync.Mutex
+	fs[1].SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		inner, err := fs[1].RoundTrip(clk1, fabric.RankRef{}, 0, req)
+		if err != nil {
+			return []byte("inner error: " + err.Error()), 0
+		}
+		return append([]byte("outer:"), inner...), 0
+	})
+	clk := fabric.NewClock(0)
+	resp, err := fs[0].RoundTrip(clk, fabric.RankRef{}, 1, []byte("ping"))
+	if err != nil {
+		t.Fatalf("nested RoundTrip: %v", err)
+	}
+	if string(resp) != "outer:echo:ping" {
+		t.Fatalf("nested RoundTrip: got %q", resp)
+	}
+}
+
+func TestOneSidedViaRings(t *testing.T) {
+	fs := world(t, 2, nil)
+	seg := memory.NewSegment(1 << 12) // heap segment: not exported, forces ring path
+	id := fs[1].RegisterSegment(1, seg)
+	if id2 := fs[0].RegisterSegment(1, seg); id2 != id {
+		t.Fatalf("segment ids diverged: %d vs %d", id, id2)
+	}
+	clk := fabric.NewClock(0)
+	data := []byte("one-sided payload")
+	if err := fs[0].Write(clk, fabric.RankRef{}, 1, id, 64, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, len(data))
+	if err := fs[0].Read(clk, fabric.RankRef{}, 1, id, 64, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("Read: got %q want %q", buf, data)
+	}
+	if w, ok, err := fs[0].CAS(clk, fabric.RankRef{}, 1, id, 8, 0, 42); err != nil || !ok || w != 0 {
+		t.Fatalf("CAS: w=%d ok=%v err=%v", w, ok, err)
+	}
+	if w, ok, err := fs[0].CAS(clk, fabric.RankRef{}, 1, id, 8, 0, 43); err != nil || ok || w != 42 {
+		t.Fatalf("CAS mismatch: w=%d ok=%v err=%v", w, ok, err)
+	}
+	if prev, err := fs[0].FetchAdd(clk, fabric.RankRef{}, 1, id, 8, 8); err != nil || prev != 42 {
+		t.Fatalf("FetchAdd: prev=%d err=%v", prev, err)
+	}
+	if got := seg.Load64(8); got != 50 {
+		t.Fatalf("after FetchAdd: %d", got)
+	}
+	if err := fs[0].Read(clk, fabric.RankRef{}, 1, 99, 0, buf); !errors.Is(err, fabric.ErrBadSegment) {
+		t.Fatalf("bad segment: %v", err)
+	}
+}
+
+func TestSharedArenaDirect(t *testing.T) {
+	fs := world(t, 2, nil)
+	seg, err := fs[1].SharedSegment(4096)
+	if err != nil {
+		t.Fatalf("SharedSegment: %v", err)
+	}
+	id := fs[1].RegisterSegment(1, seg)
+	fs[0].RegisterSegment(1, seg)
+	clk := fabric.NewClock(0)
+	data := []byte("arena payload, no round trip")
+	if err := fs[0].Write(clk, fabric.RankRef{}, 1, id, 128, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// The write must have landed in the owner's segment directly.
+	direct := make([]byte, len(data))
+	if err := seg.ReadAt(128, direct); err != nil || !bytes.Equal(direct, data) {
+		t.Fatalf("owner view: %q, %v", direct, err)
+	}
+	buf := make([]byte, len(data))
+	if err := fs[0].Read(clk, fabric.RankRef{}, 1, id, 128, buf); err != nil || !bytes.Equal(buf, data) {
+		t.Fatalf("Read: %q, %v", buf, err)
+	}
+	if _, ok, err := fs[0].CAS(clk, fabric.RankRef{}, 1, id, 0, 0, 7); err != nil || !ok {
+		t.Fatalf("CAS: %v", err)
+	}
+	if prev, err := fs[0].FetchAdd(clk, fabric.RankRef{}, 1, id, 0, 3); err != nil || prev != 7 {
+		t.Fatalf("FetchAdd: prev=%d err=%v", prev, err)
+	}
+	if seg.Load64(0) != 10 {
+		t.Fatalf("owner word: %d", seg.Load64(0))
+	}
+}
+
+// TestRingWrapSeeded drives randomized payload sizes through a tiny ring
+// so records wrap and producers stall on a full ring; the seeded RNG
+// (SEED env) makes failures replayable.
+func TestRingWrapSeeded(t *testing.T) {
+	s := seed.FromEnv(t, 1)
+	rng := rand.New(rand.NewSource(s))
+	fs := world(t, 2, func(c *Config) {
+		c.RingBytes = 1 << 12 // 4 KiB: a few hundred bytes wraps constantly
+		c.SpinSweeps = 16     // park early so the futex path runs too
+	})
+	fs[1].SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		return append([]byte(nil), req...), 0
+	})
+	clk := fabric.NewClock(0)
+	payload := make([]byte, 1000)
+	rng.Read(payload)
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(len(payload))
+		req := payload[:n]
+		resp, err := fs[0].RoundTrip(clk, fabric.RankRef{}, 1, req)
+		if err != nil {
+			t.Fatalf("seed %d op %d (len %d): %v", s, i, n, err)
+		}
+		if !bytes.Equal(resp, req) {
+			t.Fatalf("seed %d op %d: payload corrupted across wrap", s, i)
+		}
+	}
+}
+
+// TestCrashTornFrame kills node 1 mid-send: the victim must classify the
+// torn record as the peer crashing (fabric.ErrNodeDown), never hand the
+// bytes to a handler, and fail fast rather than waiting out a deadline.
+func TestCrashTornFrame(t *testing.T) {
+	fs := world(t, 2, nil)
+	echoAt(fs[0])
+	echoAt(fs[1])
+	clk := fabric.NewClock(0)
+	if _, err := fs[0].RoundTrip(clk, fabric.RankRef{}, 1, []byte("warm")); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	if err := fs[1].KillTorn(0); err != nil {
+		t.Fatalf("KillTorn: %v", err)
+	}
+	start := time.Now()
+	_, err := fs[0].RoundTrip(clk, fabric.RankRef{}, 1, []byte("after-crash"))
+	if !errors.Is(err, fabric.ErrNodeDown) {
+		t.Fatalf("after torn frame: err=%v, want ErrNodeDown", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("ErrNodeDown took %v; torn-frame detection should not wait for deadlines", d)
+	}
+}
+
+// TestCrashFailsPending parks a request inside a slow handler at node 1
+// and crashes node 1: the waiting client must get ErrNodeDown promptly
+// instead of hanging until its deadline.
+func TestCrashFailsPending(t *testing.T) {
+	fs := world(t, 2, nil)
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	fs[1].SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		close(entered)
+		<-block
+		return req, 0
+	})
+	defer close(block)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fs[0].RoundTrip(fabric.NewClock(0), fabric.RankRef{}, 1, []byte("stuck"))
+		errc <- err
+	}()
+	<-entered
+	if err := fs[1].KillTorn(0); err != nil {
+		t.Fatalf("KillTorn: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, fabric.ErrNodeDown) {
+			t.Fatalf("pending op: err=%v, want ErrNodeDown", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("pending op hung after peer crash")
+	}
+}
+
+// TestCloseIsDeath verifies a graceful Close reads as node death to
+// peers, through the shared state word rather than heartbeat staleness.
+func TestCloseIsDeath(t *testing.T) {
+	fs := world(t, 2, nil)
+	echoAt(fs[1])
+	clk := fabric.NewClock(0)
+	if _, err := fs[0].RoundTrip(clk, fabric.RankRef{}, 1, []byte("x")); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	fs[1].Close()
+	if _, err := fs[0].RoundTrip(clk, fabric.RankRef{}, 1, []byte("y")); !errors.Is(err, fabric.ErrNodeDown) {
+		t.Fatalf("after Close: %v, want ErrNodeDown", err)
+	}
+}
+
+func TestTimeoutOnStuckHandler(t *testing.T) {
+	fs := world(t, 2, nil)
+	block := make(chan struct{})
+	defer close(block)
+	fs[1].SetDispatcher(1, func(req []byte) ([]byte, int64) {
+		<-block
+		return req, 0
+	})
+	p := fs[0].WithOptions(fabric.Options{Deadline: 200 * time.Millisecond})
+	_, err := p.RoundTrip(fabric.NewClock(0), fabric.RankRef{}, 1, []byte("x"))
+	if !errors.Is(err, fabric.ErrTimeout) {
+		t.Fatalf("stuck handler: %v, want ErrTimeout", err)
+	}
+}
+
+func TestRegistryOpensShm(t *testing.T) {
+	dir := t.TempDir()
+	p, err := fabric.Open("shm", Config{NodeID: 0, Nodes: 1, Dir: dir})
+	if err != nil {
+		t.Fatalf("fabric.Open(shm): %v", err)
+	}
+	defer p.Close()
+	if p.Name() != "shm" || p.NumNodes() != 1 {
+		t.Fatalf("registry fabric: name=%q nodes=%d", p.Name(), p.NumNodes())
+	}
+	if _, err := fabric.Open("shm", "not a config"); err == nil {
+		t.Fatal("bad config type must error")
+	}
+}
+
+func TestConfigMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	f, err := New(Config{NodeID: 0, Nodes: 2, Dir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	if _, err := New(Config{NodeID: 1, Nodes: 3, Dir: dir}); err == nil {
+		t.Fatal("mismatched Nodes must be rejected")
+	}
+}

@@ -70,48 +70,69 @@ func (fb *frameBuf) release() {
 	framePool.Put(fb)
 }
 
+// hdrScratch is a pooled frame-header buffer. A `var hdr
+// [frameHeaderLen]byte` local escapes to the heap through the
+// io.Writer/io.Reader interface parameter on every call — four of the
+// five allocations a 64B mux round trip used to make were exactly these
+// header temporaries (client write, server read, server write, client
+// read). Routing every header through one pool makes frame emission and
+// header reads allocation-free; the io.Writer/io.Reader contract (p is
+// not retained past the call) makes returning the scratch immediately
+// after the Write/ReadFull safe.
+type hdrScratch struct{ b [frameHeaderLen]byte }
+
+var hdrPool = sync.Pool{New: func() any { return new(hdrScratch) }}
+
 // writeFrame emits one frame. The caller flushes; coalescing several
 // writeFrame calls under a single Flush is the transport's batching lever.
 func writeFrame(w io.Writer, typ byte, id uint64, payload []byte) error {
-	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = typ
-	binary.LittleEndian.PutUint64(hdr[5:], id)
-	if _, err := w.Write(hdr[:]); err != nil {
+	hs := hdrPool.Get().(*hdrScratch)
+	binary.LittleEndian.PutUint32(hs.b[:4], uint32(len(payload)))
+	hs.b[4] = typ
+	binary.LittleEndian.PutUint64(hs.b[5:], id)
+	_, err := w.Write(hs.b[:])
+	hdrPool.Put(hs)
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	_, err = w.Write(payload)
 	return err
 }
 
 // writeFrameExt emits one traced frame: the extension bytes ride between
 // the header and the payload, counted in len.
 func writeFrameExt(w io.Writer, typ byte, id uint64, ext, payload []byte) error {
-	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(ext)+len(payload)))
-	hdr[4] = typ
-	binary.LittleEndian.PutUint64(hdr[5:], id)
-	if _, err := w.Write(hdr[:]); err != nil {
+	hs := hdrPool.Get().(*hdrScratch)
+	binary.LittleEndian.PutUint32(hs.b[:4], uint32(len(ext)+len(payload)))
+	hs.b[4] = typ
+	binary.LittleEndian.PutUint64(hs.b[5:], id)
+	_, err := w.Write(hs.b[:])
+	hdrPool.Put(hs)
+	if err != nil {
 		return err
 	}
 	if _, err := w.Write(ext); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	_, err = w.Write(payload)
 	return err
 }
 
 // readFrameHeader reads and validates one frame header.
 func readFrameHeader(r io.Reader) (typ byte, id uint64, n int, err error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hs := hdrPool.Get().(*hdrScratch)
+	_, err = io.ReadFull(r, hs.b[:])
+	ln := binary.LittleEndian.Uint32(hs.b[:4])
+	typ = hs.b[4]
+	id = binary.LittleEndian.Uint64(hs.b[5:])
+	hdrPool.Put(hs)
+	if err != nil {
 		return 0, 0, 0, err
 	}
-	ln := binary.LittleEndian.Uint32(hdr[:4])
 	if ln > maxFrameLen {
 		return 0, 0, 0, fmt.Errorf("tcpfab: oversized frame %d", ln)
 	}
-	return hdr[4], binary.LittleEndian.Uint64(hdr[5:]), int(ln), nil
+	return typ, id, int(ln), nil
 }
 
 // readFramePooled reads one frame into a pooled buffer (server request

@@ -1508,3 +1508,13 @@ func (v *optioned) FetchAdd(clk *fabric.Clock, from fabric.RankRef, node, seg, o
 }
 
 var _ fabric.Provider = (*Fabric)(nil)
+
+func init() {
+	fabric.Register("tcp", func(cfg any) (fabric.Provider, error) {
+		c, ok := cfg.(Config)
+		if !ok {
+			return nil, fmt.Errorf("tcpfab: registry config must be tcpfab.Config, got %T", cfg)
+		}
+		return New(c)
+	})
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"os"
+	"time"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
+	"hcl/internal/fabric/shmfab"
+)
+
+// RunShm executes one harness run over the shared-memory transport: two
+// shmfab nodes in this process mapping the same rendezvous file, clients
+// on node 0, the container's partitions on node 1 (symmetric SPMD
+// construction, as RunTCP). The value of the shard is the real ring
+// concurrency — spin/park wakeups, in-place frame decoding, arena
+// one-sided reads — under the race detector, with the same history
+// checkers.
+//
+// With cfg.Chaos set, the client-side provider is wrapped in faultfab
+// and the seeded chaos schedule (drops, delays, kills, partitions of
+// node 1) runs unchanged on top of the live rings; the shm provider
+// underneath keeps its mapping, so a "restarted" node resumes service
+// without re-rendezvous. Replication is forced off: quorum placement
+// needs at least three nodes and this shard models one co-located pair.
+func RunShm(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	cfg.Nodes = 2
+	cfg.Replicas = 0
+	start := time.Now()
+
+	dir, err := os.MkdirTemp("", "hcl-shm-stress-")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Container handlers in this world are pure compute (replication is
+	// forced off), so both ranks declare them inline-safe: client
+	// goroutines drive the serving ring directly — the zero-handoff path
+	// the benchmark gates — and the checkers validate exactly that path.
+	f0, err := shmfab.New(shmfab.Config{NodeID: 0, Nodes: 2, Dir: dir, InlineHandlers: true})
+	if err != nil {
+		return Result{}, err
+	}
+	defer f0.Close()
+	f1, err := shmfab.New(shmfab.Config{NodeID: 1, Nodes: 2, Dir: dir, InlineHandlers: true})
+	if err != nil {
+		return Result{}, err
+	}
+	defer f1.Close()
+
+	streams := genStreams(cfg)
+	valid := streamValidator(streams)
+
+	var prov fabric.Provider = f0
+	plan := buildChaos(cfg, opCount(streams))
+	var ff *faultfab.Fabric
+	if plan != nil {
+		ff = faultfab.New(f0, plan.fault)
+		prov = ff
+	}
+
+	// Client side: the world all ranks run in.
+	w0 := cluster.MustWorld(prov, cluster.OnNode(0, cfg.Clients))
+	rt0 := core.NewRuntime(w0)
+	if plan != nil {
+		// The sim plan's per-op deadline is virtual; on a wall-clock
+		// transport each attempt needs real headroom over injected
+		// delays and scheduler noise.
+		rt0.SetOpOptions(fabric.Options{
+			Deadline:    500 * time.Millisecond,
+			MaxAttempts: 4,
+			RetryRPC:    true,
+		})
+	}
+	st, _, err := newStore(rt0, cfg, "shmstress", valid)
+	if err != nil {
+		return Result{}, err
+	}
+	// Server side: same container, same name, binds the handlers that
+	// node 1's dispatcher executes. The symmetric construction also
+	// registers segments in the same order, so the server's
+	// arena-exported mirror is the one client one-sided reads resolve.
+	w1 := cluster.MustWorld(f1, cluster.OnNode(1, 1))
+	rt1 := core.NewRuntime(w1)
+	if _, _, err := newStore(rt1, cfg, "shmstress", valid); err != nil {
+		return Result{}, err
+	}
+
+	hist := &History{}
+	chaos := newChaosRunner(plan, ff, nil)
+	w0.Run(func(r *cluster.Rank) {
+		for _, op := range streams[r.ID()] {
+			applyOp(hist, st, r, r.ID(), op, phaseConcurrent)
+			chaos.tick()
+		}
+	})
+	chaos.quiesce(cfg.Nodes)
+	verify(cfg, hist, st, w0.Rank(0))
+
+	entries := hist.Entries()
+	return Result{
+		Runs:       1,
+		Ops:        len(entries),
+		Violations: checkAll(cfg, entries, chaos.log()),
+		Elapsed:    time.Since(start),
+	}, nil
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"testing"
+
+	"hcl/internal/dataplane"
+	"hcl/internal/seed"
+)
+
+// TestStressShm drives the generated workload over the shared-memory
+// rings: two shmfab nodes in-process on one mapping, clients on node 0,
+// partitions on node 1. This is the stress-shm shard of the CI matrix —
+// real SPSC ring concurrency (spin/park, in-place decode, arena
+// one-sided reads) under the race detector, same history checkers.
+func TestStressShm(t *testing.T) {
+	s := seed.FromEnv(t, 13)
+	ops := 32
+	if testing.Short() {
+		ops = 12
+	}
+	for _, k := range AllKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			res, err := RunShm(Config{Seed: s, Kind: k, OpsPerClient: ops})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatalf("violations on correct %s over shm:\n%s", k, Report(res))
+			}
+		})
+	}
+}
+
+// TestStressShmChaos layers the seeded faultfab schedule — drops,
+// delays, kills and partitions of the serving node — over the live
+// rings. Histories must stay explainable: the chaos plan is the PR-4
+// schedule running unchanged on the shm provider.
+func TestStressShmChaos(t *testing.T) {
+	s := seed.FromEnv(t, 17)
+	ops := 32
+	if testing.Short() {
+		ops = 12
+	}
+	for _, k := range AllKinds {
+		t.Run(k.String(), func(t *testing.T) {
+			res, err := RunShm(Config{Seed: s, Kind: k, OpsPerClient: ops, Chaos: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatalf("violations on correct %s over shm chaos:\n%s", k, Report(res))
+			}
+		})
+	}
+}
+
+// TestStressShmDataplane runs the adaptive dataplane over shm: the
+// serving node's mirror lives in the shared arena, so routed one-sided
+// reads are in-place loads of transport memory. Linearizability must
+// hold unchanged — the dataplane is pure optimization.
+func TestStressShmDataplane(t *testing.T) {
+	s := seed.FromEnv(t, 19)
+	ops := 32
+	if testing.Short() {
+		ops = 12
+	}
+	for _, k := range []Kind{KindUnorderedMap, KindOrderedMap, KindUnorderedSet} {
+		t.Run(k.String(), func(t *testing.T) {
+			res, err := RunShm(Config{Seed: s, Kind: k, OpsPerClient: ops, Dataplane: dataplane.ModeAuto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatalf("violations on correct %s over shm dataplane:\n%s", k, Report(res))
+			}
+		})
+	}
+}

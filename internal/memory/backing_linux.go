@@ -35,6 +35,30 @@ func openBacking(path string, size int) (*backing, []uint64, []byte, error) {
 	return &backing{f: f, data: data}, words, bytes, nil
 }
 
+// openSharedBacking is the attach-or-create variant behind
+// NewSharedSegment: an existing file is never shrunk or zeroed, the
+// mapped extent is max(existing size, size).
+func openSharedBacking(path string, size int) (*backing, []uint64, []byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > int64(size) {
+		size = roundUp8(int(fi.Size()))
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("memory: mmap %s: %w", path, err)
+	}
+	words, bytes := views(data)
+	return &backing{f: f, data: data}, words, bytes, nil
+}
+
 func views(data []byte) ([]uint64, []byte) {
 	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), len(data)/8)
 	return words, data[:len(words)*8]

@@ -32,6 +32,16 @@ func openBacking(path string, size int) (*backing, []uint64, []byte, error) {
 	return &backing{f: f, data: data}, words, bytes, nil
 }
 
+// openSharedBacking is the attach-or-create variant behind
+// NewSharedSegment. Without mmap there is no cross-process coherence —
+// this fallback only preserves existing file contents and never shrinks.
+func openSharedBacking(path string, size int) (*backing, []uint64, []byte, error) {
+	if fi, err := os.Stat(path); err == nil && fi.Size() > int64(size) {
+		size = roundUp8(int(fi.Size()))
+	}
+	return openBacking(path, size)
+}
+
 func views(data []byte) ([]uint64, []byte) {
 	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), len(data)/8)
 	return words, data[:len(words)*8]

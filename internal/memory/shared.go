@@ -1,0 +1,54 @@
+package memory
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// NewSharedSegment opens the file at path as a shared memory-mapped
+// segment, attach-or-create: a missing file is created at size bytes, an
+// existing file keeps its contents and the segment extent is
+// max(existing size, size). This is the opener for regions more than one
+// party maps — the shm fabric's rendezvous arena, and reopened
+// persistence journals, where NewPersistentSegment's truncate-to-size
+// would destroy whatever a previous incarnation (or a co-located
+// process) already wrote.
+//
+// On platforms with mmap the mapping is MAP_SHARED, so every process
+// mapping the same path sees the same physical pages: bulk writes become
+// visible to other mappings without any flush, and 8-byte word atomics
+// are atomic across processes (they compile to ordinary aligned
+// LOCK-prefixed/LL-SC instructions on the shared page). Note that the
+// stripe write-locks are per-*Segment* state: two Segment instances over
+// one file do not exclude each other's bulk writes, so cross-mapping
+// readers need a validation discipline (checksums) exactly as RDMA
+// readers do.
+func NewSharedSegment(path string, size int, mode SyncMode) (*Segment, error) {
+	b, words, bytes, err := openSharedBacking(path, roundUp8(size))
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{
+		stripes: make([]sync.RWMutex, stripeCount(len(bytes))),
+		words:   words,
+		bytes:   bytes,
+		back:    b,
+		mode:    mode,
+	}, nil
+}
+
+// NewMappedSegment wraps an existing 8-byte-aligned byte region (for
+// example a sub-range of a larger shared mapping) as a volatile segment
+// view. The region's lifetime is the caller's concern: Close does not
+// unmap it, Sync is a no-op, and Grow falls back to a private heap copy
+// (callers carving fixed-size regions never grow them).
+func NewMappedSegment(data []byte) *Segment {
+	if uintptr(unsafe.Pointer(&data[0]))%8 != 0 {
+		panic("memory: NewMappedSegment region must be 8-byte aligned")
+	}
+	n := len(data) &^ 7
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), n/8)
+	s := &Segment{words: words, bytes: data[:n]}
+	s.growStripes()
+	return s
+}

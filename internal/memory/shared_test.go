@@ -1,0 +1,106 @@
+package memory
+
+import (
+	"path/filepath"
+	"testing"
+	"unsafe"
+)
+
+// Attach-or-create: contents survive a reopen, the extent never shrinks,
+// and a smaller requested size attaches at the existing (larger) extent.
+func TestSharedSegmentAttachPreserves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.shm")
+
+	s, err := NewSharedSegment(path, 1<<16, SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grow(1 << 18); err != nil {
+		t.Fatal(err)
+	}
+	tailOff := 1<<18 - 8
+	if err := s.PutUint64(tailOff, 0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutUint64(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen asking for the small initial size: must attach at 256 KiB
+	// with both words intact.
+	s2, err := NewSharedSegment(path, 1<<16, SyncRelaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len(); got != 1<<18 {
+		t.Fatalf("reopened extent %d, want %d", got, 1<<18)
+	}
+	if v, _ := s2.GetUint64(0); v != 42 {
+		t.Fatalf("head word %d, want 42", v)
+	}
+	if v, _ := s2.GetUint64(tailOff); v != 0xfeedface {
+		t.Fatalf("tail word %#x, want 0xfeedface", v)
+	}
+}
+
+// Two Segment instances over one path observe each other's writes and
+// word atomics (the cross-mapping coherence the shm fabric relies on).
+func TestSharedSegmentCrossMappingVisibility(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.shm")
+	a, err := NewSharedSegment(path, 4096, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewSharedSegment(path, 4096, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.WriteAt(128, []byte("hello shm")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 9)
+	if err := b.ReadAt(128, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello shm" {
+		t.Fatalf("cross-mapping read %q", buf)
+	}
+	a.Store64(8, 7)
+	if got := b.Add64(8, 3); got != 10 {
+		t.Fatalf("cross-mapping Add64 = %d, want 10", got)
+	}
+}
+
+func TestMappedSegmentView(t *testing.T) {
+	backing := make([]uint64, 64) // 8-aligned by construction
+	region := unsafe.Slice((*byte)(unsafe.Pointer(&backing[0])), len(backing)*8)
+	s := NewMappedSegment(region)
+	if s.Len() != 512 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if err := s.WriteAt(16, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := s.ReadAt(16, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("read back %q", got)
+	}
+	// The view writes through to the underlying region.
+	if backing[2]&0xff != 'a' {
+		t.Fatalf("underlying word %#x", backing[2])
+	}
+	s.Store64(0, 99)
+	if backing[0] != 99 {
+		t.Fatalf("atomic store not visible: %d", backing[0])
+	}
+}

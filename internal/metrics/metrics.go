@@ -52,6 +52,12 @@ const (
 	RouteRoR           Kind = "hcl_route_ror"           // reads routed through the RoR invocation path
 	LeaseHits          Kind = "hcl_lease_hits"          // reads served from an unexpired read lease
 	LeaseInvalidations Kind = "hcl_lease_invalidations" // leases revoked synchronously by a mutation
+
+	// Shared-memory transport counters recorded by shmfab
+	// (internal/fabric/shmfab; docs/TRANSPORT.md).
+	ShmRingFull Kind = "fabric_shm_ring_full" // sends that stalled on a full ring
+	ShmSpins    Kind = "fabric_shm_spins"     // empty poll sweeps before a park
+	ShmWakeups  Kind = "fabric_shm_wakeups"   // futex wakes issued to parked peers
 )
 
 // Collector accumulates (kind, node, bucket) -> value sums. Buckets are

@@ -2,13 +2,16 @@
 # docs_check.sh — the docs lint behind `make docs-check` and CI's
 # docs-check step. Stdlib shell + grep/sed only, no dependencies.
 #
-# Two checks:
+# Three checks:
 #   1. every relative markdown link [..](path) in *.md and docs/*.md
 #      must point at a file that exists (anchors and URLs are skipped);
 #   2. every metric series the docs name with the repo's prefixes
 #      (hcl_*, fabric_*, ror_*) must be declared in
 #      internal/metrics/metrics.go — docs cannot drift from the
-#      instrumentation they describe.
+#      instrumentation they describe;
+#   3. every `make <target>` the docs show as code must exist in the
+#      Makefile — a renamed target must not leave docs pointing at a
+#      command that no longer runs.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -53,7 +56,28 @@ for f in *.md docs/*.md; do
     done
 done
 
+# --- 3. make targets referenced in docs exist --------------------------
+# Only commands rendered as code count: `make x` in inline backticks or
+# inside a fenced block. Prose ("make sure the...") never matches, and
+# SNIPPETS.md / PAPERS.md are skipped — they quote other repositories'
+# build instructions, not this Makefile.
+for f in *.md docs/*.md; do
+    [ -f "$f" ] || continue
+    case "$f" in SNIPPETS.md|PAPERS.md) continue ;;
+    esac
+    code=$(sed -n '/^[[:space:]]*```/,/^[[:space:]]*```/p' "$f"
+        grep -o '`[^`]*`' "$f")
+    targets=$(printf '%s\n' "$code" \
+        | grep -o 'make [a-z][a-z0-9-]*' | sed 's/^make //' | sort -u)
+    for t in $targets; do
+        if ! grep -q "^$t:" Makefile; then
+            echo "docs-check: $f: make target '$t' missing from Makefile"
+            fail=1
+        fi
+    done
+done
+
 if [ "$fail" -eq 0 ]; then
-    echo "docs-check: all markdown links resolve and all metric names exist"
+    echo "docs-check: links resolve, metric names and make targets exist"
 fi
 exit $fail
