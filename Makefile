@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify check test bench bench-shm bench-compare vet lint stress stress-replicated stress-hybrid stress-shm race-all sweep docs-check
+.PHONY: verify check test bench bench-shm bench-compare vet lint stress stress-replicated stress-hybrid stress-shm race-all sweep slo docs-check
 
 # Time budget for the `stress` sweep, in milliseconds of wall time.
 STRESS_MS ?= 5000
@@ -78,6 +78,7 @@ bench:
 		./internal/fabric/tcpfab/ ./internal/fabric/shmfab/ ./internal/containers/ . | tee bench_results.txt
 	$(GO) run ./cmd/hcl-bench -benchjson BENCH_results.json < bench_results.txt
 	$(GO) run ./cmd/hcl-bench -sweep
+	$(GO) run ./cmd/hcl-bench -slo
 
 # The shm round-trip A/B on its own (shm 64B/4096B vs a raw buffered
 # channel send measured in the same run) for quick iteration on the
@@ -100,9 +101,16 @@ sweep:
 docs-check:
 	./scripts/docs_check.sh
 
+# The deterministic per-verb RPC p99 measurement on its own: merges
+# slo/p99/* entries into BENCH_results.json; `make bench-compare` then
+# gates them against the baseline ceilings (±25%; docs/OBSERVABILITY.md).
+slo:
+	$(GO) run ./cmd/hcl-bench -slo
+
 # Regression gate: compare the last `make bench` run against the
 # checked-in baseline (±15% ns/op and allocs/op; see internal/bench/compare.go
-# for the noise slack). Refresh the baseline deliberately with
+# for the noise slack, plus the ±25% slo/p99 per-verb latency ceilings).
+# Refresh the baseline deliberately with
 # `cp BENCH_results.json BENCH_baseline.json` in the PR that justifies it.
 bench-compare:
 	$(GO) run ./cmd/hcl-bench -benchcompare BENCH_results.json -baseline BENCH_baseline.json

@@ -15,6 +15,9 @@
 //	hcl-bench -sweep                   # read-ratio dataplane A/B sweep;
 //	                                   # merges into BENCH_results.json and
 //	                                   # gates hybrid vs the pure modes
+//	hcl-bench -slo                     # deterministic per-verb RPC p99s;
+//	                                   # merges slo/p99/* entries into
+//	                                   # BENCH_results.json for the gate
 package main
 
 import (
@@ -41,6 +44,7 @@ func main() {
 		snapshot  = flag.Bool("snapshot", false, "run an instrumented workload and print its metrics snapshot as JSON")
 		sweep     = flag.Bool("sweep", false, "run the read-ratio dataplane sweep, merge results into -sweepout, gate hybrid vs pure modes")
 		sweepout  = flag.String("sweepout", "BENCH_results.json", "results JSON the -sweep entries are merged into")
+		slo       = flag.Bool("slo", false, "measure per-verb deterministic RPC p99s, merge slo/p99/* entries into -sweepout")
 	)
 	flag.Parse()
 
@@ -91,12 +95,19 @@ func main() {
 				for _, f := range shmFails {
 					fmt.Printf("SHM GATE  %s\n", f)
 				}
-				if len(regs)+len(missing)+len(shmFails) > 0 {
-					fmt.Printf("bench gate: %d regressions, %d missing, %d shm ratio failures (tolerance %.0f%%)\n",
-						len(regs), len(missing), len(shmFails), 100**tolerance)
+				// Per-verb latency SLO ceilings (slo/p99/* entries): the
+				// deterministic virtual-time p99s must stay within
+				// bench.SLOSlack of the baseline.
+				sloFails := bench.SLOGate(base, cur)
+				for _, f := range sloFails {
+					fmt.Printf("SLO GATE  %s\n", f)
+				}
+				if len(regs)+len(missing)+len(shmFails)+len(sloFails) > 0 {
+					fmt.Printf("bench gate: %d regressions, %d missing, %d shm ratio failures, %d slo p99 failures (tolerance %.0f%%)\n",
+						len(regs), len(missing), len(shmFails), len(sloFails), 100**tolerance)
 					os.Exit(1)
 				}
-				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s; shm ratios hold\n",
+				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s; shm ratios and slo p99 ceilings hold\n",
 					len(base), 100**tolerance, *baseline)
 				return
 			}
@@ -127,6 +138,21 @@ func main() {
 		}
 		fmt.Printf("sweep gate: hybrid within %.0f%% of the best pure mode at every read ratio\n",
 			100*bench.SweepSlack)
+		return
+	}
+
+	if *slo {
+		results := bench.SLOResults(p)
+		bench.SLOTable(results).Fprint(os.Stdout)
+		merged, err := mergeResults(*sweepout, results)
+		if err == nil {
+			err = bench.WriteBenchJSON(*sweepout, merged)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d slo entries into %s\n", len(results), *sweepout)
 		return
 	}
 

@@ -85,6 +85,10 @@ func WithCollector(c *metrics.Collector) simfab.Option { return simfab.WithColle
 // NewMetrics returns a collector with the given bucket resolution (ns).
 func NewMetrics(resolution int64) *metrics.Collector { return metrics.New(resolution) }
 
+// MetricKind names a counter series (the hcl_*/fabric_*/ror_* constants
+// declared in internal/metrics).
+type MetricKind = metrics.Kind
+
 // Observability --------------------------------------------------------
 //
 // See docs/OBSERVABILITY.md for the span model, the histogram bucket
@@ -114,10 +118,65 @@ type MetricsSnapshot = metrics.Snapshot
 
 // MergeSnapshots folds per-node snapshots into a cluster-wide view;
 // histogram buckets add and quantiles are recomputed, so merged
-// percentiles are as accurate as single-node ones.
-func MergeSnapshots(snaps ...MetricsSnapshot) MetricsSnapshot {
+// percentiles are as accurate as single-node ones. Snapshots must agree
+// on their counter-bucket resolution; a mismatch returns
+// *metrics.ErrResolutionMismatch instead of silently mixing time bases.
+func MergeSnapshots(snaps ...MetricsSnapshot) (MetricsSnapshot, error) {
 	return metrics.MergeSnapshots(snaps...)
 }
+
+// MetricsWindows is a ring of per-interval snapshot deltas over one
+// collector: rates and rolling per-verb quantiles, where cumulative
+// snapshots can only answer "since boot" (docs/OBSERVABILITY.md).
+type MetricsWindows = metrics.Windows
+
+// NewMetricsWindows builds a window ring of the given depth (<= 0 selects
+// 120) over col, baselined at startNS. Roll it at interval boundaries, or
+// Start a wall-clock ticker.
+func NewMetricsWindows(col *metrics.Collector, depth int, startNS int64) *MetricsWindows {
+	return metrics.NewWindows(col, depth, startNS)
+}
+
+// SLOConfig declares per-verb latency objectives and the multi-window
+// burn-rate evaluation shape (docs/OBSERVABILITY.md).
+type SLOConfig = obs.SLOConfig
+
+// SLOObjective is one latency SLO: Target fraction of the verb's ops
+// within Latency. A trailing '*' in Verb prefix-matches histograms.
+type SLOObjective = obs.Objective
+
+// SLOStatus is one burn-rate evaluation pass.
+type SLOStatus = obs.SLOStatus
+
+// NewSLO builds a burn-rate evaluator over a node's window ring; breach
+// transitions are counted into hcl_slo_breaches at node.
+func NewSLO(cfg SLOConfig, win *MetricsWindows, node int) *obs.SLO {
+	return obs.NewSLO(cfg, win, node)
+}
+
+// FlightRecorder is the black-box ring that dumps postmortem artifacts on
+// typed faults (docs/OBSERVABILITY.md, "Flight recorder").
+type FlightRecorder = obs.FlightRecorder
+
+// FlightConfig shapes a flight recorder.
+type FlightConfig = obs.FlightConfig
+
+// NewFlightRecorder builds the black box over whichever of the
+// collector / tracer / window ring / SLO evaluator are attached (any may
+// be nil). With cfg.Dir empty the recorder is memory-only: Peek and the
+// /flight endpoint still serve the rings, Dump writes nothing.
+func NewFlightRecorder(cfg FlightConfig, col *metrics.Collector, tr *Tracer, win *MetricsWindows, slo *obs.SLO) *FlightRecorder {
+	return obs.NewFlightRecorder(cfg, col, tr, win, slo)
+}
+
+// ClusterObs scrapes every fabric node's metrics over the RoR engine and
+// merges them into one cluster view; obtain one from
+// Runtime.EnableClusterObs.
+type ClusterObs = obs.Cluster
+
+// DebugOptions selects what a debug listener serves; every field may be
+// nil (the matching endpoints serve empty data).
+type DebugOptions = obs.Options
 
 // ServeDebug starts the runtime introspection HTTP listener (endpoints
 // /metrics, /traces, /traces/tree) on addr; ":0" picks a free port, read
@@ -125,6 +184,13 @@ func MergeSnapshots(snaps ...MetricsSnapshot) MetricsSnapshot {
 // call via Config.DebugAddr. Either argument may be nil.
 func ServeDebug(addr string, col *metrics.Collector, tr *Tracer) (*obs.Server, error) {
 	return obs.Serve(addr, col, tr)
+}
+
+// ServeDebugOpts starts a debug listener serving the full observability
+// surface o enables: /metrics, /metrics/windows, /traces, /traces/tree,
+// /slo, /cluster/metrics, /cluster/slo, /flight.
+func ServeDebugOpts(addr string, o DebugOptions) (*obs.Server, error) {
+	return obs.ServeOpts(addr, o)
 }
 
 // TCPConfig configures the real-socket provider.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // The bench-regression gate: CI re-runs the microbenchmarks, converts the
@@ -53,6 +54,11 @@ func CompareBench(baseline, current []BenchResult, tol float64) (regressions []D
 		cur[c.Name] = c
 	}
 	for _, b := range baseline {
+		// slo/p99 entries are gated by SLOGate with its own slack policy;
+		// allocs/op is meaningless for them.
+		if strings.HasPrefix(b.Name, SLOPrefix) {
+			continue
+		}
 		c, ok := cur[b.Name]
 		if !ok {
 			missing = append(missing, b.Name)

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+)
+
+// Per-verb latency-SLO bench entries (ROADMAP item 5): a deterministic
+// single-client workload on the simulated fabric measures each verb's
+// virtual-time RPC p99 and records it as a BenchResult named
+// "slo/p99/rpc.<verb>". The numbers come from the calibrated cost model
+// and a sequential client, so they are exactly reproducible — the gate
+// below can therefore use a tight slack without flapping, unlike the
+// wall-clock microbenchmarks.
+//
+// The entries live in BENCH_results.json / BENCH_baseline.json next to
+// the go-bench numbers but are gated by SLOGate, not CompareBench:
+// allocs/op is meaningless for them and the slack policy differs.
+
+const (
+	// SLOPrefix marks the per-verb p99 ceiling entries in BENCH_*.json.
+	SLOPrefix = "slo/p99/"
+	// SLOSlack is the relative headroom over the baseline p99 before the
+	// gate fails. Virtual-time p99s are deterministic, but the log-bucket
+	// histogram reports bucket upper bounds, so a small cost-model change
+	// can hop one ~9% bucket; 25% tolerates two hops, not a regression
+	// class.
+	SLOSlack = 0.25
+)
+
+// SLOResults runs the deterministic SLO workload and returns one entry
+// per container RPC verb it exercised. One client, sequential ops: the
+// virtual clock never races, so the p99 of every rpc.* histogram is a
+// pure function of the cost model and the op mix.
+func SLOResults(p Params) []BenchResult {
+	col := metrics.New(1e6)
+	prov := simfab.New(2, fabric.DefaultCostModel(), simfab.WithCollector(col))
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, 1))
+	rt := core.NewRuntime(w)
+	rt.Engine().SetCollector(col)
+
+	m, err := core.NewUnorderedMap[string, []byte](rt, "slo", core.WithServers([]int{1}))
+	if err != nil {
+		panic(err)
+	}
+	om, err := core.NewMap[string, []byte](rt, "slo", core.NaturalLess[string](), core.WithServers([]int{1}))
+	if err != nil {
+		panic(err)
+	}
+	q, err := core.NewQueue[[]byte](rt, "slo", core.WithServers([]int{1}))
+	if err != nil {
+		panic(err)
+	}
+	w.ResetClocks()
+	payload := make([]byte, p.OpSize)
+	ops := p.OpsPerClient
+	if ops < 64 {
+		ops = 64
+	}
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < ops; i++ {
+			key := fmt.Sprintf("k%06d", i)
+			if _, err := m.Insert(r, key, payload); err != nil {
+				panic(err)
+			}
+			if _, _, err := m.Find(r, key); err != nil {
+				panic(err)
+			}
+			if _, err := om.Insert(r, key, payload); err != nil {
+				panic(err)
+			}
+			if err := q.Push(r, payload); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < ops; i++ {
+			if _, _, err := q.Pop(r); err != nil {
+				panic(err)
+			}
+			if _, err := m.Erase(r, fmt.Sprintf("k%06d", i)); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	var out []BenchResult
+	for _, h := range col.Snapshot().Histograms {
+		if !strings.HasPrefix(h.Name, "rpc.") || h.Count == 0 {
+			continue
+		}
+		out = append(out, BenchResult{
+			Name:    SLOPrefix + h.Name,
+			Runs:    int64(h.Count),
+			NsPerOp: float64(h.P99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SLOTable renders the entries for humans.
+func SLOTable(results []BenchResult) *Table {
+	t := &Table{
+		ID:     "slo",
+		Title:  "per-verb RPC p99 ceilings (virtual time, deterministic)",
+		Header: []string{"verb", "p99_ns", "ops"},
+	}
+	for _, r := range results {
+		t.AddRow(strings.TrimPrefix(r.Name, SLOPrefix), fmt.Sprintf("%.0f", r.NsPerOp), fmt.Sprintf("%d", r.Runs))
+	}
+	t.AddNote("gate: current p99 must stay within %.0f%% of BENCH_baseline.json (hcl-bench -benchcompare)", 100*SLOSlack)
+	return t
+}
+
+// SLOGate checks the current run's per-verb p99s against the baseline
+// ceilings. Every baseline slo/p99 entry must be present and within
+// SLOSlack; a vanished verb fails like a missing benchmark does in
+// CompareBench. Returns one line per failure (empty: gate passes).
+func SLOGate(baseline, current []BenchResult) []string {
+	cur := make(map[string]float64, len(current))
+	for _, r := range current {
+		if strings.HasPrefix(r.Name, SLOPrefix) {
+			cur[r.Name] = r.NsPerOp
+		}
+	}
+	var fails []string
+	for _, b := range baseline {
+		if !strings.HasPrefix(b.Name, SLOPrefix) {
+			continue
+		}
+		got, ok := cur[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s missing from the current run", b.Name))
+			continue
+		}
+		if got > b.NsPerOp*(1+SLOSlack) {
+			fails = append(fails, fmt.Sprintf("%s p99 %.0f ns exceeds baseline %.0f ns by more than %.0f%%",
+				b.Name, got, b.NsPerOp, 100*SLOSlack))
+		}
+	}
+	sort.Strings(fails)
+	return fails
+}

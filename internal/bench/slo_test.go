@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSLOResultsDeterministic: the slo workload is single-client virtual
+// time — two runs must agree bit-for-bit, which is what lets the gate
+// use a tight slack.
+func TestSLOResultsDeterministic(t *testing.T) {
+	p := Scaled()
+	p.OpsPerClient = 64
+	a, b := SLOResults(p), SLOResults(p)
+	if len(a) == 0 {
+		t.Fatal("no slo entries measured")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic entry %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for _, r := range a {
+		if !strings.HasPrefix(r.Name, SLOPrefix) || r.NsPerOp <= 0 || r.Runs <= 0 {
+			t.Fatalf("malformed entry: %+v", r)
+		}
+	}
+}
+
+// TestSLOGate: within-slack passes, beyond-slack and vanished verbs fail.
+func TestSLOGate(t *testing.T) {
+	base := []BenchResult{
+		{Name: SLOPrefix + "rpc.umap.slo.insert", NsPerOp: 10000},
+		{Name: SLOPrefix + "rpc.umap.slo.find", NsPerOp: 8000},
+		{Name: "BenchmarkOther/64B", NsPerOp: 100}, // not an slo entry: ignored
+	}
+	ok := []BenchResult{
+		{Name: SLOPrefix + "rpc.umap.slo.insert", NsPerOp: 10000 * (1 + SLOSlack) * 0.99},
+		{Name: SLOPrefix + "rpc.umap.slo.find", NsPerOp: 8000},
+	}
+	if fails := SLOGate(base, ok); len(fails) != 0 {
+		t.Fatalf("within-slack run failed: %v", fails)
+	}
+	bad := []BenchResult{
+		{Name: SLOPrefix + "rpc.umap.slo.insert", NsPerOp: 10000 * (1 + SLOSlack) * 1.05},
+		// find entry vanished
+	}
+	fails := SLOGate(base, bad)
+	if len(fails) != 2 {
+		t.Fatalf("regressed run: %v", fails)
+	}
+	if !strings.Contains(fails[0], "find") || !strings.Contains(fails[1], "exceeds baseline") {
+		t.Fatalf("failure lines: %v", fails)
+	}
+}
+
+// TestCompareBenchSkipsSLOEntries: slo/p99 baseline entries must not be
+// double-gated (or reported missing) by the go-bench comparison.
+func TestCompareBenchSkipsSLOEntries(t *testing.T) {
+	base := []BenchResult{
+		{Name: SLOPrefix + "rpc.umap.slo.insert", NsPerOp: 10000},
+		{Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: 1},
+	}
+	cur := []BenchResult{{Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: 1}}
+	regs, missing := CompareBench(base, cur, 0)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("slo entry leaked into CompareBench: regs=%v missing=%v", regs, missing)
+	}
+}

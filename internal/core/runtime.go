@@ -24,7 +24,9 @@ import (
 	"hcl/internal/cluster"
 	"hcl/internal/fabric"
 	"hcl/internal/metrics"
+	"hcl/internal/obs"
 	"hcl/internal/ror"
+	"hcl/internal/trace"
 )
 
 // Runtime bundles the world, the RoR engine, and the accounting hooks a
@@ -49,6 +51,9 @@ func NewRuntime(w *cluster.World) *Runtime {
 	if col := collectorOf(prov); col != nil {
 		rt.engine.SetCollector(col)
 	}
+	if tr := tracerOf(prov); tr != nil {
+		rt.engine.SetTracer(tr)
+	}
 	return rt
 }
 
@@ -59,6 +64,11 @@ func NewRuntimeWithEngine(w *cluster.World, e *ror.Engine) *Runtime {
 	if e.Collector() == nil {
 		if col := collectorOf(prov); col != nil {
 			e.SetCollector(col)
+		}
+	}
+	if e.Tracer() == nil {
+		if tr := tracerOf(prov); tr != nil {
+			e.SetTracer(tr)
 		}
 	}
 	return &Runtime{
@@ -87,6 +97,38 @@ func collectorOf(prov fabric.Provider) *metrics.Collector {
 		prov = inner.Inner()
 	}
 	return nil
+}
+
+// tracerOf is collectorOf for span tracers: it finds the tracer attached
+// to a provider through the same decorator-unwrapping walk, so engine
+// spans land in the same ring as transport spans automatically.
+func tracerOf(prov fabric.Provider) *trace.Tracer {
+	for prov != nil {
+		if t, ok := prov.(interface{ Tracer() *trace.Tracer }); ok {
+			if tr := t.Tracer(); tr != nil {
+				return tr
+			}
+		}
+		inner, ok := prov.(interface{ Inner() fabric.Provider })
+		if !ok {
+			return nil
+		}
+		prov = inner.Inner()
+	}
+	return nil
+}
+
+// EnableClusterObs binds the cluster metrics-scrape verb (obs.ScrapeFn)
+// on the runtime's engine — serving this process's collector and window
+// ring — and returns a scraper originating at node. Every runtime in the
+// cluster must call it (the verb must be bound on every process) for a
+// scrape to cover all nodes; see docs/OBSERVABILITY.md.
+func (rt *Runtime) EnableClusterObs(node int, win *metrics.Windows) *obs.Cluster {
+	col := rt.engine.Collector()
+	if col == nil && win != nil {
+		col = win.Collector()
+	}
+	return obs.EnableCluster(rt.engine, node, col, win)
 }
 
 // World returns the runtime's world.

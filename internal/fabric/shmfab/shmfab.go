@@ -405,6 +405,9 @@ func (f *Fabric) NumNodes() int { return f.cfg.Nodes }
 // provider-unwrapping auto-wiring looks for exactly this method).
 func (f *Fabric) Collector() *metrics.Collector { return f.cfg.Collector }
 
+// Tracer exposes the configured span tracer (same auto-wiring contract).
+func (f *Fabric) Tracer() *trace.Tracer { return f.cfg.Tracer }
+
 // SetDispatcher installs the RPC dispatcher for a node. Only the entry
 // for this fabric's own node is ever executed here; remote entries are
 // kept so the id space stays symmetric with other providers.

@@ -156,10 +156,11 @@ type Fabric struct {
 	acceptMu sync.Mutex
 	accepted map[net.Conn]struct{}
 
-	tasks chan serverTask
-	done  chan struct{}
-	debug *obs.Server // debug HTTP listener, nil unless DebugAddr set
-	syms  traceSyms   // pre-interned span labels, set when Tracer != nil
+	tasks   chan serverTask
+	done    chan struct{}
+	debug   *obs.Server      // debug HTTP listener, nil unless DebugAddr set
+	windows *metrics.Windows // 1s windowed deltas, nil unless DebugAddr && Collector set
+	syms    traceSyms        // pre-interned span labels, set when Tracer != nil
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -221,8 +222,19 @@ func New(cfg Config) (*Fabric, error) {
 	}
 	f.syms.intern(cfg.Tracer)
 	if cfg.DebugAddr != "" {
-		dbg, err := obs.Serve(cfg.DebugAddr, cfg.Collector, cfg.Tracer)
+		// A debug node also maintains a one-second window ring so
+		// /metrics/windows and SLO burn rates work out of the box.
+		if cfg.Collector != nil {
+			f.windows = metrics.NewWindows(cfg.Collector, metrics.DefaultWindowDepth, time.Now().UnixNano())
+			f.windows.Start(time.Second)
+		}
+		dbg, err := obs.ServeOpts(cfg.DebugAddr, obs.Options{
+			Collector: cfg.Collector,
+			Tracer:    cfg.Tracer,
+			Windows:   f.windows,
+		})
 		if err != nil {
+			f.windows.Stop()
 			ln.Close()
 			return nil, err
 		}
@@ -271,6 +283,17 @@ func (f *Fabric) countWallN(kind metrics.Kind, node int, v float64) {
 // Addr reports the actual listen address (useful with ":0" configs).
 func (f *Fabric) Addr() string { return f.ln.Addr().String() }
 
+// Collector exposes the configured metrics collector (the decorator-
+// unwrapping discovery core.Runtime and the obs scraper rely on).
+func (f *Fabric) Collector() *metrics.Collector { return f.cfg.Collector }
+
+// Tracer exposes the configured span tracer.
+func (f *Fabric) Tracer() *trace.Tracer { return f.cfg.Tracer }
+
+// Windows exposes the node's window ring, nil unless DebugAddr and
+// Collector were both configured.
+func (f *Fabric) Windows() *metrics.Windows { return f.windows }
+
 // DebugAddr reports the debug listener's resolved address, or "" when no
 // DebugAddr was configured.
 func (f *Fabric) DebugAddr() string {
@@ -310,6 +333,7 @@ func (f *Fabric) Close() error {
 	}
 	close(f.done)
 	err := f.ln.Close()
+	f.windows.Stop()
 	f.debug.Close()
 
 	// Collect client-side connections under the locks, sever them after.

@@ -7,6 +7,8 @@ import (
 
 	"hcl/internal/fabric"
 	"hcl/internal/fabric/faultfab"
+	"hcl/internal/metrics"
+	"hcl/internal/obs"
 )
 
 // The chaos schedule. Probabilistic faults (drops, delays) ride on
@@ -132,6 +134,14 @@ type chaosRunner struct {
 	ff *faultfab.Fabric
 	cr crasher
 
+	// Observability hooks (nil when the run is not instrumented): every
+	// applied event is annotated into the flight recorder, and the window
+	// ring rolls every rollEvery completed ops so flight records carry
+	// metric deltas from around the fault, not just since-boot totals.
+	fr        *obs.FlightRecorder
+	win       *metrics.Windows
+	rollEvery int
+
 	mu      sync.Mutex
 	pending []chaosEvent // sorted by afterOps
 	done    int
@@ -153,18 +163,34 @@ func newChaosRunner(p *chaosPlan, ff *faultfab.Fabric, cr crasher) *chaosRunner 
 	return &chaosRunner{ff: ff, cr: cr, pending: ev}
 }
 
-// tick advances the completed-op counter and fires due events.
-func (c *chaosRunner) tick() {
+// observe wires the flight recorder and window ring into the runner.
+func (c *chaosRunner) observe(fr *obs.FlightRecorder, win *metrics.Windows, rollEvery int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.fr, c.win, c.rollEvery = fr, win, rollEvery
+	c.mu.Unlock()
+}
+
+// tick advances the completed-op counter and fires due events. nowNS is
+// the ticking client's clock (virtual on sim, wall on shm), used to stamp
+// window rolls and flight annotations.
+func (c *chaosRunner) tick(nowNS int64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	c.done++
+	if c.win != nil && c.rollEvery > 0 && c.done%c.rollEvery == 0 {
+		c.win.Roll(nowNS)
+	}
 	for len(c.pending) > 0 && c.pending[0].afterOps <= c.done {
 		e := c.pending[0]
 		c.pending = c.pending[1:]
 		e.apply(c.ff, c.cr)
 		c.applied = append(c.applied, fmt.Sprintf("@%d %s", c.done, e.desc))
+		c.fr.Note(nowNS, "chaos", fmt.Sprintf("@%d %s", c.done, e.desc))
 	}
 	c.mu.Unlock()
 }

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcl/internal/obs"
+)
+
+// TestFlightArtifactOnChaos: a chaotic run with injected kills emits a
+// postmortem flight-record artifact carrying the black box — chaos
+// events, fault events, per-interval metric deltas, and fabric spans
+// from around the fault. Fault observation depends on whether a client
+// op lands inside a kill window, so a few seeds are tried; the schedule
+// is seed-deterministic, so at least one must fault.
+func TestFlightArtifactOnChaos(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		dir := t.TempDir()
+		res := Run(Config{
+			Seed: seed, Kind: KindUnorderedMap, Chaos: true,
+			FlightDir: dir, Minimize: true,
+		})
+		if res.Failed() {
+			t.Fatalf("seed %d: unexpected violations: %+v", seed, res.Violations)
+		}
+		if len(res.FlightFiles) == 0 {
+			continue // this seed's ops all dodged the kill windows
+		}
+		path := res.FlightFiles[0]
+		if !strings.Contains(filepath.Base(path), "fault") {
+			t.Fatalf("artifact %q is not a fault dump", path)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec obs.FlightRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatalf("artifact is not a flight record: %v", err)
+		}
+		var chaosEvents, faultEvents int
+		for _, e := range rec.Events {
+			switch e.Kind {
+			case "chaos":
+				chaosEvents++
+			case "fault":
+				faultEvents++
+			}
+		}
+		if chaosEvents == 0 || faultEvents == 0 {
+			t.Fatalf("black box events: %d chaos, %d fault: %+v", chaosEvents, faultEvents, rec.Events)
+		}
+		if len(rec.Spans) == 0 {
+			t.Fatal("flight record has no fabric spans")
+		}
+		if len(rec.Windows) == 0 {
+			t.Fatal("flight record has no metric-delta windows")
+		}
+		if len(rec.Metrics.Histograms) == 0 {
+			t.Fatal("flight record has no cumulative metrics")
+		}
+		return
+	}
+	t.Fatal("no seed in 1..8 produced a fault artifact under chaos")
+}
+
+// TestFlightDirDisabled: without a FlightDir the run stays artifact-free
+// even under chaos — the black box is memory-only.
+func TestFlightDirDisabled(t *testing.T) {
+	t.Setenv("HCL_FLIGHT_DIR", "")
+	res := Run(Config{Seed: 3, Kind: KindQueue, Chaos: true})
+	if res.Failed() {
+		t.Fatalf("unexpected violations: %+v", res.Violations)
+	}
+	if len(res.FlightFiles) != 0 {
+		t.Fatalf("artifacts written with no FlightDir: %v", res.FlightFiles)
+	}
+}
+
+// TestFlightMinimizeSuppressed: minimization re-executes the run many
+// times; a failing run must still emit at most its own dumps, not one
+// per shrink candidate. The deliberately broken build trips the checker.
+func TestFlightMinimizeSuppressed(t *testing.T) {
+	dir := t.TempDir()
+	res := Run(Config{
+		Seed: 11, Kind: KindQueue, Bug: BugDupPop,
+		FlightDir: dir, Minimize: true,
+	})
+	if !res.Failed() {
+		t.Fatal("broken build not flagged")
+	}
+	ents, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 || len(ents) > 2 {
+		t.Fatalf("expected 1-2 artifacts from the original run, got %d: %v", len(ents), ents)
+	}
+	// The checker dump must exist and name the seed.
+	var sawChecker bool
+	for _, p := range ents {
+		if strings.Contains(p, "seed11-checker") {
+			sawChecker = true
+		}
+	}
+	if !sawChecker {
+		t.Fatalf("no checker dump among %v", ents)
+	}
+}

@@ -33,6 +33,7 @@
 package harness
 
 import (
+	"os"
 	"time"
 
 	"hcl/internal/core"
@@ -135,6 +136,12 @@ type Config struct {
 	// Minimize shrinks the failing op streams before reporting
 	// (default on for sim runs; minimization re-executes the run).
 	Minimize bool
+	// FlightDir, when non-empty, is where the flight recorder writes
+	// postmortem JSON artifacts (one per run, on observed faults or
+	// checker failures; see docs/OBSERVABILITY.md). Defaults to the
+	// HCL_FLIGHT_DIR environment variable; empty disables artifacts
+	// (the in-memory black box still records).
+	FlightDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +156,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Keys <= 0 {
 		c.Keys = 8
+	}
+	if c.FlightDir == "" {
+		c.FlightDir = os.Getenv("HCL_FLIGHT_DIR")
 	}
 	return c
 }
@@ -165,10 +175,11 @@ type Violation struct {
 
 // Result aggregates a run or sweep.
 type Result struct {
-	Runs       int           // completed harness runs
-	Ops        int           // total operations driven
-	Violations []Violation   // empty on a correct container
-	Elapsed    time.Duration // wall time spent
+	Runs        int           // completed harness runs
+	Ops         int           // total operations driven
+	Violations  []Violation   // empty on a correct container
+	FlightFiles []string      // flight-record artifacts written (FlightDir set)
+	Elapsed     time.Duration // wall time spent
 }
 
 // Failed reports whether any violation was found.

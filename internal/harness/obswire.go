@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"fmt"
+
+	"hcl/internal/core"
+	"hcl/internal/metrics"
+	"hcl/internal/obs"
+	"hcl/internal/trace"
+)
+
+// Observability wiring for harness runs: every run carries a collector,
+// a span ring, a window ring, and a flight recorder, so a failing run
+// leaves behind more than a history — it leaves the black box. The
+// window ring rolls every windowRollOps completed ops (driven from
+// chaosRunner.tick on chaotic runs, or once at run end otherwise), so a
+// flight record's Windows section shows per-interval metric deltas from
+// around the fault rather than a single since-boot total.
+
+// windowRollOps is how many completed client ops advance the window ring
+// by one interval on instrumented runs.
+const windowRollOps = 16
+
+// runObs is the per-run observability stack.
+type runObs struct {
+	col *metrics.Collector
+	tr  *trace.Tracer
+	win *metrics.Windows
+	fr  *obs.FlightRecorder
+}
+
+// newRunObs builds the stack for one harness run. Flight artifacts go to
+// cfg.FlightDir (empty keeps the recorder memory-only). core.ErrDegraded
+// is registered as a typed fault alongside the recorder's built-in
+// fabric.ErrNodeDown/ErrTimeout set — the harness cannot live inside obs
+// (obs must not import core), so the error is injected here.
+func newRunObs(cfg Config) *runObs {
+	col := metrics.New(1e6)
+	tr := trace.New(4096)
+	win := metrics.NewWindows(col, 64, 0)
+	fr := obs.NewFlightRecorder(obs.FlightConfig{
+		Dir:         cfg.FlightDir,
+		FaultErrors: []error{core.ErrDegraded},
+	}, col, tr, win, nil)
+	return &runObs{col: col, tr: tr, win: win, fr: fr}
+}
+
+// finish seals the run: rolls a final window so the tail of the run is
+// covered, dumps a postmortem artifact when the run observed typed
+// faults and another when the checkers found violations, and returns the
+// artifact paths. Reasons embed the seed so artifacts from different
+// runs sharing one FlightDir (a CI stress shard) do not overwrite.
+func (o *runObs) finish(cfg Config, nowNS int64, violations int) []string {
+	if o == nil {
+		return nil
+	}
+	o.win.Roll(nowNS)
+	if o.col.Total(metrics.FlightFaults, -1) > 0 {
+		o.fr.Dump(fmt.Sprintf("seed%d-fault", cfg.Seed), nowNS)
+	}
+	if violations > 0 {
+		o.fr.Dump(fmt.Sprintf("seed%d-checker", cfg.Seed), nowNS)
+	}
+	return o.fr.Files()
+}

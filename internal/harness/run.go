@@ -9,6 +9,7 @@ import (
 	"hcl/internal/fabric"
 	"hcl/internal/fabric/faultfab"
 	"hcl/internal/fabric/simfab"
+	"hcl/internal/obs"
 	"hcl/internal/trace"
 )
 
@@ -29,10 +30,15 @@ func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	streams := genStreams(cfg)
-	entries, viols := runSim(cfg, streams)
-	res := Result{Runs: 1, Ops: len(entries), Elapsed: time.Since(start)}
+	entries, viols, flights := runSim(cfg, streams)
+	res := Result{Runs: 1, Ops: len(entries), FlightFiles: flights, Elapsed: time.Since(start)}
 	if len(viols) > 0 && cfg.Minimize {
-		if small, sviols := minimizeStreams(cfg, streams); len(sviols) > 0 {
+		// Minimization re-executes the run up to shrinkRunLimit times;
+		// suppress artifact dumps so the original run's black box is the
+		// one that survives, not a storm of shrink-candidate dumps.
+		mcfg := cfg
+		mcfg.FlightDir = ""
+		if small, sviols := minimizeStreams(mcfg, streams); len(sviols) > 0 {
 			viols = sviols
 			for i := range viols {
 				viols[i].Shrunk = true
@@ -64,6 +70,7 @@ func Sweep(cfg Config, kinds []Kind, budget time.Duration) Result {
 			total.Runs += r.Runs
 			total.Ops += r.Ops
 			total.Violations = append(total.Violations, r.Violations...)
+			total.FlightFiles = append(total.FlightFiles, r.FlightFiles...)
 			if r.Failed() {
 				total.Elapsed = time.Since(start)
 				return total
@@ -81,9 +88,12 @@ func opCount(streams [][]Op) int {
 }
 
 // runSim builds the sim world, drives the streams, and checks the
-// recorded history.
-func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation) {
-	sim := simfab.New(cfg.Nodes, fabric.DefaultCostModel())
+// recorded history. The third return value lists flight-record artifacts
+// written (cfg.FlightDir set and the run observed faults or violations).
+func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation, []string) {
+	ro := newRunObs(cfg)
+	sim := simfab.New(cfg.Nodes, fabric.DefaultCostModel(),
+		simfab.WithCollector(ro.col), simfab.WithTracer(ro.tr))
 	defer sim.Close()
 	var prov fabric.Provider = sim
 	plan := buildChaos(cfg, opCount(streams))
@@ -99,30 +109,38 @@ func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation) {
 	}
 	st, cr, err := newStore(rt, cfg, "stress", streamValidator(streams))
 	if err != nil {
-		return nil, []Violation{{Kind: cfg.Kind, Seed: cfg.Seed, Desc: "store construction: " + err.Error()}}
+		return nil, []Violation{{Kind: cfg.Kind, Seed: cfg.Seed, Desc: "store construction: " + err.Error()}}, nil
 	}
 	hist := &History{}
 	chaos := newChaosRunner(plan, ff, cr)
+	chaos.observe(ro.fr, ro.win, windowRollOps)
 
 	w.Run(func(r *cluster.Rank) {
 		for _, op := range streams[r.ID()] {
-			applyOp(hist, st, r, r.ID(), op, phaseConcurrent)
-			chaos.tick()
+			applyOp(hist, st, ro.fr, r, r.ID(), op, phaseConcurrent)
+			chaos.tick(r.Clock().Now())
 		}
 	})
 	chaos.quiesce(cfg.Nodes)
-	verify(cfg, hist, st, w.Rank(0))
+	verify(cfg, hist, st, ro.fr, w.Rank(0))
 	entries := hist.Entries()
-	return entries, checkAll(cfg, entries, chaos.log())
+	viols := checkAll(cfg, entries, chaos.log())
+	files := ro.finish(cfg, w.Rank(0).Clock().Now(), len(viols))
+	return entries, viols, files
 }
 
 // applyOp records one operation end to end, stamping the allocated trace
-// id on the rank's clock so fabric spans of the op share it.
-func applyOp(hist *History, st store, r *cluster.Rank, client int, op Op, phase uint8) Outcome {
+// id on the rank's clock so fabric spans of the op share it. Errors feed
+// the flight recorder (nil-safe): typed faults land in the black box's
+// event ring with the client's clock stamp.
+func applyOp(hist *History, st store, fr *obs.FlightRecorder, r *cluster.Rank, client int, op Op, phase uint8) Outcome {
 	idx, tid := hist.Begin(client, op, phase)
 	r.Clock().SetTrace(trace.Ctx{TraceID: tid, Parent: tid})
 	val, ok, err := st.Apply(r, op)
 	r.Clock().SetTrace(trace.Ctx{})
+	if err != nil {
+		fr.ObserveError(r.Clock().Now(), fmt.Sprintf("client %d %s", client, op.Kind), err)
+	}
 	return hist.End(idx, val, ok, err)
 }
 
@@ -130,7 +148,7 @@ func applyOp(hist *History, st store, r *cluster.Rank, client int, op Op, phase 
 // every key for map/set kinds, a sequential drain for queue kinds. Each
 // probe retries until it completes cleanly so the phase's entries are
 // binding.
-func verify(cfg Config, hist *History, st store, r0 *cluster.Rank) {
+func verify(cfg Config, hist *History, st store, fr *obs.FlightRecorder, r0 *cluster.Rank) {
 	rv := r0.WithOptions(verifyOptions)
 	switch cfg.Kind {
 	case KindQueue, KindPriorityQueue:
@@ -146,6 +164,7 @@ func verify(cfg Config, hist *History, st store, r0 *cluster.Rank) {
 			rv.Clock().SetTrace(trace.Ctx{})
 			hist.End(idx, val, ok, err)
 			if err != nil {
+				fr.ObserveError(rv.Clock().Now(), "verify drain", err)
 				continue
 			}
 			if ok {
@@ -158,7 +177,7 @@ func verify(cfg Config, hist *History, st store, r0 *cluster.Rank) {
 		for k := 0; k < cfg.Keys; k++ {
 			op := Op{Kind: OpGet, Key: uint64(k)}
 			for attempt := 0; attempt < 8; attempt++ {
-				if applyOp(hist, st, rv, 0, op, phaseVerify) == OutcomeOK {
+				if applyOp(hist, st, fr, rv, 0, op, phaseVerify) == OutcomeOK {
 					break
 				}
 			}

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hcl/internal/cluster"
@@ -9,6 +11,8 @@ import (
 	"hcl/internal/fabric"
 	"hcl/internal/fabric/faultfab"
 	"hcl/internal/fabric/shmfab"
+	"hcl/internal/metrics"
+	"hcl/internal/obs"
 )
 
 // RunShm executes one harness run over the shared-memory transport: two
@@ -41,12 +45,23 @@ func RunShm(cfg Config) (Result, error) {
 	// forced off), so both ranks declare them inline-safe: client
 	// goroutines drive the serving ring directly — the zero-handoff path
 	// the benchmark gates — and the checkers validate exactly that path.
-	f0, err := shmfab.New(shmfab.Config{NodeID: 0, Nodes: 2, Dir: dir, InlineHandlers: true})
+	// Each node gets its own collector (separate processes in real
+	// deployments), so the cluster scrape below exercises the true
+	// multi-source merge path.
+	ro := newRunObs(cfg)
+	col1 := metrics.New(1e6)
+	f0, err := shmfab.New(shmfab.Config{
+		NodeID: 0, Nodes: 2, Dir: dir, InlineHandlers: true,
+		Collector: ro.col, Tracer: ro.tr,
+	})
 	if err != nil {
 		return Result{}, err
 	}
 	defer f0.Close()
-	f1, err := shmfab.New(shmfab.Config{NodeID: 1, Nodes: 2, Dir: dir, InlineHandlers: true})
+	f1, err := shmfab.New(shmfab.Config{
+		NodeID: 1, Nodes: 2, Dir: dir, InlineHandlers: true,
+		Collector: col1,
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -90,22 +105,77 @@ func RunShm(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// Cluster observability over the live rings: both nodes bind the
+	// scrape verb; node 0 aggregates after the run (checked below).
+	win1 := metrics.NewWindows(col1, 8, 0)
+	c0 := rt0.EnableClusterObs(0, ro.win)
+	rt1.EnableClusterObs(1, win1)
+	c0.SetOptions(verifyOptions)
+
 	hist := &History{}
 	chaos := newChaosRunner(plan, ff, nil)
+	chaos.observe(ro.fr, ro.win, windowRollOps)
 	w0.Run(func(r *cluster.Rank) {
 		for _, op := range streams[r.ID()] {
-			applyOp(hist, st, r, r.ID(), op, phaseConcurrent)
-			chaos.tick()
+			applyOp(hist, st, ro.fr, r, r.ID(), op, phaseConcurrent)
+			chaos.tick(r.Clock().Now())
 		}
 	})
 	chaos.quiesce(cfg.Nodes)
-	verify(cfg, hist, st, w0.Rank(0))
+	verify(cfg, hist, st, ro.fr, w0.Rank(0))
 
 	entries := hist.Entries()
+	viols := checkAll(cfg, entries, chaos.log())
+	viols = append(viols, checkShmScrape(cfg, c0, ro.col, col1)...)
+	files := ro.finish(cfg, w0.Rank(0).Clock().Now(), len(viols))
 	return Result{
-		Runs:       1,
-		Ops:        len(entries),
-		Violations: checkAll(cfg, entries, chaos.log()),
-		Elapsed:    time.Since(start),
+		Runs:        1,
+		Ops:         len(entries),
+		Violations:  viols,
+		FlightFiles: files,
+		Elapsed:     time.Since(start),
 	}, nil
+}
+
+// checkShmScrape runs the fabric-scraped cluster aggregation over the
+// shm rings after the workload quiesces and checks the merge invariant:
+// both per-node collectors are distinct sources, and the merged per-verb
+// RPC totals equal the sum of the per-node snapshots taken just before
+// the scrape. A failure is a real observability regression, so it is
+// reported through the same Violation channel as the history checkers.
+func checkShmScrape(cfg Config, c0 *obs.Cluster, col0, col1 *metrics.Collector) []Violation {
+	pre0, pre1 := col0.Snapshot(), col1.Snapshot()
+	view := c0.Scrape()
+	var descs []string
+	if view.Scraped != 2 || len(view.Errors) > 0 {
+		descs = append(descs, fmt.Sprintf("cluster scrape over shm: scraped %d/2 nodes, errors=%v",
+			view.Scraped, view.Errors))
+	} else {
+		if view.Sources != 2 {
+			descs = append(descs, fmt.Sprintf("cluster scrape over shm: %d sources, want 2 per-node collectors", view.Sources))
+		}
+		if view.MergeError != "" {
+			descs = append(descs, "cluster scrape over shm: merge: "+view.MergeError)
+		}
+		// Kind-agnostic merge invariant: total container-RPC count in the
+		// merged view covers the sum of the per-node snapshots taken just
+		// before the scrape (the scrape's own rpc.obs.* traffic excluded).
+		rpcCount := func(s metrics.Snapshot) uint64 {
+			var n uint64
+			for _, h := range s.Histograms {
+				if strings.HasPrefix(h.Name, "rpc.") && !strings.HasPrefix(h.Name, "rpc.obs.") {
+					n += h.Count
+				}
+			}
+			return n
+		}
+		if got, want := rpcCount(view.Merged), rpcCount(pre0)+rpcCount(pre1); got < want {
+			descs = append(descs, fmt.Sprintf("cluster scrape over shm: merged rpc count %d < per-node sum %d", got, want))
+		}
+	}
+	viols := make([]Violation, len(descs))
+	for i, d := range descs {
+		viols[i] = Violation{Kind: cfg.Kind, Seed: cfg.Seed, Desc: d}
+	}
+	return viols
 }

@@ -21,7 +21,11 @@ func RunTCP(cfg Config) (Result, error) {
 	cfg.Chaos = false
 	start := time.Now()
 
-	f0, err := tcpfab.New(tcpfab.Config{NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}})
+	ro := newRunObs(cfg)
+	f0, err := tcpfab.New(tcpfab.Config{
+		NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"},
+		Collector: ro.col, Tracer: ro.tr,
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -56,17 +60,20 @@ func RunTCP(cfg Config) (Result, error) {
 	hist := &History{}
 	w0.Run(func(r *cluster.Rank) {
 		for _, op := range streams[r.ID()] {
-			applyOp(hist, st, r, r.ID(), op, phaseConcurrent)
+			applyOp(hist, st, ro.fr, r, r.ID(), op, phaseConcurrent)
 		}
 	})
-	verify(cfg, hist, st, w0.Rank(0))
+	verify(cfg, hist, st, ro.fr, w0.Rank(0))
 
 	entries := hist.Entries()
+	viols := checkAll(cfg, entries, nil)
+	files := ro.finish(cfg, w0.Rank(0).Clock().Now(), len(viols))
 	res := Result{
-		Runs:       1,
-		Ops:        len(entries),
-		Violations: checkAll(cfg, entries, nil),
-		Elapsed:    time.Since(start),
+		Runs:        1,
+		Ops:         len(entries),
+		Violations:  viols,
+		FlightFiles: files,
+		Elapsed:     time.Since(start),
 	}
 	return res, nil
 }

@@ -274,6 +274,59 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Delta returns the histogram of observations recorded after prev was
+// taken: buckets subtract count-wise, Count and Sum subtract, and the
+// quantiles are recomputed so they describe only the delta interval.
+// Min/Max are re-derived from the occupied delta buckets (bucket bounds,
+// so within the scheme's 12.5% error). A bucket that went backwards —
+// prev is not an ancestor of s — clamps to s's count.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	if prev.Count == 0 {
+		return s
+	}
+	prevCounts := make(map[int64]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevCounts[b.Low] = b.Count
+	}
+	out := HistSnapshot{Name: s.Name}
+	for _, b := range s.Buckets {
+		d := b.Count - prevCounts[b.Low]
+		if d > b.Count { // unsigned underflow: prev had more than s
+			d = b.Count
+		}
+		if d == 0 {
+			continue
+		}
+		out.Buckets = append(out.Buckets, BucketCount{Low: b.Low, High: b.High, Count: d})
+		out.Count += d
+	}
+	if out.Count == 0 {
+		out.Buckets = nil
+		return out
+	}
+	if d := s.Sum - prev.Sum; d > 0 {
+		out.Sum = d
+	}
+	out.Min = out.Buckets[0].Low
+	out.Max = out.Buckets[len(out.Buckets)-1].High
+	out.fillQuantiles()
+	return out
+}
+
+// CountAbove reports how many observations exceeded v. A bucket
+// straddling v counts entirely as above — consistent with quantiles
+// reporting bucket upper bounds, the estimate never under-reports, so an
+// SLO burn computed from it errs toward alarming.
+func (s HistSnapshot) CountAbove(v int64) uint64 {
+	var n uint64
+	for _, b := range s.Buckets {
+		if b.High > v {
+			n += b.Count
+		}
+	}
+	return n
+}
+
 func sortBuckets(bs []BucketCount) {
 	// Insertion sort: bucket lists are short and usually nearly sorted.
 	for i := 1; i < len(bs); i++ {

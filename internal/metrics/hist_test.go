@@ -192,7 +192,10 @@ func TestMergeSnapshots(t *testing.T) {
 	b.Add(Retries, 0, 0, 2)
 	b.Add(Timeouts, 1, 0, 1)
 
-	m := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	m, err := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
 	if got := m.Hist("rpc.insert"); got.Count != 2 || got.Min != 100 || got.Max != 200 {
 		t.Fatalf("merged rpc.insert: %+v", got)
 	}

@@ -58,6 +58,14 @@ const (
 	ShmRingFull Kind = "fabric_shm_ring_full" // sends that stalled on a full ring
 	ShmSpins    Kind = "fabric_shm_spins"     // empty poll sweeps before a park
 	ShmWakeups  Kind = "fabric_shm_wakeups"   // futex wakes issued to parked peers
+
+	// Observability-plane counters recorded by internal/obs
+	// (docs/OBSERVABILITY.md): the SLO burn-rate engine, the cluster
+	// metrics scraper, and the flight recorder.
+	SLOBreaches  Kind = "hcl_slo_breaches"  // objective transitions into breach
+	ObsScrapes   Kind = "hcl_obs_scrapes"   // peer snapshots pulled by cluster scrapes
+	FlightDumps  Kind = "hcl_flight_dumps"  // flight records dumped (memory or file)
+	FlightFaults Kind = "hcl_flight_faults" // typed faults observed by the recorder
 )
 
 // Collector accumulates (kind, node, bucket) -> value sums. Buckets are

@@ -4,7 +4,10 @@
 // MergeSnapshots over per-node dumps.
 package metrics
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // TotalPoint is one (kind, node) counter total.
 type TotalPoint struct {
@@ -70,15 +73,41 @@ func (s Snapshot) Total(kind Kind, node int) float64 {
 	return sum
 }
 
+// ErrResolutionMismatch reports that MergeSnapshots was handed snapshots
+// whose counter-bucket resolutions disagree. Totals of such snapshots
+// still add, but any rate or window derived from the merge would silently
+// mix different time bases, so the merge refuses instead.
+type ErrResolutionMismatch struct {
+	Resolutions []int64 // the distinct non-zero resolutions seen, in input order
+}
+
+func (e *ErrResolutionMismatch) Error() string {
+	return fmt.Sprintf("metrics: cannot merge snapshots with mismatched resolutions %v", e.Resolutions)
+}
+
 // MergeSnapshots combines per-node snapshots into one cluster-wide view:
 // totals add per (kind, node) pair, histograms of the same name merge
-// bucket-wise. Associative and commutative.
-func MergeSnapshots(snaps ...Snapshot) Snapshot {
+// bucket-wise. Associative and commutative. Snapshots must agree on
+// resolution_ns (empty snapshots, resolution 0, merge with anything);
+// a mismatch returns a zero snapshot and *ErrResolutionMismatch rather
+// than quietly-wrong quantiles and rates.
+func MergeSnapshots(snaps ...Snapshot) (Snapshot, error) {
 	var out Snapshot
 	totals := make(map[totalKey]float64)
 	hists := make(map[string]HistSnapshot)
+	var resolutions []int64
 	for _, s := range snaps {
-		if out.Resolution == 0 {
+		if s.Resolution != 0 {
+			seen := false
+			for _, r := range resolutions {
+				if r == s.Resolution {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				resolutions = append(resolutions, s.Resolution)
+			}
 			out.Resolution = s.Resolution
 		}
 		for _, t := range s.Totals {
@@ -87,6 +116,13 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 		for _, h := range s.Histograms {
 			hists[h.Name] = hists[h.Name].Merge(h)
 		}
+	}
+	if len(resolutions) > 1 {
+		return Snapshot{}, &ErrResolutionMismatch{Resolutions: resolutions}
+	}
+	out.Resolution = 0
+	if len(resolutions) == 1 {
+		out.Resolution = resolutions[0]
 	}
 	out.Totals = make([]TotalPoint, 0, len(totals))
 	for k, v := range totals {
@@ -99,5 +135,39 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 		out.Histograms = append(out.Histograms, h)
 	}
 	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out, nil
+}
+
+// Delta returns the snapshot of what happened between prev and s: totals
+// subtract per (kind, node), histograms subtract bucket-wise with
+// quantiles recomputed from the delta buckets. prev must be an earlier
+// snapshot of the same collector; a counter or bucket that went backwards
+// (a Reset between the two) clamps to zero rather than going negative.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{Resolution: s.Resolution}
+	prevTotals := make(map[totalKey]float64, len(prev.Totals))
+	for _, t := range prev.Totals {
+		prevTotals[totalKey{t.Kind, t.Node}] = t.Value
+	}
+	out.Totals = make([]TotalPoint, 0, len(s.Totals))
+	for _, t := range s.Totals {
+		d := t.Value - prevTotals[totalKey{t.Kind, t.Node}]
+		if d < 0 {
+			d = t.Value
+		}
+		if d != 0 {
+			out.Totals = append(out.Totals, TotalPoint{Kind: t.Kind, Node: t.Node, Value: d})
+		}
+	}
+	sortTotals(out.Totals)
+	prevHists := make(map[string]HistSnapshot, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevHists[h.Name] = h
+	}
+	for _, h := range s.Histograms {
+		if d := h.Delta(prevHists[h.Name]); d.Count > 0 {
+			out.Histograms = append(out.Histograms, d)
+		}
+	}
 	return out
 }

@@ -1,0 +1,218 @@
+// Windowed metrics: a ring of per-interval snapshot deltas over one
+// Collector, so rates ("inserts/s right now") and rolling per-verb
+// quantiles ("p99 over the last minute") are computable — the cumulative
+// totals a Snapshot carries can only answer "since boot".
+//
+// A Windows does not sample on its own clock by default: Roll closes the
+// current interval whenever the owner decides an interval has passed,
+// which lets virtual-time runs (simfab, the stress harness) roll at
+// deterministic points and wall-clock nodes drive it from a ticker
+// (Start). Every closed interval stores the *delta* between consecutive
+// cumulative snapshots: counter totals subtract per (kind, node), and
+// histograms subtract bucket-wise with quantiles recomputed, so a window's
+// p99 describes only the operations that completed inside it.
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultWindowDepth is the ring depth when NewWindows is given d <= 0:
+// two minutes of history at one-second rolls.
+const DefaultWindowDepth = 120
+
+// WindowSnapshot is one closed interval of a Windows ring.
+type WindowSnapshot struct {
+	Seq     int64    `json:"seq"`      // monotonically increasing roll counter
+	StartNS int64    `json:"start_ns"` // interval open instant (layer-native ns)
+	EndNS   int64    `json:"end_ns"`   // interval close instant
+	Delta   Snapshot `json:"delta"`    // what happened inside the interval
+}
+
+// Windows maintains the per-interval ring over one collector. Safe for
+// concurrent use; a nil *Windows ignores all calls and reports empty data.
+type Windows struct {
+	col   *Collector
+	depth int
+
+	mu     sync.Mutex
+	prev   Snapshot // cumulative snapshot at the last roll
+	prevAt int64
+	ring   []WindowSnapshot
+	next   int
+	count  int
+	seq    int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// NewWindows returns a ring of depth closed intervals (depth <= 0 selects
+// DefaultWindowDepth) over col, with the baseline cumulative snapshot
+// taken now at startNS.
+func NewWindows(col *Collector, depth int, startNS int64) *Windows {
+	if depth <= 0 {
+		depth = DefaultWindowDepth
+	}
+	return &Windows{
+		col:    col,
+		depth:  depth,
+		ring:   make([]WindowSnapshot, depth),
+		prev:   col.Snapshot(),
+		prevAt: startNS,
+	}
+}
+
+// Collector reports the collector the ring snapshots.
+func (w *Windows) Collector() *Collector {
+	if w == nil {
+		return nil
+	}
+	return w.col
+}
+
+// Roll closes the current interval at nowNS: the delta between the
+// collector's cumulative snapshot now and at the previous roll becomes the
+// newest window. Returns the closed window.
+func (w *Windows) Roll(nowNS int64) WindowSnapshot {
+	if w == nil {
+		return WindowSnapshot{}
+	}
+	cur := w.col.Snapshot()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	ws := WindowSnapshot{
+		Seq:     w.seq,
+		StartNS: w.prevAt,
+		EndNS:   nowNS,
+		Delta:   cur.Delta(w.prev),
+	}
+	w.prev = cur
+	w.prevAt = nowNS
+	w.ring[w.next] = ws
+	w.next = (w.next + 1) % w.depth
+	if w.count < w.depth {
+		w.count++
+	}
+	return ws
+}
+
+// Start rolls the ring every interval of wall time until Stop (or the
+// returned stop function) is called. This is the live-node mode; tests
+// and virtual-time runs call Roll directly instead.
+func (w *Windows) Start(interval time.Duration) (stop func()) {
+	if w == nil {
+		return func() {}
+	}
+	w.mu.Lock()
+	if w.stopCh == nil {
+		w.stopCh = make(chan struct{})
+	}
+	ch := w.stopCh
+	w.mu.Unlock()
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case t := <-tick.C:
+				w.Roll(t.UnixNano())
+			case <-ch:
+				return
+			}
+		}
+	}()
+	return w.Stop
+}
+
+// Stop halts the ticker started by Start. Idempotent; a ring that was
+// never started is unaffected.
+func (w *Windows) Stop() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	ch := w.stopCh
+	w.mu.Unlock()
+	if ch != nil {
+		w.stopOnce.Do(func() { close(ch) })
+	}
+}
+
+// Recent returns up to k of the most recently closed windows, oldest
+// first. k <= 0 returns everything retained.
+func (w *Windows) Recent(k int) []WindowSnapshot {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.count
+	if k > 0 && k < n {
+		n = k
+	}
+	out := make([]WindowSnapshot, 0, n)
+	start := w.next - n
+	for i := 0; i < n; i++ {
+		out = append(out, w.ring[(start+i+w.depth)%w.depth])
+	}
+	return out
+}
+
+// Merged folds the last k window deltas (k <= 0: all retained) into one
+// snapshot: a rolling view whose quantiles cover exactly the merged
+// interval. Windows of one ring share a resolution, so the merge cannot
+// conflict.
+func (w *Windows) Merged(k int) Snapshot {
+	wins := w.Recent(k)
+	if len(wins) == 0 {
+		return Snapshot{}
+	}
+	snaps := make([]Snapshot, len(wins))
+	for i, ws := range wins {
+		snaps[i] = ws.Delta
+	}
+	out, _ := MergeSnapshots(snaps...)
+	return out
+}
+
+// MergeWindows folds the last k deltas (k <= 0: all) of an already-
+// extracted window slice into one snapshot — the slice-side counterpart
+// of Merged, used when the windows arrived over the wire (a cluster
+// scrape reply) rather than from a local ring. Windows of one ring share
+// a resolution, so the merge cannot conflict.
+func MergeWindows(wins []WindowSnapshot, k int) Snapshot {
+	if k > 0 && k < len(wins) {
+		wins = wins[len(wins)-k:]
+	}
+	if len(wins) == 0 {
+		return Snapshot{}
+	}
+	snaps := make([]Snapshot, len(wins))
+	for i, ws := range wins {
+		snaps[i] = ws.Delta
+	}
+	out, _ := MergeSnapshots(snaps...)
+	return out
+}
+
+// Rate reports the per-second rate of kind (node -1 sums nodes) over the
+// last k windows, using the windows' own open/close stamps — so virtual
+// and wall time both divide by the span they actually measured.
+func (w *Windows) Rate(kind Kind, node int, k int) float64 {
+	wins := w.Recent(k)
+	if len(wins) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ws := range wins {
+		sum += ws.Delta.Total(kind, node)
+	}
+	spanNS := wins[len(wins)-1].EndNS - wins[0].StartNS
+	if spanNS <= 0 {
+		return 0
+	}
+	return sum / (float64(spanNS) / 1e9)
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWindowDeltas(t *testing.T) {
+	c := New(1000)
+	w := NewWindows(c, 4, 0)
+
+	c.Add(RemoteInvokes, 1, 0, 3)
+	c.Observe("rpc.insert", 100)
+	c.Observe("rpc.insert", 200)
+	w1 := w.Roll(1000)
+	if got := w1.Delta.Total(RemoteInvokes, 1); got != 3 {
+		t.Fatalf("window 1 invokes = %v, want 3", got)
+	}
+	if h := w1.Delta.Hist("rpc.insert"); h.Count != 2 || h.Min != 100 || h.Max > 224 {
+		t.Fatalf("window 1 hist: %+v", h)
+	}
+
+	// Second interval sees only its own activity, not the cumulative past.
+	c.Add(RemoteInvokes, 1, 1500, 5)
+	c.Observe("rpc.insert", 1<<20)
+	w2 := w.Roll(2000)
+	if got := w2.Delta.Total(RemoteInvokes, 1); got != 5 {
+		t.Fatalf("window 2 invokes = %v, want 5 (cumulative leaked in)", got)
+	}
+	h := w2.Delta.Hist("rpc.insert")
+	if h.Count != 1 {
+		t.Fatalf("window 2 hist count = %d, want 1", h.Count)
+	}
+	if h.P99 < 1<<20 || h.Min < 1<<20 {
+		t.Fatalf("window 2 quantiles describe the cumulative past: %+v", h)
+	}
+	if w2.StartNS != 1000 || w2.EndNS != 2000 || w2.Seq != 2 {
+		t.Fatalf("window 2 stamps: %+v", w2)
+	}
+
+	// An empty interval merges away.
+	w3 := w.Roll(3000)
+	if got := w3.Delta.Total(RemoteInvokes, -1); got != 0 || len(w3.Delta.Histograms) != 0 {
+		t.Fatalf("idle window not empty: %+v", w3.Delta)
+	}
+
+	// Rolling merge over the last two windows covers exactly their ops.
+	m := w.Merged(3)
+	if got := m.Total(RemoteInvokes, 1); got != 8 {
+		t.Fatalf("merged invokes = %v, want 8", got)
+	}
+	if h := m.Hist("rpc.insert"); h.Count != 3 {
+		t.Fatalf("merged hist: %+v", h)
+	}
+
+	// Rate uses the windows' own stamps: 8 invokes over 3000ns.
+	if got := w.Rate(RemoteInvokes, -1, 0); got < 2.6e6 || got > 2.7e6 {
+		t.Fatalf("rate = %v, want ~8/3000ns = 2.67e6/s", got)
+	}
+}
+
+func TestWindowRingEviction(t *testing.T) {
+	c := New(1000)
+	w := NewWindows(c, 2, 0)
+	for i := 1; i <= 5; i++ {
+		c.Add(LocalOps, 0, int64(i), float64(i))
+		w.Roll(int64(i) * 10)
+	}
+	wins := w.Recent(0)
+	if len(wins) != 2 {
+		t.Fatalf("retained %d windows, want 2", len(wins))
+	}
+	if wins[0].Seq != 4 || wins[1].Seq != 5 {
+		t.Fatalf("retained seqs %d,%d, want 4,5", wins[0].Seq, wins[1].Seq)
+	}
+	if got := w.Merged(0).Total(LocalOps, 0); got != 9 {
+		t.Fatalf("merged evicted ring = %v, want 4+5=9", got)
+	}
+}
+
+func TestNilWindows(t *testing.T) {
+	var w *Windows
+	w.Roll(0)
+	w.Stop()
+	if w.Recent(3) != nil || len(w.Merged(1).Totals) != 0 || w.Rate(LocalOps, -1, 1) != 0 {
+		t.Fatal("nil Windows must serve empty data")
+	}
+}
+
+func TestMergeSnapshotsResolutionMismatch(t *testing.T) {
+	a, b := New(1000), New(2000)
+	a.Add(Retries, 0, 0, 1)
+	b.Add(Retries, 0, 0, 1)
+	_, err := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	var mismatch *ErrResolutionMismatch
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("merge of 1000ns and 2000ns snapshots: err = %v, want ErrResolutionMismatch", err)
+	}
+	if len(mismatch.Resolutions) != 2 {
+		t.Fatalf("mismatch resolutions: %v", mismatch.Resolutions)
+	}
+
+	// Empty snapshots (resolution 0) merge with anything.
+	m, err := MergeSnapshots(Snapshot{}, a.Snapshot())
+	if err != nil || m.Resolution != 1000 || m.Total(Retries, -1) != 1 {
+		t.Fatalf("merge with empty: %+v, %v", m, err)
+	}
+}
+
+func TestHistCountAbove(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10)
+	h.Observe(1000)
+	h.Observe(100000)
+	s := h.Snapshot()
+	if got := s.CountAbove(1 << 30); got != 0 {
+		t.Fatalf("CountAbove(huge) = %d", got)
+	}
+	if got := s.CountAbove(0); got != 3 {
+		t.Fatalf("CountAbove(0) = %d", got)
+	}
+	// 1000 lands in a bucket whose High > 500, so the straddle-conservative
+	// count includes it along with 100000.
+	if got := s.CountAbove(500); got != 2 {
+		t.Fatalf("CountAbove(500) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,270 @@
+// Flight recorder: a black-box ring of recent annotations (chaos events,
+// fault observations, checker notes) that, on a typed fault or an
+// explicit trigger, assembles a postmortem artifact — the events, the
+// most recent trace spans, the last windowed metric deltas, and the
+// cumulative snapshot — and optionally writes it to disk as JSON. The
+// point is debuggability after the fact: when a stress shard fails in CI,
+// the flight record shows what the cluster was doing in the seconds
+// around the fault without anyone re-running the seed.
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hcl/internal/fabric"
+	"hcl/internal/metrics"
+	"hcl/internal/trace"
+)
+
+// FlightConfig shapes a recorder. Zero values select the defaults noted
+// per field.
+type FlightConfig struct {
+	// Dir is where Dump writes artifacts; empty keeps records in memory
+	// only (Dump still returns them).
+	Dir string
+	// Node attributes the recorder's own counters.
+	Node int
+	// Events bounds the annotation ring (default 256).
+	Events int
+	// Spans bounds how many recent spans a record captures (default 512).
+	Spans int
+	// Windows bounds how many recent windowed deltas a record captures
+	// (default 8).
+	Windows int
+	// MaxDumps bounds files written over the recorder's lifetime
+	// (default 8), so a crash loop cannot fill a disk.
+	MaxDumps int
+	// FaultErrors extends the typed-fault set ObserveError triggers on.
+	// fabric.ErrNodeDown and fabric.ErrTimeout are always included;
+	// layers above (core.ErrDegraded) register theirs here — obs cannot
+	// import them without a cycle.
+	FaultErrors []error
+}
+
+func (c FlightConfig) withDefaults() FlightConfig {
+	if c.Events <= 0 {
+		c.Events = 256
+	}
+	if c.Spans <= 0 {
+		c.Spans = 512
+	}
+	if c.Windows <= 0 {
+		c.Windows = 8
+	}
+	if c.MaxDumps <= 0 {
+		c.MaxDumps = 8
+	}
+	return c
+}
+
+// FlightEvent is one annotation in the ring.
+type FlightEvent struct {
+	AtNS   int64  `json:"at_ns"`
+	Kind   string `json:"kind"` // "chaos", "fault", "checker", ...
+	Detail string `json:"detail"`
+}
+
+// FlightRecord is the assembled postmortem artifact.
+type FlightRecord struct {
+	Reason  string                   `json:"reason"`
+	AtNS    int64                    `json:"at_ns"`
+	Seq     int                      `json:"seq"`
+	Events  []FlightEvent            `json:"events"`
+	Spans   []trace.Span             `json:"spans"`
+	Windows []metrics.WindowSnapshot `json:"windows"`
+	Metrics metrics.Snapshot         `json:"metrics"`
+	SLO     *SLOStatus               `json:"slo,omitempty"`
+}
+
+// FlightRecorder accumulates annotations and assembles records. Safe for
+// concurrent use; a nil *FlightRecorder ignores all calls.
+type FlightRecorder struct {
+	cfg FlightConfig
+	col *metrics.Collector
+	tr  *trace.Tracer
+	win *metrics.Windows
+	slo *SLO
+
+	mu     sync.Mutex
+	events []FlightEvent
+	next   int
+	count  int
+	seq    int
+	dumps  int
+	files  []string
+}
+
+// NewFlightRecorder wires a recorder to a node's observability state.
+// Any of col/tr/win/slo may be nil; the matching record sections stay
+// empty.
+func NewFlightRecorder(cfg FlightConfig, col *metrics.Collector, tr *trace.Tracer, win *metrics.Windows, slo *SLO) *FlightRecorder {
+	cfg = cfg.withDefaults()
+	return &FlightRecorder{
+		cfg: cfg, col: col, tr: tr, win: win, slo: slo,
+		events: make([]FlightEvent, cfg.Events),
+	}
+}
+
+// Note appends one annotation to the ring.
+func (f *FlightRecorder) Note(atNS int64, kind, detail string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.events[f.next] = FlightEvent{AtNS: atNS, Kind: kind, Detail: detail}
+	f.next = (f.next + 1) % len(f.events)
+	if f.count < len(f.events) {
+		f.count++
+	}
+	f.mu.Unlock()
+}
+
+// isFault reports whether err matches the typed-fault set.
+func (f *FlightRecorder) isFault(err error) bool {
+	if errors.Is(err, fabric.ErrNodeDown) || errors.Is(err, fabric.ErrTimeout) {
+		return true
+	}
+	for _, fe := range f.cfg.FaultErrors {
+		if errors.Is(err, fe) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveError notes err when it is a typed fault (fabric.ErrNodeDown,
+// fabric.ErrTimeout, or a configured extra) and reports whether it was.
+// Non-fault errors are ignored — workload-level misses must not pollute
+// the black box.
+func (f *FlightRecorder) ObserveError(atNS int64, op string, err error) bool {
+	if f == nil || err == nil || !f.isFault(err) {
+		return false
+	}
+	f.Note(atNS, "fault", fmt.Sprintf("%s: %v", op, err))
+	if f.col != nil {
+		f.col.Add(metrics.FlightFaults, f.cfg.Node, atNS, 1)
+	}
+	return true
+}
+
+// recent returns the annotation ring oldest first; callers hold no lock.
+func (f *FlightRecorder) recent() []FlightEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, f.count)
+	start := f.next - f.count
+	for i := 0; i < f.count; i++ {
+		out = append(out, f.events[(start+i+len(f.events))%len(f.events)])
+	}
+	return out
+}
+
+// assemble builds a record without counting it as a dump.
+func (f *FlightRecorder) assemble(reason string, atNS int64, seq int) FlightRecord {
+	rec := FlightRecord{
+		Reason:  reason,
+		AtNS:    atNS,
+		Seq:     seq,
+		Events:  f.recent(),
+		Spans:   f.tr.Recent(f.cfg.Spans),
+		Windows: f.win.Recent(f.cfg.Windows),
+		Metrics: f.col.Snapshot(),
+	}
+	if rec.Spans == nil {
+		rec.Spans = []trace.Span{}
+	}
+	if rec.Windows == nil {
+		rec.Windows = []metrics.WindowSnapshot{}
+	}
+	if f.slo != nil {
+		st := f.slo.Evaluate()
+		rec.SLO = &st
+	}
+	return rec
+}
+
+// Peek assembles the current record without dumping: the /flight
+// endpoint's live view.
+func (f *FlightRecorder) Peek() FlightRecord {
+	if f == nil {
+		return FlightRecord{}
+	}
+	return f.assemble("peek", 0, 0)
+}
+
+// Dump assembles a record for reason and, when the recorder has a Dir and
+// budget left, writes it as flight-<seq>-<reason>.json. It returns the
+// record and the file path ("" when nothing was written).
+func (f *FlightRecorder) Dump(reason string, atNS int64) (FlightRecord, string, error) {
+	if f == nil {
+		return FlightRecord{}, "", nil
+	}
+	f.mu.Lock()
+	f.seq++
+	seq := f.seq
+	write := f.cfg.Dir != "" && f.dumps < f.cfg.MaxDumps
+	if write {
+		f.dumps++
+	}
+	f.mu.Unlock()
+
+	rec := f.assemble(reason, atNS, seq)
+	if f.col != nil {
+		f.col.Add(metrics.FlightDumps, f.cfg.Node, atNS, 1)
+	}
+	if !write {
+		return rec, "", nil
+	}
+	if err := os.MkdirAll(f.cfg.Dir, 0o755); err != nil {
+		return rec, "", fmt.Errorf("obs: flight dir: %w", err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return rec, "", fmt.Errorf("obs: flight encode: %w", err)
+	}
+	path := filepath.Join(f.cfg.Dir, fmt.Sprintf("flight-%03d-%s.json", seq, sanitizeReason(reason)))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return rec, "", fmt.Errorf("obs: flight write: %w", err)
+	}
+	f.mu.Lock()
+	f.files = append(f.files, path)
+	f.mu.Unlock()
+	return rec, path, nil
+}
+
+// Files lists the artifact paths written so far.
+func (f *FlightRecorder) Files() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.files))
+	copy(out, f.files)
+	return out
+}
+
+// sanitizeReason keeps dump filenames shell- and filesystem-safe.
+func sanitizeReason(r string) string {
+	out := make([]byte, 0, len(r))
+	for i := 0; i < len(r) && len(out) < 32; i++ {
+		c := r[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		default:
+			out = append(out, '-')
+		}
+	}
+	if len(out) == 0 {
+		return "dump"
+	}
+	return string(out)
+}

@@ -1,0 +1,170 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcl/internal/fabric"
+	"hcl/internal/metrics"
+	"hcl/internal/obs"
+	"hcl/internal/trace"
+)
+
+func TestFlightObserveError(t *testing.T) {
+	col := metrics.New(1e6)
+	extra := errors.New("layer: degraded")
+	fr := obs.NewFlightRecorder(obs.FlightConfig{Node: 1, FaultErrors: []error{extra}}, col, nil, nil, nil)
+
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{fabric.ErrNodeDown, true},
+		{fmt.Errorf("op: %w", fabric.ErrTimeout), true}, // wrapped
+		{extra, true}, // configured extra (core.ErrDegraded in practice)
+		{errors.New("key not found"), false},
+		{nil, false},
+	}
+	var faults int
+	for _, c := range cases {
+		if got := fr.ObserveError(100, "find", c.err); got != c.want {
+			t.Fatalf("ObserveError(%v) = %v, want %v", c.err, got, c.want)
+		}
+		if c.want {
+			faults++
+		}
+	}
+	if got := col.Total(metrics.FlightFaults, 1); got != float64(faults) {
+		t.Fatalf("hcl_flight_faults = %v, want %d", got, faults)
+	}
+	rec := fr.Peek()
+	if len(rec.Events) != faults {
+		t.Fatalf("event ring: %+v", rec.Events)
+	}
+	for _, e := range rec.Events {
+		if e.Kind != "fault" {
+			t.Fatalf("event kind: %+v", e)
+		}
+	}
+}
+
+func TestFlightEventRingBounded(t *testing.T) {
+	fr := obs.NewFlightRecorder(obs.FlightConfig{Events: 4}, nil, nil, nil, nil)
+	for i := 0; i < 10; i++ {
+		fr.Note(int64(i), "chaos", fmt.Sprintf("event-%d", i))
+	}
+	rec := fr.Peek()
+	if len(rec.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(rec.Events))
+	}
+	if rec.Events[0].Detail != "event-6" || rec.Events[3].Detail != "event-9" {
+		t.Fatalf("retained wrong events: %+v", rec.Events)
+	}
+}
+
+func TestFlightDumpArtifact(t *testing.T) {
+	dir := t.TempDir()
+	col := metrics.New(1e6)
+	tr := trace.New(64)
+	win := metrics.NewWindows(col, 8, 0)
+	fr := obs.NewFlightRecorder(obs.FlightConfig{Dir: dir, Windows: 4}, col, tr, win, nil)
+
+	col.Observe("rpc.x", 500)
+	col.Add(metrics.RemoteInvokes, 0, 0, 3)
+	win.Roll(1e9)
+	tr.Record(trace.Span{TraceID: 9, ID: 1, Name: "rpc", Verb: "x", Start: 10, End: 20})
+	fr.Note(15, "chaos", "KillNode(1) @op 42")
+
+	rec, path, err := fr.Dump("checker", 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" || !strings.HasSuffix(path, "flight-001-checker.json") {
+		t.Fatalf("artifact path: %q", path)
+	}
+	if rec.Reason != "checker" || rec.AtNS != 2e9 {
+		t.Fatalf("record header: %+v", rec)
+	}
+	// The file round-trips to an identical-shape record with spans,
+	// events, windows, and the cumulative snapshot.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.FlightRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(back.Events) != 1 || back.Events[0].Detail != "KillNode(1) @op 42" {
+		t.Fatalf("artifact events: %+v", back.Events)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Verb != "x" {
+		t.Fatalf("artifact spans: %+v", back.Spans)
+	}
+	if len(back.Windows) != 1 || back.Windows[0].Delta.Total(metrics.RemoteInvokes, 0) != 3 {
+		t.Fatalf("artifact windows: %+v", back.Windows)
+	}
+	if back.Metrics.Hist("rpc.x").Count != 1 {
+		t.Fatalf("artifact metrics: %+v", back.Metrics)
+	}
+	if got := col.Total(metrics.FlightDumps, 0); got != 1 {
+		t.Fatalf("hcl_flight_dumps = %v", got)
+	}
+	if files := fr.Files(); len(files) != 1 || files[0] != path {
+		t.Fatalf("Files() = %v", files)
+	}
+}
+
+func TestFlightDumpBudget(t *testing.T) {
+	dir := t.TempDir()
+	fr := obs.NewFlightRecorder(obs.FlightConfig{Dir: dir, MaxDumps: 2}, nil, nil, nil, nil)
+	var written int
+	for i := 0; i < 5; i++ {
+		_, path, err := fr.Dump("fault", int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path != "" {
+			written++
+		}
+	}
+	if written != 2 {
+		t.Fatalf("wrote %d artifacts, want MaxDumps=2", written)
+	}
+	ents, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("on disk: %v, %v", ents, err)
+	}
+}
+
+func TestFlightReasonSanitized(t *testing.T) {
+	dir := t.TempDir()
+	fr := obs.NewFlightRecorder(obs.FlightConfig{Dir: dir}, nil, nil, nil, nil)
+	_, path, err := fr.Dump("SLO breach: rpc.umap/insert (node 3)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if strings.ContainsAny(base, "/: ()") || !strings.HasPrefix(base, "flight-001-slo-breach") {
+		t.Fatalf("unsanitized artifact name: %q", base)
+	}
+}
+
+func TestNilFlightRecorder(t *testing.T) {
+	var fr *obs.FlightRecorder
+	fr.Note(0, "x", "y")
+	if fr.ObserveError(0, "op", fabric.ErrNodeDown) {
+		t.Fatal("nil recorder observed a fault")
+	}
+	if _, path, err := fr.Dump("x", 0); err != nil || path != "" {
+		t.Fatalf("nil Dump: %q %v", path, err)
+	}
+	if fr.Files() != nil {
+		t.Fatal("nil Files")
+	}
+}

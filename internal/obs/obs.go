@@ -1,8 +1,12 @@
-// Package obs is the runtime introspection surface: a small HTTP handler
-// exposing a node's metrics snapshot and recent trace spans as JSON, plus
-// a human-readable span-tree view. tcpfab nodes serve it when configured
-// with a DebugAddr; hcl-bench uses the same snapshot encoding for its
-// dump files, so the wire and the file formats never drift apart.
+// Package obs is the cluster observability plane: a per-node HTTP
+// introspection surface (metrics snapshot, windowed deltas, recent trace
+// spans, span trees), a declarative SLO burn-rate engine evaluated over
+// those windows, a fabric-scraped aggregation verb that merges every
+// peer's snapshot into one cluster view, and a fault-triggered flight
+// recorder that dumps a black-box postmortem artifact. tcpfab nodes serve
+// the HTTP surface when configured with a DebugAddr; hcl-bench uses the
+// same snapshot encoding for its dump files, so the wire and the file
+// formats never drift apart.
 package obs
 
 import (
@@ -16,27 +20,76 @@ import (
 	"hcl/internal/trace"
 )
 
-// Handler serves the introspection endpoints:
+// Options selects what a debug handler serves. Every field may be nil;
+// the matching endpoints then serve empty data rather than erroring, so
+// one handler shape fits every node.
+type Options struct {
+	Collector *metrics.Collector
+	Tracer    *trace.Tracer
+	Windows   *metrics.Windows // enables /metrics/windows
+	SLO       *SLO             // enables /slo (and supplies /cluster/slo its config)
+	Cluster   *Cluster         // enables /cluster/metrics and /cluster/slo
+	Recorder  *FlightRecorder  // enables /flight
+}
+
+// Handler serves the single-node introspection endpoints:
 //
 //	GET /metrics              metrics.Snapshot as JSON
 //	GET /traces?max=N         the N most recent spans as JSON (default 256)
 //	GET /traces/tree?trace=ID one trace rendered as an indented tree (text)
 //
-// Either argument may be nil; the matching endpoints then serve empty
-// data rather than erroring, so one handler shape fits every node.
+// Kept as the two-argument form most nodes need; NewHandler is the full
+// surface.
 func Handler(col *metrics.Collector, tr *trace.Tracer) http.Handler {
+	return NewHandler(Options{Collector: col, Tracer: tr})
+}
+
+// NewHandler serves every endpoint its Options enable:
+//
+//	GET /metrics                 metrics.Snapshot as JSON
+//	GET /metrics/windows?last=K  the K most recent windowed deltas (default all)
+//	GET /traces?max=N            recent spans, N clamped to [1, ring capacity]
+//	GET /traces/tree?trace=ID    one trace as an indented tree (text)
+//	GET /slo                     SLO burn-rate status for this node
+//	GET /cluster/metrics         fabric-scraped, merged cluster view
+//	GET /cluster/slo             SLO status evaluated over the cluster view
+//	GET /flight                  the flight recorder's current in-memory record
+func NewHandler(o Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, col.Snapshot())
+		writeJSON(w, o.Collector.Snapshot())
+	})
+	mux.HandleFunc("/metrics/windows", func(w http.ResponseWriter, r *http.Request) {
+		last := 0 // all retained
+		if s := r.URL.Query().Get("last"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				last = n
+			}
+		}
+		wins := o.Windows.Recent(last)
+		if wins == nil {
+			wins = []metrics.WindowSnapshot{}
+		}
+		writeJSON(w, wins)
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		// Clamp the span budget: a negative or zero max would ask
+		// Recent for "everything retained", and an absurd max would
+		// promise more than the ring can hold. [1, capacity] is the
+		// honest range (capacity 0 when no tracer is wired).
 		max := 256
 		if s := r.URL.Query().Get("max"); s != "" {
 			if n, err := strconv.Atoi(s); err == nil {
 				max = n
 			}
 		}
-		spans := tr.Recent(max)
+		if max < 1 {
+			max = 1
+		}
+		if cap := o.Tracer.Capacity(); max > cap {
+			max = cap
+		}
+		spans := o.Tracer.Recent(max)
 		if spans == nil {
 			spans = []trace.Span{}
 		}
@@ -49,16 +102,38 @@ func Handler(col *metrics.Collector, tr *trace.Tracer) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, trace.TreeString(tr.Spans(id)))
+		fmt.Fprintln(w, trace.TreeString(o.Tracer.Spans(id)))
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.SLO.Evaluate())
+	})
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Cluster.Scrape())
+	})
+	mux.HandleFunc("/cluster/slo", func(w http.ResponseWriter, r *http.Request) {
+		var cfg SLOConfig
+		if o.SLO != nil {
+			cfg = o.SLO.Config()
+		}
+		writeJSON(w, o.Cluster.EvaluateSLO(cfg))
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Recorder.Peek())
 	})
 	return mux
 }
 
+// writeJSON marshals first and writes after, so an encoding failure
+// becomes a 500 instead of a half-written 200. A network write error
+// after that is the client hanging up — nothing actionable remains.
 func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("obs: encode: %v", err), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	_, _ = w.Write(append(data, '\n'))
 }
 
 // Server is a running debug listener.
@@ -70,11 +145,16 @@ type Server struct {
 // Serve starts the introspection listener on addr (":0" picks a port;
 // read it back with Addr).
 func Serve(addr string, col *metrics.Collector, tr *trace.Tracer) (*Server, error) {
+	return ServeOpts(addr, Options{Collector: col, Tracer: tr})
+}
+
+// ServeOpts starts a listener serving the full endpoint surface o enables.
+func ServeOpts(addr string, o Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(col, tr)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(o)}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -1,0 +1,205 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/metrics"
+	"hcl/internal/obs"
+	"hcl/internal/trace"
+)
+
+// get issues one request against a handler and decodes the JSON body.
+func get(t *testing.T, h http.Handler, path string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: decode: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+// TestNilOptionsServeEmpty pins the package contract: a handler whose
+// Options are entirely nil serves empty data on every endpoint, never a
+// panic or a 500 — one handler shape fits every node.
+func TestNilOptionsServeEmpty(t *testing.T) {
+	h := obs.NewHandler(obs.Options{})
+	for _, path := range []string{
+		"/metrics", "/metrics/windows", "/traces?max=5",
+		"/slo", "/cluster/metrics", "/cluster/slo", "/flight",
+	} {
+		var v any
+		if rec := get(t, h, path, &v); rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, rec.Code, rec.Body.String())
+		}
+	}
+	if rec := get(t, h, "/traces/tree?trace=7", nil); rec.Code != http.StatusOK {
+		t.Fatalf("tree of unknown trace: status %d", rec.Code)
+	}
+}
+
+// TestTracesTreeBadInput: a missing or non-decimal trace id is a 400,
+// not a served-empty 200 — the caller's query is malformed.
+func TestTracesTreeBadInput(t *testing.T) {
+	h := obs.Handler(nil, trace.New(16))
+	for _, q := range []string{"", "?trace=", "?trace=abc", "?trace=-1", "?trace=1e9"} {
+		if rec := get(t, h, "/traces/tree"+q, nil); rec.Code != http.StatusBadRequest {
+			t.Fatalf("/traces/tree%s: status %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+// TestTracesMaxClamped: negative and absurd ?max= values clamp into
+// [1, ring capacity] instead of dumping the whole ring or promising more
+// than it holds.
+func TestTracesMaxClamped(t *testing.T) {
+	tr := trace.New(16)
+	for i := 0; i < 10; i++ {
+		tr.Record(trace.Span{TraceID: 1, ID: tr.NewID(), Name: "rpc", Start: int64(i), End: int64(i + 1)})
+	}
+	h := obs.Handler(nil, tr)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"?max=-5", 1},
+		{"?max=0", 1},
+		{"?max=3", 3},
+		{"?max=999999", 10}, // clamped to capacity, ring holds 10
+		{"", 10},            // default 256, clamped to capacity
+	}
+	for _, c := range cases {
+		var spans []trace.Span
+		get(t, h, "/traces"+c.q, &spans)
+		if len(spans) != c.want {
+			t.Fatalf("/traces%s served %d spans, want %d", c.q, len(spans), c.want)
+		}
+	}
+}
+
+// TestEndpointsRoundTrip: the windowed, SLO, and flight endpoints serve
+// decodable views of live state.
+func TestEndpointsRoundTrip(t *testing.T) {
+	col := metrics.New(1e6)
+	tr := trace.New(64)
+	win := metrics.NewWindows(col, 8, 0)
+	col.Observe("rpc.x", 500)
+	col.Add(metrics.RemoteInvokes, 0, 0, 1)
+	win.Roll(1e9)
+	slo := obs.NewSLO(obs.SLOConfig{
+		Objectives: []obs.Objective{{Verb: "rpc.x", Latency: 1000, Target: 0.5}},
+	}, win, 0)
+	fr := obs.NewFlightRecorder(obs.FlightConfig{}, col, tr, win, slo)
+	fr.Note(10, "chaos", "kill node 1")
+	h := obs.NewHandler(obs.Options{Collector: col, Tracer: tr, Windows: win, SLO: slo, Recorder: fr})
+
+	var wins []metrics.WindowSnapshot
+	get(t, h, "/metrics/windows?last=4", &wins)
+	if len(wins) != 1 || wins[0].Delta.Total(metrics.RemoteInvokes, 0) != 1 {
+		t.Fatalf("windows endpoint: %+v", wins)
+	}
+	var st obs.SLOStatus
+	get(t, h, "/slo", &st)
+	if len(st.Objectives) != 1 || st.Objectives[0].Verb != "rpc.x" || st.Breaches != 0 {
+		t.Fatalf("slo endpoint: %+v", st)
+	}
+	var rec obs.FlightRecord
+	get(t, h, "/flight", &rec)
+	if len(rec.Events) != 1 || rec.Events[0].Detail != "kill node 1" {
+		t.Fatalf("flight endpoint events: %+v", rec.Events)
+	}
+	if rec.Metrics.Hist("rpc.x").Count != 1 {
+		t.Fatalf("flight endpoint metrics: %+v", rec.Metrics)
+	}
+}
+
+// TestClusterScrapeSim: the fabric-scraped aggregation over an 8-node
+// simulated fabric. All in-process nodes share one collector, so the
+// merge must fold exactly one copy (source dedup) — the merged per-verb
+// totals equal the collector's own snapshot, not 8x it.
+func TestClusterScrapeSim(t *testing.T) {
+	const nodes = 8
+	col := metrics.New(1e6)
+	prov := simfab.New(nodes, fabric.DefaultCostModel(), simfab.WithCollector(col))
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.Block(nodes, nodes))
+	rt := core.NewRuntime(w)
+	m, err := core.NewUnorderedMap[string, int](rt, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *cluster.Rank) {
+		for i := 0; i < 4; i++ {
+			if _, err := m.Insert(r, fmt.Sprintf("r%d-k%d", r.ID(), i), i); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	win := metrics.NewWindows(col, 8, 0)
+	win.Roll(1e9)
+	pre := col.Snapshot()
+
+	c := rt.EnableClusterObs(0, win)
+	view := c.Scrape()
+	if view.Nodes != nodes || view.Scraped != nodes {
+		t.Fatalf("scraped %d/%d nodes, errors=%v", view.Scraped, view.Nodes, view.Errors)
+	}
+	if view.Sources != 1 {
+		t.Fatalf("sources = %d, want 1 (shared collector must dedupe)", view.Sources)
+	}
+	// Per-verb totals: exactly the shared collector's counts, not 8x.
+	wantRPC := pre.Hist("rpc.umap.sc.insert").Count
+	wantLocal := pre.Hist("local.umap.sc.insert").Count
+	if wantRPC+wantLocal != nodes*4 {
+		t.Fatalf("workload shape: rpc=%d local=%d", wantRPC, wantLocal)
+	}
+	if got := view.Merged.Hist("rpc.umap.sc.insert").Count; got != wantRPC {
+		t.Fatalf("merged rpc count = %d, want %d", got, wantRPC)
+	}
+	if got := view.Merged.Total(metrics.RemoteInvokes, -1); got != pre.Total(metrics.RemoteInvokes, -1) {
+		t.Fatalf("merged invokes = %v, want %v", got, pre.Total(metrics.RemoteInvokes, -1))
+	}
+	// Scrapes themselves were counted.
+	if got := col.Total(metrics.ObsScrapes, 0); got != nodes {
+		t.Fatalf("hcl_obs_scrapes = %v, want %v", got, float64(nodes))
+	}
+	// A second scrape still works (serialized caller, monotonic clock).
+	if v2 := c.Scrape(); v2.Scraped != nodes || v2.Sources != 1 {
+		t.Fatalf("second scrape: %+v", v2)
+	}
+}
+
+// TestClusterScrapeDeadNode: a down node surfaces as an error entry and
+// the rest of the cluster still merges.
+func TestClusterScrapeDeadNode(t *testing.T) {
+	col := metrics.New(1e6)
+	inner := simfab.New(3, fabric.DefaultCostModel(), simfab.WithCollector(col))
+	prov := faultfab.New(inner, faultfab.Config{})
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.Block(3, 3))
+	rt := core.NewRuntime(w)
+	win := metrics.NewWindows(col, 4, 0)
+	c := rt.EnableClusterObs(0, win)
+
+	// Unbinding the verb is not enough (shared engine); kill the node.
+	prov.SetDown(2, true)
+	view := c.Scrape()
+	if view.Scraped != 2 || len(view.Errors) != 1 || view.Errors[2] == "" {
+		t.Fatalf("dead-node view: scraped=%d errors=%v", view.Scraped, view.Errors)
+	}
+}

@@ -1,0 +1,241 @@
+// Fabric-scraped cluster aggregation: a small obs verb bound into the RoR
+// engine lets any node pull every peer's metrics snapshot and windowed
+// deltas over whatever transport the cluster already runs on — simfab,
+// tcpfab, or shmfab — and merge them into one cluster-wide view. No side
+// channel, no second port: the scrape is an ordinary invocation, so it
+// inherits the transport's deadlines, retries, and fault surface
+// (a down node shows up as an error entry, not a hang).
+//
+// Merging has one trap: on simfab every in-process node shares ONE
+// collector, so summing per-node replies would multiply every counter by
+// the node count. Each reply therefore carries a process-wide source id
+// minted per collector; the merge folds one reply per distinct source.
+// On tcpfab/shmfab each process has its own collector (distinct sources,
+// all replies merge); on simfab all replies share a source and exactly
+// one is folded — per-node attribution still works because the shared
+// collector's totals carry the node in each TotalPoint.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hcl/internal/fabric"
+	"hcl/internal/metrics"
+	"hcl/internal/ror"
+)
+
+// ScrapeFn is the invocation-registry name of the scrape verb.
+const ScrapeFn = "obs.scrape"
+
+// scrapeCost is the modelled NIC-core cost of serving one scrape, in
+// virtual nanoseconds: snapshot assembly plus JSON encoding. Tiny next to
+// any workload, but nonzero so scrapes are visible in busy-time series.
+const scrapeCost = 2000
+
+// sourceIDs mints one process-wide id per collector, so scrape replies
+// from nodes sharing a collector (simfab) are deduplicatable.
+var (
+	sourceIDs  sync.Map // *metrics.Collector -> uint64
+	sourceNext atomic.Uint64
+)
+
+func sourceID(col *metrics.Collector) uint64 {
+	if col == nil {
+		return 0
+	}
+	if v, ok := sourceIDs.Load(col); ok {
+		return v.(uint64)
+	}
+	v, _ := sourceIDs.LoadOrStore(col, sourceNext.Add(1))
+	return v.(uint64)
+}
+
+// ScrapeReply is one node's answer to the scrape verb.
+type ScrapeReply struct {
+	Source   uint64                   `json:"source"` // collector identity for dedup
+	Node     int                      `json:"node"`
+	Snapshot metrics.Snapshot         `json:"snapshot"`
+	Windows  []metrics.WindowSnapshot `json:"windows,omitempty"`
+}
+
+// BindScrape binds the scrape verb on e, serving col's cumulative
+// snapshot and win's retained windows (win may be nil: snapshot only).
+// Call once per engine, whatever col that engine's process observes.
+func BindScrape(e *ror.Engine, col *metrics.Collector, win *metrics.Windows) {
+	e.Bind(ScrapeFn, func(node int, arg []byte) ([]byte, int64) {
+		rep := ScrapeReply{
+			Source:   sourceID(col),
+			Node:     node,
+			Snapshot: col.Snapshot(),
+			Windows:  win.Recent(0),
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			// The reply types marshal unconditionally; this is a
+			// can't-happen guard that still fails loudly downstream.
+			return []byte("{}"), scrapeCost
+		}
+		return b, scrapeCost
+	})
+}
+
+// ClusterView is the merged result of scraping every node.
+type ClusterView struct {
+	Nodes      int              `json:"nodes"`   // fabric size
+	Scraped    int              `json:"scraped"` // replies received (local included)
+	Sources    int              `json:"sources"` // distinct collectors merged
+	Errors     map[int]string   `json:"errors,omitempty"`
+	PerNode    []ScrapeReply    `json:"per_node"`
+	Merged     metrics.Snapshot `json:"merged"`
+	MergeError string           `json:"merge_error,omitempty"`
+}
+
+// scrapeCaller is the synthetic invocation origin scrapes travel under:
+// a rank-less ref pinned to the scraping node, with its own clock so
+// scrape traffic never perturbs a workload rank's virtual time.
+type scrapeCaller struct {
+	ref  fabric.RankRef
+	clk  *fabric.Clock
+	opts fabric.Options
+}
+
+func (c *scrapeCaller) Ref() fabric.RankRef       { return c.ref }
+func (c *scrapeCaller) Clock() *fabric.Clock      { return c.clk }
+func (c *scrapeCaller) OpOptions() fabric.Options { return c.opts }
+
+// Cluster scrapes the fabric a ror.Engine runs on and merges the replies.
+// One Cluster serves any number of Scrape calls; calls are serialized
+// (the synthetic caller owns one clock). A nil *Cluster serves an empty
+// view.
+type Cluster struct {
+	eng  *ror.Engine
+	node int
+	col  *metrics.Collector
+	win  *metrics.Windows
+
+	mu     sync.Mutex
+	caller *scrapeCaller
+}
+
+// EnableCluster binds the scrape verb on e (serving col/win, the local
+// process's view) and returns a scraper originating at node. The
+// engine-side bind and the scraper come as one unit so every node that
+// can scrape can also be scraped.
+func EnableCluster(e *ror.Engine, node int, col *metrics.Collector, win *metrics.Windows) *Cluster {
+	BindScrape(e, col, win)
+	return &Cluster{
+		eng: e, node: node, col: col, win: win,
+		caller: &scrapeCaller{
+			ref: fabric.RankRef{Rank: -1, Node: node},
+			clk: fabric.NewClock(0),
+		},
+	}
+}
+
+// SetOptions installs per-scrape fabric options (deadline, attempt
+// budget) so a dead peer bounds the scrape instead of stalling it.
+func (c *Cluster) SetOptions(o fabric.Options) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.caller.opts = o
+	c.mu.Unlock()
+}
+
+// Scrape pulls every node's reply — the local node answered directly,
+// remote nodes over the fabric — dedupes by source, and merges.
+func (c *Cluster) Scrape() ClusterView {
+	if c == nil {
+		return ClusterView{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.eng.Provider().NumNodes()
+	view := ClusterView{Nodes: n, PerNode: make([]ScrapeReply, 0, n)}
+	for node := 0; node < n; node++ {
+		if node == c.node {
+			view.PerNode = append(view.PerNode, ScrapeReply{
+				Source:   sourceID(c.col),
+				Node:     node,
+				Snapshot: c.col.Snapshot(),
+				Windows:  c.win.Recent(0),
+			})
+			continue
+		}
+		raw, err := c.eng.Invoke(c.caller, node, ScrapeFn, nil)
+		if err != nil {
+			if view.Errors == nil {
+				view.Errors = make(map[int]string)
+			}
+			view.Errors[node] = err.Error()
+			continue
+		}
+		var rep ScrapeReply
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			if view.Errors == nil {
+				view.Errors = make(map[int]string)
+			}
+			view.Errors[node] = fmt.Sprintf("obs: bad scrape reply: %v", err)
+			continue
+		}
+		rep.Node = node
+		view.PerNode = append(view.PerNode, rep)
+	}
+	view.Scraped = len(view.PerNode)
+	if c.col != nil {
+		c.col.Add(metrics.ObsScrapes, c.node, c.caller.clk.Now(), float64(view.Scraped))
+	}
+
+	snaps := make([]metrics.Snapshot, 0, len(view.PerNode))
+	for _, rep := range dedupeBySource(view.PerNode) {
+		snaps = append(snaps, rep.Snapshot)
+	}
+	view.Sources = len(snaps)
+	merged, err := metrics.MergeSnapshots(snaps...)
+	if err != nil {
+		view.MergeError = err.Error()
+		return view
+	}
+	view.Merged = merged
+	return view
+}
+
+// dedupeBySource keeps the first reply per distinct source id, preserving
+// node order. Source 0 (a node with no collector) never carries data and
+// is dropped entirely.
+func dedupeBySource(reps []ScrapeReply) []ScrapeReply {
+	seen := make(map[uint64]bool, len(reps))
+	out := reps[:0:0]
+	for _, rep := range reps {
+		if rep.Source == 0 || seen[rep.Source] {
+			continue
+		}
+		seen[rep.Source] = true
+		out = append(out, rep)
+	}
+	return out
+}
+
+// EvaluateSLO scrapes the cluster and judges cfg against the merged
+// fast/slow window horizons across all distinct sources — the same pure
+// evaluation a single node runs, fed cluster-wide windows.
+func (c *Cluster) EvaluateSLO(cfg SLOConfig) SLOStatus {
+	if c == nil {
+		return SLOStatus{}
+	}
+	cfg = cfg.withDefaults()
+	view := c.Scrape()
+	fast := make([]metrics.Snapshot, 0, len(view.PerNode))
+	slow := make([]metrics.Snapshot, 0, len(view.PerNode))
+	for _, rep := range dedupeBySource(view.PerNode) {
+		fast = append(fast, metrics.MergeWindows(rep.Windows, cfg.FastWindows))
+		slow = append(slow, metrics.MergeWindows(rep.Windows, cfg.SlowWindows))
+	}
+	fastM, _ := metrics.MergeSnapshots(fast...)
+	slowM, _ := metrics.MergeSnapshots(slow...)
+	return EvaluateSnapshots(cfg, fastM, slowM)
+}

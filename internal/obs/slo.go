@@ -1,0 +1,190 @@
+// SLO burn-rate engine: declarative per-verb latency objectives evaluated
+// over the windowed-metrics ring. An objective like {rpc.umap.* < 200µs
+// for 99% of ops} is judged the way production SLO alerting judges error
+// budgets: the fraction of ops over the latency bound ("bad fraction") in
+// a fast window and a slow window, each divided by the allowed fraction
+// (1 - target) to yield a burn rate. Only when BOTH windows burn faster
+// than the threshold is the objective breached — the fast window makes
+// the signal react quickly, the slow window keeps a transient blip from
+// paging. Breach transitions are counted into hcl_slo_breaches.
+package obs
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"hcl/internal/metrics"
+)
+
+// Objective is one latency SLO: Target fraction of the verb's operations
+// must complete within Latency. Verb names a latency histogram
+// ("rpc.umap.scores.insert"); a trailing '*' matches every histogram
+// with the prefix, expanding to one BurnStatus per match. Histogram
+// values are nanoseconds on both clocks (virtual on sim, wall on the
+// socket transports), so a Duration bound compares directly.
+type Objective struct {
+	Verb    string        `json:"verb"`
+	Latency time.Duration `json:"latency_ns"`
+	Target  float64       `json:"target"` // e.g. 0.99
+}
+
+// SLOConfig is a set of objectives plus the burn-rate evaluation shape.
+type SLOConfig struct {
+	Objectives []Objective `json:"objectives"`
+	// FastWindows / SlowWindows are the two rolling evaluation horizons,
+	// in ring windows (defaults 6 and 36: one minute and six minutes at
+	// ten-second rolls, or 6s/36s at one-second rolls).
+	FastWindows int `json:"fast_windows,omitempty"`
+	SlowWindows int `json:"slow_windows,omitempty"`
+	// BurnThreshold is the multiple of the allowed bad fraction at which
+	// an objective breaches (default 2: burning budget at twice the
+	// sustainable rate).
+	BurnThreshold float64 `json:"burn_threshold,omitempty"`
+}
+
+// withDefaults fills the evaluation-shape zero values.
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.FastWindows <= 0 {
+		c.FastWindows = 6
+	}
+	if c.SlowWindows <= 0 {
+		c.SlowWindows = 36
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 2
+	}
+	return c
+}
+
+// BurnStatus is one evaluated objective against one concrete verb.
+type BurnStatus struct {
+	Verb     string        `json:"verb"` // concrete histogram name
+	Latency  time.Duration `json:"latency_ns"`
+	Target   float64       `json:"target"`
+	FastBad  float64       `json:"fast_bad_fraction"` // ops over Latency / ops, fast window
+	SlowBad  float64       `json:"slow_bad_fraction"`
+	FastBurn float64       `json:"fast_burn"` // bad fraction / allowed fraction
+	SlowBurn float64       `json:"slow_burn"`
+	Count    uint64        `json:"count"` // ops observed in the slow window
+	Breached bool          `json:"breached"`
+}
+
+// SLOStatus is a full evaluation pass.
+type SLOStatus struct {
+	Objectives []BurnStatus `json:"objectives"`
+	Breaches   int          `json:"breaches"`
+}
+
+// matchVerbs expands one objective against the histograms present in a
+// snapshot: exact name, or every name under a trailing-'*' prefix.
+func matchVerbs(o Objective, s metrics.Snapshot) []string {
+	if !strings.HasSuffix(o.Verb, "*") {
+		return []string{o.Verb}
+	}
+	prefix := strings.TrimSuffix(o.Verb, "*")
+	var out []string
+	for _, h := range s.Histograms {
+		if strings.HasPrefix(h.Name, prefix) {
+			out = append(out, h.Name)
+		}
+	}
+	return out
+}
+
+// burn converts a histogram view to (bad fraction, burn rate) against an
+// objective. An empty histogram burns nothing.
+func burn(h metrics.HistSnapshot, o Objective) (bad, rate float64) {
+	if h.Count == 0 {
+		return 0, 0
+	}
+	bad = float64(h.CountAbove(int64(o.Latency))) / float64(h.Count)
+	allowed := 1 - o.Target
+	if allowed <= 0 {
+		allowed = 1e-9 // a 100% target means any bad op is a full burn
+	}
+	return bad, bad / allowed
+}
+
+// EvaluateSnapshots judges cfg against a fast-horizon and a slow-horizon
+// merged snapshot. Pure: the same pair of snapshots always yields the
+// same status, which is what lets the cluster scraper reuse it on merged
+// remote windows.
+func EvaluateSnapshots(cfg SLOConfig, fast, slow metrics.Snapshot) SLOStatus {
+	cfg = cfg.withDefaults()
+	var st SLOStatus
+	for _, o := range cfg.Objectives {
+		for _, verb := range matchVerbs(o, slow) {
+			slowH := slow.Hist(verb)
+			fastBad, fastBurn := burn(fast.Hist(verb), o)
+			slowBad, slowBurn := burn(slowH, o)
+			b := BurnStatus{
+				Verb: verb, Latency: o.Latency, Target: o.Target,
+				FastBad: fastBad, SlowBad: slowBad,
+				FastBurn: fastBurn, SlowBurn: slowBurn,
+				Count:    slowH.Count,
+				Breached: fastBurn >= cfg.BurnThreshold && slowBurn >= cfg.BurnThreshold,
+			}
+			if b.Breached {
+				st.Breaches++
+			}
+			st.Objectives = append(st.Objectives, b)
+		}
+	}
+	return st
+}
+
+// SLO evaluates one config against one node's window ring, tracking
+// breach transitions so hcl_slo_breaches counts state changes, not polls.
+// A nil *SLO serves an empty status.
+type SLO struct {
+	cfg  SLOConfig
+	win  *metrics.Windows
+	node int
+
+	mu       sync.Mutex
+	breached map[string]bool
+}
+
+// NewSLO builds the evaluator for a node's ring. Breach transitions are
+// recorded into the ring's collector under node.
+func NewSLO(cfg SLOConfig, win *metrics.Windows, node int) *SLO {
+	return &SLO{cfg: cfg.withDefaults(), win: win, node: node, breached: make(map[string]bool)}
+}
+
+// Config reports the evaluator's configuration (defaults filled).
+func (s *SLO) Config() SLOConfig {
+	if s == nil {
+		return SLOConfig{}
+	}
+	return s.cfg
+}
+
+// Evaluate runs one pass over the current ring state and records any
+// transitions into breach.
+func (s *SLO) Evaluate() SLOStatus {
+	if s == nil {
+		return SLOStatus{}
+	}
+	st := EvaluateSnapshots(s.cfg, s.win.Merged(s.cfg.FastWindows), s.win.Merged(s.cfg.SlowWindows))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range st.Objectives {
+		if b.Breached && !s.breached[b.Verb] {
+			if col := s.win.Collector(); col != nil {
+				col.Add(metrics.SLOBreaches, s.node, s.lastEndNS(), 1)
+			}
+		}
+		s.breached[b.Verb] = b.Breached
+	}
+	return st
+}
+
+// lastEndNS stamps breach counters with the newest window's close instant
+// so they land in the right virtual-time bucket.
+func (s *SLO) lastEndNS() int64 {
+	if wins := s.win.Recent(1); len(wins) == 1 {
+		return wins[0].EndNS
+	}
+	return 0
+}

@@ -1,0 +1,144 @@
+package obs_test
+
+import (
+	"math"
+	"testing"
+
+	"hcl/internal/metrics"
+	"hcl/internal/obs"
+)
+
+// snapWith builds a snapshot whose named histogram saw the given values.
+func snapWith(name string, vals ...int64) metrics.Snapshot {
+	col := metrics.New(1e6)
+	for _, v := range vals {
+		col.Observe(name, v)
+	}
+	return col.Snapshot()
+}
+
+func TestEvaluateSnapshotsBurnMath(t *testing.T) {
+	// 10 ops, 1 over the 1000ns bound: bad fraction 0.1. Target 99% →
+	// allowed 0.01 → burn 10, far over the default threshold of 2.
+	vals := []int64{50, 50, 50, 50, 50, 50, 50, 50, 50, 50_000}
+	s := snapWith("rpc.x", vals...)
+	cfg := obs.SLOConfig{Objectives: []obs.Objective{{Verb: "rpc.x", Latency: 1000, Target: 0.99}}}
+
+	st := obs.EvaluateSnapshots(cfg, s, s)
+	if len(st.Objectives) != 1 {
+		t.Fatalf("objectives: %+v", st.Objectives)
+	}
+	b := st.Objectives[0]
+	if math.Abs(b.SlowBad-0.1) > 1e-9 || math.Abs(b.SlowBurn-10) > 1e-6 {
+		t.Fatalf("burn math: %+v", b)
+	}
+	if !b.Breached || st.Breaches != 1 || b.Count != 10 {
+		t.Fatalf("breach state: %+v", b)
+	}
+
+	// Same slow window but a quiet fast window: no breach — the fast
+	// horizon gates transient history from paging.
+	st = obs.EvaluateSnapshots(cfg, metrics.Snapshot{}, s)
+	if st.Objectives[0].Breached || st.Breaches != 0 {
+		t.Fatalf("quiet fast window still breached: %+v", st.Objectives[0])
+	}
+
+	// All ops within bound: zero burn.
+	ok := snapWith("rpc.x", 50, 60, 70)
+	st = obs.EvaluateSnapshots(cfg, ok, ok)
+	if b := st.Objectives[0]; b.SlowBurn != 0 || b.Breached {
+		t.Fatalf("healthy window burned: %+v", b)
+	}
+}
+
+func TestEvaluatePrefixObjective(t *testing.T) {
+	col := metrics.New(1e6)
+	col.Observe("rpc.umap.m.insert", 50)
+	col.Observe("rpc.umap.m.find", 50_000)
+	col.Observe("exec.umap.m.insert", 50_000) // different prefix: not matched
+	s := col.Snapshot()
+	cfg := obs.SLOConfig{Objectives: []obs.Objective{{Verb: "rpc.umap.*", Latency: 1000, Target: 0.9}}}
+	st := obs.EvaluateSnapshots(cfg, s, s)
+	if len(st.Objectives) != 2 {
+		t.Fatalf("prefix expanded to %d objectives: %+v", len(st.Objectives), st.Objectives)
+	}
+	byVerb := map[string]obs.BurnStatus{}
+	for _, b := range st.Objectives {
+		byVerb[b.Verb] = b
+	}
+	if byVerb["rpc.umap.m.insert"].Breached || !byVerb["rpc.umap.m.find"].Breached {
+		t.Fatalf("per-verb verdicts: %+v", byVerb)
+	}
+}
+
+func TestHundredPercentTarget(t *testing.T) {
+	// Target 1.0 leaves no error budget: a single bad op must burn hot
+	// rather than divide by zero.
+	s := snapWith("rpc.x", 50, 50_000)
+	cfg := obs.SLOConfig{Objectives: []obs.Objective{{Verb: "rpc.x", Latency: 1000, Target: 1.0}}}
+	st := obs.EvaluateSnapshots(cfg, s, s)
+	b := st.Objectives[0]
+	if !b.Breached || math.IsInf(b.SlowBurn, 0) || math.IsNaN(b.SlowBurn) {
+		t.Fatalf("100%% target: %+v", b)
+	}
+}
+
+// TestSLOBreachTransitions: hcl_slo_breaches counts transitions into
+// breach, not evaluation polls.
+func TestSLOBreachTransitions(t *testing.T) {
+	col := metrics.New(1e6)
+	win := metrics.NewWindows(col, 16, 0)
+	s := obs.NewSLO(obs.SLOConfig{
+		Objectives:  []obs.Objective{{Verb: "rpc.x", Latency: 1000, Target: 0.5}},
+		FastWindows: 2, SlowWindows: 4, BurnThreshold: 1.5,
+	}, win, 3)
+
+	// Healthy traffic.
+	col.Observe("rpc.x", 50)
+	win.Roll(1e9)
+	if st := s.Evaluate(); st.Breaches != 0 {
+		t.Fatalf("healthy breach: %+v", st)
+	}
+	// Everything over the bound: > 2x the 50% budget in both horizons.
+	for i := 0; i < 4; i++ {
+		col.Observe("rpc.x", 100_000)
+	}
+	win.Roll(2e9)
+	if st := s.Evaluate(); st.Breaches != 1 {
+		t.Fatalf("bad traffic not breached: %+v", st)
+	}
+	// Polling again while still breached must not re-count.
+	s.Evaluate()
+	s.Evaluate()
+	if got := col.Total(metrics.SLOBreaches, 3); got != 1 {
+		t.Fatalf("hcl_slo_breaches = %v after repeated polls, want 1", got)
+	}
+	// Recover, then breach again: a second transition.
+	for i := 0; i < 64; i++ {
+		col.Observe("rpc.x", 50)
+	}
+	win.Roll(3e9)
+	win.Roll(4e9)
+	if st := s.Evaluate(); st.Breaches != 0 {
+		t.Fatalf("did not recover: %+v", st)
+	}
+	for i := 0; i < 256; i++ {
+		col.Observe("rpc.x", 100_000)
+	}
+	win.Roll(5e9)
+	win.Roll(6e9)
+	s.Evaluate()
+	if got := col.Total(metrics.SLOBreaches, 3); got != 2 {
+		t.Fatalf("hcl_slo_breaches = %v after second transition, want 2", got)
+	}
+}
+
+func TestNilSLO(t *testing.T) {
+	var s *obs.SLO
+	if st := s.Evaluate(); len(st.Objectives) != 0 || st.Breaches != 0 {
+		t.Fatalf("nil SLO evaluated: %+v", st)
+	}
+	if cfg := s.Config(); len(cfg.Objectives) != 0 {
+		t.Fatalf("nil SLO config: %+v", cfg)
+	}
+}

@@ -243,6 +243,15 @@ func New(n int) *Tracer {
 	return t
 }
 
+// Capacity reports the ring size: the upper bound on retained spans and
+// the natural clamp for "how many recent spans" queries.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
 // NewID allocates a fresh identifier, used for both trace ids and span
 // ids (uniqueness across both is what matters).
 func (t *Tracer) NewID() uint64 {

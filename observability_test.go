@@ -81,7 +81,10 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	// (a) Per-verb latency from the merged cluster snapshot: the client
 	// side observed rpc.*, the server side exec.*; merging must keep both
 	// and report sane quantiles.
-	merged := hcl.MergeSnapshots(col0.Snapshot(), col1.Snapshot())
+	merged, err := hcl.MergeSnapshots(col0.Snapshot(), col1.Snapshot())
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
 	for _, name := range []string{"rpc.umap.obs.insert", "rpc.umap.obs.find"} {
 		h := merged.Hist(name)
 		if h.Count != uint64(ops) {
@@ -165,6 +168,113 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 	if len(spans) == 0 {
 		t.Fatal("debug endpoint served no spans")
+	}
+}
+
+// TestClusterScrapeTCP: the fabric-scraped aggregation works over real
+// sockets — node 0 pulls node 1's snapshot through the obs verb and the
+// merged per-verb totals equal the sum of the per-node snapshots.
+func TestClusterScrapeTCP(t *testing.T) {
+	col0, col1 := hcl.NewMetrics(1e6), hcl.NewMetrics(1e6)
+	f0, err := hcl.NewTCPFabric(hcl.TCPConfig{
+		NodeID: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}, Collector: col0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f0.Close()
+	f1, err := hcl.NewTCPFabric(hcl.TCPConfig{
+		NodeID: 1, Addrs: []string{"127.0.0.1:0", "127.0.0.1:0"}, Collector: col1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	addrs := []string{f0.Addr(), f1.Addr()}
+	f0.SetAddrs(addrs)
+	f1.SetAddrs(addrs)
+
+	w0 := hcl.MustWorld(f0, hcl.OnNode(0, 2))
+	rt0 := hcl.NewRuntime(w0)
+	m0, err := hcl.NewUnorderedMap[string, int](rt0, "scrape", hcl.WithServers([]int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := hcl.MustWorld(f1, hcl.OnNode(1, 2))
+	rt1 := hcl.NewRuntime(w1)
+	if _, err := hcl.NewUnorderedMap[string, int](rt1, "scrape", hcl.WithServers([]int{1})); err != nil {
+		t.Fatal(err)
+	}
+
+	win0 := hcl.NewMetricsWindows(col0, 8, 0)
+	win1 := hcl.NewMetricsWindows(col1, 8, 0)
+	c0 := rt0.EnableClusterObs(0, win0)
+	rt1.EnableClusterObs(1, win1)
+
+	const opsPerRank = 8
+	w0.Run(func(r *hcl.Rank) {
+		for i := 0; i < opsPerRank; i++ {
+			key := fmt.Sprintf("r%d-k%d", r.ID(), i)
+			if _, err := m0.Insert(r, key, i); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	win0.Roll(1e9)
+	win1.Roll(1e9)
+
+	view := c0.Scrape()
+	if view.Nodes != 2 || view.Scraped != 2 || view.Sources != 2 {
+		t.Fatalf("view shape: nodes=%d scraped=%d sources=%d errors=%v",
+			view.Nodes, view.Scraped, view.Sources, view.Errors)
+	}
+	if len(view.Errors) != 0 {
+		t.Fatalf("scrape errors: %v", view.Errors)
+	}
+	// Merged per-verb totals equal the sum of the per-node snapshots:
+	// node 0 saw the client side (rpc.*), node 1 the server side (exec.*).
+	s0, s1 := col0.Snapshot(), col1.Snapshot()
+	ops := uint64(2 * opsPerRank)
+	if got := view.Merged.Hist("rpc.umap.scrape.insert").Count; got != ops {
+		t.Fatalf("merged rpc count = %d, want %d", got, ops)
+	}
+	if got := view.Merged.Hist("exec.umap.scrape.insert").Count; got != ops {
+		t.Fatalf("merged exec count = %d, want %d", got, ops)
+	}
+	for _, kind := range []string{"packets_sent", "packets_recv"} {
+		want := s0.Total(hcl.MetricKind(kind), -1) + s1.Total(hcl.MetricKind(kind), -1)
+		// The scrape itself sends packets after the snapshots above were
+		// taken; the merged view may only exceed the pre-scrape sum.
+		if got := view.Merged.Total(hcl.MetricKind(kind), -1); got < want {
+			t.Fatalf("merged %s = %v, want >= %v", kind, got, want)
+		}
+	}
+
+	// The full debug surface serves the cluster view over HTTP.
+	srv, err := hcl.ServeDebugOpts("127.0.0.1:0", hcl.DebugOptions{
+		Collector: col0, Windows: win0, Cluster: c0,
+		SLO: hcl.NewSLO(hcl.SLOConfig{
+			Objectives: []hcl.SLOObjective{{Verb: "rpc.umap.*", Latency: 1e12, Target: 0.99}},
+		}, win0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/cluster/metrics", "/cluster/slo", "/slo", "/metrics/windows"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
 	}
 }
 
