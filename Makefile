@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify check test bench bench-shm bench-compare vet lint stress stress-replicated stress-hybrid stress-shm race-all sweep slo docs-check
+.PHONY: verify check test bench bench-shm bench-compare vet lint stress stress-replicated stress-hybrid stress-shm stress-reshard race-all sweep slo reshard docs-check
 
 # Time budget for the `stress` sweep, in milliseconds of wall time.
 STRESS_MS ?= 5000
@@ -63,6 +63,14 @@ stress-hybrid:
 stress-shm:
 	$(GO) test -race -count=1 -v -run 'TestStressShm' ./internal/harness/
 
+# The live-resharding gate under the race detector: epoch-fenced splits
+# and merges mid-stream, under zipf-skewed traffic, with and without
+# kill/restart chaos, on the simulated fabric and over the shared-memory
+# rings — histories must stay linearizable and conserved through every
+# routing flip (docs/RESHARDING.md).
+stress-reshard:
+	$(GO) test -race -count=1 -v -run 'TestStressReshard' ./internal/harness/
+
 test:
 	$(GO) test ./...
 
@@ -79,6 +87,7 @@ bench:
 	$(GO) run ./cmd/hcl-bench -benchjson BENCH_results.json < bench_results.txt
 	$(GO) run ./cmd/hcl-bench -sweep
 	$(GO) run ./cmd/hcl-bench -slo
+	$(GO) run ./cmd/hcl-bench -reshard
 
 # The shm round-trip A/B on its own (shm 64B/4096B vs a raw buffered
 # channel send measured in the same run) for quick iteration on the
@@ -106,6 +115,14 @@ docs-check:
 # gates them against the baseline ceilings (±25%; docs/OBSERVABILITY.md).
 slo:
 	$(GO) run ./cmd/hcl-bench -slo
+
+# The hot-shard auto-split A/B on its own (docs/RESHARDING.md): zipf-
+# skewed traffic against a vshard-routed map, baseline vs auto-split,
+# p99 of the hottest partition. Merges reshard/* entries into
+# BENCH_results.json; exits 1 unless >=1 auto-split fired and the
+# autosplit arm's p99 beat the baseline arm's.
+reshard:
+	$(GO) run ./cmd/hcl-bench -reshard
 
 # Regression gate: compare the last `make bench` run against the
 # checked-in baseline (±15% ns/op and allocs/op; see internal/bench/compare.go

@@ -18,6 +18,9 @@
 //	hcl-bench -slo                     # deterministic per-verb RPC p99s;
 //	                                   # merges slo/p99/* entries into
 //	                                   # BENCH_results.json for the gate
+//	hcl-bench -reshard                 # hot-shard auto-split A/B under
+//	                                   # zipf skew; merges reshard/* entries
+//	                                   # and gates autosplit p99 < baseline
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "run the read-ratio dataplane sweep, merge results into -sweepout, gate hybrid vs pure modes")
 		sweepout  = flag.String("sweepout", "BENCH_results.json", "results JSON the -sweep entries are merged into")
 		slo       = flag.Bool("slo", false, "measure per-verb deterministic RPC p99s, merge slo/p99/* entries into -sweepout")
+		reshard   = flag.Bool("reshard", false, "run the hot-shard auto-split A/B, merge reshard/* entries into -sweepout, gate autosplit p99 vs baseline")
 	)
 	flag.Parse()
 
@@ -102,12 +106,18 @@ func main() {
 				for _, f := range sloFails {
 					fmt.Printf("SLO GATE  %s\n", f)
 				}
-				if len(regs)+len(missing)+len(shmFails)+len(sloFails) > 0 {
-					fmt.Printf("bench gate: %d regressions, %d missing, %d shm ratio failures, %d slo p99 failures (tolerance %.0f%%)\n",
-						len(regs), len(missing), len(shmFails), len(sloFails), 100**tolerance)
+				// The reshard A/B is a same-run invariant like the shm
+				// ratios: the autosplit arm must beat its own baseline arm.
+				reshardFails := bench.ReshardGate(cur)
+				for _, f := range reshardFails {
+					fmt.Printf("RESHARD GATE  %s\n", f)
+				}
+				if len(regs)+len(missing)+len(shmFails)+len(sloFails)+len(reshardFails) > 0 {
+					fmt.Printf("bench gate: %d regressions, %d missing, %d shm ratio failures, %d slo p99 failures, %d reshard failures (tolerance %.0f%%)\n",
+						len(regs), len(missing), len(shmFails), len(sloFails), len(reshardFails), 100**tolerance)
 					os.Exit(1)
 				}
-				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s; shm ratios and slo p99 ceilings hold\n",
+				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s; shm ratios, slo p99 ceilings, and the reshard A/B hold\n",
 					len(base), 100**tolerance, *baseline)
 				return
 			}
@@ -153,6 +163,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("merged %d slo entries into %s\n", len(results), *sweepout)
+		return
+	}
+
+	if *reshard {
+		results := bench.ReshardResults(p)
+		bench.ReshardTable(results).Fprint(os.Stdout)
+		merged, err := mergeResults(*sweepout, results)
+		if err == nil {
+			err = bench.WriteBenchJSON(*sweepout, merged)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d reshard entries into %s\n", len(results), *sweepout)
+		if fails := bench.ReshardGate(results); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Printf("RESHARD GATE  %s\n", f)
+			}
+			fmt.Println("reshard gate: hot-shard auto-split did not flatten the tail")
+			os.Exit(1)
+		}
+		fmt.Println("reshard gate: autosplit hot-partition p99 beat the no-reshard baseline with >=1 auto-split")
 		return
 	}
 

@@ -251,6 +251,11 @@ var (
 	// ErrDegraded reports a replicated mutation that could not reach
 	// its write quorum; nothing was applied and a retry is safe.
 	ErrDegraded = core.ErrDegraded
+	// ErrResharding reports a resharding or repartitioning request the
+	// container cannot serve in its current configuration (replicated,
+	// persistent, cross-process, or built without WithVirtualNodes).
+	// See docs/RESHARDING.md.
+	ErrResharding = core.ErrResharding
 )
 
 // FaultConfig tunes the deterministic fault injector.
@@ -465,6 +470,26 @@ func WithDataplane(m DataplaneMode) Option { return core.WithDataplane(m) }
 
 // WithDataplaneConfig replaces the full dataplane configuration.
 func WithDataplaneConfig(c DataplaneConfig) Option { return core.WithDataplaneConfig(c) }
+
+// WithVirtualNodes routes an unordered container's keys through v
+// virtual shards instead of hashing straight onto partitions, enabling
+// live resharding: the container's Resharder moves vshard ownership
+// between partitions while traffic keeps flowing, and AddPartition moves
+// ~1/N of the keys instead of rehashing the world. See
+// docs/RESHARDING.md.
+func WithVirtualNodes(v int) Option { return core.WithVirtualNodes(v) }
+
+// WithHotSplit tunes the hot-shard auto-split policy driven by
+// Resharder.TickAutoSplit: split when a partition's op-window share
+// exceeds factor (> 1) times the fair share, once the window holds at
+// least minOps operations. Zero values keep the defaults (2.0, 512).
+func WithHotSplit(factor float64, minOps int) Option { return core.WithHotSplit(factor, minOps) }
+
+// Resharder drives live resharding maneuvers (vshard moves, partition
+// splits and merges, the hot-shard auto-split policy) on a container
+// built with WithVirtualNodes. Obtain one from the container's Resharder
+// method.
+type Resharder = core.Resharder
 
 // Callback is a user function run server-side after a container operation
 // within the same invocation (chained callbacks, paper Section III-C3).

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReshardABGate runs the full hot-shard A/B at scaled parameters and
+// requires the gate to pass: at least one auto-split fires and the
+// autosplit arm's hot-partition p99 lands below the baseline's. This is
+// the same check `hcl-bench -reshard` applies in CI.
+func TestReshardABGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("A/B runs ~16k simulated ops")
+	}
+	res := ReshardResults(Scaled())
+	if fails := ReshardGate(res); len(fails) > 0 {
+		t.Fatalf("reshard gate failed:\n%s", strings.Join(fails, "\n"))
+	}
+	for _, r := range res {
+		t.Logf("%s: %.0f (runs %d)", r.Name, r.NsPerOp, r.Runs)
+	}
+}
+
+// TestReshardGateShapes pins the gate's failure modes on synthetic
+// results: missing entries, zero splits, and a tail that did not improve
+// must each produce a complaint.
+func TestReshardGateShapes(t *testing.T) {
+	t.Parallel()
+	if fails := ReshardGate(nil); len(fails) != 3 {
+		t.Fatalf("empty results: want 3 missing-entry failures, got %v", fails)
+	}
+	mk := func(base, auto, splits float64) []BenchResult {
+		return []BenchResult{
+			{Name: ReshardBaselineName, NsPerOp: base},
+			{Name: ReshardAutoName, NsPerOp: auto},
+			{Name: ReshardSplitsName, NsPerOp: splits},
+		}
+	}
+	if fails := ReshardGate(mk(1000, 800, 2)); len(fails) != 0 {
+		t.Fatalf("healthy A/B failed the gate: %v", fails)
+	}
+	if fails := ReshardGate(mk(1000, 800, 0)); len(fails) != 1 || !strings.Contains(fails[0], "never split") {
+		t.Fatalf("zero splits not flagged: %v", fails)
+	}
+	if fails := ReshardGate(mk(1000, 1000, 1)); len(fails) != 1 || !strings.Contains(fails[0], "did not improve") {
+		t.Fatalf("flat tail not flagged: %v", fails)
+	}
+}
+
+// TestZipfCDFShape sanity-checks the bench-local sampler: draws stay in
+// range and the head dominates the tail.
+func TestZipfCDFShape(t *testing.T) {
+	t.Parallel()
+	cdf := reshardCDF(reshardKeys, reshardSkew)
+	state := uint64(42)
+	counts := make([]int, reshardKeys)
+	for i := 0; i < 50_000; i++ {
+		k := reshardPick(cdf, &state)
+		if k >= reshardKeys {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[reshardKeys/2] {
+		t.Fatalf("key 0 drew %d <= key %d's %d; not zipfian", counts[0], reshardKeys/2, counts[reshardKeys/2])
+	}
+}

@@ -52,6 +52,11 @@ func NewMap[K comparable, V any](rt *Runtime, name string, less Less[K], opts ..
 		// option would promise durability the container cannot deliver.
 		return nil, fmt.Errorf("hcl: %s: persistence is not supported for ordered maps", name)
 	}
+	if o.vnodes > 0 {
+		// Vshard migration would interleave arbitrarily with range scans;
+		// only the unordered containers support live resharding.
+		return nil, fmt.Errorf("hcl: %s: virtual nodes on an ordered map: %w", name, ErrResharding)
+	}
 	servers := o.servers
 	if servers == nil {
 		servers = allNodes(rt)

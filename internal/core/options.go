@@ -38,6 +38,9 @@ type options struct {
 	syncMode   memory.SyncMode
 	initialCap int
 	dataplane  dataplane.Config
+	vnodes     int
+	hotFactor  float64
+	hotMinOps  int
 }
 
 func defaultOptions() options {
@@ -120,6 +123,30 @@ func WithDataplane(m dataplane.Mode) Option {
 // configuration (mode, mirror geometry, lease TTL, router thresholds).
 func WithDataplaneConfig(c dataplane.Config) Option {
 	return func(o *options) { o.dataplane = c }
+}
+
+// WithVirtualNodes routes the container's keys through v virtual shards
+// (rounded up to a power of two) instead of hashing directly onto
+// partitions, enabling live resharding: Split/Merge move vshard ownership
+// between partitions while traffic keeps flowing, and adding a partition
+// moves ~1/N of the keys. Unordered containers only; incompatible with
+// replication and persistence (those layers pin keys to the static
+// partition hash). See docs/RESHARDING.md.
+func WithVirtualNodes(v int) Option {
+	return func(o *options) { o.vnodes = v }
+}
+
+// WithHotSplit tunes the hot-shard auto-split policy behind
+// Resharder.TickAutoSplit: a partition is split when its share of the op
+// window exceeds factor times the fair share (factor must be > 1; the
+// default is 2.0), and no decision is taken before the window holds
+// minOps operations (default 512). Only meaningful together with
+// WithVirtualNodes. See docs/RESHARDING.md.
+func WithHotSplit(factor float64, minOps int) Option {
+	return func(o *options) {
+		o.hotFactor = factor
+		o.hotMinOps = minOps
+	}
 }
 
 func buildOptions(opts []Option) options {

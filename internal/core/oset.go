@@ -40,6 +40,9 @@ func NewSet[K comparable](rt *Runtime, name string, less Less[K], opts ...Option
 	if o.persistDir != "" {
 		return nil, fmt.Errorf("hcl: %s: persistence is not supported for ordered sets", name)
 	}
+	if o.vnodes > 0 {
+		return nil, fmt.Errorf("hcl: %s: virtual nodes on an ordered set: %w", name, ErrResharding)
+	}
 	servers := o.servers
 	if servers == nil {
 		servers = allNodes(rt)

@@ -38,6 +38,9 @@ func NewPriorityQueue[T any](rt *Runtime, name string, less func(a, b T) bool, o
 	if o.replicas > 0 {
 		return nil, fmt.Errorf("hcl: %s: replication is not supported for priority queues", name)
 	}
+	if o.vnodes > 0 {
+		return nil, fmt.Errorf("hcl: %s: virtual nodes on a priority queue: %w", name, ErrResharding)
+	}
 	host := 0
 	if len(o.servers) > 0 {
 		host = o.servers[0]

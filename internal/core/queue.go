@@ -36,6 +36,9 @@ func NewQueue[T any](rt *Runtime, name string, opts ...Option) (*Queue[T], error
 	if o.replicas > 0 {
 		return nil, fmt.Errorf("hcl: %s: replication is not supported for queues", name)
 	}
+	if o.vnodes > 0 {
+		return nil, fmt.Errorf("hcl: %s: virtual nodes on a queue: %w", name, ErrResharding)
+	}
 	host := 0
 	if len(o.servers) > 0 {
 		host = o.servers[0]

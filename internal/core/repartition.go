@@ -20,6 +20,10 @@ import (
 // AddPartition extends the map with a fresh partition hosted on node and
 // migrates the keys whose home moves. It fails if node already hosts a
 // partition of this map.
+//
+// With virtual nodes (WithVirtualNodes) the new partition steals ~V/N
+// vshards through the epoch-fenced migration path, so only ~1/N of the
+// keys move — consistent placement instead of the full modulus rehash.
 func (m *UnorderedMap[K, V]) AddPartition(r *cluster.Rank, node int) error {
 	if node < 0 || node >= m.rt.world.NumNodes() {
 		return fmt.Errorf("hcl: %s: node %d out of range", m.name, node)
@@ -28,14 +32,19 @@ func (m *UnorderedMap[K, V]) AddPartition(r *cluster.Rank, node int) error {
 		return fmt.Errorf("hcl: %s: node %d already hosts a partition", m.name, node)
 	}
 	if m.journal != nil {
-		return fmt.Errorf("hcl: %s: repartitioning a persistent map is not supported", m.name)
+		return fmt.Errorf("hcl: %s: repartitioning a persistent map: %w", m.name, ErrResharding)
 	}
 	if m.repl != nil {
-		return fmt.Errorf("hcl: %s: repartitioning a replicated map is not supported", m.name)
+		return fmt.Errorf("hcl: %s: repartitioning a replicated map: %w", m.name, ErrResharding)
 	}
 	m.parts = append(m.parts, containers.NewCuckooMapSize[K, V](m.opt.initialCap))
 	m.servers = append(m.servers, node)
 	m.byNode[node] = len(m.parts) - 1
+	if m.rg != nil {
+		moved, err := m.rg.Grow(m.mover())
+		m.rt.localCharge(r, 0, 2*moved+1, "umap", m.name, "add_partition")
+		return err
+	}
 	return m.migrate(r)
 }
 
@@ -50,10 +59,18 @@ func (m *UnorderedMap[K, V]) RemovePartition(r *cluster.Rank, id int) error {
 		return fmt.Errorf("hcl: %s: cannot remove the last partition", m.name)
 	}
 	if m.journal != nil {
-		return fmt.Errorf("hcl: %s: repartitioning a persistent map is not supported", m.name)
+		return fmt.Errorf("hcl: %s: repartitioning a persistent map: %w", m.name, ErrResharding)
 	}
 	if m.repl != nil {
-		return fmt.Errorf("hcl: %s: repartitioning a replicated map is not supported", m.name)
+		return fmt.Errorf("hcl: %s: repartitioning a replicated map: %w", m.name, ErrResharding)
+	}
+	if m.rg != nil {
+		// Vshard placement: vacate ownership through the live migration
+		// path. The slot stays (indices are stable); it owns no keys and
+		// receives no traffic until a later split repopulates it.
+		moved, err := m.rg.Vacate(id, m.mover())
+		m.rt.localCharge(r, 0, 2*moved+1, "umap", m.name, "remove_partition")
+		return err
 	}
 	removed := m.parts[id]
 	m.parts = append(m.parts[:id], m.parts[id+1:]...)

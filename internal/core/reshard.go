@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hcl/internal/reshard"
+	"hcl/internal/trace"
+)
+
+// ErrResharding marks a resharding or repartitioning request the
+// container cannot serve in its current configuration: repartitioning a
+// replicated or persistent container, requesting virtual nodes together
+// with either of those layers, or asking for a live Resharder on a
+// container built without WithVirtualNodes or on a cross-process
+// transport. Callers test with errors.Is. See docs/RESHARDING.md and
+// docs/REPLICATION.md.
+var ErrResharding = errors.New("resharding not supported")
+
+// newCoordinator builds the vshard coordinator for a container whose
+// options request virtual nodes, wiring metric counts and flight-recorder
+// spans into the runtime's collector and tracer. It returns (nil, nil)
+// when virtual nodes are off.
+func newCoordinator(rt *Runtime, kind, name string, servers []int, o options) (*reshard.Coordinator, error) {
+	if o.vnodes <= 0 {
+		return nil, nil
+	}
+	if o.replicas > 0 {
+		return nil, fmt.Errorf("hcl: %s: virtual nodes with replication: %w", name, ErrResharding)
+	}
+	if o.persistDir != "" {
+		return nil, fmt.Errorf("hcl: %s: virtual nodes with persistence: %w", name, ErrResharding)
+	}
+	if strings.Contains(rt.world.Provider().Name(), "tcp") {
+		// Live migration moves keys between partitions through shared
+		// address space — the same in-process scope as the dataplane's
+		// lease protocol (docs/DATAPLANE.md, "Transport scope").
+		return nil, fmt.Errorf("hcl: %s: virtual nodes on a cross-process transport: %w", name, ErrResharding)
+	}
+	cfg := reshard.Config{
+		VShards:   o.vnodes,
+		HotFactor: o.hotFactor,
+		MinOps:    o.hotMinOps,
+		Col:       rt.engine.Collector,
+		Node: func(p int) int {
+			if p >= 0 && p < len(servers) {
+				return servers[p]
+			}
+			return 0
+		},
+	}
+	if tr := rt.engine.Tracer(); tr != nil {
+		cfg.Span = func(spanName, verb string, start, end int64) {
+			id := tr.NewID()
+			tr.Record(trace.Span{
+				TraceID: id, ID: id,
+				Name: spanName + "." + kind + "." + name, Verb: verb,
+				Start: start, End: end,
+			})
+		}
+	}
+	return reshard.New(cfg, len(servers)), nil
+}
+
+// Resharder drives live resharding maneuvers on one container: vshard
+// moves, partition splits and merges, and the hot-shard auto-split
+// policy. Obtain one from the container's Resharder method; all methods
+// are safe for concurrent use with serving traffic — that is the point.
+type Resharder struct {
+	c  *reshard.Coordinator
+	mv reshard.Mover
+}
+
+func newResharder(c *reshard.Coordinator, mv reshard.Mover) *Resharder {
+	return &Resharder{c: c, mv: mv}
+}
+
+// MoveVShard live-migrates vshard v to partition to, returning the keys
+// moved.
+func (rs *Resharder) MoveVShard(v, to int) (int, error) { return rs.c.MoveVShard(v, to, rs.mv) }
+
+// Split relieves partition p by moving the hotter half of its vshards to
+// the least-loaded other partitions, returning the keys moved.
+func (rs *Resharder) Split(p int) (int, error) {
+	_, keys, err := rs.c.Split(p, rs.mv)
+	return keys, err
+}
+
+// Merge vacates partition p onto the least-loaded other partitions,
+// returning the keys moved. The partition keeps its slot but owns no
+// keys afterwards.
+func (rs *Resharder) Merge(p int) (int, error) {
+	_, keys, err := rs.c.Merge(p, rs.mv)
+	return keys, err
+}
+
+// SplitHottest splits the partition that saw the most operations in the
+// current window.
+func (rs *Resharder) SplitHottest() (int, error) { return rs.Split(rs.c.Hottest()) }
+
+// MergeColdest merges away the partition that saw the fewest operations
+// in the current window.
+func (rs *Resharder) MergeColdest() (int, error) { return rs.Merge(rs.c.Coldest()) }
+
+// TickAutoSplit takes one hot-shard decision (split the hottest partition
+// when its op-window share exceeds the configured factor) and reports
+// whether a split ran. Call it at any cadence; see docs/RESHARDING.md.
+func (rs *Resharder) TickAutoSplit() (bool, error) { return rs.c.TickAutoSplit(rs.mv) }
+
+// Moves reports completed vshard moves; Splits reports auto-splits.
+func (rs *Resharder) Moves() uint64  { return rs.c.Moves() }
+func (rs *Resharder) Splits() uint64 { return rs.c.Splits() }
+
+// Assignments returns a copy of the vshard -> partition routing table.
+func (rs *Resharder) Assignments() []int { return rs.c.Assignments() }
+
+// Version reports the routing-table version (bumped by every flip).
+func (rs *Resharder) Version() uint64 { return rs.c.Version() }

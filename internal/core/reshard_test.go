@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hcl/internal/dataplane"
+	"hcl/internal/memory"
+)
+
+func TestVirtualNodeRouting(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	m, err := NewUnorderedMap[int, string](rt, "vroute", WithVirtualNodes(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert(r, i, fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v, ok, err := m.Find(r, i); err != nil || !ok || v != fmt.Sprint(i) {
+			t.Fatalf("key %d: %q %v %v", i, v, ok, err)
+		}
+	}
+	if total, err := m.Size(r); err != nil || total != n {
+		t.Fatalf("Size = %d (%v), want %d", total, err, n)
+	}
+	// Every partition got a share: 64 vshards round-robin over 4 parts.
+	for p, part := range m.parts {
+		if part.Len() == 0 {
+			t.Fatalf("partition %d is empty under vshard placement", p)
+		}
+	}
+}
+
+func TestResharderSplitMergeServesTraffic(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 4)
+	m, err := NewUnorderedMap[int, int](rt, "live",
+		WithVirtualNodes(32), WithDataplane(dataplane.ModeAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m.Resharder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 600
+	r0 := w.Rank(0)
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert(r0, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep three ranks reading and writing while maneuvers run.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	for g := 1; g <= 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := w.Rank(g)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i*13 + g) % n
+				if i%3 == 0 {
+					if _, err := m.Insert(r, k, k*10+g); err != nil {
+						errc <- err
+						return
+					}
+				} else {
+					if _, ok, err := m.Find(r, k); err != nil {
+						errc <- err
+						return
+					} else if !ok {
+						errc <- fmt.Errorf("key %d vanished mid-reshard", k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for round := 0; round < 4; round++ {
+		if _, err := rs.SplitHottest(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rs.MergeColdest(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if rs.Moves() == 0 {
+		t.Fatal("no vshard moves happened")
+	}
+	// Conservation + reachability after the dust settles.
+	if total, err := m.Size(r0); err != nil || total != n {
+		t.Fatalf("Size = %d (%v), want %d", total, err, n)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok, err := m.Find(r0, i); err != nil || !ok {
+			t.Fatalf("key %d lost after split/merge rounds (%v)", i, err)
+		}
+	}
+}
+
+// TestAddPartitionWithVNodesMovesFairShare is the consistent-placement
+// bound through the container API: growing N -> N+1 partitions must move
+// ~1/(N+1) of the keys, not rehash the world.
+func TestAddPartitionWithVNodesMovesFairShare(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 8, 1)
+	m, err := NewUnorderedMap[int, string](rt, "vgrow",
+		WithServers([]int{0, 1, 2}), WithVirtualNodes(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert(r, i, fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot resident keys per partition before the grow.
+	resident := func(p int) map[int]bool {
+		out := make(map[int]bool)
+		m.parts[p].Range(func(k int, _ string) bool { out[k] = true; return true })
+		return out
+	}
+	before := make([]map[int]bool, 3)
+	for p := range before {
+		before[p] = resident(p)
+	}
+	if err := m.AddPartition(r, 5); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for p := range before {
+		for k := range before[p] {
+			if !resident(p)[k] {
+				moved++
+			}
+		}
+	}
+	// Fair share is n/4; allow 2x slack for vshard granularity.
+	if moved > n/2 {
+		t.Fatalf("grow moved %d of %d keys; consistent placement should move ~%d", moved, n, n/4)
+	}
+	if moved == 0 {
+		t.Fatal("grow moved nothing")
+	}
+	if got := m.parts[3].Len(); got != moved {
+		t.Fatalf("new partition holds %d keys, %d moved", got, moved)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok, err := m.Find(r, i); err != nil || !ok {
+			t.Fatalf("key %d lost after vnode grow (%v)", i, err)
+		}
+	}
+	if total, _ := m.Size(r); total != n {
+		t.Fatalf("Size = %d after grow", total)
+	}
+}
+
+func TestUnorderedSetWithVirtualNodes(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 3, 1)
+	s, err := NewUnorderedSet[int](rt, "vset", WithVirtualNodes(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	for i := 0; i < 500; i++ {
+		if _, err := s.Insert(r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := s.Resharder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.SplitHottest(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.MergeColdest(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if ok, err := s.Find(r, i); err != nil || !ok {
+			t.Fatalf("set element %d lost (%v)", i, err)
+		}
+	}
+	if total, _ := s.Size(r); total != 500 {
+		t.Fatalf("set Size = %d", total)
+	}
+}
+
+func TestResharderRequiresVirtualNodes(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 2, 1)
+	_ = w
+	m, err := NewUnorderedMap[int, int](rt, "novn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Resharder(); !errors.Is(err, ErrResharding) {
+		t.Fatalf("Resharder without vnodes: %v, want ErrResharding", err)
+	}
+}
+
+func TestVirtualNodesRejectIncompatibleLayers(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 3, 1)
+	_ = w
+	if _, err := NewUnorderedMap[int, int](rt, "vrepl",
+		WithVirtualNodes(16), WithReplicas(1, QuorumAll)); !errors.Is(err, ErrResharding) {
+		t.Fatalf("vnodes+replication: %v, want ErrResharding", err)
+	}
+	if _, err := NewUnorderedMap[int, int](rt, "vpersist",
+		WithVirtualNodes(16), WithPersistence(t.TempDir(), memory.SyncNone)); !errors.Is(err, ErrResharding) {
+		t.Fatalf("vnodes+persistence: %v, want ErrResharding", err)
+	}
+	if _, err := NewMap[int, int](rt, "vomap", func(a, b int) bool { return a < b },
+		WithVirtualNodes(16)); !errors.Is(err, ErrResharding) {
+		t.Fatalf("vnodes on ordered map: %v, want ErrResharding", err)
+	}
+	if _, err := NewSet[int](rt, "voset", func(a, b int) bool { return a < b },
+		WithVirtualNodes(16)); !errors.Is(err, ErrResharding) {
+		t.Fatalf("vnodes on ordered set: %v, want ErrResharding", err)
+	}
+	if _, err := NewQueue[int](rt, "vq", WithVirtualNodes(16)); !errors.Is(err, ErrResharding) {
+		t.Fatalf("vnodes on queue: %v, want ErrResharding", err)
+	}
+	if _, err := NewPriorityQueue[int](rt, "vpq", func(a, b int) bool { return a < b },
+		WithVirtualNodes(16)); !errors.Is(err, ErrResharding) {
+		t.Fatalf("vnodes on priority queue: %v, want ErrResharding", err)
+	}
+}
+
+func TestRepartitionRejectionIsTyped(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	m, err := NewUnorderedMap[int, int](rt, "typed",
+		WithServers([]int{0, 1}), WithReplicas(1, QuorumAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Rank(0)
+	if err := m.AddPartition(r, 2); !errors.Is(err, ErrResharding) {
+		t.Fatalf("replicated AddPartition: %v, want ErrResharding", err)
+	}
+	if err := m.RemovePartition(r, 0); !errors.Is(err, ErrResharding) {
+		t.Fatalf("replicated RemovePartition: %v, want ErrResharding", err)
+	}
+	pm, err := NewUnorderedMap[int, int](rt, "typedp",
+		WithServers([]int{0, 1}), WithPersistence(t.TempDir(), memory.SyncNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.AddPartition(r, 2); !errors.Is(err, ErrResharding) {
+		t.Fatalf("persistent AddPartition: %v, want ErrResharding", err)
+	}
+}

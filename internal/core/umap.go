@@ -10,6 +10,7 @@ import (
 	"hcl/internal/databox"
 	"hcl/internal/dataplane"
 	"hcl/internal/fabric"
+	"hcl/internal/reshard"
 )
 
 // UnorderedMap is HCL::unordered_map — a distributed hash map whose
@@ -30,6 +31,7 @@ type UnorderedMap[K comparable, V any] struct {
 	merge   func(old, incoming V) V
 	repl    *replGroup[K, V]
 	dp      *dataplane.Plane
+	rg      *reshard.Coordinator // vshard routing + live migration; nil without WithVirtualNodes
 }
 
 // NewUnorderedMap constructs (collectively, without coordination) a
@@ -58,6 +60,11 @@ func NewUnorderedMap[K comparable, V any](rt *Runtime, name string, opts ...Opti
 		m.parts[i] = containers.NewCuckooMapSize[K, V](o.initialCap)
 		m.byNode[n] = i
 	}
+	rg, err := newCoordinator(rt, "umap", name, servers, o)
+	if err != nil {
+		return nil, err
+	}
+	m.rg = rg
 	if err := m.openJournals(); err != nil {
 		return nil, err
 	}
@@ -82,7 +89,7 @@ func NewUnorderedMap[K comparable, V any](rt *Runtime, name string, opts ...Opti
 		// Client-side cache check before aggregation: an aggregated find
 		// whose key holds an unexpired lease never joins a batch bucket.
 		rt.engine.SetReadThrough(m.fn("find"), func(arg []byte) ([]byte, bool) {
-			p := int(StableHash64(arg) % uint64(len(servers)))
+			p := m.route(arg)
 			vb, ok, hit := m.dp.CacheGet(p, arg, 0)
 			if !hit {
 				return nil, false
@@ -111,6 +118,15 @@ func (m *UnorderedMap[K, V]) Name() string { return m.name }
 // Partitions reports the number of partitions.
 func (m *UnorderedMap[K, V]) Partitions() int { return len(m.servers) }
 
+// PartitionOf reports the partition currently serving key k. Under
+// virtual nodes this is a live routing-table lookup, so the answer can
+// change across a reshard maneuver; benches use it to attribute per-op
+// load to partitions.
+func (m *UnorderedMap[K, V]) PartitionOf(k K) (int, error) {
+	p, _, err := m.partitionOf(k)
+	return p, err
+}
+
 // partitionOf computes the level-one (stable) hash and the owning
 // partition of a key. The encoded key is returned for reuse on the wire.
 func (m *UnorderedMap[K, V]) partitionOf(k K) (int, []byte, error) {
@@ -118,7 +134,19 @@ func (m *UnorderedMap[K, V]) partitionOf(k K) (int, []byte, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("hcl: %s: encode key: %w", m.name, err)
 	}
-	return int(StableHash64(kb) % uint64(len(m.servers))), kb, nil
+	return m.route(kb), kb, nil
+}
+
+// route resolves the encoded key's owning partition: through the vshard
+// table when virtual nodes are on (a lock-free snapshot that a concurrent
+// flip may stale by one version — the serving side re-resolves under the
+// vshard lock, so a stale route costs a hop, never a wrong answer), or
+// the paper's static modulus otherwise.
+func (m *UnorderedMap[K, V]) route(kb []byte) int {
+	if m.rg != nil {
+		return m.rg.Partition(StableHash64(kb))
+	}
+	return int(StableHash64(kb) % uint64(len(m.servers)))
 }
 
 func (m *UnorderedMap[K, V]) fn(op string) string { return "umap." + m.name + "." + op }
@@ -129,7 +157,6 @@ func (m *UnorderedMap[K, V]) bind() {
 	e := m.rt.engine
 	cm := m.rt.model
 	e.Bind(m.fn("insert"), func(node int, arg []byte) ([]byte, int64) {
-		p := m.byNode[node]
 		kb, vb, err := databox.DecodePair(arg)
 		if err != nil {
 			panic(err)
@@ -142,13 +169,25 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
+		// Table I: insert = F + L + W (F billed by the fabric).
+		cost := cm.LocalOpNS + cm.MemTime(len(arg))
+		if m.rg != nil {
+			// Vshard routing: resolve by key under the vshard lock (the
+			// client's route may be one flip stale), dual-writing while
+			// the key's vshard is mid-migration.
+			isNew := m.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(m.dp, p, kb, dataplane.PubValue, vb, func() bool {
+					return m.parts[p].Insert(k, v)
+				})()
+			})
+			return boolByte(isNew), cost
+		}
+		p := m.byNode[node]
 		apply := dpApply(m.dp, p, kb, dataplane.PubValue, vb, func() bool {
 			isNew := m.parts[p].Insert(k, v)
 			m.appendJournalPut(p, arg)
 			return isNew
 		})
-		// Table I: insert = F + L + W (F billed by the fabric).
-		cost := cm.LocalOpNS + cm.MemTime(len(arg))
 		if m.repl == nil {
 			return boolByte(apply()), cost
 		}
@@ -156,7 +195,6 @@ func (m *UnorderedMap[K, V]) bind() {
 		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(m.fn("merge"), func(node int, arg []byte) ([]byte, int64) {
-		p := m.byNode[node]
 		kb, vb, err := databox.DecodePair(arg)
 		if err != nil {
 			panic(err)
@@ -169,6 +207,17 @@ func (m *UnorderedMap[K, V]) bind() {
 		if err != nil {
 			panic(err)
 		}
+		// One server-side read-modify-write: F + L + R + W.
+		cost := 2*cm.LocalOpNS + cm.MemTime(len(arg))
+		if m.rg != nil {
+			isNew := m.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+					return m.mergeLocal(p, k, v)
+				})()
+			})
+			return boolByte(isNew), cost
+		}
+		p := m.byNode[node]
 		// PubClear, not PubValue: the combined value lives only in the
 		// partition, never on the wire, so the mirror slot is invalidated
 		// rather than re-encoded on the mutation path.
@@ -177,8 +226,6 @@ func (m *UnorderedMap[K, V]) bind() {
 			m.journalMerged(p, kb, k)
 			return isNew
 		})
-		// One server-side read-modify-write: F + L + R + W.
-		cost := 2*cm.LocalOpNS + cm.MemTime(len(arg))
 		if m.repl == nil {
 			return boolByte(apply()), cost
 		}
@@ -186,35 +233,44 @@ func (m *UnorderedMap[K, V]) bind() {
 		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(m.fn("find"), func(node int, arg []byte) ([]byte, int64) {
-		p := m.byNode[node]
-		if m.repl != nil && m.repl.isDead(p) {
-			// Crashed, awaiting repair: the wiped primary must not serve
-			// reads. The marker sends the client to a replica.
-			return deadResp(), cm.LocalOpNS
-		}
 		k, err := m.kbox.Decode(arg)
 		if err != nil {
 			panic(err)
 		}
-		read := func() ([]byte, bool) {
-			v, ok := m.parts[p].Find(k)
-			if !ok {
-				return nil, false
+		serve := func(p int) ([]byte, bool) {
+			read := func() ([]byte, bool) {
+				v, ok := m.parts[p].Find(k)
+				if !ok {
+					return nil, false
+				}
+				vb, err := m.vbox.Encode(v)
+				if err != nil {
+					panic(err)
+				}
+				return vb, true
 			}
-			vb, err := m.vbox.Encode(v)
-			if err != nil {
-				panic(err)
+			if m.dp != nil {
+				// Serving a find is also granting a read lease: the read and
+				// the grant happen atomically under the key's stripe lock.
+				return m.dp.GrantRead(p, arg, read)
 			}
-			return vb, true
+			return read()
 		}
 		var vb []byte
 		var ok bool
-		if m.dp != nil {
-			// Serving a find is also granting a read lease: the read and
-			// the grant happen atomically under the key's stripe lock.
-			vb, ok = m.dp.GrantRead(p, arg, read)
+		if m.rg != nil {
+			// Resolve and read under the vshard read-lock: a read that
+			// found the old owner completes before a concurrent flip can
+			// drain the key from under it.
+			m.rg.Read(StableHash64(arg), func(p int) { vb, ok = serve(p) })
 		} else {
-			vb, ok = read()
+			p := m.byNode[node]
+			if m.repl != nil && m.repl.isDead(p) {
+				// Crashed, awaiting repair: the wiped primary must not serve
+				// reads. The marker sends the client to a replica.
+				return deadResp(), cm.LocalOpNS
+			}
+			vb, ok = serve(p)
 		}
 		if !ok {
 			return []byte{0}, cm.LocalOpNS
@@ -223,11 +279,19 @@ func (m *UnorderedMap[K, V]) bind() {
 		return append([]byte{1}, vb...), cm.LocalOpNS + cm.MemTime(len(vb))
 	})
 	e.Bind(m.fn("erase"), func(node int, arg []byte) ([]byte, int64) {
-		p := m.byNode[node]
 		k, err := m.kbox.Decode(arg)
 		if err != nil {
 			panic(err)
 		}
+		if m.rg != nil {
+			ok := m.rg.Mutate(StableHash64(arg), func(p int) bool {
+				return dpApply(m.dp, p, arg, dataplane.PubClear, nil, func() bool {
+					return m.parts[p].Delete(k)
+				})()
+			})
+			return boolByte(ok), cm.LocalOpNS
+		}
+		p := m.byNode[node]
 		apply := dpApply(m.dp, p, arg, dataplane.PubClear, nil, func() bool {
 			ok := m.parts[p].Delete(k)
 			m.appendJournalDel(p, arg)
@@ -241,13 +305,31 @@ func (m *UnorderedMap[K, V]) bind() {
 	})
 	e.Bind(m.fn("resize"), func(node int, arg []byte) ([]byte, int64) {
 		p := m.byNode[node]
-		newSize := int(binary.LittleEndian.Uint64(arg))
+		if len(arg) == 16 {
+			// Vshard-routed containers address the partition explicitly
+			// (a node may host several partitions).
+			p = int(binary.LittleEndian.Uint64(arg[8:]))
+		}
+		newSize := int(binary.LittleEndian.Uint64(arg[:8]))
 		n := m.parts[p].Len()
 		m.parts[p].Reserve(newSize)
 		// Table I: resize = F + N(R+W).
 		return boolByte(true), int64(n) * 2 * cm.LocalOpNS
 	})
 	e.Bind(m.fn("size"), func(node int, arg []byte) ([]byte, int64) {
+		if m.rg != nil {
+			// Sum every partition this node hosts (vshard placements may
+			// put several partitions on one node, e.g. the shm world).
+			total := 0
+			for p, n := range m.servers {
+				if n == node {
+					total += m.parts[p].Len()
+				}
+			}
+			var out [8]byte
+			binary.LittleEndian.PutUint64(out[:], uint64(total))
+			return out[:], cm.LocalOpNS
+		}
 		p := m.byNode[node]
 		var out [8]byte
 		binary.LittleEndian.PutUint64(out[:], uint64(m.parts[p].Len()))
@@ -274,10 +356,93 @@ func (m *UnorderedMap[K, V]) CrashNode(node int) {
 		m.fence(node)
 		return
 	}
+	if m.rg != nil {
+		// Vshard placement may host several partitions on one node; wipe
+		// and fence each of them.
+		for p, n := range m.servers {
+			if n == node {
+				wipePart[K, V](m.parts[p])
+				if m.dp != nil {
+					m.dp.Fence(p)
+				}
+			}
+		}
+		return
+	}
 	if p, ok := m.byNode[node]; ok {
 		wipePart[K, V](m.parts[p])
 	}
 	m.fence(node)
+}
+
+// Resharder returns the live-resharding driver for this map. It requires
+// WithVirtualNodes (the vshard table is what makes ownership movable);
+// otherwise the error wraps ErrResharding.
+func (m *UnorderedMap[K, V]) Resharder() (*Resharder, error) {
+	if m.rg == nil {
+		return nil, fmt.Errorf("hcl: %s: built without virtual nodes: %w", m.name, ErrResharding)
+	}
+	return newResharder(m.rg, m.mover()), nil
+}
+
+// mover adapts this map's partitions to the coordinator's migration
+// hooks. All hooks run under the moving vshard's write lock, never
+// concurrently, so the shared key buffer is safe.
+func (m *UnorderedMap[K, V]) mover() reshard.Mover {
+	var buf []K
+	inShard := func(v int, k K) bool {
+		kb, err := m.kbox.Encode(k)
+		if err != nil {
+			return false
+		}
+		return m.rg.VShardOf(StableHash64(kb)) == v
+	}
+	return reshard.Mover{
+		Collect: func(v, from int) int {
+			buf = buf[:0]
+			m.parts[from].Range(func(k K, _ V) bool {
+				if inShard(v, k) {
+					buf = append(buf, k)
+				}
+				return true
+			})
+			return len(buf)
+		},
+		Copy: func(i, j, from, to int) int {
+			n := 0
+			for _, k := range buf[i:j] {
+				// Re-read the current value: a key erased since Collect
+				// must not be resurrected, and a merged one must carry
+				// its combined value.
+				if val, ok := m.parts[from].Find(k); ok {
+					m.parts[to].Insert(k, val)
+					n++
+				}
+			}
+			return n
+		},
+		Drain: func(v, from int) int {
+			// Fresh scan, not the Collect buffer: keys inserted during
+			// the migration were dual-written to the target and must not
+			// survive in the old owner.
+			var doomed []K
+			m.parts[from].Range(func(k K, _ V) bool {
+				if inShard(v, k) {
+					doomed = append(doomed, k)
+				}
+				return true
+			})
+			for _, k := range doomed {
+				m.parts[from].Delete(k)
+			}
+			return len(doomed)
+		},
+		Fence: func(p int) {
+			if m.dp != nil {
+				m.dp.Fence(p)
+			}
+		},
+	}
 }
 
 // fence bumps the dataplane lease epoch of node's partition and wipes its
@@ -341,6 +506,15 @@ func (m *UnorderedMap[K, V]) Merge(r *cluster.Rank, k K, v V) (bool, error) {
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.rg != nil {
+			isNew := m.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+					return m.mergeLocal(p, k, v)
+				})()
+			})
+			m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3, "umap", m.name, "merge")
+			return isNew, nil
+		}
 		if m.repl != nil {
 			vb, err := m.vbox.Encode(v)
 			if err != nil {
@@ -383,6 +557,15 @@ func (m *UnorderedMap[K, V]) MergeAsync(r *cluster.Rank, k K, v V) *Future[bool]
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.rg != nil {
+			isNew := m.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+					return m.mergeLocal(p, k, v)
+				})()
+			})
+			m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 3, "umap", m.name, "merge")
+			return immediateFuture(isNew, nil)
+		}
 		if m.repl != nil {
 			vb, err := m.vbox.Encode(v)
 			if err != nil {
@@ -423,6 +606,18 @@ func (m *UnorderedMap[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.rg != nil {
+			isNew := m.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+					return m.parts[p].Insert(k, v)
+				})()
+			})
+			m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
+			if isNew {
+				m.chargeAlloc(r, node, len(kb)+payloadSize(m.vbox, v))
+			}
+			return isNew, nil
+		}
 		if m.repl != nil {
 			vb, err := m.vbox.Encode(v)
 			if err != nil {
@@ -491,6 +686,15 @@ func (m *UnorderedMap[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.rg != nil {
+			isNew := m.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+					return m.parts[p].Insert(k, v)
+				})()
+			})
+			m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
+			return immediateFuture(isNew, nil)
+		}
 		if m.repl != nil {
 			vb, err := m.vbox.Encode(v)
 			if err != nil {
@@ -543,7 +747,15 @@ func (m *UnorderedMap[K, V]) Find(r *cluster.Rank, k K) (V, bool, error) {
 		return v, true, nil
 	}
 	if m.opt.hybrid && node == r.Node() && (m.repl == nil || !m.repl.isDead(p)) {
-		v, ok := m.parts[p].Find(k)
+		var v V
+		var ok bool
+		if m.rg != nil {
+			// Resolve + read under the vshard read-lock, so a concurrent
+			// flip's drain cannot remove the key mid-read.
+			m.rg.Read(StableHash64(kb), func(p int) { v, ok = m.parts[p].Find(k) })
+		} else {
+			v, ok = m.parts[p].Find(k)
+		}
 		sz := len(kb)
 		if ok {
 			sz += payloadSize(m.vbox, v)
@@ -602,7 +814,13 @@ func (m *UnorderedMap[K, V]) FindAsync(r *cluster.Rank, k K) *Future[FindResult[
 		return immediateFuture(FindResult[V]{Value: v, OK: true}, nil)
 	}
 	if m.opt.hybrid && node == r.Node() {
-		v, ok := m.parts[p].Find(k)
+		var v V
+		var ok bool
+		if m.rg != nil {
+			m.rg.Read(StableHash64(kb), func(p int) { v, ok = m.parts[p].Find(k) })
+		} else {
+			v, ok = m.parts[p].Find(k)
+		}
 		m.rt.localCharge(r, len(kb), 2, "umap", m.name, "find")
 		return immediateFuture(FindResult[V]{Value: v, OK: ok}, nil)
 	}
@@ -641,6 +859,15 @@ func (m *UnorderedMap[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
 	}
 	node := m.servers[p]
 	if m.opt.hybrid && node == r.Node() {
+		if m.rg != nil {
+			ok := m.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+					return m.parts[p].Delete(k)
+				})()
+			})
+			m.rt.localCharge(r, len(kb), 2, "umap", m.name, "erase")
+			return ok, nil
+		}
 		if m.repl != nil {
 			return m.mutateLocal(r, p, replDel, kb, nil, "erase", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				ok := m.parts[p].Delete(k)
@@ -680,9 +907,16 @@ func (m *UnorderedMap[K, V]) Resize(r *cluster.Rank, partitionID, newSize int) (
 		m.rt.localCharge(r, 0, 2*n+1, "umap", m.name, "resize")
 		return true, nil
 	}
-	var arg [8]byte
-	binary.LittleEndian.PutUint64(arg[:], uint64(newSize))
-	resp, err := m.rt.engine.Invoke(r, node, m.fn("resize"), arg[:])
+	var arg [16]byte
+	binary.LittleEndian.PutUint64(arg[:8], uint64(newSize))
+	wire := arg[:8]
+	if m.rg != nil {
+		// Address the partition explicitly: with vshard placement a node
+		// may host several partitions.
+		binary.LittleEndian.PutUint64(arg[8:], uint64(partitionID))
+		wire = arg[:16]
+	}
+	resp, err := m.rt.engine.Invoke(r, node, m.fn("resize"), wire)
 	if err != nil {
 		return false, err
 	}
@@ -693,6 +927,34 @@ func (m *UnorderedMap[K, V]) Resize(r *cluster.Rank, partitionID, newSize int) (
 // invocation per remote partition).
 func (m *UnorderedMap[K, V]) Size(r *cluster.Rank) (int, error) {
 	total := 0
+	if m.rg != nil {
+		// One invocation per distinct node: the size handler sums every
+		// partition its node hosts. A size that races a live migration is
+		// momentarily fuzzy (a dual-written key counts at both ends until
+		// the drain) — the checkers size only quiesced containers.
+		seen := make(map[int]bool, len(m.servers))
+		for _, node := range m.servers {
+			if seen[node] {
+				continue
+			}
+			seen[node] = true
+			if m.opt.hybrid && node == r.Node() {
+				for p, n := range m.servers {
+					if n == node {
+						total += m.parts[p].Len()
+					}
+				}
+				m.rt.localCharge(r, 0, 1, "umap", m.name, "size")
+				continue
+			}
+			resp, err := m.rt.engine.Invoke(r, node, m.fn("size"), nil)
+			if err != nil {
+				return 0, err
+			}
+			total += int(binary.LittleEndian.Uint64(resp))
+		}
+		return total, nil
+	}
 	for p, node := range m.servers {
 		if m.opt.hybrid && node == r.Node() {
 			total += m.parts[p].Len()

@@ -10,6 +10,7 @@ import (
 	"hcl/internal/databox"
 	"hcl/internal/dataplane"
 	"hcl/internal/fabric"
+	"hcl/internal/reshard"
 )
 
 // UnorderedSet is HCL::unordered_set — the key-only sibling of
@@ -26,6 +27,7 @@ type UnorderedSet[K comparable] struct {
 	kbox    *databox.Box[K]
 	repl    *replGroup[K, struct{}]
 	dp      *dataplane.Plane
+	rg      *reshard.Coordinator // vshard routing + live migration; nil without WithVirtualNodes
 }
 
 // NewUnorderedSet constructs a distributed unordered set named name.
@@ -56,6 +58,11 @@ func NewUnorderedSet[K comparable](rt *Runtime, name string, opts ...Option) (*U
 		s.parts[i] = containers.NewCuckooMapSize[K, struct{}](o.initialCap)
 		s.byNode[n] = i
 	}
+	rg, err := newCoordinator(rt, "uset", name, servers, o)
+	if err != nil {
+		return nil, err
+	}
+	s.rg = rg
 	s.repl = newReplGroup(rt, name, s.fn(""), servers, s.byNode,
 		func(p int) replPart[K, struct{}] { return s.parts[p] },
 		s.kbox, nil, true, o)
@@ -65,7 +72,7 @@ func NewUnorderedSet[K comparable](rt *Runtime, name string, opts ...Option) (*U
 		// Client-side cache check before aggregation: a membership test
 		// answered by an unexpired lease never joins a batch bucket.
 		rt.engine.SetReadThrough(s.fn("find"), func(arg []byte) ([]byte, bool) {
-			p := int(StableHash64(arg) % uint64(len(servers)))
+			p := s.route(arg)
 			_, ok, hit := s.dp.CacheGet(p, arg, 0)
 			if !hit {
 				return nil, false
@@ -89,19 +96,37 @@ func (s *UnorderedSet[K]) partitionOf(k K) (int, []byte, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("hcl: %s: encode key: %w", s.name, err)
 	}
-	return int(StableHash64(kb) % uint64(len(s.servers))), kb, nil
+	return s.route(kb), kb, nil
+}
+
+// route resolves the encoded key's owning partition — the vshard table
+// when virtual nodes are on, the paper's static modulus otherwise (see
+// UnorderedMap.route).
+func (s *UnorderedSet[K]) route(kb []byte) int {
+	if s.rg != nil {
+		return s.rg.Partition(StableHash64(kb))
+	}
+	return int(StableHash64(kb) % uint64(len(s.servers)))
 }
 
 func (s *UnorderedSet[K]) bind() {
 	e := s.rt.engine
 	cm := s.rt.model
 	e.Bind(s.fn("insert"), func(node int, arg []byte) ([]byte, int64) {
-		p := s.byNode[node]
 		k, err := s.kbox.Decode(arg)
 		if err != nil {
 			panic(err)
 		}
 		cost := cm.LocalOpNS + cm.MemTime(len(arg))
+		if s.rg != nil {
+			isNew := s.rg.Mutate(StableHash64(arg), func(p int) bool {
+				return dpApply(s.dp, p, arg, dataplane.PubValue, nil, func() bool {
+					return s.parts[p].Insert(k, struct{}{})
+				})()
+			})
+			return boolByte(isNew), cost
+		}
+		p := s.byNode[node]
 		// A set element's mirror entry is presence itself: PubValue with an
 		// empty value publishes "k is a member" to one-sided readers.
 		apply := dpApply(s.dp, p, arg, dataplane.PubValue, nil, func() bool {
@@ -114,30 +139,46 @@ func (s *UnorderedSet[K]) bind() {
 		return mutResp(isNew, rerr), cost + fcost
 	})
 	e.Bind(s.fn("find"), func(node int, arg []byte) ([]byte, int64) {
+		k, err := s.kbox.Decode(arg)
+		if err != nil {
+			panic(err)
+		}
+		serve := func(p int) bool {
+			if s.dp != nil {
+				_, ok := s.dp.GrantRead(p, arg, func() ([]byte, bool) {
+					return nil, s.parts[p].Contains(k)
+				})
+				return ok
+			}
+			return s.parts[p].Contains(k)
+		}
+		if s.rg != nil {
+			var ok bool
+			s.rg.Read(StableHash64(arg), func(p int) { ok = serve(p) })
+			return boolByte(ok), cm.LocalOpNS
+		}
 		p := s.byNode[node]
 		if s.repl != nil && s.repl.isDead(p) {
 			// Crashed, awaiting repair: the wiped primary must not serve
 			// reads. The marker sends the client to a replica.
 			return deadResp(), cm.LocalOpNS
 		}
+		return boolByte(serve(p)), cm.LocalOpNS
+	})
+	e.Bind(s.fn("erase"), func(node int, arg []byte) ([]byte, int64) {
 		k, err := s.kbox.Decode(arg)
 		if err != nil {
 			panic(err)
 		}
-		if s.dp != nil {
-			_, ok := s.dp.GrantRead(p, arg, func() ([]byte, bool) {
-				return nil, s.parts[p].Contains(k)
+		if s.rg != nil {
+			ok := s.rg.Mutate(StableHash64(arg), func(p int) bool {
+				return dpApply(s.dp, p, arg, dataplane.PubClear, nil, func() bool {
+					return s.parts[p].Delete(k)
+				})()
 			})
 			return boolByte(ok), cm.LocalOpNS
 		}
-		return boolByte(s.parts[p].Contains(k)), cm.LocalOpNS
-	})
-	e.Bind(s.fn("erase"), func(node int, arg []byte) ([]byte, int64) {
 		p := s.byNode[node]
-		k, err := s.kbox.Decode(arg)
-		if err != nil {
-			panic(err)
-		}
 		apply := dpApply(s.dp, p, arg, dataplane.PubClear, nil, func() bool {
 			return s.parts[p].Delete(k)
 		})
@@ -149,11 +190,26 @@ func (s *UnorderedSet[K]) bind() {
 	})
 	e.Bind(s.fn("resize"), func(node int, arg []byte) ([]byte, int64) {
 		p := s.byNode[node]
+		if len(arg) == 16 {
+			// Vshard-routed containers address the partition explicitly.
+			p = int(binary.LittleEndian.Uint64(arg[8:]))
+		}
 		n := s.parts[p].Len()
-		s.parts[p].Reserve(int(binary.LittleEndian.Uint64(arg)))
+		s.parts[p].Reserve(int(binary.LittleEndian.Uint64(arg[:8])))
 		return boolByte(true), int64(n) * 2 * cm.LocalOpNS
 	})
 	e.Bind(s.fn("size"), func(node int, arg []byte) ([]byte, int64) {
+		if s.rg != nil {
+			total := 0
+			for p, n := range s.servers {
+				if n == node {
+					total += s.parts[p].Len()
+				}
+			}
+			var out [8]byte
+			binary.LittleEndian.PutUint64(out[:], uint64(total))
+			return out[:], cm.LocalOpNS
+		}
 		p := s.byNode[node]
 		var out [8]byte
 		binary.LittleEndian.PutUint64(out[:], uint64(s.parts[p].Len()))
@@ -169,6 +225,15 @@ func (s *UnorderedSet[K]) Insert(r *cluster.Rank, k K) (bool, error) {
 	}
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
+		if s.rg != nil {
+			isNew := s.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(s.dp, p, kb, dataplane.PubValue, nil, func() bool {
+					return s.parts[p].Insert(k, struct{}{})
+				})()
+			})
+			s.rt.localCharge(r, len(kb), 2, "uset", s.name, "insert")
+			return isNew, nil
+		}
 		if s.repl != nil {
 			return s.mutateLocal(r, p, replPut, kb, "insert", dpApply(s.dp, p, kb, dataplane.PubValue, nil, func() bool {
 				return s.parts[p].Insert(k, struct{}{})
@@ -208,10 +273,87 @@ func (s *UnorderedSet[K]) CrashNode(node int) {
 		s.fence(node)
 		return
 	}
+	if s.rg != nil {
+		// Vshard placement may host several partitions on one node; wipe
+		// and fence each of them.
+		for p, n := range s.servers {
+			if n == node {
+				wipePart[K, struct{}](s.parts[p])
+				if s.dp != nil {
+					s.dp.Fence(p)
+				}
+			}
+		}
+		return
+	}
 	if p, ok := s.byNode[node]; ok {
 		wipePart[K, struct{}](s.parts[p])
 	}
 	s.fence(node)
+}
+
+// Resharder returns the live-resharding driver for this set; the error
+// wraps ErrResharding when the set was built without WithVirtualNodes.
+func (s *UnorderedSet[K]) Resharder() (*Resharder, error) {
+	if s.rg == nil {
+		return nil, fmt.Errorf("hcl: %s: built without virtual nodes: %w", s.name, ErrResharding)
+	}
+	return newResharder(s.rg, s.mover()), nil
+}
+
+// mover adapts the set's partitions to the coordinator's migration hooks
+// (see UnorderedMap.mover for the locking contract).
+func (s *UnorderedSet[K]) mover() reshard.Mover {
+	var buf []K
+	inShard := func(v int, k K) bool {
+		kb, err := s.kbox.Encode(k)
+		if err != nil {
+			return false
+		}
+		return s.rg.VShardOf(StableHash64(kb)) == v
+	}
+	return reshard.Mover{
+		Collect: func(v, from int) int {
+			buf = buf[:0]
+			s.parts[from].Range(func(k K, _ struct{}) bool {
+				if inShard(v, k) {
+					buf = append(buf, k)
+				}
+				return true
+			})
+			return len(buf)
+		},
+		Copy: func(i, j, from, to int) int {
+			n := 0
+			for _, k := range buf[i:j] {
+				// Membership is re-checked: an element erased since
+				// Collect must not be resurrected.
+				if s.parts[from].Contains(k) {
+					s.parts[to].Insert(k, struct{}{})
+					n++
+				}
+			}
+			return n
+		},
+		Drain: func(v, from int) int {
+			var doomed []K
+			s.parts[from].Range(func(k K, _ struct{}) bool {
+				if inShard(v, k) {
+					doomed = append(doomed, k)
+				}
+				return true
+			})
+			for _, k := range doomed {
+				s.parts[from].Delete(k)
+			}
+			return len(doomed)
+		},
+		Fence: func(p int) {
+			if s.dp != nil {
+				s.dp.Fence(p)
+			}
+		},
+	}
 }
 
 // fence bumps the dataplane lease epoch of node's partition and wipes its
@@ -251,6 +393,15 @@ func (s *UnorderedSet[K]) InsertAsync(r *cluster.Rank, k K) *Future[bool] {
 	}
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
+		if s.rg != nil {
+			isNew := s.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(s.dp, p, kb, dataplane.PubValue, nil, func() bool {
+					return s.parts[p].Insert(k, struct{}{})
+				})()
+			})
+			s.rt.localCharge(r, len(kb), 2, "uset", s.name, "insert")
+			return immediateFuture(isNew, nil)
+		}
 		if s.repl != nil {
 			isNew, rerr := s.mutateLocal(r, p, replPut, kb, "insert", dpApply(s.dp, p, kb, dataplane.PubValue, nil, func() bool {
 				return s.parts[p].Insert(k, struct{}{})
@@ -284,7 +435,14 @@ func (s *UnorderedSet[K]) Find(r *cluster.Rank, k K) (bool, error) {
 		return ok, nil
 	}
 	if s.opt.hybrid && node == r.Node() && (s.repl == nil || !s.repl.isDead(p)) {
-		ok := s.parts[p].Contains(k)
+		var ok bool
+		if s.rg != nil {
+			// Resolve + read under the vshard read-lock, so a concurrent
+			// flip's drain cannot remove the key mid-read.
+			s.rg.Read(StableHash64(kb), func(p int) { ok = s.parts[p].Contains(k) })
+		} else {
+			ok = s.parts[p].Contains(k)
+		}
 		s.rt.localCharge(r, len(kb), 2, "uset", s.name, "find")
 		return ok, nil
 	}
@@ -325,6 +483,15 @@ func (s *UnorderedSet[K]) Erase(r *cluster.Rank, k K) (bool, error) {
 	}
 	node := s.servers[p]
 	if s.opt.hybrid && node == r.Node() {
+		if s.rg != nil {
+			ok := s.rg.Mutate(StableHash64(kb), func(p int) bool {
+				return dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
+					return s.parts[p].Delete(k)
+				})()
+			})
+			s.rt.localCharge(r, len(kb), 2, "uset", s.name, "erase")
+			return ok, nil
+		}
 		if s.repl != nil {
 			return s.mutateLocal(r, p, replDel, kb, "erase", dpApply(s.dp, p, kb, dataplane.PubClear, nil, func() bool {
 				return s.parts[p].Delete(k)
@@ -358,9 +525,14 @@ func (s *UnorderedSet[K]) Resize(r *cluster.Rank, partitionID, newSize int) (boo
 		s.rt.localCharge(r, 0, 2*n+1, "uset", s.name, "resize")
 		return true, nil
 	}
-	var arg [8]byte
-	binary.LittleEndian.PutUint64(arg[:], uint64(newSize))
-	resp, err := s.rt.engine.Invoke(r, node, s.fn("resize"), arg[:])
+	var arg [16]byte
+	binary.LittleEndian.PutUint64(arg[:8], uint64(newSize))
+	wire := arg[:8]
+	if s.rg != nil {
+		binary.LittleEndian.PutUint64(arg[8:], uint64(partitionID))
+		wire = arg[:16]
+	}
+	resp, err := s.rt.engine.Invoke(r, node, s.fn("resize"), wire)
 	if err != nil {
 		return false, err
 	}
@@ -370,6 +542,32 @@ func (s *UnorderedSet[K]) Resize(r *cluster.Rank, partitionID, newSize int) (boo
 // Size reports the total element count across all partitions.
 func (s *UnorderedSet[K]) Size(r *cluster.Rank) (int, error) {
 	total := 0
+	if s.rg != nil {
+		// One invocation per distinct node; the handler sums every
+		// partition its node hosts (see UnorderedMap.Size).
+		seen := make(map[int]bool, len(s.servers))
+		for _, node := range s.servers {
+			if seen[node] {
+				continue
+			}
+			seen[node] = true
+			if s.opt.hybrid && node == r.Node() {
+				for p, n := range s.servers {
+					if n == node {
+						total += s.parts[p].Len()
+					}
+				}
+				s.rt.localCharge(r, 0, 1, "uset", s.name, "size")
+				continue
+			}
+			resp, err := s.rt.engine.Invoke(r, node, s.fn("size"), nil)
+			if err != nil {
+				return 0, err
+			}
+			total += int(binary.LittleEndian.Uint64(resp))
+		}
+		return total, nil
+	}
 	for p, node := range s.servers {
 		if s.opt.hybrid && node == r.Node() {
 			total += s.parts[p].Len()

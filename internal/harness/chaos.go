@@ -21,13 +21,15 @@ import (
 // duplicate delivery would make the conservation checkers flag correct
 // code. Events never touch node 0, where every client lives.
 
-// chaosEvent is one discrete fault, applied when afterOps operations have
-// completed. Replicated schedules also get the store's crash/repair hook
-// (nil otherwise).
+// chaosEvent is one discrete fault or live-resharding maneuver, applied
+// when afterOps operations have completed. Replicated schedules also get
+// the store's crash/repair hook, reshard schedules the resharder (each
+// nil otherwise). A returned error is annotated into the applied log and
+// the flight recorder — a failed maneuver is diagnosable, not silent.
 type chaosEvent struct {
 	afterOps int
 	desc     string
-	apply    func(ff *faultfab.Fabric, cr crasher)
+	apply    func(ff *faultfab.Fabric, cr crasher, rs resharder) error
 }
 
 // chaosPlan couples the probabilistic fault mix with the event schedule.
@@ -49,68 +51,108 @@ func (p *chaosPlan) opOptions() fabric.Options {
 }
 
 // buildChaos derives the plan from the config. totalOps is the sum of all
-// stream lengths.
+// stream lengths. cfg.Reshard alone (Chaos off) yields a plan whose fault
+// probabilities are all zero — faultfab passes traffic through untouched
+// and only the live-resharding maneuvers fire.
 func buildChaos(cfg Config, totalOps int) *chaosPlan {
-	if !cfg.Chaos {
+	if !cfg.Chaos && !cfg.Reshard {
 		return nil
 	}
-	p := &chaosPlan{
-		fault: faultfab.Config{
+	p := &chaosPlan{fault: faultfab.Config{Seed: cfg.Seed}}
+	if cfg.Chaos {
+		p.fault = faultfab.Config{
 			Seed:             cfg.Seed,
 			DropProb:         0.05,
 			DelayProb:        0.10,
 			DelayNS:          30_000,
 			AttemptTimeoutNS: 200_000,
 			MaxAttempts:      4,
-		},
-	}
-	r := newRNG(cfg.Seed, 0xC4A05)
-	servers := cfg.Nodes - 1
-	if cfg.Replicas > 0 {
-		// Replicated schedule: sequential, non-overlapping crash→repair
-		// cycles. A crash takes the node off the network AND wipes its
-		// partition state (process death, not a network blip); the paired
-		// repair anti-entropy-copies the partition back from a replica
-		// before the node rejoins. Cycles never overlap, so a repair
-		// always has a live replica to copy from.
-		cycles := 1 + r.intn(2)
-		at := 2 + r.intn(totalOps/4+1)
-		for i := 0; i < cycles && totalOps >= 8; i++ {
-			node := 1 + r.intn(servers)
-			dur := 1 + r.intn(totalOps/8+1)
-			p.events = append(p.events,
-				chaosEvent{at, fmt.Sprintf("crash node %d", node), func(ff *faultfab.Fabric, cr crasher) {
-					ff.SetDown(node, true)
-					if cr != nil {
-						cr.Crash(node)
-					}
-				}},
-				chaosEvent{at + dur, fmt.Sprintf("repair node %d", node), func(ff *faultfab.Fabric, cr crasher) {
-					repairAndRevive(ff, cr, node)
-				}},
-			)
-			at += dur + 2 + r.intn(totalOps/4+1)
 		}
-		return p
-	}
-	n := 2 + r.intn(3)
-	for i := 0; i < n && totalOps >= 8; i++ {
-		node := 1 + r.intn(servers)
-		at := r.intn(totalOps * 3 / 4)
-		dur := 1 + r.intn(totalOps/8+1)
-		if r.intn(2) == 0 {
-			p.events = append(p.events,
-				chaosEvent{at, fmt.Sprintf("kill node %d", node), func(ff *faultfab.Fabric, _ crasher) { ff.SetDown(node, true) }},
-				chaosEvent{at + dur, fmt.Sprintf("restart node %d", node), func(ff *faultfab.Fabric, _ crasher) { ff.SetDown(node, false) }},
-			)
+		r := newRNG(cfg.Seed, 0xC4A05)
+		servers := cfg.Nodes - 1
+		if cfg.Replicas > 0 {
+			// Replicated schedule: sequential, non-overlapping crash→repair
+			// cycles. A crash takes the node off the network AND wipes its
+			// partition state (process death, not a network blip); the paired
+			// repair anti-entropy-copies the partition back from a replica
+			// before the node rejoins. Cycles never overlap, so a repair
+			// always has a live replica to copy from.
+			cycles := 1 + r.intn(2)
+			at := 2 + r.intn(totalOps/4+1)
+			for i := 0; i < cycles && totalOps >= 8; i++ {
+				node := 1 + r.intn(servers)
+				dur := 1 + r.intn(totalOps/8+1)
+				p.events = append(p.events,
+					chaosEvent{at, fmt.Sprintf("crash node %d", node), func(ff *faultfab.Fabric, cr crasher, _ resharder) error {
+						ff.SetDown(node, true)
+						if cr != nil {
+							cr.Crash(node)
+						}
+						return nil
+					}},
+					chaosEvent{at + dur, fmt.Sprintf("repair node %d", node), func(ff *faultfab.Fabric, cr crasher, _ resharder) error {
+						repairAndRevive(ff, cr, node)
+						return nil
+					}},
+				)
+				at += dur + 2 + r.intn(totalOps/4+1)
+			}
 		} else {
-			p.events = append(p.events,
-				chaosEvent{at, fmt.Sprintf("partition 0|%d", node), func(ff *faultfab.Fabric, _ crasher) { ff.Partition(0, node) }},
-				chaosEvent{at + dur, fmt.Sprintf("heal 0|%d", node), func(ff *faultfab.Fabric, _ crasher) { ff.Heal(0, node) }},
-			)
+			n := 2 + r.intn(3)
+			for i := 0; i < n && totalOps >= 8; i++ {
+				node := 1 + r.intn(servers)
+				at := r.intn(totalOps * 3 / 4)
+				dur := 1 + r.intn(totalOps/8+1)
+				if r.intn(2) == 0 {
+					p.events = append(p.events,
+						chaosEvent{at, fmt.Sprintf("kill node %d", node), func(ff *faultfab.Fabric, _ crasher, _ resharder) error { ff.SetDown(node, true); return nil }},
+						chaosEvent{at + dur, fmt.Sprintf("restart node %d", node), func(ff *faultfab.Fabric, _ crasher, _ resharder) error { ff.SetDown(node, false); return nil }},
+					)
+				} else {
+					p.events = append(p.events,
+						chaosEvent{at, fmt.Sprintf("partition 0|%d", node), func(ff *faultfab.Fabric, _ crasher, _ resharder) error { ff.Partition(0, node); return nil }},
+						chaosEvent{at + dur, fmt.Sprintf("heal 0|%d", node), func(ff *faultfab.Fabric, _ crasher, _ resharder) error { ff.Heal(0, node); return nil }},
+					)
+				}
+			}
 		}
+	}
+	if cfg.Reshard {
+		p.events = append(p.events, reshardEvents(cfg, totalOps)...)
 	}
 	return p
+}
+
+// reshardEvents schedules the live maneuvers: at least one split and one
+// merge per run, at seeded points of the op counter — the same trigger
+// mechanism as the discrete faults, on a separate rng stream so adding
+// resharding to a seed leaves its fault schedule untouched. Interleaving
+// them with kills and restarts is the point: the epoch-fenced migration
+// must stay invisible to the checkers through both.
+func reshardEvents(cfg Config, totalOps int) []chaosEvent {
+	r := newRNG(cfg.Seed, 0x4E5A4D)
+	splitAt := totalOps/4 + r.intn(totalOps/8+1)
+	mergeAt := totalOps/2 + r.intn(totalOps/8+1)
+	secondAt := totalOps*5/8 + r.intn(totalOps/8+1)
+	split := func(_ *faultfab.Fabric, _ crasher, rs resharder) error {
+		if rs == nil {
+			return nil
+		}
+		_, err := rs.SplitHottest()
+		return err
+	}
+	merge := func(_ *faultfab.Fabric, _ crasher, rs resharder) error {
+		if rs == nil {
+			return nil
+		}
+		_, err := rs.MergeColdest()
+		return err
+	}
+	return []chaosEvent{
+		{splitAt, "reshard split hottest", split},
+		{mergeAt, "reshard merge coldest", merge},
+		{secondAt, "reshard split hottest", split},
+	}
 }
 
 // repairAndRevive restores a crashed node's partition from a replica and
@@ -133,6 +175,7 @@ func repairAndRevive(ff *faultfab.Fabric, cr crasher, node int) {
 type chaosRunner struct {
 	ff *faultfab.Fabric
 	cr crasher
+	rs resharder
 
 	// Observability hooks (nil when the run is not instrumented): every
 	// applied event is annotated into the flight recorder, and the window
@@ -148,7 +191,7 @@ type chaosRunner struct {
 	applied []string
 }
 
-func newChaosRunner(p *chaosPlan, ff *faultfab.Fabric, cr crasher) *chaosRunner {
+func newChaosRunner(p *chaosPlan, ff *faultfab.Fabric, cr crasher, rs resharder) *chaosRunner {
 	if p == nil || ff == nil {
 		return nil
 	}
@@ -160,7 +203,7 @@ func newChaosRunner(p *chaosPlan, ff *faultfab.Fabric, cr crasher) *chaosRunner 
 			ev[j], ev[j-1] = ev[j-1], ev[j]
 		}
 	}
-	return &chaosRunner{ff: ff, cr: cr, pending: ev}
+	return &chaosRunner{ff: ff, cr: cr, rs: rs, pending: ev}
 }
 
 // observe wires the flight recorder and window ring into the runner.
@@ -188,9 +231,12 @@ func (c *chaosRunner) tick(nowNS int64) {
 	for len(c.pending) > 0 && c.pending[0].afterOps <= c.done {
 		e := c.pending[0]
 		c.pending = c.pending[1:]
-		e.apply(c.ff, c.cr)
-		c.applied = append(c.applied, fmt.Sprintf("@%d %s", c.done, e.desc))
-		c.fr.Note(nowNS, "chaos", fmt.Sprintf("@%d %s", c.done, e.desc))
+		line := fmt.Sprintf("@%d %s", c.done, e.desc)
+		if err := e.apply(c.ff, c.cr, c.rs); err != nil {
+			line += ": " + err.Error()
+		}
+		c.applied = append(c.applied, line)
+		c.fr.Note(nowNS, "chaos", line)
 	}
 	c.mu.Unlock()
 }
@@ -204,7 +250,9 @@ func (c *chaosRunner) quiesce(nodes int) {
 	}
 	c.mu.Lock()
 	for _, e := range c.pending {
-		e.apply(c.ff, c.cr)
+		if err := e.apply(c.ff, c.cr, c.rs); err != nil {
+			c.applied = append(c.applied, fmt.Sprintf("@quiesce %s: %s", e.desc, err))
+		}
 	}
 	c.pending = nil
 	c.mu.Unlock()

@@ -117,6 +117,19 @@ type Config struct {
 	// Chaos enables the fault schedule (drops, delays, kills, restarts,
 	// partitions). Off, the run is failure-free and every op must succeed.
 	Chaos bool
+	// Skew, when positive, draws keys from a Zipf(Skew) distribution
+	// instead of uniformly — the hot-shard traffic shape (zipf.go). The
+	// stream stays a pure function of (Seed, client, index).
+	Skew float64
+	// VirtualNodes, when positive, builds map/set kinds with
+	// WithVirtualNodes(VirtualNodes): keys route through the vshard table
+	// and the container exposes a live Resharder (docs/RESHARDING.md).
+	VirtualNodes int
+	// Reshard schedules live split/merge maneuvers at seeded trigger
+	// points of the global op counter, exactly like the discrete chaos
+	// events — the history checkers must not notice. Requires
+	// VirtualNodes on a map/set kind; combines with Chaos.
+	Reshard bool
 	// Replicas configures the container with WithReplicas(Replicas,
 	// ReplMode) for map/set kinds. With Chaos also set, the schedule
 	// switches to crash→repair cycles that wipe a server's partition
@@ -180,6 +193,12 @@ type Result struct {
 	Violations  []Violation   // empty on a correct container
 	FlightFiles []string      // flight-record artifacts written (FlightDir set)
 	Elapsed     time.Duration // wall time spent
+	// ChaosLog lists the discrete chaos and reshard events applied, in
+	// application order ("@<op> <desc>"), for assertions and reports.
+	ChaosLog []string
+	// ReshardMoves counts completed vshard migrations across the run
+	// (0 unless cfg.Reshard drove a live resharder).
+	ReshardMoves uint64
 }
 
 // Failed reports whether any violation was found.

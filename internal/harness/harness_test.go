@@ -46,6 +46,9 @@ func TestStressQuiet(t *testing.T) {
 // TestStressSweep is the time-boxed sweep behind `make stress`: seeds
 // derived from the base seed are run across all kinds until the budget
 // (HCL_STRESS_MS, default 2000ms) is spent or a violation appears.
+// HCL_SKEW switches the key streams from uniform to Zipf(HCL_SKEW) —
+// the CI zipf variant of this shard sets 1.2 so the chaos schedule also
+// runs against hot-key traffic.
 func TestStressSweep(t *testing.T) {
 	budget := 2 * time.Second
 	if v := os.Getenv("HCL_STRESS_MS"); v != "" {
@@ -58,8 +61,15 @@ func TestStressSweep(t *testing.T) {
 	if testing.Short() {
 		budget = 300 * time.Millisecond
 	}
-	s := seed.FromEnv(t, 1000)
-	res := Sweep(Config{Seed: s, Chaos: true, Minimize: true}, AllKinds, budget)
+	cfg := Config{Seed: seed.FromEnv(t, 1000), Chaos: true, Minimize: true}
+	if v := os.Getenv("HCL_SKEW"); v != "" {
+		skew, err := strconv.ParseFloat(v, 64)
+		if err != nil || skew <= 0 {
+			t.Fatalf("bad HCL_SKEW=%q", v)
+		}
+		cfg.Skew = skew
+	}
+	res := Sweep(cfg, AllKinds, budget)
 	t.Logf("%s", Report(res))
 	if res.Failed() {
 		t.Fatalf("sweep found violations:\n%s", Report(res))

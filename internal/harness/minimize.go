@@ -23,7 +23,7 @@ func minimizeStreams(cfg Config, streams [][]Op) ([][]Op, []Violation) {
 	fails := func(s [][]Op) []Violation {
 		for i := 0; i < shrinkRetries && runs < shrinkRunLimit; i++ {
 			runs++
-			if _, v, _ := runSim(cfg, s); len(v) > 0 {
+			if _, v, _, _ := runSim(cfg, s); len(v) > 0 {
 				return v
 			}
 		}

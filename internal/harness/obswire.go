@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"hcl/internal/core"
 	"hcl/internal/metrics"
@@ -60,6 +62,26 @@ func (o *runObs) finish(cfg Config, nowNS int64, violations int) []string {
 	}
 	if violations > 0 {
 		o.fr.Dump(fmt.Sprintf("seed%d-checker", cfg.Seed), nowNS)
+		writeSeedFile(cfg)
 	}
 	return o.fr.Files()
+}
+
+// writeSeedFile appends the failing run's reproducer line to
+// <FlightDir>/seed.txt, so a CI artifact carries the replay command
+// (HCL_SEED=<seed>) machine-readably next to the flight records instead
+// of only in scrollback. Appending keeps every failing seed when several
+// runs of one stress shard share the directory. Best-effort: artifact
+// plumbing must never turn a checker violation into an I/O failure.
+func writeSeedFile(cfg Config) {
+	if cfg.FlightDir == "" {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(cfg.FlightDir, "seed.txt"),
+		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(f, "HCL_SEED=%d\n", cfg.Seed)
+	f.Close()
 }

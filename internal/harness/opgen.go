@@ -99,6 +99,10 @@ func genStreams(cfg Config) [][]Op {
 	streams := make([][]Op, cfg.Clients)
 	queueLike := cfg.Kind == KindQueue || cfg.Kind == KindPriorityQueue
 	ordered := cfg.Kind == KindOrderedMap || cfg.Kind == KindOrderedSet
+	var z *zipf
+	if cfg.Skew > 0 {
+		z = newZipf(cfg.Keys, cfg.Skew)
+	}
 	for c := range streams {
 		r := newRNG(cfg.Seed, uint64(c)+1)
 		ops := make([]Op, cfg.OpsPerClient)
@@ -113,7 +117,12 @@ func genStreams(cfg Config) [][]Op {
 				}
 				continue
 			}
-			key := uint64(r.intn(cfg.Keys))
+			var key uint64
+			if z != nil {
+				key = z.pick(r)
+			} else {
+				key = uint64(r.intn(cfg.Keys))
+			}
 			roll := r.intn(100)
 			switch {
 			case i < cfg.OpsPerClient/8 || roll < 40:

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hcl/internal/seed"
+)
+
+// The stress-reshard CI shard (make stress-reshard): live split/merge
+// maneuvers under zipf-skewed traffic, with and without kill/restart
+// chaos, on the simulated fabric and over the shared-memory rings. The
+// linearizability and conservation checkers must not notice a maneuver —
+// resharding that loses, duplicates or time-travels a key fails here.
+
+// reshardConfig is the shared shape of the reshard stress runs: skewed
+// keys so the vshard table actually has a hot side, and enough ops that
+// the seeded split/merge/split trigger points all fire.
+func reshardConfig(s int64, k Kind) Config {
+	return Config{
+		Seed:         s,
+		Kind:         k,
+		Nodes:        4,
+		Keys:         64,
+		OpsPerClient: 96,
+		Skew:         1.2,
+		VirtualNodes: 64,
+		Reshard:      true,
+		Minimize:     true,
+	}
+}
+
+// requireManeuvers asserts the run actually resharded: at least one live
+// split, one live merge, and a nonzero number of migrated vshards — a run
+// whose maneuvers silently no-oped would prove nothing.
+func requireManeuvers(t *testing.T, res Result) {
+	t.Helper()
+	splits, merges := 0, 0
+	for _, e := range res.ChaosLog {
+		if strings.Contains(e, "reshard split") {
+			splits++
+		}
+		if strings.Contains(e, "reshard merge") {
+			merges++
+		}
+		if strings.Contains(e, "reshard") && strings.Contains(e, ": ") {
+			t.Fatalf("reshard maneuver failed: %s", e)
+		}
+	}
+	if splits == 0 || merges == 0 {
+		t.Fatalf("run applied %d splits and %d merges; want >=1 of each (log: %v)",
+			splits, merges, res.ChaosLog)
+	}
+	if res.ReshardMoves == 0 {
+		t.Fatal("no vshard migrations completed")
+	}
+}
+
+// TestStressReshardSim drives live resharding under zipf skew with the
+// full chaos schedule — kills, restarts, partitions, drops, delays — on
+// the simulated fabric. Histories must stay linearizable and conserved
+// through every epoch-fenced flip.
+func TestStressReshardSim(t *testing.T) {
+	s := seed.FromEnv(t, 23)
+	for _, k := range []Kind{KindUnorderedMap, KindUnorderedSet} {
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := reshardConfig(s, k)
+			cfg.Chaos = true
+			res := Run(cfg)
+			if res.Failed() {
+				t.Fatalf("violations on correct %s under reshard+chaos:\n%s", k, Report(res))
+			}
+			requireManeuvers(t, res)
+		})
+	}
+}
+
+// TestStressReshardQuiet is the fault-free variant: with chaos off every
+// operation must succeed, so the checkers bind on a complete history
+// while splits and merges run mid-stream.
+func TestStressReshardQuiet(t *testing.T) {
+	s := seed.FromEnv(t, 29)
+	for _, k := range []Kind{KindUnorderedMap, KindUnorderedSet} {
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			res := Run(reshardConfig(s, k))
+			if res.Failed() {
+				t.Fatalf("violations on correct %s under quiet reshard:\n%s", k, Report(res))
+			}
+			requireManeuvers(t, res)
+		})
+	}
+}
+
+// TestStressReshardShm runs the maneuver over the real shared-memory
+// rings with the chaos schedule on top: two partitions co-hosted on the
+// serving node, the server-side resharder migrating vshards between them
+// while clients hammer the rings under the race detector.
+func TestStressReshardShm(t *testing.T) {
+	s := seed.FromEnv(t, 31)
+	for _, k := range []Kind{KindUnorderedMap, KindUnorderedSet} {
+		t.Run(k.String(), func(t *testing.T) {
+			cfg := reshardConfig(s, k)
+			cfg.Chaos = true
+			res, err := RunShm(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed() {
+				t.Fatalf("violations on correct %s over shm reshard:\n%s", k, Report(res))
+			}
+			requireManeuvers(t, res)
+		})
+	}
+}
+
+// TestStressReshardSelfTest proves the checkers still bite through a
+// maneuver: a deliberately broken build (acked-but-dropped writes) must
+// be flagged even while splits and merges shuffle vshards around. Chaos
+// stays off so every violation is attributable to the injected bug.
+func TestStressReshardSelfTest(t *testing.T) {
+	s := seed.FromEnv(t, 37)
+	cfg := reshardConfig(s, KindUnorderedMap)
+	cfg.Bug = BugDropWrite
+	res := Run(cfg)
+	if !res.Failed() {
+		t.Fatal("checkers missed dropped writes during live resharding")
+	}
+	if !strings.Contains(Report(res), "HCL_SEED=") {
+		t.Fatalf("report lacks seed reproducer line:\n%s", Report(res))
+	}
+}

@@ -30,8 +30,11 @@ func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	streams := genStreams(cfg)
-	entries, viols, flights := runSim(cfg, streams)
-	res := Result{Runs: 1, Ops: len(entries), FlightFiles: flights, Elapsed: time.Since(start)}
+	entries, viols, flights, stats := runSim(cfg, streams)
+	res := Result{
+		Runs: 1, Ops: len(entries), FlightFiles: flights, Elapsed: time.Since(start),
+		ChaosLog: stats.chaosLog, ReshardMoves: stats.reshardMoves,
+	}
 	if len(viols) > 0 && cfg.Minimize {
 		// Minimization re-executes the run up to shrinkRunLimit times;
 		// suppress artifact dumps so the original run's black box is the
@@ -71,6 +74,8 @@ func Sweep(cfg Config, kinds []Kind, budget time.Duration) Result {
 			total.Ops += r.Ops
 			total.Violations = append(total.Violations, r.Violations...)
 			total.FlightFiles = append(total.FlightFiles, r.FlightFiles...)
+			total.ChaosLog = append(total.ChaosLog, r.ChaosLog...)
+			total.ReshardMoves += r.ReshardMoves
 			if r.Failed() {
 				total.Elapsed = time.Since(start)
 				return total
@@ -87,10 +92,17 @@ func opCount(streams [][]Op) int {
 	return n
 }
 
+// runStats carries per-run facts that are not history entries: the
+// applied chaos/reshard event log and the live resharder's move count.
+type runStats struct {
+	chaosLog     []string
+	reshardMoves uint64
+}
+
 // runSim builds the sim world, drives the streams, and checks the
 // recorded history. The third return value lists flight-record artifacts
 // written (cfg.FlightDir set and the run observed faults or violations).
-func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation, []string) {
+func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation, []string, runStats) {
 	ro := newRunObs(cfg)
 	sim := simfab.New(cfg.Nodes, fabric.DefaultCostModel(),
 		simfab.WithCollector(ro.col), simfab.WithTracer(ro.tr))
@@ -107,12 +119,12 @@ func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation, []string) {
 	if plan != nil {
 		rt.SetOpOptions(plan.opOptions())
 	}
-	st, cr, err := newStore(rt, cfg, "stress", streamValidator(streams))
+	st, cr, rs, err := newStore(rt, cfg, "stress", streamValidator(streams))
 	if err != nil {
-		return nil, []Violation{{Kind: cfg.Kind, Seed: cfg.Seed, Desc: "store construction: " + err.Error()}}, nil
+		return nil, []Violation{{Kind: cfg.Kind, Seed: cfg.Seed, Desc: "store construction: " + err.Error()}}, nil, runStats{}
 	}
 	hist := &History{}
-	chaos := newChaosRunner(plan, ff, cr)
+	chaos := newChaosRunner(plan, ff, cr, rs)
 	chaos.observe(ro.fr, ro.win, windowRollOps)
 
 	w.Run(func(r *cluster.Rank) {
@@ -126,7 +138,11 @@ func runSim(cfg Config, streams [][]Op) ([]Entry, []Violation, []string) {
 	entries := hist.Entries()
 	viols := checkAll(cfg, entries, chaos.log())
 	files := ro.finish(cfg, w.Rank(0).Clock().Now(), len(viols))
-	return entries, viols, files
+	stats := runStats{chaosLog: chaos.log()}
+	if rs != nil {
+		stats.reshardMoves = rs.Moves()
+	}
+	return entries, viols, files, stats
 }
 
 // applyOp records one operation end to end, stamping the allocated trace

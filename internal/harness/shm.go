@@ -91,7 +91,7 @@ func RunShm(cfg Config) (Result, error) {
 			RetryRPC:    true,
 		})
 	}
-	st, _, err := newStore(rt0, cfg, "shmstress", valid)
+	st, _, _, err := newStore(rt0, cfg, "shmstress", valid)
 	if err != nil {
 		return Result{}, err
 	}
@@ -99,10 +99,18 @@ func RunShm(cfg Config) (Result, error) {
 	// node 1's dispatcher executes. The symmetric construction also
 	// registers segments in the same order, so the server's
 	// arena-exported mirror is the one client one-sided reads resolve.
+	// With cfg.Reshard the serving instance hosts two partitions on its
+	// one node, and its resharder — not the client's — drives the live
+	// maneuvers: the keys live in rt1's partitions, and the client's
+	// stale routing table costs at most a re-resolve on the serving side.
 	w1 := cluster.MustWorld(f1, cluster.OnNode(1, 1))
 	rt1 := core.NewRuntime(w1)
-	if _, _, err := newStore(rt1, cfg, "shmstress", valid); err != nil {
+	_, _, srs, err := newStore(rt1, cfg, "shmstress", valid)
+	if err != nil {
 		return Result{}, err
+	}
+	if !cfg.Reshard {
+		srs = nil
 	}
 
 	// Cluster observability over the live rings: both nodes bind the
@@ -113,7 +121,7 @@ func RunShm(cfg Config) (Result, error) {
 	c0.SetOptions(verifyOptions)
 
 	hist := &History{}
-	chaos := newChaosRunner(plan, ff, nil)
+	chaos := newChaosRunner(plan, ff, nil, srs)
 	chaos.observe(ro.fr, ro.win, windowRollOps)
 	w0.Run(func(r *cluster.Rank) {
 		for _, op := range streams[r.ID()] {
@@ -128,13 +136,18 @@ func RunShm(cfg Config) (Result, error) {
 	viols := checkAll(cfg, entries, chaos.log())
 	viols = append(viols, checkShmScrape(cfg, c0, ro.col, col1)...)
 	files := ro.finish(cfg, w0.Rank(0).Clock().Now(), len(viols))
-	return Result{
+	res := Result{
 		Runs:        1,
 		Ops:         len(entries),
 		Violations:  viols,
 		FlightFiles: files,
 		Elapsed:     time.Since(start),
-	}, nil
+		ChaosLog:    chaos.log(),
+	}
+	if srs != nil {
+		res.ReshardMoves = srs.Moves()
+	}
+	return res, nil
 }
 
 // checkShmScrape runs the fabric-scraped cluster aggregation over the

@@ -60,21 +60,43 @@ type crasher interface {
 	Repair(node int) error
 }
 
+// resharder is the slice of core.Resharder the chaos schedule drives:
+// live split/merge maneuvers while the workload runs. Non-nil only when
+// cfg.VirtualNodes is set on an unordered map/set kind.
+type resharder interface {
+	SplitHottest() (int, error)
+	MergeColdest() (int, error)
+	TickAutoSplit() (bool, error)
+	Moves() uint64
+	Splits() uint64
+}
+
 // newStore builds the container under test on rt. Every adapter uses
 // uint64 keys and values; queue kinds are hosted on node 1. The second
 // result is the crash/repair hook for replicated chaos — nil for queue
-// kinds, which do not replicate.
-func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store, crasher, error) {
-	opts := []core.Option{core.WithServers(serverNodes(cfg.Nodes))}
+// kinds, which do not replicate. The third is the live-resharding hook
+// (cfg.VirtualNodes on an unordered map/set), nil otherwise.
+func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store, crasher, resharder, error) {
+	srv := serverNodes(cfg.Nodes)
+	if cfg.VirtualNodes > 0 && len(srv) < 2 {
+		// Live split/merge needs at least two partitions; with a single
+		// serving node (the shm pair) both live on it.
+		srv = []int{srv[0], srv[0]}
+	}
+	opts := []core.Option{core.WithServers(srv)}
 	if cfg.Replicas > 0 {
 		opts = append(opts, core.WithReplicas(cfg.Replicas, cfg.ReplMode))
 	}
 	if cfg.Dataplane != dataplane.ModeOff {
 		opts = append(opts, core.WithDataplane(cfg.Dataplane))
 	}
+	if cfg.VirtualNodes > 0 {
+		opts = append(opts, core.WithVirtualNodes(cfg.VirtualNodes))
+	}
 	var (
 		st  store
 		cr  crasher
+		rs  resharder
 		err error
 	)
 	switch cfg.Kind {
@@ -82,10 +104,16 @@ func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store
 		var m *core.UnorderedMap[uint64, uint64]
 		m, err = core.NewUnorderedMap[uint64, uint64](rt, name, opts...)
 		st, cr = umapStore{m}, umapStore{m}
+		if err == nil && cfg.VirtualNodes > 0 {
+			rs, err = m.Resharder()
+		}
 	case KindUnorderedSet:
 		var s *core.UnorderedSet[uint64]
 		s, err = core.NewUnorderedSet[uint64](rt, name, opts...)
 		st, cr = usetStore{s}, usetStore{s}
+		if err == nil && cfg.VirtualNodes > 0 {
+			rs, err = s.Resharder()
+		}
 	case KindOrderedMap:
 		var m *core.Map[uint64, uint64]
 		m, err = core.NewMap[uint64, uint64](rt, name, func(a, b uint64) bool { return a < b }, opts...)
@@ -103,12 +131,12 @@ func newStore(rt *core.Runtime, cfg Config, name string, valid validator) (store
 		q, err = core.NewPriorityQueue[uint64](rt, name, func(a, b uint64) bool { return a < b }, core.WithServers([]int{1}))
 		st = pqStore{q}
 	default:
-		return nil, nil, fmt.Errorf("harness: unknown kind %v", cfg.Kind)
+		return nil, nil, nil, fmt.Errorf("harness: unknown kind %v", cfg.Kind)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return breakStore(st, cfg.Bug), cr, nil
+	return breakStore(st, cfg.Bug), cr, rs, nil
 }
 
 type umapStore struct {

@@ -19,6 +19,10 @@ func RunTCP(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	cfg.Nodes = 2
 	cfg.Chaos = false
+	// Live resharding is scoped to shared-address-space transports (sim,
+	// shm); the constructor rejects virtual nodes on tcpfab.
+	cfg.Reshard = false
+	cfg.VirtualNodes = 0
 	start := time.Now()
 
 	ro := newRunObs(cfg)
@@ -45,7 +49,7 @@ func RunTCP(cfg Config) (Result, error) {
 	// Client side: the world all ranks run in.
 	w0 := cluster.MustWorld(f0, cluster.OnNode(0, cfg.Clients))
 	rt0 := core.NewRuntime(w0)
-	st, _, err := newStore(rt0, cfg, "tcpstress", valid)
+	st, _, _, err := newStore(rt0, cfg, "tcpstress", valid)
 	if err != nil {
 		return Result{}, err
 	}
@@ -53,7 +57,7 @@ func RunTCP(cfg Config) (Result, error) {
 	// node 1's dispatcher executes.
 	w1 := cluster.MustWorld(f1, cluster.OnNode(1, 1))
 	rt1 := core.NewRuntime(w1)
-	if _, _, err := newStore(rt1, cfg, "tcpstress", valid); err != nil {
+	if _, _, _, err := newStore(rt1, cfg, "tcpstress", valid); err != nil {
 		return Result{}, err
 	}
 

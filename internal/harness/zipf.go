@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"math"
+	"sort"
+)
+
+// zipf is an inverse-CDF Zipf(s) sampler over the key space [0, n): key k
+// is drawn with probability proportional to 1/(k+1)^s. The table is
+// precomputed once; each draw consumes exactly one counter-based rng
+// value, so a skewed stream is as deterministic as the uniform one — the
+// same (seed, client, index) always yields the same key, independent of
+// goroutine scheduling, and `HCL_SEED=<seed>` replays it exactly.
+//
+// Skew 0 disables the sampler (uniform keys); the harness default for
+// hot-shard runs is ~1.2, where the top 1% of a 1000-key space absorbs
+// roughly half the ops — the traffic shape live resharding exists for.
+type zipf struct {
+	cum []float64 // cumulative weights; cum[n-1] is the total mass
+}
+
+func newZipf(n int, s float64) *zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	return &zipf{cum: cum}
+}
+
+// pick draws one key using the rng's next value: a 53-bit uniform in
+// [0, total) binary-searched against the CDF.
+func (z *zipf) pick(r *rng) uint64 {
+	u := float64(r.next()>>11) / (1 << 53) * z.cum[len(z.cum)-1]
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return uint64(i)
+}

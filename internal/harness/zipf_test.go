@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+
+	"hcl/internal/seed"
+)
+
+// TestZipfDeterministic pins the reproducibility contract of skewed
+// streams: the generated ops are a pure function of the config, so
+// HCL_SEED replays a skewed run exactly like a uniform one.
+func TestZipfDeterministic(t *testing.T) {
+	s := seed.FromEnv(t, 41)
+	cfg := Config{Seed: s, Kind: KindUnorderedMap, Skew: 1.2, Keys: 64}.withDefaults()
+	a, b := genStreams(cfg), genStreams(cfg)
+	for c := range a {
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				t.Fatalf("client %d op %d differs across identical configs: %v vs %v",
+					c, i, a[c][i], b[c][i])
+			}
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed++
+	d := genStreams(cfg2)
+	same := true
+	for c := range a {
+		for i := range a[c] {
+			if a[c][i] != d[c][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical skewed streams")
+	}
+}
+
+// TestZipfSkewMass checks the sampler actually skews: over a 1000-key
+// space at s=1.2, the top 1% of keys must absorb well over the uniform
+// share (10 keys would get 1% uniformly; Zipf(1.2) gives them >50%), and
+// every draw must stay in range.
+func TestZipfSkewMass(t *testing.T) {
+	const keys, draws = 1000, 200_000
+	z := newZipf(keys, 1.2)
+	r := newRNG(7, 99)
+	counts := make([]int, keys)
+	for i := 0; i < draws; i++ {
+		k := z.pick(r)
+		if k >= keys {
+			t.Fatalf("draw %d out of range [0,%d)", k, keys)
+		}
+		counts[k]++
+	}
+	top := 0
+	for k := 0; k < keys/100; k++ {
+		top += counts[k]
+	}
+	if frac := float64(top) / draws; frac < 0.30 {
+		t.Fatalf("top 1%% of keys got %.1f%% of draws; want heavy skew (>30%%)", 100*frac)
+	}
+	// Monotone-ish head: key 0 must dominate any mid-range key.
+	if counts[0] <= counts[keys/2] {
+		t.Fatalf("key 0 drew %d <= key %d's %d; distribution is not zipfian",
+			counts[0], keys/2, counts[keys/2])
+	}
+}
+
+// TestZipfUniformUnchanged guards the default path: Skew=0 must generate
+// byte-identical streams to the pre-zipf generator (one rng draw per
+// key either way), so existing seeds keep replaying historical runs.
+func TestZipfUniformUnchanged(t *testing.T) {
+	cfg := Config{Seed: 12345, Kind: KindUnorderedMap}.withDefaults()
+	streams := genStreams(cfg)
+	// Re-derive the first client's keys with the raw generator contract.
+	r := newRNG(cfg.Seed, 1)
+	for i, op := range streams[0] {
+		want := uint64(r.intn(cfg.Keys))
+		_ = r.intn(100) // the roll the generator consumes after the key
+		if op.Key != want {
+			t.Fatalf("op %d (%v) key %d != expected uniform draw %d", i, op.Kind, op.Key, want)
+		}
+	}
+}

@@ -66,6 +66,11 @@ const (
 	ObsScrapes   Kind = "hcl_obs_scrapes"   // peer snapshots pulled by cluster scrapes
 	FlightDumps  Kind = "hcl_flight_dumps"  // flight records dumped (memory or file)
 	FlightFaults Kind = "hcl_flight_faults" // typed faults observed by the recorder
+
+	// Live-resharding counters recorded by the vshard coordinator
+	// (internal/reshard; docs/RESHARDING.md).
+	ReshardMoves Kind = "hcl_reshard_moves" // keys migrated by live vshard moves
+	HotSplits    Kind = "hcl_hot_splits"    // automatic hot-partition splits triggered
 )
 
 // Collector accumulates (kind, node, bucket) -> value sums. Buckets are

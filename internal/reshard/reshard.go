@@ -1,0 +1,653 @@
+// Package reshard is the live-resharding coordinator: a virtual-shard
+// routing table plus the epoch-fenced migration protocol that moves key
+// ownership between partitions *while the container keeps serving
+// traffic*.
+//
+// The key space is first hashed onto a fixed power-of-two number of
+// virtual shards (vshards); a lock-free routing table maps each vshard to
+// its owning partition. Ownership is what moves: a live split or merge
+// relocates whole vshards between existing partitions, and adding a
+// partition steals ~V/N vshards from the incumbents — consistent
+// placement, so growing the cluster moves ~1/N of the keys instead of
+// rehashing the world.
+//
+// The migration protocol for one vshard (MoveVShard) is the same fencing
+// discipline RepairNode and the dataplane's Fence(p) already use:
+//
+//  1. mark the vshard migrating — from here every mutation applies at
+//     the old owner AND mirrors synchronously at the target, serialized
+//     per vshard, so the target converges while the old owner stays the
+//     single authority for reads;
+//  2. copy the vshard's keys to the target in bounded batches, each
+//     batch under the vshard lock (re-reading current values, so a
+//     concurrent erase is never resurrected);
+//  3. flip: under the vshard lock, atomically install the new routing
+//     table (version bump), fence both partitions' read-side caches
+//     (lease epoch bump + mirror wipe), and drain the moved keys from
+//     the old owner. Reads resolve the old owner until the flip and the
+//     new owner after it; no interleaving can observe the drain.
+//
+// The coordinator is scoped to deployments where every partition lives in
+// one address space (the same scope as the dataplane's lease protocol:
+// sim, shm, and fault-wrapped variants). See docs/RESHARDING.md.
+package reshard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hcl/internal/metrics"
+)
+
+// Config tunes a Coordinator. Zero values select the documented defaults.
+type Config struct {
+	// VShards is the number of virtual shards, rounded up to a power of
+	// two (default 64). More vshards give finer-grained splits at the
+	// cost of one RWMutex and one counter each.
+	VShards int
+	// BatchKeys bounds how many keys one migration batch copies while
+	// holding the vshard lock (default 32) — the knob that trades
+	// migration speed against mutation-latency spikes on the moving
+	// vshard.
+	BatchKeys int
+	// HotFactor is the auto-split trigger: a partition whose share of
+	// the op window exceeds HotFactor times the fair share (total/parts)
+	// is split (default 2.0).
+	HotFactor float64
+	// MinOps is the minimum number of ops the window must contain before
+	// an auto-split decision is taken (default 512) — the cooldown, in
+	// deterministic op counts rather than wall time.
+	MinOps int
+	// Col, when set, receives hcl_reshard_moves / hcl_hot_splits counts.
+	Col func() *metrics.Collector
+	// Node maps a partition index to the node the counts are attributed
+	// to (nil attributes everything to node 0).
+	Node func(p int) int
+	// Now stamps metric counts and spans (nil uses 0 — totals are still
+	// correct, only the bucketing degrades).
+	Now func() int64
+	// Span, when set, receives one span per completed vshard move
+	// ("reshard.move") and per split/merge/grow maneuver — the flight
+	// recorder hook.
+	Span func(name, verb string, startNS, endNS int64)
+	// OnEvent, when set, receives a one-line annotation per maneuver
+	// (split/merge/grow/move) for black-box logs.
+	OnEvent func(event string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VShards <= 0 {
+		c.VShards = 64
+	}
+	v := 1
+	for v < c.VShards {
+		v <<= 1
+	}
+	c.VShards = v
+	if c.BatchKeys <= 0 {
+		c.BatchKeys = 32
+	}
+	if c.HotFactor <= 1 {
+		c.HotFactor = 2.0
+	}
+	if c.MinOps <= 0 {
+		c.MinOps = 512
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return 0 }
+	}
+	return c
+}
+
+// Mover is the container-side view of one vshard migration: the
+// coordinator drives the protocol and lock discipline, the Mover touches
+// the container's actual partitions. Collect/Copy/Drain/Fence are always
+// called with the vshard's write lock held (never concurrently), in the
+// order Collect, Copy*, Drain, Fence.
+type Mover struct {
+	// Collect buffers the keys of vshard v currently stored in partition
+	// from, returning how many it found. Copy addresses the buffer by
+	// index range.
+	Collect func(v, from int) int
+	// Copy re-reads buffered keys [i,j) from partition from and writes
+	// their *current* values into partition to, returning how many keys
+	// were present (concurrently-erased keys are skipped, not
+	// resurrected).
+	Copy func(i, j, from, to int) int
+	// Drain removes every key of vshard v still held by partition from —
+	// a fresh scan, because keys inserted after Collect were dual-written
+	// to the target and must not survive in the old owner.
+	Drain func(v, from int) int
+	// Fence invalidates partition p's read-side shortcuts (lease epoch
+	// bump + mirror wipe). Called for both ends of a move, inside the
+	// flip's critical section, so no stale lease can serve a read that a
+	// post-flip mutation has already superseded. May be nil.
+	Fence func(p int)
+}
+
+// tableState is one immutable routing-table version.
+type tableState struct {
+	version uint64
+	owner   []int // vshard -> partition
+	parts   int   // partitions the table may route to
+}
+
+// Coordinator owns the routing table, the per-vshard locks, and the
+// migration protocol of one container. All methods are safe for
+// concurrent use; a nil *Coordinator is inert for the read/mutate hooks.
+type Coordinator struct {
+	cfg  Config
+	mask uint64
+
+	cur atomic.Pointer[tableState]
+
+	// locks[v] orders everything that touches vshard v: reads hold the
+	// read side while resolving+serving, mutations hold the read side
+	// (write side mid-migration), and the migration's batches, flip, and
+	// drain hold the write side.
+	locks []sync.RWMutex
+	// migrating[v] is the migration target + 1 while v is mid-move
+	// (0 = settled). Mutators consult it under locks[v].
+	migrating []atomic.Int32
+	// ops[v] counts operations routed through vshard v — the hot-shard
+	// signal.
+	ops []atomic.Uint64
+	// lastOps is the ops snapshot at the previous auto-split decision;
+	// decisions look at the delta window. Guarded by mu.
+	lastOps []uint64
+
+	// mu serializes whole-table maneuvers (moves, splits, merges, grow).
+	mu sync.Mutex
+
+	moves  atomic.Uint64 // vshard moves completed
+	splits atomic.Uint64 // auto-splits triggered
+}
+
+// New builds a coordinator for parts partitions. The initial placement is
+// round-robin: vshard v is owned by partition v % parts, so every
+// partition starts with an equal share of the hash space.
+func New(cfg Config, parts int) *Coordinator {
+	cfg = cfg.withDefaults()
+	if parts < 1 {
+		parts = 1
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		mask:      uint64(cfg.VShards - 1),
+		locks:     make([]sync.RWMutex, cfg.VShards),
+		migrating: make([]atomic.Int32, cfg.VShards),
+		ops:       make([]atomic.Uint64, cfg.VShards),
+		lastOps:   make([]uint64, cfg.VShards),
+	}
+	owner := make([]int, cfg.VShards)
+	for v := range owner {
+		owner[v] = v % parts
+	}
+	c.cur.Store(&tableState{owner: owner, parts: parts})
+	return c
+}
+
+// VShards reports the virtual-shard count.
+func (c *Coordinator) VShards() int { return int(c.mask) + 1 }
+
+// Partitions reports how many partitions the table routes over.
+func (c *Coordinator) Partitions() int { return c.cur.Load().parts }
+
+// Version reports the routing-table version — bumped by every flip, the
+// resharding epoch.
+func (c *Coordinator) Version() uint64 { return c.cur.Load().version }
+
+// VShardOf maps a key hash to its vshard.
+func (c *Coordinator) VShardOf(hash uint64) int { return int(hash & c.mask) }
+
+// Partition resolves a key hash to its owning partition from the current
+// table snapshot — the lock-free client-side route. A route that races a
+// flip may be stale by one version; the serving side re-resolves under
+// the vshard lock, so a stale route costs a hop, never a wrong answer.
+func (c *Coordinator) Partition(hash uint64) int {
+	return c.cur.Load().owner[hash&c.mask]
+}
+
+// Owner reports vshard v's owning partition.
+func (c *Coordinator) Owner(v int) int { return c.cur.Load().owner[v] }
+
+// Owned lists the vshards partition p currently owns.
+func (c *Coordinator) Owned(p int) []int {
+	st := c.cur.Load()
+	var out []int
+	for v, o := range st.owner {
+		if o == p {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Assignments returns a copy of the vshard -> partition table.
+func (c *Coordinator) Assignments() []int {
+	st := c.cur.Load()
+	out := make([]int, len(st.owner))
+	copy(out, st.owner)
+	return out
+}
+
+// Moves reports the total vshard moves completed.
+func (c *Coordinator) Moves() uint64 { return c.moves.Load() }
+
+// Splits reports the auto-splits triggered.
+func (c *Coordinator) Splits() uint64 { return c.splits.Load() }
+
+// Read resolves the key's owning partition under the vshard read-lock
+// and runs fn against it. Holding the lock across the read is what makes
+// the flip's drain invisible: a read that resolved the old owner
+// completes before the flip can remove the key from under it.
+func (c *Coordinator) Read(hash uint64, fn func(p int)) {
+	v := int(hash & c.mask)
+	c.ops[v].Add(1)
+	l := &c.locks[v]
+	l.RLock()
+	fn(c.cur.Load().owner[v])
+	l.RUnlock()
+}
+
+// Mutate applies fn at the key's owning partition. While the vshard is
+// mid-migration the mutation is serialized with the copier and mirrored
+// synchronously at the target before it acknowledges — the dual-write
+// that lets the flip install the target with nothing in flight.
+func (c *Coordinator) Mutate(hash uint64, fn func(p int) bool) bool {
+	v := int(hash & c.mask)
+	c.ops[v].Add(1)
+	l := &c.locks[v]
+	l.RLock()
+	if c.migrating[v].Load() == 0 {
+		res := fn(c.cur.Load().owner[v])
+		l.RUnlock()
+		return res
+	}
+	l.RUnlock()
+	// Mid-migration: take the write side, re-check (the move may have
+	// completed in the gap), and dual-write.
+	l.Lock()
+	res := fn(c.cur.Load().owner[v])
+	if t := c.migrating[v].Load(); t != 0 {
+		fn(int(t) - 1) // mirror at the migration target; result discarded
+	}
+	l.Unlock()
+	return res
+}
+
+// MoveVShard migrates vshard v to partition `to` while traffic keeps
+// flowing, returning the number of keys copied. One maneuver runs at a
+// time per coordinator.
+func (c *Coordinator) MoveVShard(v, to int, mv Mover) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.moveLocked(v, to, mv)
+}
+
+func (c *Coordinator) moveLocked(v, to int, mv Mover) (int, error) {
+	if v < 0 || v >= len(c.locks) {
+		return 0, fmt.Errorf("reshard: vshard %d out of range [0,%d)", v, len(c.locks))
+	}
+	st := c.cur.Load()
+	if to < 0 || to >= st.parts {
+		return 0, fmt.Errorf("reshard: target partition %d out of range [0,%d)", to, st.parts)
+	}
+	from := st.owner[v]
+	if from == to {
+		return 0, nil
+	}
+	start := c.cfg.Now()
+	l := &c.locks[v]
+
+	// 1. Enter the migrating state and collect the resident key set.
+	l.Lock()
+	c.migrating[v].Store(int32(to) + 1)
+	n := mv.Collect(v, from)
+	l.Unlock()
+
+	// 2. Copy in bounded batches; mutations interleave between batches
+	// and dual-write, so the target only ever converges.
+	copied := 0
+	for i := 0; i < n; i += c.cfg.BatchKeys {
+		j := i + c.cfg.BatchKeys
+		if j > n {
+			j = n
+		}
+		l.Lock()
+		copied += mv.Copy(i, j, from, to)
+		l.Unlock()
+	}
+
+	// 3. Flip: new table version, fence both ends, drain the old owner —
+	// all under the vshard write lock, so no read or mutation can
+	// interleave between the routing change and the cache fences.
+	l.Lock()
+	c.flip(v, to)
+	c.migrating[v].Store(0)
+	mv.Drain(v, from)
+	if mv.Fence != nil {
+		mv.Fence(from)
+		mv.Fence(to)
+	}
+	l.Unlock()
+
+	c.moves.Add(1)
+	c.count(metrics.ReshardMoves, to, float64(copied))
+	end := c.cfg.Now()
+	if c.cfg.Span != nil {
+		c.cfg.Span("reshard.move", fmt.Sprintf("v%d:%d->%d", v, from, to), start, end)
+	}
+	c.note("move v%d %d->%d (%d keys)", v, from, to, copied)
+	return copied, nil
+}
+
+// flip installs a new table version with vshard v owned by to. Callers
+// hold locks[v] (write side) and c.mu.
+func (c *Coordinator) flip(v, to int) {
+	st := c.cur.Load()
+	owner := make([]int, len(st.owner))
+	copy(owner, st.owner)
+	owner[v] = to
+	c.cur.Store(&tableState{version: st.version + 1, owner: owner, parts: st.parts})
+}
+
+// Split relieves partition hot by moving the hotter half of its vshards
+// (ranked by the op window) onto the least-loaded other partitions. It
+// returns the vshards moved and the total keys copied.
+func (c *Coordinator) Split(hot int, mv Mover) ([]int, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.cur.Load()
+	if hot < 0 || hot >= st.parts {
+		return nil, 0, fmt.Errorf("reshard: partition %d out of range [0,%d)", hot, st.parts)
+	}
+	if st.parts < 2 {
+		return nil, 0, fmt.Errorf("reshard: cannot split with a single partition")
+	}
+	owned := ownedIn(st, hot)
+	if len(owned) < 2 {
+		return nil, 0, fmt.Errorf("reshard: partition %d owns %d vshard(s); nothing to split", hot, len(owned))
+	}
+	// Hotter half first: rank the partition's vshards by observed ops.
+	sortByOpsDesc(owned, c.ops)
+	movers := owned[:len(owned)/2]
+	keys := 0
+	moved := make([]int, 0, len(movers))
+	for _, v := range movers {
+		to := c.coldestExcept(hot)
+		n, err := c.moveLocked(v, to, mv)
+		if err != nil {
+			return moved, keys, err
+		}
+		keys += n
+		moved = append(moved, v)
+	}
+	c.note("split p%d: moved %d vshards, %d keys", hot, len(moved), keys)
+	return moved, keys, nil
+}
+
+// Merge vacates partition cold, spreading its vshards over the
+// least-loaded remaining partitions. The partition keeps its slot (a
+// later split can repopulate it) but owns no keys afterwards.
+func (c *Coordinator) Merge(cold int, mv Mover) ([]int, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.cur.Load()
+	if cold < 0 || cold >= st.parts {
+		return nil, 0, fmt.Errorf("reshard: partition %d out of range [0,%d)", cold, st.parts)
+	}
+	if st.parts < 2 {
+		return nil, 0, fmt.Errorf("reshard: cannot merge away the only partition")
+	}
+	owned := ownedIn(st, cold)
+	keys := 0
+	moved := make([]int, 0, len(owned))
+	for _, v := range owned {
+		to := c.coldestExcept(cold)
+		n, err := c.moveLocked(v, to, mv)
+		if err != nil {
+			return moved, keys, err
+		}
+		keys += n
+		moved = append(moved, v)
+	}
+	c.note("merge p%d: moved %d vshards, %d keys", cold, len(moved), keys)
+	return moved, keys, nil
+}
+
+// Grow extends the table with one new partition (index = old partition
+// count; the container must have appended the physical partition first)
+// and migrates ~V/N vshards onto it — consistent placement: the moved
+// fraction of the key space is ~1/N, independent of the total key count.
+func (c *Coordinator) Grow(mv Mover) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.cur.Load()
+	newP := st.parts
+	// Extend the owner space first so moveLocked accepts the new target.
+	c.cur.Store(&tableState{version: st.version + 1, owner: st.owner, parts: newP + 1})
+	want := len(st.owner) / (newP + 1) // the new partition's fair share
+	keys := 0
+	for i := 0; i < want; i++ {
+		// Steal from the currently biggest owner, its hottest vshard
+		// last (prefer moving cold vshards onto the newcomer: stealing
+		// hot ones would migrate the most actively contended keys).
+		from := c.biggestOwner()
+		if from < 0 {
+			break
+		}
+		v := c.coldestVShardOf(from)
+		if v < 0 {
+			break
+		}
+		n, err := c.moveLocked(v, newP, mv)
+		if err != nil {
+			return keys, err
+		}
+		keys += n
+	}
+	c.note("grow: partition %d seeded with %d keys", newP, keys)
+	return keys, nil
+}
+
+// Vacate is Merge by another name, used when a partition is being
+// retired: after it returns, the partition owns no vshards.
+func (c *Coordinator) Vacate(p int, mv Mover) (int, error) {
+	_, keys, err := c.Merge(p, mv)
+	return keys, err
+}
+
+// TickAutoSplit takes one hot-shard decision: when the op window since
+// the previous decision holds at least MinOps operations and the hottest
+// partition's share exceeds HotFactor times the fair share, that
+// partition is split. It returns whether a split ran. Safe to call from
+// any goroutine at any cadence; overlapping maneuvers skip rather than
+// queue.
+func (c *Coordinator) TickAutoSplit(mv Mover) (bool, error) {
+	if !c.mu.TryLock() {
+		return false, nil // a maneuver is already in flight
+	}
+	defer c.mu.Unlock()
+	st := c.cur.Load()
+	if st.parts < 2 {
+		return false, nil
+	}
+	window := make([]uint64, len(c.ops))
+	var total uint64
+	for v := range c.ops {
+		cur := c.ops[v].Load()
+		window[v] = cur - c.lastOps[v]
+		total += window[v]
+	}
+	if total < uint64(c.cfg.MinOps) {
+		return false, nil
+	}
+	perPart := make([]uint64, st.parts)
+	for v, w := range window {
+		perPart[st.owner[v]] += w
+	}
+	hot, hotOps := 0, uint64(0)
+	for p, n := range perPart {
+		if n > hotOps {
+			hot, hotOps = p, n
+		}
+	}
+	// Decision taken: reset the window whether or not we split, so one
+	// hot burst triggers one split, not one per tick.
+	for v := range c.ops {
+		c.lastOps[v] = c.ops[v].Load()
+	}
+	fair := float64(total) / float64(st.parts)
+	if float64(hotOps) <= c.cfg.HotFactor*fair {
+		return false, nil
+	}
+	owned := ownedIn(st, hot)
+	if len(owned) < 2 {
+		return false, nil // one vshard holds all the heat; nothing to split
+	}
+	start := c.cfg.Now()
+	sortByOpsDesc(owned, c.ops)
+	moved, keys := 0, 0
+	for _, v := range owned[:len(owned)/2] {
+		to := c.coldestExcept(hot)
+		n, err := c.moveLocked(v, to, mv)
+		if err != nil {
+			return moved > 0, err
+		}
+		keys += n
+		moved++
+	}
+	c.splits.Add(1)
+	c.count(metrics.HotSplits, hot, 1)
+	if c.cfg.Span != nil {
+		c.cfg.Span("reshard.autosplit", fmt.Sprintf("p%d", hot), start, c.cfg.Now())
+	}
+	c.note("autosplit p%d (%.0f%% of window): moved %d vshards, %d keys",
+		hot, 100*float64(hotOps)/float64(total), moved, keys)
+	return true, nil
+}
+
+// Hottest reports the partition that saw the most ops in the current
+// window (since the last auto-split decision).
+func (c *Coordinator) Hottest() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.cur.Load()
+	loads := make([]uint64, st.parts)
+	for v, o := range st.owner {
+		loads[o] += c.ops[v].Load() - c.lastOps[v]
+	}
+	best := 0
+	for p, l := range loads {
+		if l > loads[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// Coldest reports the partition that saw the fewest ops in the current
+// window.
+func (c *Coordinator) Coldest() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coldestExcept(-1)
+}
+
+// coldestExcept picks the partition with the fewest observed window ops
+// (ties broken by vshard count, then index), excluding not.
+func (c *Coordinator) coldestExcept(not int) int {
+	st := c.cur.Load()
+	loads := make([]uint64, st.parts)
+	counts := make([]int, st.parts)
+	for v, o := range st.owner {
+		loads[o] += c.ops[v].Load() - c.lastOps[v]
+		counts[o]++
+	}
+	best := -1
+	for p := 0; p < st.parts; p++ {
+		if p == not {
+			continue
+		}
+		if best < 0 || loads[p] < loads[best] ||
+			(loads[p] == loads[best] && counts[p] < counts[best]) {
+			best = p
+		}
+	}
+	return best
+}
+
+// biggestOwner reports the partition owning the most vshards (>1), or -1.
+func (c *Coordinator) biggestOwner() int {
+	st := c.cur.Load()
+	counts := make([]int, st.parts)
+	for _, o := range st.owner {
+		counts[o]++
+	}
+	best, n := -1, 1
+	for p, cnt := range counts {
+		if cnt > n {
+			best, n = p, cnt
+		}
+	}
+	return best
+}
+
+// coldestVShardOf reports from's vshard with the fewest observed ops.
+func (c *Coordinator) coldestVShardOf(from int) int {
+	st := c.cur.Load()
+	best, bestOps := -1, uint64(0)
+	for v, o := range st.owner {
+		if o != from {
+			continue
+		}
+		ops := c.ops[v].Load()
+		if best < 0 || ops < bestOps {
+			best, bestOps = v, ops
+		}
+	}
+	return best
+}
+
+func (c *Coordinator) count(kind metrics.Kind, p int, v float64) {
+	if c.cfg.Col == nil {
+		return
+	}
+	col := c.cfg.Col()
+	if col == nil {
+		return
+	}
+	node := 0
+	if c.cfg.Node != nil {
+		node = c.cfg.Node(p)
+	}
+	col.Add(kind, node, c.cfg.Now(), v)
+}
+
+func (c *Coordinator) note(format string, args ...any) {
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(fmt.Sprintf(format, args...))
+	}
+}
+
+func ownedIn(st *tableState, p int) []int {
+	var out []int
+	for v, o := range st.owner {
+		if o == p {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sortByOpsDesc orders vshard ids by their observed op counters, hottest
+// first (insertion sort: vshard lists are small).
+func sortByOpsDesc(vs []int, ops []atomic.Uint64) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && ops[vs[j]].Load() > ops[vs[j-1]].Load(); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}

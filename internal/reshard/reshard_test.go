@@ -1,0 +1,454 @@
+package reshard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeStore is a minimal multi-partition store for exercising the
+// coordinator without a container: keys are uint64, routed by identity
+// hash, values are ints.
+type fakeStore struct {
+	mu    sync.Mutex
+	parts []map[uint64]int
+}
+
+func newFakeStore(n int) *fakeStore {
+	fs := &fakeStore{parts: make([]map[uint64]int, n)}
+	for i := range fs.parts {
+		fs.parts[i] = make(map[uint64]int)
+	}
+	return fs
+}
+
+func (fs *fakeStore) mover(c *Coordinator) Mover {
+	var buf []uint64
+	return Mover{
+		Collect: func(v, from int) int {
+			fs.mu.Lock()
+			defer fs.mu.Unlock()
+			buf = buf[:0]
+			for k := range fs.parts[from] {
+				if c.VShardOf(k) == v {
+					buf = append(buf, k)
+				}
+			}
+			return len(buf)
+		},
+		Copy: func(i, j, from, to int) int {
+			fs.mu.Lock()
+			defer fs.mu.Unlock()
+			n := 0
+			for _, k := range buf[i:j] {
+				if val, ok := fs.parts[from][k]; ok {
+					fs.parts[to][k] = val
+					n++
+				}
+			}
+			return n
+		},
+		Drain: func(v, from int) int {
+			fs.mu.Lock()
+			defer fs.mu.Unlock()
+			n := 0
+			for k := range fs.parts[from] {
+				if c.VShardOf(k) == v {
+					delete(fs.parts[from], k)
+					n++
+				}
+			}
+			return n
+		},
+	}
+}
+
+func (fs *fakeStore) put(p int, k uint64, v int) {
+	fs.mu.Lock()
+	fs.parts[p][k] = v
+	fs.mu.Unlock()
+}
+
+func (fs *fakeStore) get(p int, k uint64) (int, bool) {
+	fs.mu.Lock()
+	v, ok := fs.parts[p][k]
+	fs.mu.Unlock()
+	return v, ok
+}
+
+func (fs *fakeStore) del(p int, k uint64) bool {
+	fs.mu.Lock()
+	_, ok := fs.parts[p][k]
+	delete(fs.parts[p], k)
+	fs.mu.Unlock()
+	return ok
+}
+
+func TestInitialPlacementIsBalanced(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 64}, 4)
+	counts := make([]int, 4)
+	for _, p := range c.Assignments() {
+		counts[p]++
+	}
+	for p, n := range counts {
+		if n != 16 {
+			t.Fatalf("partition %d owns %d vshards, want 16", p, n)
+		}
+	}
+}
+
+func TestVShardsRoundsToPowerOfTwo(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ in, want int }{{1, 1}, {3, 4}, {64, 64}, {65, 128}} {
+		if got := New(Config{VShards: tc.in}, 2).VShards(); got != tc.want {
+			t.Fatalf("VShards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMoveVShardMovesExactlyItsKeys(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 8, BatchKeys: 4}, 2)
+	fs := newFakeStore(2)
+	for k := uint64(0); k < 256; k++ {
+		fs.put(c.Partition(k), k, int(k))
+	}
+	v := 0
+	from, to := c.Owner(v), 1-c.Owner(v)
+	moved, err := c.MoveVShard(v, to, fs.mover(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 32 { // 256 keys over 8 vshards by identity hash
+		t.Fatalf("moved %d keys, want 32", moved)
+	}
+	if c.Owner(v) != to {
+		t.Fatalf("owner of v%d = %d, want %d", v, c.Owner(v), to)
+	}
+	for k := uint64(0); k < 256; k++ {
+		p := c.Partition(k)
+		if val, ok := fs.get(p, k); !ok || val != int(k) {
+			t.Fatalf("key %d: got (%d,%v) at partition %d", k, val, ok, p)
+		}
+		if c.VShardOf(k) == v {
+			if _, stale := fs.get(from, k); stale {
+				t.Fatalf("key %d still present in old owner %d", k, from)
+			}
+		}
+	}
+	if c.Moves() != 1 {
+		t.Fatalf("Moves() = %d, want 1", c.Moves())
+	}
+}
+
+func TestMutateDualWritesDuringMigration(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 4, BatchKeys: 1}, 2)
+	fs := newFakeStore(2)
+	v := 0
+	from, to := c.Owner(v), 1-c.Owner(v)
+	// Seed keys of vshard v (identity hash: k%4 == 0).
+	for k := uint64(0); k < 64; k += 4 {
+		fs.put(from, k, 1)
+	}
+	// Concurrent writers keep mutating vshard-v keys while the move runs.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writes atomic.Uint64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := uint64(w * 4)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Mutate(k, func(p int) bool {
+					fs.put(p, k, i)
+					return true
+				})
+				writes.Add(1)
+			}
+		}(w)
+	}
+	for writes.Load() < 64 { // let writers land before and during the move
+		runtime.Gosched()
+	}
+	if _, err := c.MoveVShard(v, to, fs.mover(c)); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	// Every key must live (only) at the new owner with some written value.
+	for k := uint64(0); k < 16; k += 4 {
+		if _, ok := fs.get(to, k); !ok {
+			t.Fatalf("key %d missing at new owner", k)
+		}
+		if _, stale := fs.get(from, k); stale {
+			t.Fatalf("key %d leaked in old owner", k)
+		}
+	}
+}
+
+func TestMutateEraseDuringMigrationIsNotResurrected(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 2, BatchKeys: 1}, 2)
+	fs := newFakeStore(2)
+	v := 0
+	from, to := c.Owner(v), 1-c.Owner(v)
+	for k := uint64(0); k < 40; k += 2 {
+		fs.put(from, k, 1)
+	}
+	mv := fs.mover(c)
+	// Wrap Copy to erase key 0 through the coordinator mid-migration,
+	// after Collect has already buffered it.
+	erased := false
+	innerCopy := mv.Copy
+	mv.Copy = func(i, j, fr, t0 int) int {
+		if !erased {
+			erased = true
+			go c.Mutate(0, func(p int) bool { return fs.del(p, 0) })
+		}
+		return innerCopy(i, j, fr, t0)
+	}
+	if _, err := c.MoveVShard(v, to, mv); err != nil {
+		t.Fatal(err)
+	}
+	// The erase either beat its batch copy (key gone everywhere) or ran
+	// after it (dual-write deleted both sides). It must not resurrect.
+	if _, ok := fs.get(to, 0); ok {
+		if _, old := fs.get(from, 0); old {
+			t.Fatal("key 0 present on both sides after move")
+		}
+	}
+}
+
+func TestSplitRelievesHotPartition(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 16}, 4)
+	fs := newFakeStore(4)
+	for k := uint64(0); k < 1024; k++ {
+		fs.put(c.Partition(k), k, int(k))
+	}
+	hot := 0
+	before := len(c.Owned(hot))
+	movedVs, keys, err := c.Split(hot, fs.mover(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(movedVs) != before/2 {
+		t.Fatalf("split moved %d vshards, want %d", len(movedVs), before/2)
+	}
+	if keys == 0 {
+		t.Fatal("split moved no keys")
+	}
+	if got := len(c.Owned(hot)); got != before-len(movedVs) {
+		t.Fatalf("hot partition owns %d vshards after split, want %d", got, before-len(movedVs))
+	}
+	// All keys still reachable at their routed partition.
+	for k := uint64(0); k < 1024; k++ {
+		if _, ok := fs.get(c.Partition(k), k); !ok {
+			t.Fatalf("key %d unreachable after split", k)
+		}
+	}
+}
+
+func TestMergeVacatesPartition(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 16}, 4)
+	fs := newFakeStore(4)
+	for k := uint64(0); k < 512; k++ {
+		fs.put(c.Partition(k), k, int(k))
+	}
+	cold := 3
+	if _, _, err := c.Merge(cold, fs.mover(c)); err != nil {
+		t.Fatal(err)
+	}
+	if owned := c.Owned(cold); owned != nil {
+		t.Fatalf("merged partition still owns vshards %v", owned)
+	}
+	fs.mu.Lock()
+	left := len(fs.parts[cold])
+	fs.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("merged partition still holds %d keys", left)
+	}
+	for k := uint64(0); k < 512; k++ {
+		if _, ok := fs.get(c.Partition(k), k); !ok {
+			t.Fatalf("key %d unreachable after merge", k)
+		}
+	}
+}
+
+// TestGrowMovesFairShare is the consistent-placement bound the satellite
+// task names: adding a partition must move ≤ c/N of the vshards (and so
+// of the keys), not trigger a global rehash.
+func TestGrowMovesFairShare(t *testing.T) {
+	t.Parallel()
+	for _, parts := range []int{2, 3, 4, 7} {
+		parts := parts
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			t.Parallel()
+			const V = 128
+			c := New(Config{VShards: V}, parts)
+			fs := newFakeStore(parts + 1)
+			for k := uint64(0); k < 4096; k++ {
+				fs.put(c.Partition(k), k, int(k))
+			}
+			before := c.Assignments()
+			keys, err := c.Grow(fs.mover(c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := c.Assignments()
+			movedVs := 0
+			for v := range after {
+				if after[v] != before[v] {
+					movedVs++
+				}
+			}
+			fair := V / (parts + 1)
+			if movedVs > fair {
+				t.Fatalf("grow moved %d vshards, fair share is %d", movedVs, fair)
+			}
+			// Moved key fraction tracks the vshard fraction: ≤ ~1/N plus
+			// per-vshard rounding slack.
+			maxKeys := (4096/V)*fair + fair
+			if keys > maxKeys {
+				t.Fatalf("grow moved %d keys, want <= %d (~1/N)", keys, maxKeys)
+			}
+			if keys == 0 {
+				t.Fatal("grow moved nothing")
+			}
+			for k := uint64(0); k < 4096; k++ {
+				if _, ok := fs.get(c.Partition(k), k); !ok {
+					t.Fatalf("key %d unreachable after grow", k)
+				}
+			}
+		})
+	}
+}
+
+func TestTickAutoSplitFiresOnSkew(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 16, MinOps: 100, HotFactor: 2}, 4)
+	fs := newFakeStore(4)
+	for k := uint64(0); k < 256; k++ {
+		fs.put(c.Partition(k), k, int(k))
+	}
+	// No traffic yet: below MinOps, no split.
+	if split, _ := c.TickAutoSplit(fs.mover(c)); split {
+		t.Fatal("split fired with no traffic")
+	}
+	// Hammer the vshards of partition 0 only.
+	for _, v := range c.Owned(0) {
+		for i := 0; i < 100; i++ {
+			c.Read(uint64(v), func(int) {})
+		}
+	}
+	split, err := c.TickAutoSplit(fs.mover(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !split {
+		t.Fatal("hot partition did not auto-split")
+	}
+	if c.Splits() != 1 {
+		t.Fatalf("Splits() = %d, want 1", c.Splits())
+	}
+	// The decision window reset: an immediate re-tick must not re-split.
+	if again, _ := c.TickAutoSplit(fs.mover(c)); again {
+		t.Fatal("auto-split re-fired without new traffic")
+	}
+}
+
+func TestUniformTrafficDoesNotSplit(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 16, MinOps: 100, HotFactor: 2}, 4)
+	fs := newFakeStore(4)
+	for v := 0; v < 16; v++ {
+		for i := 0; i < 50; i++ {
+			c.Read(uint64(v), func(int) {})
+		}
+	}
+	if split, _ := c.TickAutoSplit(fs.mover(c)); split {
+		t.Fatal("uniform traffic triggered a split")
+	}
+}
+
+func TestMoveErrors(t *testing.T) {
+	t.Parallel()
+	c := New(Config{VShards: 8}, 2)
+	fs := newFakeStore(2)
+	if _, err := c.MoveVShard(99, 0, fs.mover(c)); err == nil {
+		t.Fatal("out-of-range vshard accepted")
+	}
+	if _, err := c.MoveVShard(0, 7, fs.mover(c)); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	if n, err := c.MoveVShard(0, c.Owner(0), fs.mover(c)); err != nil || n != 0 {
+		t.Fatalf("self-move: got (%d,%v), want no-op", n, err)
+	}
+	one := New(Config{VShards: 8}, 1)
+	if _, _, err := one.Split(0, fs.mover(one)); err == nil {
+		t.Fatal("split with one partition accepted")
+	}
+	if _, _, err := one.Merge(0, fs.mover(one)); err == nil {
+		t.Fatal("merge of only partition accepted")
+	}
+}
+
+// TestConcurrentReadsNeverMissDuringMoves is the protocol's core
+// guarantee exercised raw: readers resolving through Read while vshards
+// bounce between partitions must always find their key.
+func TestConcurrentReadsNeverMissDuringMoves(t *testing.T) {
+	c := New(Config{VShards: 8, BatchKeys: 2}, 3)
+	fs := newFakeStore(3)
+	for k := uint64(0); k < 128; k++ {
+		fs.put(c.Partition(k), k, int(k))
+	}
+	stop := make(chan struct{})
+	var misses atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64((i*7 + w) % 128)
+				c.Read(k, func(p int) {
+					if _, ok := fs.get(p, k); !ok {
+						misses.Add(1)
+					}
+				})
+			}
+		}(w)
+	}
+	mv := fs.mover(c)
+	for round := 0; round < 20; round++ {
+		v := round % 8
+		to := (c.Owner(v) + 1) % 3
+		if _, err := c.MoveVShard(v, to, mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if m := misses.Load(); m != 0 {
+		t.Fatalf("%d reads missed their key during live moves", m)
+	}
+	if c.Version() < 20 {
+		t.Fatalf("table version %d after 20 moves", c.Version())
+	}
+}
