@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify check test bench bench-shm bench-compare vet lint stress stress-replicated stress-hybrid stress-shm stress-reshard race-all sweep slo reshard docs-check
+.PHONY: verify check test bench bench-shm bench-compare vet lint stress stress-replicated stress-hybrid stress-shm stress-reshard stress-txn race-all sweep slo reshard txn docs-check
 
 # Time budget for the `stress` sweep, in milliseconds of wall time.
 STRESS_MS ?= 5000
@@ -63,6 +63,14 @@ stress-hybrid:
 stress-shm:
 	$(GO) test -race -count=1 -v -run 'TestStressShm' ./internal/harness/
 
+# The transaction gate under the race detector (docs/TRANSACTIONS.md):
+# multi-key cross-container hcl.Txn workloads checked for strict
+# serializability — under crash/repair chaos against quorum replication
+# on the simulated fabric, fault-free over the shared-memory rings — plus
+# the checker self-test against the deliberately dirty-read build.
+stress-txn:
+	$(GO) test -race -count=1 -v -run 'TestStressTxn' ./internal/harness/
+
 # The live-resharding gate under the race detector: epoch-fenced splits
 # and merges mid-stream, under zipf-skewed traffic, with and without
 # kill/restart chaos, on the simulated fabric and over the shared-memory
@@ -88,6 +96,7 @@ bench:
 	$(GO) run ./cmd/hcl-bench -sweep
 	$(GO) run ./cmd/hcl-bench -slo
 	$(GO) run ./cmd/hcl-bench -reshard
+	$(GO) run ./cmd/hcl-bench -txn
 
 # The shm round-trip A/B on its own (shm 64B/4096B vs a raw buffered
 # channel send measured in the same run) for quick iteration on the
@@ -123,6 +132,14 @@ slo:
 # autosplit arm's p99 beat the baseline arm's.
 reshard:
 	$(GO) run ./cmd/hcl-bench -reshard
+
+# The deterministic transaction commit-latency measurement on its own
+# (docs/TRANSACTIONS.md): single-participant and cross-container 3-way
+# commit shapes in virtual time. Merges txn/commit/* entries into
+# BENCH_results.json; `make bench-compare` gates them against the
+# baseline ceilings (±25%).
+txn:
+	$(GO) run ./cmd/hcl-bench -txn
 
 # Regression gate: compare the last `make bench` run against the
 # checked-in baseline (±15% ns/op and allocs/op; see internal/bench/compare.go

@@ -49,6 +49,7 @@ func main() {
 		sweepout  = flag.String("sweepout", "BENCH_results.json", "results JSON the -sweep entries are merged into")
 		slo       = flag.Bool("slo", false, "measure per-verb deterministic RPC p99s, merge slo/p99/* entries into -sweepout")
 		reshard   = flag.Bool("reshard", false, "run the hot-shard auto-split A/B, merge reshard/* entries into -sweepout, gate autosplit p99 vs baseline")
+		txn       = flag.Bool("txn", false, "measure deterministic hcl.Txn commit latencies, merge txn/commit/* entries into -sweepout")
 	)
 	flag.Parse()
 
@@ -112,12 +113,18 @@ func main() {
 				for _, f := range reshardFails {
 					fmt.Printf("RESHARD GATE  %s\n", f)
 				}
-				if len(regs)+len(missing)+len(shmFails)+len(sloFails)+len(reshardFails) > 0 {
-					fmt.Printf("bench gate: %d regressions, %d missing, %d shm ratio failures, %d slo p99 failures, %d reshard failures (tolerance %.0f%%)\n",
-						len(regs), len(missing), len(shmFails), len(sloFails), len(reshardFails), 100**tolerance)
+				// Deterministic txn commit-latency ceilings (txn/commit/*
+				// entries), same policy as the slo p99 gate.
+				txnFails := bench.TxnGate(base, cur)
+				for _, f := range txnFails {
+					fmt.Printf("TXN GATE  %s\n", f)
+				}
+				if len(regs)+len(missing)+len(shmFails)+len(sloFails)+len(reshardFails)+len(txnFails) > 0 {
+					fmt.Printf("bench gate: %d regressions, %d missing, %d shm ratio failures, %d slo p99 failures, %d reshard failures, %d txn latency failures (tolerance %.0f%%)\n",
+						len(regs), len(missing), len(shmFails), len(sloFails), len(reshardFails), len(txnFails), 100**tolerance)
 					os.Exit(1)
 				}
-				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s; shm ratios, slo p99 ceilings, and the reshard A/B hold\n",
+				fmt.Printf("bench gate: %d benchmarks within %.0f%% of %s; shm ratios, slo p99 ceilings, the reshard A/B, and txn latencies hold\n",
 					len(base), 100**tolerance, *baseline)
 				return
 			}
@@ -163,6 +170,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("merged %d slo entries into %s\n", len(results), *sweepout)
+		return
+	}
+
+	if *txn {
+		results := bench.TxnResults(p)
+		bench.TxnTable(results).Fprint(os.Stdout)
+		merged, err := mergeResults(*sweepout, results)
+		if err == nil {
+			err = bench.WriteBenchJSON(*sweepout, merged)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d txn entries into %s\n", len(results), *sweepout)
 		return
 	}
 

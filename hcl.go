@@ -256,7 +256,46 @@ var (
 	// persistent, cross-process, or built without WithVirtualNodes).
 	// See docs/RESHARDING.md.
 	ErrResharding = core.ErrResharding
+	// ErrTxnConflict reports a transaction whose optimistic read set went
+	// stale or whose participant partitions were busy; nothing was
+	// applied. Txn retries automatically and surfaces this only once the
+	// retry budget is exhausted. See docs/TRANSACTIONS.md.
+	ErrTxnConflict = core.ErrTxnConflict
+	// ErrTxnPartial reports a transaction interrupted after its commit
+	// point: at least one participant could not confirm applying it, so
+	// the outcome is unknown (treat like ErrTimeout).
+	ErrTxnPartial = core.ErrTxnPartial
 )
+
+// Transactions ---------------------------------------------------------
+
+// Tx is one multi-key, cross-container transaction attempt: optimistic
+// version-stamped reads, buffered writes, read-your-writes. Use it only
+// inside a Txn body, through TxnGet / TxnPut / TxnDelete.
+type Tx = core.Tx
+
+// Txn runs fn as an atomic transaction on rank r. Reads performed with
+// TxnGet join a version-stamped read set; writes buffer until commit,
+// then a two-phase protocol (prepare in global partition order, decide)
+// applies all of them or none. Conflicts retry automatically; exhausted
+// retries report ErrTxnConflict with nothing applied.
+func Txn(r *Rank, fn func(tx *Tx) error) error { return core.Txn(r, fn) }
+
+// TxnGet reads m[k] inside tx: buffered writes win, repeated reads are
+// stable, and the observed version is validated at commit.
+func TxnGet[K comparable, V any](tx *Tx, m *UnorderedMap[K, V], k K) (V, bool, error) {
+	return core.TxnGet(tx, m, k)
+}
+
+// TxnPut buffers m[k] = v for atomic application at commit.
+func TxnPut[K comparable, V any](tx *Tx, m *UnorderedMap[K, V], k K, v V) error {
+	return core.TxnPut(tx, m, k, v)
+}
+
+// TxnDelete buffers the removal of m[k] for atomic application at commit.
+func TxnDelete[K comparable, V any](tx *Tx, m *UnorderedMap[K, V], k K) error {
+	return core.TxnDelete(tx, m, k)
+}
 
 // FaultConfig tunes the deterministic fault injector.
 type FaultConfig = faultfab.Config

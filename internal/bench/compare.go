@@ -54,9 +54,10 @@ func CompareBench(baseline, current []BenchResult, tol float64) (regressions []D
 		cur[c.Name] = c
 	}
 	for _, b := range baseline {
-		// slo/p99 entries are gated by SLOGate with its own slack policy;
-		// allocs/op is meaningless for them.
-		if strings.HasPrefix(b.Name, SLOPrefix) {
+		// slo/p99 entries are gated by SLOGate and txn/commit entries by
+		// TxnGate, each with its own slack policy; allocs/op is
+		// meaningless for both.
+		if strings.HasPrefix(b.Name, SLOPrefix) || strings.HasPrefix(b.Name, TxnPrefix) {
 			continue
 		}
 		c, ok := cur[b.Name]

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/simfab"
+)
+
+// Transaction commit-latency bench entries (`hcl-bench -txn`): a
+// deterministic single-client workload on the simulated fabric measures
+// the virtual-time latency of hcl.Txn commits in the two shapes that
+// bound the protocol's cost:
+//
+//   - single: a read-modify-write of one key in one map — one
+//     participant, so prepare + decide is 2 RPCs on top of the 1 read;
+//   - cross3: the bank transfer from the stress harness — two account
+//     maps plus a sequencer key, 3 participants, 3 reads + 6 commit
+//     RPCs in prepare order.
+//
+// One sequential client means no conflicts and no backoff sleeps: every
+// latency is a pure function of the calibrated cost model, so the p50
+// and p99 are exactly reproducible and the gate can be tight. The
+// entries ride BENCH_results.json next to the slo/p99 ceilings and are
+// gated by TxnGate, not CompareBench.
+
+const (
+	// TxnPrefix marks the commit-latency entries in BENCH_*.json.
+	TxnPrefix = "txn/commit/"
+	// TxnSlack is the relative headroom over the baseline latency before
+	// the gate fails. Same policy as SLOSlack: the numbers are
+	// deterministic, but the slack tolerates deliberate cost-model
+	// retuning without flapping.
+	TxnSlack = 0.25
+)
+
+// TxnResults runs the deterministic commit-latency workload and returns
+// p50/p99 entries per transaction shape.
+func TxnResults(p Params) []BenchResult {
+	prov := simfab.New(3, fabric.DefaultCostModel())
+	defer prov.Close()
+	w := cluster.MustWorld(prov, cluster.OnNode(0, 1))
+	rt := core.NewRuntime(w)
+
+	a, err := core.NewUnorderedMap[uint64, uint64](rt, "txnbench_a", core.WithServers([]int{1, 2}))
+	if err != nil {
+		panic(err)
+	}
+	b, err := core.NewUnorderedMap[uint64, uint64](rt, "txnbench_b", core.WithServers([]int{1, 2}))
+	if err != nil {
+		panic(err)
+	}
+
+	ops := p.OpsPerClient
+	if ops < 64 {
+		ops = 64
+	}
+	const accounts = 16
+	const seqKey = ^uint64(0)
+
+	single := make([]int64, 0, ops)
+	cross := make([]int64, 0, ops)
+	w.Run(func(r *cluster.Rank) {
+		for k := uint64(0); k < accounts; k++ {
+			if _, err := a.Insert(r, k, 1<<20); err != nil {
+				panic(err)
+			}
+			if _, err := b.Insert(r, k, 1<<20); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := a.Insert(r, seqKey, 0); err != nil {
+			panic(err)
+		}
+		for i := 0; i < ops; i++ {
+			k := uint64(i) % accounts
+			t0 := r.Clock().Now()
+			err := core.Txn(r, func(tx *core.Tx) error {
+				v, _, err := core.TxnGet(tx, a, k)
+				if err != nil {
+					return err
+				}
+				return core.TxnPut(tx, a, k, v+1)
+			})
+			if err != nil {
+				panic(err)
+			}
+			single = append(single, r.Clock().Now()-t0)
+
+			t0 = r.Clock().Now()
+			err = core.Txn(r, func(tx *core.Tx) error {
+				vf, _, err := core.TxnGet(tx, a, k)
+				if err != nil {
+					return err
+				}
+				vt, _, err := core.TxnGet(tx, b, (k+1)%accounts)
+				if err != nil {
+					return err
+				}
+				s, _, err := core.TxnGet(tx, a, seqKey)
+				if err != nil {
+					return err
+				}
+				if err := core.TxnPut(tx, a, k, vf-1); err != nil {
+					return err
+				}
+				if err := core.TxnPut(tx, b, (k+1)%accounts, vt+1); err != nil {
+					return err
+				}
+				return core.TxnPut(tx, a, seqKey, s+1)
+			})
+			if err != nil {
+				panic(err)
+			}
+			cross = append(cross, r.Clock().Now()-t0)
+		}
+	})
+
+	out := []BenchResult{
+		{Name: TxnPrefix + "single/p50", Runs: int64(len(single)), NsPerOp: percentileNS(single, 0.50)},
+		{Name: TxnPrefix + "single/p99", Runs: int64(len(single)), NsPerOp: percentileNS(single, 0.99)},
+		{Name: TxnPrefix + "cross3/p50", Runs: int64(len(cross)), NsPerOp: percentileNS(cross, 0.50)},
+		{Name: TxnPrefix + "cross3/p99", Runs: int64(len(cross)), NsPerOp: percentileNS(cross, 0.99)},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// percentileNS returns the q-th percentile of the samples (nearest-rank).
+func percentileNS(samples []int64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx])
+}
+
+// TxnTable renders the entries for humans.
+func TxnTable(results []BenchResult) *Table {
+	t := &Table{
+		ID:     "txn",
+		Title:  "txn commit latency (virtual time, deterministic)",
+		Header: []string{"shape", "latency_ns", "txns"},
+	}
+	for _, r := range results {
+		t.AddRow(strings.TrimPrefix(r.Name, TxnPrefix), fmt.Sprintf("%.0f", r.NsPerOp), fmt.Sprintf("%d", r.Runs))
+	}
+	t.AddNote("gate: current latency must stay within %.0f%% of BENCH_baseline.json (hcl-bench -benchcompare)", 100*TxnSlack)
+	return t
+}
+
+// TxnGate checks the current run's commit latencies against the baseline
+// the same way SLOGate checks the per-verb p99 ceilings: every baseline
+// txn/commit entry must be present and within TxnSlack.
+func TxnGate(baseline, current []BenchResult) []string {
+	cur := make(map[string]float64, len(current))
+	for _, r := range current {
+		if strings.HasPrefix(r.Name, TxnPrefix) {
+			cur[r.Name] = r.NsPerOp
+		}
+	}
+	var fails []string
+	for _, b := range baseline {
+		if !strings.HasPrefix(b.Name, TxnPrefix) {
+			continue
+		}
+		got, ok := cur[b.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s missing from the current run", b.Name))
+			continue
+		}
+		if got > b.NsPerOp*(1+TxnSlack) {
+			fails = append(fails, fmt.Sprintf("%s latency %.0f ns exceeds baseline %.0f ns by more than %.0f%%",
+				b.Name, got, b.NsPerOp, 100*TxnSlack))
+		}
+	}
+	sort.Strings(fails)
+	return fails
+}

@@ -45,6 +45,7 @@ func (m *UnorderedMap[K, V]) AddPartition(r *cluster.Rank, node int) error {
 		m.rt.localCharge(r, 0, 2*moved+1, "umap", m.name, "add_partition")
 		return err
 	}
+	m.txReshape()
 	return m.migrate(r)
 }
 
@@ -92,6 +93,7 @@ func (m *UnorderedMap[K, V]) RemovePartition(r *cluster.Rank, id int) error {
 		return true
 	})
 	m.rt.localCharge(r, 0, 2*moved+1, "umap", m.name, "remove_partition")
+	m.txReshape()
 	return m.migrate(r)
 }
 

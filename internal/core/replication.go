@@ -83,11 +83,28 @@ const (
 
 // rapply/mutation response status bytes.
 const (
-	replStatusOK       byte = 0
-	replStatusDegraded byte = 1 // mutation responses: quorum unreachable, nothing applied
-	replStatusFenced   byte = 0 // rapply responses: [0] alone = fenced by a repair
-	replStatusDead     byte = 2 // find/rfind/rsnap responses: partition crashed, not yet repaired
+	replStatusOK        byte = 0
+	replStatusDegraded  byte = 1 // mutation responses: quorum unreachable, nothing applied
+	replStatusFenced    byte = 0 // rapply responses: [0] alone = fenced by a repair
+	replStatusDead      byte = 2 // find/rfind/rsnap responses: partition crashed, not yet repaired
+	replStatusMalformed byte = 3 // request frame failed validation; nothing was applied
 )
+
+// ErrMalformedFrame reports a replication RPC whose frame failed
+// validation — short header, out-of-range origin/partition index, unknown
+// verb or source, or an undecodable payload. Handlers answer it with a
+// typed single-byte status instead of indexing servers/dead with a
+// wire-supplied value and risking a panic; clients surface it wrapped in
+// this sentinel.
+var ErrMalformedFrame = errors.New("malformed replication frame")
+
+// malformedResp is the handler-side response to a frame that failed
+// validation.
+func malformedResp() []byte { return []byte{replStatusMalformed} }
+
+func isMalformedResp(resp []byte) bool {
+	return len(resp) == 1 && resp[0] == replStatusMalformed
+}
 
 // replPart is the view of a primary partition the replication layer
 // needs; both containers.CuckooMap and containers.OrderedEngine satisfy
@@ -163,9 +180,11 @@ type replGroup[K comparable, V any] struct {
 	holders [][]int       // origin partition -> holder partitions, in forward order
 	copies  map[replKey]*replCopy[K, V]
 
-	amu      sync.Mutex // guards queue+draining (ReplAsync only)
+	amu      sync.Mutex // guards queue+draining+drainGen (ReplAsync only)
+	adone    *sync.Cond // signals a drain pass finishing (drainGen bump)
 	queue    []replOp
 	draining bool
+	drainGen uint64 // completed drain passes; Flush waits on it
 }
 
 // newReplGroup wires replication for a partitioned container, or returns
@@ -203,6 +222,7 @@ func newReplGroup[K comparable, V any](
 		holders:  make([][]int, len(servers)),
 		copies:   make(map[replKey]*replCopy[K, V]),
 	}
+	g.adone = sync.NewCond(&g.amu)
 	for p := range servers {
 		hs := make([]int, 0, n)
 		for i := 1; i <= n; i++ {
@@ -272,19 +292,44 @@ func encodeRapply(origin int, epoch uint64, verb byte, kb, vb []byte, keyOnly bo
 	return out
 }
 
-func decodeRapply(arg []byte, keyOnly bool) (origin int, epoch uint64, verb byte, kb, vb []byte, err error) {
+// decodeRapply validates and decodes one rapply frame. nparts bounds the
+// wire-supplied origin index before any caller uses it to address
+// servers/dead/holders state; every validation failure wraps
+// ErrMalformedFrame.
+func decodeRapply(arg []byte, keyOnly bool, nparts int) (origin int, epoch uint64, verb byte, kb, vb []byte, err error) {
 	if len(arg) < 13 {
-		return 0, 0, 0, nil, nil, fmt.Errorf("short rapply arg (%d bytes)", len(arg))
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: short rapply arg (%d bytes)", ErrMalformedFrame, len(arg))
 	}
 	origin = int(binary.LittleEndian.Uint32(arg[:4]))
+	if origin < 0 || origin >= nparts {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: rapply origin %d out of range [0,%d)", ErrMalformedFrame, origin, nparts)
+	}
 	epoch = binary.LittleEndian.Uint64(arg[4:12])
 	verb = arg[12]
+	if verb != replPut && verb != replDel && verb != replMerge {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: unknown rapply verb %d", ErrMalformedFrame, verb)
+	}
 	payload := arg[13:]
 	if keyOnly || verb == replDel {
 		return origin, epoch, verb, payload, nil, nil
 	}
 	kb, vb, err = databox.DecodePair(payload)
+	if err != nil {
+		err = fmt.Errorf("%w: rapply payload: %v", ErrMalformedFrame, err)
+	}
 	return origin, epoch, verb, kb, vb, err
+}
+
+// decodeRfind validates and decodes one rfind frame ([4B LE origin][kb]).
+func decodeRfind(arg []byte, nparts int) (origin int, kb []byte, err error) {
+	if len(arg) < 4 {
+		return 0, nil, fmt.Errorf("%w: short rfind arg (%d bytes)", ErrMalformedFrame, len(arg))
+	}
+	origin = int(binary.LittleEndian.Uint32(arg[:4]))
+	if origin < 0 || origin >= nparts {
+		return 0, nil, fmt.Errorf("%w: rfind origin %d out of range [0,%d)", ErrMalformedFrame, origin, nparts)
+	}
+	return origin, arg[4:], nil
 }
 
 // encodeRsnap: [4B LE origin][1B source][8B LE fence epoch].
@@ -294,6 +339,24 @@ func encodeRsnap(origin int, src byte, fence uint64) []byte {
 	out[4] = src
 	binary.LittleEndian.PutUint64(out[5:13], fence)
 	return out[:]
+}
+
+// decodeRsnap validates and decodes one rsnap frame, bounds-checking the
+// wire-supplied origin and source before they select partition state.
+func decodeRsnap(arg []byte, nparts int) (origin int, src byte, fence uint64, err error) {
+	if len(arg) < 13 {
+		return 0, 0, 0, fmt.Errorf("%w: short rsnap arg (%d bytes)", ErrMalformedFrame, len(arg))
+	}
+	origin = int(binary.LittleEndian.Uint32(arg[:4]))
+	if origin < 0 || origin >= nparts {
+		return 0, 0, 0, fmt.Errorf("%w: rsnap origin %d out of range [0,%d)", ErrMalformedFrame, origin, nparts)
+	}
+	src = arg[4]
+	if src != snapFromCopy && src != snapFromPrimary {
+		return 0, 0, 0, fmt.Errorf("%w: unknown rsnap source %d", ErrMalformedFrame, src)
+	}
+	fence = binary.LittleEndian.Uint64(arg[5:13])
+	return origin, src, fence, nil
 }
 
 // snapRecord encodes one entry of a snapshot response: the bare key for
@@ -340,11 +403,13 @@ func (g *replGroup[K, V]) bind() {
 	cm := g.rt.model
 
 	// rapply: apply one forwarded mutation to this holder's copy of the
-	// origin partition, unless a repair snapshot has fenced the epoch.
+	// origin partition, unless a repair snapshot has fenced the epoch. A
+	// frame that fails validation (wire-supplied indices are untrusted)
+	// gets the typed malformed status — never a panic.
 	e.Bind(g.fnRapply, func(node int, arg []byte) ([]byte, int64) {
-		origin, epoch, verb, kb, vb, err := decodeRapply(arg, g.keyOnly)
+		origin, epoch, verb, kb, vb, err := decodeRapply(arg, g.keyOnly, len(g.servers))
 		if err != nil {
-			panic(err)
+			return malformedResp(), cm.LocalOpNS
 		}
 		h, ok := g.byNode[node]
 		if !ok {
@@ -352,7 +417,9 @@ func (g *replGroup[K, V]) bind() {
 		}
 		cp := g.copies[replKey{h, origin}]
 		if cp == nil {
-			panic(fmt.Sprintf("hcl: %s: partition %d holds no copy of %d", g.name, h, origin))
+			// In-range origin, but this holder keeps no copy of it: the
+			// frame was misrouted or forged.
+			return malformedResp(), cm.LocalOpNS
 		}
 		if g.dead[h].Load() {
 			// A dead holder cannot accept forwards; the fence response
@@ -362,12 +429,12 @@ func (g *replGroup[K, V]) bind() {
 		}
 		k, err := g.kbox.Decode(kb)
 		if err != nil {
-			panic(err)
+			return malformedResp(), cm.LocalOpNS
 		}
 		var v V
 		if !g.keyOnly && verb != replDel {
 			if v, err = g.vbox.Decode(vb); err != nil {
-				panic(err)
+				return malformedResp(), cm.LocalOpNS
 			}
 		}
 		cp.mu.Lock()
@@ -387,9 +454,6 @@ func (g *replGroup[K, V]) bind() {
 			} else {
 				applied = cp.m.Insert(k, v)
 			}
-		default:
-			cp.mu.Unlock()
-			panic(fmt.Sprintf("hcl: %s: unknown rapply verb %d", g.name, verb))
 		}
 		cp.mu.Unlock()
 		return []byte{1, boolByte(applied)[0]}, cm.LocalOpNS + cm.MemTime(len(arg))
@@ -398,21 +462,21 @@ func (g *replGroup[K, V]) bind() {
 	// rfind: read a key from this holder's copy. Response shape matches
 	// the container's own find verb so client decoders can be reused.
 	e.Bind(g.fnRfind, func(node int, arg []byte) ([]byte, int64) {
-		if len(arg) < 4 {
-			panic(fmt.Sprintf("hcl: %s: short rfind arg", g.name))
+		origin, kbArg, err := decodeRfind(arg, len(g.servers))
+		if err != nil {
+			return malformedResp(), cm.LocalOpNS
 		}
-		origin := int(binary.LittleEndian.Uint32(arg[:4]))
 		h := g.byNode[node]
 		cp := g.copies[replKey{h, origin}]
 		if cp == nil {
-			panic(fmt.Sprintf("hcl: %s: partition %d holds no copy of %d", g.name, h, origin))
+			return malformedResp(), cm.LocalOpNS
 		}
 		if g.dead[h].Load() {
 			return []byte{replStatusDead}, cm.LocalOpNS
 		}
-		k, err := g.kbox.Decode(arg[4:])
+		k, err := g.kbox.Decode(kbArg)
 		if err != nil {
-			panic(err)
+			return malformedResp(), cm.LocalOpNS
 		}
 		cp.mu.Lock()
 		v, ok := cp.m.Find(k)
@@ -436,12 +500,10 @@ func (g *replGroup[K, V]) bind() {
 	// locks: it is invoked inline by RepairNode while the repairing
 	// goroutine already holds the origin's replication lock.
 	e.Bind(g.fnRsnap, func(node int, arg []byte) ([]byte, int64) {
-		if len(arg) < 13 {
-			panic(fmt.Sprintf("hcl: %s: short rsnap arg", g.name))
+		origin, src, fence, err := decodeRsnap(arg, len(g.servers))
+		if err != nil {
+			return malformedResp(), cm.LocalOpNS
 		}
-		origin := int(binary.LittleEndian.Uint32(arg[:4]))
-		src := arg[4]
-		fence := binary.LittleEndian.Uint64(arg[5:13])
 		if g.dead[g.byNode[node]].Load() {
 			return []byte{replStatusDead}, cm.LocalOpNS
 		}
@@ -461,7 +523,7 @@ func (g *replGroup[K, V]) bind() {
 			h := g.byNode[node]
 			cp := g.copies[replKey{h, origin}]
 			if cp == nil {
-				panic(fmt.Sprintf("hcl: %s: partition %d holds no copy of %d", g.name, h, origin))
+				return malformedResp(), cm.LocalOpNS
 			}
 			cp.mu.Lock()
 			if fence > cp.minEpoch {
@@ -471,8 +533,6 @@ func (g *replGroup[K, V]) bind() {
 			cp.mu.Unlock()
 		case snapFromPrimary:
 			g.prim(g.byNode[node]).Range(collect)
-		default:
-			panic(fmt.Sprintf("hcl: %s: unknown rsnap source %d", g.name, src))
 		}
 		if encErr != nil {
 			panic(encErr)
@@ -561,7 +621,10 @@ func (g *replGroup[K, V]) forwardAll(p int, verb byte, kb, vb []byte, epoch uint
 	var firstErr error
 	for _, h := range g.holders[p] {
 		resp, err := g.rt.engine.Invoke(c, g.servers[h], g.fnRapply, arg)
-		if err == nil && (len(resp) < 1 || resp[0] == 0) {
+		if err == nil && isMalformedResp(resp) {
+			err = fmt.Errorf("replica %d: %w", h, ErrMalformedFrame)
+		}
+		if err == nil && (len(resp) != 2 || resp[0] != 1) {
 			err = fmt.Errorf("replica %d fenced epoch %d", h, epoch)
 		}
 		if err != nil {
@@ -585,12 +648,15 @@ func (g *replGroup[K, V]) forwardAll(p int, verb byte, kb, vb []byte, epoch uint
 
 // enqueue appends one ReplAsync forward, reporting the queue depth and
 // whether the caller should drain. Beyond the cap the op is dropped and
-// counted — bounded, visible loss instead of an unbounded goroutine pile.
+// counted in the dedicated hcl_replication_dropped series, stamped with
+// real (wall-clock) time so the loss is attributable in a postmortem —
+// bounded, visible loss instead of an unbounded goroutine pile (the loss
+// semantics are documented in docs/REPLICATION.md).
 func (g *replGroup[K, V]) enqueue(op replOp) (depth int, drain bool) {
 	g.amu.Lock()
 	defer g.amu.Unlock()
 	if len(g.queue) >= asyncQueueCap {
-		g.count(metrics.ReplicationErrors, g.servers[op.p], 0, 1)
+		g.count(metrics.ReplicationDropped, g.servers[op.p], time.Now().UnixNano(), 1)
 		return len(g.queue), false
 	}
 	g.queue = append(g.queue, op)
@@ -599,12 +665,13 @@ func (g *replGroup[K, V]) enqueue(op replOp) (depth int, drain bool) {
 
 // drainAsync forwards every queued op in FIFO order. One drainer at a
 // time; ops enqueued during a drain are picked up by the next one, so
-// per-partition order is preserved.
-func (g *replGroup[K, V]) drainAsync() {
+// per-partition order is preserved. Reports whether this call performed
+// a drain pass (false: nothing queued, or another drainer owns the pass).
+func (g *replGroup[K, V]) drainAsync() bool {
 	g.amu.Lock()
 	if g.draining || len(g.queue) == 0 {
 		g.amu.Unlock()
-		return
+		return false
 	}
 	g.draining = true
 	batch := g.queue
@@ -618,11 +685,36 @@ func (g *replGroup[K, V]) drainAsync() {
 
 	g.amu.Lock()
 	g.draining = false
+	g.drainGen++
+	g.adone.Broadcast()
 	g.amu.Unlock()
+	return true
 }
 
-// Flush synchronously drains any queued async forwards (ReplAsync only).
-func (g *replGroup[K, V]) Flush() { g.drainAsync() }
+// Flush synchronously drains queued async forwards (ReplAsync only) and
+// returns only once every op enqueued before the call has been forwarded.
+// A concurrent drainer does not short-circuit it: Flush waits for the
+// in-progress pass to finish, then drains anything enqueued meanwhile
+// itself, looping until it observes an idle, empty queue.
+func (g *replGroup[K, V]) Flush() {
+	for {
+		g.amu.Lock()
+		if !g.draining && len(g.queue) == 0 {
+			g.amu.Unlock()
+			return
+		}
+		if g.draining {
+			gen := g.drainGen
+			for g.draining && g.drainGen == gen {
+				g.adone.Wait()
+			}
+			g.amu.Unlock()
+			continue
+		}
+		g.amu.Unlock()
+		g.drainAsync()
+	}
+}
 
 // isDead reports whether partition p crashed and awaits repair. Container
 // find handlers use it to answer with deadResp instead of serving reads
@@ -702,6 +794,9 @@ func (g *replGroup[K, V]) failoverFind(r ror.Caller, p int, kb []byte) ([]byte, 
 	var lastErr error
 	for _, h := range g.holders[p] {
 		resp, err := g.rt.engine.Invoke(r, g.servers[h], g.fnRfind, arg)
+		if err == nil && isMalformedResp(resp) {
+			err = fmt.Errorf("hcl: %s: replica %d: %w", g.name, h, ErrMalformedFrame)
+		}
 		if err == nil && len(resp) == 1 && resp[0] == replStatusDead {
 			err = fmt.Errorf("hcl: %s: replica %d crashed, awaiting repair", g.name, h)
 		}

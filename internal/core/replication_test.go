@@ -1,0 +1,256 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"hcl/internal/metrics"
+)
+
+// newAsyncReplMap builds a replicated ReplAsync map on a 4-node sim world
+// and hands back its replGroup for white-box protocol tests.
+func newAsyncReplMap(t *testing.T) (*UnorderedMap[int, int], *replGroup[int, int]) {
+	t.Helper()
+	_, rt, _ := newTestWorld(t, 4, 1)
+	m, err := NewUnorderedMap[int, int](rt, "flushrace", WithReplicas(1, ReplAsync), WithHybrid(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.repl == nil {
+		t.Fatal("replication not wired")
+	}
+	return m, m.repl
+}
+
+func (g *replGroup[K, V]) encodeTestOp(t *testing.T, p int, k K, v V) replOp {
+	t.Helper()
+	kb, err := g.kbox.Encode(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := g.vbox.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return replOp{p: p, verb: replPut, kb: kb, vb: vb, epoch: g.epochs[p].Load()}
+}
+
+// TestFlushWaitsForConcurrentDrain is the regression test for the early-
+// return bug: Flush used to bail out as soon as it saw g.draining set by a
+// concurrent drainer, returning while the ops it was asked to flush were
+// still queued. The fixed Flush must wait out the in-progress pass and
+// then forward everything enqueued meanwhile before returning.
+func TestFlushWaitsForConcurrentDrain(t *testing.T) {
+	_, g := newAsyncReplMap(t)
+
+	// Simulate an in-progress drain pass owned by another goroutine.
+	g.amu.Lock()
+	g.draining = true
+	g.amu.Unlock()
+
+	// Ops enqueued while that pass is in flight: the buggy Flush returned
+	// without forwarding any of them.
+	const n = 8
+	keys := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		k := 1000 + i
+		keys = append(keys, k)
+		g.enqueue(g.encodeTestOp(t, 0, k, k*10))
+	}
+
+	// The concurrent drainer finishes a little later.
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		g.amu.Lock()
+		g.draining = false
+		g.drainGen++
+		g.adone.Broadcast()
+		g.amu.Unlock()
+		close(released)
+	}()
+
+	g.Flush()
+	<-released
+
+	g.amu.Lock()
+	queued, draining := len(g.queue), g.draining
+	g.amu.Unlock()
+	if queued != 0 || draining {
+		t.Fatalf("after Flush: %d ops still queued, draining=%v", queued, draining)
+	}
+	// Every op enqueued before Flush must have been forwarded to the
+	// replica copy by the time Flush returns.
+	h := g.holders[0][0]
+	cp := g.copies[replKey{h, 0}]
+	for _, k := range keys {
+		cp.mu.Lock()
+		_, ok := cp.m.Find(k)
+		cp.mu.Unlock()
+		if !ok {
+			t.Fatalf("key %d enqueued before Flush never reached replica copy %d", k, h)
+		}
+	}
+}
+
+// TestAsyncOverflowCountsDropped: beyond the queue cap the forward is
+// dropped, and the loss lands in the dedicated hcl_replication_dropped
+// series with a real (non-zero) wall-clock timestamp bucket.
+func TestAsyncOverflowCountsDropped(t *testing.T) {
+	_, rt, col := newTestWorld(t, 4, 1)
+	m, err := NewUnorderedMap[int, int](rt, "overflow", WithReplicas(1, ReplAsync), WithHybrid(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.repl
+
+	g.amu.Lock()
+	g.draining = true // park the drainer so the queue can only grow
+	g.amu.Unlock()
+	op := g.encodeTestOp(t, 0, 7, 70)
+	for i := 0; i < asyncQueueCap; i++ {
+		g.enqueue(op)
+	}
+	if depth, _ := g.enqueue(op); depth != asyncQueueCap {
+		t.Fatalf("queue grew past cap: depth %d", depth)
+	}
+	if got := col.Total(metrics.ReplicationDropped, g.servers[0]); got != 1 {
+		t.Fatalf("hcl_replication_dropped total = %v, want 1", got)
+	}
+	// The drop must be stamped with real time, not virtual time zero: the
+	// series' single bucket index should be on the order of the current
+	// Unix epoch, far beyond bucket 0.
+	pts := col.Series(metrics.ReplicationDropped, g.servers[0])
+	if len(pts) != 1 || pts[0].Bucket == 0 {
+		t.Fatalf("dropped series = %v, want one bucket at real time", pts)
+	}
+	g.amu.Lock()
+	g.draining = false
+	g.queue = nil
+	g.amu.Unlock()
+}
+
+// TestMalformedReplicationFrames: wire-supplied origin/partition indices
+// and verbs are validated before touching group state. Decoders return
+// the typed ErrMalformedFrame; handlers answer with the malformed status
+// byte instead of panicking.
+func TestMalformedReplicationFrames(t *testing.T) {
+	w, rt, _ := newTestWorld(t, 4, 1)
+	m, err := NewUnorderedMap[int, int](rt, "fuzz", WithReplicas(1, QuorumAll), WithHybrid(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.repl
+	r := w.Rank(0)
+
+	goodKB, _ := g.kbox.Encode(1)
+	goodVB, _ := g.vbox.Encode(2)
+	const nparts = 4
+
+	hugeOrigin := func(fn func(out []byte)) []byte {
+		out := encodeRapply(0, 0, replPut, goodKB, goodVB, false)
+		binary.LittleEndian.PutUint32(out[:4], 0xfffffff0)
+		if fn != nil {
+			fn(out)
+		}
+		return out
+	}
+
+	decodeCases := []struct {
+		name string
+		err  error
+	}{
+		{"rapply/short", func() error {
+			_, _, _, _, _, err := decodeRapply([]byte{1, 2, 3}, false, nparts)
+			return err
+		}()},
+		{"rapply/origin-oob", func() error {
+			_, _, _, _, _, err := decodeRapply(hugeOrigin(nil), false, nparts)
+			return err
+		}()},
+		{"rapply/bad-verb", func() error {
+			arg := encodeRapply(0, 0, 99, goodKB, goodVB, false)
+			_, _, _, _, _, err := decodeRapply(arg, false, nparts)
+			return err
+		}()},
+		{"rapply/torn-pair", func() error {
+			arg := encodeRapply(0, 0, replPut, goodKB, goodVB, false)
+			_, _, _, _, _, err := decodeRapply(arg[:14], false, nparts)
+			return err
+		}()},
+		{"rfind/short", func() error {
+			_, _, err := decodeRfind([]byte{9}, nparts)
+			return err
+		}()},
+		{"rfind/origin-oob", func() error {
+			arg := make([]byte, 4+len(goodKB))
+			binary.LittleEndian.PutUint32(arg[:4], 77)
+			copy(arg[4:], goodKB)
+			_, _, err := decodeRfind(arg, nparts)
+			return err
+		}()},
+		{"rsnap/short", func() error {
+			_, _, _, err := decodeRsnap([]byte{1, 2}, nparts)
+			return err
+		}()},
+		{"rsnap/origin-oob", func() error {
+			_, _, _, err := decodeRsnap(encodeRsnap(nparts, snapFromCopy, 0), nparts)
+			return err
+		}()},
+		{"rsnap/bad-source", func() error {
+			_, _, _, err := decodeRsnap(encodeRsnap(0, 9, 0), nparts)
+			return err
+		}()},
+	}
+	for _, tc := range decodeCases {
+		if !errors.Is(tc.err, ErrMalformedFrame) {
+			t.Errorf("%s: err = %v, want ErrMalformedFrame", tc.name, tc.err)
+		}
+	}
+
+	// End to end: the bound verbs must answer each malformed frame with
+	// the typed status — and, critically, must not panic on indices far
+	// outside the partition table.
+	rfindOOB := make([]byte, 4+len(goodKB))
+	binary.LittleEndian.PutUint32(rfindOOB[:4], 0xdeadbeef)
+	copy(rfindOOB[4:], goodKB)
+	wireCases := []struct {
+		name string
+		fn   string
+		arg  []byte
+	}{
+		{"rapply/short", g.fnRapply, []byte{1}},
+		{"rapply/origin-oob", g.fnRapply, hugeOrigin(nil)},
+		{"rapply/bad-verb", g.fnRapply, encodeRapply(0, 0, 42, goodKB, goodVB, false)},
+		// In-range origin the target holder keeps no copy of: with one
+		// replica, node 2's partition holds a copy of partition 1 only.
+		{"rapply/no-copy", g.fnRapply, encodeRapply(0, 0, replPut, goodKB, goodVB, false)},
+		{"rfind/short", g.fnRfind, []byte{0, 0}},
+		{"rfind/origin-oob", g.fnRfind, rfindOOB},
+		{"rsnap/short", g.fnRsnap, []byte{0}},
+		{"rsnap/origin-oob", g.fnRsnap, encodeRsnap(999, snapFromCopy, 1)},
+		{"rsnap/bad-source", g.fnRsnap, encodeRsnap(0, 7, 1)},
+	}
+	for _, tc := range wireCases {
+		resp, err := rt.engine.Invoke(r, g.servers[2], tc.fn, tc.arg)
+		if err != nil {
+			t.Errorf("%s: transport error %v, want typed malformed response", tc.name, err)
+			continue
+		}
+		if !isMalformedResp(resp) {
+			t.Errorf("%s: resp = %v, want malformed status", tc.name, resp)
+		}
+	}
+
+	// A well-formed frame still applies after all that fuzzing.
+	ok := func() bool {
+		arg := encodeRapply(1, g.epochs[1].Load(), replPut, goodKB, goodVB, false)
+		resp, err := rt.engine.Invoke(r, g.servers[2], g.fnRapply, arg)
+		return err == nil && len(resp) == 2 && resp[0] == 1
+	}()
+	if !ok {
+		t.Fatal("well-formed rapply rejected after fuzz cases")
+	}
+}

@@ -32,6 +32,8 @@ type UnorderedMap[K comparable, V any] struct {
 	repl    *replGroup[K, V]
 	dp      *dataplane.Plane
 	rg      *reshard.Coordinator // vshard routing + live migration; nil without WithVirtualNodes
+	tx      *txnState            // per-partition txn versions/owners; nil on vshard maps
+	txh     *txnHooks
 }
 
 // NewUnorderedMap constructs (collectively, without coordination) a
@@ -84,6 +86,7 @@ func NewUnorderedMap[K comparable, V any](rt *Runtime, name string, opts ...Opti
 		m.repl.onRestore = m.rewriteJournal
 	}
 	m.dp = newPlane(rt, "umap", name, servers, o, true)
+	m.initTxn()
 	m.bind()
 	if m.dp != nil {
 		// Client-side cache check before aggregation: an aggregated find
@@ -183,7 +186,7 @@ func (m *UnorderedMap[K, V]) bind() {
 			return boolByte(isNew), cost
 		}
 		p := m.byNode[node]
-		apply := dpApply(m.dp, p, kb, dataplane.PubValue, vb, func() bool {
+		apply := m.applyWrap(p, kb, dataplane.PubValue, vb, func() bool {
 			isNew := m.parts[p].Insert(k, v)
 			m.appendJournalPut(p, arg)
 			return isNew
@@ -221,7 +224,7 @@ func (m *UnorderedMap[K, V]) bind() {
 		// PubClear, not PubValue: the combined value lives only in the
 		// partition, never on the wire, so the mirror slot is invalidated
 		// rather than re-encoded on the mutation path.
-		apply := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+		apply := m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 			isNew := m.mergeLocal(p, k, v)
 			m.journalMerged(p, kb, k)
 			return isNew
@@ -292,7 +295,7 @@ func (m *UnorderedMap[K, V]) bind() {
 			return boolByte(ok), cm.LocalOpNS
 		}
 		p := m.byNode[node]
-		apply := dpApply(m.dp, p, arg, dataplane.PubClear, nil, func() bool {
+		apply := m.applyWrap(p, arg, dataplane.PubClear, nil, func() bool {
 			ok := m.parts[p].Delete(k)
 			m.appendJournalDel(p, arg)
 			return ok
@@ -337,6 +340,140 @@ func (m *UnorderedMap[K, V]) bind() {
 	})
 }
 
+// initTxn wires this map's transaction plane: per-partition version/owner
+// state plus the prepare/decide verbs. Vshard-routed maps skip it —
+// ownership there moves under live resharding, which would invalidate
+// prepared owner slots mid-transaction; Txn on such maps reports
+// ErrResharding at the client.
+func (m *UnorderedMap[K, V]) initTxn() {
+	if m.rg != nil {
+		return
+	}
+	st := newTxnState(len(m.servers))
+	st.read = func(p int, kb []byte) ([]byte, bool, error) {
+		k, err := m.kbox.Decode(kb)
+		if err != nil {
+			return nil, false, err
+		}
+		v, ok := m.parts[p].Find(k)
+		if !ok {
+			return nil, false, nil
+		}
+		vb, err := m.vbox.Encode(v)
+		if err != nil {
+			return nil, false, err
+		}
+		return vb, true, nil
+	}
+	st.applyWrite = m.txnApplyWrite
+	if m.repl != nil {
+		st.dead = m.repl.isDead
+	}
+	m.tx = st
+	m.txh = &txnHooks{
+		rt:        m.rt,
+		name:      m.name,
+		servers:   m.servers,
+		fnPrepare: m.fn("txn.prepare"),
+		fnDecide:  m.fn("txn.decide"),
+		route:     m.route,
+	}
+	bindTxn(m.rt, m.txh.fnPrepare, m.txh.fnDecide, st, func(node int) (int, bool) {
+		p, ok := m.byNode[node]
+		return p, ok
+	})
+}
+
+// txReshape rebuilds the per-partition transaction state after a
+// collective repartition (AddPartition/RemovePartition). Those are
+// phase-boundary operations — every rank is quiescent by contract — so
+// the slots can be replaced wholesale. Versions do not carry across a
+// repartition (keys change homes), so every new partition starts floored
+// above anything previously handed out: a read taken before the reshape
+// can never validate after it.
+func (m *UnorderedMap[K, V]) txReshape() {
+	if m.tx == nil {
+		return
+	}
+	var hi uint64
+	for i := range m.tx.parts {
+		tp := &m.tx.parts[i]
+		tp.mu.Lock()
+		if tp.seq > hi {
+			hi = tp.seq
+		}
+		if tp.floor > hi {
+			hi = tp.floor
+		}
+		tp.mu.Unlock()
+	}
+	parts := make([]txnPart, len(m.parts))
+	for i := range parts {
+		parts[i].seq = hi + 1
+		parts[i].floor = hi + 1
+		parts[i].epoch = hi + 1
+	}
+	m.tx.parts = parts
+	m.txh.servers = m.servers
+}
+
+// txnHooks hands the coordinator this map's non-generic transaction view.
+func (m *UnorderedMap[K, V]) txnHooks() (*txnHooks, error) {
+	if m.txh == nil {
+		return nil, fmt.Errorf("hcl: %s: transactions unsupported on vshard-routed containers: %w", m.name, ErrResharding)
+	}
+	return m.txh, nil
+}
+
+// applyWrap composes the dataplane lease-revoke/mirror-publish wrapper
+// and the txn version bump onto a mutation's apply closure. Every
+// non-vshard mutation path applies through it so transactional reads see
+// a version change for any overlapping write, whatever its origin.
+func (m *UnorderedMap[K, V]) applyWrap(p int, kb []byte, act dataplane.PubAction, vb []byte, apply func() bool) func() bool {
+	return m.tx.wrap(p, kb, dpApply(m.dp, p, kb, act, vb, apply))
+}
+
+// txnApplyWrite applies one decided transactional write through the same
+// journal/replication/dataplane path a direct mutation takes, reporting
+// the replication forward cost.
+func (m *UnorderedMap[K, V]) txnApplyWrite(p int, verb byte, kb, vb []byte) (int64, error) {
+	k, err := m.kbox.Decode(kb)
+	if err != nil {
+		return 0, err
+	}
+	switch verb {
+	case txnVerbPut:
+		v, err := m.vbox.Decode(vb)
+		if err != nil {
+			return 0, err
+		}
+		apply := m.applyWrap(p, kb, dataplane.PubValue, vb, func() bool {
+			isNew := m.parts[p].Insert(k, v)
+			m.appendJournalPut(p, databox.EncodePair(kb, vb))
+			return isNew
+		})
+		if m.repl != nil {
+			_, fcost, rerr := m.repl.mutate(p, replPut, kb, vb, apply)
+			return fcost, rerr
+		}
+		apply()
+		return 0, nil
+	case txnVerbDel:
+		apply := m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
+			ok := m.parts[p].Delete(k)
+			m.appendJournalDel(p, kb)
+			return ok
+		})
+		if m.repl != nil {
+			_, fcost, rerr := m.repl.mutate(p, replDel, kb, nil, apply)
+			return fcost, rerr
+		}
+		apply()
+		return 0, nil
+	}
+	return 0, fmt.Errorf("%w: txn write verb %d", ErrMalformedFrame, verb)
+}
+
 // mutateLocal runs the hybrid-path form of a replicated mutation: the
 // co-located writer still walks the full forward-first protocol (it
 // cannot bypass the quorum), then bills the forward time to its own
@@ -354,6 +491,9 @@ func (m *UnorderedMap[K, V]) CrashNode(node int) {
 	if m.repl != nil {
 		m.repl.CrashNode(node)
 		m.fence(node)
+		if p, ok := m.byNode[node]; ok {
+			m.tx.Fence(p)
+		}
 		return
 	}
 	if m.rg != nil {
@@ -371,6 +511,7 @@ func (m *UnorderedMap[K, V]) CrashNode(node int) {
 	}
 	if p, ok := m.byNode[node]; ok {
 		wipePart[K, V](m.parts[p])
+		m.tx.Fence(p)
 	}
 	m.fence(node)
 }
@@ -467,8 +608,12 @@ func (m *UnorderedMap[K, V]) RepairNode(node int) error {
 	err := m.repl.RepairNode(node)
 	// A second epoch bump on rejoin: leases granted between crash and
 	// repair (e.g. by a failover replica, were that ever added) can never
-	// match the post-repair epoch.
+	// match the post-repair epoch — and likewise any transaction prepared
+	// or read against the pre-repair partition must fence into an abort.
 	m.fence(node)
+	if p, ok := m.byNode[node]; ok {
+		m.tx.Fence(p)
+	}
 	return err
 }
 
@@ -520,13 +665,13 @@ func (m *UnorderedMap[K, V]) Merge(r *cluster.Rank, k K, v V) (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			return m.mutateLocal(r, p, replMerge, kb, vb, "merge", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return m.mutateLocal(r, p, replMerge, kb, vb, "merge", m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 				isNew := m.mergeLocal(p, k, v)
 				m.journalMerged(p, kb, k)
 				return isNew
 			}))
 		}
-		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+		isNew := m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 			n := m.mergeLocal(p, k, v)
 			m.journalMerged(p, kb, k)
 			return n
@@ -571,14 +716,14 @@ func (m *UnorderedMap[K, V]) MergeAsync(r *cluster.Rank, k K, v V) *Future[bool]
 			if err != nil {
 				return immediateFuture(false, err)
 			}
-			isNew, rerr := m.mutateLocal(r, p, replMerge, kb, vb, "merge", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			isNew, rerr := m.mutateLocal(r, p, replMerge, kb, vb, "merge", m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 				n := m.mergeLocal(p, k, v)
 				m.journalMerged(p, kb, k)
 				return n
 			}))
 			return immediateFuture(isNew, rerr)
 		}
-		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+		isNew := m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 			n := m.mergeLocal(p, k, v)
 			m.journalMerged(p, kb, k)
 			return n
@@ -623,7 +768,7 @@ func (m *UnorderedMap[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 			if err != nil {
 				return false, fmt.Errorf("hcl: %s: encode value: %w", m.name, err)
 			}
-			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", dpApply(m.dp, p, kb, dataplane.PubValue, vb, func() bool {
+			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", m.applyWrap(p, kb, dataplane.PubValue, vb, func() bool {
 				n := m.parts[p].Insert(k, v)
 				m.appendJournalPut(p, databox.EncodePair(kb, vb))
 				return n
@@ -636,7 +781,7 @@ func (m *UnorderedMap[K, V]) Insert(r *cluster.Rank, k K, v V) (bool, error) {
 		// Hybrid path: direct shared-memory access, no RPC, no
 		// serialization of the value — so the mirror slot is cleared, not
 		// published (publishing would force the encode this path avoids).
-		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+		isNew := m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 			return m.parts[p].Insert(k, v)
 		})()
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
@@ -700,14 +845,14 @@ func (m *UnorderedMap[K, V]) InsertAsync(r *cluster.Rank, k K, v V) *Future[bool
 			if err != nil {
 				return immediateFuture(false, err)
 			}
-			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", dpApply(m.dp, p, kb, dataplane.PubValue, vb, func() bool {
+			isNew, rerr := m.mutateLocal(r, p, replPut, kb, vb, "insert", m.applyWrap(p, kb, dataplane.PubValue, vb, func() bool {
 				n := m.parts[p].Insert(k, v)
 				m.appendJournalPut(p, databox.EncodePair(kb, vb))
 				return n
 			}))
 			return immediateFuture(isNew, rerr)
 		}
-		isNew := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+		isNew := m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 			return m.parts[p].Insert(k, v)
 		})()
 		m.rt.localCharge(r, len(kb)+payloadSize(m.vbox, v), 2, "umap", m.name, "insert")
@@ -869,13 +1014,13 @@ func (m *UnorderedMap[K, V]) Erase(r *cluster.Rank, k K) (bool, error) {
 			return ok, nil
 		}
 		if m.repl != nil {
-			return m.mutateLocal(r, p, replDel, kb, nil, "erase", dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+			return m.mutateLocal(r, p, replDel, kb, nil, "erase", m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 				ok := m.parts[p].Delete(k)
 				m.appendJournalDel(p, kb)
 				return ok
 			}))
 		}
-		ok := dpApply(m.dp, p, kb, dataplane.PubClear, nil, func() bool {
+		ok := m.applyWrap(p, kb, dataplane.PubClear, nil, func() bool {
 			n := m.parts[p].Delete(k)
 			m.appendJournalDel(p, kb)
 			return n

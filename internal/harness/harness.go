@@ -95,6 +95,13 @@ const (
 	// BugDupPop returns the same element from two pops (a queue that
 	// forgets to unlink).
 	BugDupPop
+	// BugTxnDirtyRead splits each transactional transfer into a read-only
+	// transaction followed by a separate blind-write transaction, so the
+	// writes commit against values that were never validated — the classic
+	// read-modify-write race hcl.Txn exists to close. Only meaningful with
+	// Config.Txn; the strict-serializability checker must flag it
+	// (duplicate sequencer draws, lost updates).
+	BugTxnDirtyRead
 )
 
 // Config parameterizes one harness run.
@@ -144,6 +151,13 @@ type Config struct {
 	// The checkers treat it as pure optimization: every linearizability
 	// and ordering invariant must hold unchanged, chaos included.
 	Dataplane dataplane.Mode
+	// Txn switches the workload to the transactional mode (txn.go): every
+	// client op is a multi-key hcl.Txn — cross-container transfers between
+	// two account maps threaded through a sequencer register — and the
+	// history is checked for strict serializability instead of per-key
+	// linearizability. Kind is ignored (the mode always runs over two
+	// unordered maps); Minimize is ignored (txn streams do not shrink).
+	Txn bool
 	// Bug substitutes a deliberately broken container build.
 	Bug Bug
 	// Minimize shrinks the failing op streams before reporting

@@ -28,6 +28,9 @@ var verifyOptions = fabric.Options{
 // before reporting.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
+	if cfg.Txn {
+		return RunTxn(cfg)
+	}
 	start := time.Now()
 	streams := genStreams(cfg)
 	entries, viols, flights, stats := runSim(cfg, streams)

@@ -1,0 +1,624 @@
+package harness
+
+// Transactional stress mode: every client operation is a multi-key
+// hcl.Txn over TWO unordered maps (cross-container commits are the
+// point), and the checker demands strict serializability instead of
+// per-key linearizability.
+//
+// The workload is a bank: cfg.Keys accounts per map, each seeded with
+// txnInitBalance, plus one sequencer register (seqKey, in map A). A
+// transfer transaction reads both balances and the sequencer, writes
+// from-amt / to+amt, and writes seq+1 — so every committed transfer
+// draws a unique serial position s (the sequencer value it observed) and
+// the committed history is totally ordered by construction. A snapshot
+// transaction reads the sequencer plus every account in one transaction.
+//
+// That sequencer turns checking into replay, no search needed:
+//
+//   - committed transfers must draw DISTINCT positions (two transfers
+//     observing the same s both committed s+1: a dirty read);
+//   - positions must respect real time (if T1 returned before T2 was
+//     invoked, then s1 < s2 — serializability alone would allow the
+//     flip, STRICT serializability does not);
+//   - replaying committed transfers in position order must reproduce
+//     every observed balance, every snapshot vector, and the final
+//     quiescent state;
+//   - the final sequencer value must equal the committed-transfer count
+//     plus at most one draw per unknown-outcome transfer.
+//
+// Outcome classification leans on a structural fact of the commit
+// protocol (internal/core/txn.go): writes are applied only by
+// decide(commit), and every decide-phase failure is wrapped in
+// ErrTxnPartial. So an error that does NOT wrap ErrTxnPartial — conflict
+// exhaustion, node down, a timeout during read or prepare — proves
+// nothing was applied anywhere (OutcomeFailed). Only ErrTxnPartial is
+// OutcomeUnknown, and the replay checker then admits each of that
+// transaction's writes independently applied-or-not (a torn commit has
+// per-participant, per-write granularity).
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcl/internal/cluster"
+	"hcl/internal/core"
+	"hcl/internal/dataplane"
+	"hcl/internal/fabric"
+	"hcl/internal/fabric/faultfab"
+	"hcl/internal/fabric/shmfab"
+	"hcl/internal/fabric/simfab"
+	"hcl/internal/obs"
+	"hcl/internal/trace"
+)
+
+// seqKey is the sequencer register's key in account map A, far outside
+// the account key space [0, cfg.Keys).
+const seqKey = ^uint64(0)
+
+// txnInitBalance seeds every account. Balances wrap in uint64 arithmetic
+// and the checker replays in the same arithmetic, so the value only
+// needs to be recognizable in traces.
+const txnInitBalance = 1 << 20
+
+// txnOpKind selects the transaction shape.
+type txnOpKind uint8
+
+const (
+	// txnTransfer moves Amt between two (map, account) slots and draws
+	// the next sequencer value.
+	txnTransfer txnOpKind = iota
+	// txnSnapshot reads the sequencer and every account atomically.
+	txnSnapshot
+)
+
+// TxnOp is one generated transaction. FromMap/ToMap select account map A
+// (0) or B (1).
+type TxnOp struct {
+	Kind           txnOpKind
+	FromMap, ToMap int
+	From, To       uint64
+	Amt            uint64
+}
+
+func (o TxnOp) String() string {
+	if o.Kind == txnSnapshot {
+		return "snapshot"
+	}
+	ab := [2]string{"a", "b"}
+	return fmt.Sprintf("xfer %s[%d]->%s[%d] %d", ab[o.FromMap], o.From, ab[o.ToMap], o.To, o.Amt)
+}
+
+// genTxnStreams derives per-client transaction streams from (Seed,
+// client, index) on a dedicated rng stream, 3:1 transfers to snapshots.
+// From and to slots always differ (a self-transfer would make replay
+// ambiguous for no testing value).
+func genTxnStreams(cfg Config) [][]TxnOp {
+	streams := make([][]TxnOp, cfg.Clients)
+	for c := range streams {
+		r := newRNG(cfg.Seed, 0x7AB5+uint64(c)<<8)
+		ops := make([]TxnOp, cfg.OpsPerClient)
+		for i := range ops {
+			if r.intn(4) == 0 {
+				ops[i] = TxnOp{Kind: txnSnapshot}
+				continue
+			}
+			op := TxnOp{
+				Kind:    txnTransfer,
+				FromMap: r.intn(2), ToMap: r.intn(2),
+				From: uint64(r.intn(cfg.Keys)), To: uint64(r.intn(cfg.Keys)),
+				Amt: uint64(1 + r.intn(9)),
+			}
+			if op.FromMap == op.ToMap && op.From == op.To {
+				if cfg.Keys > 1 {
+					op.To = (op.To + 1) % uint64(cfg.Keys)
+				} else {
+					op.ToMap = 1 - op.ToMap
+				}
+			}
+			ops[i] = op
+		}
+		streams[c] = ops
+	}
+	return streams
+}
+
+// txnRec is one invocation/response record of a transaction. Inv/Ret
+// draw from the same global order counter discipline as Entry: A
+// happens-before B iff A.Ret < B.Inv.
+type txnRec struct {
+	Client   int
+	Op       TxnOp
+	Inv, Ret uint64
+	Outcome  Outcome
+	Err      string
+	TraceID  uint64
+
+	// Committed observations. Seq is the sequencer value the transaction
+	// read — its serial position. ObsFrom/ObsTo are the balances a
+	// committed transfer read; Snap is a committed snapshot's vector
+	// (a[0..K-1] then b[0..K-1]).
+	Seq            uint64
+	ObsFrom, ObsTo uint64
+	Snap           []uint64
+	// Missing flags a read of a pre-seeded key that returned absent —
+	// always a violation, recorded here so the trace shows which one.
+	Missing bool
+}
+
+func (e txnRec) String() string {
+	out := "?"
+	switch e.Outcome {
+	case OutcomeOK:
+		if e.Op.Kind == txnSnapshot {
+			out = fmt.Sprintf("-> s=%d snap=%v", e.Seq, e.Snap)
+		} else {
+			out = fmt.Sprintf("-> s=%d from=%d to=%d", e.Seq, e.ObsFrom, e.ObsTo)
+		}
+	case OutcomeFailed:
+		out = "-> failed(" + e.Err + ")"
+	case OutcomeUnknown:
+		out = "-> unknown(" + e.Err + ")"
+	}
+	if e.Missing {
+		out += " MISSING-ACCOUNT"
+	}
+	return fmt.Sprintf("c%d [%4d,%4d] t=%#x %-22s %s", e.Client, e.Inv, e.Ret, e.TraceID, e.Op, out)
+}
+
+// txnHistory records txnRecs concurrently, one per transaction.
+type txnHistory struct {
+	order atomic.Uint64
+	trace atomic.Uint64
+
+	mu   sync.Mutex
+	recs []txnRec
+}
+
+func (h *txnHistory) begin(client int, op TxnOp) (idx int, traceID uint64) {
+	e := txnRec{Client: client, Op: op, Inv: h.order.Add(1), TraceID: h.trace.Add(1)}
+	h.mu.Lock()
+	h.recs = append(h.recs, e)
+	idx = len(h.recs) - 1
+	h.mu.Unlock()
+	return idx, e.TraceID
+}
+
+func (h *txnHistory) end(idx int, seq, obsFrom, obsTo uint64, snap []uint64, missing bool, err error) {
+	ret := h.order.Add(1)
+	h.mu.Lock()
+	e := &h.recs[idx]
+	e.Ret = ret
+	e.Seq, e.ObsFrom, e.ObsTo, e.Snap, e.Missing = seq, obsFrom, obsTo, snap, missing
+	switch {
+	case err == nil:
+		e.Outcome = OutcomeOK
+	case errors.Is(err, core.ErrTxnPartial):
+		// The only path that can leave a subset of the writes applied.
+		e.Outcome = OutcomeUnknown
+		e.Err = "txn partial"
+	default:
+		// Conflict exhaustion, node down, read/prepare-phase timeout:
+		// decide(commit) was never issued, nothing was applied.
+		e.Outcome = OutcomeFailed
+		e.Err = firstErrWord(err)
+	}
+	h.mu.Unlock()
+}
+
+func (h *txnHistory) snapshot() []txnRec {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]txnRec, len(h.recs))
+	copy(out, h.recs)
+	return out
+}
+
+func firstErrWord(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, ':'); i > 0 && len(s) > 40 {
+		return s[:i]
+	}
+	if len(s) > 60 {
+		return s[:60]
+	}
+	return s
+}
+
+// errTxnAcctMissing marks a transaction that read a pre-seeded key as
+// absent. Returning it aborts the attempt without retry; the record's
+// Missing flag turns it into a checker violation.
+var errTxnAcctMissing = errors.New("harness: pre-seeded account read as absent")
+
+// txnStores is the transactional store under test: two replicable
+// account maps sharing a server set. It implements crasher by crashing
+// and repairing both maps together (one process death takes out every
+// partition the node hosts).
+type txnStores struct {
+	a, b  *core.UnorderedMap[uint64, uint64]
+	keys  int
+	dirty bool // BugTxnDirtyRead
+}
+
+func (s *txnStores) acct(i int) *core.UnorderedMap[uint64, uint64] {
+	if i == 0 {
+		return s.a
+	}
+	return s.b
+}
+
+func (s *txnStores) Crash(node int) {
+	s.a.CrashNode(node)
+	s.b.CrashNode(node)
+}
+
+func (s *txnStores) Repair(node int) error {
+	if err := s.a.RepairNode(node); err != nil {
+		return err
+	}
+	return s.b.RepairNode(node)
+}
+
+// newTxnStores builds the two account maps with the config's replication
+// and dataplane options, same discipline as newStore.
+func newTxnStores(rt *core.Runtime, cfg Config, name string) (*txnStores, error) {
+	opts := []core.Option{core.WithServers(serverNodes(cfg.Nodes))}
+	if cfg.Replicas > 0 {
+		opts = append(opts, core.WithReplicas(cfg.Replicas, cfg.ReplMode))
+	}
+	if cfg.Dataplane != dataplane.ModeOff {
+		opts = append(opts, core.WithDataplane(cfg.Dataplane))
+	}
+	a, err := core.NewUnorderedMap[uint64, uint64](rt, name+"_a", opts...)
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewUnorderedMap[uint64, uint64](rt, name+"_b", opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &txnStores{a: a, b: b, keys: cfg.Keys, dirty: cfg.Bug == BugTxnDirtyRead}, nil
+}
+
+// seed installs the initial balances and the sequencer on rank r (called
+// with the deep-retry verify options, before the concurrent phase).
+// The chaos plan's probabilistic drops are already live during seeding
+// and can surface as typed errors the transport retry does not cover
+// (ErrDegraded when a replica forward is dropped), so each insert
+// retries at this level too — re-inserting the same value is idempotent.
+func (s *txnStores) seed(r *cluster.Rank) error {
+	put := func(m *core.UnorderedMap[uint64, uint64], k, v uint64) error {
+		var err error
+		for attempt := 0; attempt < 32; attempt++ {
+			if _, err = m.Insert(r, k, v); err == nil {
+				return nil
+			}
+		}
+		return err
+	}
+	for k := 0; k < s.keys; k++ {
+		if err := put(s.a, uint64(k), txnInitBalance); err != nil {
+			return err
+		}
+		if err := put(s.b, uint64(k), txnInitBalance); err != nil {
+			return err
+		}
+	}
+	return put(s.a, seqKey, 0)
+}
+
+// apply runs one transaction end to end.
+func (s *txnStores) apply(r *cluster.Rank, op TxnOp) (seq, obsFrom, obsTo uint64, snap []uint64, missing bool, err error) {
+	if op.Kind == txnSnapshot {
+		err = core.Txn(r, func(tx *core.Tx) error {
+			sq, oks, e := core.TxnGet(tx, s.a, seqKey)
+			if e != nil {
+				return e
+			}
+			out := make([]uint64, 2*s.keys)
+			okAll := oks
+			for k := 0; k < s.keys; k++ {
+				va, oka, e := core.TxnGet(tx, s.a, uint64(k))
+				if e != nil {
+					return e
+				}
+				vb, okb, e := core.TxnGet(tx, s.b, uint64(k))
+				if e != nil {
+					return e
+				}
+				out[k], out[s.keys+k] = va, vb
+				okAll = okAll && oka && okb
+			}
+			if !okAll {
+				return errTxnAcctMissing
+			}
+			seq, snap = sq, out
+			return nil
+		})
+		if errors.Is(err, errTxnAcctMissing) {
+			missing = true
+		}
+		return
+	}
+
+	mf, mt := s.acct(op.FromMap), s.acct(op.ToMap)
+	if s.dirty {
+		// BugTxnDirtyRead: validate-then-write torn in two. The read
+		// transaction commits (validating nothing but its own reads), the
+		// write transaction commits blind — a racing transfer between the
+		// two is never detected.
+		var vf, vt, sq uint64
+		err = core.Txn(r, func(tx *core.Tx) error {
+			var oks [3]bool
+			var e error
+			vf, oks[0], e = core.TxnGet(tx, mf, op.From)
+			if e != nil {
+				return e
+			}
+			vt, oks[1], e = core.TxnGet(tx, mt, op.To)
+			if e != nil {
+				return e
+			}
+			sq, oks[2], e = core.TxnGet(tx, s.a, seqKey)
+			if e != nil {
+				return e
+			}
+			if !oks[0] || !oks[1] || !oks[2] {
+				return errTxnAcctMissing
+			}
+			return nil
+		})
+		if errors.Is(err, errTxnAcctMissing) {
+			missing = true
+		}
+		if err != nil {
+			return
+		}
+		seq, obsFrom, obsTo = sq, vf, vt
+		err = core.Txn(r, func(tx *core.Tx) error {
+			if e := core.TxnPut(tx, mf, op.From, vf-op.Amt); e != nil {
+				return e
+			}
+			if e := core.TxnPut(tx, mt, op.To, vt+op.Amt); e != nil {
+				return e
+			}
+			return core.TxnPut(tx, s.a, seqKey, sq+1)
+		})
+		return
+	}
+
+	err = core.Txn(r, func(tx *core.Tx) error {
+		vf, okf, e := core.TxnGet(tx, mf, op.From)
+		if e != nil {
+			return e
+		}
+		vt, okt, e := core.TxnGet(tx, mt, op.To)
+		if e != nil {
+			return e
+		}
+		sq, oks, e := core.TxnGet(tx, s.a, seqKey)
+		if e != nil {
+			return e
+		}
+		if !okf || !okt || !oks {
+			return errTxnAcctMissing
+		}
+		seq, obsFrom, obsTo = sq, vf, vt
+		if e := core.TxnPut(tx, mf, op.From, vf-op.Amt); e != nil {
+			return e
+		}
+		if e := core.TxnPut(tx, mt, op.To, vt+op.Amt); e != nil {
+			return e
+		}
+		return core.TxnPut(tx, s.a, seqKey, sq+1)
+	})
+	if errors.Is(err, errTxnAcctMissing) {
+		missing = true
+	}
+	return
+}
+
+// applyTxnOp records one transaction, stamping its trace id on the
+// rank's clock exactly like applyOp.
+func applyTxnOp(hist *txnHistory, st *txnStores, fr *obs.FlightRecorder, r *cluster.Rank, client int, op TxnOp) {
+	idx, tid := hist.begin(client, op)
+	r.Clock().SetTrace(trace.Ctx{TraceID: tid, Parent: tid})
+	seq, of, ot, snap, missing, err := st.apply(r, op)
+	r.Clock().SetTrace(trace.Ctx{})
+	if err != nil {
+		fr.ObserveError(r.Clock().Now(), fmt.Sprintf("client %d %s", client, op), err)
+	}
+	hist.end(idx, seq, of, ot, snap, missing, err)
+}
+
+// readFinal reads the quiescent state — every account and the sequencer
+// — with deep retries. Read errors and absences surface as violations.
+func (s *txnStores) readFinal(rv *cluster.Rank) (finalA, finalB []uint64, finalSeq uint64, probs []string) {
+	get := func(m *core.UnorderedMap[uint64, uint64], name string, k uint64) uint64 {
+		for attempt := 0; ; attempt++ {
+			v, ok, err := m.Find(rv, k)
+			if err == nil && ok {
+				return v
+			}
+			if attempt >= 7 {
+				if err != nil {
+					probs = append(probs, fmt.Sprintf("final read %s[%d]: %s", name, k, err))
+				} else {
+					probs = append(probs, fmt.Sprintf("final read %s[%d]: absent", name, k))
+				}
+				return 0
+			}
+		}
+	}
+	finalA = make([]uint64, s.keys)
+	finalB = make([]uint64, s.keys)
+	for k := 0; k < s.keys; k++ {
+		finalA[k] = get(s.a, "a", uint64(k))
+		finalB[k] = get(s.b, "b", uint64(k))
+	}
+	finalSeq = get(s.a, "seq", seqKey)
+	return
+}
+
+// RunTxn executes one seeded transactional run on the simulated fabric,
+// with the same chaos machinery as Run: cfg.Replicas > 0 plus cfg.Chaos
+// yields the crash→repair schedule, and both account maps crash and
+// repair together.
+func RunTxn(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	cfg.Kind = KindUnorderedMap
+	start := time.Now()
+	streams := genTxnStreams(cfg)
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+
+	ro := newRunObs(cfg)
+	sim := simfab.New(cfg.Nodes, fabric.DefaultCostModel(),
+		simfab.WithCollector(ro.col), simfab.WithTracer(ro.tr))
+	defer sim.Close()
+	var prov fabric.Provider = sim
+	plan := buildChaos(cfg, total)
+	var ff *faultfab.Fabric
+	if plan != nil {
+		ff = faultfab.New(sim, plan.fault)
+		prov = ff
+	}
+	w := cluster.MustWorld(prov, cluster.OnNode(0, cfg.Clients))
+	rt := core.NewRuntime(w)
+	if plan != nil {
+		rt.SetOpOptions(plan.opOptions())
+	}
+	st, err := newTxnStores(rt, cfg, "txnstress")
+	res := Result{Runs: 1, Elapsed: time.Since(start)}
+	if err != nil {
+		res.Violations = []Violation{{Kind: cfg.Kind, Seed: cfg.Seed, Desc: "store construction: " + err.Error()}}
+		return res
+	}
+	rv := w.Rank(0).WithOptions(verifyOptions)
+	if err := st.seed(rv); err != nil {
+		res.Violations = []Violation{{Kind: cfg.Kind, Seed: cfg.Seed, Desc: "seeding initial state: " + err.Error()}}
+		return res
+	}
+
+	hist := &txnHistory{}
+	chaos := newChaosRunner(plan, ff, st, nil)
+	chaos.observe(ro.fr, ro.win, windowRollOps)
+	w.Run(func(r *cluster.Rank) {
+		for _, op := range streams[r.ID()] {
+			applyTxnOp(hist, st, ro.fr, r, r.ID(), op)
+			chaos.tick(r.Clock().Now())
+		}
+	})
+	chaos.quiesce(cfg.Nodes)
+	finalA, finalB, finalSeq, probs := st.readFinal(rv)
+
+	recs := hist.snapshot()
+	viols := checkTxn(cfg, recs, finalA, finalB, finalSeq, probs, chaos.log())
+	files := ro.finish(cfg, w.Rank(0).Clock().Now(), len(viols))
+	res.Ops = len(recs)
+	res.Violations = viols
+	res.FlightFiles = files
+	res.ChaosLog = chaos.log()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// RunTxnShm executes the transactional run over the shared-memory
+// transport: the RunShm pair (clients on node 0, both account maps
+// served by node 1 over live rings with inline handlers). Replication is
+// forced off as in RunShm; what this shard buys is the commit protocol's
+// prepare/decide concurrency on the zero-handoff ring path under the
+// race detector.
+func RunTxnShm(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	cfg.Kind = KindUnorderedMap
+	cfg.Nodes = 2
+	cfg.Replicas = 0
+	start := time.Now()
+
+	dir, err := os.MkdirTemp("", "hcl-shm-txn-")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	ro := newRunObs(cfg)
+	f0, err := shmfab.New(shmfab.Config{
+		NodeID: 0, Nodes: 2, Dir: dir, InlineHandlers: true,
+		Collector: ro.col, Tracer: ro.tr,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer f0.Close()
+	f1, err := shmfab.New(shmfab.Config{NodeID: 1, Nodes: 2, Dir: dir, InlineHandlers: true})
+	if err != nil {
+		return Result{}, err
+	}
+	defer f1.Close()
+
+	streams := genTxnStreams(cfg)
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+
+	var prov fabric.Provider = f0
+	plan := buildChaos(cfg, total)
+	var ff *faultfab.Fabric
+	if plan != nil {
+		ff = faultfab.New(f0, plan.fault)
+		prov = ff
+	}
+	w0 := cluster.MustWorld(prov, cluster.OnNode(0, cfg.Clients))
+	rt0 := core.NewRuntime(w0)
+	if plan != nil {
+		rt0.SetOpOptions(fabric.Options{
+			Deadline:    500 * time.Millisecond, // wall clock on shm
+			MaxAttempts: 4,
+			RetryRPC:    true,
+		})
+	}
+	st, err := newTxnStores(rt0, cfg, "shmtxn")
+	if err != nil {
+		return Result{}, err
+	}
+	// Server side: symmetric SPMD construction binds the prepare/decide
+	// handlers on node 1's dispatcher (same discipline as RunShm).
+	w1 := cluster.MustWorld(f1, cluster.OnNode(1, 1))
+	rt1 := core.NewRuntime(w1)
+	if _, err := newTxnStores(rt1, cfg, "shmtxn"); err != nil {
+		return Result{}, err
+	}
+
+	rv := w0.Rank(0).WithOptions(verifyOptions)
+	if err := st.seed(rv); err != nil {
+		return Result{}, fmt.Errorf("seeding initial state: %w", err)
+	}
+
+	hist := &txnHistory{}
+	chaos := newChaosRunner(plan, ff, nil, nil)
+	chaos.observe(ro.fr, ro.win, windowRollOps)
+	w0.Run(func(r *cluster.Rank) {
+		for _, op := range streams[r.ID()] {
+			applyTxnOp(hist, st, ro.fr, r, r.ID(), op)
+			chaos.tick(r.Clock().Now())
+		}
+	})
+	chaos.quiesce(cfg.Nodes)
+	finalA, finalB, finalSeq, probs := st.readFinal(rv)
+
+	recs := hist.snapshot()
+	viols := checkTxn(cfg, recs, finalA, finalB, finalSeq, probs, chaos.log())
+	files := ro.finish(cfg, w0.Rank(0).Clock().Now(), len(viols))
+	return Result{
+		Runs: 1, Ops: len(recs), Violations: viols, FlightFiles: files,
+		Elapsed: time.Since(start), ChaosLog: chaos.log(),
+	}, nil
+}

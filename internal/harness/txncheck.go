@@ -1,0 +1,248 @@
+package harness
+
+// The strict-serializability checker for the transactional mode. The
+// sequencer register threads a serial position through every committed
+// transfer, so checking is replay plus real-time comparisons — no
+// exponential history search. Unknown-outcome transactions (torn
+// commits, ErrTxnPartial) are admitted with per-write applied-or-not
+// freedom, expressed as subset-sum slack on every balance comparison:
+// the checker never convicts a history a torn commit can explain.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// txnSlackCap bounds the subset-sum searches. Beyond this many unknown
+// deltas on one slot (or unknown transactions globally for the
+// conservation check) the checker skips that comparison rather than
+// search 2^n subsets — soundness over completeness.
+const txnSlackCap = 18
+
+// acctSlot identifies one balance cell: (map index, key).
+type acctSlot struct {
+	m int
+	k uint64
+}
+
+// subsetSumWrap reports whether some subset of deltas sums to target in
+// wrapping uint64 arithmetic. The empty subset covers target == 0.
+func subsetSumWrap(deltas []uint64, target uint64) bool {
+	if target == 0 {
+		return true
+	}
+	if len(deltas) == 0 {
+		return false
+	}
+	return subsetSumWrap(deltas[1:], target) || subsetSumWrap(deltas[1:], target-deltas[0])
+}
+
+// netFeasible reports whether the per-transaction net contributions
+// {0, -amt, +amt} (neither, only the debit, only the credit; both nets
+// to 0) of the unknown transfers can sum to target.
+func netFeasible(amts []uint64, target uint64) bool {
+	if target == 0 {
+		return true
+	}
+	if len(amts) == 0 {
+		return false
+	}
+	rest := amts[1:]
+	return netFeasible(rest, target) ||
+		netFeasible(rest, target-amts[0]) ||
+		netFeasible(rest, target+amts[0])
+}
+
+// checkTxn validates one transactional run's records against the final
+// quiescent state.
+func checkTxn(cfg Config, recs []txnRec, finalA, finalB []uint64, finalSeq uint64, finalProbs, chaosLog []string) []Violation {
+	var descs []string
+	fail := func(format string, args ...any) { descs = append(descs, fmt.Sprintf(format, args...)) }
+	descs = append(descs, finalProbs...)
+
+	// Partition the records. Failed transactions proved they applied
+	// nothing; they carry no obligations.
+	var committed []txnRec // OK transfers and snapshots
+	var unknown []txnRec   // ErrTxnPartial transfers: maybe-applied writes
+	for _, e := range recs {
+		if e.Missing {
+			fail("transaction read a pre-seeded account as absent: %s", e)
+		}
+		switch e.Outcome {
+		case OutcomeOK:
+			committed = append(committed, e)
+		case OutcomeUnknown:
+			if e.Op.Kind == txnTransfer {
+				unknown = append(unknown, e)
+			}
+		}
+	}
+
+	// Sequencer draws: distinct per committed transfer, all below the
+	// final value, and the final value accounted for by committed draws
+	// plus at most one per unknown transfer.
+	nCommitXfer := 0
+	bySeq := map[uint64]txnRec{}
+	for _, e := range committed {
+		if e.Op.Kind != txnTransfer {
+			continue
+		}
+		nCommitXfer++
+		if prev, dup := bySeq[e.Seq]; dup {
+			fail("duplicate sequencer draw %d (dirty read):\n  %s\n  %s", e.Seq, prev, e)
+		}
+		bySeq[e.Seq] = e
+		if e.Seq >= finalSeq {
+			fail("committed transfer drew position %d but the final sequencer is %d: %s", e.Seq, finalSeq, e)
+		}
+	}
+	if finalSeq < uint64(nCommitXfer) {
+		fail("final sequencer %d below the %d committed transfers: increments were lost", finalSeq, nCommitXfer)
+	} else if finalSeq > uint64(nCommitXfer)+uint64(len(unknown)) {
+		fail("final sequencer %d exceeds %d committed + %d unknown transfers: increments appeared from nowhere",
+			finalSeq, nCommitXfer, len(unknown))
+	}
+
+	// Real time. A transfer's serial position is its draw s (its write
+	// lands at s+1); a snapshot at draw s observes exactly the transfers
+	// with draws < s. If X returned before Y was invoked, Y must
+	// serialize after X: for a transfer X that means Y.Seq > X.Seq, for
+	// a snapshot X it means Y.Seq >= X.Seq.
+	for i := range committed {
+		for j := range committed {
+			x, y := &committed[i], &committed[j]
+			if x.Ret >= y.Inv {
+				continue
+			}
+			if x.Op.Kind == txnTransfer && y.Seq <= x.Seq {
+				fail("real-time order violated: %s completed before %s was invoked, yet serializes at or after it:\n  %s\n  %s",
+					x.Op, y.Op, x, y)
+			}
+			if x.Op.Kind == txnSnapshot && y.Seq < x.Seq {
+				fail("real-time order violated: snapshot at position %d completed before %s was invoked, which serializes earlier:\n  %s\n  %s",
+					x.Seq, y.Op, x, y)
+			}
+		}
+	}
+
+	// Unknown-write slack per slot: each unknown transfer contributes an
+	// independently applied-or-not debit and credit.
+	slack := map[acctSlot][]uint64{}
+	for _, u := range unknown {
+		from := acctSlot{u.Op.FromMap, u.Op.From}
+		to := acctSlot{u.Op.ToMap, u.Op.To}
+		slack[from] = append(slack[from], 0-u.Op.Amt)
+		slack[to] = append(slack[to], u.Op.Amt)
+	}
+	explains := func(slot acctSlot, diff uint64) bool {
+		d := slack[slot]
+		if len(d) > txnSlackCap {
+			return true // too many torn commits on this slot to search; skip
+		}
+		return subsetSumWrap(d, diff)
+	}
+
+	// Replay committed transfers in position order against the seeded
+	// state; every committed observation must match the replay value
+	// modulo unknown-write slack.
+	state := map[acctSlot]uint64{}
+	for k := 0; k < cfg.Keys; k++ {
+		state[acctSlot{0, uint64(k)}] = txnInitBalance
+		state[acctSlot{1, uint64(k)}] = txnInitBalance
+	}
+	order := make([]txnRec, len(committed))
+	copy(order, committed)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Seq != order[j].Seq {
+			return order[i].Seq < order[j].Seq
+		}
+		// Snapshots at position s observe the same prefix as the (unique)
+		// transfer drawing s; process them first so they check against
+		// the pre-apply state.
+		return order[i].Op.Kind == txnSnapshot && order[j].Op.Kind == txnTransfer
+	})
+	for _, e := range order {
+		if e.Op.Kind == txnSnapshot {
+			// Observes the prefix of transfers with draws < e.Seq — which
+			// is exactly the current state (transfers at e.Seq apply after
+			// all same-position observers check).
+			for k := 0; k < cfg.Keys; k++ {
+				for m := 0; m < 2; m++ {
+					slot := acctSlot{m, uint64(k)}
+					obs := e.Snap[m*cfg.Keys+k]
+					if !explains(slot, obs-state[slot]) {
+						fail("snapshot at position %d saw map%d[%d]=%d, replay has %d: %s",
+							e.Seq, m, k, obs, state[slot], e)
+					}
+				}
+			}
+			continue
+		}
+		from := acctSlot{e.Op.FromMap, e.Op.From}
+		to := acctSlot{e.Op.ToMap, e.Op.To}
+		if !explains(from, e.ObsFrom-state[from]) {
+			fail("transfer at position %d read from=%d, replay has %d: %s", e.Seq, e.ObsFrom, state[from], e)
+		}
+		if !explains(to, e.ObsTo-state[to]) {
+			fail("transfer at position %d read to=%d, replay has %d: %s", e.Seq, e.ObsTo, state[to], e)
+		}
+		// The committed writes are observed-derived absolute values; in
+		// replay terms that folds any unknown contribution the reads saw
+		// into the slot, so applying the deltas keeps the committed-only
+		// baseline and the slack subsets stay valid.
+		state[from] -= e.Op.Amt
+		state[to] += e.Op.Amt
+	}
+
+	// Final quiescent state must be the replay result modulo slack, and
+	// the total money supply must be explainable by torn halves of
+	// unknown transfers (a committed transfer conserves it exactly).
+	var sumFinal, sumReplay uint64
+	for k := 0; k < cfg.Keys; k++ {
+		for m := 0; m < 2; m++ {
+			slot := acctSlot{m, uint64(k)}
+			fin := finalA[k]
+			if m == 1 {
+				fin = finalB[k]
+			}
+			sumFinal += fin
+			sumReplay += state[slot]
+			if !explains(slot, fin-state[slot]) {
+				fail("final map%d[%d]=%d, replay has %d (slack cannot explain the difference)",
+					m, k, fin, state[slot])
+			}
+		}
+	}
+	if len(unknown) <= txnSlackCap {
+		amts := make([]uint64, len(unknown))
+		for i, u := range unknown {
+			amts[i] = u.Op.Amt
+		}
+		if !netFeasible(amts, sumFinal-sumReplay) {
+			fail("money supply drifted: final sum %d vs replay sum %d, not explainable by %d torn transfers",
+				sumFinal, sumReplay, len(unknown))
+		}
+	}
+
+	if len(descs) == 0 {
+		return nil
+	}
+	trace := formatTxn(recs)
+	if len(chaosLog) > 0 {
+		trace = fmt.Sprintf("chaos events: %v\n%s", chaosLog, trace)
+	}
+	viols := make([]Violation, 0, len(descs))
+	for _, d := range descs {
+		viols = append(viols, Violation{Kind: cfg.Kind, Seed: cfg.Seed, Desc: d, Trace: trace})
+	}
+	return viols
+}
+
+// formatTxn renders the record trace for reports.
+func formatTxn(recs []txnRec) string {
+	out := ""
+	for _, e := range recs {
+		out += e.String() + "\n"
+	}
+	return out
+}

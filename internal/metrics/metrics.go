@@ -41,10 +41,17 @@ const (
 
 	// Replication counters recorded by the quorum-acked availability
 	// layer (internal/core/replication.go; docs/REPLICATION.md).
-	ReplicationErrors Kind = "hcl_replication_errors" // failed/fenced/dropped replica forwards
-	ReplicaLag        Kind = "hcl_replica_lag"        // forward latency (sync) or queue depth (async)
-	FailoverReads     Kind = "hcl_failover_reads"     // reads served by a replica after primary ErrNodeDown
-	RepairKeys        Kind = "hcl_repair_keys"        // keys restored by anti-entropy repair
+	ReplicationErrors  Kind = "hcl_replication_errors"  // failed/fenced replica forwards
+	ReplicationDropped Kind = "hcl_replication_dropped" // async forwards dropped on queue overflow (acked writes at risk)
+	ReplicaLag         Kind = "hcl_replica_lag"         // forward latency (sync) or queue depth (async)
+	FailoverReads      Kind = "hcl_failover_reads"      // reads served by a replica after primary ErrNodeDown
+	RepairKeys         Kind = "hcl_repair_keys"         // keys restored by anti-entropy repair
+
+	// Transaction counters recorded by the optimistic 2PC coordinator
+	// (internal/core/txn.go; docs/TRANSACTIONS.md).
+	TxnCommits   Kind = "hcl_txn_commits"   // transactions committed at all participants
+	TxnConflicts Kind = "hcl_txn_conflicts" // prepares rejected (stale read set or partition busy)
+	TxnAborts    Kind = "hcl_txn_aborts"    // transactions rolled back after a failed prepare
 
 	// Dataplane counters recorded by the adaptive routing layer
 	// (internal/dataplane; docs/DATAPLANE.md).
